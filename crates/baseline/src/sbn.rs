@@ -1,0 +1,176 @@
+//! The "single blob with neighbours" (SBN) colour bag generator.
+//!
+//! Following Maron & Lakshmi Ratan: the image is reduced to an 8×8 grid
+//! of mean-colour cells; an instance describes one 2×2-cell *blob* by its
+//! mean RGB plus the RGB differences to the 2×2 blobs directly above,
+//! below, left and right — 15 dimensions in all. Every blob position
+//! whose four neighbours fit inside the grid contributes one instance
+//! (nine positions on an 8×8 grid).
+//!
+//! Channels are scaled to `[0, 1]` so the Gaussian bump
+//! `exp(−‖·‖²)` of the DD model operates at a reasonable scale.
+
+use milr_imgproc::{GrayImage, IntegralImage, RgbImage};
+use milr_mil::{Bag, MilError};
+
+/// Grid resolution the image is reduced to.
+pub const GRID: usize = 8;
+
+/// Cells per blob side (blobs are `BLOB × BLOB` cells).
+pub const BLOB: usize = 2;
+
+/// Dimensions of one SBN instance: blob RGB + 4 neighbour differences.
+pub const SBN_DIM: usize = 15;
+
+/// Mean-colour grid: `GRID × GRID` cells, 3 channels each, in `[0, 1]`.
+fn color_grid(image: &RgbImage) -> Vec<[f64; 3]> {
+    let integrals: Vec<IntegralImage> = (0..3)
+        .map(|c| IntegralImage::new(&channel(image, c)))
+        .collect();
+    let w = image.width();
+    let h = image.height();
+    let mut grid = Vec::with_capacity(GRID * GRID);
+    for gy in 0..GRID {
+        for gx in 0..GRID {
+            let x0 = gx * w / GRID;
+            let x1 = ((gx + 1) * w / GRID).max(x0 + 1).min(w);
+            let y0 = gy * h / GRID;
+            let y1 = ((gy + 1) * h / GRID).max(y0 + 1).min(h);
+            let mut cell = [0.0f64; 3];
+            for (c, integral) in integrals.iter().enumerate() {
+                cell[c] = integral.block_mean(x0, y0, x1, y1) / 255.0;
+            }
+            grid.push(cell);
+        }
+    }
+    grid
+}
+
+fn channel(image: &RgbImage, c: usize) -> GrayImage {
+    image.channel(c)
+}
+
+/// Mean colour of the `BLOB × BLOB` blob whose top-left cell is
+/// `(gx, gy)`.
+fn blob_mean(grid: &[[f64; 3]], gx: usize, gy: usize) -> [f64; 3] {
+    let mut acc = [0.0f64; 3];
+    for dy in 0..BLOB {
+        for dx in 0..BLOB {
+            let cell = grid[(gy + dy) * GRID + (gx + dx)];
+            for c in 0..3 {
+                acc[c] += cell[c];
+            }
+        }
+    }
+    let n = (BLOB * BLOB) as f64;
+    [acc[0] / n, acc[1] / n, acc[2] / n]
+}
+
+/// Builds the SBN bag for a colour image.
+///
+/// # Errors
+/// Returns [`MilError`] only if the image is degenerate enough to
+/// produce no instances (images at least `GRID × GRID` pixels always
+/// succeed).
+pub fn sbn_bag(image: &RgbImage) -> Result<Bag, MilError> {
+    let grid = color_grid(image);
+    let mut instances = Vec::new();
+    // Blob top-left positions such that all four neighbour blobs fit:
+    // x−BLOB ≥ 0 and x+2·BLOB ≤ GRID.
+    for gy in BLOB..=(GRID - 2 * BLOB) {
+        for gx in BLOB..=(GRID - 2 * BLOB) {
+            let center = blob_mean(&grid, gx, gy);
+            let up = blob_mean(&grid, gx, gy - BLOB);
+            let down = blob_mean(&grid, gx, gy + BLOB);
+            let left = blob_mean(&grid, gx - BLOB, gy);
+            let right = blob_mean(&grid, gx + BLOB, gy);
+            let mut v = Vec::with_capacity(SBN_DIM);
+            v.extend(center.iter().map(|&value| value as f32));
+            for neighbour in [up, right, down, left] {
+                v.extend(center.iter().zip(&neighbour).map(|(&c, &n)| (c - n) as f32));
+            }
+            instances.push(v);
+        }
+    }
+    Bag::new(instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(rgb: [f32; 3]) -> RgbImage {
+        RgbImage::filled(32, 32, rgb).unwrap()
+    }
+
+    #[test]
+    fn sbn_bag_shape() {
+        let bag = sbn_bag(&flat([128.0; 3])).unwrap();
+        // Positions gx, gy ∈ {2, 3, 4} → 9 instances.
+        assert_eq!(bag.len(), 9);
+        assert_eq!(bag.dim(), SBN_DIM);
+    }
+
+    #[test]
+    fn flat_image_has_zero_differences() {
+        let bag = sbn_bag(&flat([100.0, 150.0, 200.0])).unwrap();
+        for inst in bag.instances() {
+            assert!((inst[0] - 100.0 / 255.0).abs() < 1e-5);
+            assert!((inst[1] - 150.0 / 255.0).abs() < 1e-5);
+            assert!((inst[2] - 200.0 / 255.0).abs() < 1e-5);
+            for &d in &inst[3..] {
+                assert!(d.abs() < 1e-6, "differences must vanish on a flat image");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_gradient_shows_up_in_up_down_differences() {
+        let img = RgbImage::from_fn(32, 32, |_, y| [y as f32 * 8.0; 3]).unwrap();
+        let bag = sbn_bag(&img).unwrap();
+        for inst in bag.instances() {
+            // up difference (dims 3..6): center − up > 0 (brighter lower).
+            assert!(inst[3] > 0.01, "up diff {:?}", &inst[3..6]);
+            // down difference (dims 9..12): center − down < 0.
+            assert!(inst[9] < -0.01, "down diff {:?}", &inst[9..12]);
+            // left/right differences ≈ 0.
+            assert!(inst[6].abs() < 1e-4);
+            assert!(inst[12].abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        // A red-to-black horizontal gradient only moves the R channel.
+        let img = RgbImage::from_fn(32, 32, |x, _| [x as f32 * 8.0, 30.0, 30.0]).unwrap();
+        let bag = sbn_bag(&img).unwrap();
+        for inst in bag.instances() {
+            // right difference: R moves, G and B do not.
+            assert!(inst[6].abs() > 0.005, "R right-diff should be nonzero");
+            assert!(inst[7].abs() < 1e-4, "G right-diff should vanish");
+            assert!(inst[8].abs() < 1e-4, "B right-diff should vanish");
+        }
+    }
+
+    #[test]
+    fn values_are_unit_scaled() {
+        let img = RgbImage::from_fn(40, 40, |x, y| {
+            [((x * y) % 256) as f32, (x % 256) as f32, (y % 256) as f32]
+        })
+        .unwrap();
+        let bag = sbn_bag(&img).unwrap();
+        for inst in bag.instances() {
+            for &v in inst {
+                assert!((-1.0..=1.0).contains(&v), "value {v} outside [-1, 1]");
+            }
+        }
+    }
+
+    #[test]
+    fn small_images_still_work() {
+        // Cells clamp to ≥1 pixel; an 8×8 image maps one pixel per cell.
+        let img = RgbImage::from_fn(8, 8, |x, y| [(x * 30) as f32, (y * 30) as f32, 0.0]).unwrap();
+        let bag = sbn_bag(&img).unwrap();
+        assert_eq!(bag.len(), 9);
+    }
+}

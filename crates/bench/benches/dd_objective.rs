@@ -1,0 +1,63 @@
+//! Benchmarks of the `−log DD` objective: one value+gradient evaluation
+//! under each parameterization, at the paper's working size
+//! (100-dimensional features, 40-instance bags).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milr_mil::{Bag, BagLabel, DdObjective, MilDataset, Parameterization};
+use milr_optim::Objective;
+
+/// A deterministic dataset shaped like a real query: 5 positive and 10
+/// negative bags of 40 100-dimensional instances.
+fn dataset() -> MilDataset {
+    let dim = 100;
+    let mut ds = MilDataset::new();
+    let make_bag = |bag_seed: usize| {
+        let instances: Vec<Vec<f32>> = (0..40)
+            .map(|j| {
+                (0..dim)
+                    .map(|k| {
+                        (((bag_seed * 7919 + j * 104729 + k * 1299709) % 1000) as f32 / 500.0) - 1.0
+                    })
+                    .collect()
+            })
+            .collect();
+        Bag::new(instances).unwrap()
+    };
+    for i in 0..5 {
+        ds.push(make_bag(i), BagLabel::Positive).unwrap();
+    }
+    for i in 5..15 {
+        ds.push(make_bag(i), BagLabel::Negative).unwrap();
+    }
+    ds
+}
+
+fn bench_value_and_gradient(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("dd_value_and_gradient");
+    for (name, param) in [
+        ("fixed_weights", Parameterization::FixedWeights),
+        ("sqrt_weights", Parameterization::SqrtWeights { alpha: 1.0 }),
+        ("direct_weights", Parameterization::DirectWeights),
+    ] {
+        let obj = DdObjective::new(&ds, param);
+        let x = param.start_from(ds.positives()[0].instance(0));
+        let mut grad = vec![0.0; x.len()];
+        group.bench_function(name, |b| {
+            b.iter(|| obj.value_and_gradient(std::hint::black_box(&x), &mut grad))
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_only(c: &mut Criterion) {
+    let ds = dataset();
+    let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+    let x = Parameterization::FixedWeights.start_from(ds.positives()[0].instance(0));
+    c.bench_function("dd_value_only_fixed", |b| {
+        b.iter(|| obj.value(std::hint::black_box(&x)))
+    });
+}
+
+criterion_group!(benches, bench_value_and_gradient, bench_value_only);
+criterion_main!(benches);

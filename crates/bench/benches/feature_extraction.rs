@@ -1,0 +1,55 @@
+//! Benchmarks of the §3.5 preprocessing pipeline: integral images,
+//! smoothing-and-sampling, and the full image → bag conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_core::{features::image_to_bag, RetrievalConfig};
+use milr_imgproc::{smooth_sample, GrayImage, IntegralImage, RegionLayout};
+
+fn textured(w: usize, h: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| ((x * 31 + y * 17) % 251) as f32).unwrap()
+}
+
+fn bench_integral(c: &mut Criterion) {
+    let img = textured(128, 96);
+    c.bench_function("integral_image_128x96", |b| {
+        b.iter(|| IntegralImage::new(std::hint::black_box(&img)))
+    });
+}
+
+fn bench_smooth_sample(c: &mut Criterion) {
+    let img = textured(128, 96);
+    let mut group = c.benchmark_group("smooth_sample");
+    for h in [6usize, 10, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| smooth_sample(std::hint::black_box(&img), h).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_to_bag(c: &mut Criterion) {
+    let img = textured(128, 96);
+    let mut group = c.benchmark_group("image_to_bag");
+    for (name, layout) in [
+        ("small_9_regions", RegionLayout::Small),
+        ("standard_20_regions", RegionLayout::Standard),
+        ("large_42_regions", RegionLayout::Large),
+    ] {
+        let config = RetrievalConfig {
+            layout,
+            ..RetrievalConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| image_to_bag(std::hint::black_box(&img), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_integral,
+    bench_smooth_sample,
+    bench_image_to_bag
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks of the box ∩ half-space projection — the inner loop of the
+//! constrained (CFSQP-substitute) solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_optim::{BoxSumProjection, Project};
+
+fn point(n: usize, feasible: bool) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let v = ((i * 2654435761) % 1000) as f64 / 1000.0;
+            if feasible {
+                v
+            } else {
+                v - 1.5 // push well below the box so the bisection runs
+            }
+        })
+        .collect()
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("box_sum_projection");
+    for n in [100usize, 400] {
+        let p = BoxSumProjection::for_beta(n, 0.5);
+        let feasible = point(n, true);
+        let infeasible = point(n, false);
+        group.bench_with_input(
+            BenchmarkId::new("inactive_halfspace", n),
+            &feasible,
+            |b, x0| {
+                b.iter(|| {
+                    let mut x = x0.clone();
+                    p.project(&mut x);
+                    x
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("active_halfspace_bisection", n),
+            &infeasible,
+            |b, x0| {
+                b.iter(|| {
+                    let mut x = x0.clone();
+                    p.project(&mut x);
+                    x
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

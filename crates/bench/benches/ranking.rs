@@ -1,0 +1,46 @@
+//! Benchmarks of database ranking: scoring every bag against a trained
+//! concept (the per-query retrieval cost once training is done).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_core::RetrievalDatabase;
+use milr_mil::{Bag, Concept};
+
+fn database(images: usize) -> RetrievalDatabase {
+    let dim = 100;
+    let bags: Vec<Bag> = (0..images)
+        .map(|i| {
+            let instances: Vec<Vec<f32>> = (0..40)
+                .map(|j| {
+                    (0..dim)
+                        .map(|k| {
+                            (((i * 7919 + j * 104729 + k * 1299709) % 1000) as f32 / 500.0) - 1.0
+                        })
+                        .collect()
+                })
+                .collect();
+            Bag::new(instances).unwrap()
+        })
+        .collect();
+    let labels = (0..images).map(|i| i % 5).collect();
+    RetrievalDatabase::from_bags(bags, labels).unwrap()
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_database");
+    group.sample_size(20);
+    for images in [100usize, 500] {
+        let db = database(images);
+        let concept = Concept::new(vec![0.1; 100], vec![0.7; 100]);
+        let candidates: Vec<usize> = (0..images).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(images), &images, |b, _| {
+            b.iter(|| {
+                db.rank(std::hint::black_box(&concept), &candidates)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

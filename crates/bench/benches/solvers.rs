@@ -1,0 +1,113 @@
+//! Solver ablation benchmark: steepest descent vs conjugate gradient vs
+//! L-BFGS minimising the same `−log DD` objective from the same start.
+//!
+//! The paper's original implementation used plain gradient ascent
+//! (§2.2.2); this bench quantifies what the L-BFGS default buys and
+//! shows the optimum found is solver-independent (each run is asserted
+//! to reach a comparable objective value).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milr_mil::{Bag, BagLabel, DdObjective, MilDataset, Parameterization};
+use milr_optim::{
+    conjugate_gradient, gradient_descent, lbfgs, ConjugateGradientOptions, GradientDescentOptions,
+    LbfgsOptions,
+};
+
+fn dataset() -> MilDataset {
+    let dim = 36;
+    let mut ds = MilDataset::new();
+    let make_bag = |bag_seed: usize, concept: bool| {
+        let instances: Vec<Vec<f32>> = (0..12)
+            .map(|j| {
+                (0..dim)
+                    .map(|k| {
+                        let noise = (((bag_seed * 7919 + j * 104_729 + k * 1_299_709) % 1000)
+                            as f32
+                            / 500.0)
+                            - 1.0;
+                        if concept && j == 0 {
+                            (k as f32 * 0.4).sin() + 0.1 * noise
+                        } else {
+                            noise * 2.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Bag::new(instances).unwrap()
+    };
+    for i in 0..4 {
+        ds.push(make_bag(i, true), BagLabel::Positive).unwrap();
+    }
+    for i in 4..10 {
+        ds.push(make_bag(i, false), BagLabel::Negative).unwrap();
+    }
+    ds
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let ds = dataset();
+    let objective = DdObjective::new(&ds, Parameterization::FixedWeights);
+    let start = Parameterization::FixedWeights.start_from(ds.positives()[0].instance(0));
+
+    let mut group = c.benchmark_group("dd_unconstrained_solvers");
+    group.sample_size(20);
+    group.bench_function("steepest_descent", |b| {
+        let opts = GradientDescentOptions {
+            max_iterations: 200,
+            ..Default::default()
+        };
+        b.iter(|| gradient_descent(&objective, std::hint::black_box(&start), &opts))
+    });
+    group.bench_function("conjugate_gradient", |b| {
+        let opts = ConjugateGradientOptions {
+            max_iterations: 200,
+            ..Default::default()
+        };
+        b.iter(|| conjugate_gradient(&objective, std::hint::black_box(&start), &opts))
+    });
+    group.bench_function("lbfgs", |b| {
+        let opts = LbfgsOptions {
+            max_iterations: 200,
+            ..Default::default()
+        };
+        b.iter(|| lbfgs(&objective, std::hint::black_box(&start), &opts))
+    });
+    group.finish();
+
+    // Sanity outside the timed loops: all three land on comparable optima.
+    let gd = gradient_descent(
+        &objective,
+        &start,
+        &GradientDescentOptions {
+            max_iterations: 2000,
+            ..Default::default()
+        },
+    );
+    let cg = conjugate_gradient(
+        &objective,
+        &start,
+        &ConjugateGradientOptions {
+            max_iterations: 2000,
+            ..Default::default()
+        },
+    );
+    let lb = lbfgs(
+        &objective,
+        &start,
+        &LbfgsOptions {
+            max_iterations: 2000,
+            ..Default::default()
+        },
+    );
+    assert!(
+        (gd.value - lb.value).abs() < 0.5 && (cg.value - lb.value).abs() < 0.5,
+        "solvers should find comparable optima: gd {} cg {} lbfgs {}",
+        gd.value,
+        cg.value,
+        lb.value
+    );
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Persistence benchmarks: saving and loading a preprocessed database
+//! (the "preprocess once, query forever" path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milr_core::{storage, RetrievalDatabase};
+use milr_mil::Bag;
+
+fn database(images: usize) -> RetrievalDatabase {
+    let dim = 100;
+    let bags: Vec<Bag> = (0..images)
+        .map(|i| {
+            let instances: Vec<Vec<f32>> = (0..40)
+                .map(|j| {
+                    (0..dim)
+                        .map(|k| {
+                            (((i * 7919 + j * 104_729 + k * 1_299_709) % 1000) as f32 / 500.0) - 1.0
+                        })
+                        .collect()
+                })
+                .collect();
+            Bag::new(instances).unwrap()
+        })
+        .collect();
+    let labels = (0..images).map(|i| i % 5).collect();
+    RetrievalDatabase::from_bags(bags, labels).unwrap()
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let db = database(100);
+    let dir = std::env::temp_dir().join("milr_storage_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.milrdb");
+
+    let mut group = c.benchmark_group("storage_100_images");
+    group.sample_size(20);
+    group.bench_function("save", |b| {
+        b.iter(|| storage::save_database(std::hint::black_box(&db), &path).unwrap())
+    });
+    storage::save_database(&db, &path).unwrap();
+    group.bench_function("load", |b| {
+        b.iter(|| storage::load_database(std::hint::black_box(&path)).unwrap())
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! End-to-end Diverse Density training benchmarks: one multi-start train
+//! per weight policy on a query-sized dataset, plus the §4.3 start-subset
+//! speed-up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milr_mil::{train, Bag, BagLabel, MilDataset, StartBags, TrainOptions, WeightPolicy};
+
+/// A query-shaped dataset, scaled down (16-dim features, 8 instances per
+/// bag) so a single Criterion sample stays in the tens of milliseconds.
+fn dataset() -> MilDataset {
+    let dim = 16;
+    let mut ds = MilDataset::new();
+    let make_bag = |bag_seed: usize, concept: bool| {
+        let instances: Vec<Vec<f32>> = (0..8)
+            .map(|j| {
+                (0..dim)
+                    .map(|k| {
+                        let noise = (((bag_seed * 7919 + j * 104729 + k * 1299709) % 1000) as f32
+                            / 500.0)
+                            - 1.0;
+                        // The first instance of concept bags carries a
+                        // shared pattern.
+                        if concept && j == 0 {
+                            (k as f32 * 0.3).sin() + 0.05 * noise
+                        } else {
+                            noise * 2.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Bag::new(instances).unwrap()
+    };
+    for i in 0..4 {
+        ds.push(make_bag(i, true), BagLabel::Positive).unwrap();
+    }
+    for i in 4..10 {
+        ds.push(make_bag(i, false), BagLabel::Negative).unwrap();
+    }
+    ds
+}
+
+fn options(policy: WeightPolicy) -> TrainOptions {
+    TrainOptions {
+        policy,
+        threads: 1, // single-threaded so the benchmark measures work, not scheduling
+        max_iterations: 50,
+        ..TrainOptions::default()
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("original_dd", WeightPolicy::OriginalDd),
+        ("identical_weights", WeightPolicy::Identical),
+        ("alpha_hack_50", WeightPolicy::AlphaHack { alpha: 50.0 }),
+        (
+            "sum_constraint_05",
+            WeightPolicy::SumConstraint { beta: 0.5 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| train(std::hint::black_box(&ds), &options(policy)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_start_subset(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("train_start_subset");
+    group.sample_size(10);
+    for bags in [1usize, 2, 4] {
+        group.bench_function(format!("first_{bags}_of_4_bags"), |b| {
+            let opts = TrainOptions {
+                start_bags: StartBags::First(bags),
+                ..options(WeightPolicy::Identical)
+            };
+            b.iter(|| train(std::hint::black_box(&ds), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_start_subset);
+criterion_main!(benches);

@@ -1,0 +1,402 @@
+//! The preprocessed retrieval database.
+//!
+//! Preprocessing (§3.5) happens once per collection: every image becomes
+//! a [`Bag`] of normalised region features. Queries then only touch bags,
+//! never pixels, so ranking the whole database against a trained concept
+//! is a pure vector workload.
+
+use milr_imgproc::GrayImage;
+use milr_mil::{Bag, Concept};
+
+use crate::config::RetrievalConfig;
+use crate::error::CoreError;
+use crate::features::image_to_bag;
+
+/// A labelled collection of preprocessed image bags.
+#[derive(Debug, Clone)]
+pub struct RetrievalDatabase {
+    bags: Vec<Bag>,
+    labels: Vec<usize>,
+    category_count: usize,
+    feature_dim: usize,
+}
+
+impl RetrievalDatabase {
+    /// Preprocesses `(image, label)` pairs into bags under `config`.
+    ///
+    /// # Errors
+    /// * [`CoreError::BlankImage`] (with the offending index) if an image
+    ///   yields no instances.
+    /// * [`CoreError::Image`] for images incompatible with the layout or
+    ///   resolution.
+    /// * The config is validated first; violations surface as
+    ///   [`CoreError::Mil`] with an explanatory message.
+    pub fn from_labelled_images(
+        images: Vec<(GrayImage, usize)>,
+        config: &RetrievalConfig,
+    ) -> Result<Self, CoreError> {
+        config
+            .validate()
+            .map_err(|msg| CoreError::Mil(milr_mil::MilError::InvalidPolicy(msg)))?;
+        let mut bags = Vec::with_capacity(images.len());
+        let mut labels = Vec::with_capacity(images.len());
+        let mut category_count = 0usize;
+        for (index, (image, label)) in images.into_iter().enumerate() {
+            let bag = image_to_bag(&image, config).map_err(|e| match e {
+                CoreError::BlankImage { .. } => CoreError::BlankImage { index: Some(index) },
+                other => other,
+            })?;
+            category_count = category_count.max(label + 1);
+            bags.push(bag);
+            labels.push(label);
+        }
+        let feature_dim = bags.first().map_or(0, Bag::dim);
+        Ok(Self {
+            bags,
+            labels,
+            category_count,
+            feature_dim,
+        })
+    }
+
+    /// Wraps precomputed bags (e.g. from an alternative feature pipeline
+    /// such as the colour baseline) into a database.
+    ///
+    /// # Errors
+    /// * [`CoreError::Mil`] if `bags` and `labels` disagree in length,
+    ///   are empty, or the bags disagree in dimension.
+    pub fn from_bags(bags: Vec<Bag>, labels: Vec<usize>) -> Result<Self, CoreError> {
+        if bags.len() != labels.len() || bags.is_empty() {
+            return Err(CoreError::Mil(milr_mil::MilError::InvalidPolicy(format!(
+                "need equal, non-zero bag ({}) and label ({}) counts",
+                bags.len(),
+                labels.len()
+            ))));
+        }
+        let feature_dim = bags[0].dim();
+        for bag in &bags {
+            if bag.dim() != feature_dim {
+                return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                    expected: feature_dim,
+                    actual: bag.dim(),
+                }));
+            }
+        }
+        let category_count = labels.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Self {
+            bags,
+            labels,
+            category_count,
+            feature_dim,
+        })
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether the database holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Number of distinct categories (max label + 1).
+    pub fn category_count(&self) -> usize {
+        self.category_count
+    }
+
+    /// Feature dimension of the bags (`h²`).
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The bag of one image.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::IndexOutOfBounds`] for bad indices.
+    pub fn bag(&self, index: usize) -> Result<&Bag, CoreError> {
+        self.bags.get(index).ok_or(CoreError::IndexOutOfBounds {
+            index,
+            len: self.bags.len(),
+        })
+    }
+
+    /// Category label of one image.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::IndexOutOfBounds`] for bad indices.
+    pub fn label(&self, index: usize) -> Result<usize, CoreError> {
+        self.labels
+            .get(index)
+            .copied()
+            .ok_or(CoreError::IndexOutOfBounds {
+                index,
+                len: self.labels.len(),
+            })
+    }
+
+    /// All labels, in image order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Ranks `candidates` by ascending bag distance to the concept
+    /// (§3.5: "ranks all images based on their weighted Euclidean
+    /// distances to the ideal point"). Ties break by index for
+    /// determinism.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::IndexOutOfBounds`] if any candidate index is
+    /// invalid.
+    pub fn rank(
+        &self,
+        concept: &Concept,
+        candidates: &[usize],
+    ) -> Result<Vec<(usize, f64)>, CoreError> {
+        let mut scored = Vec::with_capacity(candidates.len());
+        for &index in candidates {
+            let bag = self.bag(index)?;
+            scored.push((index, concept.bag_distance_sq(bag)));
+        }
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("bag distances are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Ok(scored)
+    }
+
+    /// Indices of all images carrying `category`, in index order.
+    pub fn category_members(&self, category: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.labels[i] == category)
+            .collect()
+    }
+
+    /// Appends one new image to the database without touching existing
+    /// bags ("the system would not be able to deal with any new pictures
+    /// not labelled before" is the text-label weakness §1.1 criticises —
+    /// content-based preprocessing extends incrementally). Returns the
+    /// new image's index.
+    ///
+    /// # Errors
+    /// * [`CoreError::BlankImage`] for contrast-free images.
+    /// * [`CoreError::Mil`] if `config` produces a feature dimension
+    ///   different from the database's.
+    pub fn push_image(
+        &mut self,
+        image: &GrayImage,
+        label: usize,
+        config: &RetrievalConfig,
+    ) -> Result<usize, CoreError> {
+        let bag = image_to_bag(image, config).map_err(|e| match e {
+            CoreError::BlankImage { .. } => CoreError::BlankImage {
+                index: Some(self.len()),
+            },
+            other => other,
+        })?;
+        self.push_bag(bag, label)
+    }
+
+    /// Appends a precomputed bag (alternative feature pipelines).
+    /// Returns the new index.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Mil`] on a feature-dimension mismatch.
+    pub fn push_bag(&mut self, bag: Bag, label: usize) -> Result<usize, CoreError> {
+        if bag.dim() != self.feature_dim {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: self.feature_dim,
+                actual: bag.dim(),
+            }));
+        }
+        self.bags.push(bag);
+        self.labels.push(label);
+        self.category_count = self.category_count.max(label + 1);
+        Ok(self.bags.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_mil::Concept;
+
+    fn textured_image(seed: usize) -> GrayImage {
+        GrayImage::from_fn(64, 48, move |x, y| {
+            ((x * (7 + seed) + y * (13 + seed * 3)) % 223) as f32
+        })
+        .unwrap()
+    }
+
+    fn config() -> RetrievalConfig {
+        RetrievalConfig {
+            threads: 1,
+            ..RetrievalConfig::default()
+        }
+    }
+
+    fn db() -> RetrievalDatabase {
+        let images = (0..6)
+            .map(|i| (textured_image(i), i % 2))
+            .collect::<Vec<_>>();
+        RetrievalDatabase::from_labelled_images(images, &config()).unwrap()
+    }
+
+    #[test]
+    fn preprocessing_preserves_order_and_labels() {
+        let d = db();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.category_count(), 2);
+        assert_eq!(d.labels(), &[0, 1, 0, 1, 0, 1]);
+        assert_eq!(d.feature_dim(), 100);
+        assert_eq!(d.category_members(0), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn bag_and_label_bounds_checked() {
+        let d = db();
+        assert!(d.bag(5).is_ok());
+        assert!(matches!(d.bag(6), Err(CoreError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            d.label(9),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn blank_image_error_carries_index() {
+        let mut images: Vec<(GrayImage, usize)> = (0..2).map(|i| (textured_image(i), 0)).collect();
+        images.push((GrayImage::filled(64, 48, 5.0).unwrap(), 0));
+        let err = RetrievalDatabase::from_labelled_images(images, &config());
+        match err {
+            Err(CoreError::BlankImage { index: Some(2) }) => {}
+            other => panic!("expected BlankImage at 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected_up_front() {
+        let cfg = RetrievalConfig {
+            resolution: 1,
+            ..config()
+        };
+        let err = RetrievalDatabase::from_labelled_images(vec![(textured_image(0), 0)], &cfg);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rank_orders_by_distance() {
+        let d = db();
+        // A concept sitting exactly on one instance of image 3 must rank
+        // image 3 first with distance ~0.
+        let target: Vec<f64> = d
+            .bag(3)
+            .unwrap()
+            .instance(0)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
+        let ranking = d.rank(&concept, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(ranking[0].0, 3);
+        assert!(ranking[0].1 < 1e-9);
+        for pair in ranking.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "ranking must be sorted");
+        }
+    }
+
+    #[test]
+    fn rank_respects_candidate_subset() {
+        let d = db();
+        let target: Vec<f64> = d
+            .bag(3)
+            .unwrap()
+            .instance(0)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
+        let ranking = d.rank(&concept, &[0, 2, 4]).unwrap();
+        assert_eq!(ranking.len(), 3);
+        assert!(ranking.iter().all(|&(i, _)| [0, 2, 4].contains(&i)));
+    }
+
+    #[test]
+    fn from_bags_wraps_precomputed_features() {
+        use milr_mil::Bag;
+        let bags = vec![
+            Bag::new(vec![vec![0.0, 1.0]]).unwrap(),
+            Bag::new(vec![vec![1.0, 0.0], vec![0.5, 0.5]]).unwrap(),
+        ];
+        let d = RetrievalDatabase::from_bags(bags, vec![0, 1]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.category_count(), 2);
+    }
+
+    #[test]
+    fn from_bags_validates_inputs() {
+        use milr_mil::Bag;
+        let bag2 = Bag::new(vec![vec![0.0, 1.0]]).unwrap();
+        let bag3 = Bag::new(vec![vec![0.0, 1.0, 2.0]]).unwrap();
+        assert!(RetrievalDatabase::from_bags(vec![], vec![]).is_err());
+        assert!(RetrievalDatabase::from_bags(vec![bag2.clone()], vec![0, 1]).is_err());
+        assert!(RetrievalDatabase::from_bags(vec![bag2, bag3], vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn push_image_extends_the_database() {
+        let mut d = db();
+        let before = d.len();
+        let idx = d
+            .push_image(&textured_image(99), 3, &config())
+            .expect("push succeeds");
+        assert_eq!(idx, before);
+        assert_eq!(d.len(), before + 1);
+        assert_eq!(d.label(idx).unwrap(), 3);
+        assert_eq!(d.category_count(), 4, "new label grows the category count");
+        // The new image is rankable like any other.
+        let target: Vec<f64> = d
+            .bag(idx)
+            .unwrap()
+            .instance(0)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
+        let ranking = d.rank(&concept, &[0, idx]).unwrap();
+        assert_eq!(ranking[0].0, idx);
+    }
+
+    #[test]
+    fn push_image_rejects_dimension_mismatch_and_blank() {
+        let mut d = db();
+        // A config with a different resolution changes the feature dim.
+        let other = RetrievalConfig {
+            resolution: 6,
+            ..config()
+        };
+        assert!(matches!(
+            d.push_image(&textured_image(1), 0, &other),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+        let flat = GrayImage::filled(64, 48, 1.0).unwrap();
+        match d.push_image(&flat, 0, &config()) {
+            Err(CoreError::BlankImage { index: Some(i) }) => assert_eq!(i, d.len()),
+            other => panic!("expected BlankImage, got {other:?}"),
+        }
+        assert_eq!(d.len(), 6, "failed pushes must not mutate the database");
+    }
+
+    #[test]
+    fn rank_rejects_bad_candidates() {
+        let d = db();
+        let concept = Concept::new(vec![0.0; 100], vec![1.0; 100]);
+        assert!(matches!(
+            d.rank(&concept, &[0, 99]),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+}

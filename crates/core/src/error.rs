@@ -1,0 +1,133 @@
+//! Error type of the retrieval system.
+
+use std::fmt;
+
+use milr_imgproc::ImageError;
+use milr_mil::MilError;
+
+/// Errors surfaced by preprocessing, training and querying.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An image yielded no usable instances: every region fell below the
+    /// variance threshold and even the whole-image fallback was flat.
+    BlankImage {
+        /// Index of the offending image in its collection, when known.
+        index: Option<usize>,
+    },
+    /// The query has no positive examples of the target category to
+    /// start from.
+    NoExamples,
+    /// A ranking was requested before any training round had run.
+    NotTrained,
+    /// A referenced category does not exist in the database.
+    UnknownCategory {
+        /// The requested category index.
+        category: usize,
+        /// Number of categories present.
+        available: usize,
+    },
+    /// An index referenced an image outside the database.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Database size.
+        len: usize,
+    },
+    /// An underlying image-processing failure.
+    Image(ImageError),
+    /// An underlying multiple-instance learning failure.
+    Mil(MilError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BlankImage { index: Some(i) } => {
+                write!(f, "image {i} yielded no usable instances (flat content)")
+            }
+            Self::BlankImage { index: None } => {
+                write!(f, "image yielded no usable instances (flat content)")
+            }
+            Self::NoExamples => write!(f, "the query has no positive examples"),
+            Self::NotTrained => {
+                write!(
+                    f,
+                    "no concept has been trained yet; run a training round first"
+                )
+            }
+            Self::UnknownCategory {
+                category,
+                available,
+            } => {
+                write!(
+                    f,
+                    "category {category} does not exist ({available} categories)"
+                )
+            }
+            Self::IndexOutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "image index {index} out of bounds (database holds {len})"
+                )
+            }
+            Self::Image(e) => write!(f, "image processing failed: {e}"),
+            Self::Mil(e) => write!(f, "training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Image(e) => Some(e),
+            Self::Mil(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImageError> for CoreError {
+    fn from(e: ImageError) -> Self {
+        Self::Image(e)
+    }
+}
+
+impl From<MilError> for CoreError {
+    fn from(e: MilError) -> Self {
+        Self::Mil(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_identify_the_problem() {
+        assert!(CoreError::BlankImage { index: Some(3) }
+            .to_string()
+            .contains("image 3"));
+        assert!(CoreError::NoExamples
+            .to_string()
+            .contains("positive examples"));
+        let e = CoreError::UnknownCategory {
+            category: 9,
+            available: 5,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('5'));
+        let e = CoreError::IndexOutOfBounds { index: 10, len: 4 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_sources() {
+        use std::error::Error as _;
+        let e = CoreError::from(MilError::NoPositiveBags);
+        assert!(e.source().is_some());
+        let e = CoreError::from(ImageError::InvalidDimensions {
+            width: 0,
+            height: 0,
+        });
+        assert!(e.source().is_some());
+    }
+}

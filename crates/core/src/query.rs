@@ -1,0 +1,575 @@
+//! Query sessions with simulated relevance feedback (§3.5, §4.1).
+//!
+//! A [`QuerySession`] reproduces the paper's evaluation protocol:
+//!
+//! 1. initial positive and negative example images are drawn from the
+//!    *potential training set* (the pool whose labels the system may
+//!    consult — standing in for the human user's selections);
+//! 2. the Diverse Density concept is trained and the pool is ranked;
+//! 3. the top false positives become additional negative examples ("the
+//!    system picks out top 5 false positives from the potential training
+//!    set and adds them to the negative examples");
+//! 4. steps 2–3 repeat for the configured number of rounds (3 by
+//!    default), after which retrieval is scored on the disjoint test set.
+
+use milr_mil::{train, BagLabel, Concept, MilDataset};
+
+use crate::config::RetrievalConfig;
+use crate::database::RetrievalDatabase;
+use crate::error::CoreError;
+
+/// A ranking: image indices with their (squared) concept distances,
+/// ascending.
+pub type Ranking = Vec<(usize, f64)>;
+
+/// One retrieval query against a preprocessed database.
+#[derive(Debug)]
+pub struct QuerySession<'a> {
+    db: &'a RetrievalDatabase,
+    config: &'a RetrievalConfig,
+    target: usize,
+    pool: Vec<usize>,
+    test: Vec<usize>,
+    positives: Vec<usize>,
+    negatives: Vec<usize>,
+    concept: Option<Concept>,
+    nldd: f64,
+    rounds_run: usize,
+}
+
+impl<'a> QuerySession<'a> {
+    /// Opens a session for `target` category with an explicit
+    /// pool / test split (both are database indices).
+    ///
+    /// Initial examples are chosen deterministically from the pool: the
+    /// first `initial_positives` images of the target category, and
+    /// `initial_negatives` non-target images taken round-robin across the
+    /// other categories (maximising diversity, as a user would).
+    ///
+    /// # Errors
+    /// * [`CoreError::UnknownCategory`] / [`CoreError::IndexOutOfBounds`]
+    ///   for invalid arguments.
+    /// * [`CoreError::NoExamples`] when the pool holds no target images.
+    pub fn new(
+        db: &'a RetrievalDatabase,
+        config: &'a RetrievalConfig,
+        target: usize,
+        pool: Vec<usize>,
+        test: Vec<usize>,
+    ) -> Result<Self, CoreError> {
+        if target >= db.category_count() {
+            return Err(CoreError::UnknownCategory {
+                category: target,
+                available: db.category_count(),
+            });
+        }
+        for &i in pool.iter().chain(&test) {
+            if i >= db.len() {
+                return Err(CoreError::IndexOutOfBounds {
+                    index: i,
+                    len: db.len(),
+                });
+            }
+        }
+
+        let positives: Vec<usize> = pool
+            .iter()
+            .copied()
+            .filter(|&i| db.labels()[i] == target)
+            .take(config.initial_positives)
+            .collect();
+        if positives.is_empty() {
+            return Err(CoreError::NoExamples);
+        }
+
+        let negatives = pick_diverse_negatives(db, &pool, target, config.initial_negatives);
+
+        Ok(Self {
+            db,
+            config,
+            target,
+            pool,
+            test,
+            positives,
+            negatives,
+            concept: None,
+            nldd: f64::INFINITY,
+            rounds_run: 0,
+        })
+    }
+
+    /// The target category.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Current positive example indices.
+    pub fn positives(&self) -> &[usize] {
+        &self.positives
+    }
+
+    /// Current negative example indices.
+    pub fn negatives(&self) -> &[usize] {
+        &self.negatives
+    }
+
+    /// The trained concept, if a round has run.
+    pub fn concept(&self) -> Option<&Concept> {
+        self.concept.as_ref()
+    }
+
+    /// `−log DD` of the current concept (infinite before training).
+    pub fn nldd(&self) -> f64 {
+        self.nldd
+    }
+
+    /// Training rounds completed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Trains on the current examples and ranks the pool.
+    ///
+    /// # Errors
+    /// Propagates training failures.
+    pub fn run_round(&mut self) -> Result<Ranking, CoreError> {
+        let mut dataset = MilDataset::new();
+        for &i in &self.positives {
+            dataset.push(self.db.bag(i)?.clone(), BagLabel::Positive)?;
+        }
+        for &i in &self.negatives {
+            dataset.push(self.db.bag(i)?.clone(), BagLabel::Negative)?;
+        }
+        let result = train(&dataset, &self.config.train_options())?;
+        self.nldd = result.nldd;
+        self.concept = Some(result.concept);
+        self.rounds_run += 1;
+        self.rank_pool()
+    }
+
+    /// Ranks the pool with the current concept.
+    ///
+    /// # Errors
+    /// [`CoreError::NotTrained`] before the first round.
+    pub fn rank_pool(&self) -> Result<Ranking, CoreError> {
+        let concept = self.concept.as_ref().ok_or(CoreError::NotTrained)?;
+        self.db.rank(concept, &self.pool)
+    }
+
+    /// Ranks the test set with the current concept.
+    ///
+    /// # Errors
+    /// [`CoreError::NotTrained`] before the first round.
+    pub fn rank_test(&self) -> Result<Ranking, CoreError> {
+        let concept = self.concept.as_ref().ok_or(CoreError::NotTrained)?;
+        self.db.rank(concept, &self.test)
+    }
+
+    /// Simulates user feedback: promotes up to `count` top-ranked false
+    /// positives from the pool to negative examples. Returns how many
+    /// were added (fewer when the pool runs out of fresh mistakes).
+    ///
+    /// # Errors
+    /// [`CoreError::NotTrained`] before the first round.
+    pub fn add_false_positives(&mut self, count: usize) -> Result<usize, CoreError> {
+        let ranking = self.rank_pool()?;
+        let mut added = 0;
+        for (index, _) in ranking {
+            if added == count {
+                break;
+            }
+            if self.db.labels()[index] != self.target
+                && !self.negatives.contains(&index)
+                && !self.positives.contains(&index)
+            {
+                self.negatives.push(index);
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Simulates the other half of §3.5's feedback ("picking out false
+    /// positives **and/or false negatives**"): promotes up to `count`
+    /// *lowest-ranked* target-category pool images — relevant images the
+    /// current concept placed deep in the ranking — to positive
+    /// examples. Returns how many were added.
+    ///
+    /// # Errors
+    /// [`CoreError::NotTrained`] before the first round.
+    pub fn add_false_negatives(&mut self, count: usize) -> Result<usize, CoreError> {
+        let ranking = self.rank_pool()?;
+        let mut added = 0;
+        for &(index, _) in ranking.iter().rev() {
+            if added == count {
+                break;
+            }
+            if self.db.labels()[index] == self.target
+                && !self.positives.contains(&index)
+                && !self.negatives.contains(&index)
+            {
+                self.positives.push(index);
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Runs the full protocol: `feedback_rounds` rounds of train/rank
+    /// with false-positive promotion between rounds, then ranks the test
+    /// set.
+    ///
+    /// # Errors
+    /// Propagates training failures.
+    pub fn run(&mut self) -> Result<Ranking, CoreError> {
+        for round in 0..self.config.feedback_rounds {
+            self.run_round()?;
+            if round + 1 < self.config.feedback_rounds {
+                self.add_false_positives(self.config.false_positives_per_round)?;
+            }
+        }
+        self.rank_test()
+    }
+}
+
+/// Queries a database with *external* example images — pictures the user
+/// supplies that are not part of the collection (the interactive use the
+/// paper's Fig. 3-6 depicts, as opposed to the §4.1 evaluation protocol
+/// where examples come from the labelled pool).
+///
+/// Trains one Diverse Density concept on the example bags and ranks
+/// `candidates`. No feedback rounds are possible (external examples have
+/// no pool labels to consult), so this is the single-round query.
+///
+/// Returns the learned concept together with the ranking.
+///
+/// # Errors
+/// * [`CoreError::NoExamples`] when `positives` is empty.
+/// * [`CoreError::Mil`] for bag-dimension mismatches with the database
+///   or training failures.
+/// * [`CoreError::IndexOutOfBounds`] for bad candidate indices.
+pub fn query_with_examples(
+    db: &RetrievalDatabase,
+    config: &RetrievalConfig,
+    positives: &[milr_mil::Bag],
+    negatives: &[milr_mil::Bag],
+    candidates: &[usize],
+) -> Result<(Concept, Ranking), CoreError> {
+    if positives.is_empty() {
+        return Err(CoreError::NoExamples);
+    }
+    let mut dataset = MilDataset::new();
+    for bag in positives {
+        if bag.dim() != db.feature_dim() {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: db.feature_dim(),
+                actual: bag.dim(),
+            }));
+        }
+        dataset.push(bag.clone(), BagLabel::Positive)?;
+    }
+    for bag in negatives {
+        dataset.push(bag.clone(), BagLabel::Negative)?;
+    }
+    let result = train(&dataset, &config.train_options())?;
+    let ranking = db.rank(&result.concept, candidates)?;
+    Ok((result.concept, ranking))
+}
+
+/// Picks `count` non-target pool images, cycling across the other
+/// categories so the negatives are diverse.
+fn pick_diverse_negatives(
+    db: &RetrievalDatabase,
+    pool: &[usize],
+    target: usize,
+    count: usize,
+) -> Vec<usize> {
+    let mut per_category: Vec<Vec<usize>> = vec![Vec::new(); db.category_count()];
+    for &i in pool {
+        let label = db.labels()[i];
+        if label != target {
+            per_category[label].push(i);
+        }
+    }
+    let mut negatives = Vec::with_capacity(count);
+    let mut depth = 0usize;
+    while negatives.len() < count {
+        let mut any = false;
+        for members in &per_category {
+            if let Some(&index) = members.get(depth) {
+                negatives.push(index);
+                any = true;
+                if negatives.len() == count {
+                    break;
+                }
+            }
+        }
+        if !any {
+            break; // pool exhausted
+        }
+        depth += 1;
+    }
+    negatives
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_imgproc::GrayImage;
+    use milr_mil::WeightPolicy;
+
+    /// Two synthetic "categories" with very different gray structure:
+    /// category 0 = bright vertical center band, category 1 = horizontal
+    /// gradient, plus per-image deterministic jitter.
+    fn image(category: usize, variant: usize) -> GrayImage {
+        GrayImage::from_fn(64, 48, move |x, y| {
+            let noise = ((x * (3 + variant) + y * (7 + 2 * variant)) % 31) as f32;
+            match category {
+                0 => {
+                    let band = if (24..40).contains(&x) { 200.0 } else { 60.0 };
+                    band + noise
+                }
+                _ => (x as f32 / 63.0) * 180.0 + 20.0 + noise,
+            }
+        })
+        .unwrap()
+    }
+
+    fn config() -> RetrievalConfig {
+        RetrievalConfig {
+            threads: 1,
+            max_iterations: 40,
+            initial_positives: 2,
+            initial_negatives: 2,
+            feedback_rounds: 2,
+            false_positives_per_round: 1,
+            policy: WeightPolicy::Identical,
+            ..RetrievalConfig::default()
+        }
+    }
+
+    fn database() -> RetrievalDatabase {
+        // 6 of each category; indices 0..6 are category 0.
+        let mut images = Vec::new();
+        for v in 0..6 {
+            images.push((image(0, v), 0));
+        }
+        for v in 0..6 {
+            images.push((image(1, v), 1));
+        }
+        RetrievalDatabase::from_labelled_images(images, &config()).unwrap()
+    }
+
+    #[test]
+    fn session_selects_initial_examples_from_pool() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let test = vec![3, 4, 5, 9, 10, 11];
+        let session = QuerySession::new(&db, &cfg, 0, pool, test).unwrap();
+        assert_eq!(session.positives(), &[0, 1]);
+        assert_eq!(session.negatives(), &[6, 7]);
+        assert_eq!(session.rounds_run(), 0);
+        assert!(session.concept().is_none());
+    }
+
+    #[test]
+    fn ranking_before_training_fails() {
+        let db = database();
+        let cfg = config();
+        let session = QuerySession::new(&db, &cfg, 0, vec![0, 6], vec![1, 7]).unwrap();
+        assert!(matches!(session.rank_pool(), Err(CoreError::NotTrained)));
+        assert!(matches!(session.rank_test(), Err(CoreError::NotTrained)));
+    }
+
+    #[test]
+    fn one_round_ranks_target_images_first() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let test = vec![3, 4, 5, 9, 10, 11];
+        let mut session = QuerySession::new(&db, &cfg, 0, pool, test).unwrap();
+        let ranking = session.run_round().unwrap();
+        assert_eq!(ranking.len(), 6);
+        // The three category-0 pool images must outrank the three
+        // category-1 images.
+        let top3: Vec<usize> = ranking.iter().take(3).map(|&(i, _)| i).collect();
+        for i in top3 {
+            assert_eq!(
+                db.labels()[i],
+                0,
+                "rank head must be category 0: {ranking:?}"
+            );
+        }
+        assert!(session.nldd().is_finite());
+    }
+
+    #[test]
+    fn test_ranking_generalises() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let test = vec![3, 4, 5, 9, 10, 11];
+        let mut session = QuerySession::new(&db, &cfg, 0, pool, test).unwrap();
+        let ranking = session.run().unwrap();
+        let top3: Vec<usize> = ranking.iter().take(3).map(|&(i, _)| i).collect();
+        for i in top3 {
+            assert_eq!(
+                db.labels()[i],
+                0,
+                "test head must be category 0: {ranking:?}"
+            );
+        }
+        assert_eq!(session.rounds_run(), 2);
+    }
+
+    #[test]
+    fn false_positive_promotion_adds_fresh_negatives() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let mut session = QuerySession::new(&db, &cfg, 0, pool, vec![3, 9]).unwrap();
+        session.run_round().unwrap();
+        let before = session.negatives().len();
+        let added = session.add_false_positives(1).unwrap();
+        assert_eq!(session.negatives().len(), before + added);
+        // Promoted items are non-target and new.
+        for &i in &session.negatives()[before..] {
+            assert_ne!(db.labels()[i], 0);
+        }
+        // Exhausting the pool caps the additions.
+        let added2 = session.add_false_positives(100).unwrap();
+        assert!(
+            added2 <= 1,
+            "only one non-target pool image remains, added {added2}"
+        );
+    }
+
+    #[test]
+    fn false_negative_promotion_adds_fresh_positives() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 3, 6, 7];
+        let mut session = QuerySession::new(&db, &cfg, 0, pool, vec![4, 9]).unwrap();
+        session.run_round().unwrap();
+        let before = session.positives().len();
+        let added = session.add_false_negatives(1).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(session.positives().len(), before + 1);
+        // The new positive really is a target-category image not yet used.
+        let new = *session.positives().last().unwrap();
+        assert_eq!(db.labels()[new], 0);
+        // Exhausting the pool caps further additions: pool has 4 target
+        // images, 2 initial + 1 promoted = 3 used.
+        let added2 = session.add_false_negatives(10).unwrap();
+        assert_eq!(added2, 1, "only one unused target pool image remains");
+        // Promotions never duplicate.
+        let mut sorted = session.positives().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), session.positives().len());
+    }
+
+    #[test]
+    fn false_negatives_require_training_first() {
+        let db = database();
+        let cfg = config();
+        let mut session = QuerySession::new(&db, &cfg, 0, vec![0, 1, 6], vec![2]).unwrap();
+        assert!(matches!(
+            session.add_false_negatives(1),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let db = database();
+        let cfg = config();
+        assert!(matches!(
+            QuerySession::new(&db, &cfg, 5, vec![0], vec![1]),
+            Err(CoreError::UnknownCategory { .. })
+        ));
+        assert!(matches!(
+            QuerySession::new(&db, &cfg, 0, vec![99], vec![1]),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+        // Pool without target images.
+        assert!(matches!(
+            QuerySession::new(&db, &cfg, 0, vec![6, 7], vec![1]),
+            Err(CoreError::NoExamples)
+        ));
+    }
+
+    #[test]
+    fn external_example_query_ranks_like_images() {
+        use crate::features::image_to_bag;
+        let db = database();
+        let cfg = config();
+        // External examples: fresh renders of category 0 and 1 (variants
+        // the database has never seen).
+        let pos = vec![
+            image_to_bag(&image(0, 20), &cfg).unwrap(),
+            image_to_bag(&image(0, 21), &cfg).unwrap(),
+        ];
+        let neg = vec![image_to_bag(&image(1, 22), &cfg).unwrap()];
+        let candidates: Vec<usize> = (0..12).collect();
+        let (concept, ranking) = query_with_examples(&db, &cfg, &pos, &neg, &candidates).unwrap();
+        assert_eq!(concept.dim(), db.feature_dim());
+        assert_eq!(ranking.len(), 12);
+        let top3: Vec<usize> = ranking.iter().take(3).map(|&(i, _)| i).collect();
+        for i in top3 {
+            assert_eq!(
+                db.labels()[i],
+                0,
+                "external category-0 examples must retrieve category 0: {ranking:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn external_query_validates_inputs() {
+        use milr_mil::Bag;
+        let db = database();
+        let cfg = config();
+        // No positives.
+        assert!(matches!(
+            query_with_examples(&db, &cfg, &[], &[], &[0]),
+            Err(CoreError::NoExamples)
+        ));
+        // Wrong dimension.
+        let bad = Bag::new(vec![vec![0.0; 7]]).unwrap();
+        assert!(matches!(
+            query_with_examples(&db, &cfg, &[bad], &[], &[0]),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn diverse_negative_selection_round_robins() {
+        // Three categories in the pool; negatives for target 0 must
+        // alternate between categories 1 and 2 rather than exhausting one.
+        let mut images = Vec::new();
+        for v in 0..2 {
+            images.push((image(0, v), 0));
+        }
+        for v in 0..3 {
+            images.push((image(1, v), 1));
+        }
+        for v in 0..3 {
+            images.push((image(1, v + 10), 2));
+        }
+        let cfg = RetrievalConfig {
+            initial_negatives: 4,
+            ..config()
+        };
+        let db = RetrievalDatabase::from_labelled_images(images, &cfg).unwrap();
+        let pool: Vec<usize> = (0..8).collect();
+        let session = QuerySession::new(&db, &cfg, 0, pool, vec![]).unwrap();
+        let negative_labels: Vec<usize> = session
+            .negatives()
+            .iter()
+            .map(|&i| db.labels()[i])
+            .collect();
+        assert_eq!(negative_labels, vec![1, 2, 1, 2]);
+    }
+}

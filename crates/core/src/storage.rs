@@ -1,0 +1,324 @@
+//! Binary persistence for preprocessed databases and trained concepts.
+//!
+//! Preprocessing a collection (§3.5) is the expensive, embarrassingly
+//! cacheable step — the paper preprocesses its 500-image database once
+//! and answers every query from the bags. This module gives the cache a
+//! durable form: a small versioned little-endian binary format
+//! (`MILR` magic, format version, then labels and per-bag instance
+//! matrices), plus the same for a trained [`Concept`].
+//!
+//! The format is intentionally simple and self-contained — no serde — so
+//! corrupted or truncated files fail loudly with a useful message.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use milr_mil::{Bag, Concept};
+
+use crate::database::RetrievalDatabase;
+use crate::error::CoreError;
+
+const MAGIC: &[u8; 4] = b"MILR";
+const DB_VERSION: u32 = 1;
+const DB_KIND: u8 = 1;
+const CONCEPT_KIND: u8 = 2;
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Image(milr_imgproc::ImageError::Io(e))
+}
+
+fn format_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Image(milr_imgproc::ImageError::PnmParse(format!(
+        "milr storage: {}",
+        msg.into()
+    )))
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), CoreError> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), CoreError> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CoreError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(), CoreError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(format_err("not a milr storage file (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != DB_VERSION {
+        return Err(format_err(format!(
+            "unsupported format version {version} (expected {DB_VERSION})"
+        )));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind).map_err(io_err)?;
+    if kind[0] != expected_kind {
+        return Err(format_err(format!(
+            "wrong payload kind {} (expected {expected_kind})",
+            kind[0]
+        )));
+    }
+    Ok(())
+}
+
+fn write_header<W: Write>(w: &mut W, kind: u8) -> Result<(), CoreError> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    write_u32(w, DB_VERSION)?;
+    w.write_all(&[kind]).map_err(io_err)
+}
+
+/// Writes a preprocessed database to `path`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_database<P: AsRef<Path>>(db: &RetrievalDatabase, path: P) -> Result<(), CoreError> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    write_header(&mut w, DB_KIND)?;
+    write_u64(&mut w, db.len() as u64)?;
+    write_u64(&mut w, db.feature_dim() as u64)?;
+    for i in 0..db.len() {
+        let bag = db.bag(i).expect("index in range");
+        let label = db.label(i).expect("index in range");
+        write_u64(&mut w, label as u64)?;
+        write_u64(&mut w, bag.len() as u64)?;
+        for instance in bag.instances() {
+            for &v in instance {
+                w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+            }
+        }
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a preprocessed database written by [`save_database`].
+///
+/// # Errors
+/// Fails with a descriptive error on wrong magic/version/kind, truncated
+/// data, or internally inconsistent counts.
+pub fn load_database<P: AsRef<Path>>(path: P) -> Result<RetrievalDatabase, CoreError> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+    read_header(&mut r, DB_KIND)?;
+    let count = read_u64(&mut r)? as usize;
+    let dim = read_u64(&mut r)? as usize;
+    if count == 0 || dim == 0 {
+        return Err(format_err("empty database payload"));
+    }
+    // Guard against absurd headers before allocating.
+    if count > 100_000_000 || dim > 100_000_000 {
+        return Err(format_err("implausible database header"));
+    }
+    let mut bags = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        let label = read_u64(&mut r)? as usize;
+        let n_instances = read_u64(&mut r)? as usize;
+        if n_instances == 0 || n_instances > 1_000_000 {
+            return Err(format_err(format!(
+                "implausible instance count {n_instances}"
+            )));
+        }
+        let mut instances = Vec::with_capacity(n_instances);
+        let mut buf = vec![0u8; dim * 4];
+        for _ in 0..n_instances {
+            r.read_exact(&mut buf).map_err(io_err)?;
+            let instance: Vec<f32> = buf
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            instances.push(instance);
+        }
+        bags.push(Bag::new(instances).map_err(CoreError::from)?);
+        labels.push(label);
+    }
+    RetrievalDatabase::from_bags(bags, labels)
+}
+
+/// Writes a trained concept to `path`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), CoreError> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    write_header(&mut w, CONCEPT_KIND)?;
+    write_u64(&mut w, concept.dim() as u64)?;
+    for &v in concept.point() {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    for &v in concept.weights() {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Reads a concept written by [`save_concept`].
+///
+/// # Errors
+/// Same failure modes as [`load_database`].
+pub fn load_concept<P: AsRef<Path>>(path: P) -> Result<Concept, CoreError> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+    read_header(&mut r, CONCEPT_KIND)?;
+    let dim = read_u64(&mut r)? as usize;
+    if dim == 0 || dim > 100_000_000 {
+        return Err(format_err("implausible concept dimension"));
+    }
+    let mut read_f64s = |n: usize| -> Result<Vec<f64>, CoreError> {
+        let mut buf = vec![0u8; n * 8];
+        r.read_exact(&mut buf).map_err(io_err)?;
+        Ok(buf
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    };
+    let point = read_f64s(dim)?;
+    let weights = read_f64s(dim)?;
+    if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+        return Err(format_err(
+            "concept weights must be finite and non-negative",
+        ));
+    }
+    Ok(Concept::new(point, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("milr_storage_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_db() -> RetrievalDatabase {
+        let bags = vec![
+            Bag::new(vec![vec![0.5, -1.5, 2.0], vec![1.0, 0.0, -0.25]]).unwrap(),
+            Bag::new(vec![vec![-3.0, 0.125, 9.5]]).unwrap(),
+            Bag::new(vec![
+                vec![0.0, 0.0, 1.0],
+                vec![2.0, 2.0, 2.0],
+                vec![5.0, -5.0, 0.5],
+            ])
+            .unwrap(),
+        ];
+        RetrievalDatabase::from_bags(bags, vec![0, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let db = sample_db();
+        let path = temp_path("db_roundtrip.milr");
+        save_database(&db, &path).unwrap();
+        let back = load_database(&path).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.feature_dim(), db.feature_dim());
+        assert_eq!(back.labels(), db.labels());
+        for i in 0..db.len() {
+            assert_eq!(back.bag(i).unwrap(), db.bag(i).unwrap());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concept_round_trip() {
+        let concept = Concept::new(vec![1.5, -2.25, 0.0], vec![0.5, 1.0, 0.0]);
+        let path = temp_path("concept_roundtrip.milr");
+        save_concept(&concept, &path).unwrap();
+        let back = load_concept(&path).unwrap();
+        assert_eq!(back, concept);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("bad_magic.milr");
+        std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x01").unwrap();
+        let err = load_database(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        // A concept file is not a database file.
+        let concept = Concept::new(vec![1.0], vec![1.0]);
+        let path = temp_path("kind_mismatch.milr");
+        save_concept(&concept, &path).unwrap();
+        let err = load_database(&path).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let db = sample_db();
+        let path = temp_path("truncated.milr");
+        save_database(&db, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_database(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let path = temp_path("future_version.milr");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.push(DB_KIND);
+        std::fs::write(&path, bytes).unwrap();
+        let err = load_database(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn negative_weights_in_concept_file_rejected() {
+        // Hand-craft a concept payload with a negative weight.
+        let path = temp_path("negative_weight.milr");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&DB_VERSION.to_le_bytes());
+        bytes.push(CONCEPT_KIND);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&1.0f64.to_le_bytes()); // point
+        bytes.extend_from_slice(&(-1.0f64).to_le_bytes()); // weight
+        std::fs::write(&path, bytes).unwrap();
+        let err = load_concept(&path).unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ranking_is_preserved_across_round_trip() {
+        let db = sample_db();
+        let concept = Concept::new(vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 1.0]);
+        let before = db.rank(&concept, &[0, 1, 2]).unwrap();
+        let path = temp_path("rank_preserved.milr");
+        save_database(&db, &path).unwrap();
+        let back = load_database(&path).unwrap();
+        let after = back.rank(&concept, &[0, 1, 2]).unwrap();
+        assert_eq!(before, after);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,265 @@
+//! Correlation-coefficient similarity measures (§3.1.1, §3.3).
+//!
+//! The plain correlation coefficient of two equal-length signals is
+//!
+//! ```text
+//! r = (1/n) Σ (f1(t) − f̄1)(f2(t) − f̄2) / (σ_f1 σ_f2)
+//! ```
+//!
+//! with population (1/n) standard deviations — the paper notes the
+//! `1/(n−1)` convention works identically for its purposes. For 2-D
+//! signals an `m × n` matrix is treated as one `mn`-dimensional vector.
+//!
+//! §3.3 generalises this to the *weighted* correlation coefficient: a
+//! non-negative weight `w_k` per dimension appears in the cross term and
+//! in "weighted" standard deviations, while the means stay unweighted:
+//!
+//! ```text
+//! r_w = (1/n) Σ w_k (f1(k) − f̄1)(f2(k) − f̄2) / (σ'_f1 σ'_f2)
+//! σ'_f = sqrt( (1/n) Σ w_k (f(k) − f̄)² )
+//! ```
+//!
+//! With all weights 1 this reduces exactly to the plain coefficient.
+//! Degenerate inputs (a flat signal, or all-zero weights) have no defined
+//! correlation; these return 0, i.e. "no similarity signal".
+
+use crate::gray::GrayImage;
+
+/// Mean of a slice (empty slices yield 0).
+fn mean(v: &[f32]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len() as f64
+}
+
+/// Plain correlation coefficient of two equal-length signals, in
+/// `[-1, 1]` (clamped against floating-point drift).
+///
+/// Returns 0 when either signal is flat or the slices are empty.
+///
+/// # Examples
+/// ```
+/// use milr_imgproc::correlation;
+///
+/// let f: Vec<f32> = (0..64).map(|t| (t as f32 * 0.2).sin()).collect();
+/// let inverted: Vec<f32> = f.iter().map(|&v| -v).collect();
+/// assert!((correlation(&f, &f) - 1.0).abs() < 1e-9);     // Fig. 3-1(a)
+/// assert!((correlation(&f, &inverted) + 1.0).abs() < 1e-9); // Fig. 3-1(c)
+/// ```
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn correlation(f1: &[f32], f2: &[f32]) -> f64 {
+    assert_eq!(
+        f1.len(),
+        f2.len(),
+        "correlation requires equal-length signals"
+    );
+    if f1.is_empty() {
+        return 0.0;
+    }
+    let n = f1.len() as f64;
+    let m1 = mean(f1);
+    let m2 = mean(f2);
+    let mut cross = 0.0f64;
+    let mut ss1 = 0.0f64;
+    let mut ss2 = 0.0f64;
+    for (&a, &b) in f1.iter().zip(f2) {
+        let d1 = f64::from(a) - m1;
+        let d2 = f64::from(b) - m2;
+        cross += d1 * d2;
+        ss1 += d1 * d1;
+        ss2 += d2 * d2;
+    }
+    let denom = (ss1 / n).sqrt() * (ss2 / n).sqrt();
+    if denom <= f64::EPSILON {
+        return 0.0;
+    }
+    (cross / n / denom).clamp(-1.0, 1.0)
+}
+
+/// Correlation coefficient of two gray images of identical dimensions,
+/// treating each as one long vector (§3.1.1's 2-D form).
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn correlation_2d(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "correlation_2d requires identically-sized images"
+    );
+    correlation(a.pixels(), b.pixels())
+}
+
+/// Weighted correlation coefficient (§3.3) of two equal-length feature
+/// vectors under non-negative per-dimension weights.
+///
+/// Returns 0 for degenerate inputs (flat signal under the weights, or
+/// all-zero weights).
+///
+/// # Panics
+/// Panics if the three slices disagree in length, or any weight is
+/// negative.
+pub fn weighted_correlation(f1: &[f32], f2: &[f32], weights: &[f64]) -> f64 {
+    assert_eq!(
+        f1.len(),
+        f2.len(),
+        "weighted correlation requires equal-length signals"
+    );
+    assert_eq!(f1.len(), weights.len(), "one weight per dimension required");
+    if f1.is_empty() {
+        return 0.0;
+    }
+    let n = f1.len() as f64;
+    let m1 = mean(f1);
+    let m2 = mean(f2);
+    let mut cross = 0.0f64;
+    let mut ss1 = 0.0f64;
+    let mut ss2 = 0.0f64;
+    for ((&a, &b), &w) in f1.iter().zip(f2).zip(weights) {
+        assert!(w >= 0.0, "weights must be non-negative, got {w}");
+        let d1 = f64::from(a) - m1;
+        let d2 = f64::from(b) - m2;
+        cross += w * d1 * d2;
+        ss1 += w * d1 * d1;
+        ss2 += w * d2 * d2;
+    }
+    let denom = (ss1 / n).sqrt() * (ss2 / n).sqrt();
+    if denom <= f64::EPSILON {
+        return 0.0;
+    }
+    (cross / n / denom).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_correlate_perfectly() {
+        // Fig 3-1(a): r = 1.
+        let f: Vec<f32> = (0..32).map(|t| (t as f32 * 0.3).sin()).collect();
+        assert!((correlation(&f, &f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_signals_correlate_negatively() {
+        // Fig 3-1(c): r = -1.
+        let f: Vec<f32> = (0..32).map(|t| (t as f32 * 0.3).sin()).collect();
+        let g: Vec<f32> = f.iter().map(|&v| -v).collect();
+        assert!((correlation(&f, &g) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affine_transform_does_not_change_correlation() {
+        let f: Vec<f32> = (0..20).map(|t| (t * t) as f32).collect();
+        let g: Vec<f32> = f.iter().map(|&v| 3.0 * v + 100.0).collect();
+        assert!((correlation(&f, &g) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_signals_have_near_zero_correlation() {
+        // Fig 3-1(b): r ≈ 0 — a sine against a cosine over whole periods.
+        let n = 360;
+        let f: Vec<f32> = (0..n).map(|t| (t as f32).to_radians().sin()).collect();
+        let g: Vec<f32> = (0..n).map(|t| (t as f32).to_radians().cos()).collect();
+        assert!(correlation(&f, &g).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flat_signal_yields_zero() {
+        let f = vec![5.0f32; 10];
+        let g: Vec<f32> = (0..10).map(|t| t as f32).collect();
+        assert_eq!(correlation(&f, &g), 0.0);
+        assert_eq!(correlation(&g, &f), 0.0);
+    }
+
+    #[test]
+    fn empty_signals_yield_zero() {
+        assert_eq!(correlation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = correlation(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn two_dimensional_matches_flattened() {
+        let a = GrayImage::from_fn(4, 3, |x, y| (x * y) as f32 + 1.0).unwrap();
+        let b = GrayImage::from_fn(4, 3, |x, y| (x + y) as f32).unwrap();
+        assert_eq!(correlation_2d(&a, &b), correlation(a.pixels(), b.pixels()));
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_plain_correlation() {
+        let f: Vec<f32> = (0..25).map(|t| ((t * 3) % 7) as f32).collect();
+        let g: Vec<f32> = (0..25).map(|t| ((t * 5) % 11) as f32).collect();
+        let w = vec![1.0f64; 25];
+        assert!((weighted_correlation(&f, &g, &w) - correlation(&f, &g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weight_scaling_is_invariant() {
+        let f: Vec<f32> = (0..16).map(|t| (t as f32).sqrt()).collect();
+        let g: Vec<f32> = (0..16).map(|t| (t as f32 * 0.5).cos()).collect();
+        let w1 = vec![1.0f64; 16];
+        let w2 = vec![4.0f64; 16];
+        let r1 = weighted_correlation(&f, &g, &w1);
+        let r2 = weighted_correlation(&f, &g, &w2);
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_can_mask_disagreeing_dimensions() {
+        // Two zero-mean vectors agree on the first half and are inverted
+        // on the second; zeroing the disagreeing half pushes the weighted
+        // correlation to 1. (Means stay unweighted per §3.3, so the
+        // construction keeps both means at zero.)
+        let f: Vec<f32> = vec![-2.0, -1.0, 0.0, 1.0, 2.0, -2.0, -1.0, 0.0, 1.0, 2.0];
+        let g: Vec<f32> = vec![-2.0, -1.0, 0.0, 1.0, 2.0, 2.0, 1.0, 0.0, -1.0, -2.0];
+        let mut w = vec![1.0f64; 10];
+        let mixed = weighted_correlation(&f, &g, &w);
+        assert!(
+            mixed < 0.5,
+            "full-vector correlation should be weak, got {mixed}"
+        );
+        for x in &mut w[5..] {
+            *x = 0.0;
+        }
+        let masked = weighted_correlation(&f, &g, &w);
+        assert!(masked > mixed);
+        assert!(
+            masked > 0.99,
+            "masked correlation should be ~1, got {masked}"
+        );
+    }
+
+    #[test]
+    fn all_zero_weights_yield_zero() {
+        let f: Vec<f32> = (0..8).map(|t| t as f32).collect();
+        let w = vec![0.0f64; 8];
+        assert_eq!(weighted_correlation(&f, &f, &w), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let f = [1.0f32, 2.0];
+        let _ = weighted_correlation(&f, &f, &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let f: Vec<f32> = (0..30).map(|t| ((t * 13) % 17) as f32).collect();
+        let g: Vec<f32> = (0..30).map(|t| ((t * 7) % 19) as f32).collect();
+        assert!((correlation(&f, &g) - correlation(&g, &f)).abs() < 1e-12);
+        let w: Vec<f64> = (0..30).map(|t| (t % 3) as f64).collect();
+        assert!(
+            (weighted_correlation(&f, &g, &w) - weighted_correlation(&g, &f, &w)).abs() < 1e-12
+        );
+    }
+}

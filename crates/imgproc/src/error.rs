@@ -1,0 +1,148 @@
+//! Error type shared by the image substrate.
+
+use std::fmt;
+
+/// Errors produced by image construction, region extraction and I/O.
+#[derive(Debug)]
+pub enum ImageError {
+    /// The requested dimensions are zero or would overflow the backing
+    /// buffer length.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+    },
+    /// The provided pixel buffer does not match `width * height`
+    /// (times the channel count for RGB images).
+    BufferSizeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A region falls (partly) outside the image it is applied to.
+    RegionOutOfBounds {
+        /// The offending region, formatted as `x,y,w,h`.
+        region: (usize, usize, usize, usize),
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+    },
+    /// The target resolution for smoothing-and-sampling cannot be met,
+    /// e.g. the region is smaller than the sample grid.
+    ResolutionTooLarge {
+        /// Requested output side length `h`.
+        h: usize,
+        /// Source width.
+        width: usize,
+        /// Source height.
+        height: usize,
+    },
+    /// A PNM stream was malformed.
+    PnmParse(String),
+    /// Underlying I/O failure while reading or writing PNM data.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            Self::BufferSizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer has {actual} elements, expected {expected}")
+            }
+            Self::RegionOutOfBounds {
+                region,
+                width,
+                height,
+            } => {
+                let (x, y, w, h) = region;
+                write!(
+                    f,
+                    "region {x},{y} {w}x{h} exceeds image bounds {width}x{height}"
+                )
+            }
+            Self::ResolutionTooLarge { h, width, height } => {
+                write!(
+                    f,
+                    "cannot sample a {width}x{height} source down to {h}x{h}: \
+                     source is smaller than the sample grid"
+                )
+            }
+            Self::PnmParse(msg) => write!(f, "malformed PNM data: {msg}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_dimensions() {
+        let e = ImageError::InvalidDimensions {
+            width: 0,
+            height: 4,
+        };
+        assert_eq!(e.to_string(), "invalid image dimensions 0x4");
+    }
+
+    #[test]
+    fn display_buffer_mismatch() {
+        let e = ImageError::BufferSizeMismatch {
+            expected: 12,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("9 elements"));
+        assert!(e.to_string().contains("expected 12"));
+    }
+
+    #[test]
+    fn display_region_out_of_bounds() {
+        let e = ImageError::RegionOutOfBounds {
+            region: (8, 8, 4, 4),
+            width: 10,
+            height: 10,
+        };
+        assert!(e.to_string().contains("region 8,8 4x4"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = ImageError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn resolution_error_message_names_sizes() {
+        let e = ImageError::ResolutionTooLarge {
+            h: 10,
+            width: 4,
+            height: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("4x4") && s.contains("10x10"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Left-right mirroring (§3.2).
+//!
+//! "Left-right mirror images occur very frequently in image databases and
+//! we would like to regard them as the same" — so every region contributes
+//! both its sampled matrix and that matrix's horizontal flip as instances.
+//!
+//! Mirroring is applied *after* smoothing-and-sampling: flipping the
+//! `h × h` sample of a region equals sampling the mirrored region exactly
+//! whenever block boundaries land symmetrically (they do up to one pixel
+//! of rounding), and it avoids re-walking the source pixels.
+
+use crate::gray::GrayImage;
+use crate::rgb::RgbImage;
+
+/// Returns the left-right mirror of a gray image.
+pub fn mirror_horizontal(image: &GrayImage) -> GrayImage {
+    let (w, h) = (image.width(), image.height());
+    GrayImage::from_fn(w, h, |x, y| image.get(w - 1 - x, y))
+        .expect("mirror preserves valid dimensions")
+}
+
+/// Flips a gray image in place, avoiding an allocation.
+pub fn mirror_horizontal_in_place(image: &mut GrayImage) {
+    let w = image.width();
+    let h = image.height();
+    let px = image.pixels_mut();
+    for y in 0..h {
+        px[y * w..(y + 1) * w].reverse();
+    }
+}
+
+/// Returns the left-right mirror of an RGB image (pixel order reversed
+/// per row; channel order within each pixel preserved).
+pub fn mirror_horizontal_rgb(image: &RgbImage) -> RgbImage {
+    let (w, h) = (image.width(), image.height());
+    RgbImage::from_fn(w, h, |x, y| image.get(w - 1 - x, y))
+        .expect("mirror preserves valid dimensions")
+}
+
+/// Returns the top-bottom flip of a gray image. Not used by the paper's
+/// pipeline (scenes and objects are rarely vertically symmetric) but kept
+/// for completeness of the substrate.
+pub fn mirror_vertical(image: &GrayImage) -> GrayImage {
+    let (w, h) = (image.width(), image.height());
+    GrayImage::from_fn(w, h, |x, y| image.get(x, h - 1 - y))
+        .expect("mirror preserves valid dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| (y * w + x) as f32).unwrap()
+    }
+
+    #[test]
+    fn horizontal_mirror_reverses_rows() {
+        let img = ramp(3, 2);
+        let m = mirror_horizontal(&img);
+        assert_eq!(m.row(0), &[2.0, 1.0, 0.0]);
+        assert_eq!(m.row(1), &[5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        let img = ramp(5, 4);
+        assert_eq!(mirror_horizontal(&mirror_horizontal(&img)), img);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_version() {
+        let img = ramp(7, 3);
+        let expected = mirror_horizontal(&img);
+        let mut inplace = img;
+        mirror_horizontal_in_place(&mut inplace);
+        assert_eq!(inplace, expected);
+    }
+
+    #[test]
+    fn vertical_mirror_reverses_columns() {
+        let img = ramp(2, 3);
+        let m = mirror_vertical(&img);
+        assert_eq!(m.row(0), &[4.0, 5.0]);
+        assert_eq!(m.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn mirror_preserves_statistics() {
+        let img = ramp(6, 6);
+        let m = mirror_horizontal(&img);
+        assert!((img.mean() - m.mean()).abs() < 1e-6);
+        assert!((img.variance() - m.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rgb_mirror_preserves_channel_order() {
+        let img = RgbImage::from_fn(2, 1, |x, _| [x as f32, 10.0, 20.0]).unwrap();
+        let m = mirror_horizontal_rgb(&img);
+        assert_eq!(m.get(0, 0), [1.0, 10.0, 20.0]);
+        assert_eq!(m.get(1, 0), [0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn symmetric_image_is_mirror_invariant() {
+        let img = GrayImage::from_fn(8, 4, |x, _| {
+            let c = (x as f32) - 3.5;
+            c * c
+        })
+        .unwrap();
+        let m = mirror_horizontal(&img);
+        for (a, b) in img.pixels().iter().zip(m.pixels()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Mean/σ normalisation and the §3.4 correlation↔distance equivalence.
+//!
+//! Define `B = (A − Ā) / σ'_A`, where `Ā` is the mean of `A`'s entries
+//! and `σ'_A` the *weighted* standard deviation
+//! `sqrt((1/n) Σ w_k (A_k − Ā)²)`. The paper proves (§3.4):
+//!
+//! * **Lemma** `Σ w_k B_k² = n`, and consequently
+//! * **Claim** `‖B_ij − B_lm‖²_w = 2n − 2n·Corr_w(A_ij, A_lm)` —
+//!   ranking by weighted Euclidean distance on normalised vectors is
+//!   ranking by weighted correlation on raw vectors, reversed.
+//!
+//! Database preprocessing normalises with all weights 1 (§3.5 step 4:
+//! "All weights are 1 to start with"); the Diverse Density stage then
+//! learns weights on top of the normalised vectors.
+
+use crate::error::ImageError;
+
+/// A feature vector normalised per §3.4, carrying the statistics of the
+/// raw vector it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedVector {
+    /// Normalised entries `(A_k − Ā) / σ'_A`.
+    pub values: Vec<f32>,
+    /// Mean of the raw vector.
+    pub raw_mean: f32,
+    /// Weighted standard deviation of the raw vector (the divisor used).
+    pub raw_std: f32,
+}
+
+impl NormalizedVector {
+    /// Normalises `raw` under unit weights (the preprocessing default).
+    ///
+    /// # Errors
+    /// Returns [`NormalizeError::Empty`] for an empty vector and
+    /// [`NormalizeError::FlatVector`] when the standard deviation is
+    /// (numerically) zero.
+    pub fn unit(raw: &[f32]) -> Result<Self, NormalizeError> {
+        let w = vec![1.0f64; raw.len()];
+        Self::weighted(raw, &w)
+    }
+
+    /// Normalises `raw` using the weighted standard deviation under
+    /// `weights`.
+    ///
+    /// # Errors
+    /// * [`NormalizeError::Empty`] for an empty vector.
+    /// * [`NormalizeError::FlatVector`] when the weighted deviation is
+    ///   (numerically) zero — the paper's variance filter removes such
+    ///   regions before this point.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != raw.len()`.
+    pub fn weighted(raw: &[f32], weights: &[f64]) -> Result<Self, NormalizeError> {
+        assert_eq!(
+            raw.len(),
+            weights.len(),
+            "one weight per dimension required"
+        );
+        if raw.is_empty() {
+            return Err(NormalizeError::Empty);
+        }
+        let n = raw.len() as f64;
+        let mean = raw.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let wss: f64 = raw
+            .iter()
+            .zip(weights)
+            .map(|(&v, &w)| {
+                let d = f64::from(v) - mean;
+                w * d * d
+            })
+            .sum();
+        let std = (wss / n).sqrt();
+        if std <= 1e-12 {
+            return Err(NormalizeError::FlatVector { std });
+        }
+        let values = raw
+            .iter()
+            .map(|&v| ((f64::from(v) - mean) / std) as f32)
+            .collect();
+        Ok(Self {
+            values,
+            raw_mean: mean as f32,
+            raw_std: std as f32,
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has no dimensions (never true for constructed
+    /// values).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Failure modes of §3.4 normalisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormalizeError {
+    /// The input vector had no entries.
+    Empty,
+    /// The (weighted) standard deviation vanished; the vector carries no
+    /// contrast to normalise.
+    FlatVector {
+        /// The offending deviation value.
+        std: f64,
+    },
+}
+
+impl std::fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot normalise an empty vector"),
+            Self::FlatVector { std } => {
+                write!(f, "cannot normalise a flat vector (weighted std = {std:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+impl From<NormalizeError> for ImageError {
+    fn from(e: NormalizeError) -> Self {
+        ImageError::PnmParse(format!("normalisation failed: {e}"))
+    }
+}
+
+/// Weighted squared Euclidean distance `Σ w_k (a_k − b_k)²`.
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn weighted_sq_distance(a: &[f32], b: &[f32], weights: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal-length vectors");
+    assert_eq!(a.len(), weights.len(), "one weight per dimension required");
+    a.iter()
+        .zip(b)
+        .zip(weights)
+        .map(|((&x, &y), &w)| {
+            let d = f64::from(x) - f64::from(y);
+            w * d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::weighted_correlation;
+
+    #[test]
+    fn unit_normalisation_has_zero_mean_unit_std() {
+        let raw: Vec<f32> = (0..50).map(|t| ((t * 17) % 23) as f32).collect();
+        let nv = NormalizedVector::unit(&raw).unwrap();
+        let n = nv.values.len() as f64;
+        let mean: f64 = nv.values.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let var: f64 = nv
+            .values
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lemma_weighted_norm_equals_n() {
+        // §3.4 Lemma: Σ w_k B_k² = n when B is normalised with the same
+        // weights.
+        let raw: Vec<f32> = (0..36).map(|t| ((t * 7) % 13) as f32).collect();
+        let weights: Vec<f64> = (0..36).map(|t| 0.25 + (t % 5) as f64 * 0.3).collect();
+        let nv = NormalizedVector::weighted(&raw, &weights).unwrap();
+        let norm: f64 = nv
+            .values
+            .iter()
+            .zip(&weights)
+            .map(|(&b, &w)| w * f64::from(b) * f64::from(b))
+            .sum();
+        assert!((norm - 36.0).abs() < 1e-4, "Σ w B² = {norm}, expected 36");
+    }
+
+    #[test]
+    fn claim_distance_reflects_correlation() {
+        // §3.4 Claim: ‖B1 − B2‖²_w = 2n − 2n·Corr_w(A1, A2).
+        let a1: Vec<f32> = (0..24).map(|t| ((t * 11) % 19) as f32).collect();
+        let a2: Vec<f32> = (0..24).map(|t| ((t * 5 + 3) % 17) as f32).collect();
+        let weights: Vec<f64> = (0..24).map(|t| 0.5 + (t % 3) as f64 * 0.5).collect();
+        let b1 = NormalizedVector::weighted(&a1, &weights).unwrap();
+        let b2 = NormalizedVector::weighted(&a2, &weights).unwrap();
+        let dist = weighted_sq_distance(&b1.values, &b2.values, &weights);
+        let corr = weighted_correlation(&a1, &a2, &weights);
+        let n = 24.0;
+        assert!(
+            (dist - (2.0 * n - 2.0 * n * corr)).abs() < 1e-3,
+            "dist = {dist}, 2n(1-corr) = {}",
+            2.0 * n - 2.0 * n * corr
+        );
+    }
+
+    #[test]
+    fn ranking_by_distance_reverses_ranking_by_correlation() {
+        // Three raw vectors: a2 is closer (in correlation) to a1 than a3
+        // is, so ‖B1 − B2‖ must be smaller than ‖B1 − B3‖.
+        let a1: Vec<f32> = (0..30).map(|t| (t as f32 * 0.21).sin()).collect();
+        let a2: Vec<f32> = (0..30)
+            .map(|t| (t as f32 * 0.21).sin() + 0.1 * (t as f32 * 0.9).cos())
+            .collect();
+        let a3: Vec<f32> = (0..30).map(|t| (t as f32 * 0.63).cos()).collect();
+        let w = vec![1.0f64; 30];
+        let c12 = weighted_correlation(&a1, &a2, &w);
+        let c13 = weighted_correlation(&a1, &a3, &w);
+        assert!(c12 > c13, "test construction: a2 should correlate better");
+        let b1 = NormalizedVector::unit(&a1).unwrap();
+        let b2 = NormalizedVector::unit(&a2).unwrap();
+        let b3 = NormalizedVector::unit(&a3).unwrap();
+        let d12 = weighted_sq_distance(&b1.values, &b2.values, &w);
+        let d13 = weighted_sq_distance(&b1.values, &b3.values, &w);
+        assert!(d12 < d13, "higher correlation must mean smaller distance");
+    }
+
+    #[test]
+    fn flat_vector_rejected() {
+        let raw = vec![3.0f32; 16];
+        assert!(matches!(
+            NormalizedVector::unit(&raw),
+            Err(NormalizeError::FlatVector { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_vector_rejected() {
+        assert_eq!(NormalizedVector::unit(&[]), Err(NormalizeError::Empty));
+    }
+
+    #[test]
+    fn statistics_are_recorded() {
+        let raw = vec![1.0f32, 3.0];
+        let nv = NormalizedVector::unit(&raw).unwrap();
+        assert!((nv.raw_mean - 2.0).abs() < 1e-6);
+        assert!((nv.raw_std - 1.0).abs() < 1e-6);
+        assert_eq!(nv.values, vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn distance_of_identical_vectors_is_zero() {
+        let v: Vec<f32> = (0..12).map(|t| t as f32).collect();
+        let w = vec![2.0f64; 12];
+        assert_eq!(weighted_sq_distance(&v, &v, &w), 0.0);
+    }
+
+    #[test]
+    fn zero_weight_dimensions_do_not_contribute() {
+        let a = [1.0f32, 5.0];
+        let b = [1.0f32, 100.0];
+        assert_eq!(weighted_sq_distance(&a, &b, &[1.0, 0.0]), 0.0);
+    }
+}

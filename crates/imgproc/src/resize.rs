@@ -1,0 +1,169 @@
+//! Bilinear resizing and nearest-neighbour rotation resampling.
+//!
+//! Two §5 discussion points motivate this module: the system "is able to
+//! handle scaling changes across images" (resize lets tests and examples
+//! exercise that), and the proposed rotation extension — "add more
+//! instances to represent different angles of view for each image
+//! region" — needs rotated resampling ([`rotate`]), which the `ext-rot`
+//! experiment uses.
+
+use crate::error::ImageError;
+use crate::gray::GrayImage;
+
+/// Bilinearly resizes an image to `new_width × new_height`.
+///
+/// # Errors
+/// Returns [`ImageError::InvalidDimensions`] for empty targets.
+pub fn resize_bilinear(
+    image: &GrayImage,
+    new_width: usize,
+    new_height: usize,
+) -> Result<GrayImage, ImageError> {
+    if new_width == 0 || new_height == 0 {
+        return Err(ImageError::InvalidDimensions {
+            width: new_width,
+            height: new_height,
+        });
+    }
+    let (w, h) = (image.width(), image.height());
+    let sx = w as f32 / new_width as f32;
+    let sy = h as f32 / new_height as f32;
+    GrayImage::from_fn(new_width, new_height, |x, y| {
+        // Sample at the pixel centre of the target grid.
+        let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, w as f32 - 1.0);
+        let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, h as f32 - 1.0);
+        let x0 = fx.floor() as usize;
+        let y0 = fy.floor() as usize;
+        let x1 = (x0 + 1).min(w - 1);
+        let y1 = (y0 + 1).min(h - 1);
+        let tx = fx - x0 as f32;
+        let ty = fy - y0 as f32;
+        let top = image.get(x0, y0) * (1.0 - tx) + image.get(x1, y0) * tx;
+        let bottom = image.get(x0, y1) * (1.0 - tx) + image.get(x1, y1) * tx;
+        top * (1.0 - ty) + bottom * ty
+    })
+}
+
+/// Rotates an image about its centre by `angle` radians in raster
+/// coordinates (x right, y down) — positive angles appear *clockwise*
+/// on screen — resampling with nearest neighbour. Pixels that map
+/// outside the source are filled with the image mean, which keeps the
+/// downstream correlation features unbiased.
+pub fn rotate(image: &GrayImage, angle: f32) -> GrayImage {
+    let (w, h) = (image.width(), image.height());
+    let cx = (w as f32 - 1.0) * 0.5;
+    let cy = (h as f32 - 1.0) * 0.5;
+    let fill = image.mean();
+    let (sin, cos) = angle.sin_cos();
+    GrayImage::from_fn(w, h, |x, y| {
+        // Inverse-map the target pixel into the source.
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let sxf = cos * dx + sin * dy + cx;
+        let syf = -sin * dx + cos * dy + cy;
+        let sx = sxf.round();
+        let sy = syf.round();
+        if sx >= 0.0 && sy >= 0.0 && (sx as usize) < w && (sy as usize) < h {
+            image.get(sx as usize, sy as usize)
+        } else {
+            fill
+        }
+    })
+    .expect("rotation preserves dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| (x + y * w) as f32).unwrap()
+    }
+
+    #[test]
+    fn identity_resize_is_identity() {
+        let img = ramp(7, 5);
+        let out = resize_bilinear(&img, 7, 5).unwrap();
+        for (a, b) in img.pixels().iter().zip(out.pixels()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn upscale_preserves_constants_and_range() {
+        let img = GrayImage::filled(4, 4, 99.0).unwrap();
+        let out = resize_bilinear(&img, 16, 12).unwrap();
+        assert!(out.pixels().iter().all(|&v| (v - 99.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn downscale_averages_smoothly() {
+        let img = GrayImage::from_fn(32, 32, |x, _| x as f32).unwrap();
+        let out = resize_bilinear(&img, 8, 8).unwrap();
+        // Monotone in x, roughly spanning the source range.
+        for y in 0..8 {
+            for x in 1..8 {
+                assert!(out.get(x, y) > out.get(x - 1, y));
+            }
+        }
+        assert!(out.get(0, 0) < 4.0);
+        assert!(out.get(7, 0) > 27.0);
+    }
+
+    #[test]
+    fn resize_preserves_mean_approximately() {
+        let img = GrayImage::from_fn(40, 30, |x, y| ((x * 7 + y * 11) % 50) as f32).unwrap();
+        let out = resize_bilinear(&img, 20, 15).unwrap();
+        assert!((out.mean() - img.mean()).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_target_rejected() {
+        let img = ramp(4, 4);
+        assert!(resize_bilinear(&img, 0, 4).is_err());
+        assert!(resize_bilinear(&img, 4, 0).is_err());
+    }
+
+    #[test]
+    fn zero_rotation_is_identity() {
+        let img = ramp(9, 9);
+        assert_eq!(rotate(&img, 0.0), img);
+    }
+
+    #[test]
+    fn quarter_turn_moves_known_pixel() {
+        // Odd dimensions make the centre exact. In raster coordinates a
+        // positive quarter turn (clockwise on screen) maps the pixel
+        // right of centre to below centre.
+        let mut img = GrayImage::zeros(9, 9).unwrap();
+        img.set(6, 4, 50.0); // 2 right of centre (4,4)
+        let out = rotate(&img, std::f32::consts::FRAC_PI_2);
+        assert_eq!(out.get(4, 6), 50.0, "pixel should rotate to 2 below centre");
+    }
+
+    #[test]
+    fn full_turn_is_identity_on_interior() {
+        let img = ramp(11, 11);
+        let out = rotate(&img, 2.0 * std::f32::consts::PI);
+        for y in 2..9 {
+            for x in 2..9 {
+                assert!((out.get(x, y) - img.get(x, y)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_fill_is_the_mean() {
+        let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 100.0 }).unwrap();
+        let out = rotate(&img, std::f32::consts::FRAC_PI_4);
+        // Corners map outside and get the mean (50).
+        assert!((out.get(0, 0) - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn small_rotation_barely_changes_statistics() {
+        let img = GrayImage::from_fn(24, 24, |x, y| ((x * 3 + y * 5) % 40) as f32).unwrap();
+        let out = rotate(&img, 0.05);
+        assert!((out.mean() - img.mean()).abs() < 2.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! RGB raster images and luminance conversion.
+//!
+//! Colour enters the pipeline in two places only: the synthetic database
+//! generators produce colour images (the COREL photographs were colour),
+//! and the Maron & Lakshmi Ratan baseline consumes colour statistics
+//! directly. The paper's own system immediately converts to gray-scale
+//! (§3.5 step 1), which [`RgbImage::to_gray`] performs using the Rec. 601
+//! luminance weights.
+
+use crate::error::ImageError;
+use crate::gray::{checked_len, GrayImage};
+
+/// Rec. 601 luma weights used for RGB → gray conversion.
+pub const LUMA_WEIGHTS: [f32; 3] = [0.299, 0.587, 0.114];
+
+/// A row-major, interleaved-channel RGB image with `f32` intensities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    /// Interleaved `[r, g, b, r, g, b, ...]`, row-major.
+    data: Vec<f32>,
+}
+
+impl RgbImage {
+    /// Creates an image filled with a constant colour.
+    ///
+    /// # Errors
+    /// Returns [`ImageError::InvalidDimensions`] for empty dimensions.
+    pub fn filled(width: usize, height: usize, rgb: [f32; 3]) -> Result<Self, ImageError> {
+        let len = checked_len(width, height, 3)?;
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len / 3 {
+            data.extend_from_slice(&rgb);
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Wraps an existing interleaved RGB buffer.
+    ///
+    /// # Errors
+    /// Returns [`ImageError::BufferSizeMismatch`] if `data.len()` is not
+    /// `3 * width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Result<Self, ImageError> {
+        let len = checked_len(width, height, 3)?;
+        if data.len() != len {
+            return Err(ImageError::BufferSizeMismatch {
+                expected: len,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Builds an image by evaluating `f(x, y) -> [r, g, b]` at every pixel.
+    ///
+    /// # Errors
+    /// Returns [`ImageError::InvalidDimensions`] for empty dimensions.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [f32; 3],
+    ) -> Result<Self, ImageError> {
+        let len = checked_len(width, height, 3)?;
+        let mut data = Vec::with_capacity(len);
+        for y in 0..height {
+            for x in 0..width {
+                data.extend_from_slice(&f(x, y));
+            }
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Colour at `(x, y)` as `[r, g, b]`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [f32; 3] {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets the colour at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [f32; 3]) {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
+        let i = (y * self.width + x) * 3;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// The raw interleaved channel buffer.
+    #[inline]
+    pub fn channels(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw interleaved channel buffer.
+    #[inline]
+    pub fn channels_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Converts to gray-scale with the Rec. 601 luma weights
+    /// (paper §3.5 step 1).
+    pub fn to_gray(&self) -> GrayImage {
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for px in self.data.chunks_exact(3) {
+            out.push(px[0] * LUMA_WEIGHTS[0] + px[1] * LUMA_WEIGHTS[1] + px[2] * LUMA_WEIGHTS[2]);
+        }
+        GrayImage::from_vec(self.width, self.height, out)
+            .expect("gray buffer length derived from valid RGB image")
+    }
+
+    /// Extracts a single channel (0 = red, 1 = green, 2 = blue) as a
+    /// gray image. Used by the colour baseline's per-channel statistics.
+    ///
+    /// # Panics
+    /// Panics if `channel > 2`.
+    pub fn channel(&self, channel: usize) -> GrayImage {
+        assert!(channel < 3, "channel index {channel} out of range");
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for px in self.data.chunks_exact(3) {
+            out.push(px[channel]);
+        }
+        GrayImage::from_vec(self.width, self.height, out)
+            .expect("channel buffer length derived from valid RGB image")
+    }
+
+    /// Clamps every channel into `[lo, hi]` in place.
+    pub fn clamp_in_place(&mut self, lo: f32, hi: f32) {
+        for v in &mut self.data {
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    /// Mean colour over the whole image.
+    pub fn mean_rgb(&self) -> [f32; 3] {
+        let mut acc = [0.0f64; 3];
+        for px in self.data.chunks_exact(3) {
+            acc[0] += f64::from(px[0]);
+            acc[1] += f64::from(px[1]);
+            acc[2] += f64::from(px[2]);
+        }
+        let n = (self.width * self.height) as f64;
+        [
+            (acc[0] / n) as f32,
+            (acc[1] / n) as f32,
+            (acc[2] / n) as f32,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_has_constant_colour() {
+        let img = RgbImage::filled(2, 2, [1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(img.get(1, 1), [1.0, 2.0, 3.0]);
+        assert_eq!(img.channels().len(), 12);
+    }
+
+    #[test]
+    fn buffer_size_enforced() {
+        assert!(RgbImage::from_vec(2, 2, vec![0.0; 11]).is_err());
+        assert!(RgbImage::from_vec(2, 2, vec![0.0; 12]).is_ok());
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut img = RgbImage::filled(3, 3, [0.0; 3]).unwrap();
+        img.set(2, 0, [9.0, 8.0, 7.0]);
+        assert_eq!(img.get(2, 0), [9.0, 8.0, 7.0]);
+        assert_eq!(img.get(0, 2), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn luminance_of_pure_channels() {
+        let img = RgbImage::from_fn(3, 1, |x, _| match x {
+            0 => [255.0, 0.0, 0.0],
+            1 => [0.0, 255.0, 0.0],
+            _ => [0.0, 0.0, 255.0],
+        })
+        .unwrap();
+        let gray = img.to_gray();
+        assert!((gray.get(0, 0) - 255.0 * 0.299).abs() < 1e-3);
+        assert!((gray.get(1, 0) - 255.0 * 0.587).abs() < 1e-3);
+        assert!((gray.get(2, 0) - 255.0 * 0.114).abs() < 1e-3);
+    }
+
+    #[test]
+    fn luminance_of_white_is_full_scale() {
+        let img = RgbImage::filled(2, 2, [255.0; 3]).unwrap();
+        let gray = img.to_gray();
+        assert!((gray.get(0, 0) - 255.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let img =
+            RgbImage::from_fn(2, 1, |x, _| [x as f32, 10.0 + x as f32, 20.0 + x as f32]).unwrap();
+        assert_eq!(img.channel(0).pixels(), &[0.0, 1.0]);
+        assert_eq!(img.channel(1).pixels(), &[10.0, 11.0]);
+        assert_eq!(img.channel(2).pixels(), &[20.0, 21.0]);
+    }
+
+    #[test]
+    fn mean_rgb_averages_channels() {
+        let img = RgbImage::from_fn(2, 1, |x, _| {
+            if x == 0 {
+                [0.0, 100.0, 50.0]
+            } else {
+                [100.0, 0.0, 150.0]
+            }
+        })
+        .unwrap();
+        let m = img.mean_rgb();
+        assert!((m[0] - 50.0).abs() < 1e-5);
+        assert!((m[1] - 50.0).abs() < 1e-5);
+        assert!((m[2] - 100.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index")]
+    fn channel_index_checked() {
+        let img = RgbImage::filled(1, 1, [0.0; 3]).unwrap();
+        let _ = img.channel(3);
+    }
+}

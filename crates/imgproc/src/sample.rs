@@ -1,0 +1,223 @@
+//! Smoothing and sampling (§3.1.2, Fig. 3-2).
+//!
+//! A source region of arbitrary size is reduced to a low-resolution
+//! `h × h` matrix. Each output entry is the average gray value of a block
+//! of the source, and each block overlaps its neighbours by 50%: with
+//! `s = dim / (h + 1)`, block `i` spans `[i·s, i·s + 2s)`, so `h` blocks
+//! of span `2s` exactly tile `(h + 1)·s = dim` with stride `s`. The large
+//! overlap "reduces sensitivity to the choice of block border locations"
+//! (paper §3.1.2); the whole operator is the paper's proxy for smoothing
+//! with an averaging kernel followed by sub-sampling.
+//!
+//! Block averages are computed from an [`IntegralImage`], so sampling one
+//! region costs `O(h²)` regardless of region size.
+
+use crate::error::ImageError;
+use crate::gray::GrayImage;
+use crate::integral::IntegralImage;
+use crate::region::Rect;
+
+/// Half-open 1-D block boundaries for `h` blocks with 50% overlap over
+/// `[0, dim)`. Returned as `(start, end)` pixel indices with
+/// `end > start` guaranteed for `dim >= h + 1`.
+fn block_bounds(dim: usize, h: usize) -> Vec<(usize, usize)> {
+    let s = dim as f64 / (h + 1) as f64;
+    let mut out = Vec::with_capacity(h);
+    for i in 0..h {
+        let lo = (i as f64 * s).round() as usize;
+        let hi = ((i as f64 + 2.0) * s).round() as usize;
+        let hi = hi.min(dim).max(lo + 1);
+        let lo = lo.min(dim - 1);
+        out.push((lo, hi));
+    }
+    out
+}
+
+/// Smooths and samples a rectangular region (viewed through `integral`)
+/// down to an `h × h` gray matrix of overlapping block averages.
+///
+/// # Errors
+/// * [`ImageError::RegionOutOfBounds`] if `rect` exceeds the integral
+///   image's source bounds.
+/// * [`ImageError::ResolutionTooLarge`] if the region is smaller than
+///   `(h+1) × (h+1)`, where distinct overlapping blocks no longer exist.
+pub fn smooth_sample_rect(
+    integral: &IntegralImage,
+    rect: Rect,
+    h: usize,
+) -> Result<GrayImage, ImageError> {
+    rect.check_within(integral.width(), integral.height())?;
+    if h == 0 || rect.width < h + 1 || rect.height < h + 1 {
+        return Err(ImageError::ResolutionTooLarge {
+            h,
+            width: rect.width,
+            height: rect.height,
+        });
+    }
+    let xs = block_bounds(rect.width, h);
+    let ys = block_bounds(rect.height, h);
+    let mut data = Vec::with_capacity(h * h);
+    for &(y0, y1) in &ys {
+        for &(x0, x1) in &xs {
+            data.push(
+                integral.block_mean(rect.x + x0, rect.y + y0, rect.x + x1, rect.y + y1) as f32,
+            );
+        }
+    }
+    GrayImage::from_vec(h, h, data)
+}
+
+/// Smooths and samples a whole image down to `h × h`.
+///
+/// Convenience wrapper over [`smooth_sample_rect`]; builds a fresh
+/// integral image, so prefer the rect variant when sampling many regions
+/// of the same image.
+///
+/// # Examples
+/// ```
+/// use milr_imgproc::{smooth_sample, GrayImage};
+///
+/// let image = GrayImage::from_fn(120, 90, |x, _| x as f32).unwrap();
+/// let sampled = smooth_sample(&image, 10).unwrap();
+/// assert_eq!((sampled.width(), sampled.height()), (10, 10));
+/// // A horizontal gradient stays monotone after block averaging.
+/// assert!(sampled.get(9, 5) > sampled.get(0, 5));
+/// ```
+///
+/// # Errors
+/// Same conditions as [`smooth_sample_rect`].
+pub fn smooth_sample(image: &GrayImage, h: usize) -> Result<GrayImage, ImageError> {
+    let integral = IntegralImage::new(image);
+    smooth_sample_rect(&integral, Rect::full(image.width(), image.height()), h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_bounds_cover_dimension() {
+        for (dim, h) in [(100, 10), (33, 6), (128, 15), (11, 10)] {
+            let bounds = block_bounds(dim, h);
+            assert_eq!(bounds.len(), h);
+            assert_eq!(bounds[0].0, 0, "first block starts at 0");
+            assert_eq!(
+                bounds[h - 1].1,
+                dim,
+                "last block ends at dim for dim={dim}, h={h}"
+            );
+            for &(lo, hi) in &bounds {
+                assert!(hi > lo);
+                assert!(hi <= dim);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_blocks_overlap_by_half() {
+        let bounds = block_bounds(110, 10); // s = 10 exactly
+        for w in bounds.windows(2) {
+            let (a0, a1) = w[0];
+            let (b0, b1) = w[1];
+            // overlap = a1 - b0 should be s = half the block span.
+            assert_eq!(a1 - b0, 10);
+            assert_eq!(a1 - a0, 20);
+            assert_eq!(b1 - b0, 20);
+        }
+    }
+
+    #[test]
+    fn constant_image_samples_to_constant() {
+        let img = GrayImage::filled(50, 40, 7.25).unwrap();
+        let s = smooth_sample(&img, 10).unwrap();
+        assert_eq!(s.width(), 10);
+        assert_eq!(s.height(), 10);
+        assert!(s.pixels().iter().all(|&v| (v - 7.25).abs() < 1e-5));
+    }
+
+    #[test]
+    fn horizontal_gradient_is_monotone_after_sampling() {
+        let img = GrayImage::from_fn(88, 44, |x, _| x as f32).unwrap();
+        let s = smooth_sample(&img, 8).unwrap();
+        for y in 0..8 {
+            for x in 1..8 {
+                assert!(
+                    s.get(x, y) > s.get(x - 1, y),
+                    "sampled gradient must stay monotone"
+                );
+            }
+        }
+        // Rows are identical for a purely horizontal gradient.
+        for x in 0..8 {
+            assert!((s.get(x, 0) - s.get(x, 7)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sampling_is_shift_tolerant() {
+        // The motivation in §3.1.2: small shifts should only perturb the
+        // sampled matrix slightly. Compare a step image and the same
+        // image shifted by 2 pixels, at 120 px wide and h=10 (block span
+        // ~21 px): per-entry change must stay well under the step height.
+        let step = |shift: usize| {
+            GrayImage::from_fn(
+                120,
+                60,
+                move |x, _| if x < 60 + shift { 0.0 } else { 100.0 },
+            )
+            .unwrap()
+        };
+        let a = smooth_sample(&step(0), 10).unwrap();
+        let b = smooth_sample(&step(2), 10).unwrap();
+        let max_diff = a
+            .pixels()
+            .iter()
+            .zip(b.pixels())
+            .map(|(&p, &q)| (p - q).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 15.0, "2-px shift changed a sample by {max_diff}");
+    }
+
+    #[test]
+    fn rect_sampling_matches_crop_then_sample() {
+        let img = GrayImage::from_fn(64, 64, |x, y| ((x * 7 + y * 13) % 31) as f32).unwrap();
+        let rect = Rect::new(8, 4, 40, 48);
+        let integral = IntegralImage::new(&img);
+        let direct = smooth_sample_rect(&integral, rect, 10).unwrap();
+        let cropped = smooth_sample(&img.crop(rect).unwrap(), 10).unwrap();
+        for (a, b) in direct.pixels().iter().zip(cropped.pixels()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn too_small_region_rejected() {
+        let img = GrayImage::filled(30, 30, 1.0).unwrap();
+        let integral = IntegralImage::new(&img);
+        let err = smooth_sample_rect(&integral, Rect::new(0, 0, 9, 30), 10);
+        assert!(matches!(err, Err(ImageError::ResolutionTooLarge { .. })));
+        assert!(smooth_sample_rect(&integral, Rect::new(0, 0, 11, 11), 10).is_ok());
+    }
+
+    #[test]
+    fn zero_resolution_rejected() {
+        let img = GrayImage::filled(30, 30, 1.0).unwrap();
+        assert!(smooth_sample(&img, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_rect_rejected() {
+        let img = GrayImage::filled(30, 30, 1.0).unwrap();
+        let integral = IntegralImage::new(&img);
+        assert!(smooth_sample_rect(&integral, Rect::new(20, 20, 15, 15), 5).is_err());
+    }
+
+    #[test]
+    fn different_resolutions_supported() {
+        let img = GrayImage::from_fn(90, 90, |x, y| (x + y) as f32).unwrap();
+        for h in [6, 10, 15] {
+            let s = smooth_sample(&img, h).unwrap();
+            assert_eq!(s.len(), h * h);
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The Diverse Density objective (§2.2).
+//!
+//! Diverse Density at a candidate concept `t` with weights `w` is
+//!
+//! ```text
+//! DD(t, w) = Π_i Pr(t | B_i⁺) · Π_i Pr(t | B_i⁻)
+//! ```
+//!
+//! under the noisy-or model
+//!
+//! ```text
+//! Pr(t | B⁺) = 1 − Π_j (1 − Pr(B_j = t))
+//! Pr(t | B⁻) = Π_j (1 − Pr(B_j = t))
+//! Pr(B_j = t) = exp(−‖B_j − t‖²_w),   ‖·‖²_w = Σ_k w_k (B_jk − t_k)²
+//! ```
+//!
+//! All solvers *minimise* `NLDD = −log DD`. Three parameterizations of
+//! the variable vector cover the paper's weight-control schemes:
+//!
+//! * [`Parameterization::FixedWeights`] — `x = t`, all `w_k = 1`
+//!   (§3.6.1, "forcing all weights to be the same").
+//! * [`Parameterization::SqrtWeights`] — `x = [t | s]` with `w_k = s_k²`,
+//!   the original DD trick for keeping weights non-negative (§2.2.1).
+//!   `alpha > 1` applies the §3.6.2 gradient "hack": the reported
+//!   `∂/∂s_k` is scaled by `1/alpha`, making the ascent reluctant to move
+//!   weights. **With `alpha ≠ 1` the gradient is deliberately not the
+//!   gradient of the value** — the paper admits the same ("there is no
+//!   simple target function that corresponds to these partial
+//!   derivatives").
+//! * [`Parameterization::DirectWeights`] — `x = [t | w]` with `w` used
+//!   directly; feasibility (`0 ≤ w ≤ 1`, `Σ w ≥ β·n`) is maintained by
+//!   the projected-gradient solver (§3.6.3).
+//!
+//! Probabilities are clamped to `[1e-12, 1]` inside logarithms so bags
+//! sitting exactly on (or hopelessly far from) the candidate point yield
+//! large-but-finite penalties and gradients.
+
+use milr_optim::Objective;
+
+use crate::bag::{Bag, MilDataset};
+
+/// Floor for probabilities inside logarithms and denominators.
+///
+/// Deliberately close to the `f64` underflow boundary: the log-space
+/// evaluation (`ln_1p` / `exp_m1`) is accurate down to subnormal
+/// probabilities, so the floor only exists to keep the value finite when
+/// `exp(−d)` underflows to exactly zero (distances beyond ~745). A
+/// larger floor would silently flatten the value while the gradient kept
+/// flowing — an inconsistency the line searches (and the gradient
+/// property tests) would trip over.
+const P_MIN: f64 = 1e-290;
+
+/// How the optimiser's variable vector maps to `(t, w)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Parameterization {
+    /// `x = t`; every weight is 1.
+    FixedWeights,
+    /// `x = [t | s]`, `w_k = s_k²`; `∂/∂s_k` is scaled by `1/alpha`.
+    SqrtWeights {
+        /// Gradient reluctance factor (§3.6.2). `1.0` is the original DD.
+        alpha: f64,
+    },
+    /// `x = [t | w]`, `w` used as-is (pair with a feasibility projection).
+    DirectWeights,
+}
+
+impl Parameterization {
+    /// Variable count for feature dimension `k`.
+    pub fn variable_count(self, k: usize) -> usize {
+        match self {
+            Self::FixedWeights => k,
+            Self::SqrtWeights { .. } | Self::DirectWeights => 2 * k,
+        }
+    }
+
+    /// Initial variable vector for a gradient-ascent start at instance
+    /// `t0` with unit weights.
+    pub fn start_from(self, t0: &[f32]) -> Vec<f64> {
+        let k = t0.len();
+        let mut x = Vec::with_capacity(self.variable_count(k));
+        x.extend(t0.iter().map(|&v| f64::from(v)));
+        match self {
+            Self::FixedWeights => {}
+            Self::SqrtWeights { .. } | Self::DirectWeights => {
+                x.extend(std::iter::repeat_n(1.0, k));
+            }
+        }
+        x
+    }
+
+    /// Effective per-dimension weights encoded in a variable vector.
+    pub fn weights_of(self, x: &[f64], k: usize) -> Vec<f64> {
+        match self {
+            Self::FixedWeights => vec![1.0; k],
+            Self::SqrtWeights { .. } => x[k..].iter().map(|&s| s * s).collect(),
+            Self::DirectWeights => x[k..].iter().map(|&w| w.max(0.0)).collect(),
+        }
+    }
+}
+
+/// `−log DD` as a [`milr_optim::Objective`] over a borrowed dataset.
+///
+/// # Examples
+/// ```
+/// use milr_mil::{Bag, BagLabel, DdObjective, MilDataset, Parameterization};
+/// use milr_optim::Objective as _;
+///
+/// let mut dataset = MilDataset::new();
+/// dataset.push(Bag::new(vec![vec![1.0, 1.0]]).unwrap(), BagLabel::Positive).unwrap();
+/// dataset.push(Bag::new(vec![vec![0.0, 0.0]]).unwrap(), BagLabel::Negative).unwrap();
+/// let objective = DdObjective::new(&dataset, Parameterization::FixedWeights);
+///
+/// // NLDD is lower near the positive instance than near the negative one.
+/// assert!(objective.value(&[1.0, 1.0]) < objective.value(&[0.0, 0.0]));
+/// ```
+pub struct DdObjective<'a> {
+    dataset: &'a MilDataset,
+    param: Parameterization,
+    k: usize,
+}
+
+impl<'a> DdObjective<'a> {
+    /// Wraps a dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty (its dimension is undefined).
+    pub fn new(dataset: &'a MilDataset, param: Parameterization) -> Self {
+        let k = dataset
+            .dim()
+            .expect("DD objective needs a non-empty dataset");
+        Self { dataset, param, k }
+    }
+
+    /// Feature dimension `k` (not the variable count).
+    pub fn feature_dim(&self) -> usize {
+        self.k
+    }
+
+    /// The parameterization in use.
+    pub fn parameterization(&self) -> Parameterization {
+        self.param
+    }
+
+    /// Weighted squared distance from the encoded `t` to one instance.
+    fn distance(&self, x: &[f64], instance: &[f32]) -> f64 {
+        let k = self.k;
+        let t = &x[..k];
+        match self.param {
+            Parameterization::FixedWeights => t
+                .iter()
+                .zip(instance)
+                .map(|(&tk, &bk)| {
+                    let d = tk - f64::from(bk);
+                    d * d
+                })
+                .sum(),
+            Parameterization::SqrtWeights { .. } => {
+                let s = &x[k..];
+                t.iter()
+                    .zip(instance)
+                    .zip(s)
+                    .map(|((&tk, &bk), &sk)| {
+                        let d = tk - f64::from(bk);
+                        sk * sk * d * d
+                    })
+                    .sum()
+            }
+            Parameterization::DirectWeights => {
+                let w = &x[k..];
+                t.iter()
+                    .zip(instance)
+                    .zip(w)
+                    .map(|((&tk, &bk), &wk)| {
+                        let d = tk - f64::from(bk);
+                        wk * d * d
+                    })
+                    .sum()
+            }
+        }
+    }
+
+    /// Adds `scale · ∂d(t, instance)/∂x` into `grad`.
+    fn accumulate_distance_gradient(
+        &self,
+        x: &[f64],
+        instance: &[f32],
+        scale: f64,
+        grad: &mut [f64],
+    ) {
+        let k = self.k;
+        let t = &x[..k];
+        match self.param {
+            Parameterization::FixedWeights => {
+                for i in 0..k {
+                    let d = t[i] - f64::from(instance[i]);
+                    grad[i] += scale * 2.0 * d;
+                }
+            }
+            Parameterization::SqrtWeights { alpha } => {
+                let s = &x[k..];
+                for i in 0..k {
+                    let d = t[i] - f64::from(instance[i]);
+                    grad[i] += scale * 2.0 * s[i] * s[i] * d;
+                    grad[k + i] += scale * 2.0 * s[i] * d * d / alpha;
+                }
+            }
+            Parameterization::DirectWeights => {
+                let w = &x[k..];
+                for i in 0..k {
+                    let d = t[i] - f64::from(instance[i]);
+                    grad[i] += scale * 2.0 * w[i] * d;
+                    grad[k + i] += scale * d * d;
+                }
+            }
+        }
+    }
+
+    /// NLDD contribution of one bag plus (optionally) its gradient.
+    ///
+    /// Returns the bag's `−log Pr(t | B)` and, when `grad` is `Some`,
+    /// accumulates the corresponding gradient.
+    fn bag_term(
+        &self,
+        x: &[f64],
+        bag: &Bag,
+        positive: bool,
+        mut grad: Option<&mut [f64]>,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
+        scratch.clear();
+        // e_j = Pr(B_j = t) = exp(−d_j); q_j = 1 − e_j.
+        for instance in bag.instances() {
+            scratch.push((-self.distance(x, instance)).exp());
+        }
+        if positive {
+            // Work in log space: log Π q_j = Σ ln(1 − e_j) via ln_1p, and
+            // P = 1 − Π q_j via expm1. This avoids the catastrophic
+            // cancellation of `1.0 − (1.0 − e)` when the bag sits far
+            // from the candidate point (e ≈ 1e−12), which would otherwise
+            // corrupt both the value and the gradient scale. A zero-count
+            // keeps the leave-one-out products well-defined when some
+            // q_j vanishes (an instance exactly at the candidate point).
+            let mut zero_count = 0usize;
+            let mut log_prod_nonzero = 0.0f64; // Σ ln q_j over q_j ≥ P_MIN
+            for &e in scratch.iter() {
+                let q = 1.0 - e;
+                if q < P_MIN {
+                    zero_count += 1;
+                } else {
+                    log_prod_nonzero += (-e).ln_1p();
+                }
+            }
+            // P = 1 − exp(log Π q); with any zero q the product is 0 and
+            // P = 1 exactly.
+            let p = if zero_count > 0 {
+                1.0
+            } else {
+                (-log_prod_nonzero.exp_m1()).max(P_MIN)
+            };
+            if let Some(g) = grad.as_deref_mut() {
+                for (j, instance) in bag.instances().enumerate() {
+                    let e = scratch[j];
+                    let q = 1.0 - e;
+                    let prod_excl = if zero_count == 0 {
+                        (log_prod_nonzero - (-e).ln_1p()).exp()
+                    } else if zero_count == 1 && q < P_MIN {
+                        log_prod_nonzero.exp()
+                    } else {
+                        0.0
+                    };
+                    // ∂(−log P)/∂d_j = e_j · Π_{l≠j} q_l / P ≥ 0.
+                    let scale = e * prod_excl / p;
+                    if scale != 0.0 {
+                        self.accumulate_distance_gradient(x, instance, scale, g);
+                    }
+                }
+            }
+            -p.ln()
+        } else {
+            // −log Π q_j = −Σ log q_j, with ln(1 − e) via ln_1p for
+            // accuracy when e is tiny.
+            let mut term = 0.0f64;
+            for (j, instance) in bag.instances().enumerate() {
+                let e = scratch[j];
+                let q = (1.0 - e).max(P_MIN);
+                term -= if 1.0 - e >= P_MIN {
+                    (-e).ln_1p()
+                } else {
+                    q.ln()
+                };
+                if let Some(g) = grad.as_deref_mut() {
+                    // ∂(−log q_j)/∂d_j = −e_j / q_j ≤ 0.
+                    let scale = -e / q;
+                    if scale != 0.0 {
+                        self.accumulate_distance_gradient(x, instance, scale, g);
+                    }
+                }
+            }
+            term
+        }
+    }
+
+    fn evaluate(&self, x: &[f64], mut grad: Option<&mut [f64]>) -> f64 {
+        assert_eq!(x.len(), self.dim(), "variable vector has wrong dimension");
+        if let Some(g) = grad.as_deref_mut() {
+            g.fill(0.0);
+        }
+        let mut scratch = Vec::new();
+        let mut nldd = 0.0;
+        for bag in self.dataset.positives() {
+            nldd += self.bag_term(x, bag, true, grad.as_deref_mut(), &mut scratch);
+        }
+        for bag in self.dataset.negatives() {
+            nldd += self.bag_term(x, bag, false, grad.as_deref_mut(), &mut scratch);
+        }
+        nldd
+    }
+}
+
+impl Objective for DdObjective<'_> {
+    fn dim(&self) -> usize {
+        self.param.variable_count(self.k)
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.evaluate(x, None)
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        let _ = self.evaluate(x, Some(grad));
+    }
+
+    fn value_and_gradient(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        self.evaluate(x, Some(grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::{Bag, BagLabel};
+    use milr_optim::numdiff::gradient_error;
+
+    fn bag(v: &[&[f32]]) -> Bag {
+        Bag::new(v.iter().map(|s| s.to_vec()).collect()).unwrap()
+    }
+
+    /// Two positive bags clustering near (1, 1), one negative bag near
+    /// the origin — the classic DD picture (Fig. 2-1) in miniature.
+    fn toy_dataset() -> MilDataset {
+        let mut ds = MilDataset::new();
+        ds.push(bag(&[&[1.0, 1.1], &[5.0, -3.0]]), BagLabel::Positive)
+            .unwrap();
+        ds.push(bag(&[&[0.9, 1.0], &[-4.0, 2.0]]), BagLabel::Positive)
+            .unwrap();
+        ds.push(bag(&[&[0.0, 0.0], &[0.2, -0.1]]), BagLabel::Negative)
+            .unwrap();
+        ds
+    }
+
+    #[test]
+    fn nldd_is_lower_near_the_true_concept() {
+        let ds = toy_dataset();
+        let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+        let near = obj.value(&[1.0, 1.05]);
+        let far = obj.value(&[3.0, 3.0]);
+        let at_negative = obj.value(&[0.0, 0.0]);
+        assert!(near < far, "near ({near}) must beat far ({far})");
+        assert!(
+            near < at_negative,
+            "near ({near}) must beat the negative cluster ({at_negative})"
+        );
+    }
+
+    #[test]
+    fn value_is_always_finite() {
+        let ds = toy_dataset();
+        let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+        // Exactly on a negative instance: q = 0 there, must clamp.
+        assert!(obj.value(&[0.0, 0.0]).is_finite());
+        // Hopelessly far: P⁺ ≈ 0, must clamp.
+        assert!(obj.value(&[1e4, 1e4]).is_finite());
+    }
+
+    #[test]
+    fn fixed_weights_gradient_matches_numeric() {
+        let ds = toy_dataset();
+        let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+        for x in [[0.5, 0.7], [1.2, 0.9], [-0.3, 0.4]] {
+            let err = gradient_error(&obj, &x, 1e-6);
+            assert!(err < 1e-6, "gradient error {err} at {x:?}");
+        }
+    }
+
+    #[test]
+    fn sqrt_weights_gradient_matches_numeric_at_alpha_one() {
+        let ds = toy_dataset();
+        let obj = DdObjective::new(&ds, Parameterization::SqrtWeights { alpha: 1.0 });
+        for x in [
+            [0.5, 0.7, 1.0, 1.0],
+            [1.1, 0.8, 0.6, 1.3],
+            [0.2, 0.2, 0.9, 0.4],
+        ] {
+            let err = gradient_error(&obj, &x, 1e-6);
+            assert!(err < 1e-6, "gradient error {err} at {x:?}");
+        }
+    }
+
+    #[test]
+    fn direct_weights_gradient_matches_numeric() {
+        let ds = toy_dataset();
+        let obj = DdObjective::new(&ds, Parameterization::DirectWeights);
+        for x in [
+            [0.5, 0.7, 0.8, 0.9],
+            [1.1, 0.8, 0.5, 0.3],
+            [0.0, 0.5, 0.2, 0.7],
+        ] {
+            let err = gradient_error(&obj, &x, 1e-6);
+            assert!(err < 1e-6, "gradient error {err} at {x:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_scales_only_the_weight_block() {
+        let ds = toy_dataset();
+        let plain = DdObjective::new(&ds, Parameterization::SqrtWeights { alpha: 1.0 });
+        let hacked = DdObjective::new(&ds, Parameterization::SqrtWeights { alpha: 50.0 });
+        let x = [0.8, 0.9, 1.1, 0.7];
+        let mut g_plain = [0.0; 4];
+        let mut g_hacked = [0.0; 4];
+        plain.gradient(&x, &mut g_plain);
+        hacked.gradient(&x, &mut g_hacked);
+        // t-block identical.
+        assert!((g_plain[0] - g_hacked[0]).abs() < 1e-12);
+        assert!((g_plain[1] - g_hacked[1]).abs() < 1e-12);
+        // s-block divided by alpha.
+        assert!((g_plain[2] / 50.0 - g_hacked[2]).abs() < 1e-12);
+        assert!((g_plain[3] / 50.0 - g_hacked[3]).abs() < 1e-12);
+        // The value itself is untouched by alpha.
+        assert_eq!(plain.value(&x), hacked.value(&x));
+    }
+
+    #[test]
+    fn parameterization_dimensions() {
+        assert_eq!(Parameterization::FixedWeights.variable_count(100), 100);
+        assert_eq!(
+            Parameterization::SqrtWeights { alpha: 1.0 }.variable_count(100),
+            200
+        );
+        assert_eq!(Parameterization::DirectWeights.variable_count(100), 200);
+    }
+
+    #[test]
+    fn start_from_appends_unit_weights() {
+        let t0 = [0.5f32, -1.5];
+        assert_eq!(
+            Parameterization::FixedWeights.start_from(&t0),
+            vec![0.5, -1.5]
+        );
+        assert_eq!(
+            Parameterization::DirectWeights.start_from(&t0),
+            vec![0.5, -1.5, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn weights_of_decodes_each_parameterization() {
+        let x = [9.0, 9.0, 0.5, -2.0];
+        assert_eq!(
+            Parameterization::FixedWeights.weights_of(&x[..2], 2),
+            vec![1.0, 1.0]
+        );
+        assert_eq!(
+            Parameterization::SqrtWeights { alpha: 1.0 }.weights_of(&x, 2),
+            vec![0.25, 4.0]
+        );
+        // DirectWeights floors at zero.
+        assert_eq!(
+            Parameterization::DirectWeights.weights_of(&x, 2),
+            vec![0.5, 0.0]
+        );
+    }
+
+    #[test]
+    fn more_diverse_support_scores_better() {
+        // A point close to instances from TWO different positive bags
+        // must have lower NLDD than a point close to two instances of the
+        // SAME bag (that is the "diverse" in Diverse Density).
+        let mut ds = MilDataset::new();
+        // Bag 1 has a pair of instances at (3, 3) — high same-bag density.
+        ds.push(
+            bag(&[&[3.0, 3.0], &[3.05, 3.0], &[1.0, 1.0]]),
+            BagLabel::Positive,
+        )
+        .unwrap();
+        // Bag 2 only supports (1, 1).
+        ds.push(bag(&[&[1.05, 1.0], &[-5.0, 5.0]]), BagLabel::Positive)
+            .unwrap();
+        let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+        let diverse = obj.value(&[1.02, 1.0]);
+        let dense_same_bag = obj.value(&[3.02, 3.0]);
+        assert!(
+            diverse < dense_same_bag,
+            "diverse support ({diverse}) must beat same-bag density ({dense_same_bag})"
+        );
+    }
+
+    #[test]
+    fn negative_bags_repel() {
+        let mut ds = MilDataset::new();
+        ds.push(bag(&[&[0.0, 0.0]]), BagLabel::Positive).unwrap();
+        let without_negative = {
+            let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+            obj.value(&[0.0, 0.0])
+        };
+        ds.push(bag(&[&[0.0, 0.0]]), BagLabel::Negative).unwrap();
+        let with_negative = {
+            let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+            obj.value(&[0.0, 0.0])
+        };
+        assert!(
+            with_negative > without_negative + 1.0,
+            "a negative instance at t must add a large penalty"
+        );
+    }
+
+    #[test]
+    fn gradient_near_clamped_regions_is_finite() {
+        let ds = toy_dataset();
+        let obj = DdObjective::new(&ds, Parameterization::FixedWeights);
+        let mut g = [0.0; 2];
+        obj.gradient(&[0.0, 0.0], &mut g); // on a negative instance
+        assert!(g.iter().all(|v| v.is_finite()));
+        obj.gradient(&[1e4, 1e4], &mut g); // far from everything
+        assert!(g.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty dataset")]
+    fn empty_dataset_rejected() {
+        let ds = MilDataset::new();
+        let _ = DdObjective::new(&ds, Parameterization::FixedWeights);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # milr-mil
+//!
+//! Multiple-instance learning with the Diverse Density algorithm
+//! (Maron & Lozano-Pérez), as adapted by Yang & Lozano-Pérez for image
+//! retrieval.
+//!
+//! * [`bag`] — instances, bags, and labelled datasets (§2.1.2).
+//! * [`dd`] — the `−log DD` objective with analytic gradients under the
+//!   noisy-or model `Pr(B_ij = t) = exp(−‖B_ij − t‖²_w)` (§2.2.1).
+//! * [`policy`] — the paper's four weight-control schemes (§3.6):
+//!   original DD, identical weights, the α gradient hack, and the
+//!   `Σ w ≥ β·n` inequality constraint.
+//! * [`trainer`] — multi-start maximisation from every instance of every
+//!   positive bag, with the §4.3 start-subset speed-up.
+//! * [`concept`] — the learned `(t, w)` pair: bag distances (minimum over
+//!   instances) and noisy-or bag probabilities.
+//! * [`predict`] — the §2.1.2 classification view: thresholded TRUE/FALSE
+//!   decisions on new bags, with confusion-matrix reporting.
+
+pub mod bag;
+pub mod concept;
+pub mod dd;
+pub mod policy;
+pub mod predict;
+pub mod trainer;
+
+pub use bag::{Bag, BagLabel, MilDataset, MilError};
+pub use concept::Concept;
+pub use dd::{DdObjective, Parameterization};
+pub use policy::WeightPolicy;
+pub use predict::{BagClassifier, ClassificationReport};
+pub use trainer::{train, ConstrainedSolver, StartBags, TrainOptions, TrainResult};

@@ -1,0 +1,647 @@
+//! Multi-start Diverse Density training.
+//!
+//! The original algorithm "starts from every instance from every positive
+//! bag and performs gradient ascent from each one" (§2.2.2). §4.3 shows
+//! that starting from the instances of only a *subset* of positive bags
+//! costs little accuracy (2 of 5 bags ≈ 95% of full performance, 3 of 5
+//! indistinguishable) while cutting training time proportionally —
+//! [`StartBags`] exposes that speed-up.
+//!
+//! Solver selection per policy:
+//!
+//! * [`WeightPolicy::OriginalDd`] / [`WeightPolicy::Identical`] — L-BFGS
+//!   (the objective is smooth and unconstrained; L-BFGS reaches the same
+//!   stationary points as the paper's plain gradient ascent, faster).
+//! * [`WeightPolicy::AlphaHack`] — steepest descent, because the hacked
+//!   weight derivatives are deliberately *not* the gradient of any
+//!   function (§3.6.2) and quasi-Newton curvature estimates would be
+//!   built on fiction.
+//! * [`WeightPolicy::SumConstraint`] — projected gradient onto
+//!   `[0,1]ⁿ ∩ {Σw ≥ β·n}` (the CFSQP substitution).
+
+use milr_optim::{
+    gradient_descent, lbfgs, multistart, penalty_method, projected_gradient, BoxSumProjection,
+    GradientDescentOptions, LbfgsOptions, PenaltyOptions, ProjectedGradientOptions, Solution,
+    SubsliceProjection,
+};
+
+use crate::bag::{MilDataset, MilError};
+use crate::concept::Concept;
+use crate::dd::DdObjective;
+use crate::policy::WeightPolicy;
+
+/// Which positive bags contribute gradient-ascent starting points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartBags {
+    /// Every positive bag (the original algorithm).
+    All,
+    /// The first `n` positive bags (the §4.3 speed-up).
+    First(usize),
+    /// An explicit set of positive-bag indices.
+    Indices(Vec<usize>),
+    /// A seeded random subset of `count` positive bags — the paper's
+    /// "the system picks a subset of positive bags" (§4.3), repeatable
+    /// via the seed. Counts larger than the bag count select all bags.
+    RandomSubset {
+        /// How many bags to draw (without replacement).
+        count: usize,
+        /// Seed for the deterministic draw.
+        seed: u64,
+    },
+}
+
+/// Which constrained solver handles [`WeightPolicy::SumConstraint`].
+///
+/// Both converge to the same KKT points (cross-checked in tests and the
+/// `ext-solver` ablation); projected gradient is the default because its
+/// per-iteration cost is lower. The choice exists to substantiate the
+/// CFSQP substitution: the learned concept should not depend on which
+/// constrained method found it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstrainedSolver {
+    /// Projected gradient with the exact box∩half-space projection.
+    ProjectedGradient,
+    /// Sequential quadratic-penalty stages, each solved by L-BFGS.
+    Penalty,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Weight-control policy (§3.6).
+    pub policy: WeightPolicy,
+    /// Positive bags whose instances seed the multi-start.
+    pub start_bags: StartBags,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Iteration budget per start.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the (projected) gradient.
+    pub gradient_tolerance: f64,
+    /// Constrained-solver choice for [`WeightPolicy::SumConstraint`];
+    /// ignored by the other policies.
+    pub constrained_solver: ConstrainedSolver,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            policy: WeightPolicy::SumConstraint { beta: 0.5 },
+            start_bags: StartBags::All,
+            threads: 0,
+            max_iterations: 200,
+            gradient_tolerance: 1e-5,
+            constrained_solver: ConstrainedSolver::ProjectedGradient,
+        }
+    }
+}
+
+/// Outcome of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// The learned concept (ideal point + effective weights).
+    pub concept: Concept,
+    /// `−log DD` at the concept (lower is better).
+    pub nldd: f64,
+    /// Number of multi-start points used.
+    pub starts: usize,
+    /// Number of starts whose solver reported convergence.
+    pub converged_starts: usize,
+    /// Final objective value per start, in start order.
+    pub start_values: Vec<f64>,
+}
+
+/// Trains a Diverse Density concept on `dataset`.
+///
+/// # Examples
+/// ```
+/// use milr_mil::{train, Bag, BagLabel, MilDataset, TrainOptions, WeightPolicy};
+///
+/// // Two positive bags share an instance near (1, 1); a negative bag
+/// // sits at the origin (Fig. 2-1 in miniature).
+/// let mut dataset = MilDataset::new();
+/// dataset.push(Bag::new(vec![vec![1.0, 1.1], vec![6.0, -4.0]]).unwrap(),
+///              BagLabel::Positive).unwrap();
+/// dataset.push(Bag::new(vec![vec![0.9, 1.0], vec![-5.0, 3.0]]).unwrap(),
+///              BagLabel::Positive).unwrap();
+/// dataset.push(Bag::new(vec![vec![0.0, 0.0]]).unwrap(),
+///              BagLabel::Negative).unwrap();
+///
+/// let options = TrainOptions { policy: WeightPolicy::Identical, ..Default::default() };
+/// let result = train(&dataset, &options).unwrap();
+/// let t = result.concept.point();
+/// assert!((t[0] - 1.0).abs() < 0.3 && (t[1] - 1.0).abs() < 0.3);
+/// ```
+///
+/// # Errors
+/// * [`MilError::NoPositiveBags`] when there is nothing to start from.
+/// * [`MilError::InvalidPolicy`] for out-of-range policy parameters or an
+///   empty/out-of-bounds start-bag selection.
+pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult, MilError> {
+    dataset.check_trainable()?;
+    options.policy.validate().map_err(MilError::InvalidPolicy)?;
+
+    let selected = select_bags(dataset, &options.start_bags)?;
+    let param = options.policy.parameterization();
+    let k = dataset.dim().expect("checked non-empty");
+
+    let mut starts: Vec<Vec<f64>> = Vec::new();
+    for &bag_index in &selected {
+        for instance in dataset.positives()[bag_index].instances() {
+            starts.push(param.start_from(instance));
+        }
+    }
+    debug_assert!(!starts.is_empty(), "positive bags are never empty");
+
+    let objective = DdObjective::new(dataset, param);
+
+    let report = match options.policy {
+        WeightPolicy::OriginalDd | WeightPolicy::Identical => {
+            let solver_options = LbfgsOptions {
+                max_iterations: options.max_iterations,
+                gradient_tolerance: options.gradient_tolerance,
+                ..LbfgsOptions::default()
+            };
+            multistart(&starts, options.threads, |x0| {
+                lbfgs(&objective, x0, &solver_options)
+            })
+        }
+        WeightPolicy::AlphaHack { .. } => {
+            let solver_options = GradientDescentOptions {
+                max_iterations: options.max_iterations,
+                gradient_tolerance: options.gradient_tolerance,
+                ..GradientDescentOptions::default()
+            };
+            multistart(&starts, options.threads, |x0| {
+                gradient_descent(&objective, x0, &solver_options)
+            })
+        }
+        WeightPolicy::SumConstraint { beta } => match options.constrained_solver {
+            ConstrainedSolver::ProjectedGradient => {
+                let projection = SubsliceProjection {
+                    start: k,
+                    end: 2 * k,
+                    inner: BoxSumProjection::for_beta(k, beta),
+                };
+                let solver_options = ProjectedGradientOptions {
+                    max_iterations: options.max_iterations,
+                    step_tolerance: options.gradient_tolerance,
+                    ..ProjectedGradientOptions::default()
+                };
+                multistart(&starts, options.threads, |x0| {
+                    projected_gradient(&objective, &projection, x0, &solver_options)
+                })
+            }
+            ConstrainedSolver::Penalty => {
+                let constraint = BoxSumProjection::for_beta(k, beta);
+                let solver_options = PenaltyOptions {
+                    inner: LbfgsOptions {
+                        max_iterations: options.max_iterations,
+                        gradient_tolerance: options.gradient_tolerance,
+                        ..LbfgsOptions::default()
+                    },
+                    ..PenaltyOptions::default()
+                };
+                multistart(&starts, options.threads, |x0| {
+                    penalty_method(&objective, constraint, k, 2 * k, x0, &solver_options)
+                })
+            }
+        },
+    };
+
+    let Solution { x, value, .. } = report.best;
+    let point = x[..k].to_vec();
+    let weights = param.weights_of(&x, k);
+    Ok(TrainResult {
+        concept: Concept::new(point, weights),
+        nldd: value,
+        starts: starts.len(),
+        converged_starts: report.converged_count,
+        start_values: report.values,
+    })
+}
+
+fn select_bags(dataset: &MilDataset, selection: &StartBags) -> Result<Vec<usize>, MilError> {
+    let n = dataset.positives().len();
+    match selection {
+        StartBags::All => Ok((0..n).collect()),
+        StartBags::First(count) => {
+            if *count == 0 {
+                return Err(MilError::InvalidPolicy(
+                    "start-bag subset must contain at least one bag".into(),
+                ));
+            }
+            Ok((0..n.min(*count)).collect())
+        }
+        StartBags::Indices(indices) => {
+            if indices.is_empty() {
+                return Err(MilError::InvalidPolicy(
+                    "start-bag subset must contain at least one bag".into(),
+                ));
+            }
+            for &i in indices {
+                if i >= n {
+                    return Err(MilError::InvalidPolicy(format!(
+                        "start-bag index {i} out of range (have {n} positive bags)"
+                    )));
+                }
+            }
+            Ok(indices.clone())
+        }
+        StartBags::RandomSubset { count, seed } => {
+            if *count == 0 {
+                return Err(MilError::InvalidPolicy(
+                    "start-bag subset must contain at least one bag".into(),
+                ));
+            }
+            // Fisher-Yates with a SplitMix64 stream: dependency-free,
+            // deterministic in the seed.
+            let mut indices: Vec<usize> = (0..n).collect();
+            let mut state = *seed;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..indices.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                indices.swap(i, j);
+            }
+            indices.truncate((*count).min(n));
+            indices.sort_unstable();
+            Ok(indices)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::{Bag, BagLabel};
+
+    fn bag(v: &[&[f32]]) -> Bag {
+        Bag::new(v.iter().map(|s| s.to_vec()).collect()).unwrap()
+    }
+
+    /// Positive bags share an instance near (2, −1); distractor instances
+    /// and negative bags are elsewhere.
+    fn dataset() -> MilDataset {
+        let mut ds = MilDataset::new();
+        ds.push(bag(&[&[2.0, -1.0], &[8.0, 8.0]]), BagLabel::Positive)
+            .unwrap();
+        ds.push(bag(&[&[2.1, -0.9], &[-6.0, 3.0]]), BagLabel::Positive)
+            .unwrap();
+        ds.push(bag(&[&[1.9, -1.1], &[5.0, 5.0]]), BagLabel::Positive)
+            .unwrap();
+        ds.push(bag(&[&[0.0, 0.0], &[8.1, 8.1]]), BagLabel::Negative)
+            .unwrap();
+        ds.push(bag(&[&[-6.1, 3.1]]), BagLabel::Negative).unwrap();
+        ds
+    }
+
+    #[test]
+    fn identical_weights_finds_the_shared_concept() {
+        let ds = dataset();
+        let opts = TrainOptions {
+            policy: WeightPolicy::Identical,
+            ..Default::default()
+        };
+        let result = train(&ds, &opts).unwrap();
+        let t = result.concept.point();
+        assert!((t[0] - 2.0).abs() < 0.2, "t = {t:?}");
+        assert!((t[1] + 1.0).abs() < 0.2, "t = {t:?}");
+        assert_eq!(result.concept.weights(), &[1.0, 1.0]);
+        assert_eq!(result.starts, 6);
+    }
+
+    #[test]
+    fn original_dd_finds_the_shared_concept() {
+        let ds = dataset();
+        let opts = TrainOptions {
+            policy: WeightPolicy::OriginalDd,
+            ..Default::default()
+        };
+        let result = train(&ds, &opts).unwrap();
+        let t = result.concept.point();
+        assert!((t[0] - 2.0).abs() < 0.3, "t = {t:?}");
+        assert!((t[1] + 1.0).abs() < 0.3, "t = {t:?}");
+    }
+
+    #[test]
+    fn sum_constraint_respects_feasibility() {
+        let ds = dataset();
+        let beta = 0.5;
+        let opts = TrainOptions {
+            policy: WeightPolicy::SumConstraint { beta },
+            ..Default::default()
+        };
+        let result = train(&ds, &opts).unwrap();
+        let w = result.concept.weights();
+        let sum: f64 = w.iter().sum();
+        assert!(sum >= beta * w.len() as f64 - 1e-6, "Σw = {sum}");
+        assert!(
+            w.iter().all(|&wi| (-1e-9..=1.0 + 1e-9).contains(&wi)),
+            "w = {w:?}"
+        );
+    }
+
+    #[test]
+    fn beta_one_behaves_like_identical_weights() {
+        let ds = dataset();
+        let constrained = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::SumConstraint { beta: 1.0 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for &w in constrained.concept.weights() {
+            assert!((w - 1.0).abs() < 1e-6, "β=1 must pin every weight at 1");
+        }
+        let identical = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::Identical,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let d: f64 = constrained
+            .concept
+            .point()
+            .iter()
+            .zip(identical.concept.point())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            d < 0.1,
+            "β=1 concept should match identical-weights concept (Δ={d})"
+        );
+    }
+
+    #[test]
+    fn alpha_hack_trains() {
+        let ds = dataset();
+        let opts = TrainOptions {
+            policy: WeightPolicy::AlphaHack { alpha: 50.0 },
+            ..Default::default()
+        };
+        let result = train(&ds, &opts).unwrap();
+        let t = result.concept.point();
+        assert!((t[0] - 2.0).abs() < 0.5, "t = {t:?}");
+    }
+
+    #[test]
+    fn concept_separates_positive_from_negative_bags() {
+        let ds = dataset();
+        let result = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::Identical,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let max_pos = ds
+            .positives()
+            .iter()
+            .map(|b| result.concept.bag_distance_sq(b))
+            .fold(0.0f64, f64::max);
+        let min_neg = ds
+            .negatives()
+            .iter()
+            .map(|b| result.concept.bag_distance_sq(b))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_pos < min_neg,
+            "positive bags (≤{max_pos}) must rank above negative bags (≥{min_neg})"
+        );
+    }
+
+    #[test]
+    fn start_subset_reduces_starts_and_stays_close() {
+        let ds = dataset();
+        let full = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::Identical,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let subset = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::Identical,
+                start_bags: StartBags::First(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(subset.starts < full.starts);
+        // The shared concept instance lives in every bag, so even one
+        // bag's starts should find (roughly) the same optimum.
+        let d: f64 = full
+            .concept
+            .point()
+            .iter()
+            .zip(subset.concept.point())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(d < 0.2, "subset concept drifted by {d}");
+    }
+
+    #[test]
+    fn explicit_indices_selection() {
+        let ds = dataset();
+        let result = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::Identical,
+                start_bags: StartBags::Indices(vec![1, 2]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.starts, 4); // bags 1 and 2 hold 2 instances each
+    }
+
+    #[test]
+    fn out_of_range_indices_rejected() {
+        let ds = dataset();
+        let err = train(
+            &ds,
+            &TrainOptions {
+                start_bags: StartBags::Indices(vec![7]),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(err, Err(MilError::InvalidPolicy(_))));
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let ds = dataset();
+        for sel in [StartBags::First(0), StartBags::Indices(vec![])] {
+            let err = train(
+                &ds,
+                &TrainOptions {
+                    start_bags: sel,
+                    ..Default::default()
+                },
+            );
+            assert!(matches!(err, Err(MilError::InvalidPolicy(_))));
+        }
+    }
+
+    #[test]
+    fn no_positive_bags_rejected() {
+        let mut ds = MilDataset::new();
+        ds.push(bag(&[&[0.0]]), BagLabel::Negative).unwrap();
+        let err = train(&ds, &TrainOptions::default());
+        assert!(matches!(err, Err(MilError::NoPositiveBags)));
+    }
+
+    #[test]
+    fn invalid_policy_parameters_rejected() {
+        let ds = dataset();
+        let err = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::SumConstraint { beta: 2.0 },
+                ..Default::default()
+            },
+        );
+        assert!(matches!(err, Err(MilError::InvalidPolicy(_))));
+    }
+
+    #[test]
+    fn constrained_solvers_agree() {
+        // The ext-solver ablation in miniature: projected gradient and
+        // the penalty method must learn (nearly) the same concept.
+        let ds = dataset();
+        let beta = 0.5;
+        let pg = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::SumConstraint { beta },
+                constrained_solver: ConstrainedSolver::ProjectedGradient,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pen = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::SumConstraint { beta },
+                constrained_solver: ConstrainedSolver::Penalty,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Both feasible.
+        for result in [&pg, &pen] {
+            let w = result.concept.weights();
+            assert!(w.iter().sum::<f64>() >= beta * w.len() as f64 - 1e-6);
+        }
+        // Similar objective quality. Identical points are NOT required:
+        // the DD landscape is multimodal and the two solvers may settle
+        // in different, equally good basins — what matters is that
+        // neither solver finds a materially better optimum.
+        assert!(
+            (pg.nldd - pen.nldd).abs() < 0.5,
+            "NLDD should agree: projected {} vs penalty {}",
+            pg.nldd,
+            pen.nldd
+        );
+        // And both concepts must behave the same way: positive bags
+        // closer than negative bags.
+        for result in [&pg, &pen] {
+            let max_pos = ds
+                .positives()
+                .iter()
+                .map(|b| result.concept.bag_distance_sq(b))
+                .fold(0.0f64, f64::max);
+            let min_neg = ds
+                .negatives()
+                .iter()
+                .map(|b| result.concept.bag_distance_sq(b))
+                .fold(f64::INFINITY, f64::min);
+            assert!(max_pos < min_neg, "concept must separate the classes");
+        }
+    }
+
+    #[test]
+    fn random_subset_selection_is_seeded_and_bounded() {
+        let ds = dataset();
+        let run = |seed: u64, count: usize| {
+            train(
+                &ds,
+                &TrainOptions {
+                    policy: WeightPolicy::Identical,
+                    start_bags: StartBags::RandomSubset { count, seed },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        // Deterministic in the seed.
+        let a = run(7, 2);
+        let b = run(7, 2);
+        assert_eq!(a.concept, b.concept);
+        assert_eq!(a.starts, b.starts);
+        // Two bags of two instances each => 4 starts.
+        assert_eq!(a.starts, 4);
+        // Counts beyond the bag count clamp to all bags (3 bags x 2 = 6).
+        let all = run(7, 99);
+        assert_eq!(all.starts, 6);
+        // Zero count rejected.
+        let err = train(
+            &ds,
+            &TrainOptions {
+                start_bags: StartBags::RandomSubset { count: 0, seed: 1 },
+                ..Default::default()
+            },
+        );
+        assert!(matches!(err, Err(MilError::InvalidPolicy(_))));
+    }
+
+    #[test]
+    fn different_seeds_can_pick_different_subsets() {
+        let ds = dataset();
+        let starts_of = |seed: u64| {
+            train(
+                &ds,
+                &TrainOptions {
+                    policy: WeightPolicy::Identical,
+                    start_bags: StartBags::RandomSubset { count: 1, seed },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .start_values
+        };
+        // With 3 bags and many seeds, at least two seeds must disagree on
+        // the chosen bag (start values differ when the bag differs).
+        let variants: std::collections::HashSet<String> = (0..8)
+            .map(|seed| format!("{:?}", starts_of(seed)))
+            .collect();
+        assert!(variants.len() > 1, "all seeds picked the same bag");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = dataset();
+        let opts = TrainOptions {
+            policy: WeightPolicy::OriginalDd,
+            ..Default::default()
+        };
+        let a = train(&ds, &opts).unwrap();
+        let b = train(&ds, &opts).unwrap();
+        assert_eq!(a.concept, b.concept);
+        assert_eq!(a.start_values, b.start_values);
+    }
+}

@@ -1,0 +1,252 @@
+//! Nonlinear conjugate gradient (Polak–Ribière+) minimisation.
+//!
+//! A third unconstrained solver besides steepest descent and L-BFGS,
+//! kept for the solver-choice ablation: the original DD implementation
+//! used plain gradient ascent (§2.2.2), and the claim that a faster
+//! minimiser does not change *what* is found (only how fast) is easier
+//! to trust with more than one alternative. CG needs O(n) memory like
+//! steepest descent but converges far faster on ill-conditioned
+//! problems.
+//!
+//! The β coefficient is Polak–Ribière clipped at zero (`PR+`), which
+//! auto-restarts on negative values; directions that fail the descent
+//! test also trigger a steepest-descent restart.
+
+use crate::gradient_descent::norm;
+use crate::line_search::{armijo_search, ArmijoOptions, LineSearchError};
+use crate::problem::{Objective, Solution, Termination};
+
+/// Tunables for [`conjugate_gradient`].
+#[derive(Debug, Clone)]
+pub struct ConjugateGradientOptions {
+    /// Stop when the gradient norm falls below this.
+    pub gradient_tolerance: f64,
+    /// Stop when successive values change less than this.
+    pub value_tolerance: f64,
+    /// Outer iteration budget.
+    pub max_iterations: usize,
+    /// Restart with steepest descent every `restart_every` iterations
+    /// (n-step restarts keep CG honest on non-quadratic objectives).
+    pub restart_every: usize,
+    /// Line-search parameters.
+    pub line_search: ArmijoOptions,
+}
+
+impl Default for ConjugateGradientOptions {
+    fn default() -> Self {
+        Self {
+            gradient_tolerance: 1e-6,
+            value_tolerance: 1e-10,
+            max_iterations: 500,
+            restart_every: 50,
+            line_search: ArmijoOptions::default(),
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Minimises `objective` from `x0` with Polak–Ribière+ conjugate
+/// gradients.
+///
+/// # Panics
+/// Panics if `x0.len() != objective.dim()`.
+pub fn conjugate_gradient<O: Objective + ?Sized>(
+    objective: &O,
+    x0: &[f64],
+    options: &ConjugateGradientOptions,
+) -> Solution {
+    assert_eq!(x0.len(), objective.dim(), "start point has wrong dimension");
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut value = objective.value_and_gradient(&x, &mut grad);
+    let mut evaluations = 1;
+    let mut direction: Vec<f64> = grad.iter().map(|&g| -g).collect();
+
+    for iteration in 0..options.max_iterations {
+        let grad_norm = norm(&grad);
+        if grad_norm < options.gradient_tolerance {
+            return Solution {
+                x,
+                value,
+                iterations: iteration,
+                evaluations,
+                termination: Termination::GradientTolerance,
+            };
+        }
+
+        let mut slope = dot(&grad, &direction);
+        if slope >= 0.0 || (iteration > 0 && iteration % options.restart_every == 0) {
+            // Restart with steepest descent.
+            for (d, &g) in direction.iter_mut().zip(&grad) {
+                *d = -g;
+            }
+            slope = -grad_norm * grad_norm;
+        }
+
+        let ls_opts = ArmijoOptions {
+            initial_step: (1.0 / norm(&direction).max(1e-12)).min(1.0),
+            ..options.line_search
+        };
+        match armijo_search(objective, &x, &direction, value, slope, &ls_opts) {
+            Ok(result) => {
+                evaluations += result.evaluations;
+                let mut new_grad = vec![0.0; n];
+                let new_value = objective.value_and_gradient(&result.x_new, &mut new_grad);
+                evaluations += 1;
+
+                // Polak–Ribière+: β = max(0, gₖ₊₁ᵀ(gₖ₊₁ − gₖ) / gₖᵀgₖ).
+                let gg = dot(&grad, &grad);
+                let beta = if gg > 0.0 {
+                    let num = new_grad
+                        .iter()
+                        .zip(&grad)
+                        .map(|(&gn, &go)| gn * (gn - go))
+                        .sum::<f64>();
+                    (num / gg).max(0.0)
+                } else {
+                    0.0
+                };
+                for (d, &gn) in direction.iter_mut().zip(&new_grad) {
+                    *d = -gn + beta * *d;
+                }
+
+                let decrease = value - new_value;
+                x = result.x_new;
+                grad = new_grad;
+                value = new_value;
+                if decrease.abs() < options.value_tolerance {
+                    return Solution {
+                        x,
+                        value,
+                        iterations: iteration + 1,
+                        evaluations,
+                        termination: Termination::ValueTolerance,
+                    };
+                }
+            }
+            Err(LineSearchError::StepUnderflow | LineSearchError::NotADescentDirection { .. }) => {
+                return Solution {
+                    x,
+                    value,
+                    iterations: iteration,
+                    evaluations,
+                    termination: Termination::LineSearchFailed,
+                };
+            }
+        }
+    }
+    Solution {
+        x,
+        value,
+        iterations: options.max_iterations,
+        evaluations,
+        termination: Termination::MaxIterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient_descent::{gradient_descent, GradientDescentOptions};
+    use crate::problem::Quadratic;
+
+    #[test]
+    fn converges_on_isotropic_quadratic() {
+        let q = Quadratic::isotropic(vec![1.0, -2.0, 3.0]);
+        let sol = conjugate_gradient(&q, &[0.0; 3], &ConjugateGradientOptions::default());
+        assert!(sol.termination.converged());
+        for (xi, ci) in sol.x.iter().zip(&q.center) {
+            assert!((xi - ci).abs() < 1e-4, "x = {:?}", sol.x);
+        }
+    }
+
+    #[test]
+    fn handles_anisotropy_better_than_steepest_descent() {
+        let q = Quadratic {
+            center: vec![1.0, 2.0, -1.0],
+            scales: vec![500.0, 1.0, 20.0],
+        };
+        let cg = conjugate_gradient(&q, &[0.0; 3], &ConjugateGradientOptions::default());
+        let gd_opts = GradientDescentOptions {
+            max_iterations: cg.iterations.max(1) * 2,
+            ..GradientDescentOptions::default()
+        };
+        let gd = gradient_descent(&q, &[0.0; 3], &gd_opts);
+        assert!(
+            cg.value <= gd.value + 1e-12,
+            "CG ({}) should beat 2x-budget steepest descent ({})",
+            cg.value,
+            gd.value
+        );
+    }
+
+    #[test]
+    fn rosenbrock_valley() {
+        struct Rosenbrock;
+        impl Objective for Rosenbrock {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn value(&self, x: &[f64]) -> f64 {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            }
+            fn gradient(&self, x: &[f64], g: &mut [f64]) {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                g[0] = -2.0 * a - 400.0 * b * x[0];
+                g[1] = 200.0 * b;
+            }
+        }
+        let opts = ConjugateGradientOptions {
+            max_iterations: 3000,
+            ..ConjugateGradientOptions::default()
+        };
+        let sol = conjugate_gradient(&Rosenbrock, &[-1.2, 1.0], &opts);
+        assert!(sol.value < 1e-4, "f = {}, x = {:?}", sol.value, sol.x);
+    }
+
+    #[test]
+    fn immediate_convergence_at_minimum() {
+        let q = Quadratic::isotropic(vec![0.5]);
+        let sol = conjugate_gradient(&q, &[0.5], &ConjugateGradientOptions::default());
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.termination, Termination::GradientTolerance);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let q = Quadratic {
+            center: vec![9.0; 6],
+            scales: vec![100.0; 6],
+        };
+        let opts = ConjugateGradientOptions {
+            max_iterations: 2,
+            gradient_tolerance: 0.0,
+            value_tolerance: 0.0,
+            ..ConjugateGradientOptions::default()
+        };
+        let sol = conjugate_gradient(&q, &[0.0; 6], &opts);
+        assert_eq!(sol.termination, Termination::MaxIterations);
+        assert_eq!(sol.iterations, 2);
+    }
+
+    #[test]
+    fn agrees_with_lbfgs_on_smooth_problems() {
+        use crate::lbfgs::{lbfgs, LbfgsOptions};
+        let q = Quadratic {
+            center: vec![0.3, -0.7, 1.1, 0.0],
+            scales: vec![4.0, 9.0, 1.0, 16.0],
+        };
+        let cg = conjugate_gradient(&q, &[1.0; 4], &ConjugateGradientOptions::default());
+        let lb = lbfgs(&q, &[1.0; 4], &LbfgsOptions::default());
+        for (a, b) in cg.x.iter().zip(&lb.x) {
+            assert!((a - b).abs() < 1e-4, "CG {:?} vs L-BFGS {:?}", cg.x, lb.x);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Steepest-descent minimisation with Armijo backtracking.
+//!
+//! This is the reference solver matching the original Diverse Density
+//! implementation's "simple gradient ascent" (§2.2.2). [`crate::lbfgs()`]
+//! converges much faster on the same problems and is the production
+//! default; this solver stays as the behavioural baseline and as a
+//! cross-check in tests.
+
+use crate::line_search::{armijo_search, ArmijoOptions, LineSearchError};
+use crate::problem::{Objective, Solution, Termination};
+
+/// Tunables for [`gradient_descent`].
+#[derive(Debug, Clone)]
+pub struct GradientDescentOptions {
+    /// Stop when the Euclidean gradient norm falls below this.
+    pub gradient_tolerance: f64,
+    /// Stop when `|f_k − f_{k+1}|` falls below this.
+    pub value_tolerance: f64,
+    /// Outer iteration budget.
+    pub max_iterations: usize,
+    /// Line-search parameters.
+    pub line_search: ArmijoOptions,
+}
+
+impl Default for GradientDescentOptions {
+    fn default() -> Self {
+        Self {
+            gradient_tolerance: 1e-6,
+            value_tolerance: 1e-10,
+            max_iterations: 500,
+            line_search: ArmijoOptions::default(),
+        }
+    }
+}
+
+/// Minimises `objective` from `x0` by steepest descent.
+///
+/// The first line-search trial step is scaled to `1/‖g‖` so the first
+/// probe moves a unit distance, which keeps behaviour stable across
+/// objectives of very different scale (the DD objective's gradient can
+/// span orders of magnitude between starts).
+///
+/// # Panics
+/// Panics if `x0.len() != objective.dim()`.
+pub fn gradient_descent<O: Objective + ?Sized>(
+    objective: &O,
+    x0: &[f64],
+    options: &GradientDescentOptions,
+) -> Solution {
+    assert_eq!(x0.len(), objective.dim(), "start point has wrong dimension");
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut value = objective.value_and_gradient(&x, &mut grad);
+    let mut evaluations = 1;
+
+    for iteration in 0..options.max_iterations {
+        let grad_norm = norm(&grad);
+        if grad_norm < options.gradient_tolerance {
+            return Solution {
+                x,
+                value,
+                iterations: iteration,
+                evaluations,
+                termination: Termination::GradientTolerance,
+            };
+        }
+        let direction: Vec<f64> = grad.iter().map(|&g| -g).collect();
+        let slope = -grad_norm * grad_norm;
+        let ls_opts = ArmijoOptions {
+            initial_step: (1.0 / grad_norm).min(1.0),
+            ..options.line_search
+        };
+        match armijo_search(objective, &x, &direction, value, slope, &ls_opts) {
+            Ok(result) => {
+                evaluations += result.evaluations;
+                let decrease = value - result.value;
+                x = result.x_new;
+                value = objective.value_and_gradient(&x, &mut grad);
+                evaluations += 1;
+                if decrease.abs() < options.value_tolerance {
+                    return Solution {
+                        x,
+                        value,
+                        iterations: iteration + 1,
+                        evaluations,
+                        termination: Termination::ValueTolerance,
+                    };
+                }
+            }
+            Err(LineSearchError::StepUnderflow | LineSearchError::NotADescentDirection { .. }) => {
+                return Solution {
+                    x,
+                    value,
+                    iterations: iteration,
+                    evaluations,
+                    termination: Termination::LineSearchFailed,
+                };
+            }
+        }
+    }
+    Solution {
+        x,
+        value,
+        iterations: options.max_iterations,
+        evaluations,
+        termination: Termination::MaxIterations,
+    }
+}
+
+pub(crate) fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Quadratic;
+
+    #[test]
+    fn converges_on_isotropic_quadratic() {
+        let q = Quadratic::isotropic(vec![3.0, -1.0, 0.5]);
+        let sol = gradient_descent(&q, &[0.0, 0.0, 0.0], &GradientDescentOptions::default());
+        assert!(
+            sol.termination.converged(),
+            "stopped with {:?}",
+            sol.termination
+        );
+        for (xi, ci) in sol.x.iter().zip(&q.center) {
+            assert!((xi - ci).abs() < 1e-4, "x = {:?}", sol.x);
+        }
+    }
+
+    #[test]
+    fn converges_on_anisotropic_quadratic() {
+        let q = Quadratic {
+            center: vec![1.0, 2.0],
+            scales: vec![100.0, 1.0],
+        };
+        let opts = GradientDescentOptions {
+            max_iterations: 20_000,
+            value_tolerance: 1e-16,
+            ..GradientDescentOptions::default()
+        };
+        let sol = gradient_descent(&q, &[0.0, 0.0], &opts);
+        assert!((sol.x[0] - 1.0).abs() < 1e-2);
+        assert!((sol.x[1] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn immediate_convergence_at_the_minimum() {
+        let q = Quadratic::isotropic(vec![5.0]);
+        let sol = gradient_descent(&q, &[5.0], &GradientDescentOptions::default());
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.termination, Termination::GradientTolerance);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let q = Quadratic {
+            center: vec![1.0, 2.0],
+            scales: vec![1000.0, 0.001],
+        };
+        let opts = GradientDescentOptions {
+            max_iterations: 3,
+            gradient_tolerance: 0.0,
+            value_tolerance: 0.0,
+            ..GradientDescentOptions::default()
+        };
+        let sol = gradient_descent(&q, &[-5.0, -5.0], &opts);
+        assert_eq!(sol.iterations, 3);
+        assert_eq!(sol.termination, Termination::MaxIterations);
+    }
+
+    #[test]
+    fn monotone_decrease() {
+        // Rosenbrock-like quartic valley: descent must still decrease f.
+        struct Valley;
+        impl Objective for Valley {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn value(&self, x: &[f64]) -> f64 {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 10.0 * b * b
+            }
+            fn gradient(&self, x: &[f64], g: &mut [f64]) {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                g[0] = -2.0 * a - 40.0 * b * x[0];
+                g[1] = 20.0 * b;
+            }
+        }
+        let start = [-1.0, 1.0];
+        let f0 = Valley.value(&start);
+        let opts = GradientDescentOptions {
+            max_iterations: 2000,
+            ..Default::default()
+        };
+        let sol = gradient_descent(&Valley, &start, &opts);
+        assert!(sol.value < f0);
+        assert!(sol.value < 0.1, "final value {}", sol.value);
+    }
+
+    #[test]
+    fn evaluation_count_is_tracked() {
+        let q = Quadratic::isotropic(vec![10.0; 4]);
+        let sol = gradient_descent(&q, &[0.0; 4], &GradientDescentOptions::default());
+        assert!(sol.evaluations >= sol.iterations);
+    }
+}

@@ -1,0 +1,303 @@
+//! Limited-memory BFGS minimisation.
+//!
+//! The DD objective is smooth and its dimension is `2h²` (feature point
+//! plus weights — 200 variables at the default `h = 10`), squarely in
+//! L-BFGS territory. The implementation is the standard two-loop
+//! recursion (Nocedal & Wright, Alg. 7.4) with Armijo backtracking and
+//! curvature-guarded updates: pairs with `yᵀs ≤ ε‖s‖‖y‖` are skipped so
+//! the inverse-Hessian approximation stays positive definite.
+
+use std::collections::VecDeque;
+
+use crate::gradient_descent::norm;
+use crate::line_search::{armijo_search, ArmijoOptions, LineSearchError};
+use crate::problem::{Objective, Solution, Termination};
+
+/// Tunables for [`lbfgs`].
+#[derive(Debug, Clone)]
+pub struct LbfgsOptions {
+    /// History size `m` (number of `(s, y)` pairs kept). Typical: 8.
+    pub memory: usize,
+    /// Stop when the gradient norm falls below this.
+    pub gradient_tolerance: f64,
+    /// Stop when successive values change less than this.
+    pub value_tolerance: f64,
+    /// Outer iteration budget.
+    pub max_iterations: usize,
+    /// Line-search parameters.
+    pub line_search: ArmijoOptions,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        Self {
+            memory: 8,
+            gradient_tolerance: 1e-6,
+            value_tolerance: 1e-10,
+            max_iterations: 300,
+            line_search: ArmijoOptions::default(),
+        }
+    }
+}
+
+struct Pair {
+    s: Vec<f64>,
+    y: Vec<f64>,
+    rho: f64,
+}
+
+/// Two-loop recursion: returns `H_k · g` where `H_k` is the implicit
+/// inverse-Hessian approximation.
+fn two_loop(pairs: &VecDeque<Pair>, gradient: &[f64]) -> Vec<f64> {
+    let mut q = gradient.to_vec();
+    let mut alphas = Vec::with_capacity(pairs.len());
+    for p in pairs.iter().rev() {
+        let alpha = p.rho * dot(&p.s, &q);
+        for (qi, yi) in q.iter_mut().zip(&p.y) {
+            *qi -= alpha * yi;
+        }
+        alphas.push(alpha);
+    }
+    // Initial scaling H0 = γ·I with γ = sᵀy / yᵀy of the newest pair.
+    if let Some(newest) = pairs.back() {
+        let gamma = dot(&newest.s, &newest.y) / dot(&newest.y, &newest.y);
+        for qi in &mut q {
+            *qi *= gamma;
+        }
+    }
+    for (p, &alpha) in pairs.iter().zip(alphas.iter().rev()) {
+        let beta = p.rho * dot(&p.y, &q);
+        for (qi, si) in q.iter_mut().zip(&p.s) {
+            *qi += (alpha - beta) * si;
+        }
+    }
+    q
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Minimises `objective` from `x0` with L-BFGS.
+///
+/// # Panics
+/// Panics if `x0.len() != objective.dim()` or `options.memory == 0`.
+pub fn lbfgs<O: Objective + ?Sized>(objective: &O, x0: &[f64], options: &LbfgsOptions) -> Solution {
+    assert_eq!(x0.len(), objective.dim(), "start point has wrong dimension");
+    assert!(options.memory > 0, "L-BFGS needs at least one history slot");
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut value = objective.value_and_gradient(&x, &mut grad);
+    let mut evaluations = 1;
+    let mut pairs: VecDeque<Pair> = VecDeque::with_capacity(options.memory);
+
+    for iteration in 0..options.max_iterations {
+        let grad_norm = norm(&grad);
+        if grad_norm < options.gradient_tolerance {
+            return Solution {
+                x,
+                value,
+                iterations: iteration,
+                evaluations,
+                termination: Termination::GradientTolerance,
+            };
+        }
+
+        let mut direction: Vec<f64> = two_loop(&pairs, &grad);
+        for d in &mut direction {
+            *d = -*d;
+        }
+        let mut slope = dot(&grad, &direction);
+        if slope >= 0.0 {
+            // Hessian approximation lost descent; fall back to steepest
+            // descent and drop the history.
+            pairs.clear();
+            for (d, &g) in direction.iter_mut().zip(&grad) {
+                *d = -g;
+            }
+            slope = -grad_norm * grad_norm;
+        }
+
+        let ls_opts = if pairs.is_empty() {
+            // First iteration (or reset): unit-distance probe like
+            // steepest descent.
+            ArmijoOptions {
+                initial_step: (1.0 / grad_norm).min(1.0),
+                ..options.line_search
+            }
+        } else {
+            // Quasi-Newton steps are well scaled; probe t = 1 first.
+            ArmijoOptions {
+                initial_step: 1.0,
+                ..options.line_search
+            }
+        };
+
+        match armijo_search(objective, &x, &direction, value, slope, &ls_opts) {
+            Ok(result) => {
+                evaluations += result.evaluations;
+                let mut new_grad = vec![0.0; n];
+                let new_value = objective.value_and_gradient(&result.x_new, &mut new_grad);
+                evaluations += 1;
+
+                let s: Vec<f64> = result.x_new.iter().zip(&x).map(|(&a, &b)| a - b).collect();
+                let y: Vec<f64> = new_grad.iter().zip(&grad).map(|(&a, &b)| a - b).collect();
+                let sy = dot(&s, &y);
+                let curvature_ok = sy > 1e-10 * norm(&s) * norm(&y);
+                if curvature_ok {
+                    if pairs.len() == options.memory {
+                        pairs.pop_front();
+                    }
+                    pairs.push_back(Pair {
+                        rho: 1.0 / sy,
+                        s,
+                        y,
+                    });
+                }
+
+                let decrease = value - new_value;
+                x = result.x_new;
+                grad = new_grad;
+                value = new_value;
+                if decrease.abs() < options.value_tolerance {
+                    return Solution {
+                        x,
+                        value,
+                        iterations: iteration + 1,
+                        evaluations,
+                        termination: Termination::ValueTolerance,
+                    };
+                }
+            }
+            Err(LineSearchError::StepUnderflow | LineSearchError::NotADescentDirection { .. }) => {
+                return Solution {
+                    x,
+                    value,
+                    iterations: iteration,
+                    evaluations,
+                    termination: Termination::LineSearchFailed,
+                };
+            }
+        }
+    }
+    Solution {
+        x,
+        value,
+        iterations: options.max_iterations,
+        evaluations,
+        termination: Termination::MaxIterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient_descent::{gradient_descent, GradientDescentOptions};
+    use crate::problem::Quadratic;
+
+    #[test]
+    fn converges_on_isotropic_quadratic() {
+        let q = Quadratic::isotropic(vec![2.0, -3.0, 1.0, 0.0]);
+        let sol = lbfgs(&q, &[0.0; 4], &LbfgsOptions::default());
+        assert!(sol.termination.converged());
+        for (xi, ci) in sol.x.iter().zip(&q.center) {
+            assert!((xi - ci).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn handles_severe_anisotropy_better_than_steepest_descent() {
+        let q = Quadratic {
+            center: vec![1.0, 2.0],
+            scales: vec![1000.0, 0.1],
+        };
+        let lb = lbfgs(&q, &[0.0, 0.0], &LbfgsOptions::default());
+        let gd_opts = GradientDescentOptions {
+            max_iterations: lb.iterations.max(1) * 3,
+            ..GradientDescentOptions::default()
+        };
+        let gd = gradient_descent(&q, &[0.0, 0.0], &gd_opts);
+        assert!(
+            lb.value <= gd.value + 1e-12,
+            "L-BFGS ({}) should beat steepest descent ({}) on the same budget",
+            lb.value,
+            gd.value
+        );
+        assert!((lb.x[0] - 1.0).abs() < 1e-4);
+        assert!((lb.x[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rosenbrock_two_dimensional() {
+        struct Rosenbrock;
+        impl Objective for Rosenbrock {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn value(&self, x: &[f64]) -> f64 {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            }
+            fn gradient(&self, x: &[f64], g: &mut [f64]) {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                g[0] = -2.0 * a - 400.0 * b * x[0];
+                g[1] = 200.0 * b;
+            }
+        }
+        let opts = LbfgsOptions {
+            max_iterations: 500,
+            ..LbfgsOptions::default()
+        };
+        let sol = lbfgs(&Rosenbrock, &[-1.2, 1.0], &opts);
+        assert!((sol.x[0] - 1.0).abs() < 1e-3, "x = {:?}", sol.x);
+        assert!((sol.x[1] - 1.0).abs() < 1e-3, "x = {:?}", sol.x);
+    }
+
+    #[test]
+    fn already_at_minimum() {
+        let q = Quadratic::isotropic(vec![0.0; 3]);
+        let sol = lbfgs(&q, &[0.0; 3], &LbfgsOptions::default());
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn memory_one_still_converges() {
+        let q = Quadratic {
+            center: vec![4.0, -4.0],
+            scales: vec![3.0, 7.0],
+        };
+        let opts = LbfgsOptions {
+            memory: 1,
+            ..LbfgsOptions::default()
+        };
+        let sol = lbfgs(&q, &[0.0, 0.0], &opts);
+        assert!((sol.x[0] - 4.0).abs() < 1e-4);
+        assert!((sol.x[1] + 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "history slot")]
+    fn zero_memory_rejected() {
+        let q = Quadratic::isotropic(vec![0.0]);
+        let opts = LbfgsOptions {
+            memory: 0,
+            ..LbfgsOptions::default()
+        };
+        let _ = lbfgs(&q, &[1.0], &opts);
+    }
+
+    #[test]
+    fn quadratic_converges_in_few_iterations() {
+        // L-BFGS should need far fewer iterations than dimensions on a
+        // benign quadratic.
+        let n = 50;
+        let center: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let q = Quadratic::isotropic(center);
+        let sol = lbfgs(&q, &vec![0.0; n], &LbfgsOptions::default());
+        assert!(sol.iterations < 20, "took {} iterations", sol.iterations);
+        assert!(sol.value < 1e-8);
+    }
+}

@@ -1,0 +1,277 @@
+//! Quadratic-penalty method for the weight-constraint set — an
+//! *ablation* for the CFSQP substitution.
+//!
+//! DESIGN.md replaces the paper's CFSQP solver with projected gradient.
+//! To substantiate that the choice of constrained solver does not drive
+//! the results (the paper makes the same observation about its own
+//! minimisers in the §4.2.1 footnote), this module implements a second,
+//! entirely different constrained method: sequential unconstrained
+//! minimisation of
+//!
+//! ```text
+//! f(x) + (μ/2) · [ Σ max(0, lo − xᵢ)² + Σ max(0, xᵢ − hi)²
+//!                  + max(0, min_sum − Σ xᵢ)² ]
+//! ```
+//!
+//! with μ increasing geometrically, each stage solved by L-BFGS. The
+//! `ext-solver` experiment and the cross-solver tests check both methods
+//! land on the same KKT points.
+
+use crate::lbfgs::{lbfgs, LbfgsOptions};
+use crate::problem::{Objective, Solution, Termination};
+use crate::projection::BoxSumProjection;
+
+/// Tunables for [`penalty_method`].
+#[derive(Debug, Clone)]
+pub struct PenaltyOptions {
+    /// Initial penalty coefficient μ.
+    pub initial_mu: f64,
+    /// Multiplier applied to μ between stages.
+    pub mu_growth: f64,
+    /// Number of penalty stages.
+    pub stages: usize,
+    /// Inner L-BFGS settings per stage.
+    pub inner: LbfgsOptions,
+    /// Constraint-violation tolerance for early exit.
+    pub feasibility_tolerance: f64,
+}
+
+impl Default for PenaltyOptions {
+    fn default() -> Self {
+        Self {
+            initial_mu: 10.0,
+            mu_growth: 10.0,
+            stages: 6,
+            inner: LbfgsOptions {
+                max_iterations: 200,
+                ..LbfgsOptions::default()
+            },
+            feasibility_tolerance: 1e-6,
+        }
+    }
+}
+
+/// The penalised objective for one stage.
+struct Penalized<'a, O: Objective + ?Sized> {
+    objective: &'a O,
+    constraint: BoxSumProjection,
+    /// Coordinates `[start, end)` the constraint applies to.
+    start: usize,
+    end: usize,
+    mu: f64,
+}
+
+impl<O: Objective + ?Sized> Penalized<'_, O> {
+    fn violation_terms(&self, x: &[f64]) -> (f64, f64) {
+        let mut sq = 0.0f64;
+        let mut sum = 0.0f64;
+        for &v in &x[self.start..self.end] {
+            let below = (self.constraint.lo - v).max(0.0);
+            let above = (v - self.constraint.hi).max(0.0);
+            sq += below * below + above * above;
+            sum += v;
+        }
+        let deficit = (self.constraint.min_sum - sum).max(0.0);
+        (sq + deficit * deficit, deficit)
+    }
+}
+
+impl<O: Objective + ?Sized> Objective for Penalized<'_, O> {
+    fn dim(&self) -> usize {
+        self.objective.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let (violation_sq, _) = self.violation_terms(x);
+        self.objective.value(x) + 0.5 * self.mu * violation_sq
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        self.objective.gradient(x, grad);
+        let (_, deficit) = self.violation_terms(x);
+        for i in self.start..self.end {
+            let v = x[i];
+            let below = (self.constraint.lo - v).max(0.0);
+            let above = (v - self.constraint.hi).max(0.0);
+            grad[i] += self.mu * (above - below);
+            grad[i] -= self.mu * deficit; // d/dv of 0.5·(min_sum − Σv)²
+        }
+    }
+}
+
+/// Minimises `objective` subject to the box∩half-space constraint on the
+/// coordinate range `[start, end)` using the quadratic-penalty method.
+///
+/// The returned point is projected onto the constraint set at the end,
+/// so it is exactly feasible.
+///
+/// # Panics
+/// Panics if `x0.len() != objective.dim()` or the range is out of
+/// bounds.
+pub fn penalty_method<O: Objective + ?Sized>(
+    objective: &O,
+    constraint: BoxSumProjection,
+    start: usize,
+    end: usize,
+    x0: &[f64],
+    options: &PenaltyOptions,
+) -> Solution {
+    assert_eq!(x0.len(), objective.dim(), "start point has wrong dimension");
+    assert!(
+        start <= end && end <= x0.len(),
+        "constraint range out of bounds"
+    );
+    let mut x = x0.to_vec();
+    let mut mu = options.initial_mu;
+    let mut iterations = 0;
+    let mut evaluations = 0;
+    let mut termination = Termination::MaxIterations;
+    for _stage in 0..options.stages {
+        let stage_objective = Penalized {
+            objective,
+            constraint,
+            start,
+            end,
+            mu,
+        };
+        let sol = lbfgs(&stage_objective, &x, &options.inner);
+        x = sol.x;
+        iterations += sol.iterations;
+        evaluations += sol.evaluations;
+        termination = sol.termination;
+        let (violation_sq, _) = stage_objective.violation_terms(&x);
+        if violation_sq.sqrt() < options.feasibility_tolerance {
+            break;
+        }
+        mu *= options.mu_growth;
+    }
+    // Exact feasibility for downstream users.
+    use crate::projection::Project as _;
+    constraint.project(&mut x[start..end]);
+    let value = objective.value(&x);
+    evaluations += 1;
+    Solution {
+        x,
+        value,
+        iterations,
+        evaluations,
+        termination,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Quadratic;
+    use crate::projected_gradient::{projected_gradient, ProjectedGradientOptions};
+    use crate::projection::SubsliceProjection;
+
+    #[test]
+    fn interior_solution_matches_unconstrained() {
+        // Minimum at (0.5, 0.5), constraint inactive.
+        let q = Quadratic::isotropic(vec![0.5, 0.5]);
+        let c = BoxSumProjection::for_beta(2, 0.2);
+        let sol = penalty_method(&q, c, 0, 2, &[0.0, 0.0], &PenaltyOptions::default());
+        assert!((sol.x[0] - 0.5).abs() < 1e-4, "x = {:?}", sol.x);
+        assert!((sol.x[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn active_constraint_matches_kkt_point() {
+        // min x² + 4y² s.t. x + y ≥ 1: KKT at (0.8, 0.2).
+        let q = Quadratic {
+            center: vec![0.0, 0.0],
+            scales: vec![2.0, 8.0],
+        };
+        let c = BoxSumProjection::for_beta(2, 0.5);
+        let sol = penalty_method(&q, c, 0, 2, &[0.5, 0.5], &PenaltyOptions::default());
+        assert!((sol.x[0] - 0.8).abs() < 1e-2, "x = {:?}", sol.x);
+        assert!((sol.x[1] - 0.2).abs() < 1e-2, "x = {:?}", sol.x);
+        assert!(
+            c.is_feasible(&sol.x, 1e-9),
+            "result must be exactly feasible"
+        );
+    }
+
+    #[test]
+    fn agrees_with_projected_gradient() {
+        // The ablation claim: two very different constrained solvers land
+        // on the same optimum.
+        let q = Quadratic {
+            center: vec![0.1, -0.3, 0.2],
+            scales: vec![1.0, 3.0, 2.0],
+        };
+        let c = BoxSumProjection::for_beta(3, 0.6); // Σ ≥ 1.8, active
+        let pen = penalty_method(&q, c, 0, 3, &[0.5; 3], &PenaltyOptions::default());
+        let proj = projected_gradient(
+            &q,
+            &SubsliceProjection {
+                start: 0,
+                end: 3,
+                inner: c,
+            },
+            &[0.5; 3],
+            &ProjectedGradientOptions {
+                max_iterations: 5000,
+                step_tolerance: 1e-10,
+                value_tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        for (a, b) in pen.x.iter().zip(&proj.x) {
+            assert!(
+                (a - b).abs() < 1e-2,
+                "penalty {:?} vs projected {:?}",
+                pen.x,
+                proj.x
+            );
+        }
+        assert!((pen.value - proj.value).abs() < 1e-3);
+    }
+
+    #[test]
+    fn partial_range_leaves_free_coordinates_alone() {
+        // Variables [t, w]; constraint only on w (β = 1 pins w at 1).
+        let q = Quadratic::isotropic(vec![-2.0, 0.0]);
+        let c = BoxSumProjection::for_beta(1, 1.0);
+        let sol = penalty_method(&q, c, 1, 2, &[0.0, 0.0], &PenaltyOptions::default());
+        assert!(
+            (sol.x[0] + 2.0).abs() < 1e-4,
+            "free coordinate must reach its optimum"
+        );
+        assert!(
+            (sol.x[1] - 1.0).abs() < 1e-6,
+            "constrained coordinate pinned at 1"
+        );
+    }
+
+    #[test]
+    fn box_bounds_are_enforced() {
+        // Unconstrained minimum at 3.0, but hi = 1.
+        let q = Quadratic::isotropic(vec![3.0]);
+        let c = BoxSumProjection::for_beta(1, 0.0);
+        let sol = penalty_method(&q, c, 0, 1, &[0.0], &PenaltyOptions::default());
+        assert!((sol.x[0] - 1.0).abs() < 1e-6, "x = {:?}", sol.x);
+    }
+
+    #[test]
+    fn penalized_gradient_is_consistent() {
+        use crate::numdiff::gradient_error;
+        let q = Quadratic {
+            center: vec![0.3, -0.4],
+            scales: vec![1.5, 2.5],
+        };
+        let pen = Penalized {
+            objective: &q,
+            constraint: BoxSumProjection::for_beta(2, 0.9),
+            start: 0,
+            end: 2,
+            mu: 25.0,
+        };
+        // Probe points inside, below and above the box.
+        for x in [[0.5, 0.4], [-0.3, 0.2], [1.4, -0.2]] {
+            let err = gradient_error(&pen, &x, 1e-6);
+            assert!(err < 1e-5, "gradient error {err} at {x:?}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Projected-gradient minimisation over a convex set.
+//!
+//! Substitutes for CFSQP in the §3.6.3 inequality-constrained DD
+//! maximisation. Iterates `x⁺ = P(x − t·∇f(x))` with a backtracking
+//! step: `t` shrinks until the sufficient-decrease condition
+//!
+//! ```text
+//! f(x⁺) ≤ f(x) − (σ / t) · ‖x⁺ − x‖²
+//! ```
+//!
+//! holds (the standard projected-gradient Armijo rule). Convergence is
+//! declared when the *projected-gradient step* `‖P(x − t₀·g) − x‖ / t₀`
+//! is small — the correct stationarity measure on a constrained set,
+//! where the raw gradient need not vanish.
+
+use crate::problem::{Objective, Solution, Termination};
+use crate::projection::Project;
+
+/// Tunables for [`projected_gradient`].
+#[derive(Debug, Clone)]
+pub struct ProjectedGradientOptions {
+    /// Initial trial step for each iteration.
+    pub initial_step: f64,
+    /// Sufficient-decrease constant `σ` in `(0, 1)`.
+    pub sigma: f64,
+    /// Multiplicative step shrink factor in `(0, 1)`.
+    pub shrink: f64,
+    /// Abandon an iteration once the trial step falls below this.
+    pub min_step: f64,
+    /// Stop when the projected-gradient step norm falls below this.
+    pub step_tolerance: f64,
+    /// Stop when successive values change less than this.
+    pub value_tolerance: f64,
+    /// Outer iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for ProjectedGradientOptions {
+    fn default() -> Self {
+        Self {
+            initial_step: 1.0,
+            sigma: 1e-4,
+            shrink: 0.5,
+            min_step: 1e-16,
+            step_tolerance: 1e-7,
+            value_tolerance: 1e-10,
+            max_iterations: 500,
+        }
+    }
+}
+
+/// Minimises `objective` over the set defined by `projection`, starting
+/// from `x0` (which is projected first, so infeasible starts are fine).
+///
+/// # Panics
+/// Panics if `x0.len() != objective.dim()`.
+pub fn projected_gradient<O, P>(
+    objective: &O,
+    projection: &P,
+    x0: &[f64],
+    options: &ProjectedGradientOptions,
+) -> Solution
+where
+    O: Objective + ?Sized,
+    P: Project + ?Sized,
+{
+    assert_eq!(x0.len(), objective.dim(), "start point has wrong dimension");
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    projection.project(&mut x);
+    let mut grad = vec![0.0; n];
+    let mut value = objective.value_and_gradient(&x, &mut grad);
+    let mut evaluations = 1;
+    let mut trial = vec![0.0; n];
+
+    for iteration in 0..options.max_iterations {
+        // Stationarity check via the projected-gradient step at t0.
+        let t0 = options.initial_step;
+        for ((ti, &xi), &gi) in trial.iter_mut().zip(&x).zip(&grad) {
+            *ti = xi - t0 * gi;
+        }
+        projection.project(&mut trial);
+        let step_norm: f64 = trial
+            .iter()
+            .zip(&x)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+            / t0;
+        if step_norm < options.step_tolerance {
+            return Solution {
+                x,
+                value,
+                iterations: iteration,
+                evaluations,
+                termination: Termination::GradientTolerance,
+            };
+        }
+
+        // Backtrack on t.
+        let mut t = options.initial_step;
+        let mut accepted = false;
+        while t >= options.min_step {
+            for ((ti, &xi), &gi) in trial.iter_mut().zip(&x).zip(&grad) {
+                *ti = xi - t * gi;
+            }
+            projection.project(&mut trial);
+            let move_sq: f64 = trial.iter().zip(&x).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            if move_sq == 0.0 {
+                break; // projection pinned us; no feasible descent this way
+            }
+            let candidate = objective.value(&trial);
+            evaluations += 1;
+            if candidate.is_finite() && candidate <= value - options.sigma / t * move_sq {
+                let decrease = value - candidate;
+                std::mem::swap(&mut x, &mut trial);
+                value = objective.value_and_gradient(&x, &mut grad);
+                evaluations += 1;
+                if decrease.abs() < options.value_tolerance {
+                    return Solution {
+                        x,
+                        value,
+                        iterations: iteration + 1,
+                        evaluations,
+                        termination: Termination::ValueTolerance,
+                    };
+                }
+                accepted = true;
+                break;
+            }
+            t *= options.shrink;
+        }
+        if !accepted {
+            return Solution {
+                x,
+                value,
+                iterations: iteration,
+                evaluations,
+                termination: Termination::LineSearchFailed,
+            };
+        }
+    }
+    Solution {
+        x,
+        value,
+        iterations: options.max_iterations,
+        evaluations,
+        termination: Termination::MaxIterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Quadratic;
+    use crate::projection::{BoxSumProjection, IdentityProjection, SubsliceProjection};
+
+    #[test]
+    fn unconstrained_matches_plain_descent() {
+        let q = Quadratic::isotropic(vec![1.0, -2.0, 0.5]);
+        let sol = projected_gradient(
+            &q,
+            &IdentityProjection,
+            &[0.0; 3],
+            &ProjectedGradientOptions::default(),
+        );
+        for (xi, ci) in sol.x.iter().zip(&q.center) {
+            assert!((xi - ci).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn interior_minimum_found_when_feasible() {
+        // Minimum at (0.5, 0.5) which satisfies Σ ≥ 0.4 easily.
+        let q = Quadratic::isotropic(vec![0.5, 0.5]);
+        let p = BoxSumProjection::for_beta(2, 0.2);
+        let sol = projected_gradient(&q, &p, &[0.0, 0.0], &ProjectedGradientOptions::default());
+        assert!((sol.x[0] - 0.5).abs() < 1e-5);
+        assert!((sol.x[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn active_sum_constraint_binds() {
+        // Unconstrained minimum at the origin, but Σ ≥ 1 forces the
+        // iterate onto the constraint plane; by symmetry x = (0.5, 0.5).
+        let q = Quadratic::isotropic(vec![0.0, 0.0]);
+        let p = BoxSumProjection::for_beta(2, 0.5);
+        let sol = projected_gradient(&q, &p, &[1.0, 0.0], &ProjectedGradientOptions::default());
+        let sum: f64 = sol.x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "sum = {sum}, x = {:?}", sol.x);
+        assert!((sol.x[0] - 0.5).abs() < 1e-4);
+        assert!((sol.x[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn asymmetric_objective_on_active_constraint() {
+        // min (x−0)² + 4(y−0)² s.t. x + y ≥ 1, box [0,1]².
+        // KKT: 2x = λ, 8y = λ ⇒ x = 4y, x + y = 1 ⇒ y = 0.2, x = 0.8.
+        let q = Quadratic {
+            center: vec![0.0, 0.0],
+            scales: vec![2.0, 8.0],
+        };
+        let p = BoxSumProjection::for_beta(2, 0.5);
+        let opts = ProjectedGradientOptions {
+            max_iterations: 5000,
+            step_tolerance: 1e-9,
+            value_tolerance: 0.0,
+            ..Default::default()
+        };
+        let sol = projected_gradient(&q, &p, &[0.5, 0.5], &opts);
+        assert!((sol.x[0] - 0.8).abs() < 1e-3, "x = {:?}", sol.x);
+        assert!((sol.x[1] - 0.2).abs() < 1e-3, "x = {:?}", sol.x);
+    }
+
+    #[test]
+    fn infeasible_start_is_projected() {
+        let q = Quadratic::isotropic(vec![0.5, 0.5]);
+        let p = BoxSumProjection::for_beta(2, 0.2);
+        let sol = projected_gradient(&q, &p, &[-10.0, 10.0], &ProjectedGradientOptions::default());
+        assert!(p.is_feasible(&sol.x, 1e-9));
+    }
+
+    #[test]
+    fn subslice_constraint_leaves_free_block_unconstrained() {
+        // Variables [t0, t1, w0, w1]; only w constrained with β = 1.
+        let q = Quadratic::isotropic(vec![-3.0, 7.0, 0.0, 0.0]);
+        let p = SubsliceProjection {
+            start: 2,
+            end: 4,
+            inner: BoxSumProjection::for_beta(2, 1.0),
+        };
+        let sol = projected_gradient(&q, &p, &[0.0; 4], &ProjectedGradientOptions::default());
+        assert!((sol.x[0] + 3.0).abs() < 1e-4);
+        assert!((sol.x[1] - 7.0).abs() < 1e-4);
+        assert!((sol.x[2] - 1.0).abs() < 1e-6);
+        assert!((sol.x[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stationary_start_terminates_immediately() {
+        let q = Quadratic::isotropic(vec![0.5, 0.5]);
+        let p = BoxSumProjection::for_beta(2, 0.2);
+        let sol = projected_gradient(&q, &p, &[0.5, 0.5], &ProjectedGradientOptions::default());
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.termination, Termination::GradientTolerance);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let q = Quadratic {
+            center: vec![0.9; 8],
+            scales: vec![100.0; 8],
+        };
+        let p = BoxSumProjection::for_beta(8, 0.1);
+        let opts = ProjectedGradientOptions {
+            max_iterations: 2,
+            step_tolerance: 0.0,
+            value_tolerance: 0.0,
+            ..Default::default()
+        };
+        let sol = projected_gradient(&q, &p, &[0.0; 8], &opts);
+        assert_eq!(sol.termination, Termination::MaxIterations);
+    }
+}

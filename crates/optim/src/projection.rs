@@ -1,0 +1,359 @@
+//! Euclidean projections onto the paper's weight-constraint sets.
+//!
+//! §3.6.3 constrains the DD weights to the convex set
+//! `C = {w : 0 ≤ w_k ≤ 1, Σ w_k ≥ c}` with `c = β·h²`. The Euclidean
+//! projection onto `C` has a closed form up to one scalar: by the KKT
+//! conditions of `min ‖y − x‖² s.t. y ∈ C`, the solution is
+//! `y_k = clamp(x_k + λ, 0, 1)` where `λ ≥ 0` is zero if the clamped
+//! point already meets the sum constraint, and otherwise the unique root
+//! of the nondecreasing function `λ ↦ Σ clamp(x_k + λ, 0, 1) − c`.
+//! [`BoxSumProjection`] finds that root by bisection to machine
+//! precision.
+//!
+//! The DD variable vector is `[t | w]` with only the `w` block
+//! constrained; [`SubsliceProjection`] lifts any projection to a
+//! coordinate sub-range so solvers stay agnostic of that layout.
+
+/// A Euclidean projection onto a convex set, applied in place.
+pub trait Project: Sync {
+    /// Projects `x` onto the set.
+    fn project(&self, x: &mut [f64]);
+}
+
+/// The identity projection (the whole space); used for "no constraint".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityProjection;
+
+impl Project for IdentityProjection {
+    fn project(&self, _x: &mut [f64]) {}
+}
+
+/// Exact projection onto `{x : lo ≤ x_k ≤ hi, Σ x_k ≥ min_sum}`.
+///
+/// # Examples
+/// ```
+/// use milr_optim::{BoxSumProjection, Project};
+///
+/// // The paper's weight set for 4 weights at β = 0.5: Σw ≥ 2.
+/// let p = BoxSumProjection::for_beta(4, 0.5);
+/// let mut w = vec![0.0, 0.0, 0.0, 0.0];
+/// p.project(&mut w);
+/// assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+/// assert!(w.iter().all(|&v| (v - 0.5).abs() < 1e-9)); // symmetric split
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BoxSumProjection {
+    /// Lower box bound (paper: 0).
+    pub lo: f64,
+    /// Upper box bound (paper: 1).
+    pub hi: f64,
+    /// Minimum sum `c = β·h²`.
+    pub min_sum: f64,
+}
+
+impl BoxSumProjection {
+    /// Creates the paper's constraint set for `n` weights and a given
+    /// `β ∈ [0, 1]`: `0 ≤ w ≤ 1`, `Σ w ≥ β·n`.
+    ///
+    /// # Panics
+    /// Panics if `beta` is outside `[0, 1]`.
+    pub fn for_beta(n: usize, beta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "β must lie in [0, 1], got {beta}"
+        );
+        Self {
+            lo: 0.0,
+            hi: 1.0,
+            min_sum: beta * n as f64,
+        }
+    }
+
+    /// Whether `x` already satisfies every constraint (up to `tol`).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        let mut sum = 0.0;
+        for &v in x {
+            if v < self.lo - tol || v > self.hi + tol {
+                return false;
+            }
+            sum += v;
+        }
+        sum >= self.min_sum - tol
+    }
+}
+
+impl Project for BoxSumProjection {
+    fn project(&self, x: &mut [f64]) {
+        debug_assert!(self.hi >= self.lo);
+        debug_assert!(
+            self.min_sum <= self.hi * x.len() as f64 + 1e-9,
+            "constraint set is empty: min_sum {} > n·hi {}",
+            self.min_sum,
+            self.hi * x.len() as f64
+        );
+        // The projection is y_k = clamp(x_k + λ, lo, hi) applied to the
+        // ORIGINAL coordinates (clamping first and shifting afterwards is
+        // not the Euclidean projection — it loses how far below `lo` a
+        // coordinate sat). λ = 0 when the plain clamp already meets the
+        // sum constraint.
+        let shifted_sum = |x: &[f64], lambda: f64| -> f64 {
+            x.iter()
+                .map(|&v| (v + lambda).clamp(self.lo, self.hi))
+                .sum()
+        };
+        if shifted_sum(x, 0.0) < self.min_sum {
+            // The half-space is active — bisect for the λ ≥ 0 with
+            // Σ clamp(x_k + λ) = min_sum. At λ = hi − min(x_k) every
+            // coordinate saturates at hi, so the sum reaches n·hi ≥ min_sum.
+            let mut lambda_lo = 0.0f64;
+            let mut lambda_hi = self.hi - x.iter().cloned().fold(f64::INFINITY, f64::min);
+            // Guard: ensure the bracket's upper end really reaches min_sum.
+            while shifted_sum(x, lambda_hi) < self.min_sum {
+                lambda_hi = lambda_hi.mul_add(2.0, 1.0);
+            }
+            for _ in 0..200 {
+                let mid = 0.5 * (lambda_lo + lambda_hi);
+                if shifted_sum(x, mid) < self.min_sum {
+                    lambda_lo = mid;
+                } else {
+                    lambda_hi = mid;
+                }
+                if lambda_hi - lambda_lo < 1e-15 * (1.0 + lambda_hi) {
+                    break;
+                }
+            }
+            let lambda = lambda_hi;
+            for v in x.iter_mut() {
+                *v = (*v + lambda).clamp(self.lo, self.hi);
+            }
+        } else {
+            for v in x.iter_mut() {
+                *v = v.clamp(self.lo, self.hi);
+            }
+        }
+    }
+}
+
+/// Applies an inner projection to the coordinate range `[start, end)`,
+/// leaving other coordinates untouched.
+#[derive(Debug, Clone)]
+pub struct SubsliceProjection<P> {
+    /// First constrained coordinate.
+    pub start: usize,
+    /// One past the last constrained coordinate.
+    pub end: usize,
+    /// Projection applied to the sub-range.
+    pub inner: P,
+}
+
+impl<P: Project> Project for SubsliceProjection<P> {
+    fn project(&self, x: &mut [f64]) {
+        assert!(
+            self.start <= self.end && self.end <= x.len(),
+            "projection range out of bounds"
+        );
+        self.inner.project(&mut x[self.start..self.end]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn feasible_points_are_fixed() {
+        let p = BoxSumProjection::for_beta(4, 0.5); // Σ ≥ 2
+        let mut x = vec![0.6, 0.7, 0.4, 0.9];
+        let before = x.clone();
+        p.project(&mut x);
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn box_clamp_when_sum_inactive() {
+        let p = BoxSumProjection::for_beta(3, 0.0);
+        let mut x = vec![-0.5, 0.5, 1.8];
+        p.project(&mut x);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn sum_constraint_activates() {
+        let p = BoxSumProjection::for_beta(4, 0.5); // Σ ≥ 2
+        let mut x = vec![0.0, 0.0, 0.0, 0.0];
+        p.project(&mut x);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-9, "projected sum = {sum}");
+        // By symmetry all coordinates equal 0.5.
+        for &v in &x {
+            assert!((v - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn beta_one_forces_all_ones() {
+        let p = BoxSumProjection::for_beta(5, 1.0);
+        let mut x = vec![0.2, 0.9, 0.0, 0.5, 1.0];
+        p.project(&mut x);
+        for &v in &x {
+            assert!((v - 1.0).abs() < 1e-7, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn saturated_coordinates_stay_at_hi() {
+        let p = BoxSumProjection::for_beta(3, 0.9); // Σ ≥ 2.7
+        let mut x = vec![1.5, 0.0, 0.0];
+        p.project(&mut x);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        let sum: f64 = x.iter().sum();
+        assert!(sum >= 2.7 - 1e-9);
+        // Remaining mass split evenly between the two free coordinates.
+        assert!((x[1] - x[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let p = BoxSumProjection::for_beta(6, 0.7);
+        let mut x = vec![-1.0, 2.0, 0.3, 0.1, 0.0, 0.9];
+        p.project(&mut x);
+        let once = x.clone();
+        p.project(&mut x);
+        assert_eq!(x, once);
+    }
+
+    #[test]
+    fn projection_is_the_nearest_feasible_point() {
+        // Compare against a dense grid search over the feasible set for a
+        // tiny instance.
+        let p = BoxSumProjection::for_beta(2, 0.75); // Σ ≥ 1.5
+        let x0 = vec![0.2, 0.1];
+        let mut x = x0.clone();
+        p.project(&mut x);
+        assert!(p.is_feasible(&x, 1e-9));
+        let d_proj = dist_sq(&x, &x0);
+        let steps = 400;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let cand = [i as f64 / steps as f64, j as f64 / steps as f64];
+                if cand[0] + cand[1] >= 1.5 {
+                    assert!(
+                        dist_sq(&cand, &x0) >= d_proj - 1e-6,
+                        "grid point {cand:?} beats the projection {x:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        // y = clamp(x + λ) with a single λ: all non-saturated coordinates
+        // receive the same shift.
+        let p = BoxSumProjection::for_beta(5, 0.8); // Σ ≥ 4
+        let x0 = vec![0.9, 0.1, 0.2, 0.5, 0.0];
+        let mut y = x0.clone();
+        p.project(&mut y);
+        let shifts: Vec<f64> = y
+            .iter()
+            .zip(&x0)
+            .filter(|(&yi, _)| yi > 1e-9 && yi < 1.0 - 1e-9)
+            .map(|(&yi, &xi)| yi - xi)
+            .collect();
+        for w in shifts.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-7,
+                "interior shifts differ: {shifts:?}"
+            );
+        }
+        // λ ≥ 0.
+        assert!(shifts.iter().all(|&s| s >= -1e-9));
+    }
+
+    #[test]
+    fn far_out_of_box_points_project_correctly() {
+        // Regression: P(-0.5, -3.5) under {Σ ≥ 1, [0,1]²} is (1, 0) —
+        // NOT (0.5, 0.5), which a clamp-then-shift shortcut produces.
+        let p = BoxSumProjection::for_beta(2, 0.5);
+        let mut x = vec![-0.5, -3.5];
+        p.project(&mut x);
+        assert!((x[0] - 1.0).abs() < 1e-7, "x = {x:?}");
+        assert!(x[1].abs() < 1e-7, "x = {x:?}");
+    }
+
+    #[test]
+    fn out_of_box_projection_is_nearest_on_grid() {
+        let p = BoxSumProjection::for_beta(2, 0.75); // Σ ≥ 1.5
+        let x0 = vec![-1.0, 2.5];
+        let mut x = x0.clone();
+        p.project(&mut x);
+        assert!(p.is_feasible(&x, 1e-9));
+        let d_proj = dist_sq(&x, &x0);
+        let steps = 400;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let cand = [i as f64 / steps as f64, j as f64 / steps as f64];
+                if cand[0] + cand[1] >= 1.5 {
+                    assert!(
+                        dist_sq(&cand, &x0) >= d_proj - 1e-6,
+                        "grid point {cand:?} beats the projection {x:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_projection_never_moves() {
+        let mut x = vec![1e9, -1e9, f64::MIN_POSITIVE];
+        IdentityProjection.project(&mut x);
+        assert_eq!(x, vec![1e9, -1e9, f64::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn subslice_projection_targets_range() {
+        let inner = BoxSumProjection::for_beta(2, 1.0); // forces [1, 1]
+        let p = SubsliceProjection {
+            start: 1,
+            end: 3,
+            inner,
+        };
+        let mut x = vec![-5.0, 0.0, 0.0, 7.0];
+        p.project(&mut x);
+        assert_eq!(x[0], -5.0);
+        assert!((x[1] - 1.0).abs() < 1e-7);
+        assert!((x[2] - 1.0).abs() < 1e-7);
+        assert_eq!(x[3], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subslice_range_checked() {
+        let p = SubsliceProjection {
+            start: 2,
+            end: 5,
+            inner: IdentityProjection,
+        };
+        let mut x = vec![0.0; 3];
+        p.project(&mut x);
+    }
+
+    #[test]
+    #[should_panic(expected = "β must lie in")]
+    fn invalid_beta_rejected() {
+        let _ = BoxSumProjection::for_beta(4, 1.5);
+    }
+
+    #[test]
+    fn is_feasible_checks_everything() {
+        let p = BoxSumProjection::for_beta(3, 0.5); // Σ ≥ 1.5
+        assert!(p.is_feasible(&[0.5, 0.5, 0.5], 1e-9));
+        assert!(!p.is_feasible(&[0.1, 0.1, 0.1], 1e-9)); // sum too small
+        assert!(!p.is_feasible(&[1.5, 0.5, 0.5], 1e-9)); // above box
+        assert!(!p.is_feasible(&[-0.1, 1.0, 1.0], 1e-9)); // below box
+    }
+}

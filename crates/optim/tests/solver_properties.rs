@@ -1,0 +1,170 @@
+//! Property-based tests of the solvers on random convex quadratics:
+//! descent, convergence to the analytic optimum, and agreement across
+//! methods.
+
+use milr_optim::{
+    conjugate_gradient, gradient_descent, lbfgs, penalty_method, projected_gradient,
+    BoxSumProjection, ConjugateGradientOptions, GradientDescentOptions, LbfgsOptions,
+    Objective, PenaltyOptions, ProjectedGradientOptions, SubsliceProjection,
+};
+use proptest::prelude::*;
+
+/// `½ Σ sᵢ (xᵢ − cᵢ)²` — strictly convex when every `sᵢ > 0`.
+#[derive(Debug)]
+struct Quadratic {
+    center: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl Objective for Quadratic {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(&self.center)
+            .zip(&self.scales)
+            .map(|((&xi, &ci), &si)| 0.5 * si * (xi - ci) * (xi - ci))
+            .sum()
+    }
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        for ((g, (&xi, &ci)), &si) in grad
+            .iter_mut()
+            .zip(x.iter().zip(&self.center))
+            .zip(&self.scales)
+        {
+            *g = si * (xi - ci);
+        }
+    }
+}
+
+fn quadratic(n: usize) -> impl Strategy<Value = Quadratic> {
+    (
+        proptest::collection::vec(-5.0f64..5.0, n),
+        proptest::collection::vec(0.1f64..20.0, n),
+    )
+        .prop_map(|(center, scales)| Quadratic { center, scales })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All three unconstrained solvers find the analytic minimum of a
+    /// random convex quadratic.
+    #[test]
+    fn unconstrained_solvers_reach_the_analytic_optimum(
+        q in quadratic(5),
+        x0 in proptest::collection::vec(-5.0f64..5.0, 5),
+    ) {
+        let lb = lbfgs(&q, &x0, &LbfgsOptions::default());
+        let cg = conjugate_gradient(&q, &x0, &ConjugateGradientOptions::default());
+        let gd = gradient_descent(
+            &q,
+            &x0,
+            &GradientDescentOptions {
+                max_iterations: 5000,
+                value_tolerance: 1e-14,
+                ..Default::default()
+            },
+        );
+        for sol in [&lb, &cg, &gd] {
+            for (xi, ci) in sol.x.iter().zip(&q.center) {
+                prop_assert!((xi - ci).abs() < 1e-2, "{:?} vs {:?}", sol.x, q.center);
+            }
+        }
+    }
+
+    /// Solver outputs never exceed the starting value (descent methods
+    /// descend).
+    #[test]
+    fn solvers_never_increase_the_objective(
+        q in quadratic(4),
+        x0 in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let f0 = q.value(&x0);
+        let lb = lbfgs(&q, &x0, &LbfgsOptions::default());
+        prop_assert!(lb.value <= f0 + 1e-12);
+        let cg = conjugate_gradient(&q, &x0, &ConjugateGradientOptions::default());
+        prop_assert!(cg.value <= f0 + 1e-12);
+    }
+
+    /// Projected gradient returns a feasible point whose objective is no
+    /// worse than the best feasible corner of a sampled grid.
+    #[test]
+    fn projected_gradient_is_feasible_and_competitive(
+        q in quadratic(3),
+        beta in 0.1f64..0.9,
+    ) {
+        let constraint = BoxSumProjection::for_beta(3, beta);
+        let projection = SubsliceProjection {
+            start: 0,
+            end: 3,
+            inner: constraint,
+        };
+        let sol = projected_gradient(
+            &q,
+            &projection,
+            &[0.5; 3],
+            &ProjectedGradientOptions {
+                max_iterations: 3000,
+                step_tolerance: 1e-9,
+                ..Default::default()
+            },
+        );
+        prop_assert!(constraint.is_feasible(&sol.x, 1e-6), "infeasible: {:?}", sol.x);
+        // Sample feasible grid points; none may beat the solver by a
+        // visible margin.
+        let steps = 8;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                for k in 0..=steps {
+                    let cand = [
+                        i as f64 / steps as f64,
+                        j as f64 / steps as f64,
+                        k as f64 / steps as f64,
+                    ];
+                    if constraint.is_feasible(&cand, 0.0) {
+                        prop_assert!(
+                            q.value(&cand) >= sol.value - 1e-6,
+                            "grid point {cand:?} beats the solver ({} < {})",
+                            q.value(&cand),
+                            sol.value
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The penalty method lands on (essentially) the same constrained
+    /// optimum as projected gradient.
+    #[test]
+    fn penalty_agrees_with_projected_gradient(
+        q in quadratic(3),
+        beta in 0.2f64..0.9,
+    ) {
+        let constraint = BoxSumProjection::for_beta(3, beta);
+        let pg = projected_gradient(
+            &q,
+            &SubsliceProjection {
+                start: 0,
+                end: 3,
+                inner: constraint,
+            },
+            &[0.5; 3],
+            &ProjectedGradientOptions {
+                max_iterations: 5000,
+                step_tolerance: 1e-10,
+                value_tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        let pen = penalty_method(&q, constraint, 0, 3, &[0.5; 3], &PenaltyOptions::default());
+        prop_assert!(
+            (pg.value - pen.value).abs() < 1e-2,
+            "projected {} vs penalty {}",
+            pg.value,
+            pen.value
+        );
+    }
+}

@@ -1,0 +1,446 @@
+//! Labelled synthetic image databases and train/test splitting (§4.1).
+//!
+//! [`SceneDatabase`] mirrors the COREL natural-scene collection (5
+//! categories × 100 images by default); [`ObjectDatabase`] mirrors the
+//! 228-image, 19-category web collection (12 per category). Both are
+//! deterministic in their seed.
+//!
+//! [`DatabaseSplit`] reproduces the paper's evaluation protocol: a
+//! stratified "potential training set" (20% of each category by default)
+//! whose labels the system may consult for simulated relevance feedback,
+//! and a disjoint test set retrieval is finally scored on.
+
+use milr_imgproc::{GrayImage, RgbImage};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::objects::{generate_object, OBJECT_CATEGORIES};
+use crate::scenes::{generate_scene, SCENE_CATEGORIES};
+
+/// A labelled colour-image database.
+#[derive(Debug, Clone)]
+pub struct LabelledImages {
+    images: Vec<RgbImage>,
+    labels: Vec<usize>,
+    categories: Vec<String>,
+}
+
+impl LabelledImages {
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The colour images, in index order.
+    pub fn images(&self) -> &[RgbImage] {
+        &self.images
+    }
+
+    /// Category label per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Category names, indexed by label.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Looks up a category index by name.
+    pub fn category_index(&self, name: &str) -> Option<usize> {
+        self.categories.iter().position(|c| c == name)
+    }
+
+    /// Number of images carrying a label.
+    pub fn category_count(&self, category: usize) -> usize {
+        self.labels.iter().filter(|&&l| l == category).count()
+    }
+
+    /// Gray-scale conversions of all images, paired with labels — the
+    /// input format of the retrieval pipeline (§3.5 step 1).
+    pub fn gray_images(&self) -> Vec<(GrayImage, usize)> {
+        self.images
+            .iter()
+            .zip(&self.labels)
+            .map(|(img, &l)| (img.to_gray(), l))
+            .collect()
+    }
+
+    /// Stratified split into a potential-training pool and a test set:
+    /// `pool_fraction` of each category (rounded up, at least 1) goes to
+    /// the pool. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `pool_fraction` is outside `(0, 1)`.
+    pub fn split(&self, pool_fraction: f64, seed: u64) -> DatabaseSplit {
+        assert!(
+            pool_fraction > 0.0 && pool_fraction < 1.0,
+            "pool fraction must lie strictly between 0 and 1, got {pool_fraction}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = Vec::new();
+        let mut test = Vec::new();
+        for category in 0..self.categories.len() {
+            let mut members: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == category)
+                .collect();
+            members.shuffle(&mut rng);
+            let take = ((members.len() as f64 * pool_fraction).ceil() as usize)
+                .clamp(1, members.len().saturating_sub(1).max(1));
+            pool.extend_from_slice(&members[..take]);
+            test.extend_from_slice(&members[take..]);
+        }
+        pool.sort_unstable();
+        test.sort_unstable();
+        DatabaseSplit { pool, test }
+    }
+}
+
+/// A stratified potential-training pool / test-set split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseSplit {
+    /// Indices whose labels the system may consult (simulated feedback).
+    pub pool: Vec<usize>,
+    /// Indices retrieval is finally evaluated on.
+    pub test: Vec<usize>,
+}
+
+/// The synthetic natural-scene database (COREL stand-in).
+#[derive(Debug, Clone)]
+pub struct SceneDatabase {
+    inner: LabelledImages,
+}
+
+/// Builder for [`SceneDatabase`].
+#[derive(Debug, Clone)]
+pub struct SceneDatabaseBuilder {
+    images_per_category: usize,
+    seed: u64,
+    width: usize,
+    height: usize,
+}
+
+impl Default for SceneDatabaseBuilder {
+    fn default() -> Self {
+        Self {
+            images_per_category: 100,
+            seed: 0,
+            width: 128,
+            height: 96,
+        }
+    }
+}
+
+impl SceneDatabaseBuilder {
+    /// Images per category (paper: 100).
+    pub fn images_per_category(mut self, n: usize) -> Self {
+        self.images_per_category = n;
+        self
+    }
+
+    /// RNG seed — the whole database is a pure function of it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Image dimensions (default 128×96).
+    pub fn dimensions(mut self, width: usize, height: usize) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Generates the database.
+    ///
+    /// # Panics
+    /// Panics if `images_per_category == 0` or the dimensions are too
+    /// small for the generators (< 16 px).
+    pub fn build(self) -> SceneDatabase {
+        assert!(
+            self.images_per_category > 0,
+            "need at least one image per category"
+        );
+        assert!(
+            self.width >= 16 && self.height >= 16,
+            "images must be at least 16x16"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut images = Vec::with_capacity(5 * self.images_per_category);
+        let mut labels = Vec::with_capacity(5 * self.images_per_category);
+        for category in 0..SCENE_CATEGORIES.len() {
+            for _ in 0..self.images_per_category {
+                let image_seed: u64 = rng.gen();
+                let mut image_rng = StdRng::seed_from_u64(image_seed);
+                images.push(generate_scene(
+                    category,
+                    self.width,
+                    self.height,
+                    &mut image_rng,
+                ));
+                labels.push(category);
+            }
+        }
+        SceneDatabase {
+            inner: LabelledImages {
+                images,
+                labels,
+                categories: SCENE_CATEGORIES.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        }
+    }
+}
+
+impl SceneDatabase {
+    /// Starts building a scene database.
+    pub fn builder() -> SceneDatabaseBuilder {
+        SceneDatabaseBuilder::default()
+    }
+}
+
+impl std::ops::Deref for SceneDatabase {
+    type Target = LabelledImages;
+    fn deref(&self) -> &LabelledImages {
+        &self.inner
+    }
+}
+
+/// The synthetic object database (retail-website stand-in).
+#[derive(Debug, Clone)]
+pub struct ObjectDatabase {
+    inner: LabelledImages,
+}
+
+/// Builder for [`ObjectDatabase`].
+#[derive(Debug, Clone)]
+pub struct ObjectDatabaseBuilder {
+    images_per_category: usize,
+    seed: u64,
+    width: usize,
+    height: usize,
+}
+
+impl Default for ObjectDatabaseBuilder {
+    fn default() -> Self {
+        // 19 × 12 = 228 images, matching the paper's object collection.
+        Self {
+            images_per_category: 12,
+            seed: 0,
+            width: 96,
+            height: 96,
+        }
+    }
+}
+
+impl ObjectDatabaseBuilder {
+    /// Images per category (paper total: 228 over 19 categories).
+    pub fn images_per_category(mut self, n: usize) -> Self {
+        self.images_per_category = n;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Image dimensions (default 96×96).
+    pub fn dimensions(mut self, width: usize, height: usize) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Generates the database.
+    ///
+    /// # Panics
+    /// Same conditions as [`SceneDatabaseBuilder::build`].
+    pub fn build(self) -> ObjectDatabase {
+        assert!(
+            self.images_per_category > 0,
+            "need at least one image per category"
+        );
+        assert!(
+            self.width >= 16 && self.height >= 16,
+            "images must be at least 16x16"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_cat = OBJECT_CATEGORIES.len();
+        let mut images = Vec::with_capacity(n_cat * self.images_per_category);
+        let mut labels = Vec::with_capacity(n_cat * self.images_per_category);
+        for category in 0..n_cat {
+            for _ in 0..self.images_per_category {
+                let image_seed: u64 = rng.gen();
+                let mut image_rng = StdRng::seed_from_u64(image_seed);
+                images.push(generate_object(
+                    category,
+                    self.width,
+                    self.height,
+                    &mut image_rng,
+                ));
+                labels.push(category);
+            }
+        }
+        ObjectDatabase {
+            inner: LabelledImages {
+                images,
+                labels,
+                categories: OBJECT_CATEGORIES.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        }
+    }
+}
+
+impl ObjectDatabase {
+    /// Starts building an object database.
+    pub fn builder() -> ObjectDatabaseBuilder {
+        ObjectDatabaseBuilder::default()
+    }
+}
+
+impl std::ops::Deref for ObjectDatabase {
+    type Target = LabelledImages;
+    fn deref(&self) -> &LabelledImages {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenes() -> SceneDatabase {
+        SceneDatabase::builder()
+            .images_per_category(4)
+            .seed(3)
+            .dimensions(64, 48)
+            .build()
+    }
+
+    #[test]
+    fn scene_database_shape() {
+        let db = small_scenes();
+        assert_eq!(db.len(), 20);
+        assert_eq!(db.categories().len(), 5);
+        for cat in 0..5 {
+            assert_eq!(db.category_count(cat), 4);
+        }
+    }
+
+    #[test]
+    fn default_sizes_match_the_paper() {
+        // Avoid building the full databases here (slow in debug); check
+        // the builder defaults instead.
+        let sb = SceneDatabaseBuilder::default();
+        assert_eq!(sb.images_per_category * 5, 500);
+        let ob = ObjectDatabaseBuilder::default();
+        assert_eq!(ob.images_per_category * OBJECT_CATEGORIES.len(), 228);
+    }
+
+    #[test]
+    fn object_database_shape() {
+        let db = ObjectDatabase::builder()
+            .images_per_category(2)
+            .seed(1)
+            .dimensions(48, 48)
+            .build();
+        assert_eq!(db.len(), 38);
+        assert_eq!(db.categories().len(), 19);
+        assert_eq!(db.category_index("car"), Some(0));
+        assert_eq!(db.category_index("bottle"), Some(18));
+        assert_eq!(db.category_index("spaceship"), None);
+    }
+
+    #[test]
+    fn databases_are_seed_deterministic() {
+        let a = small_scenes();
+        let b = small_scenes();
+        assert_eq!(a.images()[7], b.images()[7]);
+        let c = SceneDatabase::builder()
+            .images_per_category(4)
+            .seed(4)
+            .dimensions(64, 48)
+            .build();
+        assert_ne!(a.images()[7], c.images()[7]);
+    }
+
+    #[test]
+    fn gray_images_preserve_labels() {
+        let db = small_scenes();
+        let gray = db.gray_images();
+        assert_eq!(gray.len(), db.len());
+        for (i, (img, label)) in gray.iter().enumerate() {
+            assert_eq!(*label, db.labels()[i]);
+            assert_eq!(img.width(), 64);
+        }
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let db = small_scenes();
+        let split = db.split(0.25, 9);
+        // 25% of 4 = 1 per category.
+        assert_eq!(split.pool.len(), 5);
+        assert_eq!(split.test.len(), 15);
+        for cat in 0..5 {
+            let in_pool = split
+                .pool
+                .iter()
+                .filter(|&&i| db.labels()[i] == cat)
+                .count();
+            assert_eq!(in_pool, 1, "category {cat}");
+        }
+        for i in &split.pool {
+            assert!(!split.test.contains(i));
+        }
+        let mut all: Vec<usize> = split.pool.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let db = small_scenes();
+        assert_eq!(db.split(0.25, 5), db.split(0.25, 5));
+        assert_ne!(db.split(0.25, 5), db.split(0.25, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn bad_split_fraction_rejected() {
+        let db = small_scenes();
+        let _ = db.split(1.0, 0);
+    }
+
+    #[test]
+    fn split_never_empties_the_test_set() {
+        let db = SceneDatabase::builder()
+            .images_per_category(2)
+            .seed(0)
+            .dimensions(48, 48)
+            .build();
+        let split = db.split(0.9, 0);
+        // Even at 90% the clamp keeps at least one test image per category.
+        for cat in 0..5 {
+            let in_test = split
+                .test
+                .iter()
+                .filter(|&&i| db.labels()[i] == cat)
+                .count();
+            assert!(in_test >= 1, "category {cat} has no test images");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one image")]
+    fn zero_images_per_category_rejected() {
+        let _ = SceneDatabase::builder().images_per_category(0).build();
+    }
+}

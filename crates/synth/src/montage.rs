@@ -1,0 +1,98 @@
+//! Contact-sheet montages of a labelled database.
+//!
+//! One image per cell, one row per category — the quickest way to
+//! eyeball what the generators produce (`milr montage` writes these to
+//! disk as PPM).
+
+use milr_imgproc::RgbImage;
+
+use crate::database::LabelledImages;
+
+/// Builds a montage with one row per category and up to `per_category`
+/// images per row, separated by 2-px gutters.
+///
+/// # Panics
+/// Panics if `per_category == 0` or the database is empty.
+pub fn montage(db: &LabelledImages, per_category: usize) -> RgbImage {
+    assert!(per_category > 0, "montage needs at least one column");
+    assert!(!db.is_empty(), "montage needs a non-empty database");
+    let cell_w = db.images()[0].width();
+    let cell_h = db.images()[0].height();
+    let categories = db.categories().len();
+    const GUTTER: usize = 2;
+    let width = per_category * cell_w + (per_category + 1) * GUTTER;
+    let height = categories * cell_h + (categories + 1) * GUTTER;
+    let mut sheet = RgbImage::filled(width, height, [24.0, 24.0, 28.0]).expect("montage size");
+
+    for category in 0..categories {
+        let members: Vec<usize> = (0..db.len())
+            .filter(|&i| db.labels()[i] == category)
+            .take(per_category)
+            .collect();
+        for (column, &index) in members.iter().enumerate() {
+            let image = &db.images()[index];
+            let x0 = GUTTER + column * (cell_w + GUTTER);
+            let y0 = GUTTER + category * (cell_h + GUTTER);
+            for y in 0..image.height().min(cell_h) {
+                for x in 0..image.width().min(cell_w) {
+                    sheet.set(x0 + x, y0 + y, image.get(x, y));
+                }
+            }
+        }
+    }
+    sheet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::SceneDatabase;
+
+    fn db() -> SceneDatabase {
+        SceneDatabase::builder()
+            .images_per_category(3)
+            .seed(2)
+            .dimensions(32, 24)
+            .build()
+    }
+
+    #[test]
+    fn montage_dimensions() {
+        let sheet = montage(&db(), 3);
+        // 3 columns of 32 px + 4 gutters of 2 px = 104.
+        assert_eq!(sheet.width(), 3 * 32 + 4 * 2);
+        // 5 categories of 24 px + 6 gutters = 132.
+        assert_eq!(sheet.height(), 5 * 24 + 6 * 2);
+    }
+
+    #[test]
+    fn cells_contain_the_right_images() {
+        let database = db();
+        let sheet = montage(&database, 2);
+        // Top-left cell = first image of category 0.
+        let first = &database.images()[0];
+        assert_eq!(sheet.get(2, 2), first.get(0, 0));
+        assert_eq!(sheet.get(2 + 31, 2 + 23), first.get(31, 23));
+    }
+
+    #[test]
+    fn gutters_stay_dark() {
+        let sheet = montage(&db(), 2);
+        assert_eq!(sheet.get(0, 0), [24.0, 24.0, 28.0]);
+        assert_eq!(sheet.get(1, 10), [24.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn fewer_images_than_columns_leaves_cells_empty() {
+        let sheet = montage(&db(), 10);
+        // Column 5 has no image (only 3 per category): background colour.
+        let x_empty = 2 + 5 * (32 + 2) + 10;
+        assert_eq!(sheet.get(x_empty, 10), [24.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_rejected() {
+        let _ = montage(&db(), 0);
+    }
+}

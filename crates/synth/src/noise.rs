@@ -1,0 +1,196 @@
+//! Seeded value noise and fractal Brownian motion.
+//!
+//! The scene generators need repeatable, band-limited texture: rock
+//! faces, foliage, water ripples, cloud wisps. A hash-based value-noise
+//! lattice (no state, fully determined by `(seed, x, y)`) interpolated
+//! with a smoothstep gives single-octave noise; [`FractalNoise`] stacks
+//! octaves with per-octave gain for natural-looking clutter.
+
+/// Deterministic 2-D value noise driven by an integer lattice hash.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field for a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Hash of a lattice point into `[0, 1)`.
+    fn lattice(&self, ix: i64, iy: i64) -> f32 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut z = self
+            .seed
+            .wrapping_add((ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((iy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f32 / (1u64 << 53) as f32
+    }
+
+    /// Noise value in `[0, 1)` at continuous coordinates.
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = smoothstep(x - x0);
+        let fy = smoothstep(y - y0);
+        let (ix, iy) = (x0 as i64, y0 as i64);
+        let v00 = self.lattice(ix, iy);
+        let v10 = self.lattice(ix + 1, iy);
+        let v01 = self.lattice(ix, iy + 1);
+        let v11 = self.lattice(ix + 1, iy + 1);
+        let top = v00 + (v10 - v00) * fx;
+        let bottom = v01 + (v11 - v01) * fx;
+        top + (bottom - top) * fy
+    }
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Multi-octave fractal noise: `Σ gainⁱ · noiseᵢ(p · lacunarityⁱ)`,
+/// normalised into `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct FractalNoise {
+    octaves: Vec<ValueNoise>,
+    /// Base spatial frequency (lattice cells per unit coordinate).
+    pub frequency: f32,
+    /// Frequency multiplier per octave (typically 2).
+    pub lacunarity: f32,
+    /// Amplitude multiplier per octave (typically 0.5).
+    pub gain: f32,
+}
+
+impl FractalNoise {
+    /// Creates `octaves` layers of value noise from a seed.
+    ///
+    /// # Panics
+    /// Panics if `octaves == 0`.
+    pub fn new(seed: u64, octaves: usize, frequency: f32) -> Self {
+        assert!(octaves > 0, "fractal noise needs at least one octave");
+        let octaves = (0..octaves)
+            .map(|i| {
+                ValueNoise::new(
+                    seed.wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
+            .collect();
+        Self {
+            octaves,
+            frequency,
+            lacunarity: 2.0,
+            gain: 0.5,
+        }
+    }
+
+    /// Fractal noise in `[0, 1]` at normalised coordinates (typically
+    /// `x/width`, `y/height`).
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let mut freq = self.frequency;
+        let mut amp = 1.0f32;
+        let mut total = 0.0f32;
+        let mut norm = 0.0f32;
+        for octave in &self.octaves {
+            total += amp * octave.sample(x * freq, y * freq);
+            norm += amp;
+            freq *= self.lacunarity;
+            amp *= self.gain;
+        }
+        total / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let a = ValueNoise::new(42);
+        let b = ValueNoise::new(42);
+        for i in 0..50 {
+            let (x, y) = (i as f32 * 0.37, i as f32 * 0.71);
+            assert_eq!(a.sample(x, y), b.sample(x, y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1);
+        let b = ValueNoise::new(2);
+        let differing = (0..100)
+            .filter(|&i| {
+                let (x, y) = (i as f32 * 0.31, i as f32 * 0.57);
+                (a.sample(x, y) - b.sample(x, y)).abs() > 1e-6
+            })
+            .count();
+        assert!(differing > 90, "only {differing}/100 samples differ");
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let n = FractalNoise::new(7, 4, 5.0);
+        for i in 0..40 {
+            for j in 0..40 {
+                let v = n.sample(i as f32 / 40.0, j as f32 / 40.0);
+                assert!((0.0..=1.0).contains(&v), "noise value {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Adjacent samples differ by much less than distant ones on
+        // average — the field is band-limited, not white.
+        let n = ValueNoise::new(3);
+        let mut near = 0.0f32;
+        let mut far = 0.0f32;
+        let count = 200;
+        for i in 0..count {
+            let x = i as f32 * 0.193;
+            let y = i as f32 * 0.677;
+            near += (n.sample(x, y) - n.sample(x + 0.01, y)).abs();
+            far += (n.sample(x, y) - n.sample(x + 7.3, y + 4.1)).abs();
+        }
+        assert!(
+            near < far * 0.2,
+            "near diffs ({near}) should be far smaller than far diffs ({far})"
+        );
+    }
+
+    #[test]
+    fn lattice_points_interpolate_exactly() {
+        let n = ValueNoise::new(11);
+        // At integer coordinates the sample equals the lattice value.
+        let direct = n.lattice(3, 4);
+        assert!((n.sample(3.0, 4.0) - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_octaves_add_detail() {
+        let coarse = FractalNoise::new(5, 1, 4.0);
+        let fine = FractalNoise::new(5, 5, 4.0);
+        // High-frequency energy: mean |Δ| over a small step is larger
+        // with more octaves.
+        let step = 0.01f32;
+        let mut d_coarse = 0.0f32;
+        let mut d_fine = 0.0f32;
+        for i in 0..100 {
+            let x = i as f32 * 0.0097;
+            let y = i as f32 * 0.0135;
+            d_coarse += (coarse.sample(x, y) - coarse.sample(x + step, y)).abs();
+            d_fine += (fine.sample(x, y) - fine.sample(x + step, y)).abs();
+        }
+        assert!(d_fine > d_coarse, "fine {d_fine} vs coarse {d_coarse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one octave")]
+    fn zero_octaves_rejected() {
+        let _ = FractalNoise::new(0, 0, 1.0);
+    }
+}

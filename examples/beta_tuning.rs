@@ -1,0 +1,59 @@
+//! Automatic β selection (§5 future work): validate candidate β values
+//! on the potential-training pool, then run the full protocol with the
+//! winner.
+//!
+//! ```text
+//! cargo run --release --example beta_tuning
+//! ```
+
+use milr::core::{eval, tuning::select_beta};
+use milr::mil::WeightPolicy;
+use milr::prelude::*;
+
+fn main() {
+    let db = SceneDatabase::builder()
+        .images_per_category(20)
+        .seed(55)
+        .build();
+    let base = RetrievalConfig::default();
+    println!("preprocessing {} images ...", db.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &base).unwrap();
+    let split = db.split(0.25, 6);
+    let target = db.category_index("waterfall").unwrap();
+
+    // Step 1: score each candidate β by one training round, ranked
+    // against the pool (whose labels the protocol may consult).
+    let candidates = [0.0, 0.25, 0.5, 0.75, 1.0];
+    println!("validating beta candidates on the pool ...");
+    let selection = select_beta(&retrieval, &base, target, &split.pool, &candidates).unwrap();
+    println!("\n  beta   pool average precision");
+    for &(beta, score) in &selection.scores {
+        let marker = if beta == selection.best_beta { "  <- chosen" } else { "" };
+        println!("  {beta:<5}  {score:.3}{marker}");
+    }
+
+    // Step 2: full protocol with the winner.
+    let config = RetrievalConfig {
+        policy: WeightPolicy::SumConstraint {
+            beta: selection.best_beta,
+        },
+        ..base
+    };
+    let mut session = QuerySession::new(
+        &retrieval,
+        &config,
+        target,
+        split.pool.clone(),
+        split.test.clone(),
+    )
+    .unwrap();
+    let ranking = session.run().unwrap();
+    let relevant = eval::relevance(&ranking, retrieval.labels(), target);
+    println!(
+        "\nfull 3-round protocol with beta = {}: test average precision {:.3} \
+         (base rate {:.3})",
+        selection.best_beta,
+        eval::average_precision(&relevant),
+        eval::random_precision_level(&relevant)
+    );
+}

@@ -1,0 +1,96 @@
+//! The §2.1.2 prediction view: instead of ranking, classify new images
+//! TRUE/FALSE for a concept ("given a new example image … it should
+//! determine whether it correspond to TRUE or FALSE. To allow for
+//! uncertainty, the system may give a real value between 0 and 1").
+//!
+//! ```text
+//! cargo run --release --example classification
+//! ```
+
+use milr::mil::{BagClassifier, BagLabel, ClassificationReport, MilDataset};
+use milr::prelude::*;
+
+fn main() {
+    let db = SceneDatabase::builder()
+        .images_per_category(16)
+        .seed(77)
+        .build();
+    let config = RetrievalConfig {
+        feedback_rounds: 2,
+        ..RetrievalConfig::default()
+    };
+    println!("preprocessing {} images ...", db.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+    let split = db.split(0.25, 13);
+    let target = db.category_index("sunset").unwrap();
+
+    // Train the concept through the usual query session.
+    let mut session = QuerySession::new(
+        &retrieval,
+        &config,
+        target,
+        split.pool.clone(),
+        split.test.clone(),
+    )
+    .unwrap();
+    session.run().unwrap();
+    let concept = session.concept().unwrap().clone();
+
+    // Fit a TRUE/FALSE threshold on the training examples the session
+    // actually used.
+    let mut training = MilDataset::new();
+    for &i in session.positives() {
+        training
+            .push(retrieval.bag(i).unwrap().clone(), BagLabel::Positive)
+            .unwrap();
+    }
+    for &i in session.negatives() {
+        training
+            .push(retrieval.bag(i).unwrap().clone(), BagLabel::Negative)
+            .unwrap();
+    }
+    let classifier = BagClassifier::fit(concept, &training);
+    println!(
+        "fitted threshold: Pr >= {:.4} means TRUE ('contains a sunset')",
+        classifier.threshold()
+    );
+
+    // Evaluate on the held-out test set.
+    let mut test = MilDataset::new();
+    for &i in &split.test {
+        let label = if retrieval.labels()[i] == target {
+            BagLabel::Positive
+        } else {
+            BagLabel::Negative
+        };
+        test.push(retrieval.bag(i).unwrap().clone(), label).unwrap();
+    }
+    let report = ClassificationReport::evaluate(&classifier, &test);
+    println!("\ntest-set confusion over {} images:", report.total());
+    println!("  true positives:  {}", report.true_positives);
+    println!("  false positives: {}", report.false_positives);
+    println!("  true negatives:  {}", report.true_negatives);
+    println!("  false negatives: {}", report.false_negatives);
+    println!("\n  accuracy  {:.3}", report.accuracy());
+    println!("  precision {:.3}", report.precision());
+    println!("  recall    {:.3}", report.recall());
+    println!("  F1        {:.3}", report.f1());
+
+    // Show the soft outputs for a few test images.
+    println!("\nsample soft outputs (Pr that the image matches the concept):");
+    for &i in split.test.iter().take(8) {
+        let p = classifier.probability(retrieval.bag(i).unwrap());
+        let truth = retrieval.labels()[i] == target;
+        println!(
+            "  image {:<3} Pr = {:.4}  -> {:<5}  (truth: {})",
+            i,
+            p,
+            if classifier.classify(retrieval.bag(i).unwrap()) {
+                "TRUE"
+            } else {
+                "FALSE"
+            },
+            if truth { "sunset" } else { "other" }
+        );
+    }
+}

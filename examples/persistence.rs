@@ -1,0 +1,84 @@
+//! Persistence: preprocess once, save the database and a trained
+//! concept, reload both, and keep querying without touching pixels.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use milr::core::{eval, storage};
+use milr::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join("milr_persistence_example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let db_path = dir.join("scenes.milrdb");
+    let concept_path = dir.join("waterfall.concept");
+
+    // --- First "session": preprocess, train, persist. ------------------
+    let db = SceneDatabase::builder()
+        .images_per_category(12)
+        .seed(31)
+        .build();
+    let config = RetrievalConfig {
+        feedback_rounds: 2,
+        initial_positives: 3,
+        initial_negatives: 3,
+        ..RetrievalConfig::default()
+    };
+    println!("preprocessing {} images ...", db.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+    storage::save_database(&retrieval, &db_path).unwrap();
+    println!(
+        "saved preprocessed database: {} ({} bags, {} dims, {} bytes)",
+        db_path.display(),
+        retrieval.len(),
+        retrieval.feature_dim(),
+        std::fs::metadata(&db_path).unwrap().len()
+    );
+
+    let split = db.split(0.3, 2);
+    let target = db.category_index("waterfall").unwrap();
+    let mut session = QuerySession::new(
+        &retrieval,
+        &config,
+        target,
+        split.pool.clone(),
+        split.test.clone(),
+    )
+    .unwrap();
+    session.run().unwrap();
+    let concept = session.concept().unwrap();
+    storage::save_concept(concept, &concept_path).unwrap();
+    println!("saved trained concept: {}", concept_path.display());
+
+    // --- Second "session": reload everything and query. ----------------
+    let reloaded_db = storage::load_database(&db_path).unwrap();
+    let reloaded_concept = storage::load_concept(&concept_path).unwrap();
+    println!(
+        "\nreloaded database ({} bags) and concept ({} dims)",
+        reloaded_db.len(),
+        reloaded_concept.dim()
+    );
+
+    let ranking = reloaded_db.rank(&reloaded_concept, &split.test).unwrap();
+    let relevant: Vec<bool> = ranking
+        .iter()
+        .map(|&(i, _)| reloaded_db.labels()[i] == target)
+        .collect();
+    println!(
+        "retrieval from the reloaded artifacts: average precision {:.3} over {} images",
+        eval::average_precision(&relevant),
+        relevant.len()
+    );
+
+    // The reloaded ranking is identical to the in-memory one.
+    let original_ranking = retrieval.rank(concept, &split.test).unwrap();
+    assert_eq!(
+        ranking, original_ranking,
+        "persistence must not change rankings"
+    );
+    println!("ranking identical to the in-memory session — persistence is lossless.");
+
+    std::fs::remove_file(&db_path).ok();
+    std::fs::remove_file(&concept_path).ok();
+}

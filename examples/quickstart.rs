@@ -1,0 +1,71 @@
+//! Quickstart: build a tiny synthetic database, train a Diverse Density
+//! concept from example images, and retrieve.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use milr::prelude::*;
+
+fn main() {
+    // 1. A small natural-scene database (stands in for the COREL
+    //    collection): 5 categories × 10 images, all seeded.
+    let db = SceneDatabase::builder()
+        .images_per_category(10)
+        .seed(42)
+        .build();
+    println!(
+        "database: {} images, categories {:?}",
+        db.len(),
+        db.categories()
+    );
+
+    // 2. Preprocess every image into a bag of normalised region features
+    //    (20 overlapping regions + mirrors, smoothed to 10×10).
+    let config = RetrievalConfig {
+        feedback_rounds: 2,
+        initial_positives: 3,
+        initial_negatives: 3,
+        ..RetrievalConfig::default()
+    };
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config)
+        .expect("preprocessing failed");
+    println!(
+        "preprocessed into bags of {}-dimensional instances",
+        retrieval.feature_dim()
+    );
+
+    // 3. Split into a potential-training pool (labels visible for
+    //    simulated feedback) and a test set.
+    let split = db.split(0.3, 7);
+
+    // 4. Query for waterfalls: train, promote false positives, retrain,
+    //    then rank the held-out test set.
+    let waterfall = db.category_index("waterfall").unwrap();
+    let mut session = QuerySession::new(&retrieval, &config, waterfall, split.pool, split.test)
+        .expect("query setup failed");
+    let ranking = session.run().expect("query failed");
+
+    println!("\ntop 10 retrieved test images (label 0 = waterfall):");
+    for (rank, (index, distance)) in ranking.iter().take(10).enumerate() {
+        let label = retrieval.labels()[*index];
+        let marker = if label == waterfall { "HIT " } else { "miss" };
+        println!(
+            "  #{:<2} image {:<3} [{}] category={} distance²={:.2}",
+            rank + 1,
+            index,
+            marker,
+            db.categories()[label],
+            distance
+        );
+    }
+
+    // 5. Score the ranking.
+    let relevant: Vec<bool> = ranking
+        .iter()
+        .map(|&(i, _)| retrieval.labels()[i] == waterfall)
+        .collect();
+    let ap = milr::core::eval::average_precision(&relevant);
+    let base = milr::core::eval::random_precision_level(&relevant);
+    println!("\naverage precision {ap:.3} (random retrieval would give {base:.3})");
+}

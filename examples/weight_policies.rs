@@ -1,0 +1,67 @@
+//! Side-by-side comparison of the paper's four weight-control policies
+//! (§3.6) on one query, showing both retrieval quality and the learned
+//! weight structure that explains it.
+//!
+//! ```text
+//! cargo run --release --example weight_policies
+//! ```
+
+use milr::core::eval;
+use milr::prelude::*;
+
+fn main() {
+    let db = SceneDatabase::builder()
+        .images_per_category(30)
+        .seed(99)
+        .build();
+    let target = db.category_index("waterfall").unwrap();
+    let base = RetrievalConfig::default();
+    println!("preprocessing {} images ...\n", db.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &base).unwrap();
+    let split = db.split(0.2, 1);
+
+    let policies = [
+        WeightPolicy::OriginalDd,
+        WeightPolicy::Identical,
+        WeightPolicy::AlphaHack { alpha: 50.0 },
+        WeightPolicy::SumConstraint { beta: 0.5 },
+    ];
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>12} {:>10}",
+        "policy", "avg-prec", "AUC", "mean w", "top-10 mass", "-log DD"
+    );
+    for policy in policies {
+        let config = RetrievalConfig {
+            policy,
+            ..base.clone()
+        };
+        let mut session = QuerySession::new(
+            &retrieval,
+            &config,
+            target,
+            split.pool.clone(),
+            split.test.clone(),
+        )
+        .unwrap();
+        let ranking = session.run().unwrap();
+        let relevant = eval::relevance(&ranking, retrieval.labels(), target);
+        let concept = session.concept().unwrap();
+        println!(
+            "{:<28} {:>9.3} {:>9.3} {:>9.3} {:>12.3} {:>10.2}",
+            policy.label(),
+            eval::average_precision(&relevant),
+            eval::recall_auc(&relevant),
+            concept.mean_weight(),
+            concept.weight_concentration(concept.weights().len() / 10),
+            session.nldd(),
+        );
+    }
+
+    println!(
+        "\nreading the weight columns (paper §3.6): unconstrained DD concentrates the\n\
+         weight mass on a few dimensions (top-10% mass near 1) — a too-simple concept\n\
+         that can fail to generalise; identical weights are uniform by construction\n\
+         (top-10% mass = 0.10); the α-hack and the Σw ≥ β·n constraint sit in between."
+    );
+}

@@ -1,0 +1,381 @@
+//! `milr` command-line tool: generate synthetic databases to disk,
+//! run retrieval queries, and inspect the feature pipeline.
+//!
+//! ```text
+//! milr generate --kind scenes --out ./scenes --per-category 20 --seed 1
+//! milr query    --kind scenes --category waterfall --policy constraint:0.5
+//! milr query-files --kind scenes --positive my_fall1.pgm,my_fall2.pgm
+//! milr inspect  --image photo.pgm --resolution 10
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use milr::core::eval;
+use milr::imgproc::{pnm, smooth_sample, GrayImage};
+use milr::mil::WeightPolicy;
+use milr::prelude::*;
+use milr::synth::database::LabelledImages;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("query-files") => cmd_query_files(&args[1..]),
+        Some("montage") => cmd_montage(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         milr generate --kind scenes|objects --out DIR [--per-category N] [--seed N]\n  \
+         milr query    --kind scenes|objects --category NAME [--policy POLICY]\n                \
+         [--per-category N] [--seed N] [--rounds N] [--fast]\n                \
+         [--dump-concept DIR] [--html FILE.html]\n  \
+         milr query-files --kind scenes|objects --positive F.pgm[,G.pgm...]\n                \
+         [--negative F.pgm,...] [--policy POLICY] [--per-category N] [--seed N]\n  \
+         milr montage  --kind scenes|objects --out FILE.ppm [--per-category N] [--seed N]\n  \
+         milr inspect  --image FILE.pgm [--resolution H]\n\n\
+         POLICY: original | identical | alpha:A | constraint:B"
+    );
+}
+
+/// Minimal `--key value` argument scanner.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_policy(spec: &str) -> Result<WeightPolicy, String> {
+    if spec == "original" {
+        return Ok(WeightPolicy::OriginalDd);
+    }
+    if spec == "identical" {
+        return Ok(WeightPolicy::Identical);
+    }
+    if let Some(a) = spec.strip_prefix("alpha:") {
+        let alpha: f64 = a.parse().map_err(|_| format!("bad alpha in {spec:?}"))?;
+        return Ok(WeightPolicy::AlphaHack { alpha });
+    }
+    if let Some(b) = spec.strip_prefix("constraint:") {
+        let beta: f64 = b.parse().map_err(|_| format!("bad beta in {spec:?}"))?;
+        return Ok(WeightPolicy::SumConstraint { beta });
+    }
+    Err(format!("unknown policy {spec:?}"))
+}
+
+enum Db {
+    Scenes(SceneDatabase),
+    Objects(ObjectDatabase),
+}
+
+impl Db {
+    fn build(kind: &str, per_category: Option<usize>, seed: u64) -> Result<Self, String> {
+        match kind {
+            "scenes" => {
+                let mut b = SceneDatabase::builder().seed(seed);
+                if let Some(n) = per_category {
+                    b = b.images_per_category(n);
+                }
+                Ok(Self::Scenes(b.build()))
+            }
+            "objects" => {
+                let mut b = ObjectDatabase::builder().seed(seed);
+                if let Some(n) = per_category {
+                    b = b.images_per_category(n);
+                }
+                Ok(Self::Objects(b.build()))
+            }
+            other => Err(format!("unknown database kind {other:?} (scenes|objects)")),
+        }
+    }
+
+    fn images(&self) -> &LabelledImages {
+        match self {
+            Self::Scenes(db) => db,
+            Self::Objects(db) => db,
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("--kind is required")?;
+    let out = PathBuf::from(flag(args, "--out").ok_or("--out is required")?);
+    let per_category = flag(args, "--per-category").map(|s| s.parse().unwrap_or(10));
+    let seed = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let db = Db::build(&kind, per_category, seed)?;
+    let images = db.images();
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+
+    let mut index = String::from("file,label,category\n");
+    for (i, image) in images.images().iter().enumerate() {
+        let label = images.labels()[i];
+        let name = format!("{kind}_{i:04}_{}.ppm", images.categories()[label]);
+        pnm::save_ppm(image, out.join(&name)).map_err(|e| e.to_string())?;
+        index.push_str(&format!("{name},{label},{}\n", images.categories()[label]));
+    }
+    std::fs::write(out.join("index.csv"), index).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} PPM images and index.csv to {}",
+        images.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("--kind is required")?;
+    let category = flag(args, "--category").ok_or("--category is required")?;
+    let seed = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let per_category = flag(args, "--per-category").map(|s| s.parse().unwrap_or(20));
+    let policy = match flag(args, "--policy") {
+        Some(spec) => parse_policy(&spec)?,
+        None => WeightPolicy::SumConstraint { beta: 0.5 },
+    };
+    let rounds = flag(args, "--rounds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let fast = args.iter().any(|a| a == "--fast");
+
+    let db = Db::build(&kind, per_category.or(Some(20)), seed)?;
+    let images = db.images();
+    let target = images.category_index(&category).ok_or_else(|| {
+        format!(
+            "unknown category {category:?}; have {:?}",
+            images.categories()
+        )
+    })?;
+
+    let mut config = RetrievalConfig {
+        policy,
+        feedback_rounds: rounds,
+        ..RetrievalConfig::default()
+    };
+    if fast {
+        // Reduced settings for smoke runs: 5x5 features over the
+        // 9-region layout, short solver budget, fewer examples.
+        config.resolution = 5;
+        config.layout = milr::imgproc::RegionLayout::Small;
+        config.max_iterations = 30;
+        config.initial_positives = 3;
+        config.initial_negatives = 3;
+    }
+    eprintln!("preprocessing {} images ...", images.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
+        .map_err(|e| e.to_string())?;
+    let split = images.split(0.2, seed.wrapping_add(1));
+    let mut session = QuerySession::new(&retrieval, &config, target, split.pool, split.test)
+        .map_err(|e| e.to_string())?;
+    eprintln!("training ({rounds} rounds, policy {}) ...", policy.label());
+    let ranking = session.run().map_err(|e| e.to_string())?;
+
+    if let Some(dir) = flag(args, "--dump-concept") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let concept = session.concept().expect("trained");
+        let point =
+            milr::core::visualize::concept_point_image(concept).map_err(|e| e.to_string())?;
+        let weights =
+            milr::core::visualize::concept_weight_image(concept).map_err(|e| e.to_string())?;
+        pnm::save_pgm(&point, dir.join("concept_point.pgm")).map_err(|e| e.to_string())?;
+        pnm::save_pgm(&weights, dir.join("concept_weights.pgm")).map_err(|e| e.to_string())?;
+        eprintln!(
+            "dumped concept t/w maps (Figs 3-7..3-9 form) to {}",
+            dir.display()
+        );
+    }
+
+    if let Some(html_path) = flag(args, "--html") {
+        use milr::core::report::{write_html_report, ReportRow};
+        let rows: Vec<ReportRow> = ranking
+            .iter()
+            .take(24)
+            .enumerate()
+            .map(|(rank, &(index, d2))| {
+                let label = retrieval.labels()[index];
+                ReportRow::from_rgb(
+                    &images.images()[index],
+                    format!(
+                        "#{} · image {index} · {} · d² = {d2:.2}",
+                        rank + 1,
+                        images.categories()[label]
+                    ),
+                    label == target,
+                )
+            })
+            .collect();
+        write_html_report(
+            &html_path,
+            &format!("milr retrieval: {category} ({})", policy.label()),
+            &rows,
+            session.concept(),
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!("wrote HTML report to {html_path}");
+    }
+
+    println!("rank,image,category,hit,distance_sq");
+    for (rank, &(index, d2)) in ranking.iter().take(20).enumerate() {
+        let label = retrieval.labels()[index];
+        println!(
+            "{},{},{},{},{:.4}",
+            rank + 1,
+            index,
+            images.categories()[label],
+            u8::from(label == target),
+            d2
+        );
+    }
+    let relevant: Vec<bool> = ranking
+        .iter()
+        .map(|&(i, _)| retrieval.labels()[i] == target)
+        .collect();
+    eprintln!(
+        "average precision {:.3} over {} test images (base rate {:.3})",
+        eval::average_precision(&relevant),
+        relevant.len(),
+        eval::random_precision_level(&relevant),
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--image").ok_or("--image is required")?;
+    let resolution: usize = flag(args, "--resolution")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let image = load_gray(Path::new(&path))?;
+    println!(
+        "{}: {}x{} mean {:.1} std {:.1}",
+        path,
+        image.width(),
+        image.height(),
+        image.mean(),
+        image.std_dev()
+    );
+    let sampled = smooth_sample(&image, resolution).map_err(|e| e.to_string())?;
+    println!("\nsmoothed-and-sampled {resolution}x{resolution} matrix (§3.1.2):");
+    for y in 0..resolution {
+        let row: Vec<String> = (0..resolution)
+            .map(|x| format!("{:>6.1}", sampled.get(x, y)))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    Ok(())
+}
+
+fn load_gray(path: &Path) -> Result<GrayImage, String> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("pgm") => pnm::load_pgm(path).map_err(|e| e.to_string()),
+        Some("ppm") => Ok(pnm::load_ppm(path).map_err(|e| e.to_string())?.to_gray()),
+        _ => Err(format!(
+            "unsupported image format for {path:?} (need .pgm or .ppm)"
+        )),
+    }
+}
+
+/// Queries a synthetic database with the user's own example images
+/// (§3.5's interactive use: examples need not come from the database).
+fn cmd_query_files(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("--kind is required")?;
+    let positive_list = flag(args, "--positive").ok_or("--positive is required")?;
+    let negative_list = flag(args, "--negative").unwrap_or_default();
+    let seed = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let per_category = flag(args, "--per-category").map(|s| s.parse().unwrap_or(20));
+    let policy = match flag(args, "--policy") {
+        Some(spec) => parse_policy(&spec)?,
+        None => WeightPolicy::SumConstraint { beta: 0.5 },
+    };
+
+    let config = RetrievalConfig {
+        policy,
+        ..RetrievalConfig::default()
+    };
+    let load_bags = |list: &str| -> Result<Vec<milr::mil::Bag>, String> {
+        list.split(',')
+            .filter(|s| !s.is_empty())
+            .map(|file| {
+                let image = load_gray(Path::new(file))?;
+                milr::core::features::image_to_bag(&image, &config).map_err(|e| e.to_string())
+            })
+            .collect()
+    };
+    let positives = load_bags(&positive_list)?;
+    let negatives = load_bags(&negative_list)?;
+
+    let db = Db::build(&kind, per_category.or(Some(20)), seed)?;
+    let images = db.images();
+    eprintln!("preprocessing {} database images ...", images.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
+        .map_err(|e| e.to_string())?;
+    let candidates: Vec<usize> = (0..retrieval.len()).collect();
+    eprintln!(
+        "training on {} positive / {} negative example files ...",
+        positives.len(),
+        negatives.len()
+    );
+    let (_, ranking) =
+        milr::core::query_with_examples(&retrieval, &config, &positives, &negatives, &candidates)
+            .map_err(|e| e.to_string())?;
+
+    println!("rank,image,category,distance_sq");
+    for (rank, &(index, d2)) in ranking.iter().take(20).enumerate() {
+        let label = retrieval.labels()[index];
+        println!(
+            "{},{},{},{:.4}",
+            rank + 1,
+            index,
+            images.categories()[label],
+            d2
+        );
+    }
+    Ok(())
+}
+
+/// Writes a contact sheet of the synthetic database for eyeballing.
+fn cmd_montage(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("--kind is required")?;
+    let out = flag(args, "--out").ok_or("--out is required")?;
+    let per_category = flag(args, "--per-category")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8usize);
+    let seed = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let db = Db::build(&kind, Some(per_category), seed)?;
+    let sheet = milr::synth::montage(db.images(), per_category);
+    pnm::save_ppm(&sheet, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}x{} montage ({} rows x {} columns) to {out}",
+        sheet.width(),
+        sheet.height(),
+        db.images().categories().len(),
+        per_category
+    );
+    Ok(())
+}

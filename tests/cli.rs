@@ -1,0 +1,221 @@
+//! Integration tests of the `milr` command-line tool, driven as a real
+//! subprocess via `CARGO_BIN_EXE_milr`.
+
+use std::process::Command;
+
+fn milr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_milr"))
+}
+
+#[test]
+fn no_arguments_prints_usage_successfully() {
+    let out = milr().output().expect("spawn milr");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("usage"),
+        "usage text expected, got: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = milr().arg("frobnicate").output().expect("spawn milr");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn generate_writes_images_and_index() {
+    let dir = std::env::temp_dir().join("milr_cli_test_generate");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = milr()
+        .args([
+            "generate",
+            "--kind",
+            "objects",
+            "--out",
+            dir.to_str().unwrap(),
+            "--per-category",
+            "1",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("spawn milr");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let index = std::fs::read_to_string(dir.join("index.csv")).expect("index.csv");
+    // Header + 19 categories × 1 image.
+    assert_eq!(index.lines().count(), 20);
+    assert!(index.starts_with("file,label,category"));
+    assert!(index.contains("car"));
+    assert!(index.contains("bottle"));
+
+    // Every listed file exists and parses as a PPM.
+    for line in index.lines().skip(1) {
+        let file = line.split(',').next().unwrap();
+        let img = milr::imgproc::pnm::load_ppm(dir.join(file)).expect("valid PPM");
+        assert_eq!(img.width(), 96);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_requires_kind_and_out() {
+    let out = milr()
+        .args(["generate", "--kind", "scenes"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out is required"));
+
+    let out = milr()
+        .args(["generate", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--kind is required"));
+}
+
+#[test]
+fn generate_rejects_unknown_kind() {
+    let out = milr()
+        .args([
+            "generate",
+            "--kind",
+            "paintings",
+            "--out",
+            "/tmp/milr_cli_bad_kind",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown database kind"));
+}
+
+#[test]
+fn inspect_prints_the_sampled_matrix() {
+    // Create an image to inspect.
+    let dir = std::env::temp_dir().join("milr_cli_test_inspect");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gradient.pgm");
+    let img = milr::imgproc::GrayImage::from_fn(64, 48, |x, _| x as f32 * 4.0).unwrap();
+    milr::imgproc::pnm::save_pgm(&img, &path).unwrap();
+
+    let out = milr()
+        .args([
+            "inspect",
+            "--image",
+            path.to_str().unwrap(),
+            "--resolution",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("64x48"));
+    assert!(stdout.contains("4x4 matrix"));
+    // 4 matrix rows with 4 numbers each, monotone across the gradient.
+    let matrix_rows: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("  ") && l.contains('.'))
+        .collect();
+    assert!(matrix_rows.len() >= 4, "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_rejects_unsupported_formats() {
+    let out = milr()
+        .args(["inspect", "--image", "photo.jpeg"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported image format"));
+}
+
+#[test]
+fn fast_query_runs_end_to_end() {
+    let out = milr()
+        .args([
+            "query",
+            "--kind",
+            "scenes",
+            "--category",
+            "waterfall",
+            "--per-category",
+            "6",
+            "--seed",
+            "2",
+            "--rounds",
+            "1",
+            "--policy",
+            "identical",
+            "--fast",
+        ])
+        .output()
+        .expect("spawn milr");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("rank,image,category,hit,distance_sq"));
+    assert!(
+        stdout.lines().count() > 5,
+        "expected a ranking, got: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("average precision"));
+}
+
+#[test]
+fn fast_query_dumps_concept_maps() {
+    let dir = std::env::temp_dir().join("milr_cli_concept_dump");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = milr()
+        .args([
+            "query",
+            "--kind",
+            "scenes",
+            "--category",
+            "sunset",
+            "--per-category",
+            "5",
+            "--seed",
+            "3",
+            "--rounds",
+            "1",
+            "--policy",
+            "identical",
+            "--fast",
+            "--dump-concept",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn milr");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Both maps exist and parse; --fast uses 5x5 features.
+    let point = milr::imgproc::pnm::load_pgm(dir.join("concept_point.pgm")).unwrap();
+    let weights = milr::imgproc::pnm::load_pgm(dir.join("concept_weights.pgm")).unwrap();
+    assert_eq!((point.width(), point.height()), (5, 5));
+    assert_eq!((weights.width(), weights.height()), (5, 5));
+    std::fs::remove_dir_all(&dir).ok();
+}

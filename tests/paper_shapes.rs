@@ -1,0 +1,169 @@
+//! Micro-scale regression tests of the paper's qualitative *shapes* —
+//! the claims the experiment harness reproduces at full scale, pinned
+//! here at a size that runs in debug mode.
+
+use milr::core::{eval, QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr::imgproc::RegionLayout;
+use milr::mil::{train, StartBags, TrainOptions, WeightPolicy};
+use milr::synth::SceneDatabase;
+
+fn micro_config(policy: WeightPolicy) -> RetrievalConfig {
+    RetrievalConfig {
+        resolution: 5,
+        layout: RegionLayout::Small,
+        policy,
+        feedback_rounds: 1,
+        initial_positives: 3,
+        initial_negatives: 3,
+        max_iterations: 30,
+        ..RetrievalConfig::default()
+    }
+}
+
+fn scene_setup() -> (RetrievalDatabase, Vec<usize>, Vec<usize>, usize) {
+    let db = SceneDatabase::builder()
+        .images_per_category(10)
+        .seed(23)
+        .dimensions(80, 60)
+        .build();
+    let retrieval = RetrievalDatabase::from_labelled_images(
+        db.gray_images(),
+        &micro_config(WeightPolicy::Identical),
+    )
+    .unwrap();
+    let split = db.split(0.3, 5);
+    let target = db.category_index("waterfall").unwrap();
+    (retrieval, split.pool, split.test, target)
+}
+
+fn train_concept(
+    db: &RetrievalDatabase,
+    pool: &[usize],
+    test: &[usize],
+    target: usize,
+    policy: WeightPolicy,
+) -> (milr::mil::Concept, f64) {
+    let cfg = micro_config(policy);
+    let mut session =
+        QuerySession::new(db, &cfg, target, pool.to_vec(), test.to_vec()).unwrap();
+    let ranking = session.run().unwrap();
+    let relevant = eval::relevance(&ranking, db.labels(), target);
+    let ap = eval::average_precision(&relevant);
+    (session.concept().unwrap().clone(), ap)
+}
+
+/// §3.6 / Figs 3-7..3-9: unconstrained DD concentrates weight mass far
+/// more than the β constraint allows, and identical weights are uniform.
+#[test]
+fn weight_sparsity_ordering() {
+    let (db, pool, test, target) = scene_setup();
+    let (original, _) =
+        train_concept(&db, &pool, &test, target, WeightPolicy::OriginalDd);
+    let (identical, _) =
+        train_concept(&db, &pool, &test, target, WeightPolicy::Identical);
+    let (constrained, _) = train_concept(
+        &db,
+        &pool,
+        &test,
+        target,
+        WeightPolicy::SumConstraint { beta: 0.5 },
+    );
+
+    let top_fraction = |c: &milr::mil::Concept| {
+        c.weight_concentration((c.weights().len() / 5).max(1))
+    };
+    let orig_mass = top_fraction(&original);
+    let ident_mass = top_fraction(&identical);
+    let constr_mass = top_fraction(&constrained);
+    assert!(
+        orig_mass > constr_mass,
+        "original DD ({orig_mass:.2}) must be sparser than the constraint ({constr_mass:.2})"
+    );
+    assert!(
+        (ident_mass - 0.2).abs() < 1e-9,
+        "identical weights carry exactly uniform mass"
+    );
+    // The constraint keeps the average weight at or above β.
+    assert!(constrained.mean_weight() >= 0.5 - 1e-6);
+}
+
+/// Figs 4-15..4-17 endpoint: β = 1 trains the same concept as forcing
+/// identical weights.
+#[test]
+fn beta_one_is_identical_weights() {
+    let (db, pool, test, target) = scene_setup();
+    let (beta_one, ap_beta) = train_concept(
+        &db,
+        &pool,
+        &test,
+        target,
+        WeightPolicy::SumConstraint { beta: 1.0 },
+    );
+    let (identical, ap_ident) =
+        train_concept(&db, &pool, &test, target, WeightPolicy::Identical);
+    assert!(beta_one.weights().iter().all(|&w| (w - 1.0).abs() < 1e-6));
+    let t_gap: f64 = beta_one
+        .point()
+        .iter()
+        .zip(identical.point())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(t_gap < 0.2, "β=1 concept should track identical weights (gap {t_gap})");
+    assert!((ap_beta - ap_ident).abs() < 0.15, "APs: {ap_beta} vs {ap_ident}");
+}
+
+/// §4.3 / Fig 4-22: a subset of positive bags preserves retrieval
+/// quality.
+#[test]
+fn start_subset_preserves_quality() {
+    let (db, pool, test, target) = scene_setup();
+    let run_with = |bags: StartBags| {
+        let cfg = RetrievalConfig {
+            start_bags: bags,
+            ..micro_config(WeightPolicy::Identical)
+        };
+        let mut session =
+            QuerySession::new(&db, &cfg, target, pool.clone(), test.clone()).unwrap();
+        let ranking = session.run().unwrap();
+        let relevant = eval::relevance(&ranking, db.labels(), target);
+        eval::average_precision(&relevant)
+    };
+    let full = run_with(StartBags::All);
+    let subset = run_with(StartBags::First(2));
+    assert!(
+        subset >= full * 0.85,
+        "2-of-3-bag subset should retain ≥85% of quality: {subset} vs {full}"
+    );
+}
+
+/// §2.2 "diverse": support from several bags beats support from one.
+#[test]
+fn diverse_density_prefers_cross_bag_support() {
+    use milr::mil::{Bag, BagLabel, MilDataset};
+    let bag = |v: Vec<Vec<f32>>| Bag::new(v).unwrap();
+    let mut ds = MilDataset::new();
+    // Three positive bags share an instance near (1, 1); bag 0 also has
+    // a dense same-bag pair near (4, 4).
+    ds.push(
+        bag(vec![vec![1.0, 1.0], vec![4.0, 4.0], vec![4.05, 4.0]]),
+        BagLabel::Positive,
+    )
+    .unwrap();
+    ds.push(bag(vec![vec![1.05, 0.95], vec![-3.0, 2.0]]), BagLabel::Positive)
+        .unwrap();
+    ds.push(bag(vec![vec![0.95, 1.05], vec![5.0, -2.0]]), BagLabel::Positive)
+        .unwrap();
+    let result = train(
+        &ds,
+        &TrainOptions {
+            policy: WeightPolicy::Identical,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let t = result.concept.point();
+    assert!(
+        (t[0] - 1.0).abs() < 0.3 && (t[1] - 1.0).abs() < 0.3,
+        "the concept must sit at the cross-bag cluster, got {t:?}"
+    );
+}

@@ -1,0 +1,224 @@
+//! End-to-end integration: synthetic databases → feature pipeline →
+//! Diverse Density training → ranking → evaluation.
+//!
+//! These tests run in debug mode, so they use reduced settings
+//! (low resolution, the 9-region layout, few iterations); the assertions
+//! check *relative* quality — retrieval must decisively beat random —
+//! rather than absolute levels.
+
+use milr::core::{eval, QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr::imgproc::RegionLayout;
+use milr::mil::WeightPolicy;
+use milr::synth::{ObjectDatabase, SceneDatabase};
+
+fn fast_config(policy: WeightPolicy) -> RetrievalConfig {
+    RetrievalConfig {
+        resolution: 5,
+        layout: RegionLayout::Small,
+        policy,
+        feedback_rounds: 2,
+        false_positives_per_round: 3,
+        initial_positives: 3,
+        initial_negatives: 3,
+        max_iterations: 30,
+        ..RetrievalConfig::default()
+    }
+}
+
+#[test]
+fn scene_retrieval_beats_random() {
+    let db = SceneDatabase::builder()
+        .images_per_category(12)
+        .seed(1)
+        .dimensions(80, 60)
+        .build();
+    let config = fast_config(WeightPolicy::Identical);
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+    let split = db.split(0.34, 5);
+    let target = db.category_index("waterfall").unwrap();
+    let mut session =
+        QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+    let ranking = session.run().unwrap();
+    let relevant = eval::relevance(&ranking, retrieval.labels(), target);
+    let auc = eval::recall_auc(&relevant);
+    let base = eval::random_precision_level(&relevant);
+    let ap = eval::average_precision(&relevant);
+    assert!(auc > 0.6, "recall AUC {auc} barely beats random");
+    assert!(
+        ap > base * 1.5,
+        "average precision {ap} vs base rate {base}"
+    );
+}
+
+#[test]
+fn object_retrieval_beats_random() {
+    let db = ObjectDatabase::builder()
+        .images_per_category(6)
+        .seed(2)
+        .dimensions(64, 64)
+        .build();
+    let config = fast_config(WeightPolicy::SumConstraint { beta: 0.5 });
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+    let split = db.split(0.4, 6);
+    let target = db.category_index("car").unwrap();
+    let mut session =
+        QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+    let ranking = session.run().unwrap();
+    let relevant = eval::relevance(&ranking, retrieval.labels(), target);
+    let ap = eval::average_precision(&relevant);
+    let base = eval::random_precision_level(&relevant);
+    assert!(
+        ap > base * 2.0,
+        "average precision {ap} vs base rate {base}"
+    );
+}
+
+#[test]
+fn feedback_rounds_do_not_hurt() {
+    // Feedback adds hard negatives; after the protocol the pool
+    // precision should be at least as good as round one's.
+    let db = SceneDatabase::builder()
+        .images_per_category(10)
+        .seed(3)
+        .dimensions(80, 60)
+        .build();
+    let config = fast_config(WeightPolicy::Identical);
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+    let split = db.split(0.4, 9);
+    let target = db.category_index("sunset").unwrap();
+    let mut session = QuerySession::new(
+        &retrieval,
+        &config,
+        target,
+        split.pool.clone(),
+        split.test.clone(),
+    )
+    .unwrap();
+
+    let precision_at = |ranking: &[(usize, f64)], k: usize| {
+        ranking
+            .iter()
+            .take(k)
+            .filter(|&&(i, _)| retrieval.labels()[i] == target)
+            .count() as f64
+            / k as f64
+    };
+
+    let round1 = session.run_round().unwrap();
+    let p1 = precision_at(&round1, 5);
+    session.add_false_positives(3).unwrap();
+    let round2 = session.run_round().unwrap();
+    let p2 = precision_at(&round2, 5);
+    assert!(
+        p2 >= p1 - 0.21,
+        "feedback should not collapse pool precision: {p1} -> {p2}"
+    );
+    assert!(
+        session.negatives().len() > 3,
+        "feedback must have added negatives"
+    );
+}
+
+#[test]
+fn all_policies_produce_valid_concepts_on_images() {
+    let db = SceneDatabase::builder()
+        .images_per_category(6)
+        .seed(4)
+        .dimensions(64, 48)
+        .build();
+    let target = db.category_index("field").unwrap();
+    for policy in [
+        WeightPolicy::OriginalDd,
+        WeightPolicy::Identical,
+        WeightPolicy::AlphaHack { alpha: 50.0 },
+        WeightPolicy::SumConstraint { beta: 0.5 },
+    ] {
+        let config = RetrievalConfig {
+            feedback_rounds: 1,
+            ..fast_config(policy)
+        };
+        let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+        let split = db.split(0.5, 8);
+        let mut session =
+            QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+        session.run_round().unwrap();
+        let concept = session.concept().expect("trained");
+        assert_eq!(concept.dim(), config.feature_dim());
+        assert!(concept.weights().iter().all(|&w| w >= 0.0 && w.is_finite()));
+        assert!(concept.point().iter().all(|&t| t.is_finite()));
+        assert!(
+            session.nldd().is_finite(),
+            "{policy:?} produced non-finite NLDD"
+        );
+        // Policy-specific weight structure.
+        match policy {
+            WeightPolicy::Identical => {
+                assert!(concept.weights().iter().all(|&w| w == 1.0));
+            }
+            WeightPolicy::SumConstraint { beta } => {
+                let mean = concept.mean_weight();
+                assert!(
+                    mean >= beta - 1e-6,
+                    "constraint violated: mean weight {mean} < β {beta}"
+                );
+                assert!(concept.weights().iter().all(|&w| w <= 1.0 + 1e-9));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let db = SceneDatabase::builder()
+            .images_per_category(6)
+            .seed(11)
+            .dimensions(64, 48)
+            .build();
+        let config = fast_config(WeightPolicy::Identical);
+        let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+        let split = db.split(0.34, 2);
+        let target = db.category_index("lake").unwrap();
+        let mut session =
+            QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+        session.run().unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two identical runs must produce identical rankings");
+}
+
+#[test]
+fn concept_localises_the_matching_region() {
+    // Train on scenes whose signature (the waterfall cascade) sits in a
+    // known band; the best-matching instance of a positive test bag
+    // should be a real region, not an arbitrary one. We check only that
+    // best_instance is in range and its distance is the bag minimum.
+    let db = SceneDatabase::builder()
+        .images_per_category(8)
+        .seed(12)
+        .dimensions(80, 60)
+        .build();
+    let config = fast_config(WeightPolicy::Identical);
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
+    let split = db.split(0.4, 4);
+    let target = db.category_index("waterfall").unwrap();
+    let mut session = QuerySession::new(
+        &retrieval,
+        &config,
+        target,
+        split.pool.clone(),
+        split.test.clone(),
+    )
+    .unwrap();
+    session.run_round().unwrap();
+    let concept = session.concept().unwrap();
+    for &i in &split.test {
+        let bag = retrieval.bag(i).unwrap();
+        let best = concept.best_instance(bag);
+        assert!(best < bag.len());
+        let d_best = concept.instance_distance_sq(bag.instance(best));
+        assert!((d_best - concept.bag_distance_sq(bag)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,307 @@
+//! Property-based tests (proptest) of the paper's mathematical claims
+//! and the optimisation substrate's invariants.
+
+use milr::imgproc::correlate::weighted_correlation;
+use milr::imgproc::normalize::{weighted_sq_distance, NormalizedVector};
+use milr::mil::{Bag, BagLabel, DdObjective, MilDataset, Parameterization};
+use milr::optim::numdiff::gradient_error;
+use milr::optim::{BoxSumProjection, Project};
+use proptest::prelude::*;
+
+/// Strategy: a non-flat feature vector of length `n` with values in a
+/// sane range.
+fn feature_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, n).prop_filter("vector must not be flat", |v| {
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        v.iter().any(|&x| (x - mean).abs() > 1.0)
+    })
+}
+
+/// Strategy: strictly positive weights (so weighted σ never vanishes).
+fn weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..2.0, n)
+}
+
+proptest! {
+    /// §3.4 Lemma: Σ w_k B_k² = n for vectors normalised under the same
+    /// weights.
+    #[test]
+    fn lemma_weighted_norm_is_n(raw in feature_vec(24), w in weights(24)) {
+        let nv = NormalizedVector::weighted(&raw, &w).unwrap();
+        let norm: f64 = nv
+            .values
+            .iter()
+            .zip(&w)
+            .map(|(&b, &wk)| wk * f64::from(b) * f64::from(b))
+            .sum();
+        prop_assert!((norm - 24.0).abs() < 1e-2, "norm = {norm}");
+    }
+
+    /// §3.4 Claim: ‖B₁ − B₂‖²_w = 2n(1 − Corr_w(A₁, A₂)).
+    #[test]
+    fn claim_distance_correlation_identity(
+        a1 in feature_vec(16),
+        a2 in feature_vec(16),
+        w in weights(16),
+    ) {
+        let b1 = NormalizedVector::weighted(&a1, &w).unwrap();
+        let b2 = NormalizedVector::weighted(&a2, &w).unwrap();
+        let dist = weighted_sq_distance(&b1.values, &b2.values, &w);
+        let corr = weighted_correlation(&a1, &a2, &w);
+        let expected = 2.0 * 16.0 * (1.0 - corr);
+        prop_assert!(
+            (dist - expected).abs() < 1e-2,
+            "dist {dist} vs 2n(1-corr) {expected}"
+        );
+    }
+
+    /// Correlation is bounded and symmetric under any weights.
+    #[test]
+    fn correlation_bounded_and_symmetric(
+        a in feature_vec(12),
+        b in feature_vec(12),
+        w in weights(12),
+    ) {
+        let r_ab = weighted_correlation(&a, &b, &w);
+        let r_ba = weighted_correlation(&b, &a, &w);
+        prop_assert!((-1.0..=1.0).contains(&r_ab));
+        prop_assert!((r_ab - r_ba).abs() < 1e-10);
+    }
+
+    /// The projection's output is always feasible and idempotent.
+    #[test]
+    fn projection_feasible_and_idempotent(
+        x in proptest::collection::vec(-3.0f64..3.0, 10),
+        beta in 0.0f64..1.0,
+    ) {
+        let p = BoxSumProjection::for_beta(10, beta);
+        let mut y = x.clone();
+        p.project(&mut y);
+        prop_assert!(p.is_feasible(&y, 1e-7), "projection output infeasible: {y:?}");
+        let once = y.clone();
+        p.project(&mut y);
+        for (a, b) in y.iter().zip(&once) {
+            prop_assert!((a - b).abs() < 1e-9, "projection not idempotent");
+        }
+    }
+
+    /// Projection never moves a feasible point.
+    #[test]
+    fn projection_fixes_feasible_points(
+        x in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let sum: f64 = x.iter().sum();
+        let beta = (sum / 8.0 - 0.05).max(0.0);
+        let p = BoxSumProjection::for_beta(8, beta);
+        prop_assume!(p.is_feasible(&x, 0.0));
+        let mut y = x.clone();
+        p.project(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Projection is a contraction towards the feasible set: the output
+    /// is never farther from any feasible point than the input was.
+    #[test]
+    fn projection_is_non_expansive_to_feasible_points(
+        x in proptest::collection::vec(-2.0f64..2.0, 6),
+        z_raw in proptest::collection::vec(0.1f64..1.0, 6),
+    ) {
+        let p = BoxSumProjection::for_beta(6, 0.3);
+        // Construct a feasible z.
+        let mut z = z_raw;
+        p.project(&mut z);
+        let mut y = x.clone();
+        p.project(&mut y);
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(&p, &q)| (p - q) * (p - q)).sum()
+        };
+        prop_assert!(d(&y, &z) <= d(&x, &z) + 1e-9);
+    }
+
+    /// The DD analytic gradient agrees with central differences on
+    /// random small datasets, for all parameterizations.
+    #[test]
+    fn dd_gradients_match_numeric(
+        pos1 in feature_vec(4),
+        pos2 in feature_vec(4),
+        neg in feature_vec(4),
+        t in proptest::collection::vec(-2.0f64..2.0, 4),
+        s in proptest::collection::vec(0.2f64..1.5, 4),
+    ) {
+        // Scale features down so exp(−d) stays in a numerically
+        // interesting range.
+        let scale = |v: &[f32]| -> Vec<f32> { v.iter().map(|&x| x / 50.0).collect() };
+        let mut ds = MilDataset::new();
+        ds.push(Bag::new(vec![scale(&pos1)]).unwrap(), BagLabel::Positive).unwrap();
+        ds.push(Bag::new(vec![scale(&pos2)]).unwrap(), BagLabel::Positive).unwrap();
+        ds.push(Bag::new(vec![scale(&neg)]).unwrap(), BagLabel::Negative).unwrap();
+
+        // h = 1e-4 sits on the sweet spot between truncation and
+        // floating-point noise for this objective (the exp/log chain
+        // amplifies rounding at very small steps).
+        let fixed = DdObjective::new(&ds, Parameterization::FixedWeights);
+        prop_assert!(gradient_error(&fixed, &t, 1e-4) < 1e-3);
+
+        let mut x2 = t.clone();
+        x2.extend_from_slice(&s);
+        let sqrt = DdObjective::new(&ds, Parameterization::SqrtWeights { alpha: 1.0 });
+        prop_assert!(gradient_error(&sqrt, &x2, 1e-4) < 1e-3);
+
+        let direct = DdObjective::new(&ds, Parameterization::DirectWeights);
+        prop_assert!(gradient_error(&direct, &x2, 1e-4) < 1e-3);
+    }
+
+    /// Smoothing-and-sampling is a weighted average: every output entry
+    /// lies within the input's intensity range, and constant images map
+    /// to constant matrices.
+    #[test]
+    fn smooth_sample_respects_intensity_bounds(
+        pixels in proptest::collection::vec(0.0f32..255.0, 24 * 18),
+        h in 2usize..8,
+    ) {
+        use milr::imgproc::{smooth_sample, GrayImage};
+        let img = GrayImage::from_vec(24, 18, pixels).unwrap();
+        let (lo, hi) = img.min_max();
+        let sampled = smooth_sample(&img, h).unwrap();
+        for &v in sampled.pixels() {
+            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Every region layout produces the declared number of in-bounds
+    /// rectangles for arbitrary image sizes.
+    #[test]
+    fn region_layouts_fit_arbitrary_sizes(
+        w in 16usize..300,
+        h in 16usize..300,
+    ) {
+        use milr::imgproc::RegionLayout;
+        for layout in [RegionLayout::Small, RegionLayout::Standard, RegionLayout::Large] {
+            let regions = layout.regions(w, h).unwrap();
+            prop_assert_eq!(regions.len(), layout.region_count());
+            for r in regions {
+                prop_assert!(r.fits_within(w, h), "{:?} escapes {}x{}", r, w, h);
+            }
+        }
+    }
+
+    /// PGM round trips are 8-bit exact for arbitrary in-range images.
+    #[test]
+    fn pgm_round_trip_is_8bit_exact(
+        pixels in proptest::collection::vec(0.0f32..255.0, 12 * 9),
+    ) {
+        use milr::imgproc::{pnm, GrayImage};
+        let img = GrayImage::from_vec(12, 9, pixels).unwrap();
+        let mut buf = Vec::new();
+        pnm::write_pgm(&img, &mut buf).unwrap();
+        let back = pnm::read_pgm(std::io::Cursor::new(buf)).unwrap();
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            prop_assert!((a - b).abs() <= 0.5 + 1e-4);
+        }
+    }
+
+    /// Mirroring twice is the identity, and mirroring commutes with the
+    /// §3.4 normalisation (the pipeline relies on this to mirror after
+    /// normalising).
+    #[test]
+    fn mirror_commutes_with_normalisation(
+        pixels in proptest::collection::vec(0.0f32..255.0, 10 * 10)
+            .prop_filter("needs contrast", |v| {
+                let mean = v.iter().sum::<f32>() / v.len() as f32;
+                v.iter().any(|&x| (x - mean).abs() > 1.0)
+            }),
+    ) {
+        use milr::imgproc::mirror::mirror_horizontal;
+        use milr::imgproc::GrayImage;
+        let img = GrayImage::from_vec(10, 10, pixels).unwrap();
+        prop_assert_eq!(mirror_horizontal(&mirror_horizontal(&img)), img.clone());
+
+        let norm_then_mirror = {
+            let nv = NormalizedVector::unit(img.pixels()).unwrap();
+            let as_img = GrayImage::from_vec(10, 10, nv.values).unwrap();
+            mirror_horizontal(&as_img)
+        };
+        let mirror_then_norm = {
+            let m = mirror_horizontal(&img);
+            let nv = NormalizedVector::unit(m.pixels()).unwrap();
+            GrayImage::from_vec(10, 10, nv.values).unwrap()
+        };
+        for (a, b) in norm_then_mirror.pixels().iter().zip(mirror_then_norm.pixels()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Convolution is linear: conv(a·f + b·g) = a·conv(f) + b·conv(g).
+    #[test]
+    fn convolution_is_linear(
+        f in proptest::collection::vec(-50.0f32..50.0, 10 * 8),
+        g in proptest::collection::vec(-50.0f32..50.0, 10 * 8),
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        use milr::imgproc::{convolve, GrayImage, Kernel};
+        let kernel = Kernel::gaussian(0.8);
+        let fi = GrayImage::from_vec(10, 8, f.clone()).unwrap();
+        let gi = GrayImage::from_vec(10, 8, g.clone()).unwrap();
+        let combo = GrayImage::from_vec(
+            10,
+            8,
+            f.iter().zip(&g).map(|(&x, &y)| a * x + b * y).collect(),
+        )
+        .unwrap();
+        let lhs = convolve(&combo, &kernel);
+        let cf = convolve(&fi, &kernel);
+        let cg = convolve(&gi, &kernel);
+        for ((&l, &x), &y) in lhs.pixels().iter().zip(cf.pixels()).zip(cg.pixels()) {
+            prop_assert!((l - (a * x + b * y)).abs() < 1e-2, "{l} vs {}", a * x + b * y);
+        }
+    }
+
+    /// Histogram intersection is a similarity: symmetric, 1 on self,
+    /// within [0, 1].
+    #[test]
+    fn histogram_intersection_properties(
+        f in proptest::collection::vec(0.0f32..255.0, 12 * 12),
+        g in proptest::collection::vec(0.0f32..255.0, 12 * 12),
+    ) {
+        use milr::imgproc::histogram::Histogram;
+        use milr::imgproc::GrayImage;
+        let hf = Histogram::of(&GrayImage::from_vec(12, 12, f).unwrap(), 16);
+        let hg = Histogram::of(&GrayImage::from_vec(12, 12, g).unwrap(), 16);
+        let s = hf.intersection(&hg);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        prop_assert!((s - hg.intersection(&hf)).abs() < 1e-12);
+        prop_assert!((hf.intersection(&hf) - 1.0).abs() < 1e-12);
+    }
+
+    /// Bag distances are permutation-invariant in the instance order and
+    /// equal the minimum instance distance.
+    #[test]
+    fn bag_distance_is_min_of_instances(
+        instances in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 3),
+            1..6,
+        ),
+        point in proptest::collection::vec(-5.0f64..5.0, 3),
+        w in weights(3),
+    ) {
+        use milr::mil::Concept;
+        let bag = Bag::new(instances.clone()).unwrap();
+        let concept = Concept::new(point, w);
+        let expected = instances
+            .iter()
+            .map(|inst| concept.instance_distance_sq(inst))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((concept.bag_distance_sq(&bag) - expected).abs() < 1e-12);
+
+        let mut reversed = instances;
+        reversed.reverse();
+        let rbag = Bag::new(reversed).unwrap();
+        prop_assert!(
+            (concept.bag_distance_sq(&rbag) - expected).abs() < 1e-12,
+            "instance order must not matter"
+        );
+    }
+}

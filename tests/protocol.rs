@@ -1,0 +1,114 @@
+//! Invariants of the §4.1 evaluation protocol, including determinism of
+//! the parallel multi-start across thread counts.
+
+use milr::core::{QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr::imgproc::RegionLayout;
+use milr::mil::WeightPolicy;
+use milr::synth::SceneDatabase;
+
+fn config(threads: usize) -> RetrievalConfig {
+    RetrievalConfig {
+        resolution: 5,
+        layout: RegionLayout::Small,
+        policy: WeightPolicy::SumConstraint { beta: 0.5 },
+        feedback_rounds: 3,
+        false_positives_per_round: 2,
+        initial_positives: 2,
+        initial_negatives: 2,
+        max_iterations: 25,
+        threads,
+        ..RetrievalConfig::default()
+    }
+}
+
+fn scenario() -> (RetrievalDatabase, Vec<usize>, Vec<usize>, usize) {
+    let db = SceneDatabase::builder()
+        .images_per_category(9)
+        .seed(41)
+        .dimensions(80, 60)
+        .build();
+    let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config(1)).unwrap();
+    let split = db.split(0.34, 3);
+    let target = db.category_index("waterfall").unwrap();
+    (retrieval, split.pool, split.test, target)
+}
+
+#[test]
+fn protocol_runs_the_configured_rounds_and_grows_negatives() {
+    let (db, pool, test, target) = scenario();
+    let cfg = config(1);
+    let mut session = QuerySession::new(&db, &cfg, target, pool, test).unwrap();
+    let initial_negatives = session.negatives().len();
+    session.run().unwrap();
+    assert_eq!(session.rounds_run(), 3);
+    // Two rounds of feedback at 2 FPs each (when available).
+    let grown = session.negatives().len() - initial_negatives;
+    assert!(
+        (2..=4).contains(&grown),
+        "expected 2-4 promoted negatives, got {grown}"
+    );
+    // Positives are untouched by FP promotion.
+    assert_eq!(session.positives().len(), 2);
+}
+
+#[test]
+fn ranking_is_a_permutation_of_the_test_set() {
+    let (db, pool, test, target) = scenario();
+    let cfg = config(1);
+    let mut session = QuerySession::new(&db, &cfg, target, pool, test.clone()).unwrap();
+    let ranking = session.run().unwrap();
+    let mut ranked: Vec<usize> = ranking.iter().map(|&(i, _)| i).collect();
+    ranked.sort_unstable();
+    let mut expected = test;
+    expected.sort_unstable();
+    assert_eq!(ranked, expected, "every test image appears exactly once");
+    // Distances ascend.
+    for w in ranking.windows(2) {
+        assert!(w[0].1 <= w[1].1);
+    }
+}
+
+#[test]
+fn results_are_identical_across_thread_counts() {
+    let (db, pool, test, target) = scenario();
+    let run_with = |threads: usize| {
+        let cfg = config(threads);
+        let mut session = QuerySession::new(&db, &cfg, target, pool.clone(), test.clone()).unwrap();
+        let ranking = session.run().unwrap();
+        (ranking, session.nldd())
+    };
+    let (r1, nldd1) = run_with(1);
+    let (r4, nldd4) = run_with(4);
+    assert_eq!(
+        r1, r4,
+        "multi-start must be deterministic across thread counts"
+    );
+    assert_eq!(nldd1, nldd4);
+}
+
+#[test]
+fn pool_and_test_rankings_use_the_same_concept() {
+    let (db, pool, test, target) = scenario();
+    let cfg = config(1);
+    let mut session = QuerySession::new(&db, &cfg, target, pool.clone(), test).unwrap();
+    session.run_round().unwrap();
+    // rank_pool must agree with manually ranking the pool through the
+    // concept accessor.
+    let via_session = session.rank_pool().unwrap();
+    let via_concept = db.rank(session.concept().unwrap(), &pool).unwrap();
+    assert_eq!(via_session, via_concept);
+}
+
+#[test]
+fn later_rounds_never_lose_examples() {
+    let (db, pool, test, target) = scenario();
+    let cfg = config(1);
+    let mut session = QuerySession::new(&db, &cfg, target, pool, test).unwrap();
+    let mut last_negatives = session.negatives().len();
+    for _ in 0..3 {
+        session.run_round().unwrap();
+        session.add_false_positives(2).unwrap();
+        assert!(session.negatives().len() >= last_negatives);
+        last_negatives = session.negatives().len();
+    }
+}
