@@ -1,0 +1,133 @@
+//! Hot-path head-to-head benchmarks: the contiguous flat-buffer DD
+//! kernels vs the legacy slice-of-slices objective, and pruned vs
+//! unpruned bag ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milr_mil::{
+    Bag, BagLabel, Concept, DdObjective, LegacyDdObjective, MilDataset, Parameterization,
+};
+use milr_optim::Objective;
+
+/// A deterministic dataset shaped like a real query: 5 positive and 10
+/// negative bags of 40 100-dimensional instances.
+fn dataset() -> MilDataset {
+    let dim = 100;
+    let mut ds = MilDataset::new();
+    let make_bag = |bag_seed: usize| {
+        let instances: Vec<Vec<f32>> = (0..40)
+            .map(|j| {
+                (0..dim)
+                    .map(|k| {
+                        (((bag_seed * 7919 + j * 104729 + k * 1299709) % 1000) as f32 / 500.0) - 1.0
+                    })
+                    .collect()
+            })
+            .collect();
+        Bag::new(instances).unwrap()
+    };
+    for i in 0..5 {
+        ds.push(make_bag(i), BagLabel::Positive).unwrap();
+    }
+    for i in 5..15 {
+        ds.push(make_bag(i), BagLabel::Negative).unwrap();
+    }
+    ds
+}
+
+/// Flat fused kernels vs the legacy layout, split by solver access
+/// pattern: a line-search trial is a value-only call at a fresh point
+/// (memo miss), an accepted step re-evaluates the same point with the
+/// gradient (memo hit).
+fn bench_flat_vs_legacy(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("dd_evaluate");
+    for (name, param) in [
+        ("fixed_weights", Parameterization::FixedWeights),
+        ("direct_weights", Parameterization::DirectWeights),
+    ] {
+        let xa = param.start_from(ds.positives()[0].instance(0));
+        let xb = param.start_from(ds.positives()[1].instance(0));
+        let mut grad = vec![0.0; xa.len()];
+        let flat = DdObjective::new(&ds, param);
+        group.bench_function(BenchmarkId::new("flat_value_miss", name), |b| {
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                flat.value(std::hint::black_box(if flip { &xa } else { &xb }))
+            })
+        });
+        group.bench_function(BenchmarkId::new("flat_grad_hit", name), |b| {
+            flat.value(&xa);
+            b.iter(|| flat.value_and_gradient(std::hint::black_box(&xa), &mut grad))
+        });
+        let legacy = LegacyDdObjective::new(&ds, param);
+        group.bench_function(BenchmarkId::new("legacy_value", name), |b| {
+            b.iter(|| legacy.value(std::hint::black_box(&xa)))
+        });
+        group.bench_function(BenchmarkId::new("legacy_grad", name), |b| {
+            b.iter(|| legacy.value_and_gradient(std::hint::black_box(&xa), &mut grad))
+        });
+    }
+    group.finish();
+}
+
+/// Pruned vs naive min-distance ranking over a database-scale bag list.
+fn bench_pruned_vs_naive_rank(c: &mut Criterion) {
+    let dim = 100;
+    let bags: Vec<Bag> = (0..200)
+        .map(|bag_seed: usize| {
+            let instances: Vec<Vec<f32>> = (0..18)
+                .map(|j| {
+                    (0..dim)
+                        .map(|k| {
+                            (((bag_seed * 613 + j * 7919 + k * 104729) % 1000) as f32 / 250.0) - 2.0
+                        })
+                        .collect()
+                })
+                .collect();
+            Bag::new(instances).unwrap()
+        })
+        .collect();
+    let concept = Concept::new(vec![0.05; dim], vec![0.7; dim]);
+
+    let mut group = c.benchmark_group("rank_200_bags");
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for bag in &bags {
+                let d = bag
+                    .instances()
+                    .map(|inst| concept.instance_distance_sq(inst))
+                    .fold(f64::INFINITY, f64::min);
+                best = best.min(std::hint::black_box(d));
+            }
+            best
+        })
+    });
+    group.bench_function("pruned", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for bag in &bags {
+                best = best.min(std::hint::black_box(concept.bag_distance_sq(bag)));
+            }
+            best
+        })
+    });
+    // The top-k candidate bound: each bag is scored against the best
+    // distance seen so far (the bound a filled top-1 heap would hold).
+    group.bench_function("bounded", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for bag in &bags {
+                if let Some(d) = concept.bag_distance_sq_below(bag, best) {
+                    best = std::hint::black_box(d);
+                }
+            }
+            best
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_legacy, bench_pruned_vs_naive_rank);
+criterion_main!(benches);

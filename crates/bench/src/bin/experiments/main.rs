@@ -38,9 +38,11 @@
 //! | ext-agg   | aggregate policy stats (mean ± std over cats × seeds) |
 //! | ext-alpha | §3.6.2 gradient-hack sweep (α = 1 … ∞)                |
 //! | ext-beta  | §5 future work: automatic β selection on the pool     |
+//! | perf      | hot-path timings → BENCH_hotpath.json                 |
 
 mod ch3;
 mod ch4;
+mod perf;
 
 use std::time::Instant;
 
@@ -76,6 +78,11 @@ const ALL: &[&str] = &[
     "ext-agg",
     "ext-alpha",
 ];
+
+/// Ids runnable on request but excluded from `all`: the β-selection
+/// sweep is far slower than any figure, and the perf harness wants a
+/// quiet machine, not one warmed by hours of other experiments.
+const STANDALONE: &[&str] = &["ext-beta", "perf"];
 
 fn main() {
     let mut scale = Scale::Full;
@@ -137,6 +144,7 @@ fn main() {
             "ext-agg" => ch4::ext_aggregate(scale, seed),
             "ext-alpha" => ch4::ext_alpha(scale, seed),
             "ext-beta" => ch4::ext_beta(scale, seed),
+            "perf" => perf::perf(scale, seed),
             other => usage(&format!("unknown experiment id {other:?}")),
         }
         println!("\n[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());
@@ -148,8 +156,10 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments [--quick] [--seed N] <id>... | all\n\nids: {}",
-        ALL.join(", ")
+        "usage: experiments [--quick] [--seed N] <id>... | all\n\nids: {}\n\
+         standalone (not part of `all`): {}",
+        ALL.join(", "),
+        STANDALONE.join(", ")
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,292 @@
+//! The `perf` experiment: wall-clock timings of the contiguous-bag hot
+//! path against the legacy reference implementations, written to
+//! `BENCH_hotpath.json`.
+//!
+//! Three phases of a fig4-3-style query (waterfall target on the scene
+//! database) are timed head to head:
+//!
+//! * **preprocess** — `RetrievalDatabase::from_labelled_images` with one
+//!   worker vs the pool fan-out (`threads = 0`).
+//! * **train** — the same projected-gradient multi-start driven by the
+//!   flat fused-kernel [`DdObjective`] vs the pointer-chasing
+//!   [`LegacyDdObjective`] (slice-of-slices, per-element `f64::from`,
+//!   per-call scratch allocation).
+//! * **rank** — pruned parallel [`RetrievalDatabase::rank`] and the
+//!   bounded [`RetrievalDatabase::rank_top_k`] vs a naive serial
+//!   min-fold over [`Concept::instance_distance_sq`].
+//!
+//! Every optimisation is exact, so besides the timings the experiment
+//! *asserts* that both pipelines agree: identical bags, matching optima,
+//! and bit-identical ranking order.
+
+use std::time::Instant;
+
+use milr_bench::{scene_database, Scale};
+use milr_core::{RetrievalConfig, RetrievalDatabase};
+use milr_mil::{BagLabel, Concept, DdObjective, LegacyDdObjective, MilDataset, Parameterization};
+use milr_optim::{
+    multistart, projected_gradient, BoxSumProjection, Objective, ProjectedGradientOptions,
+    SubsliceProjection,
+};
+
+/// Top-k size for the bounded ranking phase (a retrieval screen's worth,
+/// as in the Fig. 4-3 displays).
+const TOP_K: usize = 16;
+
+/// How many positive / negative example bags seed training (§4.1: "five
+/// positive and five negative examples").
+const EXAMPLES: usize = 5;
+
+pub fn perf(scale: Scale, seed: u64) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rustflags = option_env!("RUSTFLAGS").unwrap_or("");
+    println!(
+        "hot-path timing on {cores} core(s), scale {scale:?}, seed {seed}, \
+         RUSTFLAGS {rustflags:?}\n"
+    );
+
+    let db_src = scene_database(scale, seed);
+    let images = db_src.gray_images();
+    let target = db_src
+        .category_index("waterfall")
+        .expect("scene database has waterfalls");
+    let config = RetrievalConfig::default();
+
+    // Heavy phases are timed warm (a first untimed pass services the
+    // exactness assertions and page-faults everything in) and best-of-N,
+    // because a single wall-clock sample on a shared box swings by tens
+    // of percent.
+    let reps = match scale {
+        Scale::Full => 3,
+        Scale::Quick => 2,
+    };
+
+    // ---- Phase 1: preprocessing (serial vs pool fan-out) -------------
+    let serial_config = RetrievalConfig {
+        threads: 1,
+        ..config.clone()
+    };
+    let db_serial =
+        RetrievalDatabase::from_labelled_images(images.clone(), &serial_config).unwrap();
+    let db = RetrievalDatabase::from_labelled_images(images.clone(), &config).unwrap();
+    for i in 0..db.len() {
+        assert_eq!(
+            db.bag(i).unwrap(),
+            db_serial.bag(i).unwrap(),
+            "parallel preprocessing must be exact"
+        );
+    }
+    drop(db_serial);
+    let mut copies: Vec<_> = (0..2 * reps).map(|_| images.clone()).collect();
+    drop(images);
+    let pre_ref = best_of(reps, || {
+        let built =
+            RetrievalDatabase::from_labelled_images(copies.pop().unwrap(), &serial_config).unwrap();
+        std::hint::black_box(&built);
+    });
+    let pre_opt = best_of(reps, || {
+        let built =
+            RetrievalDatabase::from_labelled_images(copies.pop().unwrap(), &config).unwrap();
+        std::hint::black_box(&built);
+    });
+    phase_line("preprocess", pre_ref, pre_opt);
+
+    // ---- Phase 2: training (legacy layout vs flat fused kernels) -----
+    // The §4.1 initial examples: the first five target bags positive,
+    // the first five non-target bags negative.
+    let mut dataset = MilDataset::new();
+    for label in [BagLabel::Positive, BagLabel::Negative] {
+        let mut taken = 0;
+        for i in 0..db.len() {
+            let hit = db.labels()[i] == target;
+            if hit == (label == BagLabel::Positive) && taken < EXAMPLES {
+                dataset.push(db.bag(i).unwrap().clone(), label).unwrap();
+                taken += 1;
+            }
+        }
+    }
+    let k = db.feature_dim();
+    let param = Parameterization::DirectWeights;
+    let starts: Vec<Vec<f64>> = dataset
+        .positives()
+        .iter()
+        .flat_map(|b| b.instances().map(|inst| param.start_from(inst)))
+        .collect();
+    // The default retrieval policy: Σw ≥ 0.5·k via projected gradient.
+    let projection = SubsliceProjection {
+        start: k,
+        end: 2 * k,
+        inner: BoxSumProjection::for_beta(k, 0.5),
+    };
+    let solver_options = ProjectedGradientOptions {
+        max_iterations: config.max_iterations,
+        step_tolerance: config.gradient_tolerance,
+        ..ProjectedGradientOptions::default()
+    };
+
+    // Warm pass: services the optimum assertions below and counts the
+    // solver work so the head-to-head is visibly like-for-like.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let legacy = LegacyDdObjective::new(&dataset, param);
+    let (ref_evals, ref_iters) = (AtomicU64::new(0), AtomicU64::new(0));
+    let legacy_report = multistart(&starts, 1, |x0| {
+        let s = projected_gradient(&legacy, &projection, x0, &solver_options);
+        ref_evals.fetch_add(s.evaluations as u64, Ordering::Relaxed);
+        ref_iters.fetch_add(s.iterations as u64, Ordering::Relaxed);
+        s
+    });
+
+    let flat = DdObjective::new(&dataset, param);
+    let (opt_evals, opt_iters) = (AtomicU64::new(0), AtomicU64::new(0));
+    let report = multistart(&starts, config.threads, |x0| {
+        let s = projected_gradient(&flat, &projection, x0, &solver_options);
+        opt_evals.fetch_add(s.evaluations as u64, Ordering::Relaxed);
+        opt_iters.fetch_add(s.iterations as u64, Ordering::Relaxed);
+        s
+    });
+
+    let train_ref = best_of(reps, || {
+        let r = multistart(&starts, 1, |x0| {
+            projected_gradient(&legacy, &projection, x0, &solver_options)
+        });
+        std::hint::black_box(&r);
+    });
+    let train_opt = best_of(reps, || {
+        let r = multistart(&starts, config.threads, |x0| {
+            projected_gradient(&flat, &projection, x0, &solver_options)
+        });
+        std::hint::black_box(&r);
+    });
+    phase_line("train", train_ref, train_opt);
+    println!(
+        "               reference {} evals / {} iters   optimized {} evals / {} iters",
+        ref_evals.load(Ordering::Relaxed),
+        ref_iters.load(Ordering::Relaxed),
+        opt_evals.load(Ordering::Relaxed),
+        opt_iters.load(Ordering::Relaxed),
+    );
+
+    // The kernels reorder floating-point sums, so iterates can drift
+    // between layouts — but both must land on optima of the same NLDD
+    // objective, cross-evaluated on the *same* (flat) objective.
+    let drift = (flat.value(&report.best.x) - flat.value(&legacy_report.best.x)).abs();
+    assert!(
+        drift <= 1e-3 * report.best.value.abs().max(1.0),
+        "flat and legacy training disagree: NLDD drift {drift}"
+    );
+    let concept = Concept::new(
+        report.best.x[..k].to_vec(),
+        param.weights_of(&report.best.x, k),
+    );
+
+    // ---- Phase 3: ranking (naive serial vs pruned parallel) ----------
+    let candidates: Vec<usize> = (0..db.len()).collect();
+    let naive_rank = || {
+        let mut scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&i| {
+                let d = db
+                    .bag(i)
+                    .unwrap()
+                    .instances()
+                    .map(|inst| concept.instance_distance_sq(inst))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("distances are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored
+    };
+
+    // Exactness first: pruning and the candidate bound change nothing.
+    let reference = naive_rank();
+    let pruned = db.rank(&concept, &candidates).unwrap();
+    assert_eq!(pruned, reference, "pruned ranking must be bit-identical");
+    let top = db.rank_top_k(&concept, &candidates, TOP_K).unwrap();
+    assert_eq!(
+        top,
+        reference[..TOP_K.min(reference.len())],
+        "top-k must be an exact prefix of the full ranking"
+    );
+    let ranking_identical = true;
+
+    // Then timings, best-of-N to tame scheduler noise.
+    let reps = match scale {
+        Scale::Full => 5,
+        Scale::Quick => 3,
+    };
+    let rank_ref = best_of(reps, || {
+        let r = naive_rank();
+        std::hint::black_box(&r);
+    });
+    let rank_opt = best_of(reps, || {
+        let r = db.rank(&concept, &candidates).unwrap();
+        std::hint::black_box(&r);
+    });
+    let topk_opt = best_of(reps, || {
+        let r = db.rank_top_k(&concept, &candidates, TOP_K).unwrap();
+        std::hint::black_box(&r);
+    });
+    phase_line("rank (full)", rank_ref, rank_opt);
+    phase_line("rank (top-k)", rank_ref, topk_opt);
+
+    // ---- End-to-end and the JSON artifact ----------------------------
+    let total_ref = pre_ref + train_ref + rank_ref;
+    let total_opt = pre_opt + train_opt + topk_opt;
+    let speedup = total_ref / total_opt;
+    println!();
+    phase_line("end-to-end", total_ref, total_opt);
+    if speedup < 2.0 {
+        println!("WARNING: end-to-end speedup {speedup:.2}x is below the 2x target");
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"perf\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \
+         \"cores\": {cores},\n  \"rustflags\": {rustflags:?},\n  \
+         \"database_images\": {db_len},\n  \"feature_dim\": {k},\n  \
+         \"training_starts\": {starts_len},\n  \"top_k\": {TOP_K},\n  \
+         \"ranking_identical\": {ranking_identical},\n  \"phases\": {{\n{phases}\n  }},\n  \
+         \"end_to_end\": {{ \"reference_s\": {total_ref:.6}, \"optimized_s\": {total_opt:.6}, \
+         \"speedup\": {speedup:.3} }}\n}}\n",
+        db_len = db.len(),
+        starts_len = starts.len(),
+        phases = [
+            ("preprocess", pre_ref, pre_opt),
+            ("train", train_ref, train_opt),
+            ("rank_full", rank_ref, rank_opt),
+            ("rank_top_k", rank_ref, topk_opt),
+        ]
+        .iter()
+        .map(|(name, r, o)| format!(
+            "    \"{name}\": {{ \"reference_s\": {r:.6}, \"optimized_s\": {o:.6}, \
+             \"speedup\": {s:.3} }}",
+            s = r / o
+        ))
+        .collect::<Vec<_>>()
+        .join(",\n"),
+    );
+    let path = "BENCH_hotpath.json";
+    std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {path}");
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn phase_line(name: &str, reference: f64, optimized: f64) {
+    println!(
+        "{name:<14} reference {reference:>9.4}s   optimized {optimized:>9.4}s   speedup {:>6.2}x",
+        reference / optimized
+    );
+}

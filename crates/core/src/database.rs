@@ -4,9 +4,24 @@
 //! a [`Bag`] of normalised region features. Queries then only touch bags,
 //! never pixels, so ranking the whole database against a trained concept
 //! is a pure vector workload.
+//!
+//! Both database-scale loops fan out over the `milr-optim` scoped-thread
+//! pool with a deterministic index-ordered merge: preprocessing maps
+//! `image_to_bag` over all images in parallel, and [`RetrievalDatabase::rank`]
+//! scores all candidates in parallel. Per-bag scoring uses the pruned
+//! min-distance kernels from [`Concept`], and [`RetrievalDatabase::rank_top_k`]
+//! adds a candidate bound so bags that cannot enter the current top-k are
+//! abandoned after a few dimensions. None of this changes any output:
+//! parallel merge order and pruning are both exact (see
+//! `Concept::instance_distance_sq_below` for the invariant), which the
+//! workspace property tests pin down.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use milr_imgproc::GrayImage;
 use milr_mil::{Bag, Concept};
+use milr_optim::pool;
 
 use crate::config::RetrievalConfig;
 use crate::error::CoreError;
@@ -19,6 +34,32 @@ pub struct RetrievalDatabase {
     labels: Vec<usize>,
     category_count: usize,
     feature_dim: usize,
+    /// Worker threads for ranking/preprocessing fan-out (0 = available
+    /// parallelism). Purely a throughput knob: results are identical for
+    /// any value.
+    threads: usize,
+}
+
+/// Max-heap entry for [`RetrievalDatabase::rank_top_k`]: the heap's top
+/// is the lexicographically largest `(distance, index)` pair — the entry
+/// the final ranking would place last.
+#[derive(PartialEq)]
+struct WorstCandidate(f64, usize);
+
+impl Eq for WorstCandidate {}
+
+impl PartialOrd for WorstCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
 }
 
 impl RetrievalDatabase {
@@ -38,17 +79,23 @@ impl RetrievalDatabase {
         config
             .validate()
             .map_err(|msg| CoreError::Mil(milr_mil::MilError::InvalidPolicy(msg)))?;
+        // Preprocess every image in parallel; the index-ordered merge
+        // keeps bag order (and, on failure, which error surfaces — the
+        // lowest failing index, as in the old serial loop) independent
+        // of the thread count.
+        let results = pool::run_indexed(images.len(), config.threads, |index| {
+            image_to_bag(&images[index].0, config).map_err(|e| match e {
+                CoreError::BlankImage { .. } => CoreError::BlankImage { index: Some(index) },
+                other => other,
+            })
+        });
         let mut bags = Vec::with_capacity(images.len());
         let mut labels = Vec::with_capacity(images.len());
         let mut category_count = 0usize;
-        for (index, (image, label)) in images.into_iter().enumerate() {
-            let bag = image_to_bag(&image, config).map_err(|e| match e {
-                CoreError::BlankImage { .. } => CoreError::BlankImage { index: Some(index) },
-                other => other,
-            })?;
+        for (result, (_, label)) in results.into_iter().zip(&images) {
+            bags.push(result?);
             category_count = category_count.max(label + 1);
-            bags.push(bag);
-            labels.push(label);
+            labels.push(*label);
         }
         let feature_dim = bags.first().map_or(0, Bag::dim);
         Ok(Self {
@@ -56,6 +103,7 @@ impl RetrievalDatabase {
             labels,
             category_count,
             feature_dim,
+            threads: config.threads,
         })
     }
 
@@ -88,7 +136,15 @@ impl RetrievalDatabase {
             labels,
             category_count,
             feature_dim,
+            threads: 0,
         })
+    }
+
+    /// Sets the worker-thread count for ranking fan-out (0 = available
+    /// parallelism). A pure throughput knob — ranking output is
+    /// identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
     }
 
     /// Number of images.
@@ -146,6 +202,10 @@ impl RetrievalDatabase {
     /// distances to the ideal point"). Ties break by index for
     /// determinism.
     ///
+    /// Candidates are scored in parallel over the scoped-thread pool
+    /// (see [`Self::set_threads`]) and merged in index order before the
+    /// sort, so the ranking is identical for any thread count.
+    ///
     /// # Errors
     /// Returns [`CoreError::IndexOutOfBounds`] if any candidate index is
     /// invalid.
@@ -154,17 +214,77 @@ impl RetrievalDatabase {
         concept: &Concept,
         candidates: &[usize],
     ) -> Result<Vec<(usize, f64)>, CoreError> {
-        let mut scored = Vec::with_capacity(candidates.len());
         for &index in candidates {
-            let bag = self.bag(index)?;
-            scored.push((index, concept.bag_distance_sq(bag)));
+            self.bag(index)?;
         }
+        let mut scored = pool::run_indexed(candidates.len(), self.threads, |i| {
+            let index = candidates[i];
+            (index, concept.bag_distance_sq(&self.bags[index]))
+        });
         scored.sort_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .expect("bag distances are finite")
                 .then_with(|| a.0.cmp(&b.0))
         });
         Ok(scored)
+    }
+
+    /// The first `k` entries of [`Self::rank`], computed with a running
+    /// candidate bound instead of a full sort.
+    ///
+    /// A max-heap holds the current top `k`; every further bag is scored
+    /// against the heap's worst `(distance, index)` pair, so its
+    /// instances are abandoned (partial-distance pruning) as soon as
+    /// they cannot enter the top `k`. Output is exactly
+    /// `rank(concept, candidates)` truncated to `k` — the bound only
+    /// skips work, never changes the result.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::IndexOutOfBounds`] if any candidate index is
+    /// invalid.
+    pub fn rank_top_k(
+        &self,
+        concept: &Concept,
+        candidates: &[usize],
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, CoreError> {
+        for &index in candidates {
+            self.bag(index)?;
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut heap: BinaryHeap<WorstCandidate> = BinaryHeap::with_capacity(k + 1);
+        for &index in candidates {
+            let bag = &self.bags[index];
+            if heap.len() < k {
+                heap.push(WorstCandidate(concept.bag_distance_sq(bag), index));
+                continue;
+            }
+            let (worst_d, worst_i) = {
+                let worst = heap.peek().expect("heap is non-empty");
+                (worst.0, worst.1)
+            };
+            // `next_up` admits exact ties on distance so the index
+            // tie-break below sees them; the pruned scorer then rejects
+            // anything strictly worse after only a few dimensions.
+            if let Some(d) = concept.bag_distance_sq_below(bag, worst_d.next_up()) {
+                if d < worst_d || (d == worst_d && index < worst_i) {
+                    heap.pop();
+                    heap.push(WorstCandidate(d, index));
+                }
+            }
+        }
+        let mut top: Vec<(usize, f64)> = heap
+            .into_iter()
+            .map(|WorstCandidate(d, i)| (i, d))
+            .collect();
+        top.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("bag distances are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Ok(top)
     }
 
     /// Indices of all images carrying `category`, in index order.
@@ -398,5 +518,81 @@ mod tests {
             d.rank(&concept, &[0, 99]),
             Err(CoreError::IndexOutOfBounds { .. })
         ));
+        assert!(matches!(
+            d.rank_top_k(&concept, &[0, 99], 1),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_is_identical_for_any_thread_count() {
+        let images = (0..8)
+            .map(|i| (textured_image(i), i % 2))
+            .collect::<Vec<_>>();
+        let serial = RetrievalDatabase::from_labelled_images(images.clone(), &config()).unwrap();
+        let concept = {
+            let target: Vec<f64> = serial
+                .bag(5)
+                .unwrap()
+                .instance(2)
+                .iter()
+                .map(|&v| f64::from(v))
+                .collect();
+            Concept::new(target, vec![1.0; serial.feature_dim()])
+        };
+        let candidates: Vec<usize> = (0..8).collect();
+        let reference = serial.rank(&concept, &candidates).unwrap();
+        for threads in [0, 2, 3, 7] {
+            let cfg = RetrievalConfig {
+                threads,
+                ..config()
+            };
+            let parallel = RetrievalDatabase::from_labelled_images(images.clone(), &cfg).unwrap();
+            // Parallel preprocessing produced identical bags…
+            for i in 0..8 {
+                assert_eq!(parallel.bag(i).unwrap(), serial.bag(i).unwrap());
+            }
+            // …and parallel ranking the identical order and distances.
+            assert_eq!(parallel.rank(&concept, &candidates).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn rank_top_k_is_a_prefix_of_rank() {
+        let d = db();
+        let target: Vec<f64> = d
+            .bag(1)
+            .unwrap()
+            .instance(0)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
+        let candidates: Vec<usize> = (0..d.len()).collect();
+        let full = d.rank(&concept, &candidates).unwrap();
+        for k in 0..=d.len() + 2 {
+            let top = d.rank_top_k(&concept, &candidates, k).unwrap();
+            assert_eq!(top, full[..k.min(full.len())], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn rank_top_k_breaks_exact_ties_by_index() {
+        use milr_mil::Bag;
+        // Bags 0 and 2 are identical ⇒ exactly equal distances; the
+        // smaller index must win the last top-k slot.
+        let shared = Bag::new(vec![vec![1.0, 1.0]]).unwrap();
+        let bags = vec![
+            shared.clone(),
+            Bag::new(vec![vec![0.0, 0.0]]).unwrap(),
+            shared,
+        ];
+        let d = RetrievalDatabase::from_bags(bags, vec![0, 0, 0]).unwrap();
+        let concept = Concept::new(vec![1.0, 1.0], vec![1.0, 1.0]);
+        // Scan order puts index 2 into the heap before index 0 shows up.
+        let top = d.rank_top_k(&concept, &[1, 2, 0], 2).unwrap();
+        let full = d.rank(&concept, &[1, 2, 0]).unwrap();
+        assert_eq!(top, full[..2]);
+        assert_eq!(top[0].0, 0, "index 0 wins the zero-distance tie");
     }
 }

@@ -46,8 +46,7 @@ impl ReportRow {
 
 /// Standard (RFC 4648) base64, no padding shortcuts.
 fn base64(data: &[u8]) -> String {
-    const ALPHABET: &[u8; 64] =
-        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b0 = chunk[0] as u32;
@@ -136,8 +135,7 @@ pub fn write_html_report<P: AsRef<Path>>(
         );
     }
     html.push_str("</body></html>");
-    std::fs::write(path, html)
-        .map_err(|e| CoreError::Image(milr_imgproc::ImageError::Io(e)))?;
+    std::fs::write(path, html).map_err(|e| CoreError::Image(milr_imgproc::ImageError::Io(e)))?;
     Ok(())
 }
 

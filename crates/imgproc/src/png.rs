@@ -183,8 +183,7 @@ mod tests {
         let mut pos = 8;
         while pos < png.len() {
             let len =
-                u32::from_be_bytes([png[pos], png[pos + 1], png[pos + 2], png[pos + 3]])
-                    as usize;
+                u32::from_be_bytes([png[pos], png[pos + 1], png[pos + 2], png[pos + 3]]) as usize;
             let kind = String::from_utf8(png[pos + 4..pos + 8].to_vec()).unwrap();
             let payload = png[pos + 8..pos + 8 + len].to_vec();
             let crc = u32::from_be_bytes([
@@ -193,7 +192,11 @@ mod tests {
                 png[pos + 10 + len],
                 png[pos + 11 + len],
             ]);
-            assert_eq!(crc, crc32(&png[pos + 4..pos + 8 + len]), "chunk CRC for {kind}");
+            assert_eq!(
+                crc,
+                crc32(&png[pos + 4..pos + 8 + len]),
+                "chunk CRC for {kind}"
+            );
             out.push((kind, payload));
             pos += 12 + len;
         }
@@ -227,7 +230,7 @@ mod tests {
         assert_eq!(u32::from_be_bytes([ihdr[4], ihdr[5], ihdr[6], ihdr[7]]), 3);
         assert_eq!(ihdr[8], 8); // bit depth
         assert_eq!(ihdr[9], 0); // grayscale
-        // Decode the IDAT and compare scanlines.
+                                // Decode the IDAT and compare scanlines.
         let idat = &parts.iter().find(|(k, _)| k == "IDAT").unwrap().1;
         let raw = inflate_stored(idat);
         assert_eq!(raw.len(), 3 * (5 + 1));
@@ -241,10 +244,7 @@ mod tests {
 
     #[test]
     fn rgb_png_round_trip() {
-        let img = RgbImage::from_fn(4, 2, |x, y| {
-            [(x * 60) as f32, (y * 100) as f32, 7.0]
-        })
-        .unwrap();
+        let img = RgbImage::from_fn(4, 2, |x, y| [(x * 60) as f32, (y * 100) as f32, 7.0]).unwrap();
         let png = encode_png_rgb(&img);
         let parts = chunks(&png);
         let ihdr = &parts[0].1;
@@ -253,7 +253,8 @@ mod tests {
         let raw = inflate_stored(idat);
         assert_eq!(raw.len(), 2 * (4 * 3 + 1));
         // Pixel (2, 1) = RGB(120, 100, 7).
-        let offset = 1 * 13 + 1 + 2 * 3;
+        let (px, py) = (2, 1);
+        let offset = py * 13 + 1 + px * 3;
         assert_eq!(&raw[offset..offset + 3], &[120, 100, 7]);
     }
 

@@ -80,13 +80,74 @@ impl Concept {
             .sum()
     }
 
+    /// Partial-distance pruned variant: returns `Some(d)` iff the full
+    /// weighted distance is strictly below `bound`, abandoning the
+    /// instance as soon as the running sum reaches the bound.
+    ///
+    /// Every term `w·d²` is non-negative, so the running sum is
+    /// monotonically non-decreasing: `partial ≥ bound` already implies
+    /// `final ≥ bound`, and abandoning can never change which instances
+    /// beat the bound. Accumulation is strictly sequential in dimension
+    /// order — the same order as [`Self::instance_distance_sq`] — so a
+    /// returned distance is **bit-identical** to the unpruned value.
+    ///
+    /// # Panics
+    /// Panics if the instance dimension differs from the concept's.
+    pub fn instance_distance_sq_below(&self, instance: &[f32], bound: f64) -> Option<f64> {
+        assert_eq!(instance.len(), self.dim(), "instance has wrong dimension");
+        // Check the bound every PRUNE_STRIDE dimensions: often enough to
+        // abandon hopeless instances early, rarely enough that the
+        // comparison cost stays negligible.
+        const PRUNE_STRIDE: usize = 8;
+        let k = self.point.len();
+        // Reslice every operand to `k` so the indexing below is provably
+        // in-bounds and the checks vanish from the hot loop.
+        let (point, weights, instance) = (&self.point[..k], &self.weights[..k], &instance[..k]);
+        let mut acc = 0.0f64;
+        let mut i = 0;
+        while i < k {
+            let stop = (i + PRUNE_STRIDE).min(k);
+            while i < stop {
+                let d = point[i] - f64::from(instance[i]);
+                acc += weights[i] * d * d;
+                i += 1;
+            }
+            if acc >= bound {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
     /// Distance from a bag to the ideal point: the minimum over its
     /// instances (§3.5). Lower means more similar — this is the ranking
     /// key for retrieval.
+    ///
+    /// Internally pruned: each instance is abandoned once its running
+    /// sum reaches the best distance seen so far in the bag. The result
+    /// is bit-identical to the naive fold over
+    /// [`Self::instance_distance_sq`] (see
+    /// [`Self::instance_distance_sq_below`] for the invariant).
     pub fn bag_distance_sq(&self, bag: &Bag) -> f64 {
-        bag.instances()
-            .map(|inst| self.instance_distance_sq(inst))
-            .fold(f64::INFINITY, f64::min)
+        self.bag_distance_sq_below(bag, f64::INFINITY)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Pruned bag distance against an external candidate bound: returns
+    /// `Some(d)` iff the bag's min-distance is strictly below `bound`.
+    ///
+    /// Ranking loops use this to skip most of the arithmetic for bags
+    /// that cannot enter the current top-k: the bound seeds the per-bag
+    /// pruning, so instances are abandoned against the *tighter* of the
+    /// external bound and the bag's own running best.
+    pub fn bag_distance_sq_below(&self, bag: &Bag, bound: f64) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for inst in bag.instances() {
+            if let Some(d) = self.instance_distance_sq_below(inst, best.min(bound)) {
+                best = d;
+            }
+        }
+        (best < bound).then_some(best)
     }
 
     /// Index of the bag instance closest to the ideal point — i.e. which
@@ -95,8 +156,7 @@ impl Concept {
         let mut best = 0;
         let mut best_d = f64::INFINITY;
         for (j, inst) in bag.instances().enumerate() {
-            let d = self.instance_distance_sq(inst);
-            if d < best_d {
+            if let Some(d) = self.instance_distance_sq_below(inst, best_d) {
                 best_d = d;
                 best = j;
             }
@@ -209,5 +269,52 @@ mod tests {
     fn zero_weight_dimension_is_ignored_in_distance() {
         let c = Concept::new(vec![0.0, 0.0], vec![1.0, 0.0]);
         assert!((c.instance_distance_sq(&[0.0, 100.0]) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruned_distance_matches_naive_bit_for_bit() {
+        // 19 dimensions: crosses two 8-wide prune strides plus a tail.
+        let k = 19;
+        let point: Vec<f64> = (0..k).map(|i| (i as f64 * 0.37).sin()).collect();
+        let weights: Vec<f64> = (0..k).map(|i| 0.1 + (i % 5) as f64 * 0.3).collect();
+        let c = Concept::new(point, weights);
+        let inst: Vec<f32> = (0..k).map(|i| (i as f32 * 0.71).cos()).collect();
+        let naive = c.instance_distance_sq(&inst);
+        // Below a loose bound: the exact value, bit-identical.
+        assert_eq!(
+            c.instance_distance_sq_below(&inst, naive + 1.0),
+            Some(naive)
+        );
+        // At or above the bound: abandoned.
+        assert_eq!(c.instance_distance_sq_below(&inst, naive), None);
+        assert_eq!(c.instance_distance_sq_below(&inst, naive * 0.5), None);
+    }
+
+    #[test]
+    fn pruned_bag_distance_equals_naive_fold() {
+        let k = 11;
+        let c = Concept::new((0..k).map(|i| i as f64 * 0.1).collect(), vec![1.0; k]);
+        let instances: Vec<Vec<f32>> = (0..6)
+            .map(|n| {
+                (0..k)
+                    .map(|i| ((n * 17 + i * 3) % 13) as f32 / 3.0)
+                    .collect()
+            })
+            .collect();
+        let b = Bag::new(instances).unwrap();
+        let naive = b
+            .instances()
+            .map(|inst| c.instance_distance_sq(inst))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(c.bag_distance_sq(&b), naive);
+    }
+
+    #[test]
+    fn bounded_bag_distance_respects_the_bound() {
+        let c = Concept::new(vec![0.0], vec![1.0]);
+        let b = bag(&[&[5.0], &[2.0], &[-1.0]]); // min distance 1.0
+        assert_eq!(c.bag_distance_sq_below(&b, 2.0), Some(1.0));
+        assert_eq!(c.bag_distance_sq_below(&b, 1.0), None);
+        assert_eq!(c.bag_distance_sq_below(&b, 0.5), None);
     }
 }

@@ -1,0 +1,204 @@
+//! Contiguous structure-of-arrays instance storage.
+//!
+//! [`Bag`] keeps each instance in its own `Vec<f32>` — natural for
+//! construction, hostile to the DD hot loops: every instance visit chases
+//! a pointer and every element pays an `f32 → f64` conversion. A
+//! [`FlatDataset`] is built **once** per training run instead: all
+//! instances of all bags are widened to `f64` and packed into one
+//! contiguous buffer, with a per-bag `(offset, len)` span. The DD kernels
+//! then stream over cache-line-friendly memory with zero conversions and
+//! zero indirection.
+//!
+//! Layout: instance-major. Bag `b`'s span `(offset, len)` means its
+//! instances occupy `data[offset*k .. (offset+len)*k]`, each instance a
+//! `k`-element slice. Positive bags come first, then negative bags, so a
+//! span index `< positive_count` is positive — matching the iteration
+//! order of [`MilDataset::positives`]/[`MilDataset::negatives`].
+
+use crate::bag::{Bag, MilDataset};
+
+/// Location of one bag inside a [`FlatDataset`] buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagSpan {
+    /// First instance index (multiply by `dim` for the element offset).
+    pub offset: usize,
+    /// Number of instances in the bag.
+    pub len: usize,
+}
+
+/// All instances of a [`MilDataset`], widened to `f64` and packed
+/// contiguously.
+#[derive(Debug, Clone)]
+pub struct FlatDataset {
+    data: Vec<f64>,
+    spans: Vec<BagSpan>,
+    positive_count: usize,
+    dim: usize,
+}
+
+impl FlatDataset {
+    /// Packs a dataset. Returns `None` when the dataset is empty (its
+    /// dimension, and therefore the layout, is undefined).
+    pub fn from_dataset(dataset: &MilDataset) -> Option<Self> {
+        let dim = dataset.dim()?;
+        let mut flat = Self {
+            data: Vec::with_capacity(dataset.instance_count() * dim),
+            spans: Vec::with_capacity(dataset.len()),
+            positive_count: dataset.positives().len(),
+            dim,
+        };
+        for bag in dataset.positives().iter().chain(dataset.negatives()) {
+            flat.push_bag(bag);
+        }
+        Some(flat)
+    }
+
+    fn push_bag(&mut self, bag: &Bag) {
+        debug_assert_eq!(bag.dim(), self.dim);
+        let offset = self.data.len() / self.dim;
+        for instance in bag.instances() {
+            self.data.extend(instance.iter().map(|&v| f64::from(v)));
+        }
+        self.spans.push(BagSpan {
+            offset,
+            len: bag.len(),
+        });
+    }
+
+    /// Feature dimension `k`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of bags (positive + negative).
+    #[inline]
+    pub fn bag_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of positive bags (spans `0..positive_count` are positive).
+    #[inline]
+    pub fn positive_count(&self) -> usize {
+        self.positive_count
+    }
+
+    /// Whether span `bag` belongs to a positive bag.
+    #[inline]
+    pub fn is_positive(&self, bag: usize) -> bool {
+        bag < self.positive_count
+    }
+
+    /// The span of one bag.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()`.
+    #[inline]
+    pub fn span(&self, bag: usize) -> BagSpan {
+        self.spans[bag]
+    }
+
+    /// All instances of one bag as a single contiguous slice of
+    /// `span.len × dim` elements.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()`.
+    #[inline]
+    pub fn bag_instances(&self, bag: usize) -> &[f64] {
+        let span = self.spans[bag];
+        &self.data[span.offset * self.dim..(span.offset + span.len) * self.dim]
+    }
+
+    /// One instance as a `dim`-element slice.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn instance(&self, bag: usize, index: usize) -> &[f64] {
+        let span = self.spans[bag];
+        assert!(index < span.len, "instance index out of range");
+        let start = (span.offset + index) * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Total instance count across all bags.
+    #[inline]
+    pub fn instance_count(&self) -> usize {
+        self.data.len() / self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::BagLabel;
+
+    fn bag(v: &[&[f32]]) -> Bag {
+        Bag::new(v.iter().map(|s| s.to_vec()).collect()).unwrap()
+    }
+
+    fn dataset() -> MilDataset {
+        let mut ds = MilDataset::new();
+        ds.push(bag(&[&[1.0, 2.0], &[3.0, 4.0]]), BagLabel::Positive)
+            .unwrap();
+        ds.push(bag(&[&[5.0, 6.0]]), BagLabel::Negative).unwrap();
+        ds.push(
+            bag(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]),
+            BagLabel::Positive,
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn layout_is_positives_then_negatives() {
+        let flat = FlatDataset::from_dataset(&dataset()).unwrap();
+        assert_eq!(flat.dim(), 2);
+        assert_eq!(flat.bag_count(), 3);
+        assert_eq!(flat.positive_count(), 2);
+        assert_eq!(flat.instance_count(), 6);
+        assert!(flat.is_positive(0) && flat.is_positive(1) && !flat.is_positive(2));
+        // Positive bags first, in dataset order…
+        assert_eq!(flat.bag_instances(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(flat.bag_instances(1), &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // …then negatives.
+        assert_eq!(flat.bag_instances(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_exhaustive() {
+        let flat = FlatDataset::from_dataset(&dataset()).unwrap();
+        let mut expected_offset = 0;
+        for b in 0..flat.bag_count() {
+            let span = flat.span(b);
+            assert_eq!(span.offset, expected_offset);
+            expected_offset += span.len;
+        }
+        assert_eq!(expected_offset, flat.instance_count());
+    }
+
+    #[test]
+    fn instance_slices_match_the_source_bags() {
+        let ds = dataset();
+        let flat = FlatDataset::from_dataset(&ds).unwrap();
+        for (b, bag) in ds.positives().iter().chain(ds.negatives()).enumerate() {
+            assert_eq!(flat.span(b).len, bag.len());
+            for (j, inst) in bag.instances().enumerate() {
+                let widened: Vec<f64> = inst.iter().map(|&v| f64::from(v)).collect();
+                assert_eq!(flat.instance(b, j), widened.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_has_no_layout() {
+        assert!(FlatDataset::from_dataset(&MilDataset::new()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "instance index out of range")]
+    fn out_of_range_instance_rejected() {
+        let flat = FlatDataset::from_dataset(&dataset()).unwrap();
+        let _ = flat.instance(1, 99);
+    }
+}

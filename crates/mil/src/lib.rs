@@ -8,7 +8,11 @@
 //!
 //! * [`bag`] — instances, bags, and labelled datasets (§2.1.2).
 //! * [`dd`] — the `−log DD` objective with analytic gradients under the
-//!   noisy-or model `Pr(B_ij = t) = exp(−‖B_ij − t‖²_w)` (§2.2.1).
+//!   noisy-or model `Pr(B_ij = t) = exp(−‖B_ij − t‖²_w)` (§2.2.1),
+//!   evaluated by fused 4-wide kernels over the flat instance buffer.
+//! * [`flat`] — contiguous structure-of-arrays instance storage: all
+//!   bags packed into one `f64` buffer with per-bag `(offset, len)`
+//!   spans, converted once per training run.
 //! * [`policy`] — the paper's four weight-control schemes (§3.6):
 //!   original DD, identical weights, the α gradient hack, and the
 //!   `Σ w ≥ β·n` inequality constraint.
@@ -22,13 +26,15 @@
 pub mod bag;
 pub mod concept;
 pub mod dd;
+pub mod flat;
 pub mod policy;
 pub mod predict;
 pub mod trainer;
 
 pub use bag::{Bag, BagLabel, MilDataset, MilError};
 pub use concept::Concept;
-pub use dd::{DdObjective, Parameterization};
+pub use dd::{DdObjective, LegacyDdObjective, Parameterization};
+pub use flat::{BagSpan, FlatDataset};
 pub use policy::WeightPolicy;
 pub use predict::{BagClassifier, ClassificationReport};
 pub use trainer::{train, ConstrainedSolver, StartBags, TrainOptions, TrainResult};

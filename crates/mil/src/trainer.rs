@@ -142,7 +142,15 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
     options.policy.validate().map_err(MilError::InvalidPolicy)?;
 
     let selected = select_bags(dataset, &options.start_bags)?;
-    let param = options.policy.parameterization();
+    // Exact reduction: at β = 1 the feasible set `0 ≤ w ≤ 1, Σw ≥ k` is
+    // the single point w = 1, so the constrained problem IS identical
+    // weights — solve it on that cheaper unconstrained path (and get the
+    // same answer as WeightPolicy::Identical by construction).
+    let policy = match options.policy {
+        WeightPolicy::SumConstraint { beta } if beta >= 1.0 => WeightPolicy::Identical,
+        other => other,
+    };
+    let param = policy.parameterization();
     let k = dataset.dim().expect("checked non-empty");
 
     let mut starts: Vec<Vec<f64>> = Vec::new();
@@ -155,7 +163,7 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
 
     let objective = DdObjective::new(dataset, param);
 
-    let report = match options.policy {
+    let report = match policy {
         WeightPolicy::OriginalDd | WeightPolicy::Identical => {
             let solver_options = LbfgsOptions {
                 max_iterations: options.max_iterations,

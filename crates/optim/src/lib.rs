@@ -24,10 +24,11 @@
 //! tests so that no paper-level conclusion depends on the choice of
 //! minimiser.
 //!
-//! [`multistart()`] runs many starts in parallel with crossbeam scoped
-//! threads, and [`numdiff`] provides central-difference gradients used by
-//! the test suites (here and in `milr-mil`) to validate analytic
-//! gradients.
+//! [`multistart()`] runs many starts in parallel over the [`pool`]
+//! scoped-thread workers (also used by `milr-core` for ranking and
+//! preprocessing fan-out), and [`numdiff`] provides central-difference
+//! gradients used by the test suites (here and in `milr-mil`) to
+//! validate analytic gradients.
 
 pub mod conjugate_gradient;
 pub mod gradient_descent;
@@ -36,6 +37,7 @@ pub mod line_search;
 pub mod multistart;
 pub mod numdiff;
 pub mod penalty;
+pub mod pool;
 pub mod problem;
 pub mod projected_gradient;
 pub mod projection;

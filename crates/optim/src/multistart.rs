@@ -3,15 +3,12 @@
 //! The Diverse Density maximum is sought by "starting from every instance
 //! from every positive bag and performing gradient ascent from each one"
 //! (§2.2.2) — an embarrassingly parallel workload. Starts are distributed
-//! over a fixed pool of crossbeam scoped threads pulling indices from an
+//! over the [`crate::pool`] scoped workers, which pull indices from an
 //! atomic counter; the best (lowest, since we minimise) solution wins.
 //! Ties are broken by start index so results are deterministic regardless
 //! of thread interleaving.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
+use crate::pool;
 use crate::problem::Solution;
 
 /// Outcome of a multi-start run.
@@ -44,46 +41,11 @@ where
         !starts.is_empty(),
         "multistart requires at least one start point"
     );
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    }
-    .min(starts.len());
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Solution>>> = Mutex::new(vec![None; starts.len()]);
-
-    if threads <= 1 {
-        let mut results = results.into_inner();
-        for (i, start) in starts.iter().enumerate() {
-            results[i] = Some(solve(start));
-        }
-        return summarize(results);
-    }
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= starts.len() {
-                    break;
-                }
-                let solution = solve(&starts[i]);
-                results.lock()[i] = Some(solution);
-            });
-        }
-    })
-    .expect("multistart worker panicked");
-
-    summarize(results.into_inner())
+    let solutions = pool::run_indexed(starts.len(), threads, |i| solve(&starts[i]));
+    summarize(solutions)
 }
 
-fn summarize(results: Vec<Option<Solution>>) -> MultistartReport {
-    let solutions: Vec<Solution> = results
-        .into_iter()
-        .map(|s| s.expect("all starts were solved"))
-        .collect();
+fn summarize(solutions: Vec<Solution>) -> MultistartReport {
     let values: Vec<f64> = solutions.iter().map(|s| s.value).collect();
     let converged_count = solutions
         .iter()

@@ -80,13 +80,8 @@ where
             *ti = xi - t0 * gi;
         }
         projection.project(&mut trial);
-        let step_norm: f64 = trial
-            .iter()
-            .zip(&x)
-            .map(|(&a, &b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
-            / t0;
+        let step_sq: f64 = trial.iter().zip(&x).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        let step_norm = step_sq.sqrt() / t0;
         if step_norm < options.step_tolerance {
             return Solution {
                 x,
@@ -97,15 +92,24 @@ where
             };
         }
 
-        // Backtrack on t.
-        let mut t = options.initial_step;
+        // Backtrack on t. The first trial (t = t0) is exactly the
+        // projected point the stationarity probe just built, so it is
+        // reused rather than recomputed — `trial` still holds
+        // `P(x − t0·g)` and `step_sq` its squared move.
+        let mut t = t0;
+        let mut first_trial = true;
         let mut accepted = false;
         while t >= options.min_step {
-            for ((ti, &xi), &gi) in trial.iter_mut().zip(&x).zip(&grad) {
-                *ti = xi - t * gi;
-            }
-            projection.project(&mut trial);
-            let move_sq: f64 = trial.iter().zip(&x).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            let move_sq = if first_trial {
+                first_trial = false;
+                step_sq
+            } else {
+                for ((ti, &xi), &gi) in trial.iter_mut().zip(&x).zip(&grad) {
+                    *ti = xi - t * gi;
+                }
+                projection.project(&mut trial);
+                trial.iter().zip(&x).map(|(&a, &b)| (a - b) * (a - b)).sum()
+            };
             if move_sq == 0.0 {
                 break; // projection pinned us; no feasible descent this way
             }

@@ -4,8 +4,8 @@
 
 use milr_optim::{
     conjugate_gradient, gradient_descent, lbfgs, penalty_method, projected_gradient,
-    BoxSumProjection, ConjugateGradientOptions, GradientDescentOptions, LbfgsOptions,
-    Objective, PenaltyOptions, ProjectedGradientOptions, SubsliceProjection,
+    BoxSumProjection, ConjugateGradientOptions, GradientDescentOptions, LbfgsOptions, Objective,
+    PenaltyOptions, ProjectedGradientOptions, SubsliceProjection,
 };
 use proptest::prelude::*;
 

@@ -28,7 +28,11 @@ fn main() {
     let selection = select_beta(&retrieval, &base, target, &split.pool, &candidates).unwrap();
     println!("\n  beta   pool average precision");
     for &(beta, score) in &selection.scores {
-        let marker = if beta == selection.best_beta { "  <- chosen" } else { "" };
+        let marker = if beta == selection.best_beta {
+            "  <- chosen"
+        } else {
+            ""
+        };
         println!("  {beta:<5}  {score:.3}{marker}");
     }
 

@@ -44,8 +44,7 @@ fn train_concept(
     policy: WeightPolicy,
 ) -> (milr::mil::Concept, f64) {
     let cfg = micro_config(policy);
-    let mut session =
-        QuerySession::new(db, &cfg, target, pool.to_vec(), test.to_vec()).unwrap();
+    let mut session = QuerySession::new(db, &cfg, target, pool.to_vec(), test.to_vec()).unwrap();
     let ranking = session.run().unwrap();
     let relevant = eval::relevance(&ranking, db.labels(), target);
     let ap = eval::average_precision(&relevant);
@@ -57,10 +56,8 @@ fn train_concept(
 #[test]
 fn weight_sparsity_ordering() {
     let (db, pool, test, target) = scene_setup();
-    let (original, _) =
-        train_concept(&db, &pool, &test, target, WeightPolicy::OriginalDd);
-    let (identical, _) =
-        train_concept(&db, &pool, &test, target, WeightPolicy::Identical);
+    let (original, _) = train_concept(&db, &pool, &test, target, WeightPolicy::OriginalDd);
+    let (identical, _) = train_concept(&db, &pool, &test, target, WeightPolicy::Identical);
     let (constrained, _) = train_concept(
         &db,
         &pool,
@@ -69,9 +66,8 @@ fn weight_sparsity_ordering() {
         WeightPolicy::SumConstraint { beta: 0.5 },
     );
 
-    let top_fraction = |c: &milr::mil::Concept| {
-        c.weight_concentration((c.weights().len() / 5).max(1))
-    };
+    let top_fraction =
+        |c: &milr::mil::Concept| c.weight_concentration((c.weights().len() / 5).max(1));
     let orig_mass = top_fraction(&original);
     let ident_mass = top_fraction(&identical);
     let constr_mass = top_fraction(&constrained);
@@ -99,8 +95,7 @@ fn beta_one_is_identical_weights() {
         target,
         WeightPolicy::SumConstraint { beta: 1.0 },
     );
-    let (identical, ap_ident) =
-        train_concept(&db, &pool, &test, target, WeightPolicy::Identical);
+    let (identical, ap_ident) = train_concept(&db, &pool, &test, target, WeightPolicy::Identical);
     assert!(beta_one.weights().iter().all(|&w| (w - 1.0).abs() < 1e-6));
     let t_gap: f64 = beta_one
         .point()
@@ -108,8 +103,14 @@ fn beta_one_is_identical_weights() {
         .zip(identical.point())
         .map(|(&a, &b)| (a - b).abs())
         .fold(0.0, f64::max);
-    assert!(t_gap < 0.2, "β=1 concept should track identical weights (gap {t_gap})");
-    assert!((ap_beta - ap_ident).abs() < 0.15, "APs: {ap_beta} vs {ap_ident}");
+    assert!(
+        t_gap < 0.2,
+        "β=1 concept should track identical weights (gap {t_gap})"
+    );
+    assert!(
+        (ap_beta - ap_ident).abs() < 0.15,
+        "APs: {ap_beta} vs {ap_ident}"
+    );
 }
 
 /// §4.3 / Fig 4-22: a subset of positive bags preserves retrieval
@@ -122,8 +123,7 @@ fn start_subset_preserves_quality() {
             start_bags: bags,
             ..micro_config(WeightPolicy::Identical)
         };
-        let mut session =
-            QuerySession::new(&db, &cfg, target, pool.clone(), test.clone()).unwrap();
+        let mut session = QuerySession::new(&db, &cfg, target, pool.clone(), test.clone()).unwrap();
         let ranking = session.run().unwrap();
         let relevant = eval::relevance(&ranking, db.labels(), target);
         eval::average_precision(&relevant)
@@ -149,10 +149,16 @@ fn diverse_density_prefers_cross_bag_support() {
         BagLabel::Positive,
     )
     .unwrap();
-    ds.push(bag(vec![vec![1.05, 0.95], vec![-3.0, 2.0]]), BagLabel::Positive)
-        .unwrap();
-    ds.push(bag(vec![vec![0.95, 1.05], vec![5.0, -2.0]]), BagLabel::Positive)
-        .unwrap();
+    ds.push(
+        bag(vec![vec![1.05, 0.95], vec![-3.0, 2.0]]),
+        BagLabel::Positive,
+    )
+    .unwrap();
+    ds.push(
+        bag(vec![vec![0.95, 1.05], vec![5.0, -2.0]]),
+        BagLabel::Positive,
+    )
+    .unwrap();
     let result = train(
         &ds,
         &TrainOptions {

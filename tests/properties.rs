@@ -304,4 +304,121 @@ proptest! {
             "instance order must not matter"
         );
     }
+
+    /// Partial-distance pruning is exact: the pruned instance distance is
+    /// bit-identical to the sequential fold whenever it survives the
+    /// bound, and an abandoned instance really was at or above it. The
+    /// dimension count straddles the prune stride so both the strided
+    /// middle and the tail are exercised.
+    #[test]
+    fn pruned_instance_distance_is_bit_exact(
+        raw_inst in proptest::collection::vec(-5.0f32..5.0, 40),
+        raw_point in proptest::collection::vec(-5.0f64..5.0, 40),
+        raw_w in weights(40),
+        k in 1usize..40,
+        bound_frac in 0.0f64..2.0,
+    ) {
+        use milr::mil::Concept;
+        let inst = &raw_inst[..k];
+        let concept = Concept::new(raw_point[..k].to_vec(), raw_w[..k].to_vec());
+        // The naive reference: strictly sequential accumulation in
+        // dimension order, exactly as `instance_distance_sq` specifies.
+        let naive: f64 = concept
+            .point()
+            .iter()
+            .zip(inst)
+            .zip(concept.weights())
+            .map(|((&t, &b), &w)| {
+                let d = t - f64::from(b);
+                w * d * d
+            })
+            .sum();
+        prop_assert_eq!(concept.instance_distance_sq(inst).to_bits(), naive.to_bits());
+        let bound = naive * bound_frac;
+        match concept.instance_distance_sq_below(inst, bound) {
+            Some(d) => {
+                prop_assert!(naive < bound, "survived a bound it does not beat");
+                prop_assert_eq!(d.to_bits(), naive.to_bits());
+            }
+            None => prop_assert!(naive >= bound, "abandoned below the bound"),
+        }
+    }
+
+    /// The bounded bag distance agrees bit-for-bit with the naive
+    /// min-fold: `Some` exactly when the min beats the bound, carrying
+    /// the identical value.
+    #[test]
+    fn bounded_bag_distance_is_bit_exact(
+        instances in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 11),
+            1..6,
+        ),
+        point in proptest::collection::vec(-5.0f64..5.0, 11),
+        w in weights(11),
+        bound_frac in 0.0f64..3.0,
+    ) {
+        use milr::mil::Concept;
+        let bag = Bag::new(instances.clone()).unwrap();
+        let concept = Concept::new(point, w);
+        let naive = instances
+            .iter()
+            .map(|inst| concept.instance_distance_sq(inst))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(concept.bag_distance_sq(&bag).to_bits(), naive.to_bits());
+        let bound = naive * bound_frac;
+        match concept.bag_distance_sq_below(&bag, bound) {
+            Some(d) => {
+                prop_assert!(naive < bound);
+                prop_assert_eq!(d.to_bits(), naive.to_bits());
+            }
+            None => prop_assert!(naive >= bound),
+        }
+    }
+}
+
+// The pooled pipeline checks preprocess a database per case, so they run
+// fewer, larger cases than the arithmetic properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Preprocessing and ranking are deterministic under any worker
+    /// count: every thread setting yields the serial bags, the serial
+    /// ranking, and a top-k that is an exact prefix of it.
+    #[test]
+    fn pooled_pipeline_matches_serial_for_any_thread_count(
+        images_px in proptest::collection::vec(
+            proptest::collection::vec(0.0f32..255.0, 64 * 48),
+            3..7,
+        ),
+        point in proptest::collection::vec(-2.0f64..2.0, 100),
+        w in weights(100),
+        threads in 0usize..6,
+    ) {
+        use milr::core::{RetrievalConfig, RetrievalDatabase};
+        use milr::imgproc::GrayImage;
+        use milr::mil::Concept;
+        let images: Vec<(GrayImage, usize)> = images_px
+            .into_iter()
+            .enumerate()
+            .map(|(i, px)| (GrayImage::from_vec(64, 48, px).unwrap(), i % 3))
+            .collect();
+        let serial_config = RetrievalConfig { threads: 1, ..RetrievalConfig::default() };
+        let pooled_config = RetrievalConfig { threads, ..RetrievalConfig::default() };
+        let serial =
+            RetrievalDatabase::from_labelled_images(images.clone(), &serial_config).unwrap();
+        let pooled = RetrievalDatabase::from_labelled_images(images, &pooled_config).unwrap();
+        for i in 0..serial.len() {
+            prop_assert_eq!(serial.bag(i).unwrap(), pooled.bag(i).unwrap());
+        }
+
+        let concept = Concept::new(point, w);
+        let candidates: Vec<usize> = (0..serial.len()).collect();
+        let reference = serial.rank(&concept, &candidates).unwrap();
+        let ranked = pooled.rank(&concept, &candidates).unwrap();
+        prop_assert_eq!(&ranked, &reference);
+        for k in [0, 1, reference.len() / 2, reference.len(), reference.len() + 3] {
+            let top = pooled.rank_top_k(&concept, &candidates, k).unwrap();
+            prop_assert_eq!(&top[..], &reference[..k.min(reference.len())]);
+        }
+    }
 }

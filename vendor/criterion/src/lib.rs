@@ -1,0 +1,283 @@
+#![warn(missing_docs)]
+
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no crates-io access, so this vendored crate
+//! implements the benchmarking surface the workspace's `benches/` use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurement is simple wall-clock sampling: an adaptive
+//! warm-up sizes the per-sample iteration count, then `sample_size`
+//! samples are timed and the median/min/max per-iteration times are
+//! printed as plain text (no HTML reports, no statistical regression).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the text report
+    /// is already printed, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        Self { text }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive via
+    /// [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up doubles the batch size until one batch takes ≥ 5 ms
+        // (or the batch is already large); this sizes batches so timer
+        // resolution is irrelevant without spending seconds warming up.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || n >= 1 << 20 {
+                break;
+            }
+            n *= 2;
+        }
+        self.iters_per_sample = n;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 0,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<48} median {}  [min {} .. max {}]  ({} samples × {} iters)",
+        format_time(median),
+        format_time(min),
+        format_time(max),
+        per_iter.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 8usize), &8usize, |b, &n| {
+            seen = n as u64;
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        group.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn id_formats_match_upstream() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
