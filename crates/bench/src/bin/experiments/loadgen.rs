@@ -1,0 +1,208 @@
+//! The `loadgen` experiment: hammers a live `milrd` daemon over real
+//! sockets with concurrent stateless `/rank` queries and reports
+//! throughput and latency percentiles to `BENCH_serve.json`.
+//!
+//! The daemon is started in-process (same code path as the `milrd`
+//! binary: real `TcpListener`, worker pool, concept cache) on an
+//! ephemeral port; 32 client threads then rotate through a small set of
+//! distinct example combinations, so the run exercises both the training
+//! path (first occurrence of each combination) and the concept-cache hot
+//! path (every repeat).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use milr_bench::{scene_database, Scale};
+use milr_core::{RetrievalConfig, RetrievalDatabase};
+use milr_serve::{client, ServeOptions, Server};
+
+/// Concurrent client threads (the acceptance bar: ≥ 32 in flight).
+const CLIENTS: usize = 32;
+
+/// Ranked page size requested per query.
+const PAGE: usize = 16;
+
+/// Distinct example combinations rotated through by the clients.
+const COMBOS: usize = 8;
+
+pub fn loadgen(scale: Scale, seed: u64) {
+    let duration = match scale {
+        Scale::Full => Duration::from_secs(10),
+        Scale::Quick => Duration::from_secs(5),
+    };
+    let config = RetrievalConfig::default();
+    let db_src = scene_database(scale, seed);
+    eprintln!("preprocessing {} scene images ...", db_src.len());
+    let mut db = RetrievalDatabase::from_labelled_images(db_src.gray_images(), &config)
+        .expect("preprocessing failed");
+    db.set_threads(1);
+    let images = db.len();
+
+    // One combo per category (cycled if there are fewer categories):
+    // 3 positives from the target category, 2 negatives from the next.
+    let by_category: Vec<Vec<usize>> = (0..db.category_count())
+        .map(|c| {
+            (0..db.len())
+                .filter(|&i| db.labels()[i] == c)
+                .take(3)
+                .collect()
+        })
+        .collect();
+    let combos: Vec<String> = (0..COMBOS)
+        .map(|j| {
+            let c = j % by_category.len();
+            let positives = &by_category[c];
+            let negatives = &by_category[(c + 1) % by_category.len()];
+            format!(
+                "/rank?positives={}&negatives={}&k={PAGE}",
+                join(positives),
+                join(&negatives[..negatives.len().min(2)]),
+            )
+        })
+        .collect();
+
+    let server = Server::start(
+        db,
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            retrieval: RetrievalConfig {
+                threads: 1,
+                ..config
+            },
+            ..ServeOptions::default()
+        },
+    )
+    .expect("daemon start failed");
+    let addr = server.local_addr();
+    eprintln!(
+        "daemon on {addr}, {CLIENTS} clients, {}s ...",
+        duration.as_secs()
+    );
+
+    // Warm-up: train each combination once so the timed window measures
+    // steady-state serving, not the initial DD runs.
+    for target in &combos {
+        let response = client::get(addr, target, Duration::from_secs(120)).expect("warm-up query");
+        assert_eq!(response.status, 200, "warm-up failed: {response:?}");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let combos = combos.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                let mut shed = 0u64;
+                let mut turn = id; // de-phase the clients
+                while !stop.load(Ordering::Relaxed) {
+                    let target = &combos[turn % combos.len()];
+                    turn += 1;
+                    let begin = Instant::now();
+                    match client::get(addr, target, Duration::from_secs(30)) {
+                        Ok(response) if response.status == 200 => {
+                            latencies_us.push(begin.elapsed().as_micros() as u64);
+                        }
+                        Ok(response) if response.status == 503 => shed += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (latencies_us, errors, shed)
+            })
+        })
+        .collect();
+
+    let begin = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let (mut errors, mut shed) = (0u64, 0u64);
+    for handle in clients {
+        let (l, e, s) = handle.join().expect("client thread");
+        latencies_us.extend(l);
+        errors += e;
+        shed += s;
+    }
+    let elapsed = begin.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+
+    let metrics = client::get(addr, "/metrics", Duration::from_secs(10))
+        .ok()
+        .and_then(|r| r.json().ok());
+    let cache_number = |key: &str| {
+        metrics
+            .as_ref()
+            .and_then(|m| m.get("concept_cache"))
+            .and_then(|c| c.get(key))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let (cache_hits, cache_misses) = (cache_number("hits"), cache_number("misses"));
+    let _ = client::request(
+        addr,
+        "POST",
+        "/admin/shutdown",
+        None,
+        Duration::from_secs(10),
+    );
+    server.wait();
+
+    let completed = latencies_us.len() as u64;
+    let throughput = completed as f64 / elapsed;
+    let pct = |q: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies_us.len() as f64).ceil() as usize).clamp(1, latencies_us.len());
+        latencies_us[rank - 1]
+    };
+    let (p50, p90, p99, max) = (pct(0.50), pct(0.90), pct(0.99), pct(1.0));
+    let mean = if latencies_us.is_empty() {
+        0.0
+    } else {
+        latencies_us.iter().sum::<u64>() as f64 / latencies_us.len() as f64
+    };
+    let hit_rate = if cache_hits + cache_misses > 0 {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "{completed} requests in {elapsed:.1}s  ->  {throughput:.0} req/s  \
+         (errors {errors}, shed {shed})"
+    );
+    println!(
+        "latency µs  mean {mean:.0}  p50 {p50}  p90 {p90}  p99 {p99}  max {max}\n\
+         concept cache: {cache_hits} hits / {cache_misses} misses (hit rate {hit_rate:.3})"
+    );
+    if errors > 0 {
+        println!("WARNING: {errors} hard errors under load (timeouts or malformed responses)");
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"loadgen\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \
+         \"database_images\": {images},\n  \"clients\": {CLIENTS},\n  \"page\": {PAGE},\n  \
+         \"combos\": {COMBOS},\n  \"duration_s\": {elapsed:.3},\n  \
+         \"completed\": {completed},\n  \"errors\": {errors},\n  \"shed_503\": {shed},\n  \
+         \"throughput_rps\": {throughput:.3},\n  \
+         \"latency_us\": {{ \"mean\": {mean:.1}, \"p50\": {p50}, \"p90\": {p90}, \
+         \"p99\": {p99}, \"max\": {max} }},\n  \
+         \"concept_cache\": {{ \"hits\": {cache_hits}, \"misses\": {cache_misses}, \
+         \"hit_rate\": {hit_rate:.4} }}\n}}\n"
+    );
+    let path = "BENCH_serve.json";
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+}
+
+fn join(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}

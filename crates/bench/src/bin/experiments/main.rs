@@ -39,9 +39,11 @@
 //! | ext-alpha | §3.6.2 gradient-hack sweep (α = 1 … ∞)                |
 //! | ext-beta  | §5 future work: automatic β selection on the pool     |
 //! | perf      | hot-path timings → BENCH_hotpath.json                 |
+//! | loadgen   | daemon load test over sockets → BENCH_serve.json      |
 
 mod ch3;
 mod ch4;
+mod loadgen;
 mod perf;
 
 use std::time::Instant;
@@ -80,9 +82,9 @@ const ALL: &[&str] = &[
 ];
 
 /// Ids runnable on request but excluded from `all`: the β-selection
-/// sweep is far slower than any figure, and the perf harness wants a
-/// quiet machine, not one warmed by hours of other experiments.
-const STANDALONE: &[&str] = &["ext-beta", "perf"];
+/// sweep is far slower than any figure, and the perf/loadgen harnesses
+/// want a quiet machine, not one warmed by hours of other experiments.
+const STANDALONE: &[&str] = &["ext-beta", "perf", "loadgen"];
 
 fn main() {
     let mut scale = Scale::Full;
@@ -145,6 +147,7 @@ fn main() {
             "ext-alpha" => ch4::ext_alpha(scale, seed),
             "ext-beta" => ch4::ext_beta(scale, seed),
             "perf" => perf::perf(scale, seed),
+            "loadgen" => loadgen::loadgen(scale, seed),
             other => usage(&format!("unknown experiment id {other:?}")),
         }
         println!("\n[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());

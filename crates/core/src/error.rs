@@ -33,6 +33,18 @@ pub enum CoreError {
         /// Database size.
         len: usize,
     },
+    /// A feedback operation needed category labels but the session was
+    /// opened from explicit examples with no target category (the server
+    /// path, where a human supplies the marks instead).
+    NoTargetCategory,
+    /// A snapshot/persistence failure: the file at `path` could not be
+    /// read, written, or decoded.
+    Storage {
+        /// The file the operation touched.
+        path: String,
+        /// What went wrong (I/O detail or format violation).
+        reason: String,
+    },
     /// An underlying image-processing failure.
     Image(ImageError),
     /// An underlying multiple-instance learning failure.
@@ -69,6 +81,16 @@ impl fmt::Display for CoreError {
                     f,
                     "image index {index} out of bounds (database holds {len})"
                 )
+            }
+            Self::NoTargetCategory => {
+                write!(
+                    f,
+                    "the session has no target category; simulated feedback needs \
+                     one (use explicit marks instead)"
+                )
+            }
+            Self::Storage { path, reason } => {
+                write!(f, "storage failure at {path}: {reason}")
             }
             Self::Image(e) => write!(f, "image processing failed: {e}"),
             Self::Mil(e) => write!(f, "training failed: {e}"),
@@ -117,6 +139,15 @@ mod tests {
         assert!(e.to_string().contains('9') && e.to_string().contains('5'));
         let e = CoreError::IndexOutOfBounds { index: 10, len: 4 };
         assert!(e.to_string().contains("10") && e.to_string().contains('4'));
+        let e = CoreError::Storage {
+            path: "/tmp/db.milr".into(),
+            reason: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("/tmp/db.milr"));
+        assert!(e.to_string().contains("bad magic"));
+        assert!(CoreError::NoTargetCategory
+            .to_string()
+            .contains("target category"));
     }
 
     #[test]

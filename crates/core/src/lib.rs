@@ -36,4 +36,4 @@ pub mod visualize;
 pub use config::RetrievalConfig;
 pub use database::RetrievalDatabase;
 pub use error::CoreError;
-pub use query::{query_with_examples, QuerySession, Ranking};
+pub use query::{query_with_examples, QuerySession, Ranking, Shared};

@@ -12,7 +12,11 @@
 //! 4. steps 2–3 repeat for the configured number of rounds (3 by
 //!    default), after which retrieval is scored on the disjoint test set.
 
-use milr_mil::{train, BagLabel, Concept, MilDataset};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use milr_mil::{train, Bag, BagLabel, Concept, MilDataset};
 
 use crate::config::RetrievalConfig;
 use crate::database::RetrievalDatabase;
@@ -22,17 +26,69 @@ use crate::error::CoreError;
 /// ascending.
 pub type Ranking = Vec<(usize, f64)>;
 
+/// A borrowed-or-shared handle to a value a session reads but never
+/// mutates.
+///
+/// The one-shot paths (CLI, experiments, tests) borrow the database and
+/// config for the session's short lifetime; a server stores sessions in a
+/// long-lived map, where a borrow would pin the whole daemon behind one
+/// lifetime. `Shared` lets both coexist: `&T` converts into
+/// `Shared::Borrowed` and `Arc<T>` into a `'static` `Shared::Counted`,
+/// so [`QuerySession`] takes either without a signature fork.
+pub enum Shared<'a, T> {
+    /// Borrowed from the caller for the session's lifetime.
+    Borrowed(&'a T),
+    /// Reference-counted shared ownership (long-lived server sessions).
+    Counted(Arc<T>),
+}
+
+impl<T> Deref for Shared<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            Self::Borrowed(t) => t,
+            Self::Counted(t) => t,
+        }
+    }
+}
+
+impl<'a, T> From<&'a T> for Shared<'a, T> {
+    fn from(t: &'a T) -> Self {
+        Self::Borrowed(t)
+    }
+}
+
+impl<T> From<Arc<T>> for Shared<'static, T> {
+    fn from(t: Arc<T>) -> Self {
+        Self::Counted(t)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// One retrieval query against a preprocessed database.
 #[derive(Debug)]
 pub struct QuerySession<'a> {
-    db: &'a RetrievalDatabase,
-    config: &'a RetrievalConfig,
-    target: usize,
+    db: Shared<'a, RetrievalDatabase>,
+    config: Shared<'a, RetrievalConfig>,
+    /// The category being searched for, when known. Sessions opened from
+    /// explicit example marks (the server path) have none — a human
+    /// supplies the feedback instead of the label-driven simulation.
+    target: Option<usize>,
     pool: Vec<usize>,
     test: Vec<usize>,
     positives: Vec<usize>,
     negatives: Vec<usize>,
-    concept: Option<Concept>,
+    /// External example bags (images not in the database), included in
+    /// training but never ranked.
+    external_positives: Vec<Bag>,
+    external_negatives: Vec<Bag>,
+    concept: Option<Arc<Concept>>,
     nldd: f64,
     rounds_run: usize,
 }
@@ -51,12 +107,14 @@ impl<'a> QuerySession<'a> {
     ///   for invalid arguments.
     /// * [`CoreError::NoExamples`] when the pool holds no target images.
     pub fn new(
-        db: &'a RetrievalDatabase,
-        config: &'a RetrievalConfig,
+        db: impl Into<Shared<'a, RetrievalDatabase>>,
+        config: impl Into<Shared<'a, RetrievalConfig>>,
         target: usize,
         pool: Vec<usize>,
         test: Vec<usize>,
     ) -> Result<Self, CoreError> {
+        let db = db.into();
+        let config = config.into();
         if target >= db.category_count() {
             return Err(CoreError::UnknownCategory {
                 category: target,
@@ -82,25 +140,81 @@ impl<'a> QuerySession<'a> {
             return Err(CoreError::NoExamples);
         }
 
-        let negatives = pick_diverse_negatives(db, &pool, target, config.initial_negatives);
+        let negatives = pick_diverse_negatives(&db, &pool, target, config.initial_negatives);
 
         Ok(Self {
             db,
             config,
-            target,
+            target: Some(target),
             pool,
             test,
             positives,
             negatives,
+            external_positives: Vec::new(),
+            external_negatives: Vec::new(),
             concept: None,
             nldd: f64::INFINITY,
             rounds_run: 0,
         })
     }
 
-    /// The target category.
-    pub fn target(&self) -> usize {
+    /// Opens a session from *explicit* example marks instead of a target
+    /// category — the interactive server path, where a human (not the
+    /// label simulation) decides which images are relevant. `pool` is the
+    /// candidate set every ranking draws from; the examples need not be
+    /// members of it. No test split and no target category exist, so
+    /// [`Self::rank_test`] returns an empty ranking and the simulated
+    /// feedback helpers fail with [`CoreError::NoTargetCategory`].
+    ///
+    /// `positives` may be empty *at construction* as long as at least one
+    /// positive example — database index or external bag — is present by
+    /// the first [`Self::train_round`]; uploads arrive through
+    /// [`Self::add_positive_bag`] after the session exists.
+    ///
+    /// # Errors
+    /// [`CoreError::IndexOutOfBounds`] for invalid indices.
+    pub fn from_examples(
+        db: impl Into<Shared<'a, RetrievalDatabase>>,
+        config: impl Into<Shared<'a, RetrievalConfig>>,
+        positives: Vec<usize>,
+        negatives: Vec<usize>,
+        pool: Vec<usize>,
+    ) -> Result<Self, CoreError> {
+        let db = db.into();
+        let config = config.into();
+        for &i in positives.iter().chain(&negatives).chain(&pool) {
+            if i >= db.len() {
+                return Err(CoreError::IndexOutOfBounds {
+                    index: i,
+                    len: db.len(),
+                });
+            }
+        }
+        Ok(Self {
+            db,
+            config,
+            target: None,
+            pool,
+            test: Vec::new(),
+            positives,
+            negatives,
+            external_positives: Vec::new(),
+            external_negatives: Vec::new(),
+            concept: None,
+            nldd: f64::INFINITY,
+            rounds_run: 0,
+        })
+    }
+
+    /// The target category ([`None`] for sessions opened via
+    /// [`Self::from_examples`]).
+    pub fn target(&self) -> Option<usize> {
         self.target
+    }
+
+    /// The candidate indices every pool ranking draws from.
+    pub fn pool(&self) -> &[usize] {
+        &self.pool
     }
 
     /// Current positive example indices.
@@ -115,7 +229,36 @@ impl<'a> QuerySession<'a> {
 
     /// The trained concept, if a round has run.
     pub fn concept(&self) -> Option<&Concept> {
-        self.concept.as_ref()
+        self.concept.as_deref()
+    }
+
+    /// A cheap (reference-counted) handle to the trained concept — what a
+    /// server inserts into its concept cache without copying the point
+    /// and weight vectors.
+    pub fn shared_concept(&self) -> Option<Arc<Concept>> {
+        self.concept.clone()
+    }
+
+    /// Installs a previously trained concept (typically a concept-cache
+    /// hit for the session's exact example sets), skipping DD training
+    /// entirely. Counts as a completed round so rankings become
+    /// available. `nldd` is the `−log DD` recorded when the concept was
+    /// trained.
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] with a dimension mismatch if the concept does
+    /// not fit the database's feature space.
+    pub fn install_concept(&mut self, concept: Arc<Concept>, nldd: f64) -> Result<(), CoreError> {
+        if concept.dim() != self.db.feature_dim() {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: self.db.feature_dim(),
+                actual: concept.dim(),
+            }));
+        }
+        self.concept = Some(concept);
+        self.nldd = nldd;
+        self.rounds_run += 1;
+        Ok(())
     }
 
     /// `−log DD` of the current concept (infinite before training).
@@ -133,18 +276,39 @@ impl<'a> QuerySession<'a> {
     /// # Errors
     /// Propagates training failures.
     pub fn run_round(&mut self) -> Result<Ranking, CoreError> {
+        self.train_round()?;
+        self.rank_pool()
+    }
+
+    /// Trains on the current examples *without* ranking the pool —
+    /// servers rank a top-k page separately and skip the full sort.
+    ///
+    /// # Errors
+    /// * [`CoreError::NoExamples`] when no positive example (database or
+    ///   external) exists yet.
+    /// * Propagates training failures.
+    pub fn train_round(&mut self) -> Result<(), CoreError> {
+        if self.positives.is_empty() && self.external_positives.is_empty() {
+            return Err(CoreError::NoExamples);
+        }
         let mut dataset = MilDataset::new();
         for &i in &self.positives {
             dataset.push(self.db.bag(i)?.clone(), BagLabel::Positive)?;
         }
+        for bag in &self.external_positives {
+            dataset.push(bag.clone(), BagLabel::Positive)?;
+        }
         for &i in &self.negatives {
             dataset.push(self.db.bag(i)?.clone(), BagLabel::Negative)?;
         }
+        for bag in &self.external_negatives {
+            dataset.push(bag.clone(), BagLabel::Negative)?;
+        }
         let result = train(&dataset, &self.config.train_options())?;
         self.nldd = result.nldd;
-        self.concept = Some(result.concept);
+        self.concept = Some(Arc::new(result.concept));
         self.rounds_run += 1;
-        self.rank_pool()
+        Ok(())
     }
 
     /// Ranks the pool with the current concept.
@@ -152,8 +316,19 @@ impl<'a> QuerySession<'a> {
     /// # Errors
     /// [`CoreError::NotTrained`] before the first round.
     pub fn rank_pool(&self) -> Result<Ranking, CoreError> {
-        let concept = self.concept.as_ref().ok_or(CoreError::NotTrained)?;
+        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
         self.db.rank(concept, &self.pool)
+    }
+
+    /// The first `k` entries of [`Self::rank_pool`], using the pruned
+    /// top-k scorer (identical output, less work) — the page size a
+    /// server returns.
+    ///
+    /// # Errors
+    /// [`CoreError::NotTrained`] before the first round.
+    pub fn rank_pool_top_k(&self, k: usize) -> Result<Ranking, CoreError> {
+        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
+        self.db.rank_top_k(concept, &self.pool, k)
     }
 
     /// Ranks the test set with the current concept.
@@ -161,8 +336,97 @@ impl<'a> QuerySession<'a> {
     /// # Errors
     /// [`CoreError::NotTrained`] before the first round.
     pub fn rank_test(&self) -> Result<Ranking, CoreError> {
-        let concept = self.concept.as_ref().ok_or(CoreError::NotTrained)?;
+        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
         self.db.rank(concept, &self.test)
+    }
+
+    /// Marks database images as positive examples (a user's explicit
+    /// relevance feedback). Indices already marked either way are
+    /// skipped; an index currently marked negative is *moved* — the user
+    /// changed their mind. Returns how many marks changed.
+    ///
+    /// # Errors
+    /// [`CoreError::IndexOutOfBounds`] for invalid indices (no marks are
+    /// applied in that case).
+    pub fn add_positives(&mut self, indices: &[usize]) -> Result<usize, CoreError> {
+        self.mark(indices, true)
+    }
+
+    /// Marks database images as negative examples. The exact mirror of
+    /// [`Self::add_positives`].
+    ///
+    /// # Errors
+    /// [`CoreError::IndexOutOfBounds`] for invalid indices (no marks are
+    /// applied in that case).
+    pub fn add_negatives(&mut self, indices: &[usize]) -> Result<usize, CoreError> {
+        self.mark(indices, false)
+    }
+
+    fn mark(&mut self, indices: &[usize], positive: bool) -> Result<usize, CoreError> {
+        for &i in indices {
+            if i >= self.db.len() {
+                return Err(CoreError::IndexOutOfBounds {
+                    index: i,
+                    len: self.db.len(),
+                });
+            }
+        }
+        let mut changed = 0;
+        for &i in indices {
+            let (same, other) = if positive {
+                (&mut self.positives, &mut self.negatives)
+            } else {
+                (&mut self.negatives, &mut self.positives)
+            };
+            if same.contains(&i) {
+                continue;
+            }
+            other.retain(|&j| j != i);
+            same.push(i);
+            changed += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Adds an external positive example bag — an image the user supplied
+    /// that is not part of the database. It joins every subsequent
+    /// training round but is never ranked.
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] with a dimension mismatch if the bag does not
+    /// fit the database's feature space.
+    pub fn add_positive_bag(&mut self, bag: Bag) -> Result<(), CoreError> {
+        self.add_external(bag, true)
+    }
+
+    /// Adds an external negative example bag. The mirror of
+    /// [`Self::add_positive_bag`].
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] with a dimension mismatch if the bag does not
+    /// fit the database's feature space.
+    pub fn add_negative_bag(&mut self, bag: Bag) -> Result<(), CoreError> {
+        self.add_external(bag, false)
+    }
+
+    fn add_external(&mut self, bag: Bag, positive: bool) -> Result<(), CoreError> {
+        if bag.dim() != self.db.feature_dim() {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: self.db.feature_dim(),
+                actual: bag.dim(),
+            }));
+        }
+        if positive {
+            self.external_positives.push(bag);
+        } else {
+            self.external_negatives.push(bag);
+        }
+        Ok(())
+    }
+
+    /// `(positive, negative)` counts of external example bags.
+    pub fn external_example_counts(&self) -> (usize, usize) {
+        (self.external_positives.len(), self.external_negatives.len())
     }
 
     /// Simulates user feedback: promotes up to `count` top-ranked false
@@ -170,15 +434,18 @@ impl<'a> QuerySession<'a> {
     /// were added (fewer when the pool runs out of fresh mistakes).
     ///
     /// # Errors
-    /// [`CoreError::NotTrained`] before the first round.
+    /// * [`CoreError::NotTrained`] before the first round.
+    /// * [`CoreError::NoTargetCategory`] for sessions opened via
+    ///   [`Self::from_examples`] — simulated feedback needs labels.
     pub fn add_false_positives(&mut self, count: usize) -> Result<usize, CoreError> {
+        let target = self.target.ok_or(CoreError::NoTargetCategory)?;
         let ranking = self.rank_pool()?;
         let mut added = 0;
         for (index, _) in ranking {
             if added == count {
                 break;
             }
-            if self.db.labels()[index] != self.target
+            if self.db.labels()[index] != target
                 && !self.negatives.contains(&index)
                 && !self.positives.contains(&index)
             {
@@ -196,15 +463,18 @@ impl<'a> QuerySession<'a> {
     /// examples. Returns how many were added.
     ///
     /// # Errors
-    /// [`CoreError::NotTrained`] before the first round.
+    /// * [`CoreError::NotTrained`] before the first round.
+    /// * [`CoreError::NoTargetCategory`] for sessions opened via
+    ///   [`Self::from_examples`] — simulated feedback needs labels.
     pub fn add_false_negatives(&mut self, count: usize) -> Result<usize, CoreError> {
+        let target = self.target.ok_or(CoreError::NoTargetCategory)?;
         let ranking = self.rank_pool()?;
         let mut added = 0;
         for &(index, _) in ranking.iter().rev() {
             if added == count {
                 break;
             }
-            if self.db.labels()[index] == self.target
+            if self.db.labels()[index] == target
                 && !self.positives.contains(&index)
                 && !self.negatives.contains(&index)
             {
@@ -540,6 +810,145 @@ mod tests {
         let bad = Bag::new(vec![vec![0.0; 7]]).unwrap();
         assert!(matches!(
             query_with_examples(&db, &cfg, &[bad], &[], &[0]),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn from_examples_session_has_no_target_and_trains() {
+        let db = database();
+        let cfg = config();
+        let pool: Vec<usize> = (0..12).collect();
+        let mut session =
+            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        assert_eq!(session.target(), None);
+        assert_eq!(session.positives(), &[0, 1]);
+        assert_eq!(session.negatives(), &[6, 7]);
+        let ranking = session.run_round().unwrap();
+        assert_eq!(ranking.len(), 12);
+        // Simulated (label-driven) feedback is impossible without a
+        // target category.
+        assert!(matches!(
+            session.add_false_positives(1),
+            Err(CoreError::NoTargetCategory)
+        ));
+        assert!(matches!(
+            session.add_false_negatives(1),
+            Err(CoreError::NoTargetCategory)
+        ));
+    }
+
+    #[test]
+    fn from_examples_validates_inputs() {
+        let db = database();
+        let cfg = config();
+        // Empty positives are legal at construction (an external upload
+        // may arrive later) but training without any positive fails.
+        let mut empty = QuerySession::from_examples(&db, &cfg, vec![], vec![6], vec![0]).unwrap();
+        assert!(matches!(empty.train_round(), Err(CoreError::NoExamples)));
+        assert!(matches!(
+            QuerySession::from_examples(&db, &cfg, vec![99], vec![], vec![0]),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_marks_move_between_lists_and_dedup() {
+        let db = database();
+        let cfg = config();
+        let mut session =
+            QuerySession::from_examples(&db, &cfg, vec![0], vec![6], (0..12).collect()).unwrap();
+        // Fresh marks are added; repeats are ignored.
+        assert_eq!(session.add_positives(&[1, 1, 0]).unwrap(), 1);
+        assert_eq!(session.positives(), &[0, 1]);
+        // Marking a current negative positive moves it.
+        assert_eq!(session.add_positives(&[6]).unwrap(), 1);
+        assert_eq!(session.positives(), &[0, 1, 6]);
+        assert!(session.negatives().is_empty());
+        // …and back.
+        assert_eq!(session.add_negatives(&[6, 7]).unwrap(), 2);
+        assert_eq!(session.negatives(), &[6, 7]);
+        assert_eq!(session.positives(), &[0, 1]);
+        // Bad indices reject the whole batch.
+        assert!(session.add_negatives(&[5, 99]).is_err());
+        assert_eq!(session.negatives(), &[6, 7]);
+    }
+
+    #[test]
+    fn arc_shared_session_is_static_and_matches_borrowed() {
+        use std::sync::Arc;
+        let db = Arc::new(database());
+        let cfg = Arc::new(config());
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        // A session built from Arcs has no borrowed lifetime…
+        let mut shared: QuerySession<'static> = QuerySession::from_examples(
+            Arc::clone(&db),
+            Arc::clone(&cfg),
+            vec![0, 1],
+            vec![6, 7],
+            pool.clone(),
+        )
+        .unwrap();
+        // …and produces bit-identical rankings to the borrowed path.
+        let mut borrowed =
+            QuerySession::from_examples(&*db, &*cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        assert_eq!(
+            shared.run_round().unwrap(),
+            borrowed.run_round().unwrap(),
+            "Arc-backed and borrowed sessions must agree exactly"
+        );
+    }
+
+    #[test]
+    fn install_concept_skips_training_and_matches() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let mut trained =
+            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool.clone()).unwrap();
+        let ranking = trained.run_round().unwrap();
+        let concept = trained.shared_concept().expect("trained");
+
+        let mut restored =
+            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        restored.install_concept(concept, trained.nldd()).unwrap();
+        assert_eq!(restored.rounds_run(), 1);
+        assert_eq!(restored.nldd(), trained.nldd());
+        assert_eq!(restored.rank_pool().unwrap(), ranking);
+        // Top-k pages agree with the full ranking prefix.
+        assert_eq!(restored.rank_pool_top_k(3).unwrap(), ranking[..3]);
+
+        // A concept from the wrong feature space is rejected.
+        let alien = Arc::new(Concept::new(vec![0.0; 3], vec![1.0; 3]));
+        assert!(matches!(
+            restored.install_concept(alien, 0.0),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn external_bags_join_training_but_not_ranking() {
+        use crate::features::image_to_bag;
+        let db = database();
+        let cfg = config();
+        let pool: Vec<usize> = (0..12).collect();
+        let mut session =
+            QuerySession::from_examples(&db, &cfg, vec![0], vec![6], pool.clone()).unwrap();
+        session
+            .add_positive_bag(image_to_bag(&image(0, 30), &cfg).unwrap())
+            .unwrap();
+        session
+            .add_negative_bag(image_to_bag(&image(1, 31), &cfg).unwrap())
+            .unwrap();
+        assert_eq!(session.external_example_counts(), (1, 1));
+        let ranking = session.run_round().unwrap();
+        // External bags are trained on but never ranked: the ranking
+        // still covers exactly the pool.
+        assert_eq!(ranking.len(), pool.len());
+        // Wrong-dimension bags are rejected.
+        let bad = milr_mil::Bag::new(vec![vec![0.0; 5]]).unwrap();
+        assert!(matches!(
+            session.add_positive_bag(bad),
             Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
         ));
     }

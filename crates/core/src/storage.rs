@@ -23,88 +23,125 @@ const DB_VERSION: u32 = 1;
 const DB_KIND: u8 = 1;
 const CONCEPT_KIND: u8 = 2;
 
-fn io_err(e: std::io::Error) -> CoreError {
-    CoreError::Image(milr_imgproc::ImageError::Io(e))
-}
-
-fn format_err(msg: impl Into<String>) -> CoreError {
-    CoreError::Image(milr_imgproc::ImageError::PnmParse(format!(
-        "milr storage: {}",
-        msg.into()
-    )))
-}
-
-fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), CoreError> {
-    w.write_all(&v.to_le_bytes()).map_err(io_err)
-}
-
-fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), CoreError> {
-    w.write_all(&v.to_le_bytes()).map_err(io_err)
-}
-
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CoreError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b).map_err(io_err)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, CoreError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b).map_err(io_err)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(), CoreError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(io_err)?;
-    if &magic != MAGIC {
-        return Err(format_err("not a milr storage file (bad magic)"));
+/// Builds the dedicated storage error, pinning the offending file.
+fn storage_err(path: &Path, reason: impl Into<String>) -> CoreError {
+    CoreError::Storage {
+        path: path.display().to_string(),
+        reason: reason.into(),
     }
-    let version = read_u32(r)?;
-    if version != DB_VERSION {
-        return Err(format_err(format!(
-            "unsupported format version {version} (expected {DB_VERSION})"
-        )));
-    }
-    let mut kind = [0u8; 1];
-    r.read_exact(&mut kind).map_err(io_err)?;
-    if kind[0] != expected_kind {
-        return Err(format_err(format!(
-            "wrong payload kind {} (expected {expected_kind})",
-            kind[0]
-        )));
-    }
-    Ok(())
 }
 
-fn write_header<W: Write>(w: &mut W, kind: u8) -> Result<(), CoreError> {
-    w.write_all(MAGIC).map_err(io_err)?;
-    write_u32(w, DB_VERSION)?;
-    w.write_all(&[kind]).map_err(io_err)
+/// A stream plus the path it came from, so every failure — I/O or format
+/// violation alike — surfaces as [`CoreError::Storage`] naming the file.
+struct Stream<'p, S> {
+    inner: S,
+    path: &'p Path,
+}
+
+impl<S> Stream<'_, S> {
+    /// A format violation at this file.
+    fn fail(&self, reason: impl Into<String>) -> CoreError {
+        storage_err(self.path, reason)
+    }
+}
+
+impl<R: Read> Stream<'_, R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), CoreError> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| storage_err(self.path, e.to_string()))
+    }
+
+    fn read_u32(&mut self) -> Result<u32, CoreError> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, CoreError> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn read_header(&mut self, expected_kind: u8) -> Result<(), CoreError> {
+        let mut magic = [0u8; 4];
+        self.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(self.fail("not a milr storage file (bad magic)"));
+        }
+        let version = self.read_u32()?;
+        if version != DB_VERSION {
+            return Err(self.fail(format!(
+                "unsupported format version {version} (expected {DB_VERSION})"
+            )));
+        }
+        let mut kind = [0u8; 1];
+        self.read_exact(&mut kind)?;
+        if kind[0] != expected_kind {
+            return Err(self.fail(format!(
+                "wrong payload kind {} (expected {expected_kind})",
+                kind[0]
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> Stream<'_, W> {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+        self.inner
+            .write_all(bytes)
+            .map_err(|e| storage_err(self.path, e.to_string()))
+    }
+
+    fn write_u32(&mut self, v: u32) -> Result<(), CoreError> {
+        self.write_all(&v.to_le_bytes())
+    }
+
+    fn write_u64(&mut self, v: u64) -> Result<(), CoreError> {
+        self.write_all(&v.to_le_bytes())
+    }
+
+    fn write_header(&mut self, kind: u8) -> Result<(), CoreError> {
+        self.write_all(MAGIC)?;
+        self.write_u32(DB_VERSION)?;
+        self.write_all(&[kind])
+    }
+
+    fn flush(&mut self) -> Result<(), CoreError> {
+        self.inner
+            .flush()
+            .map_err(|e| storage_err(self.path, e.to_string()))
+    }
 }
 
 /// Writes a preprocessed database to `path`.
 ///
 /// # Errors
-/// Propagates I/O failures.
+/// [`CoreError::Storage`] naming the file on any I/O failure.
 pub fn save_database<P: AsRef<Path>>(db: &RetrievalDatabase, path: P) -> Result<(), CoreError> {
-    let file = std::fs::File::create(path).map_err(io_err)?;
-    let mut w = BufWriter::new(file);
-    write_header(&mut w, DB_KIND)?;
-    write_u64(&mut w, db.len() as u64)?;
-    write_u64(&mut w, db.feature_dim() as u64)?;
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| storage_err(path, e.to_string()))?;
+    let mut w = Stream {
+        inner: BufWriter::new(file),
+        path,
+    };
+    w.write_header(DB_KIND)?;
+    w.write_u64(db.len() as u64)?;
+    w.write_u64(db.feature_dim() as u64)?;
     for i in 0..db.len() {
         let bag = db.bag(i).expect("index in range");
         let label = db.label(i).expect("index in range");
-        write_u64(&mut w, label as u64)?;
-        write_u64(&mut w, bag.len() as u64)?;
+        w.write_u64(label as u64)?;
+        w.write_u64(bag.len() as u64)?;
         for instance in bag.instances() {
             for &v in instance {
-                w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+                w.write_all(&v.to_le_bytes())?;
             }
         }
     }
-    w.flush().map_err(io_err)
+    w.flush()
 }
 
 /// Reads a preprocessed database written by [`save_database`].
@@ -113,32 +150,34 @@ pub fn save_database<P: AsRef<Path>>(db: &RetrievalDatabase, path: P) -> Result<
 /// Fails with a descriptive error on wrong magic/version/kind, truncated
 /// data, or internally inconsistent counts.
 pub fn load_database<P: AsRef<Path>>(path: P) -> Result<RetrievalDatabase, CoreError> {
-    let file = std::fs::File::open(path).map_err(io_err)?;
-    let mut r = BufReader::new(file);
-    read_header(&mut r, DB_KIND)?;
-    let count = read_u64(&mut r)? as usize;
-    let dim = read_u64(&mut r)? as usize;
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| storage_err(path, e.to_string()))?;
+    let mut r = Stream {
+        inner: BufReader::new(file),
+        path,
+    };
+    r.read_header(DB_KIND)?;
+    let count = r.read_u64()? as usize;
+    let dim = r.read_u64()? as usize;
     if count == 0 || dim == 0 {
-        return Err(format_err("empty database payload"));
+        return Err(r.fail("empty database payload"));
     }
     // Guard against absurd headers before allocating.
     if count > 100_000_000 || dim > 100_000_000 {
-        return Err(format_err("implausible database header"));
+        return Err(r.fail("implausible database header"));
     }
     let mut bags = Vec::with_capacity(count);
     let mut labels = Vec::with_capacity(count);
     for _ in 0..count {
-        let label = read_u64(&mut r)? as usize;
-        let n_instances = read_u64(&mut r)? as usize;
+        let label = r.read_u64()? as usize;
+        let n_instances = r.read_u64()? as usize;
         if n_instances == 0 || n_instances > 1_000_000 {
-            return Err(format_err(format!(
-                "implausible instance count {n_instances}"
-            )));
+            return Err(r.fail(format!("implausible instance count {n_instances}")));
         }
         let mut instances = Vec::with_capacity(n_instances);
         let mut buf = vec![0u8; dim * 4];
         for _ in 0..n_instances {
-            r.read_exact(&mut buf).map_err(io_err)?;
+            r.read_exact(&mut buf)?;
             let instance: Vec<f32> = buf
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -154,19 +193,23 @@ pub fn load_database<P: AsRef<Path>>(path: P) -> Result<RetrievalDatabase, CoreE
 /// Writes a trained concept to `path`.
 ///
 /// # Errors
-/// Propagates I/O failures.
+/// [`CoreError::Storage`] naming the file on any I/O failure.
 pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), CoreError> {
-    let file = std::fs::File::create(path).map_err(io_err)?;
-    let mut w = BufWriter::new(file);
-    write_header(&mut w, CONCEPT_KIND)?;
-    write_u64(&mut w, concept.dim() as u64)?;
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| storage_err(path, e.to_string()))?;
+    let mut w = Stream {
+        inner: BufWriter::new(file),
+        path,
+    };
+    w.write_header(CONCEPT_KIND)?;
+    w.write_u64(concept.dim() as u64)?;
     for &v in concept.point() {
-        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+        w.write_all(&v.to_le_bytes())?;
     }
     for &v in concept.weights() {
-        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+        w.write_all(&v.to_le_bytes())?;
     }
-    w.flush().map_err(io_err)
+    w.flush()
 }
 
 /// Reads a concept written by [`save_concept`].
@@ -174,27 +217,29 @@ pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), Co
 /// # Errors
 /// Same failure modes as [`load_database`].
 pub fn load_concept<P: AsRef<Path>>(path: P) -> Result<Concept, CoreError> {
-    let file = std::fs::File::open(path).map_err(io_err)?;
-    let mut r = BufReader::new(file);
-    read_header(&mut r, CONCEPT_KIND)?;
-    let dim = read_u64(&mut r)? as usize;
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| storage_err(path, e.to_string()))?;
+    let mut r = Stream {
+        inner: BufReader::new(file),
+        path,
+    };
+    r.read_header(CONCEPT_KIND)?;
+    let dim = r.read_u64()? as usize;
     if dim == 0 || dim > 100_000_000 {
-        return Err(format_err("implausible concept dimension"));
+        return Err(r.fail("implausible concept dimension"));
     }
-    let mut read_f64s = |n: usize| -> Result<Vec<f64>, CoreError> {
+    fn read_f64s<R: Read>(r: &mut Stream<'_, R>, n: usize) -> Result<Vec<f64>, CoreError> {
         let mut buf = vec![0u8; n * 8];
-        r.read_exact(&mut buf).map_err(io_err)?;
+        r.read_exact(&mut buf)?;
         Ok(buf
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
             .collect())
-    };
-    let point = read_f64s(dim)?;
-    let weights = read_f64s(dim)?;
+    }
+    let point = read_f64s(&mut r, dim)?;
+    let weights = read_f64s(&mut r, dim)?;
     if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-        return Err(format_err(
-            "concept weights must be finite and non-negative",
-        ));
+        return Err(r.fail("concept weights must be finite and non-negative"));
     }
     Ok(Concept::new(point, weights))
 }
@@ -248,12 +293,31 @@ mod tests {
         std::fs::remove_file(path).ok();
     }
 
+    /// Every corruption failure must surface as the dedicated
+    /// [`CoreError::Storage`] variant naming the file, with the reason
+    /// containing `needle`.
+    fn assert_storage_err(err: CoreError, file: &str, needle: &str) {
+        match err {
+            CoreError::Storage {
+                ref path,
+                ref reason,
+            } => {
+                assert!(path.contains(file), "path {path:?} must name {file:?}");
+                assert!(
+                    reason.contains(needle),
+                    "reason {reason:?} must mention {needle:?}"
+                );
+            }
+            other => panic!("expected CoreError::Storage, got {other:?}"),
+        }
+    }
+
     #[test]
     fn bad_magic_rejected() {
         let path = temp_path("bad_magic.milr");
         std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x01").unwrap();
         let err = load_database(&path).unwrap_err();
-        assert!(err.to_string().contains("magic"), "{err}");
+        assert_storage_err(err, "bad_magic.milr", "magic");
         std::fs::remove_file(path).ok();
     }
 
@@ -264,7 +328,7 @@ mod tests {
         let path = temp_path("kind_mismatch.milr");
         save_concept(&concept, &path).unwrap();
         let err = load_database(&path).unwrap_err();
-        assert!(err.to_string().contains("kind"), "{err}");
+        assert_storage_err(err, "kind_mismatch.milr", "kind");
         std::fs::remove_file(path).ok();
     }
 
@@ -275,8 +339,20 @@ mod tests {
         save_database(&db, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(load_database(&path).is_err());
+        let err = load_database(&path).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Storage { .. }),
+            "expected CoreError::Storage, got {err:?}"
+        );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_rejected_with_path() {
+        let path = temp_path("does_not_exist.milr");
+        std::fs::remove_file(&path).ok();
+        let err = load_database(&path).unwrap_err();
+        assert_storage_err(err, "does_not_exist.milr", "");
     }
 
     #[test]
@@ -288,7 +364,7 @@ mod tests {
         bytes.push(DB_KIND);
         std::fs::write(&path, bytes).unwrap();
         let err = load_database(&path).unwrap_err();
-        assert!(err.to_string().contains("version"), "{err}");
+        assert_storage_err(err, "future_version.milr", "version");
         std::fs::remove_file(path).ok();
     }
 
@@ -305,7 +381,7 @@ mod tests {
         bytes.extend_from_slice(&(-1.0f64).to_le_bytes()); // weight
         std::fs::write(&path, bytes).unwrap();
         let err = load_concept(&path).unwrap_err();
-        assert!(err.to_string().contains("non-negative"), "{err}");
+        assert_storage_err(err, "negative_weight.milr", "non-negative");
         std::fs::remove_file(path).ok();
     }
 

@@ -1,0 +1,108 @@
+//! Standard-alphabet base64, for PGM image bytes carried inside JSON
+//! session bodies. Encoding pads with `=`; decoding accepts padded or
+//! unpadded input and rejects everything else loudly.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as padded standard base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64, padded or unpadded.
+///
+/// # Errors
+/// A description of the first invalid character or length violation.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let trimmed = text.trim_end_matches('=');
+    if text.len() - trimmed.len() > 2 {
+        return Err("too much padding".into());
+    }
+    let mut out = Vec::with_capacity(trimmed.len() * 3 / 4);
+    let mut acc = 0u32;
+    let mut bits = 0u32;
+    for (i, c) in trimmed.bytes().enumerate() {
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return Err(format!("invalid base64 byte {:?} at offset {i}", c as char)),
+        };
+        acc = (acc << 6) | u32::from(v);
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    if bits >= 6 {
+        return Err("dangling base64 unit".into());
+    }
+    if acc & ((1 << bits) - 1) != 0 {
+        return Err("non-zero base64 trailing bits".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_vectors_round_trip() {
+        for (plain, encoded) in [
+            (&b""[..], ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain), encoded);
+            assert_eq!(decode(encoded).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn unpadded_input_decodes() {
+        assert_eq!(decode("Zm9vYg").unwrap(), b"foob");
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(decode("Zm9v!").is_err());
+        assert!(decode("Z").is_err());
+        assert!(decode("Zg===").is_err());
+        assert!(decode("Zh==").is_err(), "trailing bits must be zero");
+    }
+}

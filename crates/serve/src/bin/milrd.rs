@@ -1,0 +1,151 @@
+//! `milrd` — the retrieval daemon.
+//!
+//! ```text
+//! milrd --snapshot db.milr [--addr 127.0.0.1:7878] [--workers N]
+//!       [--queue-depth N] [--read-timeout-ms N] [--handle-deadline-ms N]
+//!       [--max-body BYTES] [--cache-capacity N] [--session-ttl-s N]
+//!       [--session-capacity N] [--page K] [--policy POLICY]
+//!       [--debug-endpoints] [--drain-on-stdin-eof]
+//! ```
+//!
+//! Loads a preprocessed `.milr` snapshot (see `milr preprocess`), binds,
+//! prints one `milrd listening on ADDR ...` line to stdout (port `0`
+//! resolves to the ephemeral port — test harnesses parse this line), and
+//! serves until `POST /admin/shutdown` or, with `--drain-on-stdin-eof`,
+//! until stdin closes.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use milr_serve::server::parse_policy;
+use milr_serve::{ServeOptions, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         milrd --snapshot DB.milr [--addr HOST:PORT] [--workers N]\n        \
+         [--queue-depth N] [--read-timeout-ms N] [--handle-deadline-ms N]\n        \
+         [--max-body BYTES] [--cache-capacity N] [--session-ttl-s N]\n        \
+         [--session-capacity N] [--page K] [--policy POLICY]\n        \
+         [--debug-endpoints] [--drain-on-stdin-eof]\n\n\
+         POLICY: original | identical | alpha:A | constraint:B"
+    );
+}
+
+/// Minimal `--key value` argument scanner (the `milr` CLI idiom).
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(text) => text
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("invalid value {text:?} for {name}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let snapshot = flag(args, "--snapshot").ok_or("--snapshot is required")?;
+    let mut options = ServeOptions::default();
+    if let Some(addr) = flag(args, "--addr") {
+        options.addr = addr;
+    }
+    if let Some(workers) = parse_flag(args, "--workers")? {
+        options.workers = workers;
+    }
+    if let Some(depth) = parse_flag(args, "--queue-depth")? {
+        options.queue_depth = depth;
+    }
+    if let Some(ms) = parse_flag(args, "--read-timeout-ms")? {
+        options.read_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_flag(args, "--handle-deadline-ms")? {
+        options.handle_deadline = Duration::from_millis(ms);
+    }
+    if let Some(bytes) = parse_flag(args, "--max-body")? {
+        options.max_body = bytes;
+    }
+    if let Some(capacity) = parse_flag(args, "--cache-capacity")? {
+        options.cache_capacity = capacity;
+    }
+    if let Some(secs) = parse_flag(args, "--session-ttl-s")? {
+        options.session_ttl = Duration::from_secs(secs);
+    }
+    if let Some(capacity) = parse_flag(args, "--session-capacity")? {
+        options.session_capacity = capacity;
+    }
+    if let Some(page) = parse_flag(args, "--page")? {
+        options.default_page = page;
+    }
+    if let Some(spec) = flag(args, "--policy") {
+        options.retrieval.policy = parse_policy(&spec)?;
+    }
+    options.debug_endpoints = switch(args, "--debug-endpoints");
+
+    // One solver/ranker thread per request: the daemon's parallelism is
+    // across requests, not within them (results are identical either
+    // way — a PR 1 invariant).
+    options.retrieval.threads = 1;
+
+    let mut db = milr_core::storage::load_database(&snapshot).map_err(|e| e.to_string())?;
+    db.set_threads(1);
+    let (images, categories, dim) = (db.len(), db.category_count(), db.feature_dim());
+
+    let server = Server::start(db, options)?;
+    println!(
+        "milrd listening on {} ({images} images, {categories} categories, dim {dim})",
+        server.local_addr()
+    );
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    if switch(args, "--drain-on-stdin-eof") {
+        // Detached on purpose: if shutdown arrives over HTTP instead,
+        // this thread is still parked on stdin and process exit reaps it.
+        let addr = server.local_addr();
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while matches!(std::io::stdin().read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+            // Stdin closed: drain via the admin endpoint so the acceptor
+            // unblocks exactly like an HTTP-initiated shutdown.
+            let _ = milr_serve::client::request(
+                addr,
+                "POST",
+                "/admin/shutdown",
+                None,
+                Duration::from_secs(2),
+            );
+        });
+    }
+    server.wait();
+    println!("milrd drained");
+    Ok(())
+}

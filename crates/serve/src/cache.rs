@@ -1,0 +1,215 @@
+//! The LRU concept cache.
+//!
+//! Diverse Density training is the dominant per-request cost, yet its
+//! output depends only on the example bags and the weight policy. Two
+//! requests marking the same images under the same policy therefore
+//! learn the *same* concept (training is deterministic for any thread
+//! count — a PR 1 invariant), so the daemon caches trained concepts
+//! keyed by `(sorted positives, sorted negatives, policy)` and skips
+//! retraining entirely on a repeat. Sessions holding external (uploaded)
+//! example bags bypass the cache — uploads have no index identity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use milr_mil::Concept;
+
+/// Cache key: the exact example sets and policy that determine training.
+///
+/// Index lists are sorted and deduplicated on construction because
+/// training is order-insensitive at the set level only through the
+/// multi-start union — two mark orders that produce the same *sets* must
+/// hit the same entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConceptKey {
+    positives: Vec<usize>,
+    negatives: Vec<usize>,
+    policy: String,
+}
+
+impl ConceptKey {
+    /// Builds the canonical key for an example configuration.
+    pub fn new(positives: &[usize], negatives: &[usize], policy: &str) -> Self {
+        let canonical = |list: &[usize]| {
+            let mut v = list.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        Self {
+            positives: canonical(positives),
+            negatives: canonical(negatives),
+            policy: policy.to_string(),
+        }
+    }
+}
+
+/// A cached training outcome: the concept plus its `−log DD`.
+#[derive(Debug, Clone)]
+pub struct CachedConcept {
+    /// The trained concept (reference-counted; cloning is pointer-cheap).
+    pub concept: Arc<Concept>,
+    /// `−log DD` recorded when the concept was trained.
+    pub nldd: f64,
+}
+
+/// A least-recently-used cache of trained concepts.
+///
+/// Eviction scans for the oldest stamp — O(capacity), paid only on
+/// insertion past capacity, which is noise next to the training run the
+/// insertion just performed.
+#[derive(Debug)]
+pub struct ConceptCache {
+    map: HashMap<ConceptKey, (CachedConcept, u64)>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ConceptCache {
+    /// Creates a cache holding at most `capacity` concepts (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency and counting the outcome.
+    pub fn get(&mut self, key: &ConceptKey) -> Option<CachedConcept> {
+        self.clock += 1;
+        match self.map.get_mut(key) {
+            Some((value, stamp)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a trained concept, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&mut self, key: ConceptKey, value: CachedConcept) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.clock));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookup hits since start.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses since start.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concept(v: f64) -> CachedConcept {
+        CachedConcept {
+            concept: Arc::new(Concept::new(vec![v], vec![1.0])),
+            nldd: v,
+        }
+    }
+
+    #[test]
+    fn keys_canonicalise_order_and_duplicates() {
+        let a = ConceptKey::new(&[3, 1, 2], &[9, 9, 4], "c0.5");
+        let b = ConceptKey::new(&[1, 2, 3, 3], &[4, 9], "c0.5");
+        assert_eq!(a, b);
+        assert_ne!(a, ConceptKey::new(&[1, 2, 3], &[4, 9], "identical"));
+        assert_ne!(a, ConceptKey::new(&[1, 2], &[3, 4, 9], "c0.5"));
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let mut cache = ConceptCache::new(4);
+        let key = ConceptKey::new(&[0], &[1], "p");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), concept(1.0));
+        let hit = cache.get(&key).expect("cached");
+        assert_eq!(hit.nldd, 1.0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ConceptCache::new(2);
+        let k1 = ConceptKey::new(&[1], &[], "p");
+        let k2 = ConceptKey::new(&[2], &[], "p");
+        let k3 = ConceptKey::new(&[3], &[], "p");
+        cache.insert(k1.clone(), concept(1.0));
+        cache.insert(k2.clone(), concept(2.0));
+        // Touch k1 so k2 is the LRU entry.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3.clone(), concept(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k1).is_some(), "recently used entry survives");
+        assert!(cache.get(&k2).is_none(), "LRU entry evicted");
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ConceptCache::new(0);
+        let key = ConceptKey::new(&[1], &[], "p");
+        cache.insert(key.clone(), concept(1.0));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut cache = ConceptCache::new(2);
+        let k1 = ConceptKey::new(&[1], &[], "p");
+        let k2 = ConceptKey::new(&[2], &[], "p");
+        cache.insert(k1.clone(), concept(1.0));
+        cache.insert(k2.clone(), concept(2.0));
+        cache.insert(k1.clone(), concept(9.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&k1).unwrap().nldd, 9.0);
+        assert!(cache.get(&k2).is_some());
+    }
+}

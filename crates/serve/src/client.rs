@@ -1,0 +1,125 @@
+//! A tiny blocking HTTP/1.1 client — just enough to drive the daemon
+//! from the integration tests and the `loadgen` bench harness. One
+//! request per connection, mirroring the server's `Connection: close`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A completed exchange: status code and raw body bytes.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    /// A description of invalid UTF-8 or malformed JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
+        Json::parse(text)
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+/// A description of any connect, write, read, or parse failure.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: milrd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&raw)
+}
+
+/// `GET` convenience wrapper.
+///
+/// # Errors
+/// See [`request`].
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> Result<Response, String> {
+    request(addr, "GET", target, None, timeout)
+}
+
+/// `POST` convenience wrapper with a JSON body.
+///
+/// # Errors
+/// See [`request`].
+pub fn post_json(
+    addr: SocketAddr,
+    target: &str,
+    body: &Json,
+    timeout: Duration,
+) -> Result<Response, String> {
+    request(addr, "POST", target, Some(body.dump().as_bytes()), timeout)
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("no header terminator in response")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head is not UTF-8")?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok(Response {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_response() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Length: 9\r\n\r\n{\"id\": 1}";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 201);
+        assert_eq!(
+            response.json().unwrap().get("id").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 unknown\r\n\r\n").is_err());
+    }
+}

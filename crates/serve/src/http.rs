@@ -1,0 +1,324 @@
+//! A minimal HTTP/1.1 server-side codec over blocking sockets.
+//!
+//! The daemon speaks just enough HTTP for `curl`, browsers, and the
+//! `loadgen` harness: one request per connection (`Connection: close` on
+//! every response), strict head and body size limits, and socket
+//! read/write deadlines so a stalled peer can never pin a worker.
+//! Anything malformed maps to a 4xx — never a panic, never a hang.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::json::Json;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/sessions/3/feedback`).
+    pub path: String,
+    /// Raw query string without the `?` (may be empty).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter value by name (no percent-decoding — the
+    /// protocol's values are indices, counts, and policy labels).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed before sending any bytes (a clean no-op, e.g. a
+    /// health prober).
+    Closed,
+    /// The socket deadline expired mid-request.
+    Timeout,
+    /// The request head exceeded [`MAX_HEAD`].
+    HeadTooLarge,
+    /// `Content-Length` exceeded the configured body limit.
+    BodyTooLarge,
+    /// Anything else: bad request line, truncated body, invalid
+    /// `Content-Length`, …
+    Malformed(String),
+}
+
+/// Reads one complete request from `stream`.
+///
+/// # Errors
+/// [`ReadError`] for anything other than a complete well-formed request.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end;
+    // Accumulate until the blank line ends the head.
+    loop {
+        if let Some(end) = find_head_end(&head) {
+            head_end = end;
+            break;
+        }
+        if head.len() >= MAX_HEAD {
+            return Err(ReadError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Err(ReadError::Closed);
+            }
+            return Err(ReadError::Malformed("truncated request head".into()));
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let body_prefix = head.split_off(head_end.1);
+    head.truncate(head_end.0);
+
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: body_prefix,
+    };
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("invalid Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge);
+    }
+    if request.body.len() > content_length {
+        return Err(ReadError::Malformed(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while request.body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("truncated request body".into()));
+        }
+        request.body.extend_from_slice(&chunk[..n]);
+        if request.body.len() > content_length {
+            return Err(ReadError::Malformed(
+                "body longer than Content-Length".into(),
+            ));
+        }
+    }
+    Ok(request)
+}
+
+/// Position of the end-of-head marker: `(head_len, body_start)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| (i, i + 4))
+}
+
+fn classify_io(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Malformed(e.to_string()),
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        410 => "Gone",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete JSON response and flushes. The connection always
+/// closes afterwards (`Connection: close`).
+///
+/// # Errors
+/// Propagates socket write failures (the peer may already be gone).
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.dump();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Builds the uniform error body `{"error": message}`.
+pub fn error_body(message: impl Into<String>) -> Json {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Feeds raw bytes through a real socket pair and parses them.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(&raw).unwrap();
+            // Close the write side by dropping the stream.
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let result = read_request(&mut server_side, max_body);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(
+            b"GET /rank?positives=1,2&k=5 HTTP/1.1\r\nHost: x\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/rank");
+        assert_eq!(req.query_param("positives"), Some("1,2"));
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /sessions HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn oversized_body_rejected_by_declared_length() {
+        let err = parse(
+            b"POST /sessions HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReadError::BodyTooLarge));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let err = parse(
+            b"POST /sessions HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_head_is_malformed() {
+        let err = parse(b"GET /rank HTTP/1.1\r\nHost:", 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn immediate_close_reports_closed() {
+        let err = parse(b"", 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Closed));
+    }
+
+    #[test]
+    fn garbage_request_line_is_malformed() {
+        for raw in [
+            &b"NONSENSE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x SPDY/9\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+        ] {
+            let err = parse(raw, 1024).unwrap_err();
+            assert!(matches!(err, ReadError::Malformed(_)), "{raw:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; MAX_HEAD + 10]);
+        let err = parse(&raw, 1024).unwrap_err();
+        assert!(matches!(err, ReadError::HeadTooLarge));
+    }
+}

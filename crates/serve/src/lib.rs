@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # milr-serve
+//!
+//! `milrd`, the concurrent retrieval daemon: a multi-threaded HTTP/1.1
+//! server (hand-rolled over [`std::net::TcpListener`] — no external
+//! dependencies) exposing the Diverse Density retrieval engine of
+//! `milr-core` as a session-based relevance-feedback service.
+//!
+//! * [`server::Server`] — accept loop, bounded worker pool with
+//!   load shedding, routing, graceful drain.
+//! * [`sessions`] — TTL/capacity-bounded store of live feedback
+//!   sessions.
+//! * [`cache`] — LRU concept cache: deterministic training means equal
+//!   example sets under one policy share one concept.
+//! * [`http`] / [`json`] / [`base64`] — minimal wire codecs.
+//! * [`metrics`] — per-endpoint counters and latency histograms behind
+//!   `GET /metrics`.
+//! * [`client`] — the blocking client used by tests and `loadgen`.
+//!
+//! The protocol (all responses JSON, one request per connection):
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + snapshot summary |
+//! | `GET /metrics` | counters, histograms, cache and session stats |
+//! | `GET /rank?positives=1,2&negatives=7&k=10` | stateless one-shot ranking |
+//! | `POST /sessions` | create a feedback session (indices and/or base64 PGM uploads) |
+//! | `GET /sessions/{id}` | session state |
+//! | `POST /sessions/{id}/feedback` | add marks, retrain, return next page |
+//! | `DELETE /sessions/{id}` | drop a session |
+//! | `POST /admin/shutdown` | graceful drain |
+
+pub mod base64;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod sessions;
+
+pub use json::Json;
+pub use server::{parse_policy, ServeOptions, Server};

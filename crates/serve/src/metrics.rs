@@ -1,0 +1,219 @@
+//! Request metrics: per-endpoint counters and latency histograms, plus
+//! the daemon-wide gauges (`queue depth`, shed counts) that the accept
+//! loop updates lock-free.
+//!
+//! `GET /metrics` serialises the whole structure as JSON. Latency is
+//! histogrammed into fixed log-spaced microsecond buckets — coarse, but
+//! allocation-free and cheap enough to record on every request.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Upper bounds (µs) of the latency buckets; the last bucket is
+/// unbounded.
+const BUCKET_BOUNDS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// A fixed-bucket latency histogram (microseconds).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKET_BOUNDS_US.len() + 1],
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, us: u64) {
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// An upper bound (µs) on the `q`-quantile (0 < q ≤ 1): the bound of
+    /// the first bucket whose cumulative count reaches it. The unbounded
+    /// tail reports the exact observed maximum.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return BUCKET_BOUNDS_US.get(i).copied().unwrap_or(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::num(self.total as f64)),
+            ("mean_us".into(), Json::num(self.mean_us())),
+            ("max_us".into(), Json::num(self.max_us as f64)),
+            (
+                "p50_us".into(),
+                Json::num(self.quantile_upper_bound(0.50) as f64),
+            ),
+            (
+                "p90_us".into(),
+                Json::num(self.quantile_upper_bound(0.90) as f64),
+            ),
+            (
+                "p99_us".into(),
+                Json::num(self.quantile_upper_bound(0.99) as f64),
+            ),
+        ])
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug, Default, Clone)]
+struct EndpointStats {
+    requests: u64,
+    status_2xx: u64,
+    status_4xx: u64,
+    status_5xx: u64,
+    latency: LatencyHistogram,
+}
+
+/// Daemon-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
+    /// Connections refused with `503` because the accept queue was full.
+    pub shed_total: AtomicU64,
+    /// Requests refused with `503` because they overstayed the handle
+    /// deadline while queued.
+    pub deadline_shed_total: AtomicU64,
+    /// Current accept-queue depth (gauge).
+    pub queue_depth: AtomicUsize,
+    /// High-water mark of the accept queue.
+    pub queue_peak: AtomicUsize,
+}
+
+impl Metrics {
+    /// Records one handled request.
+    pub fn record(&self, endpoint: &'static str, status: u16, us: u64) {
+        let mut endpoints = self.endpoints.lock().expect("metrics mutex");
+        let stats = endpoints.entry(endpoint).or_default();
+        stats.requests += 1;
+        match status {
+            200..=299 => stats.status_2xx += 1,
+            400..=499 => stats.status_4xx += 1,
+            _ => stats.status_5xx += 1,
+        }
+        stats.latency.record(us);
+    }
+
+    /// Updates the queue-depth gauge (and its high-water mark).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .lock()
+            .expect("metrics mutex")
+            .values()
+            .map(|s| s.requests)
+            .sum()
+    }
+
+    /// Serialises the per-endpoint section as JSON.
+    pub fn endpoints_json(&self) -> Json {
+        let endpoints = self.endpoints.lock().expect("metrics mutex");
+        Json::Obj(
+            endpoints
+                .iter()
+                .map(|(name, stats)| {
+                    (
+                        (*name).to_string(),
+                        Json::Obj(vec![
+                            ("requests".into(), Json::num(stats.requests as f64)),
+                            ("status_2xx".into(), Json::num(stats.status_2xx as f64)),
+                            ("status_4xx".into(), Json::num(stats.status_4xx as f64)),
+                            ("status_5xx".into(), Json::num(stats.status_5xx as f64)),
+                            ("latency".into(), stats.latency.to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_quantiles_and_mean() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        for us in [50, 80, 200, 400, 900, 9_000, 40_000, 2_000_000, 9_999_999] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 9);
+        // 5th of 9 observations (rank ceil(0.5*9)=5) lands in the ≤1000 bucket.
+        assert_eq!(h.quantile_upper_bound(0.5), 1_000);
+        // The unbounded tail reports the observed maximum.
+        assert_eq!(h.quantile_upper_bound(1.0), 9_999_999);
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn record_classifies_statuses() {
+        let m = Metrics::default();
+        m.record("/rank", 200, 100);
+        m.record("/rank", 404, 50);
+        m.record("/rank", 503, 10);
+        m.record("/healthz", 200, 5);
+        assert_eq!(m.total_requests(), 4);
+        let json = m.endpoints_json();
+        let rank = json.get("/rank").expect("/rank section");
+        assert_eq!(rank.get("requests").unwrap().as_u64(), Some(3));
+        assert_eq!(rank.get("status_2xx").unwrap().as_u64(), Some(1));
+        assert_eq!(rank.get("status_4xx").unwrap().as_u64(), Some(1));
+        assert_eq!(rank.get("status_5xx").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn queue_gauge_tracks_peak() {
+        let m = Metrics::default();
+        m.set_queue_depth(3);
+        m.set_queue_depth(7);
+        m.set_queue_depth(1);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 1);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 7);
+    }
+}

@@ -1,0 +1,958 @@
+//! The retrieval daemon: accept loop, bounded worker pool, routing, and
+//! request handlers.
+//!
+//! Concurrency model — one acceptor thread and `workers` handler
+//! threads around a bounded queue:
+//!
+//! * the acceptor pushes `(connection, enqueued_at)` and sheds with an
+//!   immediate `503` once the queue is `queue_depth` deep;
+//! * workers pop, and first check how long the connection waited — one
+//!   that overstayed `handle_deadline` is answered `503` without paying
+//!   for training (the client has likely timed out already);
+//! * every socket carries read/write deadlines, so a stalled peer costs
+//!   a worker at most the timeout, never forever;
+//! * shutdown is graceful: the flag flips, the acceptor is unblocked by
+//!   a self-connection, workers drain the queue and exit.
+//!
+//! All request state lives in [`Daemon`]: the shared database and
+//! config (`Arc`, read-only), the concept cache, the session store and
+//! the metrics registry.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use milr_core::features::image_to_bag;
+use milr_core::{CoreError, QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr_imgproc::pnm;
+use milr_mil::{Bag, WeightPolicy};
+
+use crate::base64;
+use crate::cache::{CachedConcept, ConceptCache, ConceptKey};
+use crate::http::{self, ReadError, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::sessions::SessionStore;
+
+/// Everything tunable about the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:7878`; port `0` picks an ephemeral one).
+    pub addr: String,
+    /// Handler threads.
+    pub workers: usize,
+    /// Accepted connections allowed to wait; beyond this the acceptor
+    /// sheds with `503`.
+    pub queue_depth: usize,
+    /// Socket read **and** write deadline.
+    pub read_timeout: Duration,
+    /// Longest a connection may wait in the queue and still be served;
+    /// older ones are answered `503` instead of trained for.
+    pub handle_deadline: Duration,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Concept-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Idle time after which a session expires.
+    pub session_ttl: Duration,
+    /// Most sessions kept live at once (0 disables sessions).
+    pub session_capacity: usize,
+    /// Ranking page size when a request names no `k`.
+    pub default_page: usize,
+    /// Training/ranking configuration shared by every request.
+    pub retrieval: RetrievalConfig,
+    /// Enables `GET /debug/sleep` — a worker-stalling endpoint the shed
+    /// tests need; never enable in real service.
+    pub debug_endpoints: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            handle_deadline: Duration::from_secs(10),
+            max_body: 8 * 1024 * 1024,
+            cache_capacity: 128,
+            session_ttl: Duration::from_secs(15 * 60),
+            session_capacity: 256,
+            default_page: 10,
+            retrieval: RetrievalConfig::default(),
+            debug_endpoints: false,
+        }
+    }
+}
+
+/// Parses a policy spec (`original | identical | alpha:A | constraint:B`
+/// — the same grammar as the CLI).
+///
+/// # Errors
+/// A description of the unrecognised spec.
+pub fn parse_policy(spec: &str) -> Result<WeightPolicy, String> {
+    if spec == "original" {
+        return Ok(WeightPolicy::OriginalDd);
+    }
+    if spec == "identical" {
+        return Ok(WeightPolicy::Identical);
+    }
+    if let Some(a) = spec.strip_prefix("alpha:") {
+        let alpha: f64 = a.parse().map_err(|_| format!("bad alpha in {spec:?}"))?;
+        return Ok(WeightPolicy::AlphaHack { alpha });
+    }
+    if let Some(b) = spec.strip_prefix("constraint:") {
+        let beta: f64 = b.parse().map_err(|_| format!("bad beta in {spec:?}"))?;
+        return Ok(WeightPolicy::SumConstraint { beta });
+    }
+    Err(format!("unknown policy {spec:?}"))
+}
+
+/// Shared state behind every worker.
+struct Daemon {
+    db: Arc<RetrievalDatabase>,
+    config: Arc<RetrievalConfig>,
+    options: ServeOptions,
+    /// Every database index — the ranking pool of stateless requests and
+    /// new sessions.
+    all_indices: Vec<usize>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    cache: Mutex<ConceptCache>,
+    sessions: SessionStore,
+    local_addr: SocketAddr,
+    started: Instant,
+}
+
+impl Daemon {
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue_cv.notify_all();
+            // Unblock the acceptor with a throwaway connection.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// A running daemon: handle for address discovery and shutdown.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker threads, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    /// A description of a bind failure or invalid configuration.
+    pub fn start(db: RetrievalDatabase, options: ServeOptions) -> Result<Server, String> {
+        if options.workers == 0 {
+            return Err("at least one worker thread is required".into());
+        }
+        options.retrieval.validate()?;
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let all_indices: Vec<usize> = (0..db.len()).collect();
+        let daemon = Arc::new(Daemon {
+            all_indices,
+            config: Arc::new(options.retrieval.clone()),
+            cache: Mutex::new(ConceptCache::new(options.cache_capacity)),
+            sessions: SessionStore::new(options.session_ttl, options.session_capacity),
+            db: Arc::new(db),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            local_addr,
+            started: Instant::now(),
+            options,
+        });
+        let workers = (0..daemon.options.workers)
+            .map(|i| {
+                let daemon = Arc::clone(&daemon);
+                std::thread::Builder::new()
+                    .name(format!("milrd-worker-{i}"))
+                    .spawn(move || worker_loop(&daemon))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let acceptor = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::Builder::new()
+                .name("milrd-accept".into())
+                .spawn(move || accept_loop(&daemon, &listener))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+        Ok(Server {
+            daemon,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.daemon.local_addr
+    }
+
+    /// Begins a graceful drain: stop accepting, finish queued requests.
+    /// Idempotent; also triggered by `POST /admin/shutdown`.
+    pub fn shutdown(&self) {
+        self.daemon.request_shutdown();
+    }
+
+    /// Blocks until the acceptor and every worker have exited (i.e.
+    /// until someone calls [`Self::shutdown`] or posts
+    /// `/admin/shutdown`, and the queue has drained).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(daemon: &Daemon, listener: &TcpListener) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if daemon.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if daemon.shutdown.load(Ordering::SeqCst) {
+            return; // the unblocking self-connection, or a late client
+        }
+        let _ = stream.set_read_timeout(Some(daemon.options.read_timeout));
+        let _ = stream.set_write_timeout(Some(daemon.options.read_timeout));
+        let mut queue = daemon.queue.lock().expect("accept queue mutex");
+        if queue.len() >= daemon.options.queue_depth {
+            drop(queue);
+            daemon.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            // Answer on a throwaway thread: the acceptor must never block
+            // on a slow peer, and the socket has to be drained after the
+            // 503 (see `drain_before_close`) or the client may lose the
+            // response to an RST.
+            let mut stream = stream;
+            std::thread::spawn(move || {
+                let _ = http::respond_json(
+                    &mut stream,
+                    503,
+                    &http::error_body("server saturated; request shed"),
+                );
+                drain_before_close(&mut stream);
+            });
+            continue;
+        }
+        queue.push_back((stream, Instant::now()));
+        daemon.metrics.set_queue_depth(queue.len());
+        drop(queue);
+        daemon.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(daemon: &Daemon) {
+    loop {
+        let job = {
+            let mut queue = daemon.queue.lock().expect("accept queue mutex");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    daemon.metrics.set_queue_depth(queue.len());
+                    break Some(job);
+                }
+                if daemon.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, wait) = daemon
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("accept queue mutex");
+                queue = guard;
+                if wait.timed_out() {
+                    // Idle tick: drop the lock and evict expired sessions.
+                    drop(queue);
+                    daemon.sessions.sweep();
+                    queue = daemon.queue.lock().expect("accept queue mutex");
+                }
+            }
+        };
+        match job {
+            Some((stream, enqueued)) => handle_connection(daemon, stream, enqueued),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) {
+    if enqueued.elapsed() > daemon.options.handle_deadline {
+        daemon
+            .metrics
+            .deadline_shed_total
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = http::respond_json(
+            &mut stream,
+            503,
+            &http::error_body("request overstayed the queue deadline"),
+        );
+        drain_before_close(&mut stream);
+        return;
+    }
+    let started = Instant::now();
+    let request = match http::read_request(&mut stream, daemon.options.max_body) {
+        Ok(request) => request,
+        Err(ReadError::Closed) => return,
+        Err(err) => {
+            let (status, message) = match err {
+                ReadError::Timeout => (408, "timed out reading the request".to_string()),
+                ReadError::HeadTooLarge => (431, "request head too large".to_string()),
+                ReadError::BodyTooLarge => (413, "request body too large".to_string()),
+                ReadError::Malformed(m) => (400, m),
+                ReadError::Closed => unreachable!("handled above"),
+            };
+            let us = started.elapsed().as_micros() as u64;
+            daemon.metrics.record("(unreadable)", status, us);
+            let _ = http::respond_json(&mut stream, status, &http::error_body(message));
+            drain_before_close(&mut stream);
+            return;
+        }
+    };
+    let (endpoint, status, body) = route(daemon, &request);
+    let us = started.elapsed().as_micros() as u64;
+    daemon.metrics.record(endpoint, status, us);
+    let _ = http::respond_json(&mut stream, status, &body);
+}
+
+/// Consumes (bounded) whatever the peer already sent before the socket
+/// closes. Required on every path that responds without reading the
+/// full request: closing with unread bytes in the receive buffer makes
+/// the kernel send an RST, which can discard the in-flight response
+/// before the client reads it — a shed would then look like a
+/// connection reset instead of a clean `503`.
+fn drain_before_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..16 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
+/// Dispatches one parsed request. Returns `(endpoint label, status,
+/// body)`; the label keys the metrics registry, so dynamic path segments
+/// collapse into placeholders.
+fn route(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
+    let method = req.method.as_str();
+    let path = req.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => ("/healthz", 200, healthz(daemon)),
+        ("GET", "/metrics") => ("/metrics", 200, metrics_json(daemon)),
+        ("GET", "/rank") => {
+            let (status, body) = handle_rank(daemon, req);
+            ("/rank", status, body)
+        }
+        ("POST", "/sessions") => {
+            let (status, body) = handle_create_session(daemon, req);
+            ("/sessions", status, body)
+        }
+        ("POST", "/admin/shutdown") => {
+            daemon.request_shutdown();
+            (
+                "/admin/shutdown",
+                200,
+                Json::Obj(vec![("draining".into(), Json::Bool(true))]),
+            )
+        }
+        ("GET", "/debug/sleep") if daemon.options.debug_endpoints => {
+            let ms = req
+                .query_param("ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(100)
+                .min(10_000);
+            std::thread::sleep(Duration::from_millis(ms));
+            (
+                "/debug/sleep",
+                200,
+                Json::Obj(vec![("slept_ms".into(), Json::num(ms as f64))]),
+            )
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/sessions/") {
+                return route_session(daemon, req, rest);
+            }
+            let known = matches!(
+                path,
+                "/healthz" | "/metrics" | "/rank" | "/sessions" | "/admin/shutdown"
+            );
+            if known {
+                (
+                    "(method-mismatch)",
+                    405,
+                    http::error_body(format!("{method} not supported on {path}")),
+                )
+            } else {
+                (
+                    "(unmatched)",
+                    404,
+                    http::error_body(format!("no route for {path}")),
+                )
+            }
+        }
+    }
+}
+
+fn route_session(daemon: &Daemon, req: &Request, rest: &str) -> (&'static str, u16, Json) {
+    let (id_text, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (
+            "(unmatched)",
+            404,
+            http::error_body(format!("invalid session id {id_text:?}")),
+        );
+    };
+    match (req.method.as_str(), tail) {
+        ("GET", None) => {
+            let (status, body) = session_info(daemon, id);
+            ("/sessions/{id}", status, body)
+        }
+        ("DELETE", None) => {
+            if daemon.sessions.remove(id) {
+                (
+                    "/sessions/{id}",
+                    200,
+                    Json::Obj(vec![("deleted".into(), Json::Bool(true))]),
+                )
+            } else {
+                ("/sessions/{id}", 404, http::error_body("no such session"))
+            }
+        }
+        ("POST", Some("feedback")) => {
+            let (status, body) = handle_feedback(daemon, req, id);
+            ("/sessions/{id}/feedback", status, body)
+        }
+        (_, None) => (
+            "(method-mismatch)",
+            405,
+            http::error_body("use GET or DELETE on a session"),
+        ),
+        (_, Some("feedback")) => (
+            "(method-mismatch)",
+            405,
+            http::error_body("use POST on /sessions/{id}/feedback"),
+        ),
+        _ => ("(unmatched)", 404, http::error_body("no such route")),
+    }
+}
+
+fn healthz(daemon: &Daemon) -> Json {
+    Json::Obj(vec![
+        ("status".into(), Json::str("ok")),
+        ("images".into(), Json::num(daemon.db.len() as f64)),
+        (
+            "categories".into(),
+            Json::num(daemon.db.category_count() as f64),
+        ),
+        (
+            "feature_dim".into(),
+            Json::num(daemon.db.feature_dim() as f64),
+        ),
+        (
+            "uptime_s".into(),
+            Json::num(daemon.started.elapsed().as_secs_f64()),
+        ),
+    ])
+}
+
+fn metrics_json(daemon: &Daemon) -> Json {
+    let cache = daemon.cache.lock().expect("concept cache mutex");
+    let cache_json = Json::Obj(vec![
+        ("hits".into(), Json::num(cache.hits() as f64)),
+        ("misses".into(), Json::num(cache.misses() as f64)),
+        ("entries".into(), Json::num(cache.len() as f64)),
+        ("capacity".into(), Json::num(cache.capacity() as f64)),
+    ]);
+    drop(cache);
+    let sessions = daemon.sessions.stats();
+    let sessions_json = Json::Obj(vec![
+        ("active".into(), Json::num(sessions.active as f64)),
+        (
+            "created_total".into(),
+            Json::num(sessions.created_total as f64),
+        ),
+        (
+            "expired_total".into(),
+            Json::num(sessions.expired_total as f64),
+        ),
+        (
+            "evicted_total".into(),
+            Json::num(sessions.evicted_total as f64),
+        ),
+    ]);
+    Json::Obj(vec![
+        (
+            "uptime_s".into(),
+            Json::num(daemon.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "requests_total".into(),
+            Json::num(daemon.metrics.total_requests() as f64),
+        ),
+        (
+            "shed_total".into(),
+            Json::num(daemon.metrics.shed_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "deadline_shed_total".into(),
+            Json::num(daemon.metrics.deadline_shed_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "queue_depth".into(),
+            Json::num(daemon.metrics.queue_depth.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "queue_peak".into(),
+            Json::num(daemon.metrics.queue_peak.load(Ordering::Relaxed) as f64),
+        ),
+        ("concept_cache".into(), cache_json),
+        ("sessions".into(), sessions_json),
+        ("endpoints".into(), daemon.metrics.endpoints_json()),
+    ])
+}
+
+/// Maps a core failure to an HTTP status: caller mistakes are 4xx,
+/// anything else is the daemon's fault.
+fn core_error_status(err: &CoreError) -> u16 {
+    match err {
+        CoreError::IndexOutOfBounds { .. }
+        | CoreError::NoExamples
+        | CoreError::NotTrained
+        | CoreError::UnknownCategory { .. }
+        | CoreError::NoTargetCategory => 400,
+        CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }) => 400,
+        _ => 500,
+    }
+}
+
+fn core_error_response(err: &CoreError) -> (u16, Json) {
+    (core_error_status(err), http::error_body(err.to_string()))
+}
+
+fn ranking_json(ranking: &[(usize, f64)]) -> Json {
+    Json::Arr(
+        ranking
+            .iter()
+            .map(|&(index, distance)| {
+                Json::Obj(vec![
+                    ("index".into(), Json::num(index as f64)),
+                    ("distance".into(), Json::Num(distance)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses a comma-separated index list (`"3,1,4"`).
+fn parse_index_list(text: &str) -> Result<Vec<usize>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid index {part:?}"))
+        })
+        .collect()
+}
+
+/// Resolves the session config for an optional `policy` spec: the shared
+/// default when absent, a copy with the policy swapped in when present.
+fn config_for_policy(
+    daemon: &Daemon,
+    spec: Option<&str>,
+) -> Result<(Arc<RetrievalConfig>, String), String> {
+    match spec {
+        None => Ok((Arc::clone(&daemon.config), daemon.config.policy.label())),
+        Some(spec) => {
+            let policy = parse_policy(spec)?;
+            policy.validate()?;
+            let label = policy.label();
+            let mut config = (*daemon.config).clone();
+            config.policy = policy;
+            Ok((Arc::new(config), label))
+        }
+    }
+}
+
+/// Fetches a concept for an example configuration through the cache:
+/// either a hit, or a fresh training run whose result is inserted.
+fn concept_via_cache(
+    daemon: &Daemon,
+    key: ConceptKey,
+    train: impl FnOnce() -> Result<CachedConcept, CoreError>,
+) -> Result<(CachedConcept, bool), CoreError> {
+    let cached = daemon.cache.lock().expect("concept cache mutex").get(&key);
+    if let Some(hit) = cached {
+        return Ok((hit, true));
+    }
+    // Train outside the cache lock — concurrent identical misses may
+    // train twice, but they converge on the same deterministic concept,
+    // and never serialise unrelated requests behind one training run.
+    let fresh = train()?;
+    daemon
+        .cache
+        .lock()
+        .expect("concept cache mutex")
+        .insert(key, fresh.clone());
+    Ok((fresh, false))
+}
+
+/// `GET /rank` — the stateless one-shot: train (or fetch the cached
+/// concept) for the query-string example sets and return the top-k page.
+fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
+    let positives = match parse_index_list(req.query_param("positives").unwrap_or("")) {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let negatives = match parse_index_list(req.query_param("negatives").unwrap_or("")) {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    if positives.is_empty() {
+        return (
+            400,
+            http::error_body("at least one positive example index is required"),
+        );
+    }
+    let k = match req.query_param("k") {
+        None => daemon.options.default_page,
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => return (400, http::error_body(format!("invalid k {v:?}"))),
+        },
+    };
+    let (config, policy_label) = match config_for_policy(daemon, req.query_param("policy")) {
+        Ok(pair) => pair,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let key = ConceptKey::new(&positives, &negatives, &policy_label);
+    let trained = concept_via_cache(daemon, key, || {
+        let mut session = QuerySession::from_examples(
+            Arc::clone(&daemon.db),
+            config,
+            positives.clone(),
+            negatives.clone(),
+            Vec::new(), // the page is ranked directly below; no pool needed
+        )?;
+        session.train_round()?;
+        Ok(CachedConcept {
+            concept: session.shared_concept().expect("just trained"),
+            nldd: session.nldd(),
+        })
+    });
+    let (cached, cache_hit) = match trained {
+        Ok(pair) => pair,
+        Err(err) => return core_error_response(&err),
+    };
+    let ranking = match daemon
+        .db
+        .rank_top_k(&cached.concept, &daemon.all_indices, k)
+    {
+        Ok(ranking) => ranking,
+        Err(err) => return core_error_response(&err),
+    };
+    (
+        200,
+        Json::Obj(vec![
+            ("ranking".into(), ranking_json(&ranking)),
+            ("cache_hit".into(), Json::Bool(cache_hit)),
+            ("nldd".into(), Json::Num(cached.nldd)),
+        ]),
+    )
+}
+
+/// Decodes the `*_pgm` upload arrays of a session body into feature
+/// bags.
+fn decode_uploads(body: &Json, field: &str, config: &RetrievalConfig) -> Result<Vec<Bag>, String> {
+    let Some(value) = body.get(field) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{field} must be an array of base64 strings"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let text = item
+                .as_str()
+                .ok_or_else(|| format!("{field}[{i}] must be a base64 string"))?;
+            let bytes = base64::decode(text).map_err(|e| format!("{field}[{i}]: {e}"))?;
+            let image = pnm::read_pgm(&bytes[..]).map_err(|e| format!("{field}[{i}]: {e}"))?;
+            image_to_bag(&image, config).map_err(|e| format!("{field}[{i}]: {e}"))
+        })
+        .collect()
+}
+
+/// Extracts an index array field (`"positives": [3, 1]`) from a JSON
+/// body.
+fn body_indices(body: &Json, field: &str) -> Result<Vec<usize>, String> {
+    let Some(value) = body.get(field) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{field} must be an array of image indices"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("{field}[{i}] must be a non-negative integer"))
+        })
+        .collect()
+}
+
+/// `POST /sessions` — creates a feedback session from explicit marks
+/// and/or uploaded PGM images.
+fn handle_create_session(daemon: &Daemon, req: &Request) -> (u16, Json) {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => return (400, http::error_body("body is not UTF-8")),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(msg) => return (400, http::error_body(format!("invalid JSON: {msg}"))),
+    };
+    let positives = match body_indices(&body, "positives") {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let negatives = match body_indices(&body, "negatives") {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let policy_spec = match body.get("policy") {
+        None => None,
+        Some(value) => match value.as_str() {
+            Some(spec) => Some(spec),
+            None => return (400, http::error_body("policy must be a string")),
+        },
+    };
+    let (config, policy_label) = match config_for_policy(daemon, policy_spec) {
+        Ok(pair) => pair,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let positive_bags = match decode_uploads(&body, "positive_pgm", &config) {
+        Ok(bags) => bags,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let negative_bags = match decode_uploads(&body, "negative_pgm", &config) {
+        Ok(bags) => bags,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    if positives.is_empty() && positive_bags.is_empty() {
+        return (
+            400,
+            http::error_body("at least one positive example (index or upload) is required"),
+        );
+    }
+    let mut session = match QuerySession::from_examples(
+        Arc::clone(&daemon.db),
+        config,
+        positives,
+        negatives,
+        daemon.all_indices.clone(),
+    ) {
+        Ok(session) => session,
+        Err(err) => return core_error_response(&err),
+    };
+    for bag in positive_bags {
+        if let Err(err) = session.add_positive_bag(bag) {
+            return core_error_response(&err);
+        }
+    }
+    for bag in negative_bags {
+        if let Err(err) = session.add_negative_bag(bag) {
+            return core_error_response(&err);
+        }
+    }
+    let (positive_count, negative_count) = (
+        session.positives().len() + session.external_example_counts().0,
+        session.negatives().len() + session.external_example_counts().1,
+    );
+    match daemon.sessions.create(session, policy_label) {
+        Some(id) => (
+            201,
+            Json::Obj(vec![
+                ("id".into(), Json::num(id as f64)),
+                ("positives".into(), Json::num(positive_count as f64)),
+                ("negatives".into(), Json::num(negative_count as f64)),
+            ]),
+        ),
+        None => (503, http::error_body("session store is full or disabled")),
+    }
+}
+
+fn session_info(daemon: &Daemon, id: u64) -> (u16, Json) {
+    let Some(handle) = daemon.sessions.get(id) else {
+        return (404, http::error_body("no such session"));
+    };
+    let session = handle.lock().expect("session mutex");
+    let (ext_pos, ext_neg) = session.query.external_example_counts();
+    (
+        200,
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("positives".into(), Json::indices(session.query.positives())),
+            ("negatives".into(), Json::indices(session.query.negatives())),
+            ("external_positives".into(), Json::num(ext_pos as f64)),
+            ("external_negatives".into(), Json::num(ext_neg as f64)),
+            (
+                "rounds_run".into(),
+                Json::num(session.query.rounds_run() as f64),
+            ),
+            ("policy".into(), Json::str(session.policy_label.clone())),
+        ]),
+    )
+}
+
+/// `POST /sessions/{id}/feedback` — applies new marks, retrains (or
+/// installs a cached concept), and returns the next ranked page.
+fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => return (400, http::error_body("body is not UTF-8")),
+    };
+    let body = match Json::parse(if text.trim().is_empty() { "{}" } else { text }) {
+        Ok(body) => body,
+        Err(msg) => return (400, http::error_body(format!("invalid JSON: {msg}"))),
+    };
+    let positives = match body_indices(&body, "positives") {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let negatives = match body_indices(&body, "negatives") {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let k = match body.get("k") {
+        None => daemon.options.default_page,
+        Some(value) => match value.as_u64() {
+            Some(k) => k as usize,
+            None => return (400, http::error_body("k must be a non-negative integer")),
+        },
+    };
+    let Some(handle) = daemon.sessions.get(id) else {
+        return (404, http::error_body("no such session"));
+    };
+    let mut session = handle.lock().expect("session mutex");
+    if let Err(err) = session.query.add_positives(&positives) {
+        return core_error_response(&err);
+    }
+    if let Err(err) = session.query.add_negatives(&negatives) {
+        return core_error_response(&err);
+    }
+    // Sessions whose examples are all database indices share concepts
+    // through the cache; uploads have no index identity, so sessions
+    // holding external bags always train for themselves.
+    let cacheable = session.query.external_example_counts() == (0, 0);
+    let mut cache_hit = false;
+    if cacheable {
+        let key = ConceptKey::new(
+            session.query.positives(),
+            session.query.negatives(),
+            &session.policy_label,
+        );
+        let cached = daemon.cache.lock().expect("concept cache mutex").get(&key);
+        match cached {
+            Some(hit) => {
+                if let Err(err) = session.query.install_concept(hit.concept, hit.nldd) {
+                    return core_error_response(&err);
+                }
+                cache_hit = true;
+            }
+            None => {
+                if let Err(err) = session.query.train_round() {
+                    return core_error_response(&err);
+                }
+                daemon.cache.lock().expect("concept cache mutex").insert(
+                    key,
+                    CachedConcept {
+                        concept: session.query.shared_concept().expect("just trained"),
+                        nldd: session.query.nldd(),
+                    },
+                );
+            }
+        }
+    } else if let Err(err) = session.query.train_round() {
+        return core_error_response(&err);
+    }
+    let ranking = match session.query.rank_pool_top_k(k) {
+        Ok(ranking) => ranking,
+        Err(err) => return core_error_response(&err),
+    };
+    (
+        200,
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("round".into(), Json::num(session.query.rounds_run() as f64)),
+            ("nldd".into(), Json::Num(session.query.nldd())),
+            ("cache_hit".into(), Json::Bool(cache_hit)),
+            ("ranking".into(), ranking_json(&ranking)),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_specs_parse_like_the_cli() {
+        assert!(matches!(
+            parse_policy("original"),
+            Ok(WeightPolicy::OriginalDd)
+        ));
+        assert!(matches!(
+            parse_policy("identical"),
+            Ok(WeightPolicy::Identical)
+        ));
+        assert!(
+            matches!(parse_policy("alpha:0.3"), Ok(WeightPolicy::AlphaHack { alpha }) if alpha == 0.3)
+        );
+        assert!(
+            matches!(parse_policy("constraint:0.5"), Ok(WeightPolicy::SumConstraint { beta }) if beta == 0.5)
+        );
+        assert!(parse_policy("nonsense").is_err());
+        assert!(parse_policy("alpha:x").is_err());
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let options = ServeOptions::default();
+        assert!(options.workers >= 1);
+        assert!(options.queue_depth >= options.workers);
+        assert!(options.max_body >= 1024 * 1024);
+        assert!(!options.debug_endpoints);
+    }
+}

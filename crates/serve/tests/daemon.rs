@@ -1,0 +1,444 @@
+//! End-to-end tests of the `milrd` daemon: a real subprocess (via
+//! `CARGO_BIN_EXE_milrd`) on an ephemeral port, driven over real
+//! sockets.
+//!
+//! The flagship assertion is *bit-identity*: rankings served over the
+//! wire must equal an in-process [`QuerySession`] on the same snapshot
+//! exactly — distances compared with `f64` equality, not tolerance —
+//! which holds because training is deterministic and the JSON codec
+//! prints `f64` with shortest-round-trip formatting.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use milr_core::{QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr_mil::Bag;
+use milr_serve::{client, Json};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Deterministic clustered test database: `images` bags of 3 instances,
+/// category `i % 4` centred at its own point so DD training separates
+/// them quickly.
+fn test_database(images: usize, dim: usize) -> RetrievalDatabase {
+    let mut state = 0x243F_6A88_85A3_08D3_u64;
+    let mut noise = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u32 << 24) as f32 // in [0, 1)
+    };
+    let mut bags = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..images {
+        let category = i % 4;
+        let instances: Vec<Vec<f32>> = (0..3)
+            .map(|_| {
+                (0..dim)
+                    .map(|d| {
+                        let centre = if d % 4 == category { 2.0 } else { 0.0 };
+                        centre + 0.3 * noise()
+                    })
+                    .collect()
+            })
+            .collect();
+        bags.push(Bag::new(instances).expect("non-empty instances"));
+        labels.push(category);
+    }
+    RetrievalDatabase::from_bags(bags, labels).expect("valid test database")
+}
+
+/// Writes the shared test snapshot (once per test binary run) and
+/// returns its path.
+fn snapshot_path(name: &str, images: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join("milrd_daemon_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{name}_{}.milr", std::process::id()));
+    milr_core::storage::save_database(&test_database(images, 16), &path)
+        .expect("save test snapshot");
+    path
+}
+
+/// A running `milrd` subprocess, killed on drop.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns `milrd --snapshot <snapshot> --addr 127.0.0.1:0 <extra>`
+    /// and parses the bound address from its first stdout line.
+    fn spawn(snapshot: &PathBuf, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_milrd"))
+            .arg("--snapshot")
+            .arg(snapshot)
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn milrd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read milrd banner");
+        // "milrd listening on 127.0.0.1:PORT (...)"
+        let addr = line
+            .split_whitespace()
+            .nth(3)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"));
+        Daemon { child, addr }
+    }
+
+    fn get(&self, target: &str) -> client::Response {
+        client::get(self.addr, target, TIMEOUT).expect("GET")
+    }
+
+    fn post(&self, target: &str, body: &str) -> client::Response {
+        client::request(self.addr, "POST", target, Some(body.as_bytes()), TIMEOUT).expect("POST")
+    }
+
+    /// Asks for a graceful drain and waits (bounded) for process exit.
+    fn drain(mut self) {
+        let response = self.post("/admin/shutdown", "");
+        assert_eq!(response.status, 200);
+        let deadline = Instant::now() + TIMEOUT;
+        loop {
+            if self.child.try_wait().expect("try_wait").is_some() {
+                return;
+            }
+            assert!(Instant::now() < deadline, "milrd did not drain in time");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Extracts `(index, distance)` pairs from a response's `ranking` field.
+fn ranking_of(json: &Json) -> Vec<(usize, f64)> {
+    json.get("ranking")
+        .and_then(Json::as_array)
+        .expect("ranking array")
+        .iter()
+        .map(|row| {
+            (
+                row.get("index").and_then(Json::as_u64).expect("index") as usize,
+                row.get("distance")
+                    .and_then(Json::as_f64)
+                    .expect("distance"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn healthz_reports_the_snapshot() {
+    let snapshot = snapshot_path("health", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+    let response = daemon.get("/healthz");
+    assert_eq!(response.status, 200);
+    let json = response.json().unwrap();
+    assert_eq!(json.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(json.get("images").unwrap().as_u64(), Some(24));
+    assert_eq!(json.get("feature_dim").unwrap().as_u64(), Some(16));
+    daemon.drain();
+}
+
+#[test]
+fn multi_round_feedback_is_bit_identical_to_in_process() {
+    let snapshot = snapshot_path("bitident", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+
+    // In-process reference: same snapshot file, same defaults as the
+    // daemon (single-threaded — results are thread-count-invariant).
+    let mut db = milr_core::storage::load_database(&snapshot).unwrap();
+    db.set_threads(1);
+    let db = Arc::new(db);
+    let config = Arc::new(RetrievalConfig {
+        threads: 1,
+        ..RetrievalConfig::default()
+    });
+    let pool: Vec<usize> = (0..db.len()).collect();
+    let mut reference = QuerySession::from_examples(
+        Arc::clone(&db),
+        Arc::clone(&config),
+        vec![0, 4],
+        vec![1],
+        pool.clone(),
+    )
+    .unwrap();
+
+    // Round 1: create the session, ask for the first page.
+    let created = daemon.post("/sessions", r#"{"positives": [0, 4], "negatives": [1]}"#);
+    assert_eq!(created.status, 201, "{:?}", created.body);
+    let id = created.json().unwrap().get("id").unwrap().as_u64().unwrap();
+    let page1 = daemon.post(&format!("/sessions/{id}/feedback"), r#"{"k": 12}"#);
+    assert_eq!(page1.status, 200);
+    reference.train_round().unwrap();
+    let expected1 = reference.rank_pool_top_k(12).unwrap();
+    assert_eq!(
+        ranking_of(&page1.json().unwrap()),
+        expected1,
+        "round 1 must be bit-identical over the wire"
+    );
+
+    // Round 2: new marks on both sides, including a mind-change (index 4
+    // positive -> negative).
+    let page2 = daemon.post(
+        &format!("/sessions/{id}/feedback"),
+        r#"{"positives": [8], "negatives": [4, 2], "k": 12}"#,
+    );
+    assert_eq!(page2.status, 200);
+    reference.add_positives(&[8]).unwrap();
+    reference.add_negatives(&[4, 2]).unwrap();
+    reference.train_round().unwrap();
+    let expected2 = reference.rank_pool_top_k(12).unwrap();
+    let json2 = page2.json().unwrap();
+    assert_eq!(json2.get("round").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        ranking_of(&json2),
+        expected2,
+        "round 2 must be bit-identical over the wire"
+    );
+
+    // Stateless /rank agrees with the same machinery.
+    let rank = daemon.get("/rank?positives=0,4&negatives=1&k=12");
+    assert_eq!(rank.status, 200);
+    let via_db = db
+        .rank_top_k(
+            QuerySession::from_examples(
+                Arc::clone(&db),
+                Arc::clone(&config),
+                vec![0, 4],
+                vec![1],
+                Vec::new(),
+            )
+            .map(|mut s| {
+                s.train_round().unwrap();
+                s.shared_concept().unwrap()
+            })
+            .unwrap()
+            .as_ref(),
+            &pool,
+            12,
+        )
+        .unwrap();
+    assert_eq!(ranking_of(&rank.json().unwrap()), via_db);
+
+    daemon.drain();
+}
+
+#[test]
+fn concurrent_rank_requests_all_succeed_and_hit_the_cache() {
+    let snapshot = snapshot_path("concurrent", 32);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+
+    // Warm the cache so the concurrent wave measures the hit path.
+    let warm = daemon.get("/rank?positives=0,4&negatives=1&k=8");
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.json().unwrap().get("cache_hit").unwrap().as_bool(),
+        Some(false)
+    );
+
+    let addr = daemon.addr;
+    let clients: Vec<_> = (0..32)
+        .map(|_| {
+            std::thread::spawn(move || {
+                // Same sets, different order: the canonical cache key
+                // must make these identical.
+                client::get(addr, "/rank?positives=4,0&negatives=1&k=8", TIMEOUT)
+                    .expect("concurrent GET")
+            })
+        })
+        .collect();
+    let mut rankings = Vec::new();
+    for handle in clients {
+        let response = handle.join().expect("client thread");
+        assert_eq!(response.status, 200, "no drops below the shed threshold");
+        let json = response.json().unwrap();
+        assert_eq!(json.get("cache_hit").unwrap().as_bool(), Some(true));
+        rankings.push(ranking_of(&json));
+    }
+    assert!(rankings.windows(2).all(|w| w[0] == w[1]));
+
+    let metrics = daemon.get("/metrics").json().unwrap();
+    let cache = metrics.get("concept_cache").unwrap();
+    assert!(
+        cache.get("hits").unwrap().as_u64().unwrap() >= 32,
+        "metrics must show the concept-cache hits"
+    );
+    assert_eq!(metrics.get("shed_total").unwrap().as_u64(), Some(0));
+    daemon.drain();
+}
+
+#[test]
+fn overload_sheds_with_503_not_timeouts() {
+    let snapshot = snapshot_path("shed", 24);
+    let daemon = Daemon::spawn(
+        &snapshot,
+        &["--workers", "1", "--queue-depth", "2", "--debug-endpoints"],
+    );
+    let addr = daemon.addr;
+
+    // Pin the lone worker, then give it a moment to dequeue the sleeper.
+    let sleeper =
+        std::thread::spawn(move || client::get(addr, "/debug/sleep?ms=2000", TIMEOUT).unwrap());
+    std::thread::sleep(Duration::from_millis(300));
+
+    let flood: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(move || client::get(addr, "/healthz", TIMEOUT).unwrap()))
+        .collect();
+    let statuses: Vec<u16> = flood
+        .into_iter()
+        .map(|h| h.join().expect("flood thread").status)
+        .collect();
+    assert!(
+        statuses.iter().all(|&s| s == 200 || s == 503),
+        "only 200 or 503 allowed, got {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&503),
+        "queue depth 2 must shed some of 8 requests: {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&200),
+        "queued requests must still be served: {statuses:?}"
+    );
+    assert_eq!(sleeper.join().expect("sleeper").status, 200);
+
+    let metrics = daemon.get("/metrics").json().unwrap();
+    assert!(metrics.get("shed_total").unwrap().as_u64().unwrap() >= 1);
+    daemon.drain();
+}
+
+#[test]
+fn protocol_violations_get_4xx_never_a_hang() {
+    let snapshot = snapshot_path("protocol", 24);
+    let daemon = Daemon::spawn(&snapshot, &["--max-body", "512"]);
+
+    // Unknown route and method mismatch.
+    assert_eq!(daemon.get("/nosuch").status, 404);
+    assert_eq!(daemon.post("/healthz", "").status, 405);
+    assert_eq!(daemon.get("/sessions/notanumber").status, 404);
+    assert_eq!(daemon.get("/sessions/99").status, 404);
+
+    // Malformed JSON bodies.
+    assert_eq!(daemon.post("/sessions", "{not json").status, 400);
+    assert_eq!(
+        daemon.post("/sessions", r#"{"positives": "zero"}"#).status,
+        400
+    );
+    // Valid JSON, invalid arguments.
+    assert_eq!(
+        daemon.post("/sessions", r#"{"negatives": [1]}"#).status,
+        400
+    );
+    assert_eq!(
+        daemon.post("/sessions", r#"{"positives": [9999]}"#).status,
+        400
+    );
+    assert_eq!(
+        daemon.get("/rank?positives=0&policy=frobnicate").status,
+        400
+    );
+    assert_eq!(daemon.get("/rank?positives=abc").status, 400);
+    assert_eq!(daemon.get("/rank?positives=").status, 400);
+
+    // Declared body above the --max-body limit.
+    let oversized = daemon.post("/sessions", &format!("{{\"x\": \"{}\"}}", "y".repeat(2048)));
+    assert_eq!(oversized.status, 413);
+
+    // Raw garbage instead of HTTP.
+    let mut stream = TcpStream::connect(daemon.addr).unwrap();
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    assert!(
+        String::from_utf8_lossy(&raw).starts_with("HTTP/1.1 400"),
+        "garbage must get 400, got {:?}",
+        String::from_utf8_lossy(&raw)
+    );
+
+    // Truncated request: half a head, then EOF on the write side.
+    let mut stream = TcpStream::connect(daemon.addr).unwrap();
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHost:").unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    assert!(
+        String::from_utf8_lossy(&raw).starts_with("HTTP/1.1 400"),
+        "truncated head must get 400, got {:?}",
+        String::from_utf8_lossy(&raw)
+    );
+
+    // The daemon survived all of it.
+    assert_eq!(daemon.get("/healthz").status, 200);
+    daemon.drain();
+}
+
+#[test]
+fn sessions_expire_after_their_ttl() {
+    let snapshot = snapshot_path("ttl", 24);
+    let daemon = Daemon::spawn(&snapshot, &["--session-ttl-s", "1"]);
+    let created = daemon.post("/sessions", r#"{"positives": [0]}"#);
+    assert_eq!(created.status, 201);
+    let id = created.json().unwrap().get("id").unwrap().as_u64().unwrap();
+    assert_eq!(daemon.get(&format!("/sessions/{id}")).status, 200);
+    std::thread::sleep(Duration::from_millis(1600));
+    assert_eq!(
+        daemon.get(&format!("/sessions/{id}")).status,
+        404,
+        "session must expire after its TTL"
+    );
+    let metrics = daemon.get("/metrics").json().unwrap();
+    let sessions = metrics.get("sessions").unwrap();
+    assert_eq!(sessions.get("expired_total").unwrap().as_u64(), Some(1));
+    daemon.drain();
+}
+
+#[test]
+fn session_crud_works_over_the_wire() {
+    let snapshot = snapshot_path("crud", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+    let created = daemon.post("/sessions", r#"{"positives": [0, 4], "negatives": [1]}"#);
+    assert_eq!(created.status, 201);
+    let id = created.json().unwrap().get("id").unwrap().as_u64().unwrap();
+
+    let info = daemon.get(&format!("/sessions/{id}")).json().unwrap();
+    let positives: Vec<u64> = info
+        .get("positives")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_u64)
+        .collect();
+    assert_eq!(positives, vec![0, 4]);
+    assert_eq!(info.get("rounds_run").unwrap().as_u64(), Some(0));
+
+    let deleted = client::request(
+        daemon.addr,
+        "DELETE",
+        &format!("/sessions/{id}"),
+        None,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(deleted.status, 200);
+    assert_eq!(daemon.get(&format!("/sessions/{id}")).status, 404);
+    daemon.drain();
+}

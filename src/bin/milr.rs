@@ -3,6 +3,9 @@
 //!
 //! ```text
 //! milr generate --kind scenes --out ./scenes --per-category 20 --seed 1
+//! milr preprocess --kind scenes --out db.milr --per-category 20 --seed 1
+//! milr snapshot --in db.milr
+//! milr serve    --snapshot db.milr --addr 127.0.0.1:7878 --workers 4
 //! milr query    --kind scenes --category waterfall --policy constraint:0.5
 //! milr query-files --kind scenes --positive my_fall1.pgm,my_fall2.pgm
 //! milr inspect  --image photo.pgm --resolution 10
@@ -21,6 +24,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
+        Some("preprocess") => cmd_preprocess(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("query-files") => cmd_query_files(&args[1..]),
         Some("montage") => cmd_montage(&args[1..]),
@@ -45,9 +51,14 @@ fn print_usage() {
     eprintln!(
         "usage:\n  \
          milr generate --kind scenes|objects --out DIR [--per-category N] [--seed N]\n  \
+         milr preprocess --kind scenes|objects --out DB.milr [--per-category N]\n                \
+         [--seed N] [--fast]\n  \
+         milr snapshot --in DB.milr\n  \
+         milr serve    --snapshot DB.milr [--addr HOST:PORT] [--workers N]\n                \
+         [--queue-depth N] [--cache-capacity N] [--page K] [--policy POLICY]\n  \
          milr query    --kind scenes|objects --category NAME [--policy POLICY]\n                \
          [--per-category N] [--seed N] [--rounds N] [--fast]\n                \
-         [--dump-concept DIR] [--html FILE.html]\n  \
+         [--snapshot DB.milr] [--dump-concept DIR] [--html FILE.html]\n  \
          milr query-files --kind scenes|objects --positive F.pgm[,G.pgm...]\n                \
          [--negative F.pgm,...] [--policy POLICY] [--per-category N] [--seed N]\n  \
          milr montage  --kind scenes|objects --out FILE.ppm [--per-category N] [--seed N]\n  \
@@ -144,6 +155,117 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--fast` smoke-run settings shared by `query` and `preprocess`:
+/// 5x5 features over the 9-region layout, short solver budget, fewer
+/// examples. A snapshot written with `--fast` must be queried with
+/// `--fast` (feature dimensions must agree).
+fn apply_fast(config: &mut RetrievalConfig) {
+    config.resolution = 5;
+    config.layout = milr::imgproc::RegionLayout::Small;
+    config.max_iterations = 30;
+    config.initial_positives = 3;
+    config.initial_negatives = 3;
+}
+
+/// Preprocesses a synthetic database into bags (§3.5 steps 1-5) and
+/// saves the result as a `.milr` snapshot — the input format of
+/// `milr serve` / `milrd`, and a shortcut for repeated `query` runs.
+fn cmd_preprocess(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("--kind is required")?;
+    let out = flag(args, "--out").ok_or("--out is required")?;
+    let per_category = flag(args, "--per-category").map(|s| s.parse().unwrap_or(20));
+    let seed = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut config = RetrievalConfig::default();
+    if args.iter().any(|a| a == "--fast") {
+        apply_fast(&mut config);
+    }
+    let db = Db::build(&kind, per_category.or(Some(20)), seed)?;
+    let images = db.images();
+    eprintln!("preprocessing {} images ...", images.len());
+    let retrieval = RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
+        .map_err(|e| e.to_string())?;
+    milr::core::storage::save_database(&retrieval, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote snapshot {out} ({} images, {} categories, dim {})",
+        retrieval.len(),
+        retrieval.category_count(),
+        retrieval.feature_dim()
+    );
+    Ok(())
+}
+
+/// Prints a summary of a `.milr` snapshot (a load-and-verify round
+/// trip).
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--in").ok_or("--in is required")?;
+    let retrieval = milr::core::storage::load_database(&path).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&path).map_err(|e| e.to_string())?.len();
+    let instances: usize = (0..retrieval.len())
+        .map(|i| retrieval.bag(i).map(|b| b.len()).unwrap_or(0))
+        .sum();
+    println!(
+        "{path}: {} images, {} categories, dim {}, {instances} instances, {bytes} bytes",
+        retrieval.len(),
+        retrieval.category_count(),
+        retrieval.feature_dim()
+    );
+    Ok(())
+}
+
+/// Runs the retrieval daemon over a snapshot (the in-CLI equivalent of
+/// the standalone `milrd` binary).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let snapshot = flag(args, "--snapshot").ok_or("--snapshot is required")?;
+    let mut options = milr::serve::ServeOptions::default();
+    if let Some(addr) = flag(args, "--addr") {
+        options.addr = addr;
+    }
+    if let Some(text) = flag(args, "--workers") {
+        options.workers = text
+            .parse()
+            .map_err(|_| format!("invalid --workers {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--queue-depth") {
+        options.queue_depth = text
+            .parse()
+            .map_err(|_| format!("invalid --queue-depth {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--cache-capacity") {
+        options.cache_capacity = text
+            .parse()
+            .map_err(|_| format!("invalid --cache-capacity {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--page") {
+        options.default_page = text
+            .parse()
+            .map_err(|_| format!("invalid --page {text:?}"))?;
+    }
+    if let Some(spec) = flag(args, "--policy") {
+        options.retrieval.policy = parse_policy(&spec)?;
+    }
+    // Parallelism is across requests, not within them.
+    options.retrieval.threads = 1;
+    let mut retrieval = milr::core::storage::load_database(&snapshot).map_err(|e| e.to_string())?;
+    retrieval.set_threads(1);
+    let (images, categories, dim) = (
+        retrieval.len(),
+        retrieval.category_count(),
+        retrieval.feature_dim(),
+    );
+    let server = milr::serve::Server::start(retrieval, options)?;
+    println!(
+        "milrd listening on {} ({images} images, {categories} categories, dim {dim})",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.wait();
+    println!("milrd drained");
+    Ok(())
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let kind = flag(args, "--kind").ok_or("--kind is required")?;
     let category = flag(args, "--category").ok_or("--category is required")?;
@@ -175,17 +297,28 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         ..RetrievalConfig::default()
     };
     if fast {
-        // Reduced settings for smoke runs: 5x5 features over the
-        // 9-region layout, short solver budget, fewer examples.
-        config.resolution = 5;
-        config.layout = milr::imgproc::RegionLayout::Small;
-        config.max_iterations = 30;
-        config.initial_positives = 3;
-        config.initial_negatives = 3;
+        apply_fast(&mut config);
     }
-    eprintln!("preprocessing {} images ...", images.len());
-    let retrieval = RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
-        .map_err(|e| e.to_string())?;
+    let retrieval = match flag(args, "--snapshot") {
+        Some(path) => {
+            eprintln!("loading snapshot {path} ...");
+            let retrieval = milr::core::storage::load_database(&path).map_err(|e| e.to_string())?;
+            if retrieval.len() != images.len() {
+                return Err(format!(
+                    "snapshot {path} holds {} images but --kind/--per-category/--seed \
+                     describe {} — rebuild it with `milr preprocess`",
+                    retrieval.len(),
+                    images.len()
+                ));
+            }
+            retrieval
+        }
+        None => {
+            eprintln!("preprocessing {} images ...", images.len());
+            RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
+                .map_err(|e| e.to_string())?
+        }
+    };
     let split = images.split(0.2, seed.wrapping_add(1));
     let mut session = QuerySession::new(&retrieval, &config, target, split.pool, split.test)
         .map_err(|e| e.to_string())?;

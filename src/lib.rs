@@ -47,6 +47,7 @@ pub use milr_core as core;
 pub use milr_imgproc as imgproc;
 pub use milr_mil as mil;
 pub use milr_optim as optim;
+pub use milr_serve as serve;
 pub use milr_synth as synth;
 
 /// Commonly-used types from across the workspace.
