@@ -288,6 +288,18 @@ impl<'a> QuerySession<'a> {
     ///   external) exists yet.
     /// * Propagates training failures.
     pub fn train_round(&mut self) -> Result<(), CoreError> {
+        self.train_round_traced().map(|_| ())
+    }
+
+    /// [`Self::train_round`] that also hands back the full
+    /// [`milr_mil::TrainResult`] — per-start objective values, evaluation
+    /// counts, and the winning start index. This is the trace hook golden
+    /// regression recorders use to pin down the whole training
+    /// trajectory, not just the resulting concept.
+    ///
+    /// # Errors
+    /// Same as [`Self::train_round`].
+    pub fn train_round_traced(&mut self) -> Result<milr_mil::TrainResult, CoreError> {
         if self.positives.is_empty() && self.external_positives.is_empty() {
             return Err(CoreError::NoExamples);
         }
@@ -306,9 +318,9 @@ impl<'a> QuerySession<'a> {
         }
         let result = train(&dataset, &self.config.train_options())?;
         self.nldd = result.nldd;
-        self.concept = Some(Arc::new(result.concept));
+        self.concept = Some(Arc::new(result.concept.clone()));
         self.rounds_run += 1;
-        Ok(())
+        Ok(result)
     }
 
     /// Ranks the pool with the current concept.
@@ -924,6 +936,23 @@ mod tests {
             restored.install_concept(alien, 0.0),
             Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
         ));
+    }
+
+    #[test]
+    fn traced_round_exposes_training_trajectory() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let mut session =
+            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        let result = session.train_round_traced().unwrap();
+        assert_eq!(result.start_values.len(), result.starts);
+        assert_eq!(result.start_evaluations.len(), result.starts);
+        assert_eq!(result.start_values[result.best_start], result.nldd);
+        // The traced round updates session state exactly like train_round.
+        assert_eq!(session.nldd(), result.nldd);
+        assert_eq!(session.concept(), Some(&result.concept));
+        assert_eq!(session.rounds_run(), 1);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //!
 //! The format is intentionally simple and self-contained — no serde — so
 //! corrupted or truncated files fail loudly with a useful message.
+//!
+//! Format version 2 appends a trailing FNV-1a checksum over every byte
+//! before it, so a single flipped bit anywhere in the float payload —
+//! which version 1 could not detect — surfaces as [`CoreError::Storage`]
+//! instead of a silently wrong database. All file access goes through the
+//! [`StorageIo`] seam (default: [`OsFs`], a plain `std::fs` passthrough),
+//! which is how the test kit injects torn writes, short reads, and bit
+//! flips without touching a real disk fault.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -19,9 +27,64 @@ use crate::database::RetrievalDatabase;
 use crate::error::CoreError;
 
 const MAGIC: &[u8; 4] = b"MILR";
-const DB_VERSION: u32 = 1;
+const DB_VERSION: u32 = 2;
 const DB_KIND: u8 = 1;
 const CONCEPT_KIND: u8 = 2;
+
+/// FNV-1a 64-bit offset basis / prime — the same tiny, dependency-free
+/// hash the vendored proptest uses for seed derivation.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a state.
+fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit digest of `bytes` — the trailing checksum version-2
+/// files carry. Public so tests (and the test kit) can craft valid files
+/// by hand.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// The file-I/O seam every storage function goes through.
+///
+/// Production code uses [`OsFs`]; the test kit substitutes fault-injecting
+/// implementations (torn writes, short reads, bit flips) to prove that
+/// every corruption mode surfaces as [`CoreError::Storage`] — never a
+/// panic, never a silently wrong database.
+pub trait StorageIo {
+    /// Opens `path` for reading.
+    ///
+    /// # Errors
+    /// Any I/O failure opening the file.
+    fn reader(&self, path: &Path) -> std::io::Result<Box<dyn Read>>;
+
+    /// Creates (truncating) `path` for writing.
+    ///
+    /// # Errors
+    /// Any I/O failure creating the file.
+    fn writer(&self, path: &Path) -> std::io::Result<Box<dyn Write>>;
+}
+
+/// The default [`StorageIo`]: a plain passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsFs;
+
+impl StorageIo for OsFs {
+    fn reader(&self, path: &Path) -> std::io::Result<Box<dyn Read>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
+
+    fn writer(&self, path: &Path) -> std::io::Result<Box<dyn Write>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+}
 
 /// Builds the dedicated storage error, pinning the offending file.
 fn storage_err(path: &Path, reason: impl Into<String>) -> CoreError {
@@ -33,12 +96,23 @@ fn storage_err(path: &Path, reason: impl Into<String>) -> CoreError {
 
 /// A stream plus the path it came from, so every failure — I/O or format
 /// violation alike — surfaces as [`CoreError::Storage`] naming the file.
+/// Every byte passing through updates a running FNV-1a state backing the
+/// version-2 trailing checksum.
 struct Stream<'p, S> {
     inner: S,
     path: &'p Path,
+    hash: u64,
 }
 
-impl<S> Stream<'_, S> {
+impl<'p, S> Stream<'p, S> {
+    fn new(inner: S, path: &'p Path) -> Self {
+        Self {
+            inner,
+            path,
+            hash: FNV_OFFSET,
+        }
+    }
+
     /// A format violation at this file.
     fn fail(&self, reason: impl Into<String>) -> CoreError {
         storage_err(self.path, reason)
@@ -49,7 +123,9 @@ impl<R: Read> Stream<'_, R> {
     fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), CoreError> {
         self.inner
             .read_exact(buf)
-            .map_err(|e| storage_err(self.path, e.to_string()))
+            .map_err(|e| storage_err(self.path, e.to_string()))?;
+        self.hash = fnv1a_extend(self.hash, buf);
+        Ok(())
     }
 
     fn read_u32(&mut self) -> Result<u32, CoreError> {
@@ -86,13 +162,33 @@ impl<R: Read> Stream<'_, R> {
         }
         Ok(())
     }
+
+    /// Reads the trailing checksum (raw, not folded into the hash) and
+    /// compares it against everything read so far. Call exactly once,
+    /// after the whole payload.
+    fn verify_checksum(&mut self) -> Result<(), CoreError> {
+        let expected = self.hash;
+        let mut b = [0u8; 8];
+        self.inner
+            .read_exact(&mut b)
+            .map_err(|e| storage_err(self.path, format!("missing checksum: {e}")))?;
+        let stored = u64::from_le_bytes(b);
+        if stored != expected {
+            return Err(self.fail(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {expected:#018x}) — file is corrupt"
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl<W: Write> Stream<'_, W> {
     fn write_all(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
         self.inner
             .write_all(bytes)
-            .map_err(|e| storage_err(self.path, e.to_string()))
+            .map_err(|e| storage_err(self.path, e.to_string()))?;
+        self.hash = fnv1a_extend(self.hash, bytes);
+        Ok(())
     }
 
     fn write_u32(&mut self, v: u32) -> Result<(), CoreError> {
@@ -109,24 +205,40 @@ impl<W: Write> Stream<'_, W> {
         self.write_all(&[kind])
     }
 
-    fn flush(&mut self) -> Result<(), CoreError> {
+    /// Writes the trailing checksum (raw — the checksum does not hash
+    /// itself) and flushes. Call exactly once, after the whole payload.
+    fn finish(&mut self) -> Result<(), CoreError> {
+        let digest = self.hash.to_le_bytes();
+        self.inner
+            .write_all(&digest)
+            .map_err(|e| storage_err(self.path, e.to_string()))?;
         self.inner
             .flush()
             .map_err(|e| storage_err(self.path, e.to_string()))
     }
 }
 
-/// Writes a preprocessed database to `path`.
+/// Writes a preprocessed database to `path` via the default [`OsFs`].
 ///
 /// # Errors
 /// [`CoreError::Storage`] naming the file on any I/O failure.
 pub fn save_database<P: AsRef<Path>>(db: &RetrievalDatabase, path: P) -> Result<(), CoreError> {
-    let path = path.as_ref();
-    let file = std::fs::File::create(path).map_err(|e| storage_err(path, e.to_string()))?;
-    let mut w = Stream {
-        inner: BufWriter::new(file),
-        path,
-    };
+    save_database_with(&OsFs, db, path.as_ref())
+}
+
+/// [`save_database`] over an explicit [`StorageIo`].
+///
+/// # Errors
+/// [`CoreError::Storage`] naming the file on any I/O failure.
+pub fn save_database_with(
+    fs: &dyn StorageIo,
+    db: &RetrievalDatabase,
+    path: &Path,
+) -> Result<(), CoreError> {
+    let file = fs
+        .writer(path)
+        .map_err(|e| storage_err(path, e.to_string()))?;
+    let mut w = Stream::new(BufWriter::new(file), path);
     w.write_header(DB_KIND)?;
     w.write_u64(db.len() as u64)?;
     w.write_u64(db.feature_dim() as u64)?;
@@ -141,21 +253,27 @@ pub fn save_database<P: AsRef<Path>>(db: &RetrievalDatabase, path: P) -> Result<
             }
         }
     }
-    w.flush()
+    w.finish()
 }
 
 /// Reads a preprocessed database written by [`save_database`].
 ///
 /// # Errors
 /// Fails with a descriptive error on wrong magic/version/kind, truncated
-/// data, or internally inconsistent counts.
+/// data, checksum mismatches, or internally inconsistent counts.
 pub fn load_database<P: AsRef<Path>>(path: P) -> Result<RetrievalDatabase, CoreError> {
-    let path = path.as_ref();
-    let file = std::fs::File::open(path).map_err(|e| storage_err(path, e.to_string()))?;
-    let mut r = Stream {
-        inner: BufReader::new(file),
-        path,
-    };
+    load_database_with(&OsFs, path.as_ref())
+}
+
+/// [`load_database`] over an explicit [`StorageIo`].
+///
+/// # Errors
+/// Same failure modes as [`load_database`].
+pub fn load_database_with(fs: &dyn StorageIo, path: &Path) -> Result<RetrievalDatabase, CoreError> {
+    let file = fs
+        .reader(path)
+        .map_err(|e| storage_err(path, e.to_string()))?;
+    let mut r = Stream::new(BufReader::new(file), path);
     r.read_header(DB_KIND)?;
     let count = r.read_u64()? as usize;
     let dim = r.read_u64()? as usize;
@@ -187,20 +305,31 @@ pub fn load_database<P: AsRef<Path>>(path: P) -> Result<RetrievalDatabase, CoreE
         bags.push(Bag::new(instances).map_err(CoreError::from)?);
         labels.push(label);
     }
+    r.verify_checksum()?;
     RetrievalDatabase::from_bags(bags, labels)
 }
 
-/// Writes a trained concept to `path`.
+/// Writes a trained concept to `path` via the default [`OsFs`].
 ///
 /// # Errors
 /// [`CoreError::Storage`] naming the file on any I/O failure.
 pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), CoreError> {
-    let path = path.as_ref();
-    let file = std::fs::File::create(path).map_err(|e| storage_err(path, e.to_string()))?;
-    let mut w = Stream {
-        inner: BufWriter::new(file),
-        path,
-    };
+    save_concept_with(&OsFs, concept, path.as_ref())
+}
+
+/// [`save_concept`] over an explicit [`StorageIo`].
+///
+/// # Errors
+/// [`CoreError::Storage`] naming the file on any I/O failure.
+pub fn save_concept_with(
+    fs: &dyn StorageIo,
+    concept: &Concept,
+    path: &Path,
+) -> Result<(), CoreError> {
+    let file = fs
+        .writer(path)
+        .map_err(|e| storage_err(path, e.to_string()))?;
+    let mut w = Stream::new(BufWriter::new(file), path);
     w.write_header(CONCEPT_KIND)?;
     w.write_u64(concept.dim() as u64)?;
     for &v in concept.point() {
@@ -209,7 +338,7 @@ pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), Co
     for &v in concept.weights() {
         w.write_all(&v.to_le_bytes())?;
     }
-    w.flush()
+    w.finish()
 }
 
 /// Reads a concept written by [`save_concept`].
@@ -217,12 +346,18 @@ pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), Co
 /// # Errors
 /// Same failure modes as [`load_database`].
 pub fn load_concept<P: AsRef<Path>>(path: P) -> Result<Concept, CoreError> {
-    let path = path.as_ref();
-    let file = std::fs::File::open(path).map_err(|e| storage_err(path, e.to_string()))?;
-    let mut r = Stream {
-        inner: BufReader::new(file),
-        path,
-    };
+    load_concept_with(&OsFs, path.as_ref())
+}
+
+/// [`load_concept`] over an explicit [`StorageIo`].
+///
+/// # Errors
+/// Same failure modes as [`load_database`].
+pub fn load_concept_with(fs: &dyn StorageIo, path: &Path) -> Result<Concept, CoreError> {
+    let file = fs
+        .reader(path)
+        .map_err(|e| storage_err(path, e.to_string()))?;
+    let mut r = Stream::new(BufReader::new(file), path);
     r.read_header(CONCEPT_KIND)?;
     let dim = r.read_u64()? as usize;
     if dim == 0 || dim > 100_000_000 {
@@ -238,6 +373,7 @@ pub fn load_concept<P: AsRef<Path>>(path: P) -> Result<Concept, CoreError> {
     }
     let point = read_f64s(&mut r, dim)?;
     let weights = read_f64s(&mut r, dim)?;
+    r.verify_checksum()?;
     if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
         return Err(r.fail("concept weights must be finite and non-negative"));
     }
@@ -370,7 +506,8 @@ mod tests {
 
     #[test]
     fn negative_weights_in_concept_file_rejected() {
-        // Hand-craft a concept payload with a negative weight.
+        // Hand-craft a (checksum-valid) concept payload with a negative
+        // weight.
         let path = temp_path("negative_weight.milr");
         let mut bytes = Vec::new();
         bytes.extend_from_slice(MAGIC);
@@ -379,10 +516,121 @@ mod tests {
         bytes.extend_from_slice(&1u64.to_le_bytes());
         bytes.extend_from_slice(&1.0f64.to_le_bytes()); // point
         bytes.extend_from_slice(&(-1.0f64).to_le_bytes()); // weight
+        let digest = fnv1a(&bytes);
+        bytes.extend_from_slice(&digest.to_le_bytes());
         std::fs::write(&path, bytes).unwrap();
         let err = load_concept(&path).unwrap_err();
         assert_storage_err(err, "negative_weight.milr", "non-negative");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_bit_rejected_by_checksum() {
+        // Version 1 could not detect a bit flip inside the float payload;
+        // the version-2 trailing checksum must.
+        let db = sample_db();
+        let path = temp_path("bit_flip.milr");
+        save_database(&db, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit inside the first bag's float payload (header 9 +
+        // count/dim 16 + label/instance-count 16 = offset 41): a flipped
+        // feature value is structurally valid, only the checksum sees it.
+        bytes[41] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_database(&path).unwrap_err();
+        assert_storage_err(err, "bit_flip.milr", "checksum");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn flipped_checksum_bit_rejected() {
+        let concept = Concept::new(vec![1.5], vec![0.5]);
+        let path = temp_path("flipped_checksum.milr");
+        save_concept(&concept, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_concept(&path).unwrap_err();
+        assert_storage_err(err, "flipped_checksum.milr", "checksum");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_checksum_rejected() {
+        // A structurally complete payload with the trailing checksum torn
+        // off (classic torn write at the tail).
+        let db = sample_db();
+        let path = temp_path("torn_tail.milr");
+        save_database(&db, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        let err = load_database(&path).unwrap_err();
+        assert_storage_err(err, "torn_tail.milr", "checksum");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn storage_io_seam_is_substitutable() {
+        // A StorageIo that routes "paths" into in-memory buffers: proof
+        // the seam carries the whole round trip without touching a disk.
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct MemFs {
+            files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+        }
+
+        struct MemWriter {
+            files: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+            key: String,
+            buf: Vec<u8>,
+        }
+        impl Write for MemWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.buf.extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.files
+                    .lock()
+                    .unwrap()
+                    .insert(self.key.clone(), self.buf.clone());
+                Ok(())
+            }
+        }
+
+        impl StorageIo for MemFs {
+            fn reader(&self, path: &Path) -> std::io::Result<Box<dyn Read>> {
+                let key = path.display().to_string();
+                let files = self.files.lock().unwrap();
+                let bytes = files.get(&key).ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::NotFound, "no such file")
+                })?;
+                Ok(Box::new(std::io::Cursor::new(bytes.clone())))
+            }
+            fn writer(&self, path: &Path) -> std::io::Result<Box<dyn Write>> {
+                Ok(Box::new(MemWriter {
+                    files: Arc::clone(&self.files),
+                    key: path.display().to_string(),
+                    buf: Vec::new(),
+                }))
+            }
+        }
+
+        let fs = MemFs::default();
+        let db = sample_db();
+        let path = Path::new("mem://db.milr");
+        save_database_with(&fs, &db, path).unwrap();
+        let back = load_database_with(&fs, path).unwrap();
+        assert_eq!(back.labels(), db.labels());
+        for i in 0..db.len() {
+            assert_eq!(back.bag(i).unwrap(), db.bag(i).unwrap());
+        }
+        // Missing files still surface as Storage errors naming the path.
+        let err = load_concept_with(&fs, Path::new("mem://nope.milr")).unwrap_err();
+        assert_storage_err(err, "mem://nope.milr", "no such file");
     }
 
     #[test]

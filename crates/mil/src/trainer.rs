@@ -109,6 +109,10 @@ pub struct TrainResult {
     pub converged_starts: usize,
     /// Final objective value per start, in start order.
     pub start_values: Vec<f64>,
+    /// Index of the winning start (the argmin over `start_values`).
+    pub best_start: usize,
+    /// Objective evaluations spent per start, in start order.
+    pub start_evaluations: Vec<usize>,
 }
 
 /// Trains a Diverse Density concept on `dataset`.
@@ -226,6 +230,8 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
         starts: starts.len(),
         converged_starts: report.converged_count,
         start_values: report.values,
+        best_start: report.best_start,
+        start_evaluations: report.evaluations,
     })
 }
 
@@ -651,5 +657,11 @@ mod tests {
         let b = train(&ds, &opts).unwrap();
         assert_eq!(a.concept, b.concept);
         assert_eq!(a.start_values, b.start_values);
+        // The trace fields golden regressions pin down are equally
+        // deterministic: same winner, same per-start evaluation spend.
+        assert_eq!(a.best_start, b.best_start);
+        assert_eq!(a.start_evaluations, b.start_evaluations);
+        assert_eq!(a.start_evaluations.len(), a.starts);
+        assert_eq!(a.start_values[a.best_start], a.nldd);
     }
 }

@@ -20,6 +20,9 @@ pub struct MultistartReport {
     pub best_start: usize,
     /// Final objective value reached from each start, in start order.
     pub values: Vec<f64>,
+    /// Objective evaluations spent by each start, in start order — the
+    /// per-start cost profile golden regression traces pin down.
+    pub evaluations: Vec<usize>,
     /// Number of starts that reported convergence.
     pub converged_count: usize,
 }
@@ -47,6 +50,7 @@ where
 
 fn summarize(solutions: Vec<Solution>) -> MultistartReport {
     let values: Vec<f64> = solutions.iter().map(|s| s.value).collect();
+    let evaluations: Vec<usize> = solutions.iter().map(|s| s.evaluations).collect();
     let converged_count = solutions
         .iter()
         .filter(|s| s.termination.converged())
@@ -62,6 +66,7 @@ fn summarize(solutions: Vec<Solution>) -> MultistartReport {
         best,
         best_start,
         values,
+        evaluations,
         converged_count,
     }
 }

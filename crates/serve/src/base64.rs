@@ -36,8 +36,14 @@ pub fn encode(data: &[u8]) -> String {
 /// A description of the first invalid character or length violation.
 pub fn decode(text: &str) -> Result<Vec<u8>, String> {
     let trimmed = text.trim_end_matches('=');
-    if text.len() - trimmed.len() > 2 {
+    let padding = text.len() - trimmed.len();
+    if padding > 2 {
         return Err("too much padding".into());
+    }
+    // Padding only ever completes a 4-symbol group; "=", "Zg=" and
+    // friends are corrupt, not short.
+    if padding > 0 && !text.len().is_multiple_of(4) {
+        return Err("misplaced padding".into());
     }
     let mut out = Vec::with_capacity(trimmed.len() * 3 / 4);
     let mut acc = 0u32;
@@ -104,5 +110,7 @@ mod tests {
         assert!(decode("Z").is_err());
         assert!(decode("Zg===").is_err());
         assert!(decode("Zh==").is_err(), "trailing bits must be zero");
+        assert!(decode("=").is_err(), "bare padding is corrupt");
+        assert!(decode("Zg=").is_err(), "padding must complete a group");
     }
 }

@@ -65,11 +65,12 @@ pub enum ReadError {
     Malformed(String),
 }
 
-/// Reads one complete request from `stream`.
+/// Reads one complete request from `stream` (generic over [`Read`] so
+/// tests can inject fault schedules without a socket).
 ///
 /// # Errors
 /// [`ReadError`] for anything other than a complete well-formed request.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request, ReadError> {
     let mut head = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
     let head_end;
@@ -82,7 +83,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if head.len() >= MAX_HEAD {
             return Err(ReadError::HeadTooLarge);
         }
-        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        let n = read_retrying(stream, &mut chunk)?;
         if n == 0 {
             if head.is_empty() {
                 return Err(ReadError::Closed);
@@ -153,7 +154,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         ));
     }
     while request.body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        let n = read_retrying(stream, &mut chunk)?;
         if n == 0 {
             return Err(ReadError::Malformed("truncated request body".into()));
         }
@@ -172,6 +173,20 @@ fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
     buf.windows(4)
         .position(|w| w == b"\r\n\r\n")
         .map(|i| (i, i + 4))
+}
+
+/// One `read` that retries `EINTR`. A signal landing mid-header used to
+/// surface as `Malformed` (the connection was torn down as if the peer
+/// had sent garbage); `Interrupted` is transient by contract and must
+/// simply be retried.
+fn read_retrying<S: Read>(stream: &mut S, buf: &mut [u8]) -> Result<usize, ReadError> {
+    loop {
+        match stream.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(classify_io(e)),
+        }
+    }
 }
 
 fn classify_io(e: std::io::Error) -> ReadError {
@@ -312,6 +327,51 @@ mod tests {
             let err = parse(raw, 1024).unwrap_err();
             assert!(matches!(err, ReadError::Malformed(_)), "{raw:?} -> {err:?}");
         }
+    }
+
+    /// A reader that yields one byte per call and raises
+    /// `ErrorKind::Interrupted` before every byte — the worst-case EINTR
+    /// storm over a slow-loris trickle.
+    struct InterruptedTrickle {
+        data: Vec<u8>,
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for InterruptedTrickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "signal",
+                ));
+            }
+            self.interrupt_next = true;
+            match self.data.get(self.pos) {
+                Some(&b) => {
+                    buf[0] = b;
+                    self.pos += 1;
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_fatal() {
+        // Regression: EINTR mid-header (or mid-body) used to map to
+        // ReadError::Malformed, killing the connection.
+        let mut stream = InterruptedTrickle {
+            data: b"POST /sessions HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec(),
+            pos: 0,
+            interrupt_next: true,
+        };
+        let req = read_request(&mut stream, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.body, b"hello");
     }
 
     #[test]

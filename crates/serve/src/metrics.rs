@@ -105,9 +105,30 @@ struct EndpointStats {
 }
 
 /// Daemon-wide metrics registry.
+///
+/// The connection counters satisfy a conservation law the chaos suite
+/// checks after quiescence: every connection admitted to the queue is
+/// accounted for exactly once, so
+///
+/// ```text
+/// accepted_total == completed_total + read_error_total
+///                   + closed_total + deadline_shed_total
+/// ```
+///
+/// (`shed_total` counts connections refused *before* admission and sits
+/// outside the identity.)
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
+    /// Connections admitted to the accept queue.
+    pub accepted_total: AtomicU64,
+    /// Admitted connections that were read, routed, and answered.
+    pub completed_total: AtomicU64,
+    /// Admitted connections whose request could not be read (malformed,
+    /// timed out, oversized) — each still receives an HTTP error status.
+    pub read_error_total: AtomicU64,
+    /// Admitted connections the peer closed before sending any bytes.
+    pub closed_total: AtomicU64,
     /// Connections refused with `503` because the accept queue was full.
     pub shed_total: AtomicU64,
     /// Requests refused with `503` because they overstayed the handle
@@ -137,6 +158,18 @@ impl Metrics {
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth, Ordering::Relaxed);
         self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Whether the connection conservation law holds right now (it is
+    /// only guaranteed at quiescence — in-flight connections have been
+    /// accepted but not yet resolved).
+    pub fn connections_balanced(&self) -> bool {
+        let accepted = self.accepted_total.load(Ordering::Relaxed);
+        let resolved = self.completed_total.load(Ordering::Relaxed)
+            + self.read_error_total.load(Ordering::Relaxed)
+            + self.closed_total.load(Ordering::Relaxed)
+            + self.deadline_shed_total.load(Ordering::Relaxed);
+        accepted == resolved
     }
 
     /// Total requests recorded across all endpoints.
@@ -205,6 +238,22 @@ mod tests {
         assert_eq!(rank.get("status_2xx").unwrap().as_u64(), Some(1));
         assert_eq!(rank.get("status_4xx").unwrap().as_u64(), Some(1));
         assert_eq!(rank.get("status_5xx").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn connection_conservation_law() {
+        let m = Metrics::default();
+        assert!(m.connections_balanced(), "empty registry balances");
+        m.accepted_total.fetch_add(5, Ordering::Relaxed);
+        assert!(!m.connections_balanced(), "in-flight connections imbalance");
+        m.completed_total.fetch_add(2, Ordering::Relaxed);
+        m.read_error_total.fetch_add(1, Ordering::Relaxed);
+        m.closed_total.fetch_add(1, Ordering::Relaxed);
+        m.deadline_shed_total.fetch_add(1, Ordering::Relaxed);
+        assert!(m.connections_balanced(), "every outcome counted once");
+        // Pre-admission sheds sit outside the identity.
+        m.shed_total.fetch_add(10, Ordering::Relaxed);
+        assert!(m.connections_balanced());
     }
 
     #[test]

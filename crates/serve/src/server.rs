@@ -260,6 +260,10 @@ fn accept_loop(daemon: &Daemon, listener: &TcpListener) {
         queue.push_back((stream, Instant::now()));
         daemon.metrics.set_queue_depth(queue.len());
         drop(queue);
+        daemon
+            .metrics
+            .accepted_total
+            .fetch_add(1, Ordering::Relaxed);
         daemon.queue_cv.notify_one();
     }
 }
@@ -313,7 +317,10 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) 
     let started = Instant::now();
     let request = match http::read_request(&mut stream, daemon.options.max_body) {
         Ok(request) => request,
-        Err(ReadError::Closed) => return,
+        Err(ReadError::Closed) => {
+            daemon.metrics.closed_total.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         Err(err) => {
             let (status, message) = match err {
                 ReadError::Timeout => (408, "timed out reading the request".to_string()),
@@ -324,6 +331,10 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) 
             };
             let us = started.elapsed().as_micros() as u64;
             daemon.metrics.record("(unreadable)", status, us);
+            daemon
+                .metrics
+                .read_error_total
+                .fetch_add(1, Ordering::Relaxed);
             let _ = http::respond_json(&mut stream, status, &http::error_body(message));
             drain_before_close(&mut stream);
             return;
@@ -332,6 +343,10 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) 
     let (endpoint, status, body) = route(daemon, &request);
     let us = started.elapsed().as_micros() as u64;
     daemon.metrics.record(endpoint, status, us);
+    daemon
+        .metrics
+        .completed_total
+        .fetch_add(1, Ordering::Relaxed);
     let _ = http::respond_json(&mut stream, status, &body);
 }
 
@@ -514,6 +529,22 @@ fn metrics_json(daemon: &Daemon) -> Json {
         (
             "requests_total".into(),
             Json::num(daemon.metrics.total_requests() as f64),
+        ),
+        (
+            "accepted_total".into(),
+            Json::num(daemon.metrics.accepted_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "completed_total".into(),
+            Json::num(daemon.metrics.completed_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "read_error_total".into(),
+            Json::num(daemon.metrics.read_error_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "closed_total".into(),
+            Json::num(daemon.metrics.closed_total.load(Ordering::Relaxed) as f64),
         ),
         (
             "shed_total".into(),

@@ -76,13 +76,20 @@ impl SessionStore {
     /// Stores a new session, evicting expired entries first and the
     /// least-recently-used entry if still full. Returns the new id, or
     /// [`None`] when the store is disabled (capacity 0).
+    ///
+    /// Evicted and expired sessions are *removed* under the store lock
+    /// but *dropped* after it is released — a `QuerySession` can hold
+    /// megabytes of bags and a trained concept, and freeing it must not
+    /// stall every other session lookup. (`dropped` is declared before
+    /// the guard, so it destructs after the guard on every exit path.)
     pub fn create(&self, query: QuerySession<'static>, policy_label: String) -> Option<u64> {
         if self.capacity == 0 {
             return None;
         }
         let now = Instant::now();
+        let mut dropped: Vec<SessionHandle> = Vec::new();
         let mut inner = self.inner.lock().expect("session store mutex");
-        Self::sweep_locked(&mut inner, self.ttl, now);
+        dropped.extend(Self::sweep_locked(&mut inner, self.ttl, now));
         if inner.map.len() >= self.capacity {
             if let Some(lru) = inner
                 .map
@@ -94,7 +101,7 @@ impl SessionStore {
                 .min_by_key(|&(_, used)| used)
                 .map(|(id, _)| id)
             {
-                inner.map.remove(&lru);
+                dropped.extend(inner.map.remove(&lru));
                 inner.evicted_total += 1;
             } else {
                 return None; // every session is busy — refuse creation
@@ -118,10 +125,13 @@ impl SessionStore {
     /// removed and reported as absent.
     pub fn get(&self, id: u64) -> Option<SessionHandle> {
         let now = Instant::now();
-        let mut inner = self.inner.lock().expect("session store mutex");
-        Self::sweep_locked(&mut inner, self.ttl, now);
-        let handle = inner.map.get(&id).cloned()?;
-        drop(inner);
+        let (expired, handle) = {
+            let mut inner = self.inner.lock().expect("session store mutex");
+            let expired = Self::sweep_locked(&mut inner, self.ttl, now);
+            (expired, inner.map.get(&id).cloned())
+        };
+        drop(expired); // session teardown happens outside the store lock
+        let handle = handle?;
         if let Ok(mut session) = handle.try_lock() {
             session.last_used = now;
         }
@@ -132,24 +142,40 @@ impl SessionStore {
 
     /// Removes a session explicitly. Returns whether it existed.
     pub fn remove(&self, id: u64) -> bool {
-        let mut inner = self.inner.lock().expect("session store mutex");
-        inner.map.remove(&id).is_some()
+        let handle = {
+            let mut inner = self.inner.lock().expect("session store mutex");
+            inner.map.remove(&id)
+        };
+        // The handle (and possibly the whole session) drops here, after
+        // the store lock is released.
+        handle.is_some()
     }
 
     /// Drops every expired session; returns how many were removed.
     pub fn sweep(&self) -> usize {
-        let mut inner = self.inner.lock().expect("session store mutex");
-        Self::sweep_locked(&mut inner, self.ttl, Instant::now())
+        let expired = {
+            let mut inner = self.inner.lock().expect("session store mutex");
+            Self::sweep_locked(&mut inner, self.ttl, Instant::now())
+        };
+        expired.len() // handles drop here, outside the store lock
     }
 
-    fn sweep_locked(inner: &mut Inner, ttl: Duration, now: Instant) -> usize {
-        let before = inner.map.len();
-        inner.map.retain(|_, handle| match handle.try_lock() {
-            Ok(session) => now.duration_since(session.last_used) <= ttl,
-            Err(_) => true, // busy sessions are alive by definition
-        });
-        let removed = before - inner.map.len();
-        inner.expired_total += removed as u64;
+    /// Unlinks every expired entry and hands the removed handles back to
+    /// the caller, who must drop them only after releasing the lock.
+    fn sweep_locked(inner: &mut Inner, ttl: Duration, now: Instant) -> Vec<SessionHandle> {
+        let stale: Vec<u64> = inner
+            .map
+            .iter()
+            .filter_map(|(&id, handle)| match handle.try_lock() {
+                Ok(session) if now.duration_since(session.last_used) > ttl => Some(id),
+                _ => None, // busy sessions are alive by definition
+            })
+            .collect();
+        let mut removed = Vec::with_capacity(stale.len());
+        for id in stale {
+            removed.extend(inner.map.remove(&id));
+        }
+        inner.expired_total += removed.len() as u64;
         removed
     }
 
@@ -234,6 +260,61 @@ mod tests {
         assert!(store.get(b).is_none(), "LRU session evicted at capacity");
         assert!(store.get(c).is_some());
         assert_eq!(store.stats().evicted_total, 1);
+    }
+
+    #[test]
+    fn concurrent_create_expire_stress() {
+        // Regression for the eviction/expiry race: handles removed under
+        // the store lock used to be *dropped* under it too. Hammer the
+        // store from several threads with a tiny TTL and capacity so
+        // creations, TTL expiries, LRU evictions, lookups, and explicit
+        // removals all interleave; the store must stay consistent and
+        // never deadlock or panic.
+        let db = db();
+        let cfg = Arc::new(RetrievalConfig::default());
+        let store = Arc::new(SessionStore::new(Duration::from_millis(10), 4));
+        const THREADS: usize = 4;
+        const ITERS: usize = 50;
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                let db = Arc::clone(&db);
+                let cfg = Arc::clone(&cfg);
+                std::thread::spawn(move || {
+                    for i in 0..ITERS {
+                        let id = store
+                            .create(session(&db, &cfg), format!("p{t}"))
+                            .expect("store enabled; every session is evictable");
+                        // Lookups keep some sessions warm while others age
+                        // out; a handle returned must stay usable even if
+                        // the store expires the entry underneath us.
+                        if let Some(handle) = store.get(id) {
+                            let session = handle.lock().unwrap();
+                            assert_eq!(session.policy_label, format!("p{t}"));
+                        }
+                        match i % 3 {
+                            0 => {
+                                store.remove(id);
+                            }
+                            1 => std::thread::sleep(Duration::from_millis(1)),
+                            _ => {
+                                store.sweep();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("no stress thread may panic");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        store.sweep();
+        let stats = store.stats();
+        assert_eq!(stats.created_total, (THREADS * ITERS) as u64);
+        assert_eq!(stats.active, 0, "everything expired or was removed");
+        // Every drop path is counted at most once per session.
+        assert!(stats.expired_total + stats.evicted_total <= stats.created_total);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! A fault-injecting TCP proxy.
+//!
+//! [`ChaosProxy`] sits between a test client and a real daemon and
+//! misbehaves *on the client's behalf*: it trickles request bytes one at
+//! a time (slow-loris), disconnects mid-body, or delays the response
+//! leg. From the daemon's perspective the proxy is simply an unreliable
+//! client — which is exactly the population a production accept loop
+//! must survive.
+//!
+//! Fault selection is deterministic: connection *n* gets the fault drawn
+//! from an RNG stream keyed by `(seed, n)` ([`Fault::for_connection`]),
+//! so a failing seed printed by CI replays the identical schedule,
+//! byte-for-byte ([`Fault::schedule_bytes`]). Tests that need a specific
+//! fault on every connection use [`ChaosProxy::start_scripted`] instead.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::rng::TestkitRng;
+
+/// How the proxy mangles one proxied connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward both directions untouched.
+    Passthrough,
+    /// Forward the request in `chunk`-byte pieces, sleeping `delay_ms`
+    /// between pieces — the slow-loris client.
+    Trickle {
+        /// Bytes forwarded per piece (≥ 1).
+        chunk: usize,
+        /// Pause between pieces, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Forward only the first `after` request bytes, then close the
+    /// upload direction — a client dying mid-body. The response leg
+    /// stays open so the daemon's error status (if any) still reaches
+    /// the client.
+    TruncateRequest {
+        /// Request bytes forwarded before the cut.
+        after: usize,
+    },
+    /// Forward the request untouched but sit on the response for
+    /// `delay_ms` before relaying it — a congested return path.
+    DelayResponse {
+        /// Response-leg delay, in milliseconds.
+        delay_ms: u64,
+    },
+}
+
+impl Fault {
+    /// The fault connection `index` receives under `seed` — a pure
+    /// function of its arguments, independent of accept interleaving.
+    pub fn for_connection(seed: u64, index: u64) -> Fault {
+        let mut rng = TestkitRng::stream(seed, index);
+        match rng.below(4) {
+            0 => Fault::Passthrough,
+            1 => Fault::Trickle {
+                chunk: 1 + rng.below(4) as usize,
+                delay_ms: rng.below(3),
+            },
+            2 => Fault::TruncateRequest {
+                after: 4 + rng.below(60) as usize,
+            },
+            _ => Fault::DelayResponse {
+                delay_ms: 1 + rng.below(25),
+            },
+        }
+    }
+
+    /// A compact, stable text form (`trickle:2:1`).
+    pub fn describe(&self) -> String {
+        match self {
+            Fault::Passthrough => "passthrough".into(),
+            Fault::Trickle { chunk, delay_ms } => format!("trickle:{chunk}:{delay_ms}"),
+            Fault::TruncateRequest { after } => format!("truncate:{after}"),
+            Fault::DelayResponse { delay_ms } => format!("delay-response:{delay_ms}"),
+        }
+    }
+
+    /// The serialized schedule the first `connections` connections under
+    /// `seed` receive — one [`Self::describe`] line each. Replaying a
+    /// seed must reproduce these bytes exactly; tests assert it.
+    pub fn schedule_bytes(seed: u64, connections: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        for index in 0..connections {
+            out.extend_from_slice(Self::for_connection(seed, index).describe().as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+}
+
+/// Where a proxy's faults come from.
+enum Plan {
+    Seeded(u64),
+    Scripted(Vec<Fault>),
+}
+
+impl Plan {
+    fn fault_for(&self, index: u64) -> Fault {
+        match self {
+            Plan::Seeded(seed) => Fault::for_connection(*seed, index),
+            Plan::Scripted(faults) => faults[(index as usize) % faults.len()].clone(),
+        }
+    }
+}
+
+/// The running proxy: accepts on an ephemeral local port and relays each
+/// connection to `upstream` through its scheduled [`Fault`].
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    applied: Arc<Mutex<Vec<Fault>>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy whose per-connection faults derive from `seed`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(upstream: SocketAddr, seed: u64) -> std::io::Result<ChaosProxy> {
+        Self::spawn(upstream, Plan::Seeded(seed))
+    }
+
+    /// Starts a proxy applying `faults` round-robin in connection order
+    /// (a single-element script applies it to every connection).
+    ///
+    /// # Errors
+    /// Propagates bind failures. Panics if `faults` is empty.
+    pub fn start_scripted(upstream: SocketAddr, faults: Vec<Fault>) -> std::io::Result<ChaosProxy> {
+        assert!(!faults.is_empty(), "a script needs at least one fault");
+        Self::spawn(upstream, Plan::Scripted(faults))
+    }
+
+    fn spawn(upstream: SocketAddr, plan: Plan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let applied = Arc::clone(&applied);
+            std::thread::Builder::new()
+                .name("chaos-proxy".into())
+                .spawn(move || {
+                    let mut index = 0u64;
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(client) = conn else { continue };
+                        let fault = plan.fault_for(index);
+                        index += 1;
+                        applied.lock().expect("applied log").push(fault.clone());
+                        std::thread::spawn(move || relay(client, upstream, &fault));
+                    }
+                })?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            applied,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The proxy's listening address — point test clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The faults applied so far, in connection-accept order.
+    pub fn applied(&self) -> Vec<Fault> {
+        self.applied.lock().expect("applied log").clone()
+    }
+
+    /// Stops accepting and joins the acceptor thread (relays already in
+    /// flight finish on their own threads).
+    pub fn stop(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+/// Relays one connection through `fault`: the request leg runs on its
+/// own thread (so trickle delays overlap the response wait), the
+/// response leg here.
+fn relay(client: TcpStream, upstream: SocketAddr, fault: &Fault) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let deadline = Some(Duration::from_secs(10));
+    let _ = client.set_read_timeout(deadline);
+    let _ = server.set_read_timeout(deadline);
+    let (Ok(client_read), Ok(server_write)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let uplink_fault = fault.clone();
+    let uplink =
+        std::thread::spawn(move || relay_request(client_read, server_write, &uplink_fault));
+    if let Fault::DelayResponse { delay_ms } = fault {
+        std::thread::sleep(Duration::from_millis(*delay_ms));
+    }
+    copy_until_eof(server, client);
+    let _ = uplink.join();
+}
+
+/// Forwards the request bytes under `fault`, then closes the upload
+/// direction so the upstream sees EOF exactly where the fault dictates.
+fn relay_request(mut from: TcpStream, mut to: TcpStream, fault: &Fault) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize;
+    'outer: loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let data = &buf[..n];
+        match fault {
+            Fault::TruncateRequest { after } => {
+                let take = after.saturating_sub(forwarded).min(n);
+                if take > 0 && to.write_all(&data[..take]).is_err() {
+                    break;
+                }
+                forwarded += take;
+                if forwarded >= *after {
+                    break;
+                }
+            }
+            Fault::Trickle { chunk, delay_ms } => {
+                for piece in data.chunks((*chunk).max(1)) {
+                    if to.write_all(piece).is_err() || to.flush().is_err() {
+                        break 'outer;
+                    }
+                    std::thread::sleep(Duration::from_millis(*delay_ms));
+                }
+                forwarded += n;
+            }
+            Fault::Passthrough | Fault::DelayResponse { .. } => {
+                if to.write_all(data).is_err() {
+                    break;
+                }
+                forwarded += n;
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A byte-counting upstream: reads the request to EOF and answers
+    /// with the decimal byte count, so tests can verify the fault's
+    /// effect on the wire exactly.
+    fn counting_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { break };
+                let mut total = 0usize;
+                let mut buf = [0u8; 1024];
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => total += n,
+                    }
+                }
+                let _ = stream.write_all(total.to_string().as_bytes());
+                if total == 0 {
+                    break; // the stop signal: an empty connection
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(proxy: &ChaosProxy, payload: &[u8]) -> usize {
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream.write_all(payload).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        reply.parse().unwrap()
+    }
+
+    fn stop_upstream(addr: SocketAddr, handle: JoinHandle<()>) {
+        // An empty connection makes the counting upstream exit its loop.
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let _ = stream.shutdown(Shutdown::Write);
+            let mut sink = Vec::new();
+            let mut stream = stream;
+            let _ = stream.read_to_end(&mut sink);
+        }
+        let _ = handle.join();
+    }
+
+    #[test]
+    fn passthrough_and_trickle_forward_every_byte() {
+        let (addr, upstream) = counting_upstream();
+        let proxy = ChaosProxy::start_scripted(
+            addr,
+            vec![
+                Fault::Passthrough,
+                Fault::Trickle {
+                    chunk: 1,
+                    delay_ms: 0,
+                },
+                Fault::DelayResponse { delay_ms: 5 },
+            ],
+        )
+        .unwrap();
+        for _ in 0..3 {
+            assert_eq!(roundtrip(&proxy, b"hello chaos"), 11);
+        }
+        assert_eq!(proxy.applied().len(), 3);
+        proxy.stop();
+        stop_upstream(addr, upstream);
+    }
+
+    #[test]
+    fn truncate_cuts_the_request_mid_body() {
+        let (addr, upstream) = counting_upstream();
+        let proxy =
+            ChaosProxy::start_scripted(addr, vec![Fault::TruncateRequest { after: 5 }]).unwrap();
+        assert_eq!(roundtrip(&proxy, b"0123456789"), 5);
+        proxy.stop();
+        stop_upstream(addr, upstream);
+    }
+
+    #[test]
+    fn seeded_schedule_replays_byte_for_byte() {
+        let bytes = Fault::schedule_bytes(0xC0FFEE, 32);
+        assert_eq!(bytes, Fault::schedule_bytes(0xC0FFEE, 32));
+        assert_ne!(bytes, Fault::schedule_bytes(0xC0FFED, 32));
+        // The schedule covers every fault variant within a few dozen
+        // connections (a degenerate schedule would blunt the suite).
+        let text = String::from_utf8(bytes).unwrap();
+        for needle in ["passthrough", "trickle:", "truncate:", "delay-response:"] {
+            assert!(text.contains(needle), "{needle} missing from schedule");
+        }
+    }
+
+    #[test]
+    fn proxied_connections_record_the_seeded_schedule() {
+        let (addr, upstream) = counting_upstream();
+        let seed = 7;
+        let proxy = ChaosProxy::start(addr, seed).unwrap();
+        let connections = 6u64;
+        for index in 0..connections {
+            // Keep payloads longer than any truncation point irrelevant:
+            // the applied-schedule check only needs the connection count.
+            let _ = roundtrip(&proxy, format!("request number {index} padding").as_bytes());
+        }
+        let applied: Vec<Fault> = proxy.applied();
+        let expected: Vec<Fault> = (0..connections)
+            .map(|i| Fault::for_connection(seed, i))
+            .collect();
+        assert_eq!(applied, expected, "applied faults must match the schedule");
+        proxy.stop();
+        stop_upstream(addr, upstream);
+    }
+}

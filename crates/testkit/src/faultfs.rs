@@ -1,0 +1,194 @@
+//! Fault-injecting [`StorageIo`] implementations.
+//!
+//! Each wraps the real filesystem and corrupts exactly one aspect of the
+//! byte stream, modelling the classic snapshot failure modes:
+//!
+//! * [`TornWriteFs`] — the process "crashes" after `keep` bytes reach
+//!   disk; writes past that point vanish but report success (no fsync
+//!   barrier, the application believed the save worked).
+//! * [`ShortReadFs`] — the file ends early at read time: reads past
+//!   `limit` bytes return EOF.
+//! * [`BitFlipFs`] — one bit at byte `offset` is flipped on the way in,
+//!   the silent-corruption case only a checksum can catch.
+//!
+//! The storage layer's contract, which `crates/testkit/tests/faultfs.rs`
+//! enforces over every fault and offset: each of these must surface as
+//! [`milr_core::CoreError::Storage`] — never a panic, never a silently
+//! wrong database.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use milr_core::storage::StorageIo;
+
+/// Persists only the first `keep` bytes of whatever is saved; the rest
+/// report success and vanish, like a crash before the cache flushed.
+#[derive(Debug, Clone, Copy)]
+pub struct TornWriteFs {
+    /// Bytes that actually reach the file.
+    pub keep: usize,
+}
+
+struct TornWriter {
+    inner: std::fs::File,
+    remaining: usize,
+}
+
+impl Write for TornWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let take = buf.len().min(self.remaining);
+        if take > 0 {
+            self.inner.write_all(&buf[..take])?;
+            self.remaining -= take;
+        }
+        // Report full success: the torn bytes are silently lost.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl StorageIo for TornWriteFs {
+    fn reader(&self, path: &Path) -> std::io::Result<Box<dyn Read>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
+
+    fn writer(&self, path: &Path) -> std::io::Result<Box<dyn Write>> {
+        Ok(Box::new(TornWriter {
+            inner: std::fs::File::create(path)?,
+            remaining: self.keep,
+        }))
+    }
+}
+
+/// Reads report EOF after `limit` bytes even if the file continues.
+#[derive(Debug, Clone, Copy)]
+pub struct ShortReadFs {
+    /// Bytes readable before the premature EOF.
+    pub limit: usize,
+}
+
+struct ShortReader {
+    inner: std::fs::File,
+    remaining: usize,
+}
+
+impl Read for ShortReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let cap = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+impl StorageIo for ShortReadFs {
+    fn reader(&self, path: &Path) -> std::io::Result<Box<dyn Read>> {
+        Ok(Box::new(ShortReader {
+            inner: std::fs::File::open(path)?,
+            remaining: self.limit,
+        }))
+    }
+
+    fn writer(&self, path: &Path) -> std::io::Result<Box<dyn Write>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+}
+
+/// Flips one bit (`mask`, default the low bit) of the byte at `offset`
+/// as it is read.
+#[derive(Debug, Clone, Copy)]
+pub struct BitFlipFs {
+    /// Byte offset of the corrupted byte.
+    pub offset: usize,
+    /// XOR mask applied to that byte.
+    pub mask: u8,
+}
+
+struct BitFlipReader {
+    inner: std::fs::File,
+    position: usize,
+    offset: usize,
+    mask: u8,
+}
+
+impl Read for BitFlipReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if self.offset >= self.position && self.offset < self.position + n {
+            buf[self.offset - self.position] ^= self.mask;
+        }
+        self.position += n;
+        Ok(n)
+    }
+}
+
+impl StorageIo for BitFlipFs {
+    fn reader(&self, path: &Path) -> std::io::Result<Box<dyn Read>> {
+        Ok(Box::new(BitFlipReader {
+            inner: std::fs::File::open(path)?,
+            position: 0,
+            offset: self.offset,
+            mask: self.mask,
+        }))
+    }
+
+    fn writer(&self, path: &Path) -> std::io::Result<Box<dyn Write>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("milr_faultfs_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn torn_writer_keeps_a_prefix_and_lies_about_the_rest() {
+        let path = temp_path("torn.bin");
+        let fs = TornWriteFs { keep: 4 };
+        let mut w = fs.writer(&path).unwrap();
+        w.write_all(b"0123456789").unwrap(); // reports success
+        w.flush().unwrap();
+        drop(w);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn short_reader_ends_early() {
+        let path = temp_path("short.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+        let fs = ShortReadFs { limit: 6 };
+        let mut r = fs.reader(&path).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"012345");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bit_flipper_corrupts_exactly_one_byte() {
+        let path = temp_path("flip.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+        let fs = BitFlipFs {
+            offset: 3,
+            mask: 0x01,
+        };
+        let mut r = fs.reader(&path).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"0122456789"); // '3' ^ 0x01 == '2'
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! The storage layer's fault contract, enforced exhaustively: every
+//! torn write, short read, and single-bit flip a [`StorageIo`] fault
+//! can inject must surface as [`CoreError::Storage`] — never a panic,
+//! never a silently wrong database or concept.
+
+use std::path::{Path, PathBuf};
+
+use milr_core::storage::{
+    load_concept_with, load_database_with, save_concept_with, save_database_with, OsFs, StorageIo,
+};
+use milr_core::CoreError;
+use milr_mil::Concept;
+use milr_testkit::{synthetic_database, BitFlipFs, ShortReadFs, TornWriteFs};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("milr_faultfs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn assert_storage_error<T: std::fmt::Debug>(result: Result<T, CoreError>, context: &str) {
+    match result {
+        Err(CoreError::Storage { path, reason }) => {
+            assert!(!path.is_empty(), "{context}: error must name the file");
+            assert!(!reason.is_empty(), "{context}: error must say what broke");
+        }
+        Err(other) => panic!("{context}: expected CoreError::Storage, got {other}"),
+        Ok(_) => panic!("{context}: corrupt data loaded without an error"),
+    }
+}
+
+fn saved_database(path: &Path) -> u64 {
+    let db = synthetic_database(8, 4, 21);
+    save_database_with(&OsFs, &db, path).expect("clean save");
+    std::fs::metadata(path).expect("saved file").len()
+}
+
+fn saved_concept(path: &Path) -> u64 {
+    let concept = Concept::new(vec![0.25, -1.5, 3.0], vec![1.0, 0.5, 2.0]);
+    save_concept_with(&OsFs, &concept, path).expect("clean save");
+    std::fs::metadata(path).expect("saved file").len()
+}
+
+#[test]
+fn torn_database_writes_never_load() {
+    let path = scratch("torn_db.milr");
+    let len = saved_database(&path) as usize;
+    let db = synthetic_database(8, 4, 21);
+    // Sweep the torn point across the whole file, including 0 (nothing
+    // persisted) and len-1 (only the checksum torn off).
+    for keep in (0..len).step_by(7).chain([0, len - 1]) {
+        save_database_with(&TornWriteFs { keep }, &db, &path).expect("the torn writer lies");
+        assert_storage_error(
+            load_database_with(&OsFs, &path),
+            &format!("torn write at byte {keep}"),
+        );
+    }
+}
+
+#[test]
+fn short_database_reads_never_load() {
+    let path = scratch("short_db.milr");
+    let len = saved_database(&path) as usize;
+    for limit in (0..len).step_by(7).chain([0, len - 1]) {
+        assert_storage_error(
+            load_database_with(&ShortReadFs { limit }, &path),
+            &format!("read truncated at byte {limit}"),
+        );
+    }
+}
+
+#[test]
+fn flipped_database_bits_never_load() {
+    let path = scratch("flip_db.milr");
+    let len = saved_database(&path) as usize;
+    // Every byte, several masks: header, counts, floats, and the
+    // checksum itself must all be caught.
+    for offset in 0..len {
+        for mask in [0x01u8, 0x80] {
+            assert_storage_error(
+                load_database_with(&BitFlipFs { offset, mask }, &path),
+                &format!("bit flip at byte {offset} mask {mask:#04x}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_concept_writes_never_load() {
+    let path = scratch("torn_concept.milr");
+    let len = saved_concept(&path) as usize;
+    let concept = Concept::new(vec![0.25, -1.5, 3.0], vec![1.0, 0.5, 2.0]);
+    for keep in (0..len).step_by(5).chain([0, len - 1]) {
+        save_concept_with(&TornWriteFs { keep }, &concept, &path).expect("the torn writer lies");
+        assert_storage_error(
+            load_concept_with(&OsFs, &path),
+            &format!("torn write at byte {keep}"),
+        );
+    }
+}
+
+#[test]
+fn short_concept_reads_never_load() {
+    let path = scratch("short_concept.milr");
+    let len = saved_concept(&path) as usize;
+    for limit in (0..len).step_by(5).chain([0, len - 1]) {
+        assert_storage_error(
+            load_concept_with(&ShortReadFs { limit }, &path),
+            &format!("read truncated at byte {limit}"),
+        );
+    }
+}
+
+#[test]
+fn flipped_concept_bits_never_load() {
+    let path = scratch("flip_concept.milr");
+    let len = saved_concept(&path) as usize;
+    for offset in 0..len {
+        for mask in [0x01u8, 0x80] {
+            assert_storage_error(
+                load_concept_with(&BitFlipFs { offset, mask }, &path),
+                &format!("bit flip at byte {offset} mask {mask:#04x}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_roundtrips_still_work_through_the_seam() {
+    // The passthrough sanity check: the same paths the fault sweeps use
+    // load fine when no fault is injected — the sweeps above fail
+    // because of the faults, not the harness.
+    let path = scratch("clean_db.milr");
+    saved_database(&path);
+    let db = load_database_with(&OsFs, &path).expect("clean load");
+    let original = synthetic_database(8, 4, 21);
+    assert_eq!(db.len(), original.len());
+    assert_eq!(db.labels(), original.labels());
+    for i in 0..db.len() {
+        assert_eq!(db.bag(i).unwrap(), original.bag(i).unwrap());
+    }
+
+    let concept_path = scratch("clean_concept.milr");
+    saved_concept(&concept_path);
+    let concept = load_concept_with(&OsFs, &concept_path).expect("clean load");
+    assert_eq!(concept.point(), &[0.25, -1.5, 3.0]);
+    assert_eq!(concept.weights(), &[1.0, 0.5, 2.0]);
+}
+
+/// A fault that can't exist is a silent hole in the suite: make sure
+/// the seam is actually being exercised by checking that the injected
+/// `StorageIo` is called (a passthrough typo would pass every sweep).
+#[test]
+fn fault_seam_actually_intercepts_io() {
+    struct Refusing;
+    impl StorageIo for Refusing {
+        fn reader(&self, _: &Path) -> std::io::Result<Box<dyn std::io::Read>> {
+            Err(std::io::Error::other("injected reader refusal"))
+        }
+        fn writer(&self, _: &Path) -> std::io::Result<Box<dyn std::io::Write>> {
+            Err(std::io::Error::other("injected writer refusal"))
+        }
+    }
+    let path = scratch("refused.milr");
+    let db = synthetic_database(4, 3, 1);
+    assert_storage_error(save_database_with(&Refusing, &db, &path), "refused write");
+    assert_storage_error(load_database_with(&Refusing, &path), "refused read");
+}

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("golden") => cmd_golden(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("query-files") => cmd_query_files(&args[1..]),
         Some("montage") => cmd_montage(&args[1..]),
@@ -55,7 +56,10 @@ fn print_usage() {
          [--seed N] [--fast]\n  \
          milr snapshot --in DB.milr\n  \
          milr serve    --snapshot DB.milr [--addr HOST:PORT] [--workers N]\n                \
-         [--queue-depth N] [--cache-capacity N] [--page K] [--policy POLICY]\n  \
+         [--queue-depth N] [--cache-capacity N] [--page K] [--policy POLICY]\n                \
+         [--read-timeout-ms N] [--handle-deadline-ms N] [--max-body N]\n                \
+         [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n  \
+         milr golden   [--bless] [--dir DIR]   (default DIR: tests/golden)\n  \
          milr query    --kind scenes|objects --category NAME [--policy POLICY]\n                \
          [--per-category N] [--seed N] [--rounds N] [--fast]\n                \
          [--snapshot DB.milr] [--dump-concept DIR] [--html FILE.html]\n  \
@@ -245,6 +249,37 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(spec) = flag(args, "--policy") {
         options.retrieval.policy = parse_policy(&spec)?;
     }
+    if let Some(text) = flag(args, "--read-timeout-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --read-timeout-ms {text:?}"))?;
+        options.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--handle-deadline-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --handle-deadline-ms {text:?}"))?;
+        options.handle_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--max-body") {
+        options.max_body = text
+            .parse()
+            .map_err(|_| format!("invalid --max-body {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--session-ttl-s") {
+        let s: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --session-ttl-s {text:?}"))?;
+        options.session_ttl = std::time::Duration::from_secs(s);
+    }
+    if let Some(text) = flag(args, "--session-capacity") {
+        options.session_capacity = text
+            .parse()
+            .map_err(|_| format!("invalid --session-capacity {text:?}"))?;
+    }
+    if args.iter().any(|a| a == "--debug-endpoints") {
+        options.debug_endpoints = true;
+    }
     // Parallelism is across requests, not within them.
     options.retrieval.threads = 1;
     let mut retrieval = milr::core::storage::load_database(&snapshot).map_err(|e| e.to_string())?;
@@ -263,6 +298,58 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.wait();
     println!("milrd drained");
+    Ok(())
+}
+
+/// Checks the committed golden-trace corpus against freshly recorded
+/// traces, or regenerates it with `--bless`. A diverging trace prints
+/// one path-qualified line per differing leaf so the kernel change that
+/// caused it can be reviewed, then exits non-zero.
+fn cmd_golden(args: &[String]) -> Result<(), String> {
+    use milr::testkit::{compare_traces, record_trace, standard_cases};
+    let dir = PathBuf::from(flag(args, "--dir").unwrap_or_else(|| "tests/golden".into()));
+    let bless = args.iter().any(|a| a == "--bless");
+    if bless {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    }
+    let mut failures = 0usize;
+    for case in standard_cases() {
+        let path = dir.join(case.file_name());
+        let actual = record_trace(&case)?;
+        if bless {
+            std::fs::write(&path, actual.dump() + "\n")
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("blessed {}", path.display());
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "cannot read golden trace {}: {e} (regenerate with `milr golden --bless`)",
+                path.display()
+            )
+        })?;
+        let golden = milr::serve::Json::parse(text.trim())
+            .map_err(|e| format!("corrupt golden trace {}: {e}", path.display()))?;
+        let diffs = compare_traces(&golden, &actual);
+        if diffs.is_empty() {
+            println!("ok {}", case.name);
+        } else {
+            failures += 1;
+            eprintln!("FAIL {} ({} difference(s)):", case.name, diffs.len());
+            for diff in diffs.iter().take(12) {
+                eprintln!("  {diff}");
+            }
+            if diffs.len() > 12 {
+                eprintln!("  ... and {} more", diffs.len() - 12);
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} golden trace(s) diverged; review the diffs above and \
+             rerun with --bless if the new behaviour is intended"
+        ));
+    }
     Ok(())
 }
 

@@ -49,6 +49,7 @@ pub use milr_mil as mil;
 pub use milr_optim as optim;
 pub use milr_serve as serve;
 pub use milr_synth as synth;
+pub use milr_testkit as testkit;
 
 /// Commonly-used types from across the workspace.
 pub mod prelude {

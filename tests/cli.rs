@@ -146,6 +146,142 @@ fn inspect_rejects_unsupported_formats() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported image format"));
 }
 
+/// Writes a small valid snapshot for the error-path tests below.
+fn valid_snapshot(dir: &std::path::Path) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("db.milr");
+    let db = milr::testkit::synthetic_database(12, 6, 5);
+    milr::core::storage::save_database(&db, &path).unwrap();
+    path
+}
+
+#[test]
+fn preprocess_requires_kind_and_out() {
+    let out = milr()
+        .args(["preprocess", "--kind", "scenes"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out is required"));
+
+    let out = milr()
+        .args(["preprocess", "--out", "/tmp/milr_cli_x.milr"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--kind is required"));
+}
+
+#[test]
+fn snapshot_of_a_missing_file_fails_cleanly() {
+    let out = milr()
+        .args(["snapshot", "--in", "/tmp/milr_cli_definitely_missing.milr"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("storage failure") && stderr.contains("definitely_missing"),
+        "error must name the file: {stderr}"
+    );
+}
+
+#[test]
+fn snapshot_of_a_corrupt_file_reports_the_checksum() {
+    let dir = std::env::temp_dir().join("milr_cli_corrupt_snapshot");
+    let path = valid_snapshot(&dir);
+    // Flip one payload bit: only the trailing checksum can catch it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, bytes).unwrap();
+
+    let out = milr()
+        .args(["snapshot", "--in", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt") || stderr.contains("checksum") || stderr.contains("implausible"),
+        "corruption must be diagnosed, not mis-loaded: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_with_a_missing_snapshot_fails_cleanly() {
+    let out = milr()
+        .args([
+            "serve",
+            "--snapshot",
+            "/tmp/milr_cli_no_such_snapshot.milr",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("storage failure"),
+        "missing snapshot must fail before binding: {stderr}"
+    );
+}
+
+#[test]
+fn serve_on_a_busy_port_fails_cleanly() {
+    let dir = std::env::temp_dir().join("milr_cli_busy_port");
+    let path = valid_snapshot(&dir);
+    // Occupy a port, then ask the daemon to bind it.
+    let blocker = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = blocker.local_addr().unwrap();
+    let out = milr()
+        .args([
+            "serve",
+            "--snapshot",
+            path.to_str().unwrap(),
+            "--addr",
+            &addr.to_string(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bind conflict must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:"),
+        "bind failure must be reported: {stderr}"
+    );
+    drop(blocker);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_option_values() {
+    let dir = std::env::temp_dir().join("milr_cli_bad_serve_opts");
+    let path = valid_snapshot(&dir);
+    for (flag, value) in [
+        ("--workers", "many"),
+        ("--read-timeout-ms", "-1"),
+        ("--session-capacity", "1.5"),
+    ] {
+        let out = milr()
+            .args(["serve", "--snapshot", path.to_str().unwrap(), flag, value])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} {value} must be rejected"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(flag),
+            "the error must name {flag}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn fast_query_runs_end_to_end() {
     let out = milr()
