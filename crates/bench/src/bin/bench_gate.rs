@@ -1,0 +1,305 @@
+//! CI perf-regression gate: compares fresh `BENCH_hotpath.json` /
+//! `BENCH_serve.json` artifacts (written by `experiments -- perf` and
+//! `-- loadgen`) against the checked-in `ci/bench_baseline.json` and
+//! exits non-zero on a regression.
+//!
+//! Absolute wall-clock is meaningless across machines, so the gate works
+//! on *machine-normalised* quantities:
+//!
+//! * `ranking_identical` must be `true` — the pruned/bounded rankers must
+//!   stay bit-identical to the naive reference. Always enforced.
+//! * `loadgen` must complete with zero hard errors and at least one
+//!   request per client. Always enforced.
+//! * The end-to-end **speedup** (reference time / optimized time, both
+//!   measured on the *same* machine in the *same* run) must not fall more
+//!   than `--max-slowdown` (default 0.15) below the baseline's speedup.
+//!   Speedup still shifts with core count, so this check is enforced at
+//!   the strict tolerance only when the fresh run saw the same core count
+//!   as the baseline; on a differently-sized machine the tolerance widens
+//!   to `LOOSE_SLOWDOWN` and the report says so.
+//!
+//! ```text
+//! bench_gate --baseline ci/bench_baseline.json \
+//!            --perf BENCH_hotpath.json --loadgen BENCH_serve.json
+//! bench_gate --write-baseline ci/bench_baseline.json \
+//!            --perf BENCH_hotpath.json --loadgen BENCH_serve.json
+//! ```
+
+use std::process::ExitCode;
+
+use milr_serve::Json;
+
+/// Tolerated fractional speedup drop when fresh and baseline runs saw the
+/// same core count.
+const DEFAULT_MAX_SLOWDOWN: f64 = 0.15;
+
+/// Fallback tolerance when core counts differ: parallel-phase speedups
+/// scale with the machine, so only gross regressions are actionable.
+const LOOSE_SLOWDOWN: f64 = 0.50;
+
+fn main() -> ExitCode {
+    let mut baseline_path = String::from("ci/bench_baseline.json");
+    let mut perf_path = String::from("BENCH_hotpath.json");
+    let mut loadgen_path = String::from("BENCH_serve.json");
+    let mut max_slowdown = DEFAULT_MAX_SLOWDOWN;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = value("--baseline"),
+            "--write-baseline" => {
+                write_baseline = true;
+                baseline_path = value("--write-baseline");
+            }
+            "--perf" => perf_path = value("--perf"),
+            "--loadgen" => loadgen_path = value("--loadgen"),
+            "--max-slowdown" => {
+                max_slowdown = value("--max-slowdown")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-slowdown needs a number"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let perf = load(&perf_path);
+    let loadgen = load(&loadgen_path);
+
+    if write_baseline {
+        let baseline = extract_baseline(&perf, &loadgen);
+        std::fs::write(&baseline_path, &baseline)
+            .unwrap_or_else(|e| fail(&format!("cannot write {baseline_path}: {e}")));
+        println!("wrote {baseline_path}:\n{baseline}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = load(&baseline_path);
+    let report = gate(&baseline, &perf, &loadgen, max_slowdown);
+    println!("{}", report.text);
+    if report.passed {
+        println!("bench gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench gate: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+struct Report {
+    passed: bool,
+    text: String,
+}
+
+/// Runs every check and accumulates a human-readable line per check.
+fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Report {
+    let mut lines: Vec<String> = Vec::new();
+    let mut passed = true;
+    fn check(lines: &mut Vec<String>, passed: &mut bool, ok: bool, line: String) {
+        lines.push(format!("{} {line}", if ok { "ok  " } else { "FAIL" }));
+        *passed &= ok;
+    }
+
+    // 1. Exactness: the optimised rankers must agree with the reference.
+    let identical = perf
+        .get("ranking_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    check(
+        &mut lines,
+        &mut passed,
+        identical,
+        format!("ranking_identical = {identical}"),
+    );
+
+    // 2. Load test health: no hard errors, every client made progress.
+    let errors = number(loadgen, &["errors"]).unwrap_or(f64::INFINITY);
+    check(
+        &mut lines,
+        &mut passed,
+        errors == 0.0,
+        format!("loadgen errors = {errors}"),
+    );
+    let completed = number(loadgen, &["completed"]).unwrap_or(0.0);
+    let clients = number(loadgen, &["clients"]).unwrap_or(1.0);
+    check(
+        &mut lines,
+        &mut passed,
+        completed >= clients,
+        format!("loadgen completed {completed} >= clients {clients}"),
+    );
+
+    // 3. Machine-normalised end-to-end speedup vs baseline.
+    let fresh_speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
+    let base_speedup = number(baseline, &["perf", "end_to_end_speedup"]).unwrap_or(0.0);
+    let fresh_cores = number(perf, &["cores"]).unwrap_or(0.0);
+    let base_cores = number(baseline, &["perf", "cores"]).unwrap_or(-1.0);
+    let tolerance = if fresh_cores == base_cores {
+        max_slowdown
+    } else {
+        lines.push(format!(
+            "note: fresh run on {fresh_cores} core(s) vs baseline {base_cores}; \
+             widening speedup tolerance to {LOOSE_SLOWDOWN}"
+        ));
+        max_slowdown.max(LOOSE_SLOWDOWN)
+    };
+    let floor = base_speedup * (1.0 - tolerance);
+    check(
+        &mut lines,
+        &mut passed,
+        fresh_speedup >= floor,
+        format!(
+            "end-to-end speedup {fresh_speedup:.3}x >= {floor:.3}x \
+             (baseline {base_speedup:.3}x, tolerance {tolerance})"
+        ),
+    );
+
+    Report {
+        passed,
+        text: lines.join("\n"),
+    }
+}
+
+/// Distils the two fresh artifacts into the small checked-in baseline.
+fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
+    let speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
+    let cores = number(perf, &["cores"]).unwrap_or(0.0);
+    let scale = perf
+        .get("scale")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    let throughput = number(loadgen, &["throughput_rps"]).unwrap_or(0.0);
+    let p99 = number(loadgen, &["latency_us", "p99"]).unwrap_or(0.0);
+    format!(
+        "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \"cores\": {cores}, \
+         \"scale\": \"{scale}\" }},\n  \
+         \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99} }}\n}}\n"
+    )
+}
+
+/// Descends `path` through nested objects and returns the number there.
+fn number(json: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = json;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64()
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench gate: {msg}");
+    std::process::exit(2);
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: bench_gate [--baseline FILE] [--perf FILE] [--loadgen FILE] \
+         [--max-slowdown F]\n       \
+         bench_gate --write-baseline FILE [--perf FILE] [--loadgen FILE]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(speedup: f64, cores: u64, identical: bool, errors: u64) -> (Json, Json, Json) {
+        let baseline = Json::parse(
+            "{ \"perf\": { \"end_to_end_speedup\": 3.0, \"cores\": 8 }, \
+               \"loadgen\": { \"throughput_rps\": 500.0, \"p99_us\": 900 } }",
+        )
+        .unwrap();
+        let perf = Json::parse(&format!(
+            "{{ \"ranking_identical\": {identical}, \"cores\": {cores}, \
+               \"end_to_end\": {{ \"speedup\": {speedup} }} }}"
+        ))
+        .unwrap();
+        let loadgen = Json::parse(&format!(
+            "{{ \"errors\": {errors}, \"completed\": 640, \"clients\": 32 }}"
+        ))
+        .unwrap();
+        (baseline, perf, loadgen)
+    }
+
+    #[test]
+    fn passes_at_parity() {
+        let (b, p, l) = fixture(3.0, 8, true, 0);
+        assert!(gate(&b, &p, &l, 0.15).passed);
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        // 3.0 → 2.6 is a 13% drop: inside the 15% budget.
+        let (b, p, l) = fixture(2.6, 8, true, 0);
+        assert!(gate(&b, &p, &l, 0.15).passed);
+    }
+
+    #[test]
+    fn fails_beyond_tolerance() {
+        // 3.0 → 2.0 is a 33% drop.
+        let (b, p, l) = fixture(2.0, 8, true, 0);
+        let report = gate(&b, &p, &l, 0.15);
+        assert!(!report.passed);
+        assert!(report.text.contains("FAIL end-to-end"));
+    }
+
+    #[test]
+    fn fails_on_non_identical_ranking_even_when_fast() {
+        let (b, p, l) = fixture(9.9, 8, false, 0);
+        assert!(!gate(&b, &p, &l, 0.15).passed);
+    }
+
+    #[test]
+    fn fails_on_loadgen_errors() {
+        let (b, p, l) = fixture(3.0, 8, true, 3);
+        assert!(!gate(&b, &p, &l, 0.15).passed);
+    }
+
+    #[test]
+    fn widens_tolerance_across_core_counts() {
+        // A 33% drop fails on the same machine but a 2-core runner vs an
+        // 8-core baseline gets the loose 50% budget.
+        let (b, p, l) = fixture(2.0, 2, true, 0);
+        let report = gate(&b, &p, &l, 0.15);
+        assert!(report.passed, "{}", report.text);
+        assert!(report.text.contains("widening speedup tolerance"));
+    }
+
+    #[test]
+    fn tighter_threshold_can_force_failure() {
+        // The knob the CI demo uses: an impossible tolerance must fail
+        // even a perfectly healthy run.
+        let (b, p, l) = fixture(3.0, 8, true, 0);
+        assert!(!gate(&b, &p, &l, -0.5).passed);
+    }
+
+    #[test]
+    fn baseline_extraction_round_trips() {
+        let (_, p, _) = fixture(3.0, 8, true, 0);
+        let l = Json::parse(
+            "{ \"throughput_rps\": 512.5, \"latency_us\": { \"p99\": 900 }, \
+               \"errors\": 0, \"completed\": 640, \"clients\": 32 }",
+        )
+        .unwrap();
+        let text = extract_baseline(&p, &l);
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(number(&parsed, &["perf", "end_to_end_speedup"]), Some(3.0));
+        assert_eq!(number(&parsed, &["loadgen", "throughput_rps"]), Some(512.5));
+    }
+}

@@ -136,6 +136,16 @@ pub fn perf(scale: Scale, seed: u64) {
         s
     });
 
+    // Registry deltas around the warm optimized pass: the same numbers
+    // the daemon exports on /metrics, read straight off `milr-obs`.
+    let counter = |name: &str| milr_obs::global().counter(name).get();
+    let (ms_starts0, ms_evals0, memo_hits0, memo_misses0) = (
+        counter("milr_multistart_starts_total"),
+        counter("milr_multistart_evaluations_total"),
+        counter("milr_dd_memo_hits_total"),
+        counter("milr_dd_memo_misses_total"),
+    );
+
     let flat = DdObjective::new(&dataset, param);
     let (opt_evals, opt_iters) = (AtomicU64::new(0), AtomicU64::new(0));
     let report = multistart(&starts, config.threads, |x0| {
@@ -144,6 +154,12 @@ pub fn perf(scale: Scale, seed: u64) {
         opt_iters.fetch_add(s.iterations as u64, Ordering::Relaxed);
         s
     });
+    let (ms_starts, ms_evals, memo_hits, memo_misses) = (
+        counter("milr_multistart_starts_total") - ms_starts0,
+        counter("milr_multistart_evaluations_total") - ms_evals0,
+        counter("milr_dd_memo_hits_total") - memo_hits0,
+        counter("milr_dd_memo_misses_total") - memo_misses0,
+    );
 
     let train_ref = best_of(reps, || {
         let r = multistart(&starts, 1, |x0| {
@@ -164,6 +180,10 @@ pub fn perf(scale: Scale, seed: u64) {
         ref_iters.load(Ordering::Relaxed),
         opt_evals.load(Ordering::Relaxed),
         opt_iters.load(Ordering::Relaxed),
+    );
+    println!(
+        "               registry: {ms_starts} starts / {ms_evals} evals, \
+         dd memo {memo_hits} hits / {memo_misses} misses"
     );
 
     // The kernels reorder floating-point sums, so iterates can drift
@@ -203,6 +223,10 @@ pub fn perf(scale: Scale, seed: u64) {
     };
 
     // Exactness first: pruning and the candidate bound change nothing.
+    let (topk_cands0, topk_pruned0) = (
+        counter("milr_rank_topk_candidates_total"),
+        counter("milr_rank_topk_pruned_total"),
+    );
     let reference = naive_rank();
     let pruned = db.rank(&concept, &candidates).unwrap();
     assert_eq!(pruned, reference, "pruned ranking must be bit-identical");
@@ -233,6 +257,20 @@ pub fn perf(scale: Scale, seed: u64) {
     });
     phase_line("rank (full)", rank_ref, rank_opt);
     phase_line("rank (top-k)", rank_ref, topk_opt);
+    let (topk_cands, topk_pruned) = (
+        counter("milr_rank_topk_candidates_total") - topk_cands0,
+        counter("milr_rank_topk_pruned_total") - topk_pruned0,
+    );
+    let prune_rate = if topk_cands > 0 {
+        topk_pruned as f64 / topk_cands as f64
+    } else {
+        0.0
+    };
+    println!(
+        "               prune effectiveness: {topk_pruned}/{topk_cands} candidates \
+         abandoned early ({:.1}%)",
+        100.0 * prune_rate
+    );
 
     // ---- End-to-end and the JSON artifact ----------------------------
     let total_ref = pre_ref + train_ref + rank_ref;
@@ -250,6 +288,10 @@ pub fn perf(scale: Scale, seed: u64) {
          \"database_images\": {db_len},\n  \"feature_dim\": {k},\n  \
          \"training_starts\": {starts_len},\n  \"top_k\": {TOP_K},\n  \
          \"ranking_identical\": {ranking_identical},\n  \"phases\": {{\n{phases}\n  }},\n  \
+         \"observability\": {{ \"multistart_starts\": {ms_starts}, \
+         \"multistart_evaluations\": {ms_evals}, \"dd_memo_hits\": {memo_hits}, \
+         \"dd_memo_misses\": {memo_misses}, \"rank_topk_candidates\": {topk_cands}, \
+         \"rank_topk_pruned\": {topk_pruned}, \"rank_topk_prune_rate\": {prune_rate:.4} }},\n  \
          \"end_to_end\": {{ \"reference_s\": {total_ref:.6}, \"optimized_s\": {total_opt:.6}, \
          \"speedup\": {speedup:.3} }}\n}}\n",
         db_len = db.len(),

@@ -79,6 +79,8 @@ impl RetrievalDatabase {
         config
             .validate()
             .map_err(|msg| CoreError::Mil(milr_mil::MilError::InvalidPolicy(msg)))?;
+        let _span = milr_obs::span!("preprocess.database");
+        milr_obs::counter!("milr_preprocess_images_total").add(images.len() as u64);
         // Preprocess every image in parallel; the index-ordered merge
         // keeps bag order (and, on failure, which error surfaces — the
         // lowest failing index, as in the old serial loop) independent
@@ -217,6 +219,8 @@ impl RetrievalDatabase {
         for &index in candidates {
             self.bag(index)?;
         }
+        let _span = milr_obs::span!("rank.full");
+        let started = std::time::Instant::now();
         let mut scored = pool::run_indexed(candidates.len(), self.threads, |i| {
             let index = candidates[i];
             (index, concept.bag_distance_sq(&self.bags[index]))
@@ -226,6 +230,8 @@ impl RetrievalDatabase {
                 .expect("bag distances are finite")
                 .then_with(|| a.0.cmp(&b.0))
         });
+        milr_obs::counter!("milr_rank_candidates_total").add(candidates.len() as u64);
+        milr_obs::histogram!("milr_rank_latency_us").record(started.elapsed().as_micros() as u64);
         Ok(scored)
     }
 
@@ -254,6 +260,9 @@ impl RetrievalDatabase {
         if k == 0 {
             return Ok(Vec::new());
         }
+        let _span = milr_obs::span!("rank.topk");
+        let started = std::time::Instant::now();
+        let mut pruned = 0u64;
         let mut heap: BinaryHeap<WorstCandidate> = BinaryHeap::with_capacity(k + 1);
         for &index in candidates {
             let bag = &self.bags[index];
@@ -273,8 +282,12 @@ impl RetrievalDatabase {
                     heap.pop();
                     heap.push(WorstCandidate(d, index));
                 }
+            } else {
+                pruned += 1;
             }
         }
+        milr_obs::counter!("milr_rank_topk_candidates_total").add(candidates.len() as u64);
+        milr_obs::counter!("milr_rank_topk_pruned_total").add(pruned);
         let mut top: Vec<(usize, f64)> = heap
             .into_iter()
             .map(|WorstCandidate(d, i)| (i, d))
@@ -284,6 +297,8 @@ impl RetrievalDatabase {
                 .expect("bag distances are finite")
                 .then_with(|| a.0.cmp(&b.0))
         });
+        milr_obs::histogram!("milr_rank_topk_latency_us")
+            .record(started.elapsed().as_micros() as u64);
         Ok(top)
     }
 

@@ -303,6 +303,7 @@ impl<'a> QuerySession<'a> {
         if self.positives.is_empty() && self.external_positives.is_empty() {
             return Err(CoreError::NoExamples);
         }
+        let _span = milr_obs::span!("query.train_round");
         let mut dataset = MilDataset::new();
         for &i in &self.positives {
             dataset.push(self.db.bag(i)?.clone(), BagLabel::Positive)?;
@@ -320,6 +321,7 @@ impl<'a> QuerySession<'a> {
         self.nldd = result.nldd;
         self.concept = Some(Arc::new(result.concept.clone()));
         self.rounds_run += 1;
+        milr_obs::counter!("milr_query_rounds_total").inc();
         Ok(result)
     }
 

@@ -54,6 +54,7 @@ pub fn smooth_sample_rect(
             height: rect.height,
         });
     }
+    milr_obs::counter!("milr_imgproc_samples_total").inc();
     let xs = block_bounds(rect.width, h);
     let ys = block_bounds(rect.height, h);
     let mut data = Vec::with_capacity(h * h);

@@ -507,7 +507,10 @@ impl DdObjective {
             // (different objective, or a bitwise-different `x`). A hit is
             // exact: the cached values are what recomputation would
             // produce, because evaluation is deterministic in `x`.
-            if !(ws.valid && ws.id == self.id && ws.x == x) {
+            if ws.valid && ws.id == self.id && ws.x == x {
+                milr_obs::counter!("milr_dd_memo_hits_total").inc();
+            } else {
+                milr_obs::counter!("milr_dd_memo_misses_total").inc();
                 ws.valid = false;
                 ws.id = self.id;
                 ws.x.clear();

@@ -144,6 +144,7 @@ pub struct TrainResult {
 pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult, MilError> {
     dataset.check_trainable()?;
     options.policy.validate().map_err(MilError::InvalidPolicy)?;
+    let _span = milr_obs::span!("train.dd");
 
     let selected = select_bags(dataset, &options.start_bags)?;
     // Exact reduction: at β = 1 the feasible set `0 ≤ w ≤ 1, Σw ≥ k` is
@@ -224,6 +225,8 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
     let Solution { x, value, .. } = report.best;
     let point = x[..k].to_vec();
     let weights = param.weights_of(&x, k);
+    milr_obs::counter!("milr_train_runs_total").inc();
+    milr_obs::gauge!("milr_train_last_nldd").set(value);
     Ok(TrainResult {
         concept: Concept::new(point, weights),
         nldd: value,

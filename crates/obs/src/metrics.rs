@@ -1,0 +1,553 @@
+//! Unified metrics: counters, gauges, and log-linear histograms behind a
+//! process-wide (or per-component) [`Registry`].
+//!
+//! Every primitive is lock-free on the record path — a [`Counter`] is one
+//! relaxed `fetch_add`, a [`Histogram`] record is five. The registry itself
+//! takes a mutex only on handle *creation*; hot paths cache the returned
+//! `Arc` (the [`counter!`](crate::counter)/[`histogram!`](crate::histogram)
+//! macros do this per call site), so steady state never touches the map.
+//!
+//! # Histogram layout
+//!
+//! Buckets are log-linear: values below [`HIST_SUB_BUCKETS`] get an exact
+//! bucket each; above that, every power-of-two octave is split into
+//! [`HIST_SUB_BUCKETS`] equal sub-buckets. Relative bucket width is at most
+//! `1/HIST_SUB_BUCKETS` (12.5%), so quantile estimates are within one
+//! bucket — i.e. within 12.5% — of exact, at a fixed 496-slot footprint
+//! covering the full `u64` range. Bucket counts are plain `u64` adds, so
+//! snapshots [merge](HistogramSnapshot::merge) associatively and
+//! commutatively — shard per thread, merge at read time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sub-buckets per power-of-two octave (and the number of exact low-value
+/// buckets). Must be a power of two.
+pub const HIST_SUB_BUCKETS: usize = 8;
+const SUB_SHIFT: u32 = HIST_SUB_BUCKETS.trailing_zeros();
+/// Total bucket count covering all of `u64`.
+pub const HIST_BUCKETS: usize = HIST_SUB_BUCKETS + (64 - SUB_SHIFT as usize) * HIST_SUB_BUCKETS;
+
+/// Bucket index for a recorded value (log-linear; see module docs).
+pub fn bucket_index(v: u64) -> usize {
+    if v < HIST_SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros();
+        let pos = ((v >> (octave - SUB_SHIFT)) as usize) - HIST_SUB_BUCKETS;
+        HIST_SUB_BUCKETS + ((octave - SUB_SHIFT) as usize) * HIST_SUB_BUCKETS + pos
+    }
+}
+
+/// Inclusive `(lo, hi)` value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < HIST_SUB_BUCKETS {
+        (i as u64, i as u64)
+    } else {
+        let g = ((i - HIST_SUB_BUCKETS) / HIST_SUB_BUCKETS) as u32;
+        let pos = ((i - HIST_SUB_BUCKETS) % HIST_SUB_BUCKETS) as u64;
+        let lo = (HIST_SUB_BUCKETS as u64 + pos) << g;
+        // The final bucket's exclusive bound is 2^64; wrapping_sub turns the
+        // wrapped 0 into u64::MAX, the correct inclusive cap.
+        let hi = ((HIST_SUB_BUCKETS as u64 + pos + 1) << g).wrapping_sub(1);
+        (lo, hi)
+    }
+}
+
+/// Monotone event counter. One relaxed `fetch_add` per increment.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value, stored as `f64` bits.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+    /// Raise the gauge to `v` if `v` exceeds the current value — an atomic
+    /// high-water mark. Only meaningful for non-negative values, whose IEEE
+    /// bit patterns order the same as the floats themselves.
+    pub fn set_max(&self, v: f64) {
+        debug_assert!(v >= 0.0, "set_max requires a non-negative value");
+        self.0.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free log-linear histogram of `u64` samples (see module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy. Not atomic with respect to concurrent `record`
+    /// calls — a snapshot taken mid-record may be off by the in-flight
+    /// sample; quiescent reads (after joins, or of monotone totals) are
+    /// exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`]; supports merge and quantile reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Fold another snapshot in. Bucket-wise addition plus min/max fold, so
+    /// merge is associative and commutative and `a.merge(b)` answers every
+    /// query exactly as if all samples had been recorded into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Upper bound for the `q`-quantile (`0.0 ..= 1.0`): the inclusive upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` sample, clamped to
+    /// the observed maximum. The true quantile lies in the same bucket, so
+    /// the estimate is within one bucket (≤ 12.5% relative) of exact.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty `(inclusive_upper_bound, cumulative_count)` pairs, in
+    /// ascending bucket order — the series a Prometheus `_bucket` rendering
+    /// needs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_bounds(i).1, cum));
+            }
+        }
+        out
+    }
+}
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Point-in-time value of a registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Name-keyed store of metric handles with get-or-create semantics.
+///
+/// Names follow Prometheus conventions (`milr_train_rounds_total`); a label
+/// set can be baked into the key with [`labelled`] (`name{k="v"}`). Use
+/// [`global()`](crate::global) for process-wide metrics, or own a `Registry`
+/// per component where isolation matters (the daemon owns one per instance
+/// so parallel test servers don't share counters).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub const fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Get-or-create the named counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind — that is
+    /// a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// Get-or-create the named gauge. Panics on a kind mismatch.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// Get-or-create the named histogram. Panics on a kind mismatch.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// Sorted `(name, value)` pairs for every registered metric.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let map = self.metrics.lock().unwrap();
+        map.iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Render every metric in Prometheus text exposition format (v0.0.4).
+    ///
+    /// Histograms emit cumulative `_bucket{le="…"}` series (non-empty
+    /// buckets only — `le` values stay strictly increasing, which the
+    /// format permits), plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, value) in self.snapshot() {
+            let (base, labels) = split_labels(&name);
+            match value {
+                MetricValue::Counter(v) => {
+                    if base != last_base {
+                        let _ = writeln!(out, "# TYPE {base} counter");
+                    }
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    if base != last_base {
+                        let _ = writeln!(out, "# TYPE {base} gauge");
+                    }
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(snap) => {
+                    if base != last_base {
+                        let _ = writeln!(out, "# TYPE {base} histogram");
+                    }
+                    for (le, cum) in snap.cumulative_buckets() {
+                        let series = merge_label(base, labels, "le", &le.to_string());
+                        let _ = writeln!(out, "{base}_bucket{series} {cum}");
+                    }
+                    let inf = merge_label(base, labels, "le", "+Inf");
+                    let _ = writeln!(out, "{base}_bucket{inf} {}", snap.count());
+                    let _ = writeln!(out, "{base}_sum{labels} {}", snap.sum());
+                    let _ = writeln!(out, "{base}_count{labels} {}", snap.count());
+                }
+            }
+            last_base = base.to_owned();
+        }
+        out
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "a counter",
+        Metric::Gauge(_) => "a gauge",
+        Metric::Histogram(_) => "a histogram",
+    }
+}
+
+/// Split a registry key into `(base_name, label_block)` where the label
+/// block is `""` or `{k="v",…}`.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Build the label block for a series, inserting one extra label into an
+/// existing (possibly empty) block.
+fn merge_label(_base: &str, labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        // labels == {k="v",…}: splice before the closing brace.
+        format!("{},{}=\"{}\"}}", &labels[..labels.len() - 1], key, value)
+    }
+}
+
+/// Bake a label set into a registry key: `name{k="v",k2="v2"}` — the
+/// Prometheus series syntax, so rendering needs no further work.
+pub fn labelled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in (0..64).chain([100, 1000, 4095, 4096, 1 << 40, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_relative_width_bounded() {
+        for i in HIST_SUB_BUCKETS..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            // width / lo <= 1 / HIST_SUB_BUCKETS
+            assert!((hi - lo) as f64 / lo as f64 <= 1.0 / HIST_SUB_BUCKETS as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let h = Histogram::new();
+        for v in [0, 1, 5, 9, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum(), 1115);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 1000);
+        assert_eq!(s.quantile_upper_bound(0.0), 0);
+        assert_eq!(s.quantile_upper_bound(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_reads_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.quantile_upper_bound(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn labelled_key_round_trips_through_render() {
+        let r = Registry::new();
+        r.counter(&labelled("req_total", &[("endpoint", "/rank")]))
+            .add(3);
+        r.gauge("depth").set(2.5);
+        let h = r.histogram(&labelled("lat_us", &[("endpoint", "/rank")]));
+        h.record(7);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{endpoint=\"/rank\"} 3"), "{text}");
+        assert!(text.contains("depth 2.5"), "{text}");
+        assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+        assert!(
+            text.contains("lat_us_bucket{endpoint=\"/rank\",le=\"7\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{endpoint=\"/rank\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_sum{endpoint=\"/rank\"} 107"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_count{endpoint=\"/rank\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_cumulative_counts_increase() {
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 7);
+        }
+        let cum = h.snapshot().cumulative_buckets();
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(cum.last().unwrap().1, 1000);
+    }
+}

@@ -109,6 +109,8 @@ pub fn armijo_search<O: Objective + ?Sized>(
         let value = objective.value(&x_new);
         evaluations += 1;
         if value.is_finite() && value <= fx + options.c1 * t * slope {
+            milr_obs::counter!("milr_linesearch_searches_total").inc();
+            milr_obs::counter!("milr_linesearch_backtracks_total").add(evaluations as u64 - 1);
             return Ok(LineSearchResult {
                 step: t,
                 x_new,
@@ -118,6 +120,8 @@ pub fn armijo_search<O: Objective + ?Sized>(
         }
         t *= options.shrink;
     }
+    milr_obs::counter!("milr_linesearch_searches_total").inc();
+    milr_obs::counter!("milr_linesearch_backtracks_total").add(evaluations as u64);
     Err(LineSearchError::StepUnderflow)
 }
 

@@ -44,8 +44,14 @@ where
         !starts.is_empty(),
         "multistart requires at least one start point"
     );
+    let _span = milr_obs::span!("optim.multistart");
     let solutions = pool::run_indexed(starts.len(), threads, |i| solve(&starts[i]));
-    summarize(solutions)
+    let report = summarize(solutions);
+    milr_obs::counter!("milr_multistart_starts_total").add(starts.len() as u64);
+    milr_obs::counter!("milr_multistart_converged_total").add(report.converged_count as u64);
+    milr_obs::counter!("milr_multistart_evaluations_total")
+        .add(report.evaluations.iter().map(|&e| e as u64).sum());
+    report
 }
 
 fn summarize(solutions: Vec<Solution>) -> MultistartReport {

@@ -230,6 +230,28 @@ pub fn respond_json(stream: &mut TcpStream, status: u16, body: &Json) -> std::io
     stream.flush()
 }
 
+/// Writes one complete plain-text response (used for the Prometheus
+/// `/metrics` exposition) and flushes. The connection always closes
+/// afterwards.
+///
+/// # Errors
+/// Propagates socket write failures (the peer may already be gone).
+pub fn respond_text(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
 /// Builds the uniform error body `{"error": message}`.
 pub fn error_body(message: impl Into<String>) -> Json {
     Json::Obj(vec![("error".into(), Json::Str(message.into()))])

@@ -14,16 +14,19 @@
 //! * [`cache`] — LRU concept cache: deterministic training means equal
 //!   example sets under one policy share one concept.
 //! * [`http`] / [`json`] / [`base64`] — minimal wire codecs.
-//! * [`metrics`] — per-endpoint counters and latency histograms behind
-//!   `GET /metrics`.
+//! * [`metrics`] — per-endpoint counters and latency histograms on the
+//!   unified `milr-obs` registry, behind `GET /metrics`.
 //! * [`client`] — the blocking client used by tests and `loadgen`.
 //!
-//! The protocol (all responses JSON, one request per connection):
+//! The protocol (all responses JSON unless noted, one request per
+//! connection):
 //!
 //! | Route | Meaning |
 //! |---|---|
 //! | `GET /healthz` | liveness + snapshot summary |
 //! | `GET /metrics` | counters, histograms, cache and session stats |
+//! | `GET /metrics?format=prometheus` | the same registry in Prometheus text exposition format |
+//! | `GET /trace?n=256` | the most recent spans across all threads, as JSON |
 //! | `GET /rank?positives=1,2&negatives=7&k=10` | stateless one-shot ranking |
 //! | `POST /sessions` | create a feedback session (indices and/or base64 PGM uploads) |
 //! | `GET /sessions/{id}` | session state |

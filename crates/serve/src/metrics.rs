@@ -1,107 +1,75 @@
-//! Request metrics: per-endpoint counters and latency histograms, plus
-//! the daemon-wide gauges (`queue depth`, shed counts) that the accept
-//! loop updates lock-free.
+//! Request metrics on the unified `milr-obs` registry: per-endpoint
+//! counters and latency histograms, plus the daemon-wide connection
+//! counters and queue gauges the accept loop updates lock-free.
 //!
-//! `GET /metrics` serialises the whole structure as JSON. Latency is
-//! histogrammed into fixed log-spaced microsecond buckets — coarse, but
-//! allocation-free and cheap enough to record on every request.
+//! Each daemon owns its own [`obs::Registry`] (parallel test servers in
+//! one process must not share counters); engine metrics (solver, ranking,
+//! preprocessing) live in the process-wide `obs::global()` registry and
+//! are appended to the Prometheus rendering. `GET /metrics` serialises
+//! the same handles as JSON in the shape the chaos/loadgen suites assert,
+//! and as Prometheus text when asked (`?format=prometheus`).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use milr_obs::{self as obs, labelled, HistogramSnapshot};
 
 use crate::json::Json;
 
-/// Upper bounds (µs) of the latency buckets; the last bucket is
-/// unbounded.
-const BUCKET_BOUNDS_US: [u64; 14] = [
-    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
-    1_000_000, 5_000_000,
-];
-
-/// A fixed-bucket latency histogram (microseconds).
-#[derive(Debug, Default, Clone)]
-pub struct LatencyHistogram {
-    counts: [u64; BUCKET_BOUNDS_US.len() + 1],
-    total: u64,
-    sum_us: u64,
-    max_us: u64,
+/// Serialises a latency snapshot in the fixed JSON shape the protocol
+/// documents (`count`/`mean_us`/`max_us`/`p50_us`/`p90_us`/`p99_us`).
+fn latency_json(snap: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::num(snap.count() as f64)),
+        ("mean_us".into(), Json::num(snap.mean())),
+        ("max_us".into(), Json::num(snap.max() as f64)),
+        (
+            "p50_us".into(),
+            Json::num(snap.quantile_upper_bound(0.50) as f64),
+        ),
+        (
+            "p90_us".into(),
+            Json::num(snap.quantile_upper_bound(0.90) as f64),
+        ),
+        (
+            "p99_us".into(),
+            Json::num(snap.quantile_upper_bound(0.99) as f64),
+        ),
+    ])
 }
 
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&mut self, us: u64) {
-        let bucket = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
-        self.counts[bucket] += 1;
-        self.total += 1;
-        self.sum_us += us;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// An upper bound (µs) on the `q`-quantile (0 < q ≤ 1): the bound of
-    /// the first bucket whose cumulative count reaches it. The unbounded
-    /// tail reports the exact observed maximum.
-    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0;
-        for (i, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return BUCKET_BOUNDS_US.get(i).copied().unwrap_or(self.max_us);
-            }
-        }
-        self.max_us
-    }
-
-    /// Mean latency in microseconds.
-    pub fn mean_us(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.total as f64
-        }
-    }
-
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("count".into(), Json::num(self.total as f64)),
-            ("mean_us".into(), Json::num(self.mean_us())),
-            ("max_us".into(), Json::num(self.max_us as f64)),
-            (
-                "p50_us".into(),
-                Json::num(self.quantile_upper_bound(0.50) as f64),
-            ),
-            (
-                "p90_us".into(),
-                Json::num(self.quantile_upper_bound(0.90) as f64),
-            ),
-            (
-                "p99_us".into(),
-                Json::num(self.quantile_upper_bound(0.99) as f64),
-            ),
-        ])
-    }
-}
-
-/// Counters for one endpoint.
-#[derive(Debug, Default, Clone)]
+/// Registry handles for one endpoint.
+#[derive(Debug, Clone)]
 struct EndpointStats {
-    requests: u64,
-    status_2xx: u64,
-    status_4xx: u64,
-    status_5xx: u64,
-    latency: LatencyHistogram,
+    requests: Arc<obs::Counter>,
+    status_2xx: Arc<obs::Counter>,
+    status_4xx: Arc<obs::Counter>,
+    status_5xx: Arc<obs::Counter>,
+    latency: Arc<obs::Histogram>,
+}
+
+impl EndpointStats {
+    fn register(registry: &obs::Registry, endpoint: &str) -> Self {
+        let status = |class: &str| {
+            registry.counter(&labelled(
+                "milrd_requests_total",
+                &[("endpoint", endpoint), ("status", class)],
+            ))
+        };
+        EndpointStats {
+            requests: registry.counter(&labelled(
+                "milrd_endpoint_requests_total",
+                &[("endpoint", endpoint)],
+            )),
+            status_2xx: status("2xx"),
+            status_4xx: status("4xx"),
+            status_5xx: status("5xx"),
+            latency: registry.histogram(&labelled(
+                "milrd_request_latency_us",
+                &[("endpoint", endpoint)],
+            )),
+        }
+    }
 }
 
 /// Daemon-wide metrics registry.
@@ -117,58 +85,91 @@ struct EndpointStats {
 ///
 /// (`shed_total` counts connections refused *before* admission and sits
 /// outside the identity.)
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    registry: obs::Registry,
     endpoints: Mutex<BTreeMap<&'static str, EndpointStats>>,
     /// Connections admitted to the accept queue.
-    pub accepted_total: AtomicU64,
+    pub accepted_total: Arc<obs::Counter>,
     /// Admitted connections that were read, routed, and answered.
-    pub completed_total: AtomicU64,
+    pub completed_total: Arc<obs::Counter>,
     /// Admitted connections whose request could not be read (malformed,
     /// timed out, oversized) — each still receives an HTTP error status.
-    pub read_error_total: AtomicU64,
+    pub read_error_total: Arc<obs::Counter>,
     /// Admitted connections the peer closed before sending any bytes.
-    pub closed_total: AtomicU64,
+    pub closed_total: Arc<obs::Counter>,
     /// Connections refused with `503` because the accept queue was full.
-    pub shed_total: AtomicU64,
+    pub shed_total: Arc<obs::Counter>,
     /// Requests refused with `503` because they overstayed the handle
     /// deadline while queued.
-    pub deadline_shed_total: AtomicU64,
+    pub deadline_shed_total: Arc<obs::Counter>,
     /// Current accept-queue depth (gauge).
-    pub queue_depth: AtomicUsize,
+    pub queue_depth: Arc<obs::Gauge>,
     /// High-water mark of the accept queue.
-    pub queue_peak: AtomicUsize,
+    pub queue_peak: Arc<obs::Gauge>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = obs::Registry::new();
+        let outcome =
+            |o: &str| registry.counter(&labelled("milrd_connections_total", &[("outcome", o)]));
+        Metrics {
+            accepted_total: outcome("accepted"),
+            completed_total: outcome("completed"),
+            read_error_total: outcome("read_error"),
+            closed_total: outcome("closed"),
+            shed_total: outcome("shed"),
+            deadline_shed_total: outcome("deadline_shed"),
+            queue_depth: registry.gauge("milrd_queue_depth"),
+            queue_peak: registry.gauge("milrd_queue_peak"),
+            endpoints: Mutex::new(BTreeMap::new()),
+            registry,
+        }
+    }
 }
 
 impl Metrics {
+    /// The daemon's own registry (connection counters, per-endpoint
+    /// series, queue gauges) — what `/metrics?format=prometheus` renders
+    /// first.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
     /// Records one handled request.
     pub fn record(&self, endpoint: &'static str, status: u16, us: u64) {
-        let mut endpoints = self.endpoints.lock().expect("metrics mutex");
-        let stats = endpoints.entry(endpoint).or_default();
-        stats.requests += 1;
+        let stats = {
+            let mut endpoints = self.endpoints.lock().expect("metrics mutex");
+            endpoints
+                .entry(endpoint)
+                .or_insert_with(|| EndpointStats::register(&self.registry, endpoint))
+                .clone()
+        };
+        stats.requests.inc();
         match status {
-            200..=299 => stats.status_2xx += 1,
-            400..=499 => stats.status_4xx += 1,
-            _ => stats.status_5xx += 1,
+            200..=299 => stats.status_2xx.inc(),
+            400..=499 => stats.status_4xx.inc(),
+            _ => stats.status_5xx.inc(),
         }
         stats.latency.record(us);
     }
 
     /// Updates the queue-depth gauge (and its high-water mark).
     pub fn set_queue_depth(&self, depth: usize) {
-        self.queue_depth.store(depth, Ordering::Relaxed);
-        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        self.queue_depth.set(depth as f64);
+        self.queue_peak.set_max(depth as f64);
     }
 
     /// Whether the connection conservation law holds right now (it is
     /// only guaranteed at quiescence — in-flight connections have been
     /// accepted but not yet resolved).
     pub fn connections_balanced(&self) -> bool {
-        let accepted = self.accepted_total.load(Ordering::Relaxed);
-        let resolved = self.completed_total.load(Ordering::Relaxed)
-            + self.read_error_total.load(Ordering::Relaxed)
-            + self.closed_total.load(Ordering::Relaxed)
-            + self.deadline_shed_total.load(Ordering::Relaxed);
+        let accepted = self.accepted_total.get();
+        let resolved = self.completed_total.get()
+            + self.read_error_total.get()
+            + self.closed_total.get()
+            + self.deadline_shed_total.get();
         accepted == resolved
     }
 
@@ -178,7 +179,7 @@ impl Metrics {
             .lock()
             .expect("metrics mutex")
             .values()
-            .map(|s| s.requests)
+            .map(|s| s.requests.get())
             .sum()
     }
 
@@ -192,11 +193,20 @@ impl Metrics {
                     (
                         (*name).to_string(),
                         Json::Obj(vec![
-                            ("requests".into(), Json::num(stats.requests as f64)),
-                            ("status_2xx".into(), Json::num(stats.status_2xx as f64)),
-                            ("status_4xx".into(), Json::num(stats.status_4xx as f64)),
-                            ("status_5xx".into(), Json::num(stats.status_5xx as f64)),
-                            ("latency".into(), stats.latency.to_json()),
+                            ("requests".into(), Json::num(stats.requests.get() as f64)),
+                            (
+                                "status_2xx".into(),
+                                Json::num(stats.status_2xx.get() as f64),
+                            ),
+                            (
+                                "status_4xx".into(),
+                                Json::num(stats.status_4xx.get() as f64),
+                            ),
+                            (
+                                "status_5xx".into(),
+                                Json::num(stats.status_5xx.get() as f64),
+                            ),
+                            ("latency".into(), latency_json(&stats.latency.snapshot())),
                         ]),
                     )
                 })
@@ -211,17 +221,22 @@ mod tests {
 
     #[test]
     fn histogram_tracks_quantiles_and_mean() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.quantile_upper_bound(0.5), 0);
-        for us in [50, 80, 200, 400, 900, 9_000, 40_000, 2_000_000, 9_999_999] {
+        let h = obs::Histogram::new();
+        assert_eq!(h.snapshot().quantile_upper_bound(0.5), 0);
+        for us in [
+            50u64, 80, 200, 400, 900, 9_000, 40_000, 2_000_000, 9_999_999,
+        ] {
             h.record(us);
         }
-        assert_eq!(h.count(), 9);
-        // 5th of 9 observations (rank ceil(0.5*9)=5) lands in the ≤1000 bucket.
-        assert_eq!(h.quantile_upper_bound(0.5), 1_000);
-        // The unbounded tail reports the observed maximum.
-        assert_eq!(h.quantile_upper_bound(1.0), 9_999_999);
-        assert!(h.mean_us() > 0.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 9);
+        // Rank ceil(0.5*9)=5 is the observation 900; the log-linear bucket
+        // estimate stays within one bucket (≤12.5%) of it.
+        let p50 = snap.quantile_upper_bound(0.5);
+        assert!((900..=1023).contains(&p50), "p50={p50}");
+        // The estimate is clamped to the observed maximum.
+        assert_eq!(snap.quantile_upper_bound(1.0), 9_999_999);
+        assert!(snap.mean() > 0.0);
     }
 
     #[test]
@@ -244,15 +259,15 @@ mod tests {
     fn connection_conservation_law() {
         let m = Metrics::default();
         assert!(m.connections_balanced(), "empty registry balances");
-        m.accepted_total.fetch_add(5, Ordering::Relaxed);
+        m.accepted_total.add(5);
         assert!(!m.connections_balanced(), "in-flight connections imbalance");
-        m.completed_total.fetch_add(2, Ordering::Relaxed);
-        m.read_error_total.fetch_add(1, Ordering::Relaxed);
-        m.closed_total.fetch_add(1, Ordering::Relaxed);
-        m.deadline_shed_total.fetch_add(1, Ordering::Relaxed);
+        m.completed_total.add(2);
+        m.read_error_total.add(1);
+        m.closed_total.add(1);
+        m.deadline_shed_total.add(1);
         assert!(m.connections_balanced(), "every outcome counted once");
         // Pre-admission sheds sit outside the identity.
-        m.shed_total.fetch_add(10, Ordering::Relaxed);
+        m.shed_total.add(10);
         assert!(m.connections_balanced());
     }
 
@@ -262,7 +277,32 @@ mod tests {
         m.set_queue_depth(3);
         m.set_queue_depth(7);
         m.set_queue_depth(1);
-        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 1);
-        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 7);
+        assert_eq!(m.queue_depth.get(), 1.0);
+        assert_eq!(m.queue_peak.get(), 7.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_connections_and_endpoints() {
+        let m = Metrics::default();
+        m.accepted_total.inc();
+        m.completed_total.inc();
+        m.record("/rank", 200, 1234);
+        let text = m.registry().render_prometheus();
+        assert!(
+            text.contains("milrd_connections_total{outcome=\"accepted\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("milrd_endpoint_requests_total{endpoint=\"/rank\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("milrd_request_latency_us_count{endpoint=\"/rank\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE milrd_request_latency_us histogram"),
+            "{text}"
+        );
     }
 }

@@ -14,7 +14,8 @@
 //! * shutdown is graceful: the flag flips, the acceptor is unblocked by
 //!   a self-connection, workers drain the queue and exit.
 //!
-//! All request state lives in [`Daemon`]: the shared database and
+//! All request state lives in the private `Daemon` struct: the shared
+//! database and
 //! config (`Arc`, read-only), the concept cache, the session store and
 //! the metrics registry.
 
@@ -241,7 +242,7 @@ fn accept_loop(daemon: &Daemon, listener: &TcpListener) {
         let mut queue = daemon.queue.lock().expect("accept queue mutex");
         if queue.len() >= daemon.options.queue_depth {
             drop(queue);
-            daemon.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            daemon.metrics.shed_total.inc();
             // Answer on a throwaway thread: the acceptor must never block
             // on a slow peer, and the socket has to be drained after the
             // 503 (see `drain_before_close`) or the client may lose the
@@ -260,10 +261,7 @@ fn accept_loop(daemon: &Daemon, listener: &TcpListener) {
         queue.push_back((stream, Instant::now()));
         daemon.metrics.set_queue_depth(queue.len());
         drop(queue);
-        daemon
-            .metrics
-            .accepted_total
-            .fetch_add(1, Ordering::Relaxed);
+        daemon.metrics.accepted_total.inc();
         daemon.queue_cv.notify_one();
     }
 }
@@ -302,10 +300,7 @@ fn worker_loop(daemon: &Daemon) {
 
 fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) {
     if enqueued.elapsed() > daemon.options.handle_deadline {
-        daemon
-            .metrics
-            .deadline_shed_total
-            .fetch_add(1, Ordering::Relaxed);
+        daemon.metrics.deadline_shed_total.inc();
         let _ = http::respond_json(
             &mut stream,
             503,
@@ -318,7 +313,7 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) 
     let request = match http::read_request(&mut stream, daemon.options.max_body) {
         Ok(request) => request,
         Err(ReadError::Closed) => {
-            daemon.metrics.closed_total.fetch_add(1, Ordering::Relaxed);
+            daemon.metrics.closed_total.inc();
             return;
         }
         Err(err) => {
@@ -331,23 +326,28 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) 
             };
             let us = started.elapsed().as_micros() as u64;
             daemon.metrics.record("(unreadable)", status, us);
-            daemon
-                .metrics
-                .read_error_total
-                .fetch_add(1, Ordering::Relaxed);
+            daemon.metrics.read_error_total.inc();
             let _ = http::respond_json(&mut stream, status, &http::error_body(message));
             drain_before_close(&mut stream);
             return;
         }
     };
-    let (endpoint, status, body) = route(daemon, &request);
+    let (endpoint, status, body) = {
+        let _span = milr_obs::span::enter("serve.request");
+        route(daemon, &request)
+    };
     let us = started.elapsed().as_micros() as u64;
     daemon.metrics.record(endpoint, status, us);
-    daemon
-        .metrics
-        .completed_total
-        .fetch_add(1, Ordering::Relaxed);
-    let _ = http::respond_json(&mut stream, status, &body);
+    daemon.metrics.completed_total.inc();
+    let _ = match &body {
+        Payload::Json(json) => http::respond_json(&mut stream, status, json),
+        Payload::Text(text) => http::respond_text(
+            &mut stream,
+            status,
+            "text/plain; version=0.0.4; charset=utf-8",
+            text,
+        ),
+    };
 }
 
 /// Consumes (bounded) whatever the peer already sent before the socket
@@ -368,15 +368,37 @@ fn drain_before_close(stream: &mut TcpStream) {
     }
 }
 
+/// A response body: JSON for the protocol proper, plain text for the
+/// Prometheus `/metrics` exposition.
+enum Payload {
+    Json(Json),
+    Text(String),
+}
+
 /// Dispatches one parsed request. Returns `(endpoint label, status,
 /// body)`; the label keys the metrics registry, so dynamic path segments
 /// collapse into placeholders.
-fn route(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
+///
+/// `GET /metrics?format=prometheus` is the one non-JSON route; everything
+/// else delegates to [`route_json`].
+fn route(daemon: &Daemon, req: &Request) -> (&'static str, u16, Payload) {
+    if req.method == "GET"
+        && req.path == "/metrics"
+        && req.query_param("format") == Some("prometheus")
+    {
+        return ("/metrics", 200, Payload::Text(metrics_prometheus(daemon)));
+    }
+    let (endpoint, status, json) = route_json(daemon, req);
+    (endpoint, status, Payload::Json(json))
+}
+
+fn route_json(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
     let method = req.method.as_str();
     let path = req.path.as_str();
     match (method, path) {
         ("GET", "/healthz") => ("/healthz", 200, healthz(daemon)),
         ("GET", "/metrics") => ("/metrics", 200, metrics_json(daemon)),
+        ("GET", "/trace") => ("/trace", 200, trace_json(req)),
         ("GET", "/rank") => {
             let (status, body) = handle_rank(daemon, req);
             ("/rank", status, body)
@@ -412,7 +434,7 @@ fn route(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
             }
             let known = matches!(
                 path,
-                "/healthz" | "/metrics" | "/rank" | "/sessions" | "/admin/shutdown"
+                "/healthz" | "/metrics" | "/trace" | "/rank" | "/sessions" | "/admin/shutdown"
             );
             if known {
                 (
@@ -532,40 +554,108 @@ fn metrics_json(daemon: &Daemon) -> Json {
         ),
         (
             "accepted_total".into(),
-            Json::num(daemon.metrics.accepted_total.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.accepted_total.get() as f64),
         ),
         (
             "completed_total".into(),
-            Json::num(daemon.metrics.completed_total.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.completed_total.get() as f64),
         ),
         (
             "read_error_total".into(),
-            Json::num(daemon.metrics.read_error_total.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.read_error_total.get() as f64),
         ),
         (
             "closed_total".into(),
-            Json::num(daemon.metrics.closed_total.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.closed_total.get() as f64),
         ),
         (
             "shed_total".into(),
-            Json::num(daemon.metrics.shed_total.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.shed_total.get() as f64),
         ),
         (
             "deadline_shed_total".into(),
-            Json::num(daemon.metrics.deadline_shed_total.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.deadline_shed_total.get() as f64),
         ),
         (
             "queue_depth".into(),
-            Json::num(daemon.metrics.queue_depth.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.queue_depth.get()),
         ),
         (
             "queue_peak".into(),
-            Json::num(daemon.metrics.queue_peak.load(Ordering::Relaxed) as f64),
+            Json::num(daemon.metrics.queue_peak.get()),
         ),
         ("concept_cache".into(), cache_json),
         ("sessions".into(), sessions_json),
         ("endpoints".into(), daemon.metrics.endpoints_json()),
     ])
+}
+
+/// Prometheus text exposition: the daemon's own registry (connection
+/// outcomes, per-endpoint series, queue gauges, cache/session state
+/// mirrored into gauges just before rendering) followed by the
+/// process-wide engine registry (solver, ranking, preprocessing).
+fn metrics_prometheus(daemon: &Daemon) -> String {
+    let registry = daemon.metrics.registry();
+    registry
+        .gauge("milrd_uptime_seconds")
+        .set(daemon.started.elapsed().as_secs_f64());
+    {
+        let cache = daemon.cache.lock().expect("concept cache mutex");
+        registry
+            .gauge("milrd_concept_cache_hits")
+            .set(cache.hits() as f64);
+        registry
+            .gauge("milrd_concept_cache_misses")
+            .set(cache.misses() as f64);
+        registry
+            .gauge("milrd_concept_cache_entries")
+            .set(cache.len() as f64);
+        registry
+            .gauge("milrd_concept_cache_capacity")
+            .set(cache.capacity() as f64);
+    }
+    let sessions = daemon.sessions.stats();
+    registry
+        .gauge("milrd_sessions_active")
+        .set(sessions.active as f64);
+    registry
+        .gauge("milrd_sessions_created")
+        .set(sessions.created_total as f64);
+    registry
+        .gauge("milrd_sessions_expired")
+        .set(sessions.expired_total as f64);
+    registry
+        .gauge("milrd_sessions_evicted")
+        .set(sessions.evicted_total as f64);
+    let mut out = registry.render_prometheus();
+    out.push_str(&milr_obs::global().render_prometheus());
+    out
+}
+
+/// `GET /trace` — the most recent spans (all threads, oldest first) as a
+/// JSON array; `?n=` caps the count (default 256).
+fn trace_json(req: &Request) -> Json {
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256);
+    let spans = milr_obs::recent_spans(n);
+    Json::Obj(vec![(
+        "spans".into(),
+        Json::Arr(
+            spans
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(s.name)),
+                        ("thread".into(), Json::num(s.thread as f64)),
+                        ("start_us".into(), Json::num(s.start_us as f64)),
+                        ("dur_ns".into(), Json::num(s.dur_ns as f64)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
 }
 
 /// Maps a core failure to an HTTP status: caller mistakes are 4xx,
@@ -659,6 +749,7 @@ fn concept_via_cache(
 /// `GET /rank` — the stateless one-shot: train (or fetch the cached
 /// concept) for the query-string example sets and return the top-k page.
 fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
+    let _span = milr_obs::span::enter("serve.rank");
     let positives = match parse_index_list(req.query_param("positives").unwrap_or("")) {
         Ok(list) => list,
         Err(msg) => return (400, http::error_body(msg)),
@@ -766,6 +857,7 @@ fn body_indices(body: &Json, field: &str) -> Result<Vec<usize>, String> {
 /// `POST /sessions` — creates a feedback session from explicit marks
 /// and/or uploaded PGM images.
 fn handle_create_session(daemon: &Daemon, req: &Request) -> (u16, Json) {
+    let _span = milr_obs::span::enter("serve.session_create");
     let text = match std::str::from_utf8(&req.body) {
         Ok(text) => text,
         Err(_) => return (400, http::error_body("body is not UTF-8")),
@@ -870,6 +962,7 @@ fn session_info(daemon: &Daemon, id: u64) -> (u16, Json) {
 /// `POST /sessions/{id}/feedback` — applies new marks, retrains (or
 /// installs a cached concept), and returns the next ranked page.
 fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
+    let _span = milr_obs::span::enter("serve.feedback");
     let text = match std::str::from_utf8(&req.body) {
         Ok(text) => text,
         Err(_) => return (400, http::error_body("body is not UTF-8")),

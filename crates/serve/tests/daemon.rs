@@ -442,3 +442,82 @@ fn session_crud_works_over_the_wire() {
     assert_eq!(daemon.get(&format!("/sessions/{id}")).status, 404);
     daemon.drain();
 }
+
+#[test]
+fn metrics_render_as_prometheus_text_on_request() {
+    let snapshot = snapshot_path("prom", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+    // Generate some traffic so counters and latency series exist.
+    assert_eq!(daemon.get("/healthz").status, 200);
+    assert_eq!(
+        daemon.get("/rank?positives=0,4&negatives=1&k=5").status,
+        200
+    );
+
+    // Default shape stays JSON (back-compat for chaos/loadgen suites).
+    let json = daemon.get("/metrics").json().unwrap();
+    assert!(json.get("accepted_total").unwrap().as_u64().unwrap() >= 2);
+
+    let prom = daemon.get("/metrics?format=prometheus");
+    assert_eq!(prom.status, 200);
+    let text = std::str::from_utf8(&prom.body).expect("prometheus body is UTF-8");
+    assert!(text.parse::<f64>().is_err(), "text exposition, not JSON");
+    assert!(
+        text.contains("milrd_connections_total{outcome=\"accepted\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE milrd_request_latency_us histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("milrd_request_latency_us_bucket{endpoint=\"/rank\",le=\""),
+        "{text}"
+    );
+    // Engine metrics from the process-wide registry ride along: the /rank
+    // request above trained a concept and ranked the pool.
+    assert!(text.contains("milr_multistart_starts_total"), "{text}");
+    assert!(text.contains("milr_rank_topk_latency_us"), "{text}");
+    daemon.drain();
+}
+
+#[test]
+fn trace_returns_recent_spans_as_json() {
+    let snapshot = snapshot_path("trace", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+    assert_eq!(
+        daemon.get("/rank?positives=0,4&negatives=1&k=5").status,
+        200
+    );
+    let response = daemon.get("/trace?n=512");
+    assert_eq!(response.status, 200);
+    let spans = response
+        .json()
+        .unwrap()
+        .get("spans")
+        .and_then(Json::as_array)
+        .expect("spans array")
+        .to_vec();
+    assert!(!spans.is_empty(), "the /rank request must have left spans");
+    let names: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            s.get("name")
+                .and_then(Json::as_str)
+                .expect("name")
+                .to_string()
+        })
+        .collect();
+    assert!(names.iter().any(|n| n == "serve.request"), "{names:?}");
+    assert!(names.iter().any(|n| n == "train.dd"), "{names:?}");
+    assert!(
+        spans
+            .iter()
+            .all(|s| s.get("dur_ns").and_then(Json::as_f64).is_some()),
+        "every span carries a duration"
+    );
+    // The n cap is honoured.
+    let capped = daemon.get("/trace?n=1").json().unwrap();
+    assert!(capped.get("spans").and_then(Json::as_array).unwrap().len() <= 1);
+    daemon.drain();
+}

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("golden") => cmd_golden(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("query-files") => cmd_query_files(&args[1..]),
@@ -59,6 +60,7 @@ fn print_usage() {
          [--queue-depth N] [--cache-capacity N] [--page K] [--policy POLICY]\n                \
          [--read-timeout-ms N] [--handle-deadline-ms N] [--max-body N]\n                \
          [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n  \
+         milr trace    --addr HOST:PORT [--n N] [--json]\n  \
          milr golden   [--bless] [--dir DIR]   (default DIR: tests/golden)\n  \
          milr query    --kind scenes|objects --category NAME [--policy POLICY]\n                \
          [--per-category N] [--seed N] [--rounds N] [--fast]\n                \
@@ -298,6 +300,76 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.wait();
     println!("milrd drained");
+    Ok(())
+}
+
+/// Fetches the most recent spans from a running daemon's `/trace`
+/// endpoint and prints them as a table plus a per-name summary
+/// (count / total / max duration). `--json` dumps the raw response
+/// body for piping into other tools.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let addr_text = flag(args, "--addr").ok_or("--addr is required")?;
+    let addr: std::net::SocketAddr = addr_text
+        .parse()
+        .map_err(|_| format!("invalid --addr {addr_text:?}"))?;
+    let n: usize = flag(args, "--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let response = milr::serve::client::get(
+        addr,
+        &format!("/trace?n={n}"),
+        std::time::Duration::from_secs(10),
+    )
+    .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("daemon returned HTTP {}", response.status));
+    }
+    let body = String::from_utf8_lossy(&response.body).into_owned();
+    if args.iter().any(|a| a == "--json") {
+        println!("{body}");
+        return Ok(());
+    }
+    let json = milr::serve::Json::parse(&body).map_err(|e| format!("bad /trace response: {e}"))?;
+    let spans = json
+        .get("spans")
+        .and_then(milr::serve::Json::as_array)
+        .ok_or("response has no spans array")?;
+    let field = |span: &milr::serve::Json, key: &str| -> u64 {
+        span.get(key)
+            .and_then(milr::serve::Json::as_u64)
+            .unwrap_or(0)
+    };
+    println!(
+        "{:<24} {:>6} {:>14} {:>12}",
+        "span", "thread", "start_us", "dur_us"
+    );
+    let mut by_name: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for span in spans {
+        let name = span
+            .get("name")
+            .and_then(milr::serve::Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let dur_us = field(span, "dur_ns") / 1_000;
+        println!(
+            "{name:<24} {:>6} {:>14} {:>12}",
+            field(span, "thread"),
+            field(span, "start_us"),
+            dur_us,
+        );
+        let entry = by_name.entry(name).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += dur_us;
+        entry.2 = entry.2.max(dur_us);
+    }
+    println!(
+        "\n{:<24} {:>6} {:>14} {:>12}",
+        "summary", "count", "total_us", "max_us"
+    );
+    for (name, (count, total, max)) in &by_name {
+        println!("{name:<24} {count:>6} {total:>14} {max:>12}");
+    }
     Ok(())
 }
 
