@@ -122,7 +122,13 @@ mod tests {
         };
         let pool = vec![0, 1, 2, 6, 7, 8];
         let test = vec![3, 4, 5, 9, 10, 11];
-        let mut session = QuerySession::new(&db, &config, 0, pool, test).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&config)
+            .target(0)
+            .pool(pool)
+            .test(test)
+            .build()
+            .unwrap();
         let ranking = session.run().unwrap();
         let top3: Vec<usize> = ranking.iter().take(3).map(|&(i, _)| i).collect();
         for i in top3 {

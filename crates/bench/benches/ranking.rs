@@ -2,7 +2,7 @@
 //! concept (the per-query retrieval cost once training is done).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use milr_core::RetrievalDatabase;
+use milr_core::{RankRequest, RetrievalDatabase};
 use milr_mil::{Bag, Concept};
 
 fn database(images: usize) -> RetrievalDatabase {
@@ -31,12 +31,9 @@ fn bench_ranking(c: &mut Criterion) {
     for images in [100usize, 500] {
         let db = database(images);
         let concept = Concept::new(vec![0.1; 100], vec![0.7; 100]);
-        let candidates: Vec<usize> = (0..images).collect();
+        let request = RankRequest::all();
         group.bench_with_input(BenchmarkId::from_parameter(images), &images, |b, _| {
-            b.iter(|| {
-                db.rank(std::hint::black_box(&concept), &candidates)
-                    .unwrap()
-            })
+            b.iter(|| db.rank(std::hint::black_box(&concept), &request).unwrap())
         });
     }
     group.finish();

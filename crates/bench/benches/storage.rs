@@ -2,7 +2,8 @@
 //! (the "preprocess once, query forever" path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use milr_core::{storage, RetrievalDatabase};
+use milr_core::storage::Store;
+use milr_core::RetrievalDatabase;
 use milr_mil::Bag;
 
 fn database(images: usize) -> RetrievalDatabase {
@@ -31,14 +32,19 @@ fn bench_storage(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bench.milrdb");
 
+    let store = Store::default();
     let mut group = c.benchmark_group("storage_100_images");
     group.sample_size(20);
     group.bench_function("save", |b| {
-        b.iter(|| storage::save_database(std::hint::black_box(&db), &path).unwrap())
+        b.iter(|| store.save(std::hint::black_box(&db), &path).unwrap())
     });
-    storage::save_database(&db, &path).unwrap();
+    store.save(&db, &path).unwrap();
     group.bench_function("load", |b| {
-        b.iter(|| storage::load_database(std::hint::black_box(&path)).unwrap())
+        b.iter(|| {
+            store
+                .open::<RetrievalDatabase>(std::hint::black_box(&path))
+                .unwrap()
+        })
     });
     group.finish();
     std::fs::remove_file(&path).ok();

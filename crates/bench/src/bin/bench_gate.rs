@@ -8,6 +8,9 @@
 //!
 //! * `ranking_identical` must be `true` — the pruned/bounded rankers must
 //!   stay bit-identical to the naive reference. Always enforced.
+//! * `sharded_identical` must be `true` and `shard_count >= 4` — the
+//!   scatter-gather store must prove bit-identity over a real shard
+//!   fan-out. Always enforced.
 //! * `loadgen` must complete with zero hard errors and at least one
 //!   request per client. Always enforced.
 //! * The end-to-end **speedup** (reference time / optimized time, both
@@ -116,6 +119,23 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
         identical,
         format!("ranking_identical = {identical}"),
     );
+    let sharded_identical = perf
+        .get("sharded_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    check(
+        &mut lines,
+        &mut passed,
+        sharded_identical,
+        format!("sharded_identical = {sharded_identical}"),
+    );
+    let shard_count = number(perf, &["shard_count"]).unwrap_or(0.0);
+    check(
+        &mut lines,
+        &mut passed,
+        shard_count >= 4.0,
+        format!("shard_count {shard_count} >= 4"),
+    );
 
     // 2. Load test health: no hard errors, every client made progress.
     let errors = number(loadgen, &["errors"]).unwrap_or(f64::INFINITY);
@@ -159,6 +179,27 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
         ),
     );
 
+    // 4. Scatter-gather overhead: the sharded full rank, measured against
+    // the same naive reference, must not regress vs the baseline. Only
+    // enforced once the baseline carries the field.
+    let base_sharded = number(baseline, &["perf", "sharded_rank_speedup"]).unwrap_or(0.0);
+    if base_sharded > 0.0 {
+        let fresh_sharded =
+            number(perf, &["phases", "rank_sharded_full", "speedup"]).unwrap_or(0.0);
+        let floor = base_sharded * (1.0 - tolerance);
+        check(
+            &mut lines,
+            &mut passed,
+            fresh_sharded >= floor,
+            format!(
+                "sharded rank speedup {fresh_sharded:.3}x >= {floor:.3}x \
+                 (baseline {base_sharded:.3}x, tolerance {tolerance})"
+            ),
+        );
+    } else {
+        lines.push("note: baseline has no sharded_rank_speedup; skipping that check".into());
+    }
+
     Report {
         passed,
         text: lines.join("\n"),
@@ -168,6 +209,8 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
 /// Distils the two fresh artifacts into the small checked-in baseline.
 fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
+    let sharded = number(perf, &["phases", "rank_sharded_full", "speedup"]).unwrap_or(0.0);
+    let shards = number(perf, &["shard_count"]).unwrap_or(0.0);
     let cores = number(perf, &["cores"]).unwrap_or(0.0);
     let scale = perf
         .get("scale")
@@ -177,8 +220,9 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let throughput = number(loadgen, &["throughput_rps"]).unwrap_or(0.0);
     let p99 = number(loadgen, &["latency_us", "p99"]).unwrap_or(0.0);
     format!(
-        "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \"cores\": {cores}, \
-         \"scale\": \"{scale}\" }},\n  \
+        "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \
+         \"sharded_rank_speedup\": {sharded:.3}, \"shard_count\": {shards}, \
+         \"cores\": {cores}, \"scale\": \"{scale}\" }},\n  \
          \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99} }}\n}}\n"
     )
 }
@@ -221,13 +265,16 @@ mod tests {
 
     fn fixture(speedup: f64, cores: u64, identical: bool, errors: u64) -> (Json, Json, Json) {
         let baseline = Json::parse(
-            "{ \"perf\": { \"end_to_end_speedup\": 3.0, \"cores\": 8 }, \
+            "{ \"perf\": { \"end_to_end_speedup\": 3.0, \"cores\": 8, \
+               \"sharded_rank_speedup\": 1.5 }, \
                \"loadgen\": { \"throughput_rps\": 500.0, \"p99_us\": 900 } }",
         )
         .unwrap();
         let perf = Json::parse(&format!(
-            "{{ \"ranking_identical\": {identical}, \"cores\": {cores}, \
-               \"end_to_end\": {{ \"speedup\": {speedup} }} }}"
+            "{{ \"ranking_identical\": {identical}, \"sharded_identical\": {identical}, \
+               \"shard_count\": 4, \"cores\": {cores}, \
+               \"end_to_end\": {{ \"speedup\": {speedup} }}, \
+               \"phases\": {{ \"rank_sharded_full\": {{ \"speedup\": {speedup} }} }} }}"
         ))
         .unwrap();
         let loadgen = Json::parse(&format!(

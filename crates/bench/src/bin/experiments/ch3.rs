@@ -147,14 +147,13 @@ pub fn fig3_7(scale: Scale, seed: u64) {
             policy,
             ..config_base.clone()
         };
-        let mut session = QuerySession::new(
-            &retrieval,
-            &config,
-            waterfall,
-            split.pool.clone(),
-            split.test.clone(),
-        )
-        .unwrap();
+        let mut session = QuerySession::builder(&retrieval)
+            .config(&config)
+            .target(waterfall)
+            .pool(split.pool.clone())
+            .test(split.test.clone())
+            .build()
+            .unwrap();
         session.run_round().unwrap();
         let concept = session.concept().unwrap();
         let w = concept.weights();

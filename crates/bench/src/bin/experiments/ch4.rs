@@ -5,7 +5,7 @@ use milr_bench::{
     format_pr_table, format_recall_table, object_database, outcome_from_relevance, run_query,
     scene_database, QueryOutcome, Scale,
 };
-use milr_core::{eval, QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr_core::{eval, QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase};
 use milr_imgproc::RegionLayout;
 use milr_mil::{StartBags, WeightPolicy};
 use milr_synth::DatabaseSplit;
@@ -62,8 +62,13 @@ fn sample_run(
 ) {
     let config = RetrievalConfig::default();
     let db = preprocess(images, &config);
-    let mut session =
-        QuerySession::new(&db, &config, target, split.pool.clone(), split.test.clone()).unwrap();
+    let mut session = QuerySession::builder(&db)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
 
     println!("retrieving '{name}': 3 rounds, top-5 false positives per round\n");
     for round in 1..=config.feedback_rounds {
@@ -94,7 +99,7 @@ fn sample_run(
         }
     }
 
-    let ranking = session.rank_test().unwrap();
+    let ranking = session.rank(&RankRequest::test()).unwrap();
     let relevant = eval::relevance(&ranking, db.labels(), target);
     let outcome = outcome_from_relevance(relevant, session.nldd());
     println!("\nfinal test-set retrieval:");
@@ -485,7 +490,12 @@ fn train_then_rank_transformed(
     target: usize,
     split: &DatabaseSplit,
 ) -> QueryOutcome {
-    let mut session = QuerySession::new(db, config, target, split.pool.clone(), split.test.clone())
+    let mut session = QuerySession::builder(db)
+        .config(config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
         .expect("query setup failed");
     // Run the training rounds (pool feedback) on the original database.
     for round in 0..config.feedback_rounds {
@@ -497,7 +507,9 @@ fn train_then_rank_transformed(
         }
     }
     let concept = session.concept().expect("trained").clone();
-    let ranking = test_db.rank(&concept, &split.test).expect("ranking failed");
+    let ranking = test_db
+        .rank(&concept, &RankRequest::over(split.test.clone()))
+        .expect("ranking failed");
     let relevant = eval::relevance(&ranking, test_db.labels(), target);
     outcome_from_relevance(relevant, session.nldd())
 }

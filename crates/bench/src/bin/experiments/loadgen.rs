@@ -34,9 +34,8 @@ pub fn loadgen(scale: Scale, seed: u64) {
     let config = RetrievalConfig::default();
     let db_src = scene_database(scale, seed);
     eprintln!("preprocessing {} scene images ...", db_src.len());
-    let mut db = RetrievalDatabase::from_labelled_images(db_src.gray_images(), &config)
+    let db = RetrievalDatabase::from_labelled_images(db_src.gray_images(), &config)
         .expect("preprocessing failed");
-    db.set_threads(1);
     let images = db.len();
 
     // One combo per category (cycled if there are fewer categories):

@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use milr_bench::{scene_database, Scale};
-use milr_core::{RetrievalConfig, RetrievalDatabase};
+use milr_core::{RankRequest, RetrievalConfig, RetrievalDatabase};
 use milr_mil::{BagLabel, Concept, DdObjective, LegacyDdObjective, MilDataset, Parameterization};
 use milr_optim::{
     multistart, projected_gradient, BoxSumProjection, Objective, ProjectedGradientOptions,
@@ -228,9 +228,9 @@ pub fn perf(scale: Scale, seed: u64) {
         counter("milr_rank_topk_pruned_total"),
     );
     let reference = naive_rank();
-    let pruned = db.rank(&concept, &candidates).unwrap();
+    let pruned = db.rank(&concept, &RankRequest::all()).unwrap();
     assert_eq!(pruned, reference, "pruned ranking must be bit-identical");
-    let top = db.rank_top_k(&concept, &candidates, TOP_K).unwrap();
+    let top = db.rank(&concept, &RankRequest::all().top(TOP_K)).unwrap();
     assert_eq!(
         top,
         reference[..TOP_K.min(reference.len())],
@@ -248,11 +248,11 @@ pub fn perf(scale: Scale, seed: u64) {
         std::hint::black_box(&r);
     });
     let rank_opt = best_of(reps, || {
-        let r = db.rank(&concept, &candidates).unwrap();
+        let r = db.rank(&concept, &RankRequest::all()).unwrap();
         std::hint::black_box(&r);
     });
     let topk_opt = best_of(reps, || {
-        let r = db.rank_top_k(&concept, &candidates, TOP_K).unwrap();
+        let r = db.rank(&concept, &RankRequest::all().top(TOP_K)).unwrap();
         std::hint::black_box(&r);
     });
     phase_line("rank (full)", rank_ref, rank_opt);
@@ -272,6 +272,51 @@ pub fn perf(scale: Scale, seed: u64) {
         100.0 * prune_rate
     );
 
+    // ---- Phase 4: sharded scatter-gather vs monolithic ---------------
+    // The v3 store splits the same database over >= 4 shards; scatter-
+    // gather ranking must stay bit-identical while the overhead of the
+    // per-shard fan-out + merge is measured head to head.
+    let shard_capacity = db.len().div_ceil(4).max(1);
+    let shard_dir = std::env::temp_dir()
+        .join("milr_perf_bench")
+        .join(format!("shards_{}", std::process::id()));
+    std::fs::remove_dir_all(&shard_dir).ok();
+    let store = milr_store::ShardedDatabase::from_database(&db, &shard_dir, shard_capacity)
+        .expect("shard the scene database");
+    let shard_count = store.shard_count();
+    assert!(shard_count >= 4, "perf must measure a real shard fan-out");
+    let sharded_full = store.rank(&concept, &RankRequest::all()).unwrap();
+    assert_eq!(
+        sharded_full, reference,
+        "sharded ranking must be bit-identical"
+    );
+    let sharded_top = store
+        .rank(&concept, &RankRequest::all().top(TOP_K))
+        .unwrap();
+    assert_eq!(
+        sharded_top,
+        reference[..TOP_K.min(reference.len())],
+        "sharded top-k must be an exact prefix of the full ranking"
+    );
+    let sharded_identical = true;
+    let rank_sharded = best_of(reps, || {
+        let r = store.rank(&concept, &RankRequest::all()).unwrap();
+        std::hint::black_box(&r);
+    });
+    let topk_sharded = best_of(reps, || {
+        let r = store
+            .rank(&concept, &RankRequest::all().top(TOP_K))
+            .unwrap();
+        std::hint::black_box(&r);
+    });
+    phase_line("rank (sharded full)", rank_ref, rank_sharded);
+    phase_line("rank (sharded top-k)", rank_ref, topk_sharded);
+    println!(
+        "               scatter-gather over {shard_count} shards \
+         (capacity {shard_capacity} bags)"
+    );
+    std::fs::remove_dir_all(&shard_dir).ok();
+
     // ---- End-to-end and the JSON artifact ----------------------------
     let total_ref = pre_ref + train_ref + rank_ref;
     let total_opt = pre_opt + train_opt + topk_opt;
@@ -287,7 +332,9 @@ pub fn perf(scale: Scale, seed: u64) {
          \"cores\": {cores},\n  \"rustflags\": {rustflags:?},\n  \
          \"database_images\": {db_len},\n  \"feature_dim\": {k},\n  \
          \"training_starts\": {starts_len},\n  \"top_k\": {TOP_K},\n  \
-         \"ranking_identical\": {ranking_identical},\n  \"phases\": {{\n{phases}\n  }},\n  \
+         \"ranking_identical\": {ranking_identical},\n  \
+         \"sharded_identical\": {sharded_identical},\n  \
+         \"shard_count\": {shard_count},\n  \"phases\": {{\n{phases}\n  }},\n  \
          \"observability\": {{ \"multistart_starts\": {ms_starts}, \
          \"multistart_evaluations\": {ms_evals}, \"dd_memo_hits\": {memo_hits}, \
          \"dd_memo_misses\": {memo_misses}, \"rank_topk_candidates\": {topk_cands}, \
@@ -301,6 +348,8 @@ pub fn perf(scale: Scale, seed: u64) {
             ("train", train_ref, train_opt),
             ("rank_full", rank_ref, rank_opt),
             ("rank_top_k", rank_ref, topk_opt),
+            ("rank_sharded_full", rank_ref, rank_sharded),
+            ("rank_sharded_top_k", rank_ref, topk_sharded),
         ]
         .iter()
         .map(|(name, r, o)| format!(

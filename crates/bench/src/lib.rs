@@ -46,7 +46,12 @@ pub fn run_query(
     target: usize,
     split: &DatabaseSplit,
 ) -> QueryOutcome {
-    let mut session = QuerySession::new(db, config, target, split.pool.clone(), split.test.clone())
+    let mut session = QuerySession::builder(db)
+        .config(config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
         .expect("query setup failed");
     let ranking = session.run().expect("query run failed");
     let relevant = eval::relevance(&ranking, db.labels(), target);

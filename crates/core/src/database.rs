@@ -5,14 +5,16 @@
 //! never pixels, so ranking the whole database against a trained concept
 //! is a pure vector workload.
 //!
-//! Both database-scale loops fan out over the `milr-optim` scoped-thread
-//! pool with a deterministic index-ordered merge: preprocessing maps
-//! `image_to_bag` over all images in parallel, and [`RetrievalDatabase::rank`]
-//! scores all candidates in parallel. Per-bag scoring uses the pruned
-//! min-distance kernels from [`Concept`], and [`RetrievalDatabase::rank_top_k`]
-//! adds a candidate bound so bags that cannot enter the current top-k are
-//! abandoned after a few dimensions. None of this changes any output:
-//! parallel merge order and pruning are both exact (see
+//! Ranking has one entry point, [`RetrievalDatabase::rank`], driven by a
+//! [`RankRequest`]: the request names the candidate [`RankScope`], an
+//! optional `top_k` bound, and the worker-thread count for the fan-out.
+//! An unbounded request scores all candidates in parallel over the
+//! `milr-optim` scoped-thread pool with a deterministic index-ordered
+//! merge; a bounded request runs the pruned top-k scan, where every bag
+//! is scored against the current worst `(distance, index)` pair so its
+//! instances are abandoned (partial-distance pruning) as soon as they
+//! cannot enter the top `k`. Neither path changes any output: parallel
+//! merge order and pruning are both exact (see
 //! `Concept::instance_distance_sq_below` for the invariant), which the
 //! workspace property tests pin down.
 
@@ -27,6 +29,112 @@ use crate::config::RetrievalConfig;
 use crate::error::CoreError;
 use crate::features::image_to_bag;
 
+/// A ranking: image indices with their (squared) concept distances,
+/// ascending.
+pub type Ranking = Vec<(usize, f64)>;
+
+/// The candidate set a [`RankRequest`] draws from.
+///
+/// `Pool` and `Test` only exist inside a `QuerySession`, which resolves
+/// them to its own index sets; handing them to
+/// [`RetrievalDatabase::rank`] directly fails with
+/// [`CoreError::InvalidScope`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RankScope {
+    /// Every image in the database (or, for sharded stores, every live
+    /// image), in index order.
+    #[default]
+    All,
+    /// The session's candidate pool (query sessions only).
+    Pool,
+    /// The session's held-out test split (query sessions only).
+    Test,
+    /// An explicit candidate index list, ranked as given.
+    Indices(Vec<usize>),
+}
+
+/// Options for one ranking call — the single front door that replaced
+/// the `rank`/`rank_top_k` (and session-side `rank_pool`/
+/// `rank_pool_top_k`/`rank_test`) method family.
+///
+/// ```
+/// use milr_core::database::RankRequest;
+///
+/// // Full ranking of everything, default parallelism.
+/// let _ = RankRequest::all();
+/// // A 16-entry page over an explicit candidate set, single-threaded.
+/// let _ = RankRequest::over(vec![0, 2, 4]).top(16).threads(1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankRequest {
+    /// Which candidates to rank.
+    pub scope: RankScope,
+    /// `Some(k)` returns only the first `k` entries, computed with the
+    /// pruned bounded scan; `None` returns the full sorted ranking.
+    /// Either way the output equals the full ranking truncated to `k`.
+    pub top_k: Option<usize>,
+    /// Worker threads for the unbounded fan-out (0 = available
+    /// parallelism). A pure throughput knob: results are identical for
+    /// any value.
+    pub threads: usize,
+}
+
+impl Default for RankRequest {
+    fn default() -> Self {
+        Self {
+            scope: RankScope::All,
+            top_k: None,
+            threads: 0,
+        }
+    }
+}
+
+impl RankRequest {
+    /// Ranks every image (scope [`RankScope::All`]).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Ranks the session's candidate pool (scope [`RankScope::Pool`]).
+    pub fn pool() -> Self {
+        Self {
+            scope: RankScope::Pool,
+            ..Self::default()
+        }
+    }
+
+    /// Ranks the session's test split (scope [`RankScope::Test`]).
+    pub fn test() -> Self {
+        Self {
+            scope: RankScope::Test,
+            ..Self::default()
+        }
+    }
+
+    /// Ranks an explicit candidate list (scope [`RankScope::Indices`]).
+    pub fn over(indices: impl Into<Vec<usize>>) -> Self {
+        Self {
+            scope: RankScope::Indices(indices.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Bounds the result to the first `k` entries (pruned scan).
+    #[must_use]
+    pub fn top(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Sets the worker-thread count for the unbounded fan-out (0 =
+    /// available parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
 /// A labelled collection of preprocessed image bags.
 #[derive(Debug, Clone)]
 pub struct RetrievalDatabase {
@@ -34,15 +142,11 @@ pub struct RetrievalDatabase {
     labels: Vec<usize>,
     category_count: usize,
     feature_dim: usize,
-    /// Worker threads for ranking/preprocessing fan-out (0 = available
-    /// parallelism). Purely a throughput knob: results are identical for
-    /// any value.
-    threads: usize,
 }
 
-/// Max-heap entry for [`RetrievalDatabase::rank_top_k`]: the heap's top
-/// is the lexicographically largest `(distance, index)` pair — the entry
-/// the final ranking would place last.
+/// Max-heap entry for the bounded ranking scan: the heap's top is the
+/// lexicographically largest `(distance, index)` pair — the entry the
+/// final ranking would place last.
 #[derive(PartialEq)]
 struct WorstCandidate(f64, usize);
 
@@ -105,7 +209,6 @@ impl RetrievalDatabase {
             labels,
             category_count,
             feature_dim,
-            threads: config.threads,
         })
     }
 
@@ -138,15 +241,7 @@ impl RetrievalDatabase {
             labels,
             category_count,
             feature_dim,
-            threads: 0,
         })
-    }
-
-    /// Sets the worker-thread count for ranking fan-out (0 = available
-    /// parallelism). A pure throughput knob — ranking output is
-    /// identical for any value.
-    pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads;
     }
 
     /// Number of images.
@@ -199,29 +294,63 @@ impl RetrievalDatabase {
         &self.labels
     }
 
-    /// Ranks `candidates` by ascending bag distance to the concept
-    /// (§3.5: "ranks all images based on their weighted Euclidean
+    /// Ranks the request's candidates by ascending bag distance to the
+    /// concept (§3.5: "ranks all images based on their weighted Euclidean
     /// distances to the ideal point"). Ties break by index for
     /// determinism.
     ///
-    /// Candidates are scored in parallel over the scoped-thread pool
-    /// (see [`Self::set_threads`]) and merged in index order before the
-    /// sort, so the ranking is identical for any thread count.
+    /// An unbounded request (`top_k: None`) scores every candidate in
+    /// parallel and sorts; a bounded request returns exactly the full
+    /// ranking truncated to `k`, computed with the pruned scan. Output is
+    /// identical for any `threads` value.
     ///
     /// # Errors
-    /// Returns [`CoreError::IndexOutOfBounds`] if any candidate index is
-    /// invalid.
-    pub fn rank(
+    /// * [`CoreError::IndexOutOfBounds`] if any candidate index is
+    ///   invalid.
+    /// * [`CoreError::InvalidScope`] for [`RankScope::Pool`] /
+    ///   [`RankScope::Test`], which only a `QuerySession` can resolve.
+    pub fn rank(&self, concept: &Concept, request: &RankRequest) -> Result<Ranking, CoreError> {
+        let all: Vec<usize>;
+        let candidates: &[usize] = match &request.scope {
+            RankScope::All => {
+                all = (0..self.len()).collect();
+                &all
+            }
+            RankScope::Indices(indices) => indices,
+            RankScope::Pool => return Err(CoreError::InvalidScope { scope: "pool" }),
+            RankScope::Test => return Err(CoreError::InvalidScope { scope: "test" }),
+        };
+        self.rank_candidates(concept, candidates, request.top_k, request.threads)
+    }
+
+    /// The shared ranking engine behind [`Self::rank`] and the session
+    /// scopes: an explicit candidate slice, already resolved.
+    pub(crate) fn rank_candidates(
         &self,
         concept: &Concept,
         candidates: &[usize],
-    ) -> Result<Vec<(usize, f64)>, CoreError> {
+        top_k: Option<usize>,
+        threads: usize,
+    ) -> Result<Ranking, CoreError> {
         for &index in candidates {
             self.bag(index)?;
         }
+        match top_k {
+            Some(k) => self.rank_bounded(concept, candidates, k),
+            None => self.rank_full(concept, candidates, threads),
+        }
+    }
+
+    /// Full parallel ranking: score, index-ordered merge, sort.
+    fn rank_full(
+        &self,
+        concept: &Concept,
+        candidates: &[usize],
+        threads: usize,
+    ) -> Result<Ranking, CoreError> {
         let _span = milr_obs::span!("rank.full");
         let started = std::time::Instant::now();
-        let mut scored = pool::run_indexed(candidates.len(), self.threads, |i| {
+        let mut scored = pool::run_indexed(candidates.len(), threads, |i| {
             let index = candidates[i];
             (index, concept.bag_distance_sq(&self.bags[index]))
         });
@@ -235,28 +364,17 @@ impl RetrievalDatabase {
         Ok(scored)
     }
 
-    /// The first `k` entries of [`Self::rank`], computed with a running
-    /// candidate bound instead of a full sort.
-    ///
-    /// A max-heap holds the current top `k`; every further bag is scored
-    /// against the heap's worst `(distance, index)` pair, so its
-    /// instances are abandoned (partial-distance pruning) as soon as
-    /// they cannot enter the top `k`. Output is exactly
-    /// `rank(concept, candidates)` truncated to `k` — the bound only
-    /// skips work, never changes the result.
-    ///
-    /// # Errors
-    /// Returns [`CoreError::IndexOutOfBounds`] if any candidate index is
-    /// invalid.
-    pub fn rank_top_k(
+    /// Bounded ranking: a max-heap holds the current top `k`; every
+    /// further bag is scored against the heap's worst `(distance, index)`
+    /// pair, so its instances are abandoned (partial-distance pruning) as
+    /// soon as they cannot enter the top `k`. The bound only skips work,
+    /// never changes the result.
+    fn rank_bounded(
         &self,
         concept: &Concept,
         candidates: &[usize],
         k: usize,
-    ) -> Result<Vec<(usize, f64)>, CoreError> {
-        for &index in candidates {
-            self.bag(index)?;
-        }
+    ) -> Result<Ranking, CoreError> {
         if k == 0 {
             return Ok(Vec::new());
         }
@@ -300,6 +418,21 @@ impl RetrievalDatabase {
         milr_obs::histogram!("milr_rank_topk_latency_us")
             .record(started.elapsed().as_micros() as u64);
         Ok(top)
+    }
+
+    /// The first `k` entries of the full ranking over `candidates`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::IndexOutOfBounds`] if any candidate index is
+    /// invalid.
+    #[deprecated(note = "use `rank` with `RankRequest::over(candidates).top(k)`")]
+    pub fn rank_top_k(
+        &self,
+        concept: &Concept,
+        candidates: &[usize],
+        k: usize,
+    ) -> Result<Ranking, CoreError> {
+        self.rank_candidates(concept, candidates, Some(k), 0)
     }
 
     /// Indices of all images carrying `category`, in index order.
@@ -434,7 +567,7 @@ mod tests {
             .map(|&v| f64::from(v))
             .collect();
         let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
-        let ranking = d.rank(&concept, &[0, 1, 2, 3, 4, 5]).unwrap();
+        let ranking = d.rank(&concept, &RankRequest::all()).unwrap();
         assert_eq!(ranking[0].0, 3);
         assert!(ranking[0].1 < 1e-9);
         for pair in ranking.windows(2) {
@@ -453,9 +586,23 @@ mod tests {
             .map(|&v| f64::from(v))
             .collect();
         let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
-        let ranking = d.rank(&concept, &[0, 2, 4]).unwrap();
+        let ranking = d.rank(&concept, &RankRequest::over(vec![0, 2, 4])).unwrap();
         assert_eq!(ranking.len(), 3);
         assert!(ranking.iter().all(|&(i, _)| [0, 2, 4].contains(&i)));
+    }
+
+    #[test]
+    fn session_scopes_rejected_at_database_level() {
+        let d = db();
+        let concept = Concept::new(vec![0.0; 100], vec![1.0; 100]);
+        assert!(matches!(
+            d.rank(&concept, &RankRequest::pool()),
+            Err(CoreError::InvalidScope { scope: "pool" })
+        ));
+        assert!(matches!(
+            d.rank(&concept, &RankRequest::test().top(3)),
+            Err(CoreError::InvalidScope { scope: "test" })
+        ));
     }
 
     #[test]
@@ -501,7 +648,7 @@ mod tests {
             .map(|&v| f64::from(v))
             .collect();
         let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
-        let ranking = d.rank(&concept, &[0, idx]).unwrap();
+        let ranking = d.rank(&concept, &RankRequest::over(vec![0, idx])).unwrap();
         assert_eq!(ranking[0].0, idx);
     }
 
@@ -530,11 +677,11 @@ mod tests {
         let d = db();
         let concept = Concept::new(vec![0.0; 100], vec![1.0; 100]);
         assert!(matches!(
-            d.rank(&concept, &[0, 99]),
+            d.rank(&concept, &RankRequest::over(vec![0, 99])),
             Err(CoreError::IndexOutOfBounds { .. })
         ));
         assert!(matches!(
-            d.rank_top_k(&concept, &[0, 99], 1),
+            d.rank(&concept, &RankRequest::over(vec![0, 99]).top(1)),
             Err(CoreError::IndexOutOfBounds { .. })
         ));
     }
@@ -555,8 +702,9 @@ mod tests {
                 .collect();
             Concept::new(target, vec![1.0; serial.feature_dim()])
         };
-        let candidates: Vec<usize> = (0..8).collect();
-        let reference = serial.rank(&concept, &candidates).unwrap();
+        let reference = serial
+            .rank(&concept, &RankRequest::all().threads(1))
+            .unwrap();
         for threads in [0, 2, 3, 7] {
             let cfg = RetrievalConfig {
                 threads,
@@ -567,13 +715,19 @@ mod tests {
             for i in 0..8 {
                 assert_eq!(parallel.bag(i).unwrap(), serial.bag(i).unwrap());
             }
-            // …and parallel ranking the identical order and distances.
-            assert_eq!(parallel.rank(&concept, &candidates).unwrap(), reference);
+            // …and parallel ranking the identical order and distances,
+            // for any request-side thread count.
+            assert_eq!(
+                parallel
+                    .rank(&concept, &RankRequest::all().threads(threads))
+                    .unwrap(),
+                reference
+            );
         }
     }
 
     #[test]
-    fn rank_top_k_is_a_prefix_of_rank() {
+    fn bounded_rank_is_a_prefix_of_the_full_ranking() {
         let d = db();
         let target: Vec<f64> = d
             .bag(1)
@@ -583,16 +737,15 @@ mod tests {
             .map(|&v| f64::from(v))
             .collect();
         let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
-        let candidates: Vec<usize> = (0..d.len()).collect();
-        let full = d.rank(&concept, &candidates).unwrap();
+        let full = d.rank(&concept, &RankRequest::all()).unwrap();
         for k in 0..=d.len() + 2 {
-            let top = d.rank_top_k(&concept, &candidates, k).unwrap();
+            let top = d.rank(&concept, &RankRequest::all().top(k)).unwrap();
             assert_eq!(top, full[..k.min(full.len())], "k = {k}");
         }
     }
 
     #[test]
-    fn rank_top_k_breaks_exact_ties_by_index() {
+    fn bounded_rank_breaks_exact_ties_by_index() {
         use milr_mil::Bag;
         // Bags 0 and 2 are identical ⇒ exactly equal distances; the
         // smaller index must win the last top-k slot.
@@ -605,9 +758,30 @@ mod tests {
         let d = RetrievalDatabase::from_bags(bags, vec![0, 0, 0]).unwrap();
         let concept = Concept::new(vec![1.0, 1.0], vec![1.0, 1.0]);
         // Scan order puts index 2 into the heap before index 0 shows up.
-        let top = d.rank_top_k(&concept, &[1, 2, 0], 2).unwrap();
-        let full = d.rank(&concept, &[1, 2, 0]).unwrap();
+        let top = d
+            .rank(&concept, &RankRequest::over(vec![1, 2, 0]).top(2))
+            .unwrap();
+        let full = d.rank(&concept, &RankRequest::over(vec![1, 2, 0])).unwrap();
         assert_eq!(top, full[..2]);
         assert_eq!(top[0].0, 0, "index 0 wins the zero-distance tie");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_rank_top_k_shim_matches_the_request_path() {
+        let d = db();
+        let target: Vec<f64> = d
+            .bag(2)
+            .unwrap()
+            .instance(0)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
+        let candidates: Vec<usize> = (0..d.len()).collect();
+        assert_eq!(
+            d.rank_top_k(&concept, &candidates, 4).unwrap(),
+            d.rank(&concept, &RankRequest::all().top(4)).unwrap()
+        );
     }
 }

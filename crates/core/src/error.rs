@@ -37,6 +37,12 @@ pub enum CoreError {
     /// opened from explicit examples with no target category (the server
     /// path, where a human supplies the marks instead).
     NoTargetCategory,
+    /// A [`crate::database::RankScope`] that only a query session can
+    /// resolve (`Pool`/`Test`) reached a database-level rank call.
+    InvalidScope {
+        /// The unresolvable scope's name (`"pool"` or `"test"`).
+        scope: &'static str,
+    },
     /// A snapshot/persistence failure: the file at `path` could not be
     /// read, written, or decoded.
     Storage {
@@ -87,6 +93,13 @@ impl fmt::Display for CoreError {
                     f,
                     "the session has no target category; simulated feedback needs \
                      one (use explicit marks instead)"
+                )
+            }
+            Self::InvalidScope { scope } => {
+                write!(
+                    f,
+                    "rank scope `{scope}` is only meaningful inside a query \
+                     session; databases rank `all` or explicit indices"
                 )
             }
             Self::Storage { path, reason } => {
@@ -148,6 +161,9 @@ mod tests {
         assert!(CoreError::NoTargetCategory
             .to_string()
             .contains("target category"));
+        let e = CoreError::InvalidScope { scope: "pool" };
+        assert!(e.to_string().contains("pool"));
+        assert!(e.to_string().contains("session"));
     }
 
     #[test]

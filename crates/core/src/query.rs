@@ -11,6 +11,15 @@
 //!    set and adds them to the negative examples");
 //! 4. steps 2–3 repeat for the configured number of rounds (3 by
 //!    default), after which retrieval is scored on the disjoint test set.
+//!
+//! Sessions are opened through one front door, [`QuerySession::builder`]:
+//! a target category yields the paper's simulated protocol (initial
+//! examples auto-picked from the pool), explicit `positives`/`negatives`
+//! yield the interactive server path, and `concept` restores a
+//! previously trained concept (cache hits) without retraining. Rankings
+//! likewise go through one entry, [`QuerySession::rank`], which resolves
+//! the request's [`RankScope`] (`Pool`/`Test` against the session's own
+//! splits) before delegating to the database engine.
 
 use std::fmt;
 use std::ops::Deref;
@@ -19,12 +28,10 @@ use std::sync::Arc;
 use milr_mil::{train, Bag, BagLabel, Concept, MilDataset};
 
 use crate::config::RetrievalConfig;
-use crate::database::RetrievalDatabase;
+use crate::database::{RankRequest, RankScope, RetrievalDatabase};
 use crate::error::CoreError;
 
-/// A ranking: image indices with their (squared) concept distances,
-/// ascending.
-pub type Ranking = Vec<(usize, f64)>;
+pub use crate::database::Ranking;
 
 /// A borrowed-or-shared handle to a value a session reads but never
 /// mutates.
@@ -71,6 +78,192 @@ impl<T: fmt::Debug> fmt::Debug for Shared<'_, T> {
     }
 }
 
+/// Configures and validates a [`QuerySession`] — the single construction
+/// path behind [`QuerySession::builder`].
+///
+/// Everything is optional except the database:
+///
+/// * [`target`](Self::target) switches on the simulated-feedback
+///   protocol; without explicit examples the initial positives/negatives
+///   are auto-picked from the pool exactly as §4.1 prescribes.
+/// * [`positives`](Self::positives)/[`negatives`](Self::negatives)
+///   override (or, without a target, *are*) the example marks — the
+///   interactive server path. Explicit empty positives are legal at
+///   construction; training still requires at least one.
+/// * [`pool`](Self::pool) defaults to the whole database,
+///   [`test`](Self::test) to empty.
+/// * [`concept`](Self::concept) installs a previously trained concept
+///   (a concept-cache hit), so the session is rankable without a
+///   training round.
+///
+/// ```no_run
+/// # fn demo(db: &milr_core::RetrievalDatabase) -> Result<(), milr_core::CoreError> {
+/// use milr_core::QuerySession;
+///
+/// let session = QuerySession::builder(db)
+///     .positives(vec![0, 4])
+///     .negatives(vec![1])
+///     .pool((0..db.len()).collect::<Vec<_>>())
+///     .build()?;
+/// # drop(session);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    db: Shared<'a, RetrievalDatabase>,
+    config: Option<Shared<'a, RetrievalConfig>>,
+    target: Option<usize>,
+    pool: Option<Vec<usize>>,
+    test: Vec<usize>,
+    positives: Option<Vec<usize>>,
+    negatives: Option<Vec<usize>>,
+    concept: Option<(Arc<Concept>, f64)>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Sets the retrieval configuration (defaults to
+    /// [`RetrievalConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: impl Into<Shared<'a, RetrievalConfig>>) -> Self {
+        self.config = Some(config.into());
+        self
+    }
+
+    /// Sets the target category, enabling the simulated-feedback
+    /// protocol (auto-picked initial examples, false-positive/negative
+    /// promotion).
+    #[must_use]
+    pub fn target(mut self, target: usize) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Sets the candidate pool every `Pool`-scoped ranking draws from
+    /// (defaults to the whole database).
+    #[must_use]
+    pub fn pool(mut self, pool: Vec<usize>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Sets the held-out test split (defaults to empty).
+    #[must_use]
+    pub fn test(mut self, test: Vec<usize>) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// Sets explicit positive example indices, overriding the
+    /// target-driven auto-pick. May be empty at construction.
+    #[must_use]
+    pub fn positives(mut self, positives: Vec<usize>) -> Self {
+        self.positives = Some(positives);
+        self
+    }
+
+    /// Sets explicit negative example indices, overriding the
+    /// target-driven diverse auto-pick.
+    #[must_use]
+    pub fn negatives(mut self, negatives: Vec<usize>) -> Self {
+        self.negatives = Some(negatives);
+        self
+    }
+
+    /// Installs a previously trained concept (typically a concept-cache
+    /// hit for the session's exact example sets), so the session starts
+    /// rankable with `rounds_run() == 1`. `nldd` is the `−log DD`
+    /// recorded when the concept was trained.
+    #[must_use]
+    pub fn concept(mut self, concept: Arc<Concept>, nldd: f64) -> Self {
+        self.concept = Some((concept, nldd));
+        self
+    }
+
+    /// Validates the configuration and opens the session.
+    ///
+    /// # Errors
+    /// * [`CoreError::UnknownCategory`] if the target category does not
+    ///   exist.
+    /// * [`CoreError::IndexOutOfBounds`] for invalid pool/test/example
+    ///   indices.
+    /// * [`CoreError::NoExamples`] when a target-driven session finds no
+    ///   target images in its pool to auto-pick from.
+    /// * [`CoreError::Mil`] (dimension mismatch) for a concept from the
+    ///   wrong feature space.
+    pub fn build(self) -> Result<QuerySession<'a>, CoreError> {
+        let db = self.db;
+        let config = self
+            .config
+            .unwrap_or_else(|| Shared::Counted(Arc::new(RetrievalConfig::default())));
+        if let Some(target) = self.target {
+            if target >= db.category_count() {
+                return Err(CoreError::UnknownCategory {
+                    category: target,
+                    available: db.category_count(),
+                });
+            }
+        }
+        let pool = self.pool.unwrap_or_else(|| (0..db.len()).collect());
+        for &i in pool
+            .iter()
+            .chain(&self.test)
+            .chain(self.positives.iter().flatten())
+            .chain(self.negatives.iter().flatten())
+        {
+            if i >= db.len() {
+                return Err(CoreError::IndexOutOfBounds {
+                    index: i,
+                    len: db.len(),
+                });
+            }
+        }
+
+        let positives = match (self.positives, self.target) {
+            (Some(explicit), _) => explicit,
+            (None, Some(target)) => {
+                let picked: Vec<usize> = pool
+                    .iter()
+                    .copied()
+                    .filter(|&i| db.labels()[i] == target)
+                    .take(config.initial_positives)
+                    .collect();
+                if picked.is_empty() {
+                    return Err(CoreError::NoExamples);
+                }
+                picked
+            }
+            (None, None) => Vec::new(),
+        };
+        let negatives = match (self.negatives, self.target) {
+            (Some(explicit), _) => explicit,
+            (None, Some(target)) => {
+                pick_diverse_negatives(&db, &pool, target, config.initial_negatives)
+            }
+            (None, None) => Vec::new(),
+        };
+
+        let mut session = QuerySession {
+            db,
+            config,
+            target: self.target,
+            pool,
+            test: self.test,
+            positives,
+            negatives,
+            external_positives: Vec::new(),
+            external_negatives: Vec::new(),
+            concept: None,
+            nldd: f64::INFINITY,
+            rounds_run: 0,
+        };
+        if let Some((concept, nldd)) = self.concept {
+            session.adopt_concept(concept, nldd)?;
+        }
+        Ok(session)
+    }
+}
+
 /// One retrieval query against a preprocessed database.
 #[derive(Debug)]
 pub struct QuerySession<'a> {
@@ -94,18 +287,28 @@ pub struct QuerySession<'a> {
 }
 
 impl<'a> QuerySession<'a> {
+    /// Starts configuring a session — see [`QueryBuilder`] for the knobs.
+    pub fn builder(db: impl Into<Shared<'a, RetrievalDatabase>>) -> QueryBuilder<'a> {
+        QueryBuilder {
+            db: db.into(),
+            config: None,
+            target: None,
+            pool: None,
+            test: Vec::new(),
+            positives: None,
+            negatives: None,
+            concept: None,
+        }
+    }
+
     /// Opens a session for `target` category with an explicit
     /// pool / test split (both are database indices).
     ///
-    /// Initial examples are chosen deterministically from the pool: the
-    /// first `initial_positives` images of the target category, and
-    /// `initial_negatives` non-target images taken round-robin across the
-    /// other categories (maximising diversity, as a user would).
-    ///
     /// # Errors
-    /// * [`CoreError::UnknownCategory`] / [`CoreError::IndexOutOfBounds`]
-    ///   for invalid arguments.
-    /// * [`CoreError::NoExamples`] when the pool holds no target images.
+    /// Same as [`QueryBuilder::build`].
+    #[deprecated(
+        note = "use `QuerySession::builder(db).config(c).target(t).pool(p).test(s).build()`"
+    )]
     pub fn new(
         db: impl Into<Shared<'a, RetrievalDatabase>>,
         config: impl Into<Shared<'a, RetrievalConfig>>,
@@ -113,66 +316,22 @@ impl<'a> QuerySession<'a> {
         pool: Vec<usize>,
         test: Vec<usize>,
     ) -> Result<Self, CoreError> {
-        let db = db.into();
-        let config = config.into();
-        if target >= db.category_count() {
-            return Err(CoreError::UnknownCategory {
-                category: target,
-                available: db.category_count(),
-            });
-        }
-        for &i in pool.iter().chain(&test) {
-            if i >= db.len() {
-                return Err(CoreError::IndexOutOfBounds {
-                    index: i,
-                    len: db.len(),
-                });
-            }
-        }
-
-        let positives: Vec<usize> = pool
-            .iter()
-            .copied()
-            .filter(|&i| db.labels()[i] == target)
-            .take(config.initial_positives)
-            .collect();
-        if positives.is_empty() {
-            return Err(CoreError::NoExamples);
-        }
-
-        let negatives = pick_diverse_negatives(&db, &pool, target, config.initial_negatives);
-
-        Ok(Self {
-            db,
-            config,
-            target: Some(target),
-            pool,
-            test,
-            positives,
-            negatives,
-            external_positives: Vec::new(),
-            external_negatives: Vec::new(),
-            concept: None,
-            nldd: f64::INFINITY,
-            rounds_run: 0,
-        })
+        Self::builder(db)
+            .config(config)
+            .target(target)
+            .pool(pool)
+            .test(test)
+            .build()
     }
 
     /// Opens a session from *explicit* example marks instead of a target
-    /// category — the interactive server path, where a human (not the
-    /// label simulation) decides which images are relevant. `pool` is the
-    /// candidate set every ranking draws from; the examples need not be
-    /// members of it. No test split and no target category exist, so
-    /// [`Self::rank_test`] returns an empty ranking and the simulated
-    /// feedback helpers fail with [`CoreError::NoTargetCategory`].
-    ///
-    /// `positives` may be empty *at construction* as long as at least one
-    /// positive example — database index or external bag — is present by
-    /// the first [`Self::train_round`]; uploads arrive through
-    /// [`Self::add_positive_bag`] after the session exists.
+    /// category — the interactive server path.
     ///
     /// # Errors
-    /// [`CoreError::IndexOutOfBounds`] for invalid indices.
+    /// Same as [`QueryBuilder::build`].
+    #[deprecated(
+        note = "use `QuerySession::builder(db).config(c).positives(p).negatives(n).pool(pool).build()`"
+    )]
     pub fn from_examples(
         db: impl Into<Shared<'a, RetrievalDatabase>>,
         config: impl Into<Shared<'a, RetrievalConfig>>,
@@ -180,34 +339,16 @@ impl<'a> QuerySession<'a> {
         negatives: Vec<usize>,
         pool: Vec<usize>,
     ) -> Result<Self, CoreError> {
-        let db = db.into();
-        let config = config.into();
-        for &i in positives.iter().chain(&negatives).chain(&pool) {
-            if i >= db.len() {
-                return Err(CoreError::IndexOutOfBounds {
-                    index: i,
-                    len: db.len(),
-                });
-            }
-        }
-        Ok(Self {
-            db,
-            config,
-            target: None,
-            pool,
-            test: Vec::new(),
-            positives,
-            negatives,
-            external_positives: Vec::new(),
-            external_negatives: Vec::new(),
-            concept: None,
-            nldd: f64::INFINITY,
-            rounds_run: 0,
-        })
+        Self::builder(db)
+            .config(config)
+            .positives(positives)
+            .negatives(negatives)
+            .pool(pool)
+            .build()
     }
 
-    /// The target category ([`None`] for sessions opened via
-    /// [`Self::from_examples`]).
+    /// The target category ([`None`] for sessions opened from explicit
+    /// example marks).
     pub fn target(&self) -> Option<usize> {
         self.target
     }
@@ -239,7 +380,7 @@ impl<'a> QuerySession<'a> {
         self.concept.clone()
     }
 
-    /// Installs a previously trained concept (typically a concept-cache
+    /// Adopts a previously trained concept (typically a concept-cache
     /// hit for the session's exact example sets), skipping DD training
     /// entirely. Counts as a completed round so rankings become
     /// available. `nldd` is the `−log DD` recorded when the concept was
@@ -248,7 +389,7 @@ impl<'a> QuerySession<'a> {
     /// # Errors
     /// [`CoreError::Mil`] with a dimension mismatch if the concept does
     /// not fit the database's feature space.
-    pub fn install_concept(&mut self, concept: Arc<Concept>, nldd: f64) -> Result<(), CoreError> {
+    pub fn adopt_concept(&mut self, concept: Arc<Concept>, nldd: f64) -> Result<(), CoreError> {
         if concept.dim() != self.db.feature_dim() {
             return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
                 expected: self.db.feature_dim(),
@@ -259,6 +400,15 @@ impl<'a> QuerySession<'a> {
         self.nldd = nldd;
         self.rounds_run += 1;
         Ok(())
+    }
+
+    /// Adopts a previously trained concept.
+    ///
+    /// # Errors
+    /// Same as [`Self::adopt_concept`].
+    #[deprecated(note = "renamed to `adopt_concept` (or `QueryBuilder::concept` at construction)")]
+    pub fn install_concept(&mut self, concept: Arc<Concept>, nldd: f64) -> Result<(), CoreError> {
+        self.adopt_concept(concept, nldd)
     }
 
     /// `−log DD` of the current concept (infinite before training).
@@ -277,7 +427,7 @@ impl<'a> QuerySession<'a> {
     /// Propagates training failures.
     pub fn run_round(&mut self) -> Result<Ranking, CoreError> {
         self.train_round()?;
-        self.rank_pool()
+        self.rank(&self.request(RankScope::Pool))
     }
 
     /// Trains on the current examples *without* ranking the pool —
@@ -325,33 +475,65 @@ impl<'a> QuerySession<'a> {
         Ok(result)
     }
 
+    /// A request over `scope` carrying the session config's thread
+    /// count — what the internal protocol paths use.
+    fn request(&self, scope: RankScope) -> RankRequest {
+        RankRequest {
+            scope,
+            top_k: None,
+            threads: self.config.threads,
+        }
+    }
+
+    /// Ranks the request's candidates with the current concept. Unlike
+    /// the database-level entry, a session resolves every
+    /// [`RankScope`]: `Pool` and `Test` name the session's own splits.
+    ///
+    /// # Errors
+    /// * [`CoreError::NotTrained`] before the first round.
+    /// * [`CoreError::IndexOutOfBounds`] for bad explicit indices.
+    pub fn rank(&self, request: &RankRequest) -> Result<Ranking, CoreError> {
+        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
+        let all: Vec<usize>;
+        let candidates: &[usize] = match &request.scope {
+            RankScope::All => {
+                all = (0..self.db.len()).collect();
+                &all
+            }
+            RankScope::Pool => &self.pool,
+            RankScope::Test => &self.test,
+            RankScope::Indices(indices) => indices,
+        };
+        self.db
+            .rank_candidates(concept, candidates, request.top_k, request.threads)
+    }
+
     /// Ranks the pool with the current concept.
     ///
     /// # Errors
     /// [`CoreError::NotTrained`] before the first round.
+    #[deprecated(note = "use `rank` with `RankRequest::pool()`")]
     pub fn rank_pool(&self) -> Result<Ranking, CoreError> {
-        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
-        self.db.rank(concept, &self.pool)
+        self.rank(&self.request(RankScope::Pool))
     }
 
-    /// The first `k` entries of [`Self::rank_pool`], using the pruned
-    /// top-k scorer (identical output, less work) — the page size a
-    /// server returns.
+    /// The first `k` entries of the pool ranking, using the pruned
+    /// bounded scorer (identical output, less work).
     ///
     /// # Errors
     /// [`CoreError::NotTrained`] before the first round.
+    #[deprecated(note = "use `rank` with `RankRequest::pool().top(k)`")]
     pub fn rank_pool_top_k(&self, k: usize) -> Result<Ranking, CoreError> {
-        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
-        self.db.rank_top_k(concept, &self.pool, k)
+        self.rank(&self.request(RankScope::Pool).top(k))
     }
 
     /// Ranks the test set with the current concept.
     ///
     /// # Errors
     /// [`CoreError::NotTrained`] before the first round.
+    #[deprecated(note = "use `rank` with `RankRequest::test()`")]
     pub fn rank_test(&self) -> Result<Ranking, CoreError> {
-        let concept = self.concept.as_deref().ok_or(CoreError::NotTrained)?;
-        self.db.rank(concept, &self.test)
+        self.rank(&self.request(RankScope::Test))
     }
 
     /// Marks database images as positive examples (a user's explicit
@@ -449,11 +631,11 @@ impl<'a> QuerySession<'a> {
     ///
     /// # Errors
     /// * [`CoreError::NotTrained`] before the first round.
-    /// * [`CoreError::NoTargetCategory`] for sessions opened via
-    ///   [`Self::from_examples`] — simulated feedback needs labels.
+    /// * [`CoreError::NoTargetCategory`] for sessions opened from
+    ///   explicit marks — simulated feedback needs labels.
     pub fn add_false_positives(&mut self, count: usize) -> Result<usize, CoreError> {
         let target = self.target.ok_or(CoreError::NoTargetCategory)?;
-        let ranking = self.rank_pool()?;
+        let ranking = self.rank(&self.request(RankScope::Pool))?;
         let mut added = 0;
         for (index, _) in ranking {
             if added == count {
@@ -478,11 +660,11 @@ impl<'a> QuerySession<'a> {
     ///
     /// # Errors
     /// * [`CoreError::NotTrained`] before the first round.
-    /// * [`CoreError::NoTargetCategory`] for sessions opened via
-    ///   [`Self::from_examples`] — simulated feedback needs labels.
+    /// * [`CoreError::NoTargetCategory`] for sessions opened from
+    ///   explicit marks — simulated feedback needs labels.
     pub fn add_false_negatives(&mut self, count: usize) -> Result<usize, CoreError> {
         let target = self.target.ok_or(CoreError::NoTargetCategory)?;
-        let ranking = self.rank_pool()?;
+        let ranking = self.rank(&self.request(RankScope::Pool))?;
         let mut added = 0;
         for &(index, _) in ranking.iter().rev() {
             if added == count {
@@ -512,7 +694,7 @@ impl<'a> QuerySession<'a> {
                 self.add_false_positives(self.config.false_positives_per_round)?;
             }
         }
-        self.rank_test()
+        self.rank(&self.request(RankScope::Test))
     }
 }
 
@@ -556,7 +738,8 @@ pub fn query_with_examples(
         dataset.push(bag.clone(), BagLabel::Negative)?;
     }
     let result = train(&dataset, &config.train_options())?;
-    let ranking = db.rank(&result.concept, candidates)?;
+    let request = RankRequest::over(candidates.to_vec()).threads(config.threads);
+    let ranking = db.rank(&result.concept, &request)?;
     Ok((result.concept, ranking))
 }
 
@@ -650,7 +833,13 @@ mod tests {
         let cfg = config();
         let pool = vec![0, 1, 2, 6, 7, 8];
         let test = vec![3, 4, 5, 9, 10, 11];
-        let session = QuerySession::new(&db, &cfg, 0, pool, test).unwrap();
+        let session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool)
+            .test(test)
+            .build()
+            .unwrap();
         assert_eq!(session.positives(), &[0, 1]);
         assert_eq!(session.negatives(), &[6, 7]);
         assert_eq!(session.rounds_run(), 0);
@@ -658,12 +847,40 @@ mod tests {
     }
 
     #[test]
+    fn builder_pool_defaults_to_the_whole_database() {
+        let db = database();
+        let cfg = config();
+        let session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .build()
+            .unwrap();
+        let expected: Vec<usize> = (0..db.len()).collect();
+        assert_eq!(session.pool(), expected);
+        // Auto-picked examples draw from that default pool.
+        assert_eq!(session.positives(), &[0, 1]);
+        assert_eq!(session.negatives(), &[6, 7]);
+    }
+
+    #[test]
     fn ranking_before_training_fails() {
         let db = database();
         let cfg = config();
-        let session = QuerySession::new(&db, &cfg, 0, vec![0, 6], vec![1, 7]).unwrap();
-        assert!(matches!(session.rank_pool(), Err(CoreError::NotTrained)));
-        assert!(matches!(session.rank_test(), Err(CoreError::NotTrained)));
+        let session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(vec![0, 6])
+            .test(vec![1, 7])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            session.rank(&RankRequest::pool()),
+            Err(CoreError::NotTrained)
+        ));
+        assert!(matches!(
+            session.rank(&RankRequest::test()),
+            Err(CoreError::NotTrained)
+        ));
     }
 
     #[test]
@@ -672,7 +889,13 @@ mod tests {
         let cfg = config();
         let pool = vec![0, 1, 2, 6, 7, 8];
         let test = vec![3, 4, 5, 9, 10, 11];
-        let mut session = QuerySession::new(&db, &cfg, 0, pool, test).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool)
+            .test(test)
+            .build()
+            .unwrap();
         let ranking = session.run_round().unwrap();
         assert_eq!(ranking.len(), 6);
         // The three category-0 pool images must outrank the three
@@ -694,7 +917,13 @@ mod tests {
         let cfg = config();
         let pool = vec![0, 1, 2, 6, 7, 8];
         let test = vec![3, 4, 5, 9, 10, 11];
-        let mut session = QuerySession::new(&db, &cfg, 0, pool, test).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool)
+            .test(test)
+            .build()
+            .unwrap();
         let ranking = session.run().unwrap();
         let top3: Vec<usize> = ranking.iter().take(3).map(|&(i, _)| i).collect();
         for i in top3 {
@@ -712,7 +941,13 @@ mod tests {
         let db = database();
         let cfg = config();
         let pool = vec![0, 1, 2, 6, 7, 8];
-        let mut session = QuerySession::new(&db, &cfg, 0, pool, vec![3, 9]).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool)
+            .test(vec![3, 9])
+            .build()
+            .unwrap();
         session.run_round().unwrap();
         let before = session.negatives().len();
         let added = session.add_false_positives(1).unwrap();
@@ -734,7 +969,13 @@ mod tests {
         let db = database();
         let cfg = config();
         let pool = vec![0, 1, 2, 3, 6, 7];
-        let mut session = QuerySession::new(&db, &cfg, 0, pool, vec![4, 9]).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool)
+            .test(vec![4, 9])
+            .build()
+            .unwrap();
         session.run_round().unwrap();
         let before = session.positives().len();
         let added = session.add_false_negatives(1).unwrap();
@@ -758,7 +999,13 @@ mod tests {
     fn false_negatives_require_training_first() {
         let db = database();
         let cfg = config();
-        let mut session = QuerySession::new(&db, &cfg, 0, vec![0, 1, 6], vec![2]).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(vec![0, 1, 6])
+            .test(vec![2])
+            .build()
+            .unwrap();
         assert!(matches!(
             session.add_false_negatives(1),
             Err(CoreError::NotTrained)
@@ -770,16 +1017,31 @@ mod tests {
         let db = database();
         let cfg = config();
         assert!(matches!(
-            QuerySession::new(&db, &cfg, 5, vec![0], vec![1]),
+            QuerySession::builder(&db)
+                .config(&cfg)
+                .target(5)
+                .pool(vec![0])
+                .test(vec![1])
+                .build(),
             Err(CoreError::UnknownCategory { .. })
         ));
         assert!(matches!(
-            QuerySession::new(&db, &cfg, 0, vec![99], vec![1]),
+            QuerySession::builder(&db)
+                .config(&cfg)
+                .target(0)
+                .pool(vec![99])
+                .test(vec![1])
+                .build(),
             Err(CoreError::IndexOutOfBounds { .. })
         ));
         // Pool without target images.
         assert!(matches!(
-            QuerySession::new(&db, &cfg, 0, vec![6, 7], vec![1]),
+            QuerySession::builder(&db)
+                .config(&cfg)
+                .target(0)
+                .pool(vec![6, 7])
+                .test(vec![1])
+                .build(),
             Err(CoreError::NoExamples)
         ));
     }
@@ -829,12 +1091,17 @@ mod tests {
     }
 
     #[test]
-    fn from_examples_session_has_no_target_and_trains() {
+    fn explicit_mark_session_has_no_target_and_trains() {
         let db = database();
         let cfg = config();
         let pool: Vec<usize> = (0..12).collect();
-        let mut session =
-            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool)
+            .build()
+            .unwrap();
         assert_eq!(session.target(), None);
         assert_eq!(session.positives(), &[0, 1]);
         assert_eq!(session.negatives(), &[6, 7]);
@@ -853,15 +1120,25 @@ mod tests {
     }
 
     #[test]
-    fn from_examples_validates_inputs() {
+    fn explicit_mark_session_validates_inputs() {
         let db = database();
         let cfg = config();
         // Empty positives are legal at construction (an external upload
         // may arrive later) but training without any positive fails.
-        let mut empty = QuerySession::from_examples(&db, &cfg, vec![], vec![6], vec![0]).unwrap();
+        let mut empty = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![])
+            .negatives(vec![6])
+            .pool(vec![0])
+            .build()
+            .unwrap();
         assert!(matches!(empty.train_round(), Err(CoreError::NoExamples)));
         assert!(matches!(
-            QuerySession::from_examples(&db, &cfg, vec![99], vec![], vec![0]),
+            QuerySession::builder(&db)
+                .config(&cfg)
+                .positives(vec![99])
+                .pool(vec![0])
+                .build(),
             Err(CoreError::IndexOutOfBounds { .. })
         ));
     }
@@ -870,8 +1147,13 @@ mod tests {
     fn explicit_marks_move_between_lists_and_dedup() {
         let db = database();
         let cfg = config();
-        let mut session =
-            QuerySession::from_examples(&db, &cfg, vec![0], vec![6], (0..12).collect()).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0])
+            .negatives(vec![6])
+            .pool((0..12).collect::<Vec<_>>())
+            .build()
+            .unwrap();
         // Fresh marks are added; repeats are ignored.
         assert_eq!(session.add_positives(&[1, 1, 0]).unwrap(), 1);
         assert_eq!(session.positives(), &[0, 1]);
@@ -895,17 +1177,21 @@ mod tests {
         let cfg = Arc::new(config());
         let pool = vec![0, 1, 2, 6, 7, 8];
         // A session built from Arcs has no borrowed lifetime…
-        let mut shared: QuerySession<'static> = QuerySession::from_examples(
-            Arc::clone(&db),
-            Arc::clone(&cfg),
-            vec![0, 1],
-            vec![6, 7],
-            pool.clone(),
-        )
-        .unwrap();
+        let mut shared: QuerySession<'static> = QuerySession::builder(Arc::clone(&db))
+            .config(Arc::clone(&cfg))
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool.clone())
+            .build()
+            .unwrap();
         // …and produces bit-identical rankings to the borrowed path.
-        let mut borrowed =
-            QuerySession::from_examples(&*db, &*cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        let mut borrowed = QuerySession::builder(&*db)
+            .config(&*cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool)
+            .build()
+            .unwrap();
         assert_eq!(
             shared.run_round().unwrap(),
             borrowed.run_round().unwrap(),
@@ -914,30 +1200,172 @@ mod tests {
     }
 
     #[test]
-    fn install_concept_skips_training_and_matches() {
+    fn adopted_concept_skips_training_and_matches() {
         let db = database();
         let cfg = config();
         let pool = vec![0, 1, 2, 6, 7, 8];
-        let mut trained =
-            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool.clone()).unwrap();
+        let mut trained = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool.clone())
+            .build()
+            .unwrap();
         let ranking = trained.run_round().unwrap();
         let concept = trained.shared_concept().expect("trained");
 
-        let mut restored =
-            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool).unwrap();
-        restored.install_concept(concept, trained.nldd()).unwrap();
+        // A concept installed at construction makes the session rankable
+        // immediately, with identical output.
+        let restored = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool.clone())
+            .concept(Arc::clone(&concept), trained.nldd())
+            .build()
+            .unwrap();
         assert_eq!(restored.rounds_run(), 1);
         assert_eq!(restored.nldd(), trained.nldd());
-        assert_eq!(restored.rank_pool().unwrap(), ranking);
+        assert_eq!(restored.rank(&RankRequest::pool()).unwrap(), ranking);
         // Top-k pages agree with the full ranking prefix.
-        assert_eq!(restored.rank_pool_top_k(3).unwrap(), ranking[..3]);
+        assert_eq!(
+            restored.rank(&RankRequest::pool().top(3)).unwrap(),
+            ranking[..3]
+        );
 
-        // A concept from the wrong feature space is rejected.
+        // Post-construction adoption behaves identically…
+        let mut adopted = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool.clone())
+            .build()
+            .unwrap();
+        adopted
+            .adopt_concept(Arc::clone(&concept), trained.nldd())
+            .unwrap();
+        assert_eq!(adopted.rank(&RankRequest::pool()).unwrap(), ranking);
+
+        // …and a concept from the wrong feature space is rejected both
+        // ways.
         let alien = Arc::new(Concept::new(vec![0.0; 3], vec![1.0; 3]));
         assert!(matches!(
-            restored.install_concept(alien, 0.0),
+            adopted.adopt_concept(Arc::clone(&alien), 0.0),
             Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
         ));
+        assert!(matches!(
+            QuerySession::builder(&db)
+                .config(&cfg)
+                .positives(vec![0])
+                .pool(pool)
+                .concept(alien, 0.0)
+                .build(),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn session_rank_resolves_every_scope() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let test = vec![3, 4, 5, 9, 10, 11];
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool.clone())
+            .test(test.clone())
+            .build()
+            .unwrap();
+        session.train_round().unwrap();
+        let pool_ranking = session.rank(&RankRequest::pool()).unwrap();
+        assert_eq!(pool_ranking.len(), pool.len());
+        assert_eq!(
+            pool_ranking,
+            session.rank(&RankRequest::over(pool)).unwrap(),
+            "Pool scope must equal ranking the pool indices explicitly"
+        );
+        let test_ranking = session.rank(&RankRequest::test()).unwrap();
+        assert_eq!(
+            test_ranking,
+            session.rank(&RankRequest::over(test)).unwrap()
+        );
+        let all_ranking = session.rank(&RankRequest::all()).unwrap();
+        assert_eq!(all_ranking.len(), db.len());
+        // Bounded requests are exact prefixes regardless of scope.
+        assert_eq!(
+            session.rank(&RankRequest::all().top(4)).unwrap(),
+            all_ranking[..4]
+        );
+        // Explicit bad indices still reject.
+        assert!(matches!(
+            session.rank(&RankRequest::over(vec![99])),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_construction_and_rank_shims_match_the_builder() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let test = vec![3, 4, 5, 9, 10, 11];
+
+        // `new` == builder with a target.
+        let via_new = QuerySession::new(&db, &cfg, 0, pool.clone(), test.clone()).unwrap();
+        let via_builder = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool.clone())
+            .test(test.clone())
+            .build()
+            .unwrap();
+        assert_eq!(via_new.positives(), via_builder.positives());
+        assert_eq!(via_new.negatives(), via_builder.negatives());
+
+        // `from_examples` == builder with explicit marks; the rank shims
+        // match the request entry point exactly.
+        let mut old =
+            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool.clone()).unwrap();
+        let mut new = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool)
+            .build()
+            .unwrap();
+        old.train_round().unwrap();
+        new.train_round().unwrap();
+        assert_eq!(
+            old.rank_pool().unwrap(),
+            new.rank(&RankRequest::pool()).unwrap()
+        );
+        assert_eq!(
+            old.rank_pool_top_k(3).unwrap(),
+            new.rank(&RankRequest::pool().top(3)).unwrap()
+        );
+        assert_eq!(
+            old.rank_test().unwrap(),
+            new.rank(&RankRequest::test()).unwrap()
+        );
+
+        // `install_concept` == `adopt_concept`.
+        let concept = old.shared_concept().unwrap();
+        let mut a = QuerySession::builder(&db)
+            .positives(vec![0])
+            .build()
+            .unwrap();
+        let mut b = QuerySession::builder(&db)
+            .positives(vec![0])
+            .build()
+            .unwrap();
+        a.install_concept(Arc::clone(&concept), old.nldd()).unwrap();
+        b.adopt_concept(concept, old.nldd()).unwrap();
+        assert_eq!(
+            a.rank(&RankRequest::all()).unwrap(),
+            b.rank(&RankRequest::all()).unwrap()
+        );
     }
 
     #[test]
@@ -945,8 +1373,13 @@ mod tests {
         let db = database();
         let cfg = config();
         let pool = vec![0, 1, 2, 6, 7, 8];
-        let mut session =
-            QuerySession::from_examples(&db, &cfg, vec![0, 1], vec![6, 7], pool).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool(pool)
+            .build()
+            .unwrap();
         let result = session.train_round_traced().unwrap();
         assert_eq!(result.start_values.len(), result.starts);
         assert_eq!(result.start_evaluations.len(), result.starts);
@@ -963,8 +1396,13 @@ mod tests {
         let db = database();
         let cfg = config();
         let pool: Vec<usize> = (0..12).collect();
-        let mut session =
-            QuerySession::from_examples(&db, &cfg, vec![0], vec![6], pool.clone()).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0])
+            .negatives(vec![6])
+            .pool(pool.clone())
+            .build()
+            .unwrap();
         session
             .add_positive_bag(image_to_bag(&image(0, 30), &cfg).unwrap())
             .unwrap();
@@ -1004,7 +1442,13 @@ mod tests {
         };
         let db = RetrievalDatabase::from_labelled_images(images, &cfg).unwrap();
         let pool: Vec<usize> = (0..8).collect();
-        let session = QuerySession::new(&db, &cfg, 0, pool, vec![]).unwrap();
+        let session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(0)
+            .pool(pool)
+            .test(vec![])
+            .build()
+            .unwrap();
         let negative_labels: Vec<usize> = session
             .negatives()
             .iter()

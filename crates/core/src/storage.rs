@@ -17,6 +17,14 @@
 //! [`StorageIo`] seam (default: [`OsFs`], a plain `std::fs` passthrough),
 //! which is how the test kit injects torn writes, short reads, and bit
 //! flips without touching a real disk fault.
+//!
+//! The one front door is the [`Store`] handle: `Store::default()` talks
+//! to the real filesystem, `Store::new(&fs)` to any [`StorageIo`], and
+//! `save`/`open` dispatch on the value's [`Persist`] implementation —
+//! so a fault-injecting test sweep drives the exact production code
+//! path. The sharded snapshot format v3 (the `milr-store` crate) builds
+//! its manifest and shard files on the same [`Stream`] primitives
+//! exported here.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -26,10 +34,14 @@ use milr_mil::{Bag, Concept};
 use crate::database::RetrievalDatabase;
 use crate::error::CoreError;
 
-const MAGIC: &[u8; 4] = b"MILR";
-const DB_VERSION: u32 = 2;
-const DB_KIND: u8 = 1;
-const CONCEPT_KIND: u8 = 2;
+/// Magic bytes opening every milr storage file.
+pub const MAGIC: &[u8; 4] = b"MILR";
+/// Format version of monolithic database/concept files.
+pub const DB_VERSION: u32 = 2;
+/// Payload kind of a monolithic database file.
+pub const DB_KIND: u8 = 1;
+/// Payload kind of a trained-concept file.
+pub const CONCEPT_KIND: u8 = 2;
 
 /// FNV-1a 64-bit offset basis / prime — the same tiny, dependency-free
 /// hash the vendored proptest uses for seed derivation.
@@ -87,7 +99,7 @@ impl StorageIo for OsFs {
 }
 
 /// Builds the dedicated storage error, pinning the offending file.
-fn storage_err(path: &Path, reason: impl Into<String>) -> CoreError {
+pub fn storage_err(path: &Path, reason: impl Into<String>) -> CoreError {
     CoreError::Storage {
         path: path.display().to_string(),
         reason: reason.into(),
@@ -97,15 +109,17 @@ fn storage_err(path: &Path, reason: impl Into<String>) -> CoreError {
 /// A stream plus the path it came from, so every failure — I/O or format
 /// violation alike — surfaces as [`CoreError::Storage`] naming the file.
 /// Every byte passing through updates a running FNV-1a state backing the
-/// version-2 trailing checksum.
-struct Stream<'p, S> {
+/// trailing checksum. The `milr-store` crate builds the sharded format
+/// v3 on the same primitives, which is why this type is public.
+pub struct Stream<'p, S> {
     inner: S,
     path: &'p Path,
     hash: u64,
 }
 
 impl<'p, S> Stream<'p, S> {
-    fn new(inner: S, path: &'p Path) -> Self {
+    /// Wraps `inner`, attributing every failure to `path`.
+    pub fn new(inner: S, path: &'p Path) -> Self {
         Self {
             inner,
             path,
@@ -114,13 +128,25 @@ impl<'p, S> Stream<'p, S> {
     }
 
     /// A format violation at this file.
-    fn fail(&self, reason: impl Into<String>) -> CoreError {
+    pub fn fail(&self, reason: impl Into<String>) -> CoreError {
         storage_err(self.path, reason)
+    }
+
+    /// The running FNV-1a digest of every byte streamed so far. The
+    /// sharded manifest records each shard file's payload digest through
+    /// this hook, so a manifest/shard mismatch is detectable without a
+    /// second read of the shard.
+    pub fn digest(&self) -> u64 {
+        self.hash
     }
 }
 
 impl<R: Read> Stream<'_, R> {
-    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), CoreError> {
+    /// Reads exactly `buf.len()` bytes, folding them into the digest.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any short read.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), CoreError> {
         self.inner
             .read_exact(buf)
             .map_err(|e| storage_err(self.path, e.to_string()))?;
@@ -128,28 +154,44 @@ impl<R: Read> Stream<'_, R> {
         Ok(())
     }
 
-    fn read_u32(&mut self) -> Result<u32, CoreError> {
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any short read.
+    pub fn read_u32(&mut self) -> Result<u32, CoreError> {
         let mut b = [0u8; 4];
         self.read_exact(&mut b)?;
         Ok(u32::from_le_bytes(b))
     }
 
-    fn read_u64(&mut self) -> Result<u64, CoreError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any short read.
+    pub fn read_u64(&mut self) -> Result<u64, CoreError> {
         let mut b = [0u8; 8];
         self.read_exact(&mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
-    fn read_header(&mut self, expected_kind: u8) -> Result<(), CoreError> {
+    /// Reads and validates the `magic / version / kind` header.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on wrong magic, version, or payload kind.
+    pub fn read_header(
+        &mut self,
+        expected_kind: u8,
+        expected_version: u32,
+    ) -> Result<(), CoreError> {
         let mut magic = [0u8; 4];
         self.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(self.fail("not a milr storage file (bad magic)"));
         }
         let version = self.read_u32()?;
-        if version != DB_VERSION {
+        if version != expected_version {
             return Err(self.fail(format!(
-                "unsupported format version {version} (expected {DB_VERSION})"
+                "unsupported format version {version} (expected {expected_version})"
             )));
         }
         let mut kind = [0u8; 1];
@@ -166,7 +208,10 @@ impl<R: Read> Stream<'_, R> {
     /// Reads the trailing checksum (raw, not folded into the hash) and
     /// compares it against everything read so far. Call exactly once,
     /// after the whole payload.
-    fn verify_checksum(&mut self) -> Result<(), CoreError> {
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] when the checksum is missing or mismatched.
+    pub fn verify_checksum(&mut self) -> Result<(), CoreError> {
         let expected = self.hash;
         let mut b = [0u8; 8];
         self.inner
@@ -183,7 +228,11 @@ impl<R: Read> Stream<'_, R> {
 }
 
 impl<W: Write> Stream<'_, W> {
-    fn write_all(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+    /// Writes `bytes`, folding them into the digest.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any I/O failure.
+    pub fn write_all(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
         self.inner
             .write_all(bytes)
             .map_err(|e| storage_err(self.path, e.to_string()))?;
@@ -191,23 +240,38 @@ impl<W: Write> Stream<'_, W> {
         Ok(())
     }
 
-    fn write_u32(&mut self, v: u32) -> Result<(), CoreError> {
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any I/O failure.
+    pub fn write_u32(&mut self, v: u32) -> Result<(), CoreError> {
         self.write_all(&v.to_le_bytes())
     }
 
-    fn write_u64(&mut self, v: u64) -> Result<(), CoreError> {
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any I/O failure.
+    pub fn write_u64(&mut self, v: u64) -> Result<(), CoreError> {
         self.write_all(&v.to_le_bytes())
     }
 
-    fn write_header(&mut self, kind: u8) -> Result<(), CoreError> {
+    /// Writes the `magic / version / kind` header.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any I/O failure.
+    pub fn write_header(&mut self, kind: u8, version: u32) -> Result<(), CoreError> {
         self.write_all(MAGIC)?;
-        self.write_u32(DB_VERSION)?;
+        self.write_u32(version)?;
         self.write_all(&[kind])
     }
 
     /// Writes the trailing checksum (raw — the checksum does not hash
     /// itself) and flushes. Call exactly once, after the whole payload.
-    fn finish(&mut self) -> Result<(), CoreError> {
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on any I/O failure.
+    pub fn finish(&mut self) -> Result<(), CoreError> {
         let digest = self.hash.to_le_bytes();
         self.inner
             .write_all(&digest)
@@ -218,42 +282,210 @@ impl<W: Write> Stream<'_, W> {
     }
 }
 
+/// A value with a durable on-disk form a [`Store`] can save and open.
+///
+/// Implemented for [`RetrievalDatabase`] (kind 1) and [`Concept`]
+/// (kind 2) in the monolithic format v2.
+pub trait Persist: Sized {
+    /// Writes `self` to `path` over the given I/O seam.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] naming the file on any I/O failure.
+    fn save_to(&self, fs: &dyn StorageIo, path: &Path) -> Result<(), CoreError>;
+
+    /// Reads a value of this type from `path` over the given I/O seam.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on wrong magic/version/kind, truncated
+    /// data, checksum mismatches, or internally inconsistent payloads.
+    fn open_from(fs: &dyn StorageIo, path: &Path) -> Result<Self, CoreError>;
+}
+
+impl Persist for RetrievalDatabase {
+    fn save_to(&self, fs: &dyn StorageIo, path: &Path) -> Result<(), CoreError> {
+        let file = fs
+            .writer(path)
+            .map_err(|e| storage_err(path, e.to_string()))?;
+        let mut w = Stream::new(BufWriter::new(file), path);
+        w.write_header(DB_KIND, DB_VERSION)?;
+        w.write_u64(self.len() as u64)?;
+        w.write_u64(self.feature_dim() as u64)?;
+        for i in 0..self.len() {
+            let bag = self.bag(i).expect("index in range");
+            let label = self.label(i).expect("index in range");
+            w.write_u64(label as u64)?;
+            w.write_u64(bag.len() as u64)?;
+            for instance in bag.instances() {
+                for &v in instance {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+        }
+        w.finish()
+    }
+
+    fn open_from(fs: &dyn StorageIo, path: &Path) -> Result<Self, CoreError> {
+        let file = fs
+            .reader(path)
+            .map_err(|e| storage_err(path, e.to_string()))?;
+        let mut r = Stream::new(BufReader::new(file), path);
+        r.read_header(DB_KIND, DB_VERSION)?;
+        let count = r.read_u64()? as usize;
+        let dim = r.read_u64()? as usize;
+        if count == 0 || dim == 0 {
+            return Err(r.fail("empty database payload"));
+        }
+        // Guard against absurd headers before allocating.
+        if count > 100_000_000 || dim > 100_000_000 {
+            return Err(r.fail("implausible database header"));
+        }
+        let mut bags = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for _ in 0..count {
+            let label = r.read_u64()? as usize;
+            let n_instances = r.read_u64()? as usize;
+            if n_instances == 0 || n_instances > 1_000_000 {
+                return Err(r.fail(format!("implausible instance count {n_instances}")));
+            }
+            let mut instances = Vec::with_capacity(n_instances);
+            let mut buf = vec![0u8; dim * 4];
+            for _ in 0..n_instances {
+                r.read_exact(&mut buf)?;
+                let instance: Vec<f32> = buf
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                instances.push(instance);
+            }
+            bags.push(Bag::new(instances).map_err(CoreError::from)?);
+            labels.push(label);
+        }
+        r.verify_checksum()?;
+        RetrievalDatabase::from_bags(bags, labels)
+    }
+}
+
+impl Persist for Concept {
+    fn save_to(&self, fs: &dyn StorageIo, path: &Path) -> Result<(), CoreError> {
+        let file = fs
+            .writer(path)
+            .map_err(|e| storage_err(path, e.to_string()))?;
+        let mut w = Stream::new(BufWriter::new(file), path);
+        w.write_header(CONCEPT_KIND, DB_VERSION)?;
+        w.write_u64(self.dim() as u64)?;
+        for &v in self.point() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &v in self.weights() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.finish()
+    }
+
+    fn open_from(fs: &dyn StorageIo, path: &Path) -> Result<Self, CoreError> {
+        let file = fs
+            .reader(path)
+            .map_err(|e| storage_err(path, e.to_string()))?;
+        let mut r = Stream::new(BufReader::new(file), path);
+        r.read_header(CONCEPT_KIND, DB_VERSION)?;
+        let dim = r.read_u64()? as usize;
+        if dim == 0 || dim > 100_000_000 {
+            return Err(r.fail("implausible concept dimension"));
+        }
+        fn read_f64s<R: Read>(r: &mut Stream<'_, R>, n: usize) -> Result<Vec<f64>, CoreError> {
+            let mut buf = vec![0u8; n * 8];
+            r.read_exact(&mut buf)?;
+            Ok(buf
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect())
+        }
+        let point = read_f64s(&mut r, dim)?;
+        let weights = read_f64s(&mut r, dim)?;
+        r.verify_checksum()?;
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(r.fail("concept weights must be finite and non-negative"));
+        }
+        Ok(Concept::new(point, weights))
+    }
+}
+
+/// The persistence front door: an I/O seam plus `save`/`open` methods
+/// dispatching on [`Persist`] — so production code and fault-injection
+/// test sweeps run the exact same path, differing only in `fs`.
+///
+/// ```no_run
+/// # fn demo(db: &milr_core::RetrievalDatabase) -> Result<(), milr_core::CoreError> {
+/// use milr_core::{RetrievalDatabase, Store};
+///
+/// let store = Store::default(); // the real filesystem
+/// store.save(db, "db.milr")?;
+/// let back: RetrievalDatabase = store.open("db.milr")?;
+/// # drop(back);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy)]
+pub struct Store<'f> {
+    /// The I/O seam every operation goes through.
+    pub fs: &'f dyn StorageIo,
+}
+
+impl Default for Store<'static> {
+    fn default() -> Self {
+        Self { fs: &OsFs }
+    }
+}
+
+impl std::fmt::Debug for Store<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").finish_non_exhaustive()
+    }
+}
+
+impl<'f> Store<'f> {
+    /// A store over an explicit [`StorageIo`].
+    pub fn new(fs: &'f dyn StorageIo) -> Self {
+        Self { fs }
+    }
+
+    /// Writes `value` to `path`.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] naming the file on any I/O failure.
+    pub fn save<T: Persist>(&self, value: &T, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        value.save_to(self.fs, path.as_ref())
+    }
+
+    /// Reads a `T` from `path`.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Persist::open_from`].
+    pub fn open<T: Persist>(&self, path: impl AsRef<Path>) -> Result<T, CoreError> {
+        T::open_from(self.fs, path.as_ref())
+    }
+}
+
 /// Writes a preprocessed database to `path` via the default [`OsFs`].
 ///
 /// # Errors
 /// [`CoreError::Storage`] naming the file on any I/O failure.
+#[deprecated(note = "use `Store::default().save(db, path)`")]
 pub fn save_database<P: AsRef<Path>>(db: &RetrievalDatabase, path: P) -> Result<(), CoreError> {
-    save_database_with(&OsFs, db, path.as_ref())
+    db.save_to(&OsFs, path.as_ref())
 }
 
 /// [`save_database`] over an explicit [`StorageIo`].
 ///
 /// # Errors
 /// [`CoreError::Storage`] naming the file on any I/O failure.
+#[deprecated(note = "use `Store::new(fs).save(db, path)`")]
 pub fn save_database_with(
     fs: &dyn StorageIo,
     db: &RetrievalDatabase,
     path: &Path,
 ) -> Result<(), CoreError> {
-    let file = fs
-        .writer(path)
-        .map_err(|e| storage_err(path, e.to_string()))?;
-    let mut w = Stream::new(BufWriter::new(file), path);
-    w.write_header(DB_KIND)?;
-    w.write_u64(db.len() as u64)?;
-    w.write_u64(db.feature_dim() as u64)?;
-    for i in 0..db.len() {
-        let bag = db.bag(i).expect("index in range");
-        let label = db.label(i).expect("index in range");
-        w.write_u64(label as u64)?;
-        w.write_u64(bag.len() as u64)?;
-        for instance in bag.instances() {
-            for &v in instance {
-                w.write_all(&v.to_le_bytes())?;
-            }
-        }
-    }
-    w.finish()
+    db.save_to(fs, path)
 }
 
 /// Reads a preprocessed database written by [`save_database`].
@@ -261,123 +493,58 @@ pub fn save_database_with(
 /// # Errors
 /// Fails with a descriptive error on wrong magic/version/kind, truncated
 /// data, checksum mismatches, or internally inconsistent counts.
+#[deprecated(note = "use `Store::default().open::<RetrievalDatabase>(path)`")]
 pub fn load_database<P: AsRef<Path>>(path: P) -> Result<RetrievalDatabase, CoreError> {
-    load_database_with(&OsFs, path.as_ref())
+    RetrievalDatabase::open_from(&OsFs, path.as_ref())
 }
 
 /// [`load_database`] over an explicit [`StorageIo`].
 ///
 /// # Errors
 /// Same failure modes as [`load_database`].
+#[deprecated(note = "use `Store::new(fs).open::<RetrievalDatabase>(path)`")]
 pub fn load_database_with(fs: &dyn StorageIo, path: &Path) -> Result<RetrievalDatabase, CoreError> {
-    let file = fs
-        .reader(path)
-        .map_err(|e| storage_err(path, e.to_string()))?;
-    let mut r = Stream::new(BufReader::new(file), path);
-    r.read_header(DB_KIND)?;
-    let count = r.read_u64()? as usize;
-    let dim = r.read_u64()? as usize;
-    if count == 0 || dim == 0 {
-        return Err(r.fail("empty database payload"));
-    }
-    // Guard against absurd headers before allocating.
-    if count > 100_000_000 || dim > 100_000_000 {
-        return Err(r.fail("implausible database header"));
-    }
-    let mut bags = Vec::with_capacity(count);
-    let mut labels = Vec::with_capacity(count);
-    for _ in 0..count {
-        let label = r.read_u64()? as usize;
-        let n_instances = r.read_u64()? as usize;
-        if n_instances == 0 || n_instances > 1_000_000 {
-            return Err(r.fail(format!("implausible instance count {n_instances}")));
-        }
-        let mut instances = Vec::with_capacity(n_instances);
-        let mut buf = vec![0u8; dim * 4];
-        for _ in 0..n_instances {
-            r.read_exact(&mut buf)?;
-            let instance: Vec<f32> = buf
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect();
-            instances.push(instance);
-        }
-        bags.push(Bag::new(instances).map_err(CoreError::from)?);
-        labels.push(label);
-    }
-    r.verify_checksum()?;
-    RetrievalDatabase::from_bags(bags, labels)
+    RetrievalDatabase::open_from(fs, path)
 }
 
 /// Writes a trained concept to `path` via the default [`OsFs`].
 ///
 /// # Errors
 /// [`CoreError::Storage`] naming the file on any I/O failure.
+#[deprecated(note = "use `Store::default().save(concept, path)`")]
 pub fn save_concept<P: AsRef<Path>>(concept: &Concept, path: P) -> Result<(), CoreError> {
-    save_concept_with(&OsFs, concept, path.as_ref())
+    concept.save_to(&OsFs, path.as_ref())
 }
 
 /// [`save_concept`] over an explicit [`StorageIo`].
 ///
 /// # Errors
 /// [`CoreError::Storage`] naming the file on any I/O failure.
+#[deprecated(note = "use `Store::new(fs).save(concept, path)`")]
 pub fn save_concept_with(
     fs: &dyn StorageIo,
     concept: &Concept,
     path: &Path,
 ) -> Result<(), CoreError> {
-    let file = fs
-        .writer(path)
-        .map_err(|e| storage_err(path, e.to_string()))?;
-    let mut w = Stream::new(BufWriter::new(file), path);
-    w.write_header(CONCEPT_KIND)?;
-    w.write_u64(concept.dim() as u64)?;
-    for &v in concept.point() {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    for &v in concept.weights() {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    w.finish()
+    concept.save_to(fs, path)
 }
 
 /// Reads a concept written by [`save_concept`].
 ///
 /// # Errors
 /// Same failure modes as [`load_database`].
+#[deprecated(note = "use `Store::default().open::<Concept>(path)`")]
 pub fn load_concept<P: AsRef<Path>>(path: P) -> Result<Concept, CoreError> {
-    load_concept_with(&OsFs, path.as_ref())
+    Concept::open_from(&OsFs, path.as_ref())
 }
 
 /// [`load_concept`] over an explicit [`StorageIo`].
 ///
 /// # Errors
 /// Same failure modes as [`load_database`].
+#[deprecated(note = "use `Store::new(fs).open::<Concept>(path)`")]
 pub fn load_concept_with(fs: &dyn StorageIo, path: &Path) -> Result<Concept, CoreError> {
-    let file = fs
-        .reader(path)
-        .map_err(|e| storage_err(path, e.to_string()))?;
-    let mut r = Stream::new(BufReader::new(file), path);
-    r.read_header(CONCEPT_KIND)?;
-    let dim = r.read_u64()? as usize;
-    if dim == 0 || dim > 100_000_000 {
-        return Err(r.fail("implausible concept dimension"));
-    }
-    fn read_f64s<R: Read>(r: &mut Stream<'_, R>, n: usize) -> Result<Vec<f64>, CoreError> {
-        let mut buf = vec![0u8; n * 8];
-        r.read_exact(&mut buf)?;
-        Ok(buf
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-            .collect())
-    }
-    let point = read_f64s(&mut r, dim)?;
-    let weights = read_f64s(&mut r, dim)?;
-    r.verify_checksum()?;
-    if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-        return Err(r.fail("concept weights must be finite and non-negative"));
-    }
-    Ok(Concept::new(point, weights))
+    Concept::open_from(fs, path)
 }
 
 #[cfg(test)]
@@ -406,10 +573,11 @@ mod tests {
 
     #[test]
     fn database_round_trip() {
+        let store = Store::default();
         let db = sample_db();
         let path = temp_path("db_roundtrip.milr");
-        save_database(&db, &path).unwrap();
-        let back = load_database(&path).unwrap();
+        store.save(&db, &path).unwrap();
+        let back: RetrievalDatabase = store.open(&path).unwrap();
         assert_eq!(back.len(), db.len());
         assert_eq!(back.feature_dim(), db.feature_dim());
         assert_eq!(back.labels(), db.labels());
@@ -421,10 +589,11 @@ mod tests {
 
     #[test]
     fn concept_round_trip() {
+        let store = Store::default();
         let concept = Concept::new(vec![1.5, -2.25, 0.0], vec![0.5, 1.0, 0.0]);
         let path = temp_path("concept_roundtrip.milr");
-        save_concept(&concept, &path).unwrap();
-        let back = load_concept(&path).unwrap();
+        store.save(&concept, &path).unwrap();
+        let back: Concept = store.open(&path).unwrap();
         assert_eq!(back, concept);
         std::fs::remove_file(path).ok();
     }
@@ -452,7 +621,9 @@ mod tests {
     fn bad_magic_rejected() {
         let path = temp_path("bad_magic.milr");
         std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x01").unwrap();
-        let err = load_database(&path).unwrap_err();
+        let err = Store::default()
+            .open::<RetrievalDatabase>(&path)
+            .unwrap_err();
         assert_storage_err(err, "bad_magic.milr", "magic");
         std::fs::remove_file(path).ok();
     }
@@ -460,22 +631,24 @@ mod tests {
     #[test]
     fn wrong_kind_rejected() {
         // A concept file is not a database file.
+        let store = Store::default();
         let concept = Concept::new(vec![1.0], vec![1.0]);
         let path = temp_path("kind_mismatch.milr");
-        save_concept(&concept, &path).unwrap();
-        let err = load_database(&path).unwrap_err();
+        store.save(&concept, &path).unwrap();
+        let err = store.open::<RetrievalDatabase>(&path).unwrap_err();
         assert_storage_err(err, "kind_mismatch.milr", "kind");
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn truncated_file_rejected() {
+        let store = Store::default();
         let db = sample_db();
         let path = temp_path("truncated.milr");
-        save_database(&db, &path).unwrap();
+        store.save(&db, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        let err = load_database(&path).unwrap_err();
+        let err = store.open::<RetrievalDatabase>(&path).unwrap_err();
         assert!(
             matches!(err, CoreError::Storage { .. }),
             "expected CoreError::Storage, got {err:?}"
@@ -487,7 +660,9 @@ mod tests {
     fn missing_file_rejected_with_path() {
         let path = temp_path("does_not_exist.milr");
         std::fs::remove_file(&path).ok();
-        let err = load_database(&path).unwrap_err();
+        let err = Store::default()
+            .open::<RetrievalDatabase>(&path)
+            .unwrap_err();
         assert_storage_err(err, "does_not_exist.milr", "");
     }
 
@@ -499,7 +674,9 @@ mod tests {
         bytes.extend_from_slice(&99u32.to_le_bytes());
         bytes.push(DB_KIND);
         std::fs::write(&path, bytes).unwrap();
-        let err = load_database(&path).unwrap_err();
+        let err = Store::default()
+            .open::<RetrievalDatabase>(&path)
+            .unwrap_err();
         assert_storage_err(err, "future_version.milr", "version");
         std::fs::remove_file(path).ok();
     }
@@ -519,7 +696,7 @@ mod tests {
         let digest = fnv1a(&bytes);
         bytes.extend_from_slice(&digest.to_le_bytes());
         std::fs::write(&path, bytes).unwrap();
-        let err = load_concept(&path).unwrap_err();
+        let err = Store::default().open::<Concept>(&path).unwrap_err();
         assert_storage_err(err, "negative_weight.milr", "non-negative");
         std::fs::remove_file(path).ok();
     }
@@ -528,30 +705,32 @@ mod tests {
     fn flipped_payload_bit_rejected_by_checksum() {
         // Version 1 could not detect a bit flip inside the float payload;
         // the version-2 trailing checksum must.
+        let store = Store::default();
         let db = sample_db();
         let path = temp_path("bit_flip.milr");
-        save_database(&db, &path).unwrap();
+        store.save(&db, &path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip one bit inside the first bag's float payload (header 9 +
         // count/dim 16 + label/instance-count 16 = offset 41): a flipped
         // feature value is structurally valid, only the checksum sees it.
         bytes[41] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
-        let err = load_database(&path).unwrap_err();
+        let err = store.open::<RetrievalDatabase>(&path).unwrap_err();
         assert_storage_err(err, "bit_flip.milr", "checksum");
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn flipped_checksum_bit_rejected() {
+        let store = Store::default();
         let concept = Concept::new(vec![1.5], vec![0.5]);
         let path = temp_path("flipped_checksum.milr");
-        save_concept(&concept, &path).unwrap();
+        store.save(&concept, &path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
-        let err = load_concept(&path).unwrap_err();
+        let err = store.open::<Concept>(&path).unwrap_err();
         assert_storage_err(err, "flipped_checksum.milr", "checksum");
         std::fs::remove_file(path).ok();
     }
@@ -560,12 +739,13 @@ mod tests {
     fn missing_checksum_rejected() {
         // A structurally complete payload with the trailing checksum torn
         // off (classic torn write at the tail).
+        let store = Store::default();
         let db = sample_db();
         let path = temp_path("torn_tail.milr");
-        save_database(&db, &path).unwrap();
+        store.save(&db, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
-        let err = load_database(&path).unwrap_err();
+        let err = store.open::<RetrievalDatabase>(&path).unwrap_err();
         assert_storage_err(err, "torn_tail.milr", "checksum");
         std::fs::remove_file(path).ok();
     }
@@ -620,29 +800,66 @@ mod tests {
         }
 
         let fs = MemFs::default();
+        let store = Store::new(&fs);
         let db = sample_db();
         let path = Path::new("mem://db.milr");
-        save_database_with(&fs, &db, path).unwrap();
-        let back = load_database_with(&fs, path).unwrap();
+        store.save(&db, path).unwrap();
+        let back: RetrievalDatabase = store.open(path).unwrap();
         assert_eq!(back.labels(), db.labels());
         for i in 0..db.len() {
             assert_eq!(back.bag(i).unwrap(), db.bag(i).unwrap());
         }
         // Missing files still surface as Storage errors naming the path.
-        let err = load_concept_with(&fs, Path::new("mem://nope.milr")).unwrap_err();
+        let err = store
+            .open::<Concept>(Path::new("mem://nope.milr"))
+            .unwrap_err();
         assert_storage_err(err, "mem://nope.milr", "no such file");
     }
 
     #[test]
     fn ranking_is_preserved_across_round_trip() {
+        use crate::database::RankRequest;
+        let store = Store::default();
         let db = sample_db();
         let concept = Concept::new(vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 1.0]);
-        let before = db.rank(&concept, &[0, 1, 2]).unwrap();
+        let before = db.rank(&concept, &RankRequest::all()).unwrap();
         let path = temp_path("rank_preserved.milr");
-        save_database(&db, &path).unwrap();
-        let back = load_database(&path).unwrap();
-        let after = back.rank(&concept, &[0, 1, 2]).unwrap();
+        store.save(&db, &path).unwrap();
+        let back: RetrievalDatabase = store.open(&path).unwrap();
+        let after = back.rank(&concept, &RankRequest::all()).unwrap();
         assert_eq!(before, after);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_drive_the_store_path() {
+        // The legacy free functions are thin shims over Persist — byte
+        // and behaviour identical.
+        let db = sample_db();
+        let shim_path = temp_path("shim.milr");
+        let store_path = temp_path("store.milr");
+        save_database(&db, &shim_path).unwrap();
+        Store::default().save(&db, &store_path).unwrap();
+        assert_eq!(
+            std::fs::read(&shim_path).unwrap(),
+            std::fs::read(&store_path).unwrap(),
+            "shim and Store must produce identical bytes"
+        );
+        let back = load_database(&shim_path).unwrap();
+        assert_eq!(back.labels(), db.labels());
+
+        let concept = Concept::new(vec![1.0, 2.0, 3.0], vec![1.0, 1.0, 1.0]);
+        save_concept(&concept, &shim_path).unwrap();
+        assert_eq!(load_concept(&shim_path).unwrap(), concept);
+        save_concept_with(&OsFs, &concept, &shim_path).unwrap();
+        assert_eq!(load_concept_with(&OsFs, &shim_path).unwrap(), concept);
+        save_database_with(&OsFs, &db, &store_path).unwrap();
+        assert_eq!(
+            load_database_with(&OsFs, &store_path).unwrap().labels(),
+            db.labels()
+        );
+        std::fs::remove_file(shim_path).ok();
+        std::fs::remove_file(store_path).ok();
     }
 }

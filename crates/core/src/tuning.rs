@@ -58,8 +58,11 @@ pub fn select_beta(
         candidate_config
             .validate()
             .map_err(|msg| CoreError::Mil(milr_mil::MilError::InvalidPolicy(msg)))?;
-        let mut session =
-            QuerySession::new(db, &candidate_config, target, pool.to_vec(), Vec::new())?;
+        let mut session = QuerySession::builder(db)
+            .config(&candidate_config)
+            .target(target)
+            .pool(pool.to_vec())
+            .build()?;
         let ranking = session.run_round()?;
         let relevant = eval::relevance(&ranking, db.labels(), target);
         let score = eval::average_precision(&relevant);

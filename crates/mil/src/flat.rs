@@ -16,6 +16,7 @@
 //! order of [`MilDataset::positives`]/[`MilDataset::negatives`].
 
 use crate::bag::{Bag, MilDataset};
+use crate::concept::Concept;
 
 /// Location of one bag inside a [`FlatDataset`] buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +129,183 @@ impl FlatDataset {
     }
 }
 
+/// Ranking-side flat storage: many bags packed into one contiguous
+/// `f32` buffer with per-bag spans — the in-memory layout of a sharded
+/// snapshot shard, loadable straight from disk with no per-bag
+/// re-normalisation or widening.
+///
+/// Unlike [`FlatDataset`] (the *training*-side layout, widened to `f64`
+/// for the DD kernels), `FlatBags` keeps the native `f32` features so
+/// its instance slices feed [`Concept::instance_distance_sq_below`]
+/// directly — the exact kernel the monolithic ranking path runs, which
+/// is what makes scatter-gather rankings bit-identical to monolithic
+/// ones by construction.
+#[derive(Debug, Clone, Default)]
+pub struct FlatBags {
+    data: Vec<f32>,
+    spans: Vec<BagSpan>,
+    dim: usize,
+}
+
+impl FlatBags {
+    /// An empty store for `dim`-dimensional features.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be non-zero");
+        Self {
+            data: Vec::new(),
+            spans: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Appends one bag, copying its instances into the flat buffer.
+    /// Returns the bag's index.
+    ///
+    /// # Panics
+    /// Panics on a feature-dimension mismatch.
+    pub fn push_bag(&mut self, bag: &Bag) -> usize {
+        assert_eq!(bag.dim(), self.dim, "bag has wrong dimension");
+        let offset = self.data.len() / self.dim;
+        for instance in bag.instances() {
+            self.data.extend_from_slice(instance);
+        }
+        self.spans.push(BagSpan {
+            offset,
+            len: bag.len(),
+        });
+        self.spans.len() - 1
+    }
+
+    /// Appends one bag given as a raw flat slice of
+    /// `instance_count × dim` values — the disk-load path, where the
+    /// shard file already holds the flat layout. Returns the bag's index.
+    ///
+    /// # Panics
+    /// Panics if `instances` is empty or not a multiple of `dim`.
+    pub fn push_flat(&mut self, instances: &[f32]) -> usize {
+        assert!(
+            !instances.is_empty() && instances.len().is_multiple_of(self.dim),
+            "flat bag data must be a non-empty multiple of the dimension"
+        );
+        let offset = self.data.len() / self.dim;
+        self.spans.push(BagSpan {
+            offset,
+            len: instances.len() / self.dim,
+        });
+        self.data.extend_from_slice(instances);
+        self.spans.len() - 1
+    }
+
+    /// Feature dimension `k`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of bags.
+    #[inline]
+    pub fn bag_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the store holds no bags.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total instance count across all bags.
+    #[inline]
+    pub fn instance_count(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// The span of one bag.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()`.
+    #[inline]
+    pub fn span(&self, bag: usize) -> BagSpan {
+        self.spans[bag]
+    }
+
+    /// All instances of one bag as a single contiguous slice of
+    /// `span.len × dim` elements.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()`.
+    #[inline]
+    pub fn bag_instances(&self, bag: usize) -> &[f32] {
+        let span = self.spans[bag];
+        &self.data[span.offset * self.dim..(span.offset + span.len) * self.dim]
+    }
+
+    /// The instances of one bag, each a `dim`-element slice.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()`.
+    #[inline]
+    pub fn instances(&self, bag: usize) -> impl Iterator<Item = &[f32]> {
+        self.bag_instances(bag).chunks_exact(self.dim)
+    }
+
+    /// Rebuilds one bag as an owned [`Bag`] (the monolithic
+    /// representation) — the shard→database conversion path.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()`.
+    pub fn to_bag(&self, bag: usize) -> Bag {
+        Bag::new(self.instances(bag).map(<[f32]>::to_vec).collect())
+            .expect("flat bags are non-empty and dimension-consistent")
+    }
+
+    /// The whole flat buffer, bag-major — what a shard file serialises.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// All spans, in bag order.
+    #[inline]
+    pub fn spans(&self) -> &[BagSpan] {
+        &self.spans
+    }
+
+    /// Minimum weighted squared distance from the concept's ideal point
+    /// to the bag's instances — the §3.5 ranking key, computed by the
+    /// *same* pruned instance kernel as [`Concept::bag_distance_sq`], so
+    /// the result is bit-identical to scoring the equivalent [`Bag`].
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()` or the concept's dimension
+    /// differs.
+    pub fn min_distance_sq(&self, concept: &Concept, bag: usize) -> f64 {
+        self.min_distance_sq_below(concept, bag, f64::INFINITY)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Pruned bag distance against an external candidate bound: returns
+    /// `Some(d)` iff the bag's min-distance is strictly below `bound` —
+    /// the mirror of [`Concept::bag_distance_sq_below`] over the flat
+    /// layout, instance for instance.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()` or the concept's dimension
+    /// differs.
+    pub fn min_distance_sq_below(&self, concept: &Concept, bag: usize, bound: f64) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for inst in self.instances(bag) {
+            if let Some(d) = concept.instance_distance_sq_below(inst, best.min(bound)) {
+                best = d;
+            }
+        }
+        (best < bound).then_some(best)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +378,102 @@ mod tests {
     fn out_of_range_instance_rejected() {
         let flat = FlatDataset::from_dataset(&dataset()).unwrap();
         let _ = flat.instance(1, 99);
+    }
+
+    #[test]
+    fn flat_bags_round_trip_bags() {
+        let bags = [
+            bag(&[&[1.0, 2.0], &[3.0, 4.0]]),
+            bag(&[&[5.0, 6.0]]),
+            bag(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]),
+        ];
+        let mut flat = FlatBags::new(2);
+        for (i, b) in bags.iter().enumerate() {
+            assert_eq!(flat.push_bag(b), i);
+        }
+        assert_eq!(flat.dim(), 2);
+        assert_eq!(flat.bag_count(), 3);
+        assert_eq!(flat.instance_count(), 6);
+        assert!(!flat.is_empty());
+        for (i, b) in bags.iter().enumerate() {
+            assert_eq!(&flat.to_bag(i), b);
+            assert_eq!(flat.span(i).len, b.len());
+            for (inst, orig) in flat.instances(i).zip(b.instances()) {
+                assert_eq!(inst, orig);
+            }
+        }
+        // The raw buffer is bag-major and contiguous.
+        assert_eq!(
+            flat.data(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0]
+        );
+        assert_eq!(flat.spans().len(), 3);
+    }
+
+    #[test]
+    fn push_flat_matches_push_bag() {
+        let b = bag(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut via_bag = FlatBags::new(2);
+        via_bag.push_bag(&b);
+        let mut via_flat = FlatBags::new(2);
+        via_flat.push_flat(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(via_bag.data(), via_flat.data());
+        assert_eq!(via_bag.spans(), via_flat.spans());
+        assert_eq!(via_flat.to_bag(0), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the dimension")]
+    fn ragged_flat_data_rejected() {
+        let mut flat = FlatBags::new(2);
+        flat.push_flat(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn mismatched_bag_dimension_rejected() {
+        let mut flat = FlatBags::new(3);
+        flat.push_bag(&bag(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn flat_scoring_is_bit_identical_to_bag_scoring() {
+        // Multi-stride instances (19 dims) exercise the pruned kernel's
+        // stride loop; scores must match the Bag path bit for bit.
+        let k = 19;
+        let point: Vec<f64> = (0..k).map(|i| (i as f64 * 0.37).sin()).collect();
+        let weights: Vec<f64> = (0..k).map(|i| 0.1 + (i % 5) as f64 * 0.3).collect();
+        let concept = Concept::new(point, weights);
+        let bags: Vec<Bag> = (0..5)
+            .map(|n| {
+                Bag::new(
+                    (0..=n)
+                        .map(|m| {
+                            (0..k)
+                                .map(|i| ((n * 31 + m * 17 + i * 3) % 23) as f32 / 7.0)
+                                .collect()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut flat = FlatBags::new(k);
+        for b in &bags {
+            flat.push_bag(b);
+        }
+        for (i, b) in bags.iter().enumerate() {
+            let reference = concept.bag_distance_sq(b);
+            assert_eq!(flat.min_distance_sq(&concept, i), reference);
+            // The bounded variant agrees with the Bag-side bounded
+            // variant for bounds below, at, and above the true distance.
+            for bound in [reference * 0.5, reference, reference + 1.0, f64::INFINITY] {
+                assert_eq!(
+                    flat.min_distance_sq_below(&concept, i, bound),
+                    concept.bag_distance_sq_below(b, bound),
+                    "bag {i}, bound {bound}"
+                );
+            }
+        }
     }
 }

@@ -34,7 +34,7 @@ pub mod trainer;
 pub use bag::{Bag, BagLabel, MilDataset, MilError};
 pub use concept::Concept;
 pub use dd::{DdObjective, LegacyDdObjective, Parameterization};
-pub use flat::{BagSpan, FlatDataset};
+pub use flat::{BagSpan, FlatBags, FlatDataset};
 pub use policy::WeightPolicy;
 pub use predict::{BagClassifier, ClassificationReport};
 pub use trainer::{train, ConstrainedSolver, StartBags, TrainOptions, TrainResult};

@@ -5,14 +5,17 @@
 //!       [--queue-depth N] [--read-timeout-ms N] [--handle-deadline-ms N]
 //!       [--max-body BYTES] [--cache-capacity N] [--session-ttl-s N]
 //!       [--session-capacity N] [--page K] [--policy POLICY]
+//!       [--watch-snapshot] [--watch-interval-ms N]
 //!       [--debug-endpoints] [--drain-on-stdin-eof]
 //! ```
 //!
-//! Loads a preprocessed `.milr` snapshot (see `milr preprocess`), binds,
-//! prints one `milrd listening on ADDR ...` line to stdout (port `0`
-//! resolves to the ephemeral port — test harnesses parse this line), and
-//! serves until `POST /admin/shutdown` or, with `--drain-on-stdin-eof`,
-//! until stdin closes.
+//! Loads a snapshot — a monolithic `.milr` file (see `milr preprocess`)
+//! or a sharded v3 directory (see `milr shard`) — binds, prints one
+//! `milrd listening on ADDR ...` line to stdout (port `0` resolves to
+//! the ephemeral port — test harnesses parse this line), and serves
+//! until `POST /admin/shutdown` or, with `--drain-on-stdin-eof`, until
+//! stdin closes. `POST /snapshot/reload` (or `--watch-snapshot`) swaps
+//! in a rewritten snapshot without dropping a single request.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -40,10 +43,11 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage:\n  \
-         milrd --snapshot DB.milr [--addr HOST:PORT] [--workers N]\n        \
+         milrd --snapshot DB.milr|SHARD_DIR [--addr HOST:PORT] [--workers N]\n        \
          [--queue-depth N] [--read-timeout-ms N] [--handle-deadline-ms N]\n        \
          [--max-body BYTES] [--cache-capacity N] [--session-ttl-s N]\n        \
          [--session-capacity N] [--page K] [--policy POLICY]\n        \
+         [--watch-snapshot] [--watch-interval-ms N]\n        \
          [--debug-endpoints] [--drain-on-stdin-eof]\n\n\
          POLICY: original | identical | alpha:A | constraint:B"
     );
@@ -108,20 +112,28 @@ fn run(args: &[String]) -> Result<(), String> {
         options.retrieval.policy = parse_policy(&spec)?;
     }
     options.debug_endpoints = switch(args, "--debug-endpoints");
+    options.watch_snapshot = switch(args, "--watch-snapshot");
+    if let Some(ms) = parse_flag(args, "--watch-interval-ms")? {
+        options.watch_interval = Duration::from_millis(ms);
+    }
 
     // One solver/ranker thread per request: the daemon's parallelism is
     // across requests, not within them (results are identical either
     // way — a PR 1 invariant).
     options.retrieval.threads = 1;
 
-    let mut db = milr_core::storage::load_database(&snapshot).map_err(|e| e.to_string())?;
-    db.set_threads(1);
+    let loaded = milr_store::load_snapshot(&snapshot).map_err(|e| e.to_string())?;
+    options.snapshot_path = Some(snapshot.clone().into());
+    let db = loaded.database;
     let (images, categories, dim) = (db.len(), db.category_count(), db.feature_dim());
 
-    let server = Server::start(db, options)?;
+    let server = Server::start_with_generation(db, loaded.generation, loaded.shards, options)?;
     println!(
-        "milrd listening on {} ({images} images, {categories} categories, dim {dim})",
-        server.local_addr()
+        "milrd listening on {} ({images} images, {categories} categories, dim {dim}, generation {}, {} shard{})",
+        server.local_addr(),
+        loaded.generation,
+        loaded.shards,
+        if loaded.shards == 1 { "" } else { "s" }
     );
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 

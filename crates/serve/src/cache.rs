@@ -14,22 +14,27 @@ use std::sync::Arc;
 
 use milr_mil::Concept;
 
-/// Cache key: the exact example sets and policy that determine training.
+/// Cache key: the exact example sets, policy, and snapshot generation
+/// that determine training.
 ///
 /// Index lists are sorted and deduplicated on construction because
 /// training is order-insensitive at the set level only through the
 /// multi-start union — two mark orders that produce the same *sets* must
-/// hit the same entry.
+/// hit the same entry. The generation pins the key to one snapshot
+/// epoch: after a hot reload the same indices may name different images,
+/// so pre-reload concepts must never answer post-reload requests.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConceptKey {
     positives: Vec<usize>,
     negatives: Vec<usize>,
     policy: String,
+    generation: u64,
 }
 
 impl ConceptKey {
-    /// Builds the canonical key for an example configuration.
-    pub fn new(positives: &[usize], negatives: &[usize], policy: &str) -> Self {
+    /// Builds the canonical key for an example configuration under one
+    /// snapshot generation.
+    pub fn new(positives: &[usize], negatives: &[usize], policy: &str, generation: u64) -> Self {
         let canonical = |list: &[usize]| {
             let mut v = list.to_vec();
             v.sort_unstable();
@@ -40,6 +45,7 @@ impl ConceptKey {
             positives: canonical(positives),
             negatives: canonical(negatives),
             policy: policy.to_string(),
+            generation,
         }
     }
 }
@@ -155,17 +161,22 @@ mod tests {
 
     #[test]
     fn keys_canonicalise_order_and_duplicates() {
-        let a = ConceptKey::new(&[3, 1, 2], &[9, 9, 4], "c0.5");
-        let b = ConceptKey::new(&[1, 2, 3, 3], &[4, 9], "c0.5");
+        let a = ConceptKey::new(&[3, 1, 2], &[9, 9, 4], "c0.5", 0);
+        let b = ConceptKey::new(&[1, 2, 3, 3], &[4, 9], "c0.5", 0);
         assert_eq!(a, b);
-        assert_ne!(a, ConceptKey::new(&[1, 2, 3], &[4, 9], "identical"));
-        assert_ne!(a, ConceptKey::new(&[1, 2], &[3, 4, 9], "c0.5"));
+        assert_ne!(a, ConceptKey::new(&[1, 2, 3], &[4, 9], "identical", 0));
+        assert_ne!(a, ConceptKey::new(&[1, 2], &[3, 4, 9], "c0.5", 0));
+        assert_ne!(
+            a,
+            ConceptKey::new(&[3, 1, 2], &[9, 9, 4], "c0.5", 1),
+            "a reload bumps the generation and must miss"
+        );
     }
 
     #[test]
     fn hit_and_miss_counters_track_lookups() {
         let mut cache = ConceptCache::new(4);
-        let key = ConceptKey::new(&[0], &[1], "p");
+        let key = ConceptKey::new(&[0], &[1], "p", 0);
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), concept(1.0));
         let hit = cache.get(&key).expect("cached");
@@ -177,9 +188,9 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut cache = ConceptCache::new(2);
-        let k1 = ConceptKey::new(&[1], &[], "p");
-        let k2 = ConceptKey::new(&[2], &[], "p");
-        let k3 = ConceptKey::new(&[3], &[], "p");
+        let k1 = ConceptKey::new(&[1], &[], "p", 0);
+        let k2 = ConceptKey::new(&[2], &[], "p", 0);
+        let k3 = ConceptKey::new(&[3], &[], "p", 0);
         cache.insert(k1.clone(), concept(1.0));
         cache.insert(k2.clone(), concept(2.0));
         // Touch k1 so k2 is the LRU entry.
@@ -194,7 +205,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = ConceptCache::new(0);
-        let key = ConceptKey::new(&[1], &[], "p");
+        let key = ConceptKey::new(&[1], &[], "p", 0);
         cache.insert(key.clone(), concept(1.0));
         assert!(cache.is_empty());
         assert!(cache.get(&key).is_none());
@@ -203,8 +214,8 @@ mod tests {
     #[test]
     fn reinserting_existing_key_does_not_evict() {
         let mut cache = ConceptCache::new(2);
-        let k1 = ConceptKey::new(&[1], &[], "p");
-        let k2 = ConceptKey::new(&[2], &[], "p");
+        let k1 = ConceptKey::new(&[1], &[], "p", 0);
+        let k2 = ConceptKey::new(&[2], &[], "p", 0);
         cache.insert(k1.clone(), concept(1.0));
         cache.insert(k2.clone(), concept(2.0));
         cache.insert(k1.clone(), concept(9.0));

@@ -107,6 +107,14 @@ pub struct Metrics {
     pub queue_depth: Arc<obs::Gauge>,
     /// High-water mark of the accept queue.
     pub queue_peak: Arc<obs::Gauge>,
+    /// Successful `POST /snapshot/reload` (and watcher-triggered) swaps.
+    pub snapshot_reloads_total: Arc<obs::Counter>,
+    /// Reload attempts that failed and kept the old epoch serving.
+    pub snapshot_reload_failures_total: Arc<obs::Counter>,
+    /// Generation of the epoch currently serving (gauge).
+    pub snapshot_generation: Arc<obs::Gauge>,
+    /// Shard count behind the epoch currently serving (gauge).
+    pub snapshot_shards: Arc<obs::Gauge>,
 }
 
 impl Default for Metrics {
@@ -123,6 +131,11 @@ impl Default for Metrics {
             deadline_shed_total: outcome("deadline_shed"),
             queue_depth: registry.gauge("milrd_queue_depth"),
             queue_peak: registry.gauge("milrd_queue_peak"),
+            snapshot_reloads_total: registry.counter("milrd_snapshot_reloads_total"),
+            snapshot_reload_failures_total: registry
+                .counter("milrd_snapshot_reload_failures_total"),
+            snapshot_generation: registry.gauge("milrd_snapshot_generation"),
+            snapshot_shards: registry.gauge("milrd_snapshot_shards"),
             endpoints: Mutex::new(BTreeMap::new()),
             registry,
         }

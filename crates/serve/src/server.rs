@@ -14,21 +14,24 @@
 //! * shutdown is graceful: the flag flips, the acceptor is unblocked by
 //!   a self-connection, workers drain the queue and exit.
 //!
-//! All request state lives in the private `Daemon` struct: the shared
-//! database and
-//! config (`Arc`, read-only), the concept cache, the session store and
-//! the metrics registry.
+//! All request state lives in the private `Daemon` struct: the current
+//! snapshot **epoch** (database + generation, swapped atomically by
+//! `POST /snapshot/reload` or the snapshot watcher — in-flight requests
+//! and live sessions keep serving the epoch they pinned via `Arc`), the
+//! shared config, the concept cache (keyed by generation), the session
+//! store and the metrics registry.
 
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use milr_core::features::image_to_bag;
-use milr_core::{CoreError, QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr_core::{CoreError, QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase};
 use milr_imgproc::pnm;
 use milr_mil::{Bag, WeightPolicy};
 
@@ -69,6 +72,15 @@ pub struct ServeOptions {
     /// Enables `GET /debug/sleep` — a worker-stalling endpoint the shed
     /// tests need; never enable in real service.
     pub debug_endpoints: bool,
+    /// Snapshot the daemon serves — a monolithic `.milr` file or a
+    /// sharded v3 directory. Required for `POST /snapshot/reload` and
+    /// the snapshot watcher; [`None`] disables both.
+    pub snapshot_path: Option<PathBuf>,
+    /// Polls `snapshot_path` for modification and hot-reloads
+    /// automatically when it changes.
+    pub watch_snapshot: bool,
+    /// Poll interval of the snapshot watcher.
+    pub watch_interval: Duration,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +98,9 @@ impl Default for ServeOptions {
             default_page: 10,
             retrieval: RetrievalConfig::default(),
             debug_endpoints: false,
+            snapshot_path: None,
+            watch_snapshot: false,
+            watch_interval: Duration::from_secs(2),
         }
     }
 }
@@ -113,14 +128,36 @@ pub fn parse_policy(spec: &str) -> Result<WeightPolicy, String> {
     Err(format!("unknown policy {spec:?}"))
 }
 
+/// One immutable snapshot generation. Requests clone the `Arc` once up
+/// front and serve entirely from that epoch; a concurrent reload swaps
+/// the daemon's pointer without disturbing them, and live sessions pin
+/// their epoch's database for as long as they exist.
+struct Epoch {
+    db: Arc<RetrievalDatabase>,
+    /// Every database index — the ranking pool of new sessions.
+    all_indices: Vec<usize>,
+    /// Monotonic across reloads (concept-cache key component).
+    generation: u64,
+    /// Shards behind this epoch's snapshot (1 for monolithic files).
+    shards: usize,
+}
+
+impl Epoch {
+    fn new(db: RetrievalDatabase, generation: u64, shards: usize) -> Self {
+        Self {
+            all_indices: (0..db.len()).collect(),
+            db: Arc::new(db),
+            generation,
+            shards,
+        }
+    }
+}
+
 /// Shared state behind every worker.
 struct Daemon {
-    db: Arc<RetrievalDatabase>,
+    epoch: Mutex<Arc<Epoch>>,
     config: Arc<RetrievalConfig>,
     options: ServeOptions,
-    /// Every database index — the ranking pool of stateless requests and
-    /// new sessions.
-    all_indices: Vec<usize>,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -139,12 +176,46 @@ impl Daemon {
             let _ = TcpStream::connect(self.local_addr);
         }
     }
+
+    /// The epoch currently serving. One pointer clone; the caller works
+    /// against this epoch for its whole request, immune to concurrent
+    /// swaps.
+    fn epoch(&self) -> Arc<Epoch> {
+        Arc::clone(&self.epoch.lock().expect("epoch mutex"))
+    }
+
+    /// Loads `snapshot_path` and swaps it in as the next epoch. The
+    /// generation is forced monotonic (`max(manifest, current + 1)`), so
+    /// even re-reading an unchanged v2 file — which carries no
+    /// generation of its own — invalidates the concept cache. On error
+    /// the old epoch keeps serving untouched.
+    fn reload_snapshot(&self) -> Result<Arc<Epoch>, String> {
+        let path = self
+            .options
+            .snapshot_path
+            .as_ref()
+            .ok_or("no snapshot path configured")?;
+        let snapshot = milr_store::load_snapshot(path).map_err(|e| {
+            self.metrics.snapshot_reload_failures_total.inc();
+            e.to_string()
+        })?;
+        let mut current = self.epoch.lock().expect("epoch mutex");
+        let generation = snapshot.generation.max(current.generation + 1);
+        let fresh = Arc::new(Epoch::new(snapshot.database, generation, snapshot.shards));
+        *current = Arc::clone(&fresh);
+        drop(current);
+        self.metrics.snapshot_reloads_total.inc();
+        self.metrics.snapshot_generation.set(generation as f64);
+        self.metrics.snapshot_shards.set(fresh.shards as f64);
+        Ok(fresh)
+    }
 }
 
 /// A running daemon: handle for address discovery and shutdown.
 pub struct Server {
     daemon: Arc<Daemon>,
     acceptor: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -155,6 +226,22 @@ impl Server {
     /// # Errors
     /// A description of a bind failure or invalid configuration.
     pub fn start(db: RetrievalDatabase, options: ServeOptions) -> Result<Server, String> {
+        Self::start_with_generation(db, 0, 1, options)
+    }
+
+    /// [`Self::start`] for a database loaded from a known snapshot
+    /// epoch: `generation` and `shards` seed `/healthz` and the
+    /// concept-cache keys (a sharded v3 manifest carries both; plain
+    /// databases start at generation 0).
+    ///
+    /// # Errors
+    /// A description of a bind failure or invalid configuration.
+    pub fn start_with_generation(
+        db: RetrievalDatabase,
+        generation: u64,
+        shards: usize,
+        options: ServeOptions,
+    ) -> Result<Server, String> {
         if options.workers == 0 {
             return Err("at least one worker thread is required".into());
         }
@@ -164,17 +251,18 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|e| format!("cannot read bound address: {e}"))?;
-        let all_indices: Vec<usize> = (0..db.len()).collect();
+        let metrics = Metrics::default();
+        metrics.snapshot_generation.set(generation as f64);
+        metrics.snapshot_shards.set(shards as f64);
         let daemon = Arc::new(Daemon {
-            all_indices,
+            epoch: Mutex::new(Arc::new(Epoch::new(db, generation, shards))),
             config: Arc::new(options.retrieval.clone()),
             cache: Mutex::new(ConceptCache::new(options.cache_capacity)),
             sessions: SessionStore::new(options.session_ttl, options.session_capacity),
-            db: Arc::new(db),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            metrics: Metrics::default(),
+            metrics,
             local_addr,
             started: Instant::now(),
             options,
@@ -195,9 +283,21 @@ impl Server {
                 .spawn(move || accept_loop(&daemon, &listener))
                 .map_err(|e| format!("cannot spawn acceptor: {e}"))?
         };
+        let watcher = if daemon.options.watch_snapshot && daemon.options.snapshot_path.is_some() {
+            let daemon = Arc::clone(&daemon);
+            Some(
+                std::thread::Builder::new()
+                    .name("milrd-snapshot-watch".into())
+                    .spawn(move || watch_loop(&daemon))
+                    .map_err(|e| format!("cannot spawn snapshot watcher: {e}"))?,
+            )
+        } else {
+            None
+        };
         Ok(Server {
             daemon,
             acceptor: Some(acceptor),
+            watcher,
             workers,
         })
     }
@@ -222,6 +322,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
         }
     }
 }
@@ -294,6 +397,39 @@ fn worker_loop(daemon: &Daemon) {
         match job {
             Some((stream, enqueued)) => handle_connection(daemon, stream, enqueued),
             None => return,
+        }
+    }
+}
+
+/// The snapshot watcher: polls the snapshot path's modification time
+/// and hot-reloads when it changes. A v3 directory is watched through
+/// its manifest — shard files are written first, the manifest last, so
+/// a manifest mtime bump means a complete snapshot.
+fn watch_loop(daemon: &Daemon) {
+    let Some(path) = daemon.options.snapshot_path.clone() else {
+        return;
+    };
+    let watched = if path.is_dir() {
+        path.join(milr_store::MANIFEST_FILE)
+    } else {
+        path
+    };
+    let mtime = |p: &std::path::Path| std::fs::metadata(p).and_then(|m| m.modified()).ok();
+    let mut last = mtime(&watched);
+    while !daemon.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(daemon.options.watch_interval);
+        let current = mtime(&watched);
+        if current.is_some() && current != last {
+            match daemon.reload_snapshot() {
+                Ok(epoch) => {
+                    last = current;
+                    milr_obs::counter!("milrd_snapshot_watch_reloads_total").inc();
+                    let _ = epoch;
+                }
+                // Mid-write races (manifest not yet flushed) resolve on
+                // the next tick; `last` stays put so we retry.
+                Err(_) => continue,
+            }
         }
     }
 }
@@ -407,6 +543,10 @@ fn route_json(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
             let (status, body) = handle_create_session(daemon, req);
             ("/sessions", status, body)
         }
+        ("POST", "/snapshot/reload") => {
+            let (status, body) = handle_reload(daemon);
+            ("/snapshot/reload", status, body)
+        }
         ("POST", "/admin/shutdown") => {
             daemon.request_shutdown();
             (
@@ -434,7 +574,13 @@ fn route_json(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
             }
             let known = matches!(
                 path,
-                "/healthz" | "/metrics" | "/trace" | "/rank" | "/sessions" | "/admin/shutdown"
+                "/healthz"
+                    | "/metrics"
+                    | "/trace"
+                    | "/rank"
+                    | "/sessions"
+                    | "/snapshot/reload"
+                    | "/admin/shutdown"
             );
             if known {
                 (
@@ -500,22 +646,49 @@ fn route_session(daemon: &Daemon, req: &Request, rest: &str) -> (&'static str, u
 }
 
 fn healthz(daemon: &Daemon) -> Json {
+    let epoch = daemon.epoch();
     Json::Obj(vec![
         ("status".into(), Json::str("ok")),
-        ("images".into(), Json::num(daemon.db.len() as f64)),
+        ("images".into(), Json::num(epoch.db.len() as f64)),
         (
             "categories".into(),
-            Json::num(daemon.db.category_count() as f64),
+            Json::num(epoch.db.category_count() as f64),
         ),
         (
             "feature_dim".into(),
-            Json::num(daemon.db.feature_dim() as f64),
+            Json::num(epoch.db.feature_dim() as f64),
         ),
+        ("generation".into(), Json::num(epoch.generation as f64)),
+        ("shards".into(), Json::num(epoch.shards as f64)),
         (
             "uptime_s".into(),
             Json::num(daemon.started.elapsed().as_secs_f64()),
         ),
     ])
+}
+
+/// `POST /snapshot/reload` — loads the configured snapshot path and
+/// swaps the serving epoch. `409` when the daemon was started without a
+/// snapshot path; `500` (old epoch untouched) when the load fails.
+fn handle_reload(daemon: &Daemon) -> (u16, Json) {
+    let _span = milr_obs::span::enter("serve.snapshot_reload");
+    if daemon.options.snapshot_path.is_none() {
+        return (
+            409,
+            http::error_body("daemon was started without a snapshot path; reload is disabled"),
+        );
+    }
+    match daemon.reload_snapshot() {
+        Ok(epoch) => (
+            200,
+            Json::Obj(vec![
+                ("generation".into(), Json::num(epoch.generation as f64)),
+                ("shards".into(), Json::num(epoch.shards as f64)),
+                ("images".into(), Json::num(epoch.db.len() as f64)),
+            ]),
+        ),
+        Err(msg) => (500, http::error_body(format!("reload failed: {msg}"))),
+    }
 }
 
 fn metrics_json(daemon: &Daemon) -> Json {
@@ -775,15 +948,15 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
         Ok(pair) => pair,
         Err(msg) => return (400, http::error_body(msg)),
     };
-    let key = ConceptKey::new(&positives, &negatives, &policy_label);
+    let epoch = daemon.epoch();
+    let key = ConceptKey::new(&positives, &negatives, &policy_label, epoch.generation);
     let trained = concept_via_cache(daemon, key, || {
-        let mut session = QuerySession::from_examples(
-            Arc::clone(&daemon.db),
-            config,
-            positives.clone(),
-            negatives.clone(),
-            Vec::new(), // the page is ranked directly below; no pool needed
-        )?;
+        let mut session = QuerySession::builder(Arc::clone(&epoch.db))
+            .config(config)
+            .positives(positives.clone())
+            .negatives(negatives.clone())
+            .pool(Vec::new()) // the page is ranked directly below; no pool needed
+            .build()?;
         session.train_round()?;
         Ok(CachedConcept {
             concept: session.shared_concept().expect("just trained"),
@@ -794,10 +967,8 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
         Ok(pair) => pair,
         Err(err) => return core_error_response(&err),
     };
-    let ranking = match daemon
-        .db
-        .rank_top_k(&cached.concept, &daemon.all_indices, k)
-    {
+    let request = RankRequest::all().top(k).threads(daemon.config.threads);
+    let ranking = match epoch.db.rank(&cached.concept, &request) {
         Ok(ranking) => ranking,
         Err(err) => return core_error_response(&err),
     };
@@ -899,13 +1070,14 @@ fn handle_create_session(daemon: &Daemon, req: &Request) -> (u16, Json) {
             http::error_body("at least one positive example (index or upload) is required"),
         );
     }
-    let mut session = match QuerySession::from_examples(
-        Arc::clone(&daemon.db),
-        config,
-        positives,
-        negatives,
-        daemon.all_indices.clone(),
-    ) {
+    let epoch = daemon.epoch();
+    let mut session = match QuerySession::builder(Arc::clone(&epoch.db))
+        .config(config)
+        .positives(positives)
+        .negatives(negatives)
+        .pool(epoch.all_indices.clone())
+        .build()
+    {
         Ok(session) => session,
         Err(err) => return core_error_response(&err),
     };
@@ -923,7 +1095,10 @@ fn handle_create_session(daemon: &Daemon, req: &Request) -> (u16, Json) {
         session.positives().len() + session.external_example_counts().0,
         session.negatives().len() + session.external_example_counts().1,
     );
-    match daemon.sessions.create(session, policy_label) {
+    match daemon
+        .sessions
+        .create(session, policy_label, epoch.generation)
+    {
         Some(id) => (
             201,
             Json::Obj(vec![
@@ -955,6 +1130,7 @@ fn session_info(daemon: &Daemon, id: u64) -> (u16, Json) {
                 Json::num(session.query.rounds_run() as f64),
             ),
             ("policy".into(), Json::str(session.policy_label.clone())),
+            ("generation".into(), Json::num(session.generation as f64)),
         ]),
     )
 }
@@ -1006,11 +1182,12 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
             session.query.positives(),
             session.query.negatives(),
             &session.policy_label,
+            session.generation,
         );
         let cached = daemon.cache.lock().expect("concept cache mutex").get(&key);
         match cached {
             Some(hit) => {
-                if let Err(err) = session.query.install_concept(hit.concept, hit.nldd) {
+                if let Err(err) = session.query.adopt_concept(hit.concept, hit.nldd) {
                     return core_error_response(&err);
                 }
                 cache_hit = true;
@@ -1031,7 +1208,7 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
     } else if let Err(err) = session.query.train_round() {
         return core_error_response(&err);
     }
-    let ranking = match session.query.rank_pool_top_k(k) {
+    let ranking = match session.query.rank(&RankRequest::pool().top(k)) {
         Ok(ranking) => ranking,
         Err(err) => return core_error_response(&err),
     };

@@ -22,6 +22,11 @@ pub struct FeedbackSession {
     /// Label of the weight policy this session trains under (cache key
     /// component).
     pub policy_label: String,
+    /// Snapshot generation the session was created against. The session
+    /// pins its epoch's database via `Arc`, so a hot reload never swaps
+    /// data underneath it — this field keys the concept cache to the
+    /// same epoch.
+    pub generation: u64,
     /// When the session was last touched (updated by the store on every
     /// successful lookup).
     pub last_used: Instant,
@@ -82,7 +87,12 @@ impl SessionStore {
     /// megabytes of bags and a trained concept, and freeing it must not
     /// stall every other session lookup. (`dropped` is declared before
     /// the guard, so it destructs after the guard on every exit path.)
-    pub fn create(&self, query: QuerySession<'static>, policy_label: String) -> Option<u64> {
+    pub fn create(
+        &self,
+        query: QuerySession<'static>,
+        policy_label: String,
+        generation: u64,
+    ) -> Option<u64> {
         if self.capacity == 0 {
             return None;
         }
@@ -115,6 +125,7 @@ impl SessionStore {
             Arc::new(Mutex::new(FeedbackSession {
                 query,
                 policy_label,
+                generation,
                 last_used: now,
             })),
         );
@@ -205,14 +216,13 @@ mod tests {
     }
 
     fn session(db: &Arc<RetrievalDatabase>, cfg: &Arc<RetrievalConfig>) -> QuerySession<'static> {
-        QuerySession::from_examples(
-            Arc::clone(db),
-            Arc::clone(cfg),
-            vec![0],
-            vec![2],
-            vec![0, 1, 2, 3],
-        )
-        .unwrap()
+        QuerySession::builder(Arc::clone(db))
+            .config(Arc::clone(cfg))
+            .positives(vec![0])
+            .negatives(vec![2])
+            .pool(vec![0, 1, 2, 3])
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -220,7 +230,7 @@ mod tests {
         let db = db();
         let cfg = Arc::new(RetrievalConfig::default());
         let store = SessionStore::new(Duration::from_secs(60), 8);
-        let id = store.create(session(&db, &cfg), "p".into()).unwrap();
+        let id = store.create(session(&db, &cfg), "p".into(), 0).unwrap();
         assert!(store.get(id).is_some());
         assert!(store.get(id + 1).is_none());
         assert!(store.remove(id));
@@ -236,7 +246,7 @@ mod tests {
         let db = db();
         let cfg = Arc::new(RetrievalConfig::default());
         let store = SessionStore::new(Duration::from_millis(30), 8);
-        let id = store.create(session(&db, &cfg), "p".into()).unwrap();
+        let id = store.create(session(&db, &cfg), "p".into(), 0).unwrap();
         assert!(store.get(id).is_some());
         std::thread::sleep(Duration::from_millis(60));
         assert!(store.get(id).is_none(), "session must expire after TTL");
@@ -248,14 +258,14 @@ mod tests {
         let db = db();
         let cfg = Arc::new(RetrievalConfig::default());
         let store = SessionStore::new(Duration::from_secs(60), 2);
-        let a = store.create(session(&db, &cfg), "p".into()).unwrap();
+        let a = store.create(session(&db, &cfg), "p".into(), 0).unwrap();
         std::thread::sleep(Duration::from_millis(5));
-        let b = store.create(session(&db, &cfg), "p".into()).unwrap();
+        let b = store.create(session(&db, &cfg), "p".into(), 0).unwrap();
         std::thread::sleep(Duration::from_millis(5));
         // Touch `a` so `b` becomes the LRU session.
         assert!(store.get(a).is_some());
         std::thread::sleep(Duration::from_millis(5));
-        let c = store.create(session(&db, &cfg), "p".into()).unwrap();
+        let c = store.create(session(&db, &cfg), "p".into(), 0).unwrap();
         assert!(store.get(a).is_some());
         assert!(store.get(b).is_none(), "LRU session evicted at capacity");
         assert!(store.get(c).is_some());
@@ -283,7 +293,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..ITERS {
                         let id = store
-                            .create(session(&db, &cfg), format!("p{t}"))
+                            .create(session(&db, &cfg), format!("p{t}"), 0)
                             .expect("store enabled; every session is evictable");
                         // Lookups keep some sessions warm while others age
                         // out; a handle returned must stay usable even if
@@ -322,6 +332,6 @@ mod tests {
         let db = db();
         let cfg = Arc::new(RetrievalConfig::default());
         let store = SessionStore::new(Duration::from_secs(60), 0);
-        assert!(store.create(session(&db, &cfg), "p".into()).is_none());
+        assert!(store.create(session(&db, &cfg), "p".into(), 0).is_none());
     }
 }

@@ -1,0 +1,1316 @@
+#![warn(missing_docs)]
+
+//! # milr-store
+//!
+//! The sharded, incrementally-updatable snapshot store — format v3.
+//!
+//! The monolithic format v2 (one `MILR` file, see `milr_core::storage`)
+//! rewrites the whole database on every change and reloads it whole: a
+//! dead end for growing corpora. Format v3 is a *directory*:
+//!
+//! * `manifest.milr` — kind 3: feature dimension, generation counter,
+//!   shard capacity, then per-shard `{id, bag count, instance count,
+//!   payload digest}`, then the tombstone list, with the usual trailing
+//!   FNV-1a checksum. The manifest records each shard file's own
+//!   trailing digest, so a stale or swapped shard is detected without a
+//!   second read.
+//! * `shard-NNNNNN.milr` — kind 4: the shard id, dimension and bag
+//!   count, then per-bag `{label, instance count, instances}` as flat
+//!   little-endian `f32`s — exactly the [`FlatBags`] ranking layout, so
+//!   a shard loads straight into scoring position with no per-bag
+//!   re-normalisation.
+//!
+//! [`ShardedDatabase::push_bag`]/[`ShardedDatabase::push_image`] append
+//! to the open tail shard and seal it at the capacity threshold;
+//! [`ShardedDatabase::delete`] tombstones through the manifest without
+//! touching any shard file; [`ShardedDatabase::flush`] rewrites only
+//! unsealed/new shards plus the (small) manifest, bumping the
+//! generation. [`ShardedDatabase::rank`] is scatter-gather: each shard
+//! runs the same pruned top-k scan as the monolithic
+//! `RetrievalDatabase::rank` on the pooled executor, and an
+//! index-ordered k-way merge combines the per-shard rankings. Because
+//! every distance flows through the identical pruned kernel
+//! ([`Concept::instance_distance_sq_below`]) and ties break by global
+//! index at every stage, the sharded ranking is **bit-identical** to
+//! the monolithic one — asserted by this crate's property tests.
+
+use std::collections::BTreeSet;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+use milr_core::database::{RankRequest, RankScope, Ranking};
+use milr_core::error::CoreError;
+use milr_core::storage::{storage_err, OsFs, StorageIo, Store, Stream};
+use milr_core::{RetrievalConfig, RetrievalDatabase};
+use milr_imgproc::GrayImage;
+use milr_mil::{Bag, Concept, FlatBags};
+use milr_optim::pool;
+
+/// Format version of sharded (v3) manifests and shard files.
+pub const STORE_VERSION: u32 = 3;
+/// Payload kind of a v3 manifest file.
+pub const MANIFEST_KIND: u8 = 3;
+/// Payload kind of a v3 shard file.
+pub const SHARD_KIND: u8 = 4;
+/// File name of the manifest inside a v3 snapshot directory.
+pub const MANIFEST_FILE: &str = "manifest.milr";
+
+/// Default number of bags per shard before the tail seals.
+pub const DEFAULT_SHARD_CAPACITY: usize = 512;
+
+/// The file name of one shard.
+fn shard_file_name(id: u64) -> String {
+    format!("shard-{id:06}.milr")
+}
+
+/// One shard: a contiguous run of bags in the flat ranking layout.
+#[derive(Debug, Clone)]
+struct Shard {
+    id: u64,
+    /// Global index of this shard's first bag.
+    base: usize,
+    labels: Vec<usize>,
+    bags: FlatBags,
+    /// Sealed shards are immutable; only the unsealed tail accepts
+    /// appends.
+    sealed: bool,
+    /// Whether the on-disk file matches this in-memory state.
+    persisted: bool,
+    /// Trailing digest of the persisted file (valid when `persisted`).
+    digest: u64,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// A sharded retrieval database: N independent shard files plus a
+/// checksummed manifest, rankable in place via scatter-gather.
+///
+/// Global bag indices run over shards in order (shard 0's bags first),
+/// and are *stable* across pushes and deletes — a tombstoned index stays
+/// allocated until [`Self::compact`] repacks the store.
+#[derive(Debug, Clone)]
+pub struct ShardedDatabase {
+    dir: PathBuf,
+    feature_dim: usize,
+    generation: u64,
+    shard_capacity: usize,
+    shards: Vec<Shard>,
+    tombstones: BTreeSet<usize>,
+    next_shard_id: u64,
+}
+
+/// Max-heap entry for the per-shard bounded scan: lexicographically
+/// largest `(distance, global index)` on top — the same tie-break as the
+/// monolithic ranking.
+#[derive(PartialEq)]
+struct WorstCandidate(f64, usize);
+
+impl Eq for WorstCandidate {}
+
+impl PartialOrd for WorstCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstCandidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl ShardedDatabase {
+    /// An empty store rooted at `dir` (nothing touches the disk until
+    /// the first [`Self::flush`]).
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] for a zero feature dimension or shard
+    /// capacity.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        feature_dim: usize,
+        shard_capacity: usize,
+    ) -> Result<Self, CoreError> {
+        let dir = dir.into();
+        if feature_dim == 0 {
+            return Err(storage_err(&dir, "feature dimension must be non-zero"));
+        }
+        if shard_capacity == 0 {
+            return Err(storage_err(&dir, "shard capacity must be non-zero"));
+        }
+        Ok(Self {
+            dir,
+            feature_dim,
+            generation: 0,
+            shard_capacity,
+            shards: Vec::new(),
+            tombstones: BTreeSet::new(),
+            next_shard_id: 0,
+        })
+    }
+
+    /// Shards an existing monolithic database into a new store rooted at
+    /// `dir` (call [`Self::flush`] to persist it).
+    ///
+    /// # Errors
+    /// Same as [`Self::create`]; the database's bags are assumed valid.
+    pub fn from_database(
+        db: &RetrievalDatabase,
+        dir: impl Into<PathBuf>,
+        shard_capacity: usize,
+    ) -> Result<Self, CoreError> {
+        let mut store = Self::create(dir, db.feature_dim(), shard_capacity)?;
+        for i in 0..db.len() {
+            let bag = db.bag(i).expect("index in range");
+            let label = db.label(i).expect("index in range");
+            store.push_bag(bag.clone(), label)?;
+        }
+        Ok(store)
+    }
+
+    /// Opens a v3 snapshot directory via the real filesystem.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on a missing/corrupt manifest, a shard
+    /// whose digest disagrees with the manifest, or any format
+    /// violation.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        Self::open_with(&OsFs, dir)
+    }
+
+    /// [`Self::open`] over an explicit [`StorageIo`] seam.
+    ///
+    /// # Errors
+    /// Same as [`Self::open`].
+    pub fn open_with(fs: &dyn StorageIo, dir: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let file = fs
+            .reader(&manifest_path)
+            .map_err(|e| storage_err(&manifest_path, e.to_string()))?;
+        let mut r = Stream::new(BufReader::new(file), &manifest_path);
+        r.read_header(MANIFEST_KIND, STORE_VERSION)?;
+        let feature_dim = r.read_u64()? as usize;
+        if feature_dim == 0 || feature_dim > 100_000_000 {
+            return Err(r.fail("implausible feature dimension"));
+        }
+        let generation = r.read_u64()?;
+        let shard_capacity = r.read_u64()? as usize;
+        if shard_capacity == 0 {
+            return Err(r.fail("zero shard capacity"));
+        }
+        let shard_count = r.read_u64()? as usize;
+        if shard_count > 1_000_000 {
+            return Err(r.fail("implausible shard count"));
+        }
+        struct ManifestEntry {
+            id: u64,
+            bag_count: usize,
+            instance_count: usize,
+            digest: u64,
+        }
+        let mut entries = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let id = r.read_u64()?;
+            let bag_count = r.read_u64()? as usize;
+            let instance_count = r.read_u64()? as usize;
+            let digest = r.read_u64()?;
+            if bag_count == 0 || bag_count > 100_000_000 {
+                return Err(r.fail(format!("implausible shard bag count {bag_count}")));
+            }
+            entries.push(ManifestEntry {
+                id,
+                bag_count,
+                instance_count,
+                digest,
+            });
+        }
+        let total: usize = entries.iter().map(|e| e.bag_count).sum();
+        let tombstone_count = r.read_u64()? as usize;
+        if tombstone_count > total {
+            return Err(r.fail("more tombstones than bags"));
+        }
+        let mut tombstones = BTreeSet::new();
+        let mut previous: Option<usize> = None;
+        for _ in 0..tombstone_count {
+            let index = r.read_u64()? as usize;
+            if index >= total {
+                return Err(r.fail(format!("tombstone {index} out of range ({total} bags)")));
+            }
+            if previous.is_some_and(|p| p >= index) {
+                return Err(r.fail("tombstones must be strictly ascending"));
+            }
+            previous = Some(index);
+            tombstones.insert(index);
+        }
+        r.verify_checksum()?;
+
+        let mut shards = Vec::with_capacity(entries.len());
+        let mut base = 0usize;
+        let mut next_shard_id = 0u64;
+        for entry in &entries {
+            let shard = read_shard(fs, &dir, entry.id, feature_dim)?;
+            if shard.digest != entry.digest {
+                let path = dir.join(shard_file_name(entry.id));
+                return Err(storage_err(
+                    &path,
+                    format!(
+                        "shard digest {:#018x} disagrees with the manifest ({:#018x}) — stale or swapped shard",
+                        shard.digest, entry.digest
+                    ),
+                ));
+            }
+            if shard.labels.len() != entry.bag_count
+                || shard.bags.instance_count() != entry.instance_count
+            {
+                let path = dir.join(shard_file_name(entry.id));
+                return Err(storage_err(
+                    &path,
+                    "shard bag/instance counts disagree with the manifest",
+                ));
+            }
+            next_shard_id = next_shard_id.max(entry.id + 1);
+            shards.push(Shard {
+                base,
+                // A reopened shard at capacity is sealed; a short tail
+                // stays open for appends.
+                sealed: entry.bag_count >= shard_capacity,
+                ..shard
+            });
+            base += entry.bag_count;
+        }
+        // All shards but the last must be sealed-size or the global
+        // indexing the manifest implies could shift on append.
+        let store = Self {
+            dir,
+            feature_dim,
+            generation,
+            shard_capacity,
+            shards,
+            tombstones,
+            next_shard_id,
+        };
+        store.update_gauges();
+        Ok(store)
+    }
+
+    /// Total bag count, tombstoned included (global indices run
+    /// `0..len()`).
+    pub fn len(&self) -> usize {
+        self.shards.last().map_or(0, |s| s.base + s.len())
+    }
+
+    /// Whether the store holds no bags at all.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Number of live (non-tombstoned) bags.
+    pub fn live_len(&self) -> usize {
+        self.len() - self.tombstones.len()
+    }
+
+    /// Feature dimension of the stored bags.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The manifest generation, bumped by every [`Self::flush`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of tombstoned bags awaiting [`Self::compact`].
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Bags per shard before the tail seals.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// The snapshot directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Category label of one bag (tombstoned bags keep their label).
+    ///
+    /// # Errors
+    /// [`CoreError::IndexOutOfBounds`] for bad indices.
+    pub fn label(&self, index: usize) -> Result<usize, CoreError> {
+        let (shard, local) = self.locate(index)?;
+        Ok(self.shards[shard].labels[local])
+    }
+
+    /// Whether `index` has been tombstoned.
+    ///
+    /// # Errors
+    /// [`CoreError::IndexOutOfBounds`] for bad indices.
+    pub fn is_deleted(&self, index: usize) -> Result<bool, CoreError> {
+        self.locate(index)?;
+        Ok(self.tombstones.contains(&index))
+    }
+
+    /// All live global indices, ascending.
+    pub fn live_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|i| !self.tombstones.contains(i))
+            .collect()
+    }
+
+    /// Maps a global index to `(shard, local)` coordinates.
+    fn locate(&self, index: usize) -> Result<(usize, usize), CoreError> {
+        let len = self.len();
+        if index >= len {
+            return Err(CoreError::IndexOutOfBounds { index, len });
+        }
+        // Shards hold `shard_capacity` bags except the tail, so the
+        // partition point is found by binary search on the bases.
+        let shard = self
+            .shards
+            .partition_point(|s| s.base <= index)
+            .saturating_sub(1);
+        Ok((shard, index - self.shards[shard].base))
+    }
+
+    /// Appends one bag to the open tail shard, sealing it at the
+    /// capacity threshold. Returns the bag's global index.
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] on a feature-dimension mismatch.
+    pub fn push_bag(&mut self, bag: Bag, label: usize) -> Result<usize, CoreError> {
+        if bag.dim() != self.feature_dim {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: self.feature_dim,
+                actual: bag.dim(),
+            }));
+        }
+        let needs_new_tail = self.shards.last().is_none_or(|s| s.sealed);
+        if needs_new_tail {
+            let base = self.len();
+            self.shards.push(Shard {
+                id: self.next_shard_id,
+                base,
+                labels: Vec::new(),
+                bags: FlatBags::new(self.feature_dim),
+                sealed: false,
+                persisted: false,
+                digest: 0,
+            });
+            self.next_shard_id += 1;
+        }
+        let capacity = self.shard_capacity;
+        let tail = self.shards.last_mut().expect("tail exists");
+        tail.bags.push_bag(&bag);
+        tail.labels.push(label);
+        tail.persisted = false;
+        if tail.len() >= capacity {
+            tail.sealed = true;
+        }
+        Ok(self.len() - 1)
+    }
+
+    /// Preprocesses one image under `config` and appends the resulting
+    /// bag. Returns the global index.
+    ///
+    /// # Errors
+    /// * [`CoreError::BlankImage`] for contrast-free images.
+    /// * [`CoreError::Mil`] if `config` produces a different feature
+    ///   dimension than the store's.
+    pub fn push_image(
+        &mut self,
+        image: &GrayImage,
+        label: usize,
+        config: &RetrievalConfig,
+    ) -> Result<usize, CoreError> {
+        let bag = milr_core::features::image_to_bag(image, config).map_err(|e| match e {
+            CoreError::BlankImage { .. } => CoreError::BlankImage {
+                index: Some(self.len()),
+            },
+            other => other,
+        })?;
+        self.push_bag(bag, label)
+    }
+
+    /// Tombstones one bag through the manifest — no shard file is
+    /// touched; the space is reclaimed by [`Self::compact`]. Idempotent:
+    /// returns whether the mark is new.
+    ///
+    /// # Errors
+    /// [`CoreError::IndexOutOfBounds`] for bad indices.
+    pub fn delete(&mut self, index: usize) -> Result<bool, CoreError> {
+        self.locate(index)?;
+        Ok(self.tombstones.insert(index))
+    }
+
+    /// Repacks the live bags into fresh dense shards, dropping
+    /// tombstones and renumbering shard ids from zero. The next
+    /// [`Self::flush`] rewrites everything and removes stale shard
+    /// files. Returns how many tombstoned bags were dropped.
+    pub fn compact(&mut self) -> usize {
+        let dropped = self.tombstones.len();
+        let old = std::mem::take(&mut self.shards);
+        self.next_shard_id = 0;
+        let tombstones = std::mem::take(&mut self.tombstones);
+        for shard in &old {
+            for local in 0..shard.len() {
+                if tombstones.contains(&(shard.base + local)) {
+                    continue;
+                }
+                let needs_new_tail = self.shards.last().is_none_or(|s| s.sealed);
+                if needs_new_tail {
+                    let base = self.len();
+                    self.shards.push(Shard {
+                        id: self.next_shard_id,
+                        base,
+                        labels: Vec::new(),
+                        bags: FlatBags::new(self.feature_dim),
+                        sealed: false,
+                        persisted: false,
+                        digest: 0,
+                    });
+                    self.next_shard_id += 1;
+                }
+                let capacity = self.shard_capacity;
+                let tail = self.shards.last_mut().expect("tail exists");
+                tail.bags.push_flat(shard.bags.bag_instances(local));
+                tail.labels.push(shard.labels[local]);
+                if tail.len() >= capacity {
+                    tail.sealed = true;
+                }
+            }
+        }
+        self.update_gauges();
+        dropped
+    }
+
+    /// Persists the store via the real filesystem: writes every
+    /// not-yet-persisted shard, then the manifest, and bumps the
+    /// generation. Sealed, already-persisted shards are skipped — the
+    /// incremental write path.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] naming the offending file on any failure.
+    pub fn flush(&mut self) -> Result<(), CoreError> {
+        // Only best-effort on the real filesystem; a custom seam routes
+        // paths wherever it wants.
+        std::fs::create_dir_all(&self.dir).ok();
+        self.flush_with(&OsFs)
+    }
+
+    /// [`Self::flush`] over an explicit [`StorageIo`] seam.
+    ///
+    /// # Errors
+    /// Same as [`Self::flush`].
+    pub fn flush_with(&mut self, fs: &dyn StorageIo) -> Result<(), CoreError> {
+        for shard in &mut self.shards {
+            if shard.persisted {
+                continue;
+            }
+            shard.digest = write_shard(fs, &self.dir, shard)?;
+            shard.persisted = true;
+        }
+        let next_generation = self.generation + 1;
+        self.write_manifest(fs, next_generation)?;
+        self.generation = next_generation;
+        self.remove_stale_shard_files();
+        self.update_gauges();
+        milr_obs::counter!("milr_store_flushes_total").inc();
+        Ok(())
+    }
+
+    fn write_manifest(&self, fs: &dyn StorageIo, generation: u64) -> Result<(), CoreError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let file = fs
+            .writer(&path)
+            .map_err(|e| storage_err(&path, e.to_string()))?;
+        let mut w = Stream::new(BufWriter::new(file), &path);
+        w.write_header(MANIFEST_KIND, STORE_VERSION)?;
+        w.write_u64(self.feature_dim as u64)?;
+        w.write_u64(generation)?;
+        w.write_u64(self.shard_capacity as u64)?;
+        w.write_u64(self.shards.len() as u64)?;
+        for shard in &self.shards {
+            w.write_u64(shard.id)?;
+            w.write_u64(shard.len() as u64)?;
+            w.write_u64(shard.bags.instance_count() as u64)?;
+            w.write_u64(shard.digest)?;
+        }
+        w.write_u64(self.tombstones.len() as u64)?;
+        for &index in &self.tombstones {
+            w.write_u64(index as u64)?;
+        }
+        w.finish()
+    }
+
+    /// Best-effort removal of shard files that no longer back a live
+    /// shard (after [`Self::compact`] renumbered them).
+    fn remove_stale_shard_files(&self) {
+        let live: BTreeSet<String> = self.shards.iter().map(|s| shard_file_name(s.id)).collect();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("shard-") && name.ends_with(".milr") && !live.contains(&name) {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+
+    fn update_gauges(&self) {
+        milr_obs::gauge!("milr_store_shards").set(self.shards.len() as f64);
+        milr_obs::gauge!("milr_store_generation").set(self.generation as f64);
+        milr_obs::gauge!("milr_store_tombstones").set(self.tombstones.len() as f64);
+    }
+
+    /// Rebuilds the live bags as a monolithic [`RetrievalDatabase`], in
+    /// global-index order (tombstoned bags are skipped, so indices
+    /// compress when any exist).
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] when no live bags remain.
+    pub fn to_database(&self) -> Result<RetrievalDatabase, CoreError> {
+        let mut bags = Vec::with_capacity(self.live_len());
+        let mut labels = Vec::with_capacity(self.live_len());
+        for shard in &self.shards {
+            for local in 0..shard.len() {
+                if self.tombstones.contains(&(shard.base + local)) {
+                    continue;
+                }
+                bags.push(shard.bags.to_bag(local));
+                labels.push(shard.labels[local]);
+            }
+        }
+        RetrievalDatabase::from_bags(bags, labels)
+    }
+
+    /// Ranks the request's candidates by ascending bag distance —
+    /// scatter-gather over the shards: each shard runs the same pruned
+    /// scan as the monolithic path (per-shard span `store.rank_shard`,
+    /// fanned out on the pooled executor), then an index-ordered k-way
+    /// merge combines the per-shard rankings. Bit-identical to ranking
+    /// the equivalent monolithic database.
+    ///
+    /// # Errors
+    /// * [`CoreError::IndexOutOfBounds`] for out-of-range *or
+    ///   tombstoned* explicit candidates.
+    /// * [`CoreError::InvalidScope`] for the session-only scopes
+    ///   (`Pool`/`Test`).
+    /// * [`CoreError::Mil`] on a concept dimension mismatch.
+    pub fn rank(&self, concept: &Concept, request: &RankRequest) -> Result<Ranking, CoreError> {
+        if concept.dim() != self.feature_dim {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: self.feature_dim,
+                actual: concept.dim(),
+            }));
+        }
+        let all: Vec<usize>;
+        let candidates: &[usize] = match &request.scope {
+            RankScope::All => {
+                all = self.live_indices();
+                &all
+            }
+            RankScope::Indices(indices) => {
+                for &index in indices {
+                    // A tombstoned bag is gone as far as callers are
+                    // concerned: naming it is the same error as naming
+                    // an index past the end.
+                    if self.is_deleted(index)? {
+                        return Err(CoreError::IndexOutOfBounds {
+                            index,
+                            len: self.len(),
+                        });
+                    }
+                }
+                indices
+            }
+            RankScope::Pool => return Err(CoreError::InvalidScope { scope: "pool" }),
+            RankScope::Test => return Err(CoreError::InvalidScope { scope: "test" }),
+        };
+        let _span = milr_obs::span!("store.rank");
+        let started = std::time::Instant::now();
+
+        // Scatter: group the candidates per shard, preserving ascending
+        // global order inside each group (candidates within one shard
+        // are scanned in the given order, like the monolithic scan).
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for &index in candidates {
+            let (shard, local) = self.locate(index)?;
+            groups[shard].push(local);
+        }
+        let occupied: Vec<usize> = (0..groups.len())
+            .filter(|&s| !groups[s].is_empty())
+            .collect();
+        let per_shard = pool::run_indexed(occupied.len(), request.threads, |i| {
+            let shard_index = occupied[i];
+            let _span = milr_obs::span!("store.rank_shard");
+            rank_one_shard(
+                &self.shards[shard_index],
+                concept,
+                &groups[shard_index],
+                request.top_k,
+            )
+        });
+        milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
+
+        // Gather: k-way merge of the sorted per-shard rankings by
+        // (distance, global index), truncated to k — exactly the global
+        // ranking's head, because each shard's own ranking is already
+        // the exact prefix of its full local ranking.
+        let merged = merge_rankings(per_shard, request.top_k);
+        milr_obs::histogram!("milr_store_rank_latency_us")
+            .record(started.elapsed().as_micros() as u64);
+        Ok(merged)
+    }
+}
+
+/// Ranks one shard's candidate list (local indices): the same algorithm
+/// as the monolithic `RetrievalDatabase` paths — a full scored sort, or
+/// the pruned bounded scan with a `(distance, global index)` max-heap —
+/// run over the flat shard layout.
+fn rank_one_shard(
+    shard: &Shard,
+    concept: &Concept,
+    locals: &[usize],
+    top_k: Option<usize>,
+) -> Ranking {
+    match top_k {
+        None => {
+            let mut scored: Ranking = locals
+                .iter()
+                .map(|&local| {
+                    (
+                        shard.base + local,
+                        shard.bags.min_distance_sq(concept, local),
+                    )
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("bag distances are finite")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            scored
+        }
+        Some(0) => Vec::new(),
+        Some(k) => {
+            let mut heap: std::collections::BinaryHeap<WorstCandidate> =
+                std::collections::BinaryHeap::with_capacity(k + 1);
+            for &local in locals {
+                let index = shard.base + local;
+                if heap.len() < k {
+                    heap.push(WorstCandidate(
+                        shard.bags.min_distance_sq(concept, local),
+                        index,
+                    ));
+                    continue;
+                }
+                let (worst_d, worst_i) = {
+                    let worst = heap.peek().expect("heap is non-empty");
+                    (worst.0, worst.1)
+                };
+                // `next_up` admits exact distance ties so the index
+                // tie-break sees them — identical to the monolithic
+                // bounded scan.
+                if let Some(d) = shard
+                    .bags
+                    .min_distance_sq_below(concept, local, worst_d.next_up())
+                {
+                    if d < worst_d || (d == worst_d && index < worst_i) {
+                        heap.pop();
+                        heap.push(WorstCandidate(d, index));
+                    }
+                }
+            }
+            let mut top: Ranking = heap
+                .into_iter()
+                .map(|WorstCandidate(d, i)| (i, d))
+                .collect();
+            top.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("bag distances are finite")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            top
+        }
+    }
+}
+
+/// Index-ordered k-way merge of sorted rankings: repeatedly takes the
+/// head with the smallest `(distance, global index)`, stopping at
+/// `limit` entries when one is set.
+fn merge_rankings(lists: Vec<Ranking>, limit: Option<usize>) -> Ranking {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let cap = limit.map_or(total, |k| k.min(total));
+    let mut heads = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(cap);
+    while out.len() < cap {
+        let mut best: Option<usize> = None;
+        for (s, list) in lists.iter().enumerate() {
+            let Some(&candidate) = list.get(heads[s]) else {
+                continue;
+            };
+            best = match best {
+                None => Some(s),
+                Some(b) => {
+                    let current = lists[b][heads[b]];
+                    let smaller = candidate
+                        .1
+                        .total_cmp(&current.1)
+                        .then_with(|| candidate.0.cmp(&current.0))
+                        .is_lt();
+                    Some(if smaller { s } else { b })
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(lists[b][heads[b]]);
+        heads[b] += 1;
+    }
+    out
+}
+
+/// Writes one shard file; returns its trailing digest for the manifest.
+fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, CoreError> {
+    let path = dir.join(shard_file_name(shard.id));
+    let file = fs
+        .writer(&path)
+        .map_err(|e| storage_err(&path, e.to_string()))?;
+    let mut w = Stream::new(BufWriter::new(file), &path);
+    w.write_header(SHARD_KIND, STORE_VERSION)?;
+    w.write_u64(shard.id)?;
+    w.write_u64(shard.bags.dim() as u64)?;
+    w.write_u64(shard.len() as u64)?;
+    for local in 0..shard.len() {
+        w.write_u64(shard.labels[local] as u64)?;
+        let span = shard.bags.span(local);
+        w.write_u64(span.len as u64)?;
+        for &v in shard.bags.bag_instances(local) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    // The digest covers header + payload — exactly what `finish` writes
+    // as the trailing checksum, so the manifest can cross-check the
+    // shard without re-reading it.
+    let digest = w.digest();
+    w.finish()?;
+    Ok(digest)
+}
+
+/// Reads one shard file (digest cross-check against the manifest happens
+/// in the caller).
+fn read_shard(
+    fs: &dyn StorageIo,
+    dir: &Path,
+    id: u64,
+    expected_dim: usize,
+) -> Result<Shard, CoreError> {
+    let path = dir.join(shard_file_name(id));
+    let file = fs
+        .reader(&path)
+        .map_err(|e| storage_err(&path, e.to_string()))?;
+    let mut r = Stream::new(BufReader::new(file), &path);
+    r.read_header(SHARD_KIND, STORE_VERSION)?;
+    let stored_id = r.read_u64()?;
+    if stored_id != id {
+        return Err(r.fail(format!(
+            "shard id {stored_id} does not match file name ({id})"
+        )));
+    }
+    let dim = r.read_u64()? as usize;
+    if dim != expected_dim {
+        return Err(r.fail(format!(
+            "shard dimension {dim} does not match the manifest ({expected_dim})"
+        )));
+    }
+    let bag_count = r.read_u64()? as usize;
+    if bag_count == 0 || bag_count > 100_000_000 {
+        return Err(r.fail(format!("implausible shard bag count {bag_count}")));
+    }
+    let mut labels = Vec::with_capacity(bag_count);
+    let mut bags = FlatBags::new(dim);
+    let mut instances: Vec<f32> = Vec::new();
+    for _ in 0..bag_count {
+        let label = r.read_u64()? as usize;
+        let n_instances = r.read_u64()? as usize;
+        if n_instances == 0 || n_instances > 1_000_000 {
+            return Err(r.fail(format!("implausible instance count {n_instances}")));
+        }
+        let mut buf = vec![0u8; n_instances * dim * 4];
+        r.read_exact(&mut buf)?;
+        instances.clear();
+        instances.extend(
+            buf.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        bags.push_flat(&instances);
+        labels.push(label);
+    }
+    let digest = r.digest();
+    r.verify_checksum()?;
+    Ok(Shard {
+        id,
+        base: 0,
+        labels,
+        bags,
+        sealed: false,
+        persisted: true,
+        digest,
+    })
+}
+
+/// A loaded snapshot of either format, ready to serve.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The live bags as a monolithic database (global-index order).
+    pub database: RetrievalDatabase,
+    /// The manifest generation (0 for monolithic v2 snapshots).
+    pub generation: u64,
+    /// How many shards backed the snapshot (1 for v2 files).
+    pub shards: usize,
+}
+
+/// Loads a snapshot, auto-detecting the format: a directory (or a path
+/// whose `manifest.milr` exists) is a sharded v3 store; anything else is
+/// a monolithic v2 file.
+///
+/// # Errors
+/// [`CoreError::Storage`] with the usual diagnostics for either format.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, CoreError> {
+    let path = path.as_ref();
+    if path.is_dir() || path.join(MANIFEST_FILE).is_file() {
+        let store = ShardedDatabase::open(path)?;
+        Ok(Snapshot {
+            database: store.to_database()?,
+            generation: store.generation(),
+            shards: store.shard_count(),
+        })
+    } else {
+        let database: RetrievalDatabase = Store::default().open(path)?;
+        Ok(Snapshot {
+            database,
+            generation: 0,
+            shards: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(values: &[&[f32]]) -> Bag {
+        Bag::new(values.iter().map(|v| v.to_vec()).collect()).unwrap()
+    }
+
+    /// A deterministic little database: 4-dimensional bags with 1..=3
+    /// instances, labels cycling over three categories.
+    fn sample_db(count: usize) -> RetrievalDatabase {
+        let bags: Vec<Bag> = (0..count)
+            .map(|n| {
+                Bag::new(
+                    (0..=(n % 3))
+                        .map(|m| {
+                            (0..4)
+                                .map(|i| ((n * 31 + m * 17 + i * 7) % 19) as f32 / 3.0)
+                                .collect()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..count).map(|n| n % 3).collect();
+        RetrievalDatabase::from_bags(bags, labels).unwrap()
+    }
+
+    fn sample_concept() -> Concept {
+        Concept::new(vec![1.0, 2.5, 0.5, 3.0], vec![1.0, 0.5, 2.0, 0.25])
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("milr_store_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn pushes_seal_shards_at_capacity() {
+        let mut store = ShardedDatabase::create(temp_dir("seal"), 4, 3).unwrap();
+        assert!(store.is_empty());
+        let db = sample_db(8);
+        for i in 0..db.len() {
+            let index = store
+                .push_bag(db.bag(i).unwrap().clone(), db.label(i).unwrap())
+                .unwrap();
+            assert_eq!(index, i, "global indices are append-ordered");
+        }
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.live_len(), 8);
+        // 8 bags at capacity 3: shards of 3 + 3 + 2.
+        assert_eq!(store.shard_count(), 3);
+        for i in 0..8 {
+            assert_eq!(store.label(i).unwrap(), i % 3);
+            assert!(!store.is_deleted(i).unwrap());
+        }
+        assert!(matches!(
+            store.label(8),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut store = ShardedDatabase::create(temp_dir("dim"), 4, 3).unwrap();
+        assert!(matches!(
+            store.push_bag(bag(&[&[1.0, 2.0]]), 0),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+        assert!(ShardedDatabase::create(temp_dir("dim0"), 0, 3).is_err());
+        assert!(ShardedDatabase::create(temp_dir("cap0"), 4, 0).is_err());
+    }
+
+    #[test]
+    fn sharded_rank_is_bit_identical_to_monolithic() {
+        let db = sample_db(23);
+        let concept = sample_concept();
+        let monolithic = db.rank(&concept, &RankRequest::all()).unwrap();
+        for capacity in [1, 2, 5, 23, 100] {
+            let store = ShardedDatabase::from_database(&db, temp_dir("rank"), capacity).unwrap();
+            let sharded = store.rank(&concept, &RankRequest::all()).unwrap();
+            assert_eq!(sharded, monolithic, "capacity {capacity}");
+            for k in [0, 1, 3, 7, 23, 40] {
+                let top = store.rank(&concept, &RankRequest::all().top(k)).unwrap();
+                assert_eq!(
+                    top,
+                    monolithic[..k.min(monolithic.len())],
+                    "capacity {capacity}, k {k}"
+                );
+            }
+            // Explicit candidate subsets agree too.
+            let subset = vec![20, 3, 11, 7, 0];
+            assert_eq!(
+                store
+                    .rank(&concept, &RankRequest::over(subset.clone()))
+                    .unwrap(),
+                db.rank(&concept, &RankRequest::over(subset)).unwrap(),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_is_thread_invariant() {
+        let db = sample_db(17);
+        let concept = sample_concept();
+        let store = ShardedDatabase::from_database(&db, temp_dir("threads"), 4).unwrap();
+        let reference = store
+            .rank(&concept, &RankRequest::all().threads(1))
+            .unwrap();
+        for threads in [0, 2, 3, 8] {
+            assert_eq!(
+                store
+                    .rank(&concept, &RankRequest::all().threads(threads))
+                    .unwrap(),
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn rank_validates_scope_and_candidates() {
+        let db = sample_db(6);
+        let concept = sample_concept();
+        let mut store = ShardedDatabase::from_database(&db, temp_dir("scope"), 2).unwrap();
+        assert!(matches!(
+            store.rank(&concept, &RankRequest::pool()),
+            Err(CoreError::InvalidScope { scope: "pool" })
+        ));
+        assert!(matches!(
+            store.rank(&concept, &RankRequest::over(vec![99])),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+        // Tombstoned candidates are gone.
+        store.delete(2).unwrap();
+        assert!(matches!(
+            store.rank(&concept, &RankRequest::over(vec![2])),
+            Err(CoreError::IndexOutOfBounds { index: 2, .. })
+        ));
+        // Wrong concept dimension.
+        let alien = Concept::new(vec![0.0; 2], vec![1.0; 2]);
+        assert!(matches!(
+            store.rank(&alien, &RankRequest::all()),
+            Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn tombstones_hide_bags_from_ranking() {
+        let db = sample_db(10);
+        let concept = sample_concept();
+        let mut store = ShardedDatabase::from_database(&db, temp_dir("tomb"), 3).unwrap();
+        assert!(store.delete(4).unwrap());
+        assert!(!store.delete(4).unwrap(), "second delete is a no-op");
+        store.delete(7).unwrap();
+        assert_eq!(store.live_len(), 8);
+        assert_eq!(store.tombstone_count(), 2);
+        assert!(store.is_deleted(4).unwrap());
+        let ranking = store.rank(&concept, &RankRequest::all()).unwrap();
+        assert_eq!(ranking.len(), 8);
+        assert!(ranking.iter().all(|&(i, _)| i != 4 && i != 7));
+        // The live ranking equals the monolithic ranking restricted to
+        // the live candidates.
+        let live: Vec<usize> = (0..10).filter(|&i| i != 4 && i != 7).collect();
+        assert_eq!(
+            ranking,
+            db.rank(&concept, &RankRequest::over(live)).unwrap()
+        );
+    }
+
+    #[test]
+    fn flush_open_round_trips_everything() {
+        let dir = temp_dir("roundtrip");
+        let db = sample_db(11);
+        let mut store = ShardedDatabase::from_database(&db, &dir, 4).unwrap();
+        store.delete(3).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.generation(), 1);
+
+        let back = ShardedDatabase::open(&dir).unwrap();
+        assert_eq!(back.len(), 11);
+        assert_eq!(back.live_len(), 10);
+        assert_eq!(back.generation(), 1);
+        assert_eq!(back.shard_count(), 3);
+        assert_eq!(back.shard_capacity(), 4);
+        assert!(back.is_deleted(3).unwrap());
+        for i in 0..11 {
+            assert_eq!(back.label(i).unwrap(), store.label(i).unwrap());
+        }
+        let concept = sample_concept();
+        assert_eq!(
+            back.rank(&concept, &RankRequest::all()).unwrap(),
+            store.rank(&concept, &RankRequest::all()).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_flush_rewrites_only_the_tail() {
+        let dir = temp_dir("incremental");
+        let db = sample_db(8);
+        let mut store = ShardedDatabase::from_database(&db, &dir, 3).unwrap();
+        store.flush().unwrap();
+        let sealed_path = dir.join(shard_file_name(0));
+        let sealed_before = std::fs::metadata(&sealed_path).unwrap().modified().unwrap();
+        let tail_path = dir.join(shard_file_name(2));
+        let tail_bytes_before = std::fs::read(&tail_path).unwrap();
+
+        // Append one bag: lands in the open tail (2 of 3 slots used).
+        store.push_bag(db.bag(0).unwrap().clone(), 0).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.generation(), 2);
+        let sealed_after = std::fs::metadata(&sealed_path).unwrap().modified().unwrap();
+        assert_eq!(
+            sealed_before, sealed_after,
+            "sealed shards must not be rewritten"
+        );
+        assert_ne!(
+            tail_bytes_before,
+            std::fs::read(&tail_path).unwrap(),
+            "the tail shard must grow"
+        );
+
+        // And the reopened store sees the appended bag.
+        let back = ShardedDatabase::open(&dir).unwrap();
+        assert_eq!(back.len(), 9);
+        assert_eq!(back.generation(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_renumbers() {
+        let dir = temp_dir("compact");
+        let db = sample_db(10);
+        let concept = sample_concept();
+        let mut store = ShardedDatabase::from_database(&db, &dir, 3).unwrap();
+        store.flush().unwrap();
+        store.delete(0).unwrap();
+        store.delete(5).unwrap();
+        store.delete(9).unwrap();
+        let live_ranking = store.rank(&concept, &RankRequest::all()).unwrap();
+
+        assert_eq!(store.compact(), 3);
+        assert_eq!(store.len(), 7);
+        assert_eq!(store.tombstone_count(), 0);
+        assert_eq!(store.shard_count(), 3); // 3 + 3 + 1
+        store.flush().unwrap();
+
+        // Stale shard files from the pre-compact generation are gone.
+        let shard_files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("shard-"))
+            .collect();
+        assert_eq!(
+            shard_files.len(),
+            3,
+            "stale shards removed: {shard_files:?}"
+        );
+
+        // Compaction renumbers global indices densely but preserves the
+        // ranking *order* and distances of the live bags.
+        let back = ShardedDatabase::open(&dir).unwrap();
+        let compacted_ranking = back.rank(&concept, &RankRequest::all()).unwrap();
+        let distances: Vec<f64> = compacted_ranking.iter().map(|&(_, d)| d).collect();
+        let expected: Vec<f64> = live_ranking.iter().map(|&(_, d)| d).collect();
+        assert_eq!(distances, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_and_shards_are_rejected() {
+        let dir = temp_dir("corrupt");
+        let db = sample_db(6);
+        let mut store = ShardedDatabase::from_database(&db, &dir, 2).unwrap();
+        store.flush().unwrap();
+
+        // Flip a payload bit in a shard: its own checksum catches it.
+        let shard_path = dir.join(shard_file_name(1));
+        let mut bytes = std::fs::read(&shard_path).unwrap();
+        bytes[40] ^= 0x20;
+        std::fs::write(&shard_path, &bytes).unwrap();
+        let err = ShardedDatabase::open(&dir).unwrap_err();
+        assert!(matches!(err, CoreError::Storage { .. }), "got {err:?}");
+        bytes[40] ^= 0x20;
+        std::fs::write(&shard_path, &bytes).unwrap();
+        ShardedDatabase::open(&dir).expect("restored store opens again");
+
+        // Replace a shard with a self-consistent but *different* shard
+        // file: only the manifest digest cross-check can catch that.
+        let other_dir = temp_dir("corrupt_other");
+        let other_bags: Vec<Bag> = (0..6)
+            .map(|n| bag(&[&[n as f32 + 0.25, 0.5, 0.75, 1.0]]))
+            .collect();
+        let other_db = RetrievalDatabase::from_bags(other_bags, vec![0; 6]).unwrap();
+        let mut other = ShardedDatabase::from_database(&other_db, &other_dir, 2).unwrap();
+        other.flush().unwrap();
+        std::fs::copy(other_dir.join(shard_file_name(1)), &shard_path).unwrap();
+        let err = ShardedDatabase::open(&dir).unwrap_err();
+        match err {
+            CoreError::Storage { reason, .. } => {
+                assert!(reason.contains("manifest"), "reason: {reason}");
+            }
+            other => panic!("expected Storage, got {other:?}"),
+        }
+
+        // A truncated manifest is caught by its checksum.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&manifest_path).unwrap();
+        std::fs::write(&manifest_path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(ShardedDatabase::open(&dir).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&other_dir).ok();
+    }
+
+    #[test]
+    fn to_database_round_trips_live_bags() {
+        let db = sample_db(9);
+        let mut store = ShardedDatabase::from_database(&db, temp_dir("todb"), 4).unwrap();
+        let back = store.to_database().unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.labels(), db.labels());
+        for i in 0..db.len() {
+            assert_eq!(back.bag(i).unwrap(), db.bag(i).unwrap());
+        }
+        // With tombstones the live bags compress in order.
+        store.delete(1).unwrap();
+        let live = store.to_database().unwrap();
+        assert_eq!(live.len(), 8);
+        assert_eq!(live.bag(0).unwrap(), db.bag(0).unwrap());
+        assert_eq!(live.bag(1).unwrap(), db.bag(2).unwrap());
+    }
+
+    #[test]
+    fn load_snapshot_detects_both_formats() {
+        // v2: a monolithic file.
+        let db = sample_db(7);
+        let v2_path = std::env::temp_dir()
+            .join("milr_store_tests")
+            .join(format!("snap_v2_{}.milr", std::process::id()));
+        std::fs::create_dir_all(v2_path.parent().unwrap()).unwrap();
+        Store::default().save(&db, &v2_path).unwrap();
+        let v2 = load_snapshot(&v2_path).unwrap();
+        assert_eq!(v2.generation, 0);
+        assert_eq!(v2.shards, 1);
+        assert_eq!(v2.database.labels(), db.labels());
+
+        // v3: a sharded directory.
+        let dir = temp_dir("snap_v3");
+        let mut store = ShardedDatabase::from_database(&db, &dir, 3).unwrap();
+        store.flush().unwrap();
+        let v3 = load_snapshot(&dir).unwrap();
+        assert_eq!(v3.generation, 1);
+        assert_eq!(v3.shards, 3);
+        assert_eq!(v3.database.labels(), db.labels());
+        for i in 0..db.len() {
+            assert_eq!(v3.database.bag(i).unwrap(), db.bag(i).unwrap());
+        }
+
+        std::fs::remove_file(&v2_path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn push_image_preprocesses_into_the_tail() {
+        let config = RetrievalConfig {
+            threads: 1,
+            ..RetrievalConfig::default()
+        };
+        let image = GrayImage::from_fn(64, 48, |x, y| ((x * 7 + y * 13) % 223) as f32).unwrap();
+        let probe = milr_core::features::image_to_bag(&image, &config).unwrap();
+        let mut store = ShardedDatabase::create(temp_dir("img"), probe.dim(), 4).unwrap();
+        let index = store.push_image(&image, 2, &config).unwrap();
+        assert_eq!(index, 0);
+        assert_eq!(store.label(0).unwrap(), 2);
+        // A blank image fails with the would-be index.
+        let flat = GrayImage::filled(64, 48, 3.0).unwrap();
+        match store.push_image(&flat, 0, &config) {
+            Err(CoreError::BlankImage { index: Some(1) }) => {}
+            other => panic!("expected BlankImage at 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rankings_is_an_ordered_merge() {
+        let merged = merge_rankings(
+            vec![
+                vec![(0, 0.5), (3, 2.0)],
+                vec![(1, 0.5), (2, 1.0)],
+                Vec::new(),
+            ],
+            None,
+        );
+        // Equal distances break by index: 0 before 1.
+        assert_eq!(merged, vec![(0, 0.5), (1, 0.5), (2, 1.0), (3, 2.0)]);
+        let truncated = merge_rankings(vec![vec![(0, 0.5)], vec![(1, 0.25)]], Some(1));
+        assert_eq!(truncated, vec![(1, 0.25)]);
+    }
+}

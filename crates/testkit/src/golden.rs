@@ -9,7 +9,7 @@
 //! single bit of any float shows up as an explicit, reviewed diff in
 //! `tests/golden/*.json` (regenerate with `milr golden --bless`).
 
-use milr_core::{QuerySession, RetrievalConfig};
+use milr_core::{QuerySession, RankRequest, RetrievalConfig};
 use milr_serve::{parse_policy, Json};
 
 use crate::corpus::synthetic_database;
@@ -99,7 +99,13 @@ pub fn record_trace(case: &GoldenCase) -> Result<Json, String> {
     // Deterministic pool/test split: two of every three images train.
     let pool: Vec<usize> = (0..db.len()).filter(|i| i % 3 != 2).collect();
     let test: Vec<usize> = (0..db.len()).filter(|i| i % 3 == 2).collect();
-    let mut session = QuerySession::new(&db, &config, 0, pool, test).map_err(|e| e.to_string())?;
+    let mut session = QuerySession::builder(&db)
+        .config(&config)
+        .target(0)
+        .pool(pool)
+        .test(test)
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut rounds = Vec::with_capacity(case.rounds);
     for round in 1..=case.rounds {
         let positives = session.positives().to_vec();
@@ -127,7 +133,9 @@ pub fn record_trace(case: &GoldenCase) -> Result<Json, String> {
                 .map_err(|e| e.to_string())?;
         }
     }
-    let final_ranking = session.rank_test().map_err(|e| e.to_string())?;
+    let final_ranking = session
+        .rank(&RankRequest::test())
+        .map_err(|e| e.to_string())?;
     Ok(Json::Obj(vec![
         ("case".into(), Json::str(case.name)),
         ("seed".into(), Json::num(case.seed as f64)),

@@ -5,10 +5,8 @@
 
 use std::path::{Path, PathBuf};
 
-use milr_core::storage::{
-    load_concept_with, load_database_with, save_concept_with, save_database_with, OsFs, StorageIo,
-};
-use milr_core::CoreError;
+use milr_core::storage::{OsFs, StorageIo, Store};
+use milr_core::{CoreError, RetrievalDatabase};
 use milr_mil::Concept;
 use milr_testkit::{synthetic_database, BitFlipFs, ShortReadFs, TornWriteFs};
 
@@ -31,13 +29,13 @@ fn assert_storage_error<T: std::fmt::Debug>(result: Result<T, CoreError>, contex
 
 fn saved_database(path: &Path) -> u64 {
     let db = synthetic_database(8, 4, 21);
-    save_database_with(&OsFs, &db, path).expect("clean save");
+    Store::new(&OsFs).save(&db, path).expect("clean save");
     std::fs::metadata(path).expect("saved file").len()
 }
 
 fn saved_concept(path: &Path) -> u64 {
     let concept = Concept::new(vec![0.25, -1.5, 3.0], vec![1.0, 0.5, 2.0]);
-    save_concept_with(&OsFs, &concept, path).expect("clean save");
+    Store::new(&OsFs).save(&concept, path).expect("clean save");
     std::fs::metadata(path).expect("saved file").len()
 }
 
@@ -49,9 +47,11 @@ fn torn_database_writes_never_load() {
     // Sweep the torn point across the whole file, including 0 (nothing
     // persisted) and len-1 (only the checksum torn off).
     for keep in (0..len).step_by(7).chain([0, len - 1]) {
-        save_database_with(&TornWriteFs { keep }, &db, &path).expect("the torn writer lies");
+        Store::new(&TornWriteFs { keep })
+            .save(&db, &path)
+            .expect("the torn writer lies");
         assert_storage_error(
-            load_database_with(&OsFs, &path),
+            Store::new(&OsFs).open::<RetrievalDatabase>(&path),
             &format!("torn write at byte {keep}"),
         );
     }
@@ -63,7 +63,7 @@ fn short_database_reads_never_load() {
     let len = saved_database(&path) as usize;
     for limit in (0..len).step_by(7).chain([0, len - 1]) {
         assert_storage_error(
-            load_database_with(&ShortReadFs { limit }, &path),
+            Store::new(&ShortReadFs { limit }).open::<RetrievalDatabase>(&path),
             &format!("read truncated at byte {limit}"),
         );
     }
@@ -78,7 +78,7 @@ fn flipped_database_bits_never_load() {
     for offset in 0..len {
         for mask in [0x01u8, 0x80] {
             assert_storage_error(
-                load_database_with(&BitFlipFs { offset, mask }, &path),
+                Store::new(&BitFlipFs { offset, mask }).open::<RetrievalDatabase>(&path),
                 &format!("bit flip at byte {offset} mask {mask:#04x}"),
             );
         }
@@ -91,9 +91,11 @@ fn torn_concept_writes_never_load() {
     let len = saved_concept(&path) as usize;
     let concept = Concept::new(vec![0.25, -1.5, 3.0], vec![1.0, 0.5, 2.0]);
     for keep in (0..len).step_by(5).chain([0, len - 1]) {
-        save_concept_with(&TornWriteFs { keep }, &concept, &path).expect("the torn writer lies");
+        Store::new(&TornWriteFs { keep })
+            .save(&concept, &path)
+            .expect("the torn writer lies");
         assert_storage_error(
-            load_concept_with(&OsFs, &path),
+            Store::new(&OsFs).open::<Concept>(&path),
             &format!("torn write at byte {keep}"),
         );
     }
@@ -105,7 +107,7 @@ fn short_concept_reads_never_load() {
     let len = saved_concept(&path) as usize;
     for limit in (0..len).step_by(5).chain([0, len - 1]) {
         assert_storage_error(
-            load_concept_with(&ShortReadFs { limit }, &path),
+            Store::new(&ShortReadFs { limit }).open::<Concept>(&path),
             &format!("read truncated at byte {limit}"),
         );
     }
@@ -118,7 +120,7 @@ fn flipped_concept_bits_never_load() {
     for offset in 0..len {
         for mask in [0x01u8, 0x80] {
             assert_storage_error(
-                load_concept_with(&BitFlipFs { offset, mask }, &path),
+                Store::new(&BitFlipFs { offset, mask }).open::<Concept>(&path),
                 &format!("bit flip at byte {offset} mask {mask:#04x}"),
             );
         }
@@ -132,7 +134,9 @@ fn clean_roundtrips_still_work_through_the_seam() {
     // because of the faults, not the harness.
     let path = scratch("clean_db.milr");
     saved_database(&path);
-    let db = load_database_with(&OsFs, &path).expect("clean load");
+    let db = Store::new(&OsFs)
+        .open::<RetrievalDatabase>(&path)
+        .expect("clean load");
     let original = synthetic_database(8, 4, 21);
     assert_eq!(db.len(), original.len());
     assert_eq!(db.labels(), original.labels());
@@ -142,7 +146,9 @@ fn clean_roundtrips_still_work_through_the_seam() {
 
     let concept_path = scratch("clean_concept.milr");
     saved_concept(&concept_path);
-    let concept = load_concept_with(&OsFs, &concept_path).expect("clean load");
+    let concept = Store::new(&OsFs)
+        .open::<Concept>(&concept_path)
+        .expect("clean load");
     assert_eq!(concept.point(), &[0.25, -1.5, 3.0]);
     assert_eq!(concept.weights(), &[1.0, 0.5, 2.0]);
 }
@@ -163,6 +169,9 @@ fn fault_seam_actually_intercepts_io() {
     }
     let path = scratch("refused.milr");
     let db = synthetic_database(4, 3, 1);
-    assert_storage_error(save_database_with(&Refusing, &db, &path), "refused write");
-    assert_storage_error(load_database_with(&Refusing, &path), "refused read");
+    assert_storage_error(Store::new(&Refusing).save(&db, &path), "refused write");
+    assert_storage_error(
+        Store::new(&Refusing).open::<RetrievalDatabase>(&path),
+        "refused read",
+    );
 }

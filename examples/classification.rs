@@ -25,14 +25,13 @@ fn main() {
     let target = db.category_index("sunset").unwrap();
 
     // Train the concept through the usual query session.
-    let mut session = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
     session.run().unwrap();
     let concept = session.concept().unwrap().clone();
 

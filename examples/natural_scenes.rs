@@ -37,14 +37,13 @@ fn main() {
     // The paper's protocol: 20% stratified pool, 3 rounds, top-5 false
     // positives promoted per round.
     let split = db.split(0.2, 11);
-    let mut session = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
 
     println!(
         "retrieving '{category_name}' with {} initial positives, {} negatives\n",
@@ -72,7 +71,7 @@ fn main() {
         }
     }
 
-    let ranking = session.rank_test().unwrap();
+    let ranking = session.rank(&RankRequest::test()).unwrap();
     let relevant = eval::relevance(&ranking, retrieval.labels(), target);
     let recall = eval::recall_curve(&relevant);
     let pr = eval::precision_recall_curve(&relevant);

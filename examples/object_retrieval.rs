@@ -32,14 +32,13 @@ fn main() {
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
 
     let split = db.split(0.25, 3);
-    let mut session = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
 
     println!("\ntop 12 test retrievals for '{category_name}':");

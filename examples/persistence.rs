@@ -5,7 +5,8 @@
 //! cargo run --release --example persistence
 //! ```
 
-use milr::core::{eval, storage};
+use milr::core::eval;
+use milr::mil::Concept;
 use milr::prelude::*;
 
 fn main() {
@@ -27,7 +28,8 @@ fn main() {
     };
     println!("preprocessing {} images ...", db.len());
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
-    storage::save_database(&retrieval, &db_path).unwrap();
+    let store = Store::default();
+    store.save(&retrieval, &db_path).unwrap();
     println!(
         "saved preprocessed database: {} ({} bags, {} dims, {} bytes)",
         db_path.display(),
@@ -38,29 +40,30 @@ fn main() {
 
     let split = db.split(0.3, 2);
     let target = db.category_index("waterfall").unwrap();
-    let mut session = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
     session.run().unwrap();
     let concept = session.concept().unwrap();
-    storage::save_concept(concept, &concept_path).unwrap();
+    store.save(concept, &concept_path).unwrap();
     println!("saved trained concept: {}", concept_path.display());
 
     // --- Second "session": reload everything and query. ----------------
-    let reloaded_db = storage::load_database(&db_path).unwrap();
-    let reloaded_concept = storage::load_concept(&concept_path).unwrap();
+    let reloaded_db = store.open::<RetrievalDatabase>(&db_path).unwrap();
+    let reloaded_concept = store.open::<Concept>(&concept_path).unwrap();
     println!(
         "\nreloaded database ({} bags) and concept ({} dims)",
         reloaded_db.len(),
         reloaded_concept.dim()
     );
 
-    let ranking = reloaded_db.rank(&reloaded_concept, &split.test).unwrap();
+    let ranking = reloaded_db
+        .rank(&reloaded_concept, &RankRequest::over(split.test.clone()))
+        .unwrap();
     let relevant: Vec<bool> = ranking
         .iter()
         .map(|&(i, _)| reloaded_db.labels()[i] == target)
@@ -72,7 +75,9 @@ fn main() {
     );
 
     // The reloaded ranking is identical to the in-memory one.
-    let original_ranking = retrieval.rank(concept, &split.test).unwrap();
+    let original_ranking = retrieval
+        .rank(concept, &RankRequest::over(split.test.clone()))
+        .unwrap();
     assert_eq!(
         ranking, original_ranking,
         "persistence must not change rankings"

@@ -42,7 +42,12 @@ fn main() {
     // 4. Query for waterfalls: train, promote false positives, retrain,
     //    then rank the held-out test set.
     let waterfall = db.category_index("waterfall").unwrap();
-    let mut session = QuerySession::new(&retrieval, &config, waterfall, split.pool, split.test)
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(waterfall)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
         .expect("query setup failed");
     let ranking = session.run().expect("query failed");
 

@@ -36,14 +36,13 @@ fn main() {
             policy,
             ..base.clone()
         };
-        let mut session = QuerySession::new(
-            &retrieval,
-            &config,
-            target,
-            split.pool.clone(),
-            split.test.clone(),
-        )
-        .unwrap();
+        let mut session = QuerySession::builder(&retrieval)
+            .config(&config)
+            .target(target)
+            .pool(split.pool.clone())
+            .test(split.test.clone())
+            .build()
+            .unwrap();
         let ranking = session.run().unwrap();
         let relevant = eval::relevance(&ranking, retrieval.labels(), target);
         let concept = session.concept().unwrap();

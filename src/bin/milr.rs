@@ -5,7 +5,9 @@
 //! milr generate --kind scenes --out ./scenes --per-category 20 --seed 1
 //! milr preprocess --kind scenes --out db.milr --per-category 20 --seed 1
 //! milr snapshot --in db.milr
-//! milr serve    --snapshot db.milr --addr 127.0.0.1:7878 --workers 4
+//! milr shard    --in db.milr --out ./db.v3 --shard-bags 128
+//! milr compact  --in ./db.v3
+//! milr serve    --snapshot ./db.v3 --addr 127.0.0.1:7878 --workers 4 --watch-snapshot
 //! milr query    --kind scenes --category waterfall --policy constraint:0.5
 //! milr query-files --kind scenes --positive my_fall1.pgm,my_fall2.pgm
 //! milr inspect  --image photo.pgm --resolution 10
@@ -26,6 +28,8 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("golden") => cmd_golden(&args[1..]),
@@ -55,11 +59,14 @@ fn print_usage() {
          milr generate --kind scenes|objects --out DIR [--per-category N] [--seed N]\n  \
          milr preprocess --kind scenes|objects --out DB.milr [--per-category N]\n                \
          [--seed N] [--fast]\n  \
-         milr snapshot --in DB.milr\n  \
-         milr serve    --snapshot DB.milr [--addr HOST:PORT] [--workers N]\n                \
+         milr snapshot --in DB.milr|DIR\n  \
+         milr shard    --in DB.milr --out DIR [--shard-bags N]\n  \
+         milr compact  --in DIR | --in DB.milr --out DIR  [--shard-bags N]\n  \
+         milr serve    --snapshot DB.milr|DIR [--addr HOST:PORT] [--workers N]\n                \
          [--queue-depth N] [--cache-capacity N] [--page K] [--policy POLICY]\n                \
          [--read-timeout-ms N] [--handle-deadline-ms N] [--max-body N]\n                \
-         [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n  \
+         [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n                \
+         [--watch-snapshot] [--watch-interval-ms N]\n  \
          milr trace    --addr HOST:PORT [--n N] [--json]\n  \
          milr golden   [--bless] [--dir DIR]   (default DIR: tests/golden)\n  \
          milr query    --kind scenes|objects --category NAME [--policy POLICY]\n                \
@@ -192,7 +199,9 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     eprintln!("preprocessing {} images ...", images.len());
     let retrieval = RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
         .map_err(|e| e.to_string())?;
-    milr::core::storage::save_database(&retrieval, &out).map_err(|e| e.to_string())?;
+    Store::default()
+        .save(&retrieval, &out)
+        .map_err(|e| e.to_string())?;
     println!(
         "wrote snapshot {out} ({} images, {} categories, dim {})",
         retrieval.len(),
@@ -202,20 +211,114 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints a summary of a `.milr` snapshot (a load-and-verify round
-/// trip).
+/// Prints a summary of a snapshot — a monolithic `.milr` file or a
+/// sharded v3 directory (a load-and-verify round trip either way).
 fn cmd_snapshot(args: &[String]) -> Result<(), String> {
     let path = flag(args, "--in").ok_or("--in is required")?;
-    let retrieval = milr::core::storage::load_database(&path).map_err(|e| e.to_string())?;
-    let bytes = std::fs::metadata(&path).map_err(|e| e.to_string())?.len();
+    let loaded = milr::store::load_snapshot(&path).map_err(|e| e.to_string())?;
+    let retrieval = &loaded.database;
+    let bytes = snapshot_bytes(Path::new(&path))?;
     let instances: usize = (0..retrieval.len())
         .map(|i| retrieval.bag(i).map(|b| b.len()).unwrap_or(0))
         .sum();
     println!(
-        "{path}: {} images, {} categories, dim {}, {instances} instances, {bytes} bytes",
+        "{path}: {} images, {} categories, dim {}, {instances} instances, {bytes} bytes, \
+         generation {}, {} shard{}",
         retrieval.len(),
         retrieval.category_count(),
-        retrieval.feature_dim()
+        retrieval.feature_dim(),
+        loaded.generation,
+        loaded.shards,
+        if loaded.shards == 1 { "" } else { "s" },
+    );
+    Ok(())
+}
+
+/// Total on-disk size of a snapshot: one file for v2, the manifest plus
+/// every shard file for a v3 directory.
+fn snapshot_bytes(path: &Path) -> Result<u64, String> {
+    let meta = std::fs::metadata(path).map_err(|e| e.to_string())?;
+    if !meta.is_dir() {
+        return Ok(meta.len());
+    }
+    let mut total = 0;
+    for entry in std::fs::read_dir(path).map_err(|e| e.to_string())? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        total += entry.metadata().map_err(|e| e.to_string())?.len();
+    }
+    Ok(total)
+}
+
+/// Migrates a monolithic `.milr` snapshot into a sharded v3 directory.
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--in").ok_or("--in is required")?;
+    let out = PathBuf::from(flag(args, "--out").ok_or("--out is required")?);
+    let capacity: usize = match flag(args, "--shard-bags") {
+        Some(text) => text
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or(format!("invalid --shard-bags {text:?}"))?,
+        None => milr::store::DEFAULT_SHARD_CAPACITY,
+    };
+    let loaded = milr::store::load_snapshot(&input).map_err(|e| e.to_string())?;
+    let mut store = milr::store::ShardedDatabase::from_database(&loaded.database, &out, capacity)
+        .map_err(|e| e.to_string())?;
+    store.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote sharded snapshot {} ({} images over {} shard{}, {} bags/shard, generation {})",
+        out.display(),
+        store.len(),
+        store.shard_count(),
+        if store.shard_count() == 1 { "" } else { "s" },
+        store.shard_capacity(),
+        store.generation(),
+    );
+    Ok(())
+}
+
+/// Compacts a sharded snapshot in place (dropping tombstones and
+/// renumbering shards), or — given a monolithic `--in` plus `--out` —
+/// migrates it to v3 via the same repack.
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--in").ok_or("--in is required")?;
+    let in_path = Path::new(&input);
+    let is_v3 = in_path.is_dir() || in_path.join(milr::store::MANIFEST_FILE).exists();
+    let mut store = if is_v3 {
+        if let Some(out) = flag(args, "--out") {
+            return Err(format!(
+                "--out {out:?} only applies when migrating a monolithic snapshot; \
+                 {input} is already sharded (compaction happens in place)"
+            ));
+        }
+        milr::store::ShardedDatabase::open(in_path).map_err(|e| e.to_string())?
+    } else {
+        let out = PathBuf::from(
+            flag(args, "--out").ok_or("--out is required to migrate a monolithic snapshot")?,
+        );
+        let capacity: usize = match flag(args, "--shard-bags") {
+            Some(text) => text
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(format!("invalid --shard-bags {text:?}"))?,
+            None => milr::store::DEFAULT_SHARD_CAPACITY,
+        };
+        let loaded = milr::store::load_snapshot(in_path).map_err(|e| e.to_string())?;
+        milr::store::ShardedDatabase::from_database(&loaded.database, &out, capacity)
+            .map_err(|e| e.to_string())?
+    };
+    let dropped = store.compact();
+    store.flush().map_err(|e| e.to_string())?;
+    println!(
+        "compacted {} ({} live images over {} shard{}, {dropped} tombstone{} dropped, \
+         generation {})",
+        store.dir().display(),
+        store.live_len(),
+        store.shard_count(),
+        if store.shard_count() == 1 { "" } else { "s" },
+        if dropped == 1 { "" } else { "s" },
+        store.generation(),
     );
     Ok(())
 }
@@ -282,19 +385,38 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--debug-endpoints") {
         options.debug_endpoints = true;
     }
+    if args.iter().any(|a| a == "--watch-snapshot") {
+        options.watch_snapshot = true;
+    }
+    if let Some(text) = flag(args, "--watch-interval-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --watch-interval-ms {text:?}"))?;
+        options.watch_interval = std::time::Duration::from_millis(ms);
+    }
     // Parallelism is across requests, not within them.
     options.retrieval.threads = 1;
-    let mut retrieval = milr::core::storage::load_database(&snapshot).map_err(|e| e.to_string())?;
-    retrieval.set_threads(1);
+    let loaded = milr::store::load_snapshot(&snapshot).map_err(|e| e.to_string())?;
+    options.snapshot_path = Some(PathBuf::from(&snapshot));
+    let retrieval = loaded.database;
     let (images, categories, dim) = (
         retrieval.len(),
         retrieval.category_count(),
         retrieval.feature_dim(),
     );
-    let server = milr::serve::Server::start(retrieval, options)?;
+    let server = milr::serve::Server::start_with_generation(
+        retrieval,
+        loaded.generation,
+        loaded.shards,
+        options,
+    )?;
     println!(
-        "milrd listening on {} ({images} images, {categories} categories, dim {dim})",
-        server.local_addr()
+        "milrd listening on {} ({images} images, {categories} categories, dim {dim}, \
+         generation {}, {} shard{})",
+        server.local_addr(),
+        loaded.generation,
+        loaded.shards,
+        if loaded.shards == 1 { "" } else { "s" },
     );
     use std::io::Write as _;
     std::io::stdout().flush().map_err(|e| e.to_string())?;
@@ -461,7 +583,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let retrieval = match flag(args, "--snapshot") {
         Some(path) => {
             eprintln!("loading snapshot {path} ...");
-            let retrieval = milr::core::storage::load_database(&path).map_err(|e| e.to_string())?;
+            let retrieval = milr::store::load_snapshot(&path)
+                .map_err(|e| e.to_string())?
+                .database;
             if retrieval.len() != images.len() {
                 return Err(format!(
                     "snapshot {path} holds {} images but --kind/--per-category/--seed \
@@ -479,7 +603,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     };
     let split = images.split(0.2, seed.wrapping_add(1));
-    let mut session = QuerySession::new(&retrieval, &config, target, split.pool, split.test)
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
         .map_err(|e| e.to_string())?;
     eprintln!("training ({rounds} rounds, policy {}) ...", policy.label());
     let ranking = session.run().map_err(|e| e.to_string())?;

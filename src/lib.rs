@@ -32,8 +32,13 @@
 //! // Query for waterfalls; the pool simulates the user's feedback.
 //! let waterfall = db.category_index("waterfall").unwrap();
 //! let split = db.split(0.34, 99);
-//! let mut session =
-//!     QuerySession::new(&retrieval, &config, waterfall, split.pool, split.test).unwrap();
+//! let mut session = QuerySession::builder(&retrieval)
+//!     .config(&config)
+//!     .target(waterfall)
+//!     .pool(split.pool)
+//!     .test(split.test)
+//!     .build()
+//!     .unwrap();
 //! let ranking = session.run().unwrap();
 //! assert!(!ranking.is_empty());
 //! ```
@@ -48,13 +53,18 @@ pub use milr_imgproc as imgproc;
 pub use milr_mil as mil;
 pub use milr_optim as optim;
 pub use milr_serve as serve;
+pub use milr_store as store;
 pub use milr_synth as synth;
 pub use milr_testkit as testkit;
 
 /// Commonly-used types from across the workspace.
 pub mod prelude {
     pub use milr_core::{
-        config::RetrievalConfig, database::RetrievalDatabase, eval, query::QuerySession,
+        config::RetrievalConfig,
+        database::{RankRequest, RetrievalDatabase},
+        eval,
+        query::QuerySession,
+        storage::Store,
     };
     pub use milr_imgproc::{GrayImage, RegionLayout, RgbImage};
     pub use milr_mil::{

@@ -39,8 +39,13 @@ fn sbn_baseline_retrieves_sunsets_by_colour() {
     let config = baseline_config();
     let split = db.split(0.4, 2);
     let target = db.category_index("sunset").unwrap();
-    let mut session =
-        QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     let relevant = eval::relevance(&ranking, retrieval.labels(), target);
     let ap = eval::average_precision(&relevant);
@@ -70,8 +75,13 @@ fn row_baseline_builds_and_ranks() {
     let config = baseline_config();
     let split = db.split(0.4, 3);
     let target = db.category_index("field").unwrap();
-    let mut session =
-        QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     assert!(!ranking.is_empty());
 }

@@ -55,8 +55,19 @@ impl DaemonUnderTest {
         std::fs::create_dir_all(&dir).expect("scratch dir");
         let snapshot = dir.join("db.milr");
         let db = synthetic_database(24, 8, 3);
-        milr::core::storage::save_database(&db, &snapshot).expect("snapshot saves");
+        milr::prelude::Store::default()
+            .save(&db, &snapshot)
+            .expect("snapshot saves");
+        Self::start_over(dir, &snapshot, extra_args)
+    }
 
+    /// Spawns `milr serve` over an already-written snapshot (file or
+    /// sharded directory); `dir` is removed when the daemon drops.
+    fn start_over(
+        dir: PathBuf,
+        snapshot: &std::path::Path,
+        extra_args: &[&str],
+    ) -> DaemonUnderTest {
         let mut child = Command::new(env!("CARGO_BIN_EXE_milr"))
             .arg("serve")
             .args(["--snapshot", snapshot.to_str().unwrap()])
@@ -324,6 +335,91 @@ fn metrics_identity_survives_a_chaos_burst() {
         "all proxied connections reach the daemon: {}",
         metrics.dump()
     );
+}
+
+#[test]
+fn reload_under_chaos_swaps_snapshots_without_breaking_the_contract() {
+    // The epoch-swap contract under fire: a sharded snapshot is
+    // rewritten and reloaded while chaotic clients hammer the daemon
+    // through the fault proxy. Direct (unproxied) requests must never
+    // fail, every reload must succeed, and the conservation law must
+    // still balance at quiescence.
+    let seed = chaos_seed().wrapping_add(3);
+    let dir = std::env::temp_dir().join(format!("milr_chaos_reload_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let snapshot = dir.join("db.v3");
+    let write_sharded = |images: usize| {
+        let db = synthetic_database(images, 8, 3);
+        let mut store = milr::store::ShardedDatabase::from_database(&db, &snapshot, 6)
+            .expect("shard the snapshot");
+        store.flush().expect("flush the snapshot");
+        store.shard_count()
+    };
+    assert!(write_sharded(24) >= 4, "the scenario must span >= 4 shards");
+
+    let daemon = DaemonUnderTest::start_over(
+        dir,
+        &snapshot,
+        &["--workers", "2", "--read-timeout-ms", "1500"],
+    );
+    let proxy = ChaosProxy::start(daemon.addr, seed).expect("proxy starts");
+
+    // Chaos traffic through the proxy for the whole scenario.
+    let proxy_addr = proxy.addr();
+    let chaos: Vec<_> = (0..3)
+        .map(|thread| {
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    let request = format!(
+                        "GET /rank?positives=0,4&negatives=1 HTTP/1.1\r\nHost: chaos\r\n\
+                         X-Chaos: {thread}-{i}-padding-padding\r\nConnection: close\r\n\r\n"
+                    );
+                    let _ = raw_roundtrip(proxy_addr, request.as_bytes());
+                }
+            })
+        })
+        .collect();
+
+    // Meanwhile: rewrite the sharded snapshot and reload it, twice.
+    // Direct requests bypass the proxy, so each must fully succeed.
+    for images in [30usize, 36] {
+        std::thread::sleep(Duration::from_millis(100));
+        write_sharded(images);
+        let response = raw_roundtrip(
+            daemon.addr,
+            b"POST /snapshot/reload HTTP/1.1\r\nHost: chaos\r\nContent-Length: 0\r\n\
+              Connection: close\r\n\r\n",
+        )
+        .expect("reload request must not be reset");
+        assert_eq!(
+            status_of(&response),
+            Some(200),
+            "reload must succeed: {:?}",
+            body_of(&response)
+        );
+        let healthz = get(daemon.addr, "/healthz");
+        assert_eq!(status_of(&healthz), Some(200));
+        let health = Json::parse(&body_of(&healthz)).expect("healthz is JSON");
+        assert_eq!(metric(&health, "images"), images as u64);
+    }
+
+    for handle in chaos {
+        handle.join().expect("chaos client thread");
+    }
+    proxy.stop();
+
+    // Quiescence: the books balance across both epochs, and the final
+    // epoch is the last snapshot written.
+    let metrics = assert_metrics_balanced(daemon.addr);
+    assert!(
+        metric(&metrics, "accepted_total") >= 18,
+        "chaos + reload traffic must all be accounted for: {}",
+        metrics.dump()
+    );
+    let health = Json::parse(&body_of(&get(daemon.addr, "/healthz"))).expect("healthz is JSON");
+    assert_eq!(metric(&health, "images"), 36);
+    assert!(metric(&health, "generation") >= 2, "{}", health.dump());
 }
 
 #[test]

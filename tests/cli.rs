@@ -151,7 +151,7 @@ fn valid_snapshot(dir: &std::path::Path) -> std::path::PathBuf {
     std::fs::create_dir_all(dir).unwrap();
     let path = dir.join("db.milr");
     let db = milr::testkit::synthetic_database(12, 6, 5);
-    milr::core::storage::save_database(&db, &path).unwrap();
+    milr::prelude::Store::default().save(&db, &path).unwrap();
     path
 }
 
@@ -353,5 +353,119 @@ fn fast_query_dumps_concept_maps() {
     let weights = milr::imgproc::pnm::load_pgm(dir.join("concept_weights.pgm")).unwrap();
     assert_eq!((point.width(), point.height()), (5, 5));
     assert_eq!((weights.width(), weights.height()), (5, 5));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_migrates_a_monolithic_snapshot() {
+    let dir = std::env::temp_dir().join("milr_cli_shard");
+    std::fs::remove_dir_all(&dir).ok();
+    let path = valid_snapshot(&dir);
+    let out_dir = dir.join("db.v3");
+
+    let out = milr()
+        .args([
+            "shard",
+            "--in",
+            path.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--shard-bags",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("12 images over 4 shards"),
+        "12 bags / 3 per shard = 4 shards: {stdout}"
+    );
+
+    // The sharded copy round-trips to the same database, bit for bit.
+    let original = milr::prelude::Store::default()
+        .open::<milr::prelude::RetrievalDatabase>(&path)
+        .unwrap();
+    let sharded = milr::store::ShardedDatabase::open(&out_dir).unwrap();
+    let rebuilt = sharded.to_database().unwrap();
+    assert_eq!(rebuilt.labels(), original.labels());
+    for i in 0..original.len() {
+        assert_eq!(rebuilt.bag(i).unwrap(), original.bag(i).unwrap());
+    }
+
+    // `milr snapshot` understands the directory form too.
+    let out = milr()
+        .args(["snapshot", "--in", out_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("12 images") && stdout.contains("4 shards"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compact_requires_out_for_monolithic_and_rejects_it_for_sharded() {
+    let dir = std::env::temp_dir().join("milr_cli_compact_args");
+    std::fs::remove_dir_all(&dir).ok();
+    let path = valid_snapshot(&dir);
+
+    // Monolithic input without --out: refused with a clear message.
+    let out = milr()
+        .args(["compact", "--in", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out is required"));
+
+    // Migrate, then compact the sharded form in place; --out now refused.
+    let out_dir = dir.join("db.v3");
+    let out = milr()
+        .args([
+            "compact",
+            "--in",
+            path.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--shard-bags",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = milr()
+        .args([
+            "compact",
+            "--in",
+            out_dir.to_str().unwrap(),
+            "--out",
+            dir.join("elsewhere").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("already sharded"));
+
+    let out = milr()
+        .args(["compact", "--in", out_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 tombstones dropped"));
     std::fs::remove_dir_all(&dir).ok();
 }

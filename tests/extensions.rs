@@ -4,9 +4,10 @@
 
 use milr::core::config::Preprocessing;
 use milr::core::features::color_image_to_bag;
-use milr::core::{eval, storage, QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr::core::storage::Store;
+use milr::core::{eval, QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase};
 use milr::imgproc::RegionLayout;
-use milr::mil::{ConstrainedSolver, WeightPolicy};
+use milr::mil::{Concept, ConstrainedSolver, WeightPolicy};
 use milr::synth::SceneDatabase;
 
 fn fast_config() -> RetrievalConfig {
@@ -37,7 +38,13 @@ fn run_and_score(
     pool: Vec<usize>,
     test: Vec<usize>,
 ) -> f64 {
-    let mut session = QuerySession::new(retrieval, config, target, pool, test).unwrap();
+    let mut session = QuerySession::builder(retrieval)
+        .config(config)
+        .target(target)
+        .pool(pool)
+        .test(test)
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     let relevant = eval::relevance(&ranking, retrieval.labels(), target);
     eval::average_precision(&relevant)
@@ -153,22 +160,28 @@ fn database_persistence_preserves_query_results() {
     let dir = std::env::temp_dir().join("milr_integration_storage");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("scenes_it.milrdb");
-    storage::save_database(&retrieval, &path).unwrap();
-    let reloaded = storage::load_database(&path).unwrap();
+    let store = Store::default();
+    store.save(&retrieval, &path).unwrap();
+    let reloaded = store.open::<RetrievalDatabase>(&path).unwrap();
 
     let split = db.split(0.4, 8);
     let target = db.category_index("lake").unwrap();
     // Same session against both databases must give identical rankings.
-    let mut s1 = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut s1 = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
     let r1 = s1.run().unwrap();
-    let mut s2 = QuerySession::new(&reloaded, &config, target, split.pool, split.test).unwrap();
+    let mut s2 = QuerySession::builder(&reloaded)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
+        .unwrap();
     let r2 = s2.run().unwrap();
     assert_eq!(r1, r2, "persistence must not perturb any query result");
     std::fs::remove_file(path).ok();
@@ -181,20 +194,30 @@ fn concept_persistence_round_trips_through_training() {
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
     let split = db.split(0.4, 9);
     let target = db.category_index("mountain").unwrap();
-    let mut session =
-        QuerySession::new(&retrieval, &config, target, split.pool, split.test.clone()).unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test.clone())
+        .build()
+        .unwrap();
     session.run_round().unwrap();
     let concept = session.concept().unwrap();
 
     let dir = std::env::temp_dir().join("milr_integration_storage");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("mountain_it.concept");
-    storage::save_concept(concept, &path).unwrap();
-    let reloaded = storage::load_concept(&path).unwrap();
+    let store = Store::default();
+    store.save(concept, &path).unwrap();
+    let reloaded = store.open::<Concept>(&path).unwrap();
     assert_eq!(&reloaded, concept);
     assert_eq!(
-        retrieval.rank(concept, &split.test).unwrap(),
-        retrieval.rank(&reloaded, &split.test).unwrap()
+        retrieval
+            .rank(concept, &RankRequest::over(split.test.clone()))
+            .unwrap(),
+        retrieval
+            .rank(&reloaded, &RankRequest::over(split.test.clone()))
+            .unwrap()
     );
     std::fs::remove_file(path).ok();
 }

@@ -44,7 +44,13 @@ fn train_concept(
     policy: WeightPolicy,
 ) -> (milr::mil::Concept, f64) {
     let cfg = micro_config(policy);
-    let mut session = QuerySession::new(db, &cfg, target, pool.to_vec(), test.to_vec()).unwrap();
+    let mut session = QuerySession::builder(db)
+        .config(&cfg)
+        .target(target)
+        .pool(pool.to_vec())
+        .test(test.to_vec())
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     let relevant = eval::relevance(&ranking, db.labels(), target);
     let ap = eval::average_precision(&relevant);
@@ -123,7 +129,13 @@ fn start_subset_preserves_quality() {
             start_bags: bags,
             ..micro_config(WeightPolicy::Identical)
         };
-        let mut session = QuerySession::new(&db, &cfg, target, pool.clone(), test.clone()).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(target)
+            .pool(pool.clone())
+            .test(test.clone())
+            .build()
+            .unwrap();
         let ranking = session.run().unwrap();
         let relevant = eval::relevance(&ranking, db.labels(), target);
         eval::average_precision(&relevant)

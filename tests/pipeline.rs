@@ -36,8 +36,13 @@ fn scene_retrieval_beats_random() {
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
     let split = db.split(0.34, 5);
     let target = db.category_index("waterfall").unwrap();
-    let mut session =
-        QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     let relevant = eval::relevance(&ranking, retrieval.labels(), target);
     let auc = eval::recall_auc(&relevant);
@@ -61,8 +66,13 @@ fn object_retrieval_beats_random() {
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
     let split = db.split(0.4, 6);
     let target = db.category_index("car").unwrap();
-    let mut session =
-        QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool)
+        .test(split.test)
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     let relevant = eval::relevance(&ranking, retrieval.labels(), target);
     let ap = eval::average_precision(&relevant);
@@ -86,14 +96,13 @@ fn feedback_rounds_do_not_hurt() {
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
     let split = db.split(0.4, 9);
     let target = db.category_index("sunset").unwrap();
-    let mut session = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
 
     let precision_at = |ranking: &[(usize, f64)], k: usize| {
         ranking
@@ -139,8 +148,13 @@ fn all_policies_produce_valid_concepts_on_images() {
         };
         let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
         let split = db.split(0.5, 8);
-        let mut session =
-            QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+        let mut session = QuerySession::builder(&retrieval)
+            .config(&config)
+            .target(target)
+            .pool(split.pool)
+            .test(split.test)
+            .build()
+            .unwrap();
         session.run_round().unwrap();
         let concept = session.concept().expect("trained");
         assert_eq!(concept.dim(), config.feature_dim());
@@ -180,8 +194,13 @@ fn full_pipeline_is_deterministic() {
         let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
         let split = db.split(0.34, 2);
         let target = db.category_index("lake").unwrap();
-        let mut session =
-            QuerySession::new(&retrieval, &config, target, split.pool, split.test).unwrap();
+        let mut session = QuerySession::builder(&retrieval)
+            .config(&config)
+            .target(target)
+            .pool(split.pool)
+            .test(split.test)
+            .build()
+            .unwrap();
         session.run().unwrap()
     };
     let a = run();
@@ -204,14 +223,13 @@ fn concept_localises_the_matching_region() {
     let retrieval = RetrievalDatabase::from_labelled_images(db.gray_images(), &config).unwrap();
     let split = db.split(0.4, 4);
     let target = db.category_index("waterfall").unwrap();
-    let mut session = QuerySession::new(
-        &retrieval,
-        &config,
-        target,
-        split.pool.clone(),
-        split.test.clone(),
-    )
-    .unwrap();
+    let mut session = QuerySession::builder(&retrieval)
+        .config(&config)
+        .target(target)
+        .pool(split.pool.clone())
+        .test(split.test.clone())
+        .build()
+        .unwrap();
     session.run_round().unwrap();
     let concept = session.concept().unwrap();
     for &i in &split.test {

@@ -6,6 +6,7 @@ use milr::imgproc::normalize::{weighted_sq_distance, NormalizedVector};
 use milr::mil::{Bag, BagLabel, DdObjective, MilDataset, Parameterization};
 use milr::optim::numdiff::gradient_error;
 use milr::optim::{BoxSumProjection, Project};
+use milr::prelude::RankRequest;
 use proptest::prelude::*;
 
 /// Strategy: a non-flat feature vector of length `n` with values in a
@@ -413,11 +414,14 @@ proptest! {
 
         let concept = Concept::new(point, w);
         let candidates: Vec<usize> = (0..serial.len()).collect();
-        let reference = serial.rank(&concept, &candidates).unwrap();
-        let ranked = pooled.rank(&concept, &candidates).unwrap();
+        let request = RankRequest::over(candidates.clone());
+        let reference = serial.rank(&concept, &request).unwrap();
+        let ranked = pooled.rank(&concept, &request).unwrap();
         prop_assert_eq!(&ranked, &reference);
         for k in [0, 1, reference.len() / 2, reference.len(), reference.len() + 3] {
-            let top = pooled.rank_top_k(&concept, &candidates, k).unwrap();
+            let top = pooled
+                .rank(&concept, &RankRequest::over(candidates.clone()).top(k))
+                .unwrap();
             prop_assert_eq!(&top[..], &reference[..k.min(reference.len())]);
         }
     }

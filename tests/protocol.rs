@@ -1,7 +1,7 @@
 //! Invariants of the §4.1 evaluation protocol, including determinism of
 //! the parallel multi-start across thread counts.
 
-use milr::core::{QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr::core::{QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase};
 use milr::imgproc::RegionLayout;
 use milr::mil::WeightPolicy;
 use milr::synth::SceneDatabase;
@@ -37,7 +37,13 @@ fn scenario() -> (RetrievalDatabase, Vec<usize>, Vec<usize>, usize) {
 fn protocol_runs_the_configured_rounds_and_grows_negatives() {
     let (db, pool, test, target) = scenario();
     let cfg = config(1);
-    let mut session = QuerySession::new(&db, &cfg, target, pool, test).unwrap();
+    let mut session = QuerySession::builder(&db)
+        .config(&cfg)
+        .target(target)
+        .pool(pool)
+        .test(test)
+        .build()
+        .unwrap();
     let initial_negatives = session.negatives().len();
     session.run().unwrap();
     assert_eq!(session.rounds_run(), 3);
@@ -55,7 +61,13 @@ fn protocol_runs_the_configured_rounds_and_grows_negatives() {
 fn ranking_is_a_permutation_of_the_test_set() {
     let (db, pool, test, target) = scenario();
     let cfg = config(1);
-    let mut session = QuerySession::new(&db, &cfg, target, pool, test.clone()).unwrap();
+    let mut session = QuerySession::builder(&db)
+        .config(&cfg)
+        .target(target)
+        .pool(pool)
+        .test(test.clone())
+        .build()
+        .unwrap();
     let ranking = session.run().unwrap();
     let mut ranked: Vec<usize> = ranking.iter().map(|&(i, _)| i).collect();
     ranked.sort_unstable();
@@ -73,7 +85,13 @@ fn results_are_identical_across_thread_counts() {
     let (db, pool, test, target) = scenario();
     let run_with = |threads: usize| {
         let cfg = config(threads);
-        let mut session = QuerySession::new(&db, &cfg, target, pool.clone(), test.clone()).unwrap();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .target(target)
+            .pool(pool.clone())
+            .test(test.clone())
+            .build()
+            .unwrap();
         let ranking = session.run().unwrap();
         (ranking, session.nldd())
     };
@@ -90,12 +108,20 @@ fn results_are_identical_across_thread_counts() {
 fn pool_and_test_rankings_use_the_same_concept() {
     let (db, pool, test, target) = scenario();
     let cfg = config(1);
-    let mut session = QuerySession::new(&db, &cfg, target, pool.clone(), test).unwrap();
+    let mut session = QuerySession::builder(&db)
+        .config(&cfg)
+        .target(target)
+        .pool(pool.clone())
+        .test(test)
+        .build()
+        .unwrap();
     session.run_round().unwrap();
     // rank_pool must agree with manually ranking the pool through the
     // concept accessor.
-    let via_session = session.rank_pool().unwrap();
-    let via_concept = db.rank(session.concept().unwrap(), &pool).unwrap();
+    let via_session = session.rank(&RankRequest::pool()).unwrap();
+    let via_concept = db
+        .rank(session.concept().unwrap(), &RankRequest::over(pool.clone()))
+        .unwrap();
     assert_eq!(via_session, via_concept);
 }
 
@@ -103,7 +129,13 @@ fn pool_and_test_rankings_use_the_same_concept() {
 fn later_rounds_never_lose_examples() {
     let (db, pool, test, target) = scenario();
     let cfg = config(1);
-    let mut session = QuerySession::new(&db, &cfg, target, pool, test).unwrap();
+    let mut session = QuerySession::builder(&db)
+        .config(&cfg)
+        .target(target)
+        .pool(pool)
+        .test(test)
+        .build()
+        .unwrap();
     let mut last_negatives = session.negatives().len();
     for _ in 0..3 {
         session.run_round().unwrap();
