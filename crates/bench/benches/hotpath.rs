@@ -1,10 +1,12 @@
 //! Hot-path head-to-head benchmarks: the contiguous flat-buffer DD
-//! kernels vs the legacy slice-of-slices objective, and pruned vs
-//! unpruned bag ranking.
+//! kernels vs the legacy slice-of-slices objective, pruned vs unpruned
+//! bag ranking, the unrolled distance kernel vs a sequential scalar
+//! loop, and the quantized screened scan vs the exact bounded scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milr_mil::{
-    Bag, BagLabel, Concept, DdObjective, LegacyDdObjective, MilDataset, Parameterization,
+    Bag, BagLabel, Concept, DdObjective, FlatBags, LegacyDdObjective, MilDataset,
+    Parameterization, ScreenScratch, ScreenStats,
 };
 use milr_optim::Objective;
 
@@ -129,5 +131,121 @@ fn bench_pruned_vs_naive_rank(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flat_vs_legacy, bench_pruned_vs_naive_rank);
+/// The tentpole kernel head-to-head: the canonical 4-lane unrolled
+/// weighted-distance kernel (with runtime SIMD dispatch) against the
+/// textbook sequential scalar loop it replaced.
+fn bench_unrolled_vs_scalar(c: &mut Criterion) {
+    let dim = 100;
+    let concept = Concept::new(
+        (0..dim).map(|i| (i as f64 * 0.37).sin() * 2.0).collect(),
+        (0..dim).map(|i| 0.1 + (i % 5) as f64 * 0.45).collect(),
+    );
+    let instances: Vec<Vec<f32>> = (0..64)
+        .map(|j| {
+            (0..dim)
+                .map(|k| (((j * 7919 + k * 104729) % 1000) as f32 / 250.0) - 2.0)
+                .collect()
+        })
+        .collect();
+
+    let scalar = |inst: &[f32]| -> f64 {
+        let mut acc = 0.0f64;
+        for ((&p, &w), &x) in concept.point().iter().zip(concept.weights()).zip(inst) {
+            let d = p - f64::from(x);
+            acc += w * d * d;
+        }
+        acc
+    };
+
+    let mut group = c.benchmark_group("kernel_weighted_distance");
+    group.bench_function("scalar_sequential", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for inst in &instances {
+                sum += std::hint::black_box(scalar(inst));
+            }
+            sum
+        })
+    });
+    group.bench_function("unrolled_dispatch", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for inst in &instances {
+                sum += std::hint::black_box(concept.instance_distance_sq(inst));
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+/// The quantized two-tier scan vs the exact bounded scan it screens
+/// for, under a tight top-k-style bound — the shape of the sharded
+/// store's per-shard hot loop once the shared threshold has converged.
+fn bench_quantized_vs_exact(c: &mut Criterion) {
+    let dim = 100;
+    let mut flat = FlatBags::new(dim);
+    for bag_seed in 0..100usize {
+        let instances: Vec<Vec<f32>> = (0..24)
+            .map(|j| {
+                (0..dim)
+                    .map(|k| {
+                        (((bag_seed * 613 + j * 7919 + k * 104729) % 1000) as f32 / 250.0) - 2.0
+                    })
+                    .collect()
+            })
+            .collect();
+        flat.push_bag(&Bag::new(instances).unwrap());
+    }
+    let concept = Concept::new(
+        flat.instances(0).next().unwrap().iter().map(|&v| f64::from(v)).collect(),
+        (0..dim).map(|i| 0.5 + (i % 7) as f64 * 0.2).collect(),
+    );
+    let query = flat.quant_query(&concept);
+    let mut exact: Vec<f64> = (0..flat.bag_count())
+        .map(|b| flat.min_distance_sq(&concept, b))
+        .collect();
+    exact.sort_by(f64::total_cmp);
+    let bound = exact[16];
+
+    let mut group = c.benchmark_group("scan_100_bags_topk_bound");
+    group.bench_function("exact_bounded", |b| {
+        b.iter(|| {
+            let mut kept = 0u32;
+            for bag in 0..flat.bag_count() {
+                if flat.min_distance_sq_below(&concept, bag, bound).is_some() {
+                    kept += 1;
+                }
+            }
+            std::hint::black_box(kept)
+        })
+    });
+    group.bench_function("quantized_screened", |b| {
+        let mut stats = ScreenStats::default();
+        let mut scratch = ScreenScratch::default();
+        b.iter(|| {
+            let mut kept = 0u32;
+            for bag in 0..flat.bag_count() {
+                if flat
+                    .min_distance_sq_below_screened(
+                        &concept, &query, bag, bound, &mut stats, &mut scratch,
+                    )
+                    .is_some()
+                {
+                    kept += 1;
+                }
+            }
+            std::hint::black_box(kept)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flat_vs_legacy,
+    bench_pruned_vs_naive_rank,
+    bench_unrolled_vs_scalar,
+    bench_quantized_vs_exact
+);
 criterion_main!(benches);

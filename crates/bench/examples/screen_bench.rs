@@ -1,0 +1,82 @@
+use milr_mil::kernel::*;
+use std::time::Instant;
+
+fn main() {
+    let dim = 100usize;
+    let n = 4000usize;
+    let mut state = 12345u64;
+    let mut next = || { state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5 };
+    let point: Vec<f64> = (0..dim).map(|_| next() * 20.0).collect();
+    let weights: Vec<f64> = (0..dim).map(|_| next().abs() * 3.0 + 0.01).collect();
+    let data: Vec<f32> = (0..n * dim).map(|_| (next() * 20.0) as f32).collect();
+    let mut codes = vec![0i8; n * dim];
+    let mut params = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    for i in 0..n {
+        buf.clear();
+        let p = quantize_instance(&data[i * dim..(i + 1) * dim], &mut buf);
+        codes[i * dim..(i + 1) * dim].copy_from_slice(&buf);
+        params.push(p);
+    }
+    let max_bias = params.iter().map(|p| p.bias.abs()).fold(0.0f32, f32::max);
+    let max_scale = params.iter().map(|p| p.scale).fold(0.0f32, f32::max);
+    let query = QuantQuery::new(&point, &weights, max_bias, max_scale);
+
+    // Full-scan throughput, no early abandon on either side.
+    let mut best = f64::INFINITY;
+    for _ in 0..9 {
+        let t = Instant::now();
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += weighted_distance_sq(&point, &weights, &data[i * dim..(i + 1) * dim]);
+        }
+        std::hint::black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("exact full-scan:  {:.1} us", best * 1e6);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..9 {
+        let t = Instant::now();
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            let p = params[i];
+            acc += screen_sum(&query, &codes[i * dim..(i + 1) * dim], p.bias, p.scale);
+        }
+        std::hint::black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("screen full-scan: {:.1} us", best * 1e6);
+
+    // Bounded: exact with tight bound vs screen_skips with tight threshold.
+    let exact: Vec<f64> = (0..n).map(|i| weighted_distance_sq(&point, &weights, &data[i * dim..(i + 1) * dim])).collect();
+    let mut sorted = exact.clone();
+    sorted.sort_by(f64::total_cmp);
+    let bound = sorted[16]; // like a filled top-k heap
+    let mut best = f64::INFINITY;
+    for _ in 0..9 {
+        let t = Instant::now();
+        let mut kept = 0u32;
+        for i in 0..n {
+            if weighted_distance_sq_below(&point, &weights, &data[i * dim..(i + 1) * dim], bound).is_some() { kept += 1; }
+        }
+        std::hint::black_box(kept);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("exact bounded:    {:.1} us", best * 1e6);
+
+    let sq = query.sqrt_bound(bound);
+    let mut best = f64::INFINITY;
+    for _ in 0..9 {
+        let t = Instant::now();
+        let mut skipped = 0u32;
+        for i in 0..n {
+            let p = params[i];
+            let th = query.threshold_with(sq, p.radius);
+            if screen_skips(&query, &codes[i * dim..(i + 1) * dim], p.bias, p.scale, th) { skipped += 1; }
+        }
+        std::hint::black_box(skipped);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("screen bounded:   {:.1} us ", best * 1e6);
+}

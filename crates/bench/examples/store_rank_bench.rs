@@ -1,0 +1,184 @@
+//! Diagnostic: store-level exact vs screened top-k ranking on the real
+//! Quick-scale scene database, with enough repetitions to see through
+//! scheduler noise. Prints min / median per-call times.
+
+use std::time::Instant;
+
+use milr_bench::{scene_database, Scale};
+use milr_core::{RankRequest, RetrievalConfig, RetrievalDatabase};
+use milr_mil::Concept;
+
+fn stats(name: &str, mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let min = samples[0];
+    let med = samples[samples.len() / 2];
+    println!("{name:<22} min {:>8.1} us   median {:>8.1} us", min * 1e6, med * 1e6);
+    med
+}
+
+fn main() {
+    let db_src = scene_database(Scale::Quick, 0);
+    let config = RetrievalConfig::default();
+    let db =
+        RetrievalDatabase::from_labelled_images(db_src.gray_images(), &config).unwrap();
+    let dim = db.feature_dim();
+    // A concept like the trained one: an instance of bag 0 as the ideal
+    // point, mild non-uniform weights.
+    let point: Vec<f64> = db
+        .bag(0)
+        .unwrap()
+        .instances()
+        .next()
+        .unwrap()
+        .iter()
+        .map(|&v| f64::from(v))
+        .collect();
+    let weights: Vec<f64> = (0..dim).map(|j| 0.5 + (j % 7) as f64 * 0.2).collect();
+    let concept = Concept::new(point, weights);
+
+    let dir = std::env::temp_dir()
+        .join("milr_store_rank_bench")
+        .join(format!("{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let capacity = db.len().div_ceil(4).max(1);
+    let store = milr_store::ShardedDatabase::from_database(&db, &dir, capacity).unwrap();
+
+    let top = RankRequest::all().top(16);
+    assert_eq!(
+        store.rank(&concept, &top).unwrap(),
+        store.rank_exact(&concept, &top).unwrap()
+    );
+
+    const REPS: usize = 200;
+    const BATCH: usize = 10;
+    let time = |f: &mut dyn FnMut()| -> Vec<f64> {
+        (0..REPS)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..BATCH {
+                    f();
+                }
+                t.elapsed().as_secs_f64() / BATCH as f64
+            })
+            .collect()
+    };
+
+    let exact_topk = stats(
+        "exact sharded top-k",
+        time(&mut || {
+            std::hint::black_box(store.rank_exact(&concept, &top).unwrap());
+        }),
+    );
+    let quant_topk = stats(
+        "quant sharded top-k",
+        time(&mut || {
+            std::hint::black_box(store.rank(&concept, &top).unwrap());
+        }),
+    );
+    let exact_full = stats(
+        "exact sharded full",
+        time(&mut || {
+            std::hint::black_box(store.rank_exact(&concept, &RankRequest::all()).unwrap());
+        }),
+    );
+    let quant_full = stats(
+        "quant sharded full",
+        time(&mut || {
+            std::hint::black_box(store.rank(&concept, &RankRequest::all()).unwrap());
+        }),
+    );
+    println!(
+        "\ntop-k screen speedup: {:.2}x   full screen speedup: {:.2}x",
+        exact_topk / quant_topk,
+        exact_full / quant_full
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ---- Tier breakdown over one flat store with a fixed top-k-tight
+    // bound: where does the screened scan actually spend its time?
+    let mut flat = milr_mil::FlatBags::new(dim);
+    for i in 0..db.len() {
+        flat.push_bag(db.bag(i).unwrap());
+    }
+    let query = flat.quant_query(&concept);
+    let exact_per_bag: Vec<f64> = (0..flat.bag_count())
+        .map(|b| flat.min_distance_sq(&concept, b))
+        .collect();
+    let mut sorted = exact_per_bag.clone();
+    sorted.sort_by(f64::total_cmp);
+    let bound = sorted[16.min(sorted.len() - 1)];
+
+    let exact_scan = stats(
+        "flat exact bounded",
+        time(&mut || {
+            let mut kept = 0u32;
+            for b in 0..flat.bag_count() {
+                if flat.min_distance_sq_below(&concept, b, bound).is_some() {
+                    kept += 1;
+                }
+            }
+            std::hint::black_box(kept);
+        }),
+    );
+    let screened_scan = stats(
+        "flat screened bounded",
+        time(&mut || {
+            let mut kept = 0u32;
+            let mut s = milr_mil::ScreenStats::default();
+            let mut scratch = milr_mil::ScreenScratch::default();
+            for b in 0..flat.bag_count() {
+                if flat
+                    .min_distance_sq_below_screened(&concept, &query, b, bound, &mut s, &mut scratch)
+                    .is_some()
+                {
+                    kept += 1;
+                }
+            }
+            std::hint::black_box((kept, s));
+        }),
+    );
+    let mut s = milr_mil::ScreenStats::default();
+    let mut scratch = milr_mil::ScreenScratch::default();
+    for b in 0..flat.bag_count() {
+        std::hint::black_box(
+            flat.min_distance_sq_below_screened(&concept, &query, b, bound, &mut s, &mut scratch),
+        );
+    }
+    println!(
+        "flat screened/exact: {:.2}x   screen stats per scan: {s:?}",
+        exact_scan / screened_scan
+    );
+
+    // Histogram: at which 16-dim checkpoint does each screened instance
+    // cross its threshold? (Approximate: f64 cumulative sums in
+    // dimension order.)
+    let query2 = flat.quant_query(&concept);
+    let sq = query2.sqrt_bound(bound);
+    let mut hist = [0usize; 16];
+    let mut survive = 0usize;
+    for b in 0..flat.bag_count() {
+        let span = flat.span(b);
+        for j in 0..span.len {
+            let p = flat.quant_params()[span.offset + j];
+            let th = query2.threshold_with(sq, p.radius);
+            let codes = &flat.quant_codes()
+                [(span.offset + j) * dim..(span.offset + j + 1) * dim];
+            let mut cum = 0.0f64;
+            let mut crossed = None;
+            for (i, &q) in codes.iter().enumerate() {
+                let d = (f64::from(query2.point32()[i]) - f64::from(p.bias))
+                    - f64::from(p.scale) * f64::from(q);
+                cum += f64::from(concept.weights()[i] as f32) * d * d;
+                if (i + 1) % 16 == 0 && cum >= th {
+                    crossed = Some((i + 1) / 16 - 1);
+                    break;
+                }
+            }
+            match crossed {
+                Some(c) => hist[c.min(15)] += 1,
+                None => survive += 1,
+            }
+        }
+    }
+    println!("checkpoint crossing histogram (16-dim buckets): {hist:?}  survivors~{survive}");
+}

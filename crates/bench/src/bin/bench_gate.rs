@@ -13,6 +13,12 @@
 //!   fan-out. Always enforced.
 //! * `loadgen` must complete with zero hard errors and at least one
 //!   request per client. Always enforced.
+//! * The quantized two-tier ranker must pay for itself in absolute
+//!   terms, same machine, same run: `rank_sharded_top_k` speedup must
+//!   be at least 1.0 (the shared scatter threshold may not make sharded
+//!   top-k slower than the naive reference) and `rank_quantized_top_k`
+//!   speedup at least 1.5 over the exact sharded top-k path. Always
+//!   enforced.
 //! * The end-to-end **speedup** (reference time / optimized time, both
 //!   measured on the *same* machine in the *same* run) must not fall more
 //!   than `--max-slowdown` (default 0.15) below the baseline's speedup.
@@ -200,6 +206,25 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
         lines.push("note: baseline has no sharded_rank_speedup; skipping that check".into());
     }
 
+    // 5. The quantized tier and the shared scatter threshold must pay
+    // for themselves on this machine, this run — absolute floors, not
+    // baseline-relative, because both sides of each ratio come from the
+    // same process.
+    let sharded_topk = number(perf, &["phases", "rank_sharded_top_k", "speedup"]).unwrap_or(0.0);
+    check(
+        &mut lines,
+        &mut passed,
+        sharded_topk >= 1.0,
+        format!("rank_sharded_top_k speedup {sharded_topk:.3}x >= 1.0x"),
+    );
+    let quant_topk = number(perf, &["phases", "rank_quantized_top_k", "speedup"]).unwrap_or(0.0);
+    check(
+        &mut lines,
+        &mut passed,
+        quant_topk >= 1.5,
+        format!("rank_quantized_top_k speedup {quant_topk:.3}x >= 1.5x"),
+    );
+
     Report {
         passed,
         text: lines.join("\n"),
@@ -210,6 +235,7 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
 fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
     let sharded = number(perf, &["phases", "rank_sharded_full", "speedup"]).unwrap_or(0.0);
+    let quantized = number(perf, &["phases", "rank_quantized_top_k", "speedup"]).unwrap_or(0.0);
     let shards = number(perf, &["shard_count"]).unwrap_or(0.0);
     let cores = number(perf, &["cores"]).unwrap_or(0.0);
     let scale = perf
@@ -221,7 +247,8 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let p99 = number(loadgen, &["latency_us", "p99"]).unwrap_or(0.0);
     format!(
         "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \
-         \"sharded_rank_speedup\": {sharded:.3}, \"shard_count\": {shards}, \
+         \"sharded_rank_speedup\": {sharded:.3}, \
+         \"quantized_rank_speedup\": {quantized:.3}, \"shard_count\": {shards}, \
          \"cores\": {cores}, \"scale\": \"{scale}\" }},\n  \
          \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99} }}\n}}\n"
     )
@@ -274,7 +301,9 @@ mod tests {
             "{{ \"ranking_identical\": {identical}, \"sharded_identical\": {identical}, \
                \"shard_count\": 4, \"cores\": {cores}, \
                \"end_to_end\": {{ \"speedup\": {speedup} }}, \
-               \"phases\": {{ \"rank_sharded_full\": {{ \"speedup\": {speedup} }} }} }}"
+               \"phases\": {{ \"rank_sharded_full\": {{ \"speedup\": {speedup} }}, \
+                 \"rank_sharded_top_k\": {{ \"speedup\": 1.4 }}, \
+                 \"rank_quantized_top_k\": {{ \"speedup\": 1.7 }} }} }}"
         ))
         .unwrap();
         let loadgen = Json::parse(&format!(
@@ -336,6 +365,35 @@ mod tests {
         assert!(!gate(&b, &p, &l, -0.5).passed);
     }
 
+    /// A healthy perf artifact with explicit top-k phase speedups.
+    fn perf_with_topk(sharded_topk: f64, quant_topk: f64) -> Json {
+        Json::parse(&format!(
+            "{{ \"ranking_identical\": true, \"sharded_identical\": true, \
+               \"shard_count\": 4, \"cores\": 8, \
+               \"end_to_end\": {{ \"speedup\": 3.0 }}, \
+               \"phases\": {{ \"rank_sharded_full\": {{ \"speedup\": 3.0 }}, \
+                 \"rank_sharded_top_k\": {{ \"speedup\": {sharded_topk} }}, \
+                 \"rank_quantized_top_k\": {{ \"speedup\": {quant_topk} }} }} }}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fails_when_shared_threshold_loses_to_naive() {
+        let (b, _, l) = fixture(3.0, 8, true, 0);
+        let report = gate(&b, &perf_with_topk(0.9, 1.7), &l, 0.15);
+        assert!(!report.passed);
+        assert!(report.text.contains("FAIL rank_sharded_top_k"), "{}", report.text);
+    }
+
+    #[test]
+    fn fails_when_quantized_tier_underperforms() {
+        let (b, _, l) = fixture(3.0, 8, true, 0);
+        let report = gate(&b, &perf_with_topk(1.4, 1.2), &l, 0.15);
+        assert!(!report.passed);
+        assert!(report.text.contains("FAIL rank_quantized_top_k"), "{}", report.text);
+    }
+
     #[test]
     fn baseline_extraction_round_trips() {
         let (_, p, _) = fixture(3.0, 8, true, 0);
@@ -347,6 +405,7 @@ mod tests {
         let text = extract_baseline(&p, &l);
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(number(&parsed, &["perf", "end_to_end_speedup"]), Some(3.0));
+        assert_eq!(number(&parsed, &["perf", "quantized_rank_speedup"]), Some(1.7));
         assert_eq!(number(&parsed, &["loadgen", "throughput_rps"]), Some(512.5));
     }
 }

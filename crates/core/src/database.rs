@@ -302,7 +302,11 @@ impl RetrievalDatabase {
     /// An unbounded request (`top_k: None`) scores every candidate in
     /// parallel and sorts; a bounded request returns exactly the full
     /// ranking truncated to `k`, computed with the pruned scan. Output is
-    /// identical for any `threads` value.
+    /// identical for any `threads` value. Every distance bottoms out in
+    /// the canonical unrolled kernel (`milr_mil::kernel`), the same one
+    /// the sharded store's quantized-screened path re-scores with — so
+    /// monolithic, sharded, and screened rankings agree bit for bit
+    /// (DESIGN.md §10).
     ///
     /// # Errors
     /// * [`CoreError::IndexOutOfBounds`] if any candidate index is

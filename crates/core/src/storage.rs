@@ -183,15 +183,37 @@ impl<R: Read> Stream<'_, R> {
         expected_kind: u8,
         expected_version: u32,
     ) -> Result<(), CoreError> {
+        self.read_header_any(expected_kind, &[expected_version])
+            .map(|_| ())
+    }
+
+    /// [`Self::read_header`] accepting any of several format versions,
+    /// returning the one found — how readers of multi-version formats
+    /// (the sharded snapshot store reads both v3 and v4) dispatch on the
+    /// version actually on disk.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on wrong magic, a version outside
+    /// `accepted_versions`, or the wrong payload kind.
+    pub fn read_header_any(
+        &mut self,
+        expected_kind: u8,
+        accepted_versions: &[u32],
+    ) -> Result<u32, CoreError> {
         let mut magic = [0u8; 4];
         self.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(self.fail("not a milr storage file (bad magic)"));
         }
         let version = self.read_u32()?;
-        if version != expected_version {
+        if !accepted_versions.contains(&version) {
+            let expected = accepted_versions
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(" or ");
             return Err(self.fail(format!(
-                "unsupported format version {version} (expected {expected_version})"
+                "unsupported format version {version} (expected {expected})"
             )));
         }
         let mut kind = [0u8; 1];
@@ -202,7 +224,7 @@ impl<R: Read> Stream<'_, R> {
                 kind[0]
             )));
         }
-        Ok(())
+        Ok(version)
     }
 
     /// Reads the trailing checksum (raw, not folded into the hash) and
@@ -678,6 +700,32 @@ mod tests {
             .open::<RetrievalDatabase>(&path)
             .unwrap_err();
         assert_storage_err(err, "future_version.milr", "version");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn multi_version_header_reads_report_the_version_found() {
+        let path = temp_path("multi_version.milr");
+        for version in [3u32, 4] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&version.to_le_bytes());
+            bytes.push(DB_KIND);
+            std::fs::write(&path, bytes).unwrap();
+            let file = OsFs.reader(&path).unwrap();
+            let mut r = Stream::new(BufReader::new(file), &path);
+            assert_eq!(r.read_header_any(DB_KIND, &[3, 4]).unwrap(), version);
+        }
+        // A version outside the accepted set still fails, naming both.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.push(DB_KIND);
+        std::fs::write(&path, bytes).unwrap();
+        let file = OsFs.reader(&path).unwrap();
+        let mut r = Stream::new(BufReader::new(file), &path);
+        let err = r.read_header_any(DB_KIND, &[3, 4]).unwrap_err();
+        assert_storage_err(err, "multi_version.milr", "3 or 4");
         std::fs::remove_file(path).ok();
     }
 

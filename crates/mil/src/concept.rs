@@ -7,6 +7,7 @@
 //! its instances to the point, and then picks the smallest one.)" (§3.5).
 
 use crate::bag::Bag;
+use crate::kernel;
 
 /// A trained Diverse Density concept.
 ///
@@ -63,60 +64,36 @@ impl Concept {
         self.point.len()
     }
 
-    /// Weighted squared distance from the ideal point to one instance.
+    /// Weighted squared distance from the ideal point to one instance,
+    /// computed by the canonical [`kernel::weighted_distance_sq`]
+    /// 4-lane unrolled kernel. Every ranking path in the workspace —
+    /// pruned, flat, sharded, quantized-screened — bottoms out in the
+    /// same kernel, so "bit-identical ranking" holds by construction.
     ///
     /// # Panics
     /// Panics if the instance dimension differs from the concept's.
     pub fn instance_distance_sq(&self, instance: &[f32]) -> f64 {
         assert_eq!(instance.len(), self.dim(), "instance has wrong dimension");
-        self.point
-            .iter()
-            .zip(instance)
-            .zip(&self.weights)
-            .map(|((&t, &b), &w)| {
-                let d = t - f64::from(b);
-                w * d * d
-            })
-            .sum()
+        kernel::weighted_distance_sq(&self.point, &self.weights, instance)
     }
 
     /// Partial-distance pruned variant: returns `Some(d)` iff the full
     /// weighted distance is strictly below `bound`, abandoning the
     /// instance as soon as the running sum reaches the bound.
     ///
-    /// Every term `w·d²` is non-negative, so the running sum is
-    /// monotonically non-decreasing: `partial ≥ bound` already implies
-    /// `final ≥ bound`, and abandoning can never change which instances
-    /// beat the bound. Accumulation is strictly sequential in dimension
-    /// order — the same order as [`Self::instance_distance_sq`] — so a
-    /// returned distance is **bit-identical** to the unpruned value.
+    /// Every term `w·d²` is non-negative, so each accumulator lane of
+    /// the kernel is monotonically non-decreasing: a combined partial
+    /// sum at or past the bound already proves the final sum is too, and
+    /// abandoning can never change which instances beat the bound. The
+    /// lanes accumulate in exactly the same order as
+    /// [`Self::instance_distance_sq`], so a returned distance is
+    /// **bit-identical** to the unpruned value.
     ///
     /// # Panics
     /// Panics if the instance dimension differs from the concept's.
     pub fn instance_distance_sq_below(&self, instance: &[f32], bound: f64) -> Option<f64> {
         assert_eq!(instance.len(), self.dim(), "instance has wrong dimension");
-        // Check the bound every PRUNE_STRIDE dimensions: often enough to
-        // abandon hopeless instances early, rarely enough that the
-        // comparison cost stays negligible.
-        const PRUNE_STRIDE: usize = 8;
-        let k = self.point.len();
-        // Reslice every operand to `k` so the indexing below is provably
-        // in-bounds and the checks vanish from the hot loop.
-        let (point, weights, instance) = (&self.point[..k], &self.weights[..k], &instance[..k]);
-        let mut acc = 0.0f64;
-        let mut i = 0;
-        while i < k {
-            let stop = (i + PRUNE_STRIDE).min(k);
-            while i < stop {
-                let d = point[i] - f64::from(instance[i]);
-                acc += weights[i] * d * d;
-                i += 1;
-            }
-            if acc >= bound {
-                return None;
-            }
-        }
-        Some(acc)
+        kernel::weighted_distance_sq_below(&self.point, &self.weights, instance, bound)
     }
 
     /// Distance from a bag to the ideal point: the minimum over its

@@ -17,6 +17,7 @@
 
 use crate::bag::{Bag, MilDataset};
 use crate::concept::Concept;
+use crate::kernel::{self, QuantParams, QuantQuery};
 
 /// Location of one bag inside a [`FlatDataset`] buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +130,119 @@ impl FlatDataset {
     }
 }
 
+/// Per-instance counters of one screened bag scan: how many instances
+/// the quantized tier rejected outright versus re-scored exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenStats {
+    /// Instances the quantized lower bound proved hopeless — the exact
+    /// kernel never ran.
+    pub screened: u64,
+    /// Instances that survived the screen and were re-scored by the
+    /// exact kernel.
+    pub rescored: u64,
+}
+
+impl ScreenStats {
+    /// Folds another scan's counters into this one.
+    pub fn merge(&mut self, other: ScreenStats) {
+        self.screened += other.screened;
+        self.rescored += other.rescored;
+    }
+}
+
+/// Reusable buffers of a screened scan: per-instance screen thresholds
+/// and the fused kernel's survivor list. One scratch serves any number
+/// of [`FlatBags::min_distance_sq_below_screened`] calls — keep it
+/// alive across a whole shard scan so the buffers stop allocating after
+/// the largest bag.
+#[derive(Debug, Clone, Default)]
+pub struct ScreenScratch {
+    thresholds32: Vec<f32>,
+    survivors: Vec<u32>,
+    /// Bags left to scan exactly before re-probing the screen — set by
+    /// the adaptive gate after an ineffective screen (see
+    /// [`FlatBags::min_distance_sq_below_screened`]).
+    penalty: u32,
+    /// Consecutive ineffective screens; drives exponential backoff.
+    bad_streak: u32,
+}
+
+/// The quantized mirror of a [`FlatBags`] buffer: `i8` codes plus
+/// per-instance affine parameters, built incrementally as bags are
+/// pushed (or restored verbatim from a v4 shard file).
+#[derive(Debug, Clone, Default)]
+struct QuantTier {
+    /// `instance_count × dim` codes, instance-major like the `f32` data.
+    codes: Vec<i8>,
+    /// One affine `(scale, bias, radius)` triple per instance.
+    params: Vec<QuantParams>,
+    /// Tier-wide `max |bias|`, feeding the screen's magnitude bound.
+    max_abs_bias: f32,
+    /// Tier-wide `max scale`, feeding the screen's magnitude bound.
+    max_scale: f32,
+    /// Transposed group mirror of `codes` for the vectorized screen:
+    /// for every full group of [`kernel::SCREEN_GROUP`] consecutive
+    /// instances within one bag, the group's codes in dimension-major
+    /// order (8 consecutive codes are the members' values for one
+    /// dimension). Derived from `codes` — never persisted; a rebuilt
+    /// mirror is byte-identical.
+    gcodes: Vec<i8>,
+    /// Group members' biases, `SCREEN_GROUP` lanes per group.
+    gbias: Vec<f32>,
+    /// Group members' scales, `SCREEN_GROUP` lanes per group.
+    gscale: Vec<f32>,
+    /// Cumulative full-group counts at bag boundaries: bag `b`'s groups
+    /// are `group_start[b]..group_start[b + 1]` (empty until the bag's
+    /// groups are built; always `bag_count + 1` entries once built).
+    group_start: Vec<u32>,
+}
+
+impl QuantTier {
+    fn absorb(&mut self, p: QuantParams) {
+        self.max_abs_bias = self.max_abs_bias.max(p.bias.abs());
+        self.max_scale = self.max_scale.max(p.scale);
+        self.params.push(p);
+    }
+
+    /// Builds the transposed group mirror for one just-appended bag.
+    /// Must be called once per bag, in bag order, after the bag's codes
+    /// and params are in place. The bag's last group is padded up to
+    /// [`kernel::SCREEN_GROUP`] lanes with zero codes and parameters —
+    /// the screen phase gives pad lanes NaN thresholds (never screened)
+    /// and drops them from the survivor rescore, so every real instance
+    /// rides the transposed kernel and no per-instance tail remains.
+    fn build_groups(&mut self, span: BagSpan, dim: usize) {
+        if self.group_start.is_empty() {
+            self.group_start.push(0);
+        }
+        let mut groups = *self.group_start.last().expect("seeded above");
+        for g in 0..span.len.div_ceil(kernel::SCREEN_GROUP) {
+            let first = span.offset + g * kernel::SCREEN_GROUP;
+            let lanes = kernel::SCREEN_GROUP.min(span.offset + span.len - first);
+            for l in 0..kernel::SCREEN_GROUP {
+                let p = if l < lanes {
+                    self.params[first + l]
+                } else {
+                    QuantParams { scale: 0.0, bias: 0.0, radius: 0.0 }
+                };
+                self.gbias.push(p.bias);
+                self.gscale.push(p.scale);
+            }
+            for j in 0..dim {
+                for l in 0..kernel::SCREEN_GROUP {
+                    self.gcodes.push(if l < lanes {
+                        self.codes[(first + l) * dim + j]
+                    } else {
+                        0
+                    });
+                }
+            }
+            groups += 1;
+        }
+        self.group_start.push(groups);
+    }
+}
+
 /// Ranking-side flat storage: many bags packed into one contiguous
 /// `f32` buffer with per-bag spans — the in-memory layout of a sharded
 /// snapshot shard, loadable straight from disk with no per-bag
@@ -140,11 +254,19 @@ impl FlatDataset {
 /// directly — the exact kernel the monolithic ranking path runs, which
 /// is what makes scatter-gather rankings bit-identical to monolithic
 /// ones by construction.
+///
+/// Every store also maintains a quantized tier: an `i8` affine mirror
+/// of each instance (see [`kernel::quantize_instance`]) whose provable
+/// distance lower bound lets [`Self::min_distance_sq_below_screened`]
+/// reject hopeless instances without running the exact kernel. The tier
+/// is built incrementally on push — quantization is deterministic, so a
+/// rebuilt tier is byte-identical to a persisted one.
 #[derive(Debug, Clone, Default)]
 pub struct FlatBags {
     data: Vec<f32>,
     spans: Vec<BagSpan>,
     dim: usize,
+    quant: QuantTier,
 }
 
 impl FlatBags {
@@ -158,11 +280,12 @@ impl FlatBags {
             data: Vec::new(),
             spans: Vec::new(),
             dim,
+            quant: QuantTier::default(),
         }
     }
 
-    /// Appends one bag, copying its instances into the flat buffer.
-    /// Returns the bag's index.
+    /// Appends one bag, copying its instances into the flat buffer and
+    /// quantizing them into the tier. Returns the bag's index.
     ///
     /// # Panics
     /// Panics on a feature-dimension mismatch.
@@ -171,17 +294,24 @@ impl FlatBags {
         let offset = self.data.len() / self.dim;
         for instance in bag.instances() {
             self.data.extend_from_slice(instance);
+            let p = kernel::quantize_instance(instance, &mut self.quant.codes);
+            self.quant.absorb(p);
         }
-        self.spans.push(BagSpan {
+        let span = BagSpan {
             offset,
             len: bag.len(),
-        });
+        };
+        self.quant.build_groups(span, self.dim);
+        self.spans.push(span);
         self.spans.len() - 1
     }
 
     /// Appends one bag given as a raw flat slice of
     /// `instance_count × dim` values — the disk-load path, where the
-    /// shard file already holds the flat layout. Returns the bag's index.
+    /// shard file already holds the flat layout. Quantizes as it goes;
+    /// quantization is deterministic, so a v3 shard loaded through here
+    /// carries the exact tier a v4 shard persists. Returns the bag's
+    /// index.
     ///
     /// # Panics
     /// Panics if `instances` is empty or not a multiple of `dim`.
@@ -191,12 +321,91 @@ impl FlatBags {
             "flat bag data must be a non-empty multiple of the dimension"
         );
         let offset = self.data.len() / self.dim;
-        self.spans.push(BagSpan {
+        let span = BagSpan {
             offset,
             len: instances.len() / self.dim,
-        });
+        };
+        self.spans.push(span);
+        for instance in instances.chunks_exact(self.dim) {
+            let p = kernel::quantize_instance(instance, &mut self.quant.codes);
+            self.quant.absorb(p);
+        }
+        self.quant.build_groups(span, self.dim);
         self.data.extend_from_slice(instances);
         self.spans.len() - 1
+    }
+
+    /// Rebuilds a store from persisted parts: the flat buffer, per-bag
+    /// instance counts, and the quantized tier exactly as a v4 shard
+    /// file stores them — no re-quantization.
+    ///
+    /// # Errors
+    /// A description of the inconsistency when the parts disagree:
+    /// ragged data, length mismatches between data/codes/params, or
+    /// implausible parameters (non-finite, negative radius or scale).
+    pub fn from_persisted(
+        dim: usize,
+        data: Vec<f32>,
+        bag_lens: &[usize],
+        codes: Vec<i8>,
+        params: Vec<QuantParams>,
+    ) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("feature dimension must be non-zero".into());
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err("flat data is not a multiple of the dimension".into());
+        }
+        let instance_count = data.len() / dim;
+        let total: usize = bag_lens.iter().sum();
+        if total != instance_count {
+            return Err(format!(
+                "bag spans cover {total} instances but the data holds {instance_count}"
+            ));
+        }
+        if bag_lens.contains(&0) {
+            return Err("a bag must hold at least one instance".into());
+        }
+        if codes.len() != data.len() {
+            return Err(format!(
+                "quantized tier holds {} codes for {} values",
+                codes.len(),
+                data.len()
+            ));
+        }
+        if params.len() != instance_count {
+            return Err(format!(
+                "quantized tier holds {} parameter sets for {instance_count} instances",
+                params.len()
+            ));
+        }
+        let mut quant = QuantTier {
+            codes,
+            ..QuantTier::default()
+        };
+        for p in params {
+            if !p.bias.is_finite() || !p.scale.is_finite() || !p.radius.is_finite() {
+                return Err("quantization parameters must be finite".into());
+            }
+            if p.scale < 0.0 || p.radius < 0.0 {
+                return Err("quantization scale and radius must be non-negative".into());
+            }
+            quant.absorb(p);
+        }
+        let mut spans = Vec::with_capacity(bag_lens.len());
+        let mut offset = 0;
+        for &len in bag_lens {
+            let span = BagSpan { offset, len };
+            quant.build_groups(span, dim);
+            spans.push(span);
+            offset += len;
+        }
+        Ok(Self {
+            data,
+            spans,
+            dim,
+            quant,
+        })
     }
 
     /// Feature dimension `k`.
@@ -252,6 +461,18 @@ impl FlatBags {
         self.bag_instances(bag).chunks_exact(self.dim)
     }
 
+    /// One instance of one bag as a `dim`-element slice.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn instance(&self, bag: usize, index: usize) -> &[f32] {
+        let span = self.spans[bag];
+        assert!(index < span.len, "instance index out of range");
+        let start = (span.offset + index) * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
     /// Rebuilds one bag as an owned [`Bag`] (the monolithic
     /// representation) — the shard→database conversion path.
     ///
@@ -303,6 +524,138 @@ impl FlatBags {
             }
         }
         (best < bound).then_some(best)
+    }
+
+    /// Prepares the concept for screening against this store's
+    /// quantized tier — compute once per (concept, store) pair, then
+    /// pass to every [`Self::min_distance_sq_below_screened`] call.
+    ///
+    /// # Panics
+    /// Panics if the concept's dimension differs from the store's.
+    pub fn quant_query(&self, concept: &Concept) -> QuantQuery {
+        assert_eq!(concept.dim(), self.dim, "concept has wrong dimension");
+        QuantQuery::new(
+            concept.point(),
+            concept.weights(),
+            self.quant.max_abs_bias,
+            self.quant.max_scale,
+        )
+    }
+
+    /// [`Self::min_distance_sq_below`] with the quantized screen in
+    /// front of the exact kernel: the whole bag is screened by the
+    /// transposed [`kernel::screen_groups`] kernel (its last group
+    /// padded with never-screened NaN-threshold lanes) against the
+    /// caller's bound at bag entry; only survivors are re-scored
+    /// exactly. A screened-out instance *provably* scores at or above
+    /// the entry bound (see [`QuantQuery`]), which is at least as tight
+    /// as any bound the unscreened scan would have used for it (the
+    /// running best only tightens) — so the exact kernel would have
+    /// rejected it too, and the return value is bit-identical to the
+    /// unscreened scan for every input.
+    ///
+    /// `stats` accumulates how many instances each side of the screen
+    /// handled; `scratch` is reusable across calls.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()` or the concept's dimension
+    /// differs.
+    pub fn min_distance_sq_below_screened(
+        &self,
+        concept: &Concept,
+        query: &QuantQuery,
+        bag: usize,
+        bound: f64,
+        stats: &mut ScreenStats,
+        scratch: &mut ScreenScratch,
+    ) -> Option<f64> {
+        // Screening certifies skips against the caller's inter-bag
+        // bound. Without a finite one (the top-k heap is still filling,
+        // or a full ranking was requested) no instance can be skipped,
+        // and when recent screens rejected too little (the bound is
+        // still loose) screening only adds quantized work on top of the
+        // exact scan it cannot avoid — the adaptive gate backs off
+        // exponentially and re-probes once the penalty drains. Neither
+        // gate changes the result: screening only decides which
+        // instances the exact kernel gets to reject itself.
+        if !bound.is_finite() {
+            return self.min_distance_sq_below(concept, bag, bound);
+        }
+        if scratch.penalty > 0 {
+            scratch.penalty -= 1;
+            return self.min_distance_sq_below(concept, bag, bound);
+        }
+        let span = self.spans[bag];
+        let mut best = f64::INFINITY;
+        // The screen bound is fixed at bag entry rather than chasing the
+        // running best: the entry bound is at least as large as any
+        // later running `best.min(bound)` (best only tightens), so a
+        // skip certified against it is also valid against every later
+        // running bound — and fixing it lets the whole bag screen in one
+        // transposed kernel call with precomputed thresholds.
+        let gfirst = self.quant.group_start[bag] as usize;
+        let glast = self.quant.group_start[bag + 1] as usize;
+        let grouped = (glast - gfirst) * kernel::SCREEN_GROUP;
+        let sq = query.sqrt_bound(bound);
+        scratch.thresholds32.clear();
+        scratch.survivors.clear();
+        for p in &self.quant.params[span.offset..span.offset + span.len] {
+            scratch
+                .thresholds32
+                .push(QuantQuery::threshold32(query.threshold_with(sq, p.radius)));
+        }
+        // Pad lanes never screen: NaN compares false under both the
+        // scalar `>=` and the vector GE_OQ predicate.
+        scratch.thresholds32.resize(grouped, f32::NAN);
+        kernel::screen_groups(
+            query,
+            &self.quant.gcodes
+                [gfirst * kernel::SCREEN_GROUP * self.dim..glast * kernel::SCREEN_GROUP * self.dim],
+            &self.quant.gbias[gfirst * kernel::SCREEN_GROUP..glast * kernel::SCREEN_GROUP],
+            &self.quant.gscale[gfirst * kernel::SCREEN_GROUP..glast * kernel::SCREEN_GROUP],
+            &scratch.thresholds32,
+            &mut scratch.survivors,
+        );
+        let mut rescored = 0u64;
+        for &r in &scratch.survivors {
+            let j = r as usize;
+            if j >= span.len {
+                // A pad lane of the bag's last group, not an instance.
+                continue;
+            }
+            rescored += 1;
+            if let Some(d) =
+                concept.instance_distance_sq_below(self.instance(bag, j), best.min(bound))
+            {
+                best = d;
+            }
+        }
+        let screened = span.len as u64 - rescored;
+        stats.screened += screened;
+        stats.rescored += rescored;
+        // Screens that reject under half the instances they saw cost
+        // more than they save; back off exponentially and re-probe later
+        // in case the bound has tightened.
+        if screened * 2 < span.len as u64 {
+            scratch.bad_streak = (scratch.bad_streak + 1).min(6);
+            scratch.penalty = 1 << scratch.bad_streak;
+        } else {
+            scratch.bad_streak = 0;
+        }
+        (best < bound).then_some(best)
+    }
+
+    /// The quantized tier's codes, instance-major — what a v4 shard file
+    /// serialises alongside [`Self::data`].
+    #[inline]
+    pub fn quant_codes(&self) -> &[i8] {
+        &self.quant.codes
+    }
+
+    /// The quantized tier's per-instance parameters, in instance order.
+    #[inline]
+    pub fn quant_params(&self) -> &[QuantParams] {
+        &self.quant.params
     }
 }
 
@@ -434,6 +787,120 @@ mod tests {
     fn mismatched_bag_dimension_rejected() {
         let mut flat = FlatBags::new(3);
         flat.push_bag(&bag(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn screened_scan_is_bit_identical_to_unscreened() {
+        let k = 19;
+        let point: Vec<f64> = (0..k).map(|i| (i as f64 * 0.53).sin() * 2.0).collect();
+        let weights: Vec<f64> = (0..k).map(|i| 0.05 + (i % 7) as f64 * 0.4).collect();
+        let concept = Concept::new(point, weights);
+        let mut flat = FlatBags::new(k);
+        for n in 0..12 {
+            // Bag sizes 1..=12 — sizes of 8+ exercise the transposed
+            // group screen, smaller ones the per-instance path.
+            let instances: Vec<Vec<f32>> = (0..=(n % 12))
+                .map(|m| {
+                    (0..k)
+                        .map(|i| (((n * 31 + m * 17 + i * 3) % 29) as f32 - 14.0) / 3.0)
+                        .collect()
+                })
+                .collect();
+            flat.push_bag(&Bag::new(instances).unwrap());
+        }
+        let query = flat.quant_query(&concept);
+        let mut stats = ScreenStats::default();
+        let mut scratch = ScreenScratch::default();
+        // Every bag, a spread of bounds including the exact distance
+        // itself and bounds tight enough that the screen fires.
+        for b in 0..flat.bag_count() {
+            let exact = flat.min_distance_sq(&concept, b);
+            for bound in [exact * 0.5, exact, exact * 1.001, exact + 10.0, f64::INFINITY] {
+                assert_eq!(
+                    flat.min_distance_sq_below_screened(
+                        &concept, &query, b, bound, &mut stats, &mut scratch
+                    ),
+                    flat.min_distance_sq_below(&concept, b, bound),
+                    "bag {b}, bound {bound}"
+                );
+            }
+        }
+        // With tight bounds in the mix, the screen must have actually
+        // fired — otherwise this test proves nothing about screening.
+        assert!(stats.screened > 0, "screen never fired: {stats:?}");
+        assert!(stats.rescored > 0, "screen rejected everything: {stats:?}");
+    }
+
+    #[test]
+    fn persisted_tier_round_trips() {
+        let k = 7;
+        let mut flat = FlatBags::new(k);
+        for n in 0..5 {
+            let instances: Vec<Vec<f32>> = (0..=(n % 3))
+                .map(|m| (0..k).map(|i| ((n * 13 + m * 5 + i) % 11) as f32 - 5.0).collect())
+                .collect();
+            flat.push_bag(&Bag::new(instances).unwrap());
+        }
+        let lens: Vec<usize> = flat.spans().iter().map(|s| s.len).collect();
+        let back = FlatBags::from_persisted(
+            k,
+            flat.data().to_vec(),
+            &lens,
+            flat.quant_codes().to_vec(),
+            flat.quant_params().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.data(), flat.data());
+        assert_eq!(back.spans(), flat.spans());
+        assert_eq!(back.quant_codes(), flat.quant_codes());
+        assert_eq!(back.quant_params(), flat.quant_params());
+        assert_eq!(back.quant.max_abs_bias, flat.quant.max_abs_bias);
+        assert_eq!(back.quant.max_scale, flat.quant.max_scale);
+    }
+
+    #[test]
+    fn inconsistent_persisted_parts_rejected() {
+        let k = 3;
+        let mut flat = FlatBags::new(k);
+        flat.push_flat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let data = flat.data().to_vec();
+        let codes = flat.quant_codes().to_vec();
+        let params = flat.quant_params().to_vec();
+        // Ragged data.
+        assert!(FlatBags::from_persisted(k, vec![1.0; 4], &[1], codes.clone(), params.clone())
+            .is_err());
+        // Span/instance mismatch.
+        assert!(
+            FlatBags::from_persisted(k, data.clone(), &[1], codes.clone(), params.clone()).is_err()
+        );
+        // Code count mismatch.
+        assert!(
+            FlatBags::from_persisted(k, data.clone(), &[2], vec![0i8; 3], params.clone()).is_err()
+        );
+        // Param count mismatch.
+        assert!(FlatBags::from_persisted(k, data.clone(), &[2], codes.clone(), vec![]).is_err());
+        // Non-finite parameter.
+        let mut bad = params.clone();
+        bad[0].radius = f64::NAN;
+        assert!(FlatBags::from_persisted(k, data.clone(), &[2], codes.clone(), bad).is_err());
+        // Negative scale.
+        let mut bad = params;
+        bad[0].scale = -1.0;
+        assert!(FlatBags::from_persisted(k, data, &[2], codes, bad).is_err());
+    }
+
+    #[test]
+    fn push_paths_build_identical_tiers() {
+        // push_bag, push_flat, and a v3-style reload must all derive the
+        // same quantized tier — determinism is what lets old snapshots
+        // quantize lazily yet match a persisted v4 tier byte for byte.
+        let b = bag(&[&[1.5, -2.0], &[0.25, 8.0], &[-3.5, 0.0]]);
+        let mut via_bag = FlatBags::new(2);
+        via_bag.push_bag(&b);
+        let mut via_flat = FlatBags::new(2);
+        via_flat.push_flat(via_bag.data());
+        assert_eq!(via_bag.quant_codes(), via_flat.quant_codes());
+        assert_eq!(via_bag.quant_params(), via_flat.quant_params());
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`flat`] — contiguous structure-of-arrays instance storage: all
 //!   bags packed into one `f64` buffer with per-bag `(offset, len)`
 //!   spans, converted once per training run.
+//! * [`kernel`] — the fused weighted-distance kernels behind every
+//!   ranking path: the canonical 4-lane unrolled exact kernel and the
+//!   `i8` scalar-quantized screen whose provable lower bound rejects
+//!   candidates without changing any ranking.
 //! * [`policy`] — the paper's four weight-control schemes (§3.6):
 //!   original DD, identical weights, the α gradient hack, and the
 //!   `Σ w ≥ β·n` inequality constraint.
@@ -27,6 +31,7 @@ pub mod bag;
 pub mod concept;
 pub mod dd;
 pub mod flat;
+pub mod kernel;
 pub mod policy;
 pub mod predict;
 pub mod trainer;
@@ -34,7 +39,8 @@ pub mod trainer;
 pub use bag::{Bag, BagLabel, MilDataset, MilError};
 pub use concept::Concept;
 pub use dd::{DdObjective, LegacyDdObjective, Parameterization};
-pub use flat::{BagSpan, FlatBags, FlatDataset};
+pub use flat::{BagSpan, FlatBags, FlatDataset, ScreenScratch, ScreenStats};
+pub use kernel::{QuantParams, QuantQuery};
 pub use policy::WeightPolicy;
 pub use predict::{BagClassifier, ClassificationReport};
 pub use trainer::{train, ConstrainedSolver, StartBags, TrainOptions, TrainResult};

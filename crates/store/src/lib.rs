@@ -2,11 +2,11 @@
 
 //! # milr-store
 //!
-//! The sharded, incrementally-updatable snapshot store — format v3.
+//! The sharded, incrementally-updatable snapshot store — format v4.
 //!
 //! The monolithic format v2 (one `MILR` file, see `milr_core::storage`)
 //! rewrites the whole database on every change and reloads it whole: a
-//! dead end for growing corpora. Format v3 is a *directory*:
+//! dead end for growing corpora. Formats v3/v4 are a *directory*:
 //!
 //! * `manifest.milr` — kind 3: feature dimension, generation counter,
 //!   shard capacity, then per-shard `{id, bag count, instance count,
@@ -18,7 +18,17 @@
 //!   count, then per-bag `{label, instance count, instances}` as flat
 //!   little-endian `f32`s — exactly the [`FlatBags`] ranking layout, so
 //!   a shard loads straight into scoring position with no per-bag
-//!   re-normalisation.
+//!   re-normalisation. Format v4 appends the shard's quantized tier
+//!   (per-instance `i8` codes plus affine `{bias, scale, radius}`
+//!   parameters — see `milr_mil::kernel`) after the bag payload, so the
+//!   screen is ready without re-quantizing at load.
+//!
+//! Writers emit v4; readers accept v3 and v4 side by side (a directory
+//! may mix them after an incremental flush — sealed v3 shards are never
+//! rewritten). A v3 shard rebuilds its quantized tier at load; the
+//! rebuild is deterministic, so it matches a persisted tier byte for
+//! byte. [`ShardedDatabase::compact`] repacks through the same path and
+//! therefore refreshes every tier.
 //!
 //! [`ShardedDatabase::push_bag`]/[`ShardedDatabase::push_image`] append
 //! to the open tail shard and seal it at the capacity threshold;
@@ -27,9 +37,24 @@
 //! unsealed/new shards plus the (small) manifest, bumping the
 //! generation. [`ShardedDatabase::rank`] is scatter-gather: each shard
 //! runs the same pruned top-k scan as the monolithic
-//! `RetrievalDatabase::rank` on the pooled executor, and an
-//! index-ordered k-way merge combines the per-shard rankings. Because
-//! every distance flows through the identical pruned kernel
+//! `RetrievalDatabase::rank` on the pooled executor — with two hot-path
+//! accelerations layered on top:
+//!
+//! * **A shared scatter threshold.** Top-k scans publish each shard's
+//!   running k-th-worst distance into one shared atomic bound;
+//!   every shard prunes against the *global* running
+//!   threshold instead of re-deriving its own from scratch. Any bag the
+//!   shared bound prunes is provably outside the global top-k, so the
+//!   merged result never changes — only the wasted arithmetic does.
+//! * **The quantized screen.** Each shard's `i8` tier gives a provable
+//!   lower bound on every instance's exact distance; instances whose
+//!   bound already exceeds the current threshold skip the exact `f64`
+//!   kernel entirely. [`ShardedDatabase::rank_exact`] bypasses the
+//!   screen — it exists so tests and benchmarks can compare the two
+//!   paths, which are bit-identical by construction.
+//!
+//! An index-ordered k-way merge combines the per-shard rankings.
+//! Because every surfaced distance flows through the identical kernel
 //! ([`Concept::instance_distance_sq_below`]) and ties break by global
 //! index at every stage, the sharded ranking is **bit-identical** to
 //! the monolithic one — asserted by this crate's property tests.
@@ -37,22 +62,27 @@
 use std::collections::BTreeSet;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use milr_core::database::{RankRequest, RankScope, Ranking};
 use milr_core::error::CoreError;
 use milr_core::storage::{storage_err, OsFs, StorageIo, Store, Stream};
 use milr_core::{RetrievalConfig, RetrievalDatabase};
 use milr_imgproc::GrayImage;
-use milr_mil::{Bag, Concept, FlatBags};
+use milr_mil::{Bag, Concept, FlatBags, QuantParams, ScreenStats};
 use milr_optim::pool;
 
-/// Format version of sharded (v3) manifests and shard files.
-pub const STORE_VERSION: u32 = 3;
-/// Payload kind of a v3 manifest file.
+/// Format version of sharded manifests and shard files written by this
+/// crate: v4 = v3 plus the persisted per-shard quantized tier.
+pub const STORE_VERSION: u32 = 4;
+/// Oldest sharded format version still readable. v3 shards carry no
+/// quantized tier; it is rebuilt (deterministically) at load.
+pub const MIN_STORE_VERSION: u32 = 3;
+/// Payload kind of a sharded-store manifest file.
 pub const MANIFEST_KIND: u8 = 3;
-/// Payload kind of a v3 shard file.
+/// Payload kind of a sharded-store shard file.
 pub const SHARD_KIND: u8 = 4;
-/// File name of the manifest inside a v3 snapshot directory.
+/// File name of the manifest inside a sharded snapshot directory.
 pub const MANIFEST_FILE: &str = "manifest.milr";
 
 /// Default number of bags per shard before the tail seals.
@@ -101,6 +131,50 @@ pub struct ShardedDatabase {
     shards: Vec<Shard>,
     tombstones: BTreeSet<usize>,
     next_shard_id: u64,
+}
+
+/// The running global top-k distance threshold shared across the
+/// scatter phase: each shard publishes its local k-th-worst distance as
+/// its heap fills and tightens, and every shard prunes against the
+/// minimum of all published values.
+///
+/// Distances are non-negative finite `f64`s, whose IEEE-754 bit
+/// patterns order exactly like the unsigned integers they are — so a
+/// `fetch_min` on the bits is an exact atomic fetch-min on the
+/// distances, with no compare-exchange loop.
+///
+/// Soundness: a value is only published while its heap holds `k` real
+/// candidates, so every published worst is ≥ the true global k-th-best
+/// distance, and so is the shared minimum. A bag pruned by the shared
+/// bound therefore scores strictly worse than the global k-th best —
+/// it could never appear in the merged top-k, which is why the shared
+/// threshold cannot change any ranking no matter how shard scans
+/// interleave.
+struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    fn new() -> Self {
+        Self(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Publishes a candidate threshold; returns whether it tightened
+    /// the shared bound.
+    fn tighten(&self, candidate: f64) -> bool {
+        let bits = candidate.to_bits();
+        self.0.fetch_min(bits, Ordering::Relaxed) > bits
+    }
+}
+
+/// Per-shard scan result: the local ranking plus the counters the
+/// gather phase folds into the observability registry.
+struct ShardScan {
+    ranking: Ranking,
+    stats: ScreenStats,
+    tightenings: u64,
 }
 
 /// Max-heap entry for the per-shard bounded scan: lexicographically
@@ -195,7 +269,9 @@ impl ShardedDatabase {
             .reader(&manifest_path)
             .map_err(|e| storage_err(&manifest_path, e.to_string()))?;
         let mut r = Stream::new(BufReader::new(file), &manifest_path);
-        r.read_header(MANIFEST_KIND, STORE_VERSION)?;
+        // v3 and v4 manifests carry an identical payload; only the shard
+        // files differ (v4 appends the quantized tier).
+        r.read_header_any(MANIFEST_KIND, &[MIN_STORE_VERSION, STORE_VERSION])?;
         let feature_dim = r.read_u64()? as usize;
         if feature_dim == 0 || feature_dim > 100_000_000 {
             return Err(r.fail("implausible feature dimension"));
@@ -457,9 +533,12 @@ impl ShardedDatabase {
     }
 
     /// Repacks the live bags into fresh dense shards, dropping
-    /// tombstones and renumbering shard ids from zero. The next
-    /// [`Self::flush`] rewrites everything and removes stale shard
-    /// files. Returns how many tombstoned bags were dropped.
+    /// tombstones and renumbering shard ids from zero. Each repacked
+    /// shard re-derives its quantized tier as bags stream through, so
+    /// the next [`Self::flush`] — which rewrites everything and removes
+    /// stale shard files — persists every shard in the current (v4)
+    /// format with a fresh tier, migrating any v3 remnants. Returns how
+    /// many tombstoned bags were dropped.
     pub fn compact(&mut self) -> usize {
         let dropped = self.tombstones.len();
         let old = std::mem::take(&mut self.shards);
@@ -605,6 +684,12 @@ impl ShardedDatabase {
     /// merge combines the per-shard rankings. Bit-identical to ranking
     /// the equivalent monolithic database.
     ///
+    /// Top-k scans run with both hot-path accelerations: the shared
+    /// scatter threshold and the per-shard quantized screen (see the
+    /// crate docs). Both are provably ranking-neutral; use
+    /// [`Self::rank_exact`] to bypass the screen when measuring or
+    /// cross-checking the exact path.
+    ///
     /// # Errors
     /// * [`CoreError::IndexOutOfBounds`] for out-of-range *or
     ///   tombstoned* explicit candidates.
@@ -612,6 +697,31 @@ impl ShardedDatabase {
     ///   (`Pool`/`Test`).
     /// * [`CoreError::Mil`] on a concept dimension mismatch.
     pub fn rank(&self, concept: &Concept, request: &RankRequest) -> Result<Ranking, CoreError> {
+        self.rank_impl(concept, request, true)
+    }
+
+    /// [`Self::rank`] without the quantized screen: every candidate
+    /// instance runs the exact `f64` kernel (still with the shared
+    /// scatter threshold). Returns bit-identical rankings to
+    /// [`Self::rank`] — this is the measurement and regression-test
+    /// baseline that makes the claim checkable.
+    ///
+    /// # Errors
+    /// Same as [`Self::rank`].
+    pub fn rank_exact(
+        &self,
+        concept: &Concept,
+        request: &RankRequest,
+    ) -> Result<Ranking, CoreError> {
+        self.rank_impl(concept, request, false)
+    }
+
+    fn rank_impl(
+        &self,
+        concept: &Concept,
+        request: &RankRequest,
+        screen: bool,
+    ) -> Result<Ranking, CoreError> {
         if concept.dim() != self.feature_dim {
             return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
                 expected: self.feature_dim,
@@ -655,7 +765,8 @@ impl ShardedDatabase {
         let occupied: Vec<usize> = (0..groups.len())
             .filter(|&s| !groups[s].is_empty())
             .collect();
-        let per_shard = pool::run_indexed(occupied.len(), request.threads, |i| {
+        let shared = SharedBound::new();
+        let scans = pool::run_indexed(occupied.len(), request.threads, |i| {
             let shard_index = occupied[i];
             let _span = milr_obs::span!("store.rank_shard");
             rank_one_shard(
@@ -663,14 +774,32 @@ impl ShardedDatabase {
                 concept,
                 &groups[shard_index],
                 request.top_k,
+                &shared,
+                screen,
             )
         });
         milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
+        let mut stats = ScreenStats::default();
+        let mut tightenings = 0u64;
+        let per_shard: Vec<Ranking> = scans
+            .into_iter()
+            .map(|scan| {
+                stats.merge(scan.stats);
+                tightenings += scan.tightenings;
+                scan.ranking
+            })
+            .collect();
+        milr_obs::counter!("milr_rank_quant_screened_total").add(stats.screened);
+        milr_obs::counter!("milr_rank_quant_rescored_total").add(stats.rescored);
+        milr_obs::counter!("milr_rank_threshold_tightenings_total").add(tightenings);
 
         // Gather: k-way merge of the sorted per-shard rankings by
         // (distance, global index), truncated to k — exactly the global
-        // ranking's head, because each shard's own ranking is already
-        // the exact prefix of its full local ranking.
+        // ranking's head. The shared bound may leave a shard's local
+        // ranking *shorter* than k (bags provably outside the global
+        // top-k are dropped mid-fill), but every global top-k entry is
+        // always admitted to its shard's local ranking, so the merge of
+        // the survivors is still exact.
         let merged = merge_rankings(per_shard, request.top_k);
         milr_obs::histogram!("milr_store_rank_latency_us")
             .record(started.elapsed().as_micros() as u64);
@@ -682,20 +811,45 @@ impl ShardedDatabase {
 /// as the monolithic `RetrievalDatabase` paths — a full scored sort, or
 /// the pruned bounded scan with a `(distance, global index)` max-heap —
 /// run over the flat shard layout.
+///
+/// Top-k scans prune against the tighter of the local heap's worst and
+/// the shared global bound, publish every tightening of the local worst
+/// back into the shared bound, and (when `screen` is set) gate each
+/// instance behind the shard's quantized tier before the exact kernel.
 fn rank_one_shard(
     shard: &Shard,
     concept: &Concept,
     locals: &[usize],
     top_k: Option<usize>,
-) -> Ranking {
-    match top_k {
+    shared: &SharedBound,
+    screen: bool,
+) -> ShardScan {
+    let mut stats = ScreenStats::default();
+    let mut scratch = milr_mil::ScreenScratch::default();
+    let mut tightenings = 0u64;
+    let query = screen.then(|| shard.bags.quant_query(concept));
+    // One scan bound, two kernels: the screened scan and the exact scan
+    // return bit-identical values for every (bag, bound) pair. The
+    // scratch lives for the whole shard scan so its buffers allocate
+    // once.
+    let mut scan = |local: usize, bound: f64, stats: &mut ScreenStats| match &query {
+        Some(q) => shard
+            .bags
+            .min_distance_sq_below_screened(concept, q, local, bound, stats, &mut scratch),
+        None => shard.bags.min_distance_sq_below(concept, local, bound),
+    };
+    let ranking = match top_k {
         None => {
+            // A full ranking needs every exact distance, so neither the
+            // shared bound nor a top-k threshold applies; the screen
+            // still skips instances beaten by their own bag's running
+            // best.
             let mut scored: Ranking = locals
                 .iter()
                 .map(|&local| {
                     (
                         shard.base + local,
-                        shard.bags.min_distance_sq(concept, local),
+                        scan(local, f64::INFINITY, &mut stats).unwrap_or(f64::INFINITY),
                     )
                 })
                 .collect();
@@ -712,27 +866,40 @@ fn rank_one_shard(
                 std::collections::BinaryHeap::with_capacity(k + 1);
             for &local in locals {
                 let index = shard.base + local;
-                if heap.len() < k {
-                    heap.push(WorstCandidate(
-                        shard.bags.min_distance_sq(concept, local),
-                        index,
-                    ));
-                    continue;
-                }
-                let (worst_d, worst_i) = {
+                let local_worst = (heap.len() >= k).then(|| {
                     let worst = heap.peek().expect("heap is non-empty");
                     (worst.0, worst.1)
+                });
+                // The scan bound is the tighter of the local worst and
+                // the shared global threshold; `next_up` admits exact
+                // distance ties so the index tie-break sees them —
+                // identical to the monolithic bounded scan. Pruning
+                // against the shared bound may drop bags even while the
+                // heap is filling: any such bag scores strictly worse
+                // than the global k-th best and cannot appear in the
+                // merged top-k.
+                let bound = local_worst
+                    .map_or(f64::INFINITY, |(d, _)| d)
+                    .min(shared.get());
+                let Some(d) = scan(local, bound.next_up(), &mut stats) else {
+                    continue;
                 };
-                // `next_up` admits exact distance ties so the index
-                // tie-break sees them — identical to the monolithic
-                // bounded scan.
-                if let Some(d) = shard
-                    .bags
-                    .min_distance_sq_below(concept, local, worst_d.next_up())
-                {
-                    if d < worst_d || (d == worst_d && index < worst_i) {
-                        heap.pop();
-                        heap.push(WorstCandidate(d, index));
+                match local_worst {
+                    None => heap.push(WorstCandidate(d, index)),
+                    Some((worst_d, worst_i)) => {
+                        if d < worst_d || (d == worst_d && index < worst_i) {
+                            heap.pop();
+                            heap.push(WorstCandidate(d, index));
+                        }
+                    }
+                }
+                // Publish the local k-th-worst whenever the heap is
+                // full — the shared bound only ever sees thresholds
+                // backed by k real candidates.
+                if heap.len() >= k {
+                    let worst = heap.peek().expect("heap is non-empty");
+                    if shared.tighten(worst.0) {
+                        tightenings += 1;
                     }
                 }
             }
@@ -747,6 +914,11 @@ fn rank_one_shard(
             });
             top
         }
+    };
+    ShardScan {
+        ranking,
+        stats,
+        tightenings,
     }
 }
 
@@ -784,7 +956,8 @@ fn merge_rankings(lists: Vec<Ranking>, limit: Option<usize>) -> Ranking {
     out
 }
 
-/// Writes one shard file; returns its trailing digest for the manifest.
+/// Writes one shard file (format v4: bag payload, then the quantized
+/// tier); returns its trailing digest for the manifest.
 fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, CoreError> {
     let path = dir.join(shard_file_name(shard.id));
     let file = fs
@@ -803,6 +976,17 @@ fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, Cor
             w.write_all(&v.to_le_bytes())?;
         }
     }
+    // The v4 quantized-tier section: a presence flag, then per-instance
+    // affine parameters, then the i8 codes. Covered by the same trailing
+    // checksum (and manifest digest) as the bag payload.
+    w.write_u64(1)?;
+    for p in shard.bags.quant_params() {
+        w.write_all(&p.bias.to_le_bytes())?;
+        w.write_all(&p.scale.to_le_bytes())?;
+        w.write_all(&p.radius.to_le_bytes())?;
+    }
+    let codes: Vec<u8> = shard.bags.quant_codes().iter().map(|&c| c as u8).collect();
+    w.write_all(&codes)?;
     // The digest covers header + payload — exactly what `finish` writes
     // as the trailing checksum, so the manifest can cross-check the
     // shard without re-reading it.
@@ -811,8 +995,11 @@ fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, Cor
     Ok(digest)
 }
 
-/// Reads one shard file (digest cross-check against the manifest happens
-/// in the caller).
+/// Reads one shard file, v3 or v4 (digest cross-check against the
+/// manifest happens in the caller). A v3 shard — or a v4 shard whose
+/// tier flag says "absent" — rebuilds its quantized tier from the bag
+/// payload; the rebuild is deterministic, so both paths end in the same
+/// in-memory state.
 fn read_shard(
     fs: &dyn StorageIo,
     dir: &Path,
@@ -824,7 +1011,7 @@ fn read_shard(
         .reader(&path)
         .map_err(|e| storage_err(&path, e.to_string()))?;
     let mut r = Stream::new(BufReader::new(file), &path);
-    r.read_header(SHARD_KIND, STORE_VERSION)?;
+    let version = r.read_header_any(SHARD_KIND, &[MIN_STORE_VERSION, STORE_VERSION])?;
     let stored_id = r.read_u64()?;
     if stored_id != id {
         return Err(r.fail(format!(
@@ -842,8 +1029,8 @@ fn read_shard(
         return Err(r.fail(format!("implausible shard bag count {bag_count}")));
     }
     let mut labels = Vec::with_capacity(bag_count);
-    let mut bags = FlatBags::new(dim);
-    let mut instances: Vec<f32> = Vec::new();
+    let mut data: Vec<f32> = Vec::new();
+    let mut bag_lens = Vec::with_capacity(bag_count);
     for _ in 0..bag_count {
         let label = r.read_u64()? as usize;
         let n_instances = r.read_u64()? as usize;
@@ -852,16 +1039,61 @@ fn read_shard(
         }
         let mut buf = vec![0u8; n_instances * dim * 4];
         r.read_exact(&mut buf)?;
-        instances.clear();
-        instances.extend(
+        data.extend(
             buf.chunks_exact(4)
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
         );
-        bags.push_flat(&instances);
+        bag_lens.push(n_instances);
         labels.push(label);
     }
+    let persisted_tier = if version >= STORE_VERSION {
+        let flag = r.read_u64()?;
+        if flag > 1 {
+            return Err(r.fail(format!("implausible quantized-tier flag {flag}")));
+        }
+        if flag == 1 {
+            let instance_count = data.len() / dim;
+            let mut params = Vec::with_capacity(instance_count);
+            for _ in 0..instance_count {
+                let mut b4 = [0u8; 4];
+                r.read_exact(&mut b4)?;
+                let bias = f32::from_le_bytes(b4);
+                r.read_exact(&mut b4)?;
+                let scale = f32::from_le_bytes(b4);
+                let mut b8 = [0u8; 8];
+                r.read_exact(&mut b8)?;
+                let radius = f64::from_le_bytes(b8);
+                params.push(QuantParams {
+                    scale,
+                    bias,
+                    radius,
+                });
+            }
+            let mut code_bytes = vec![0u8; data.len()];
+            r.read_exact(&mut code_bytes)?;
+            let codes: Vec<i8> = code_bytes.iter().map(|&b| b as i8).collect();
+            Some((codes, params))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
     let digest = r.digest();
     r.verify_checksum()?;
+    let bags = match persisted_tier {
+        Some((codes, params)) => FlatBags::from_persisted(dim, data, &bag_lens, codes, params)
+            .map_err(|e| storage_err(&path, format!("inconsistent quantized tier: {e}")))?,
+        None => {
+            let mut bags = FlatBags::new(dim);
+            let mut offset = 0;
+            for &len in &bag_lens {
+                bags.push_flat(&data[offset * dim..(offset + len) * dim]);
+                offset += len;
+            }
+            bags
+        }
+    };
     Ok(Shard {
         id,
         base: 0,
@@ -1296,6 +1528,191 @@ mod tests {
             Err(CoreError::BlankImage { index: Some(1) }) => {}
             other => panic!("expected BlankImage at 1, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn screened_rank_is_bit_identical_to_exact_rank() {
+        let db = sample_db(30);
+        let concept = sample_concept();
+        let mut store = ShardedDatabase::from_database(&db, temp_dir("screened"), 5).unwrap();
+        store.delete(3).unwrap();
+        store.delete(17).unwrap();
+        for k in [0, 1, 2, 5, 13, 30, 50] {
+            let request = RankRequest::all().top(k);
+            assert_eq!(
+                store.rank(&concept, &request).unwrap(),
+                store.rank_exact(&concept, &request).unwrap(),
+                "k {k}"
+            );
+        }
+        assert_eq!(
+            store.rank(&concept, &RankRequest::all()).unwrap(),
+            store.rank_exact(&concept, &RankRequest::all()).unwrap()
+        );
+    }
+
+    #[test]
+    fn shared_bound_is_an_exact_fetch_min() {
+        let bound = SharedBound::new();
+        assert_eq!(bound.get(), f64::INFINITY);
+        assert!(bound.tighten(2.5));
+        assert_eq!(bound.get(), 2.5);
+        assert!(!bound.tighten(3.0), "looser values must not tighten");
+        assert_eq!(bound.get(), 2.5);
+        assert!(bound.tighten(0.0));
+        assert_eq!(bound.get(), 0.0);
+        assert!(!bound.tighten(0.0), "equal values are not a tightening");
+    }
+
+    /// Writes `store`'s current state in the legacy v3 format: the same
+    /// manifest payload under a v3 header, and shard files without the
+    /// quantized-tier section.
+    fn write_v3_store(dir: &Path, store: &ShardedDatabase) {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut digests = Vec::new();
+        for shard in &store.shards {
+            let path = dir.join(shard_file_name(shard.id));
+            let file = OsFs.writer(&path).unwrap();
+            let mut w = Stream::new(BufWriter::new(file), &path);
+            w.write_header(SHARD_KIND, MIN_STORE_VERSION).unwrap();
+            w.write_u64(shard.id).unwrap();
+            w.write_u64(shard.bags.dim() as u64).unwrap();
+            w.write_u64(shard.len() as u64).unwrap();
+            for local in 0..shard.len() {
+                w.write_u64(shard.labels[local] as u64).unwrap();
+                w.write_u64(shard.bags.span(local).len as u64).unwrap();
+                for &v in shard.bags.bag_instances(local) {
+                    w.write_all(&v.to_le_bytes()).unwrap();
+                }
+            }
+            digests.push(w.digest());
+            w.finish().unwrap();
+        }
+        let path = dir.join(MANIFEST_FILE);
+        let file = OsFs.writer(&path).unwrap();
+        let mut w = Stream::new(BufWriter::new(file), &path);
+        w.write_header(MANIFEST_KIND, MIN_STORE_VERSION).unwrap();
+        w.write_u64(store.feature_dim as u64).unwrap();
+        w.write_u64(store.generation.max(1)).unwrap();
+        w.write_u64(store.shard_capacity as u64).unwrap();
+        w.write_u64(store.shards.len() as u64).unwrap();
+        for (shard, digest) in store.shards.iter().zip(&digests) {
+            w.write_u64(shard.id).unwrap();
+            w.write_u64(shard.len() as u64).unwrap();
+            w.write_u64(shard.bags.instance_count() as u64).unwrap();
+            w.write_u64(*digest).unwrap();
+        }
+        w.write_u64(store.tombstones.len() as u64).unwrap();
+        for &index in &store.tombstones {
+            w.write_u64(index as u64).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn v3_snapshots_still_open_and_quantize_lazily() {
+        let db = sample_db(13);
+        let concept = sample_concept();
+        let v4_dir = temp_dir("v3compat_v4");
+        let mut v4 = ShardedDatabase::from_database(&db, &v4_dir, 4).unwrap();
+        v4.delete(6).unwrap();
+        v4.flush().unwrap();
+
+        let v3_dir = temp_dir("v3compat_v3");
+        write_v3_store(&v3_dir, &v4);
+        let opened = ShardedDatabase::open(&v3_dir).unwrap();
+        assert_eq!(opened.len(), v4.len());
+        assert_eq!(opened.tombstone_count(), 1);
+        // The lazily rebuilt tier matches the persisted one byte for
+        // byte (quantization is deterministic)…
+        for (a, b) in opened.shards.iter().zip(&v4.shards) {
+            assert_eq!(a.bags.quant_codes(), b.bags.quant_codes());
+            assert_eq!(a.bags.quant_params(), b.bags.quant_params());
+        }
+        // …so screened rankings agree across formats, bit for bit.
+        for k in [1, 4, 13] {
+            let request = RankRequest::all().top(k);
+            assert_eq!(
+                opened.rank(&concept, &request).unwrap(),
+                v4.rank(&concept, &request).unwrap(),
+                "k {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_flush_leaves_sealed_v3_shards_untouched() {
+        // A v3-era directory that gains bags: the sealed v3 shard files
+        // stay as they are (mixed-version directory), only the tail and
+        // manifest move to v4 — and the mix reopens cleanly.
+        let db = sample_db(7);
+        let v4_dir = temp_dir("mixed_src");
+        let mut seed = ShardedDatabase::from_database(&db, &v4_dir, 3).unwrap();
+        seed.flush().unwrap();
+        let dir = temp_dir("mixed");
+        write_v3_store(&dir, &seed);
+
+        let mut store = ShardedDatabase::open(&dir).unwrap();
+        let sealed_path = dir.join(shard_file_name(0));
+        let sealed_before = std::fs::read(&sealed_path).unwrap();
+        store.push_bag(db.bag(0).unwrap().clone(), 0).unwrap();
+        store.flush().unwrap();
+        assert_eq!(
+            sealed_before,
+            std::fs::read(&sealed_path).unwrap(),
+            "sealed v3 shards must not be rewritten"
+        );
+        // The rewritten tail is v4 now (version lives at bytes 4..8).
+        let tail = std::fs::read(dir.join(shard_file_name(2))).unwrap();
+        assert_eq!(
+            u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]),
+            STORE_VERSION
+        );
+        let back = ShardedDatabase::open(&dir).unwrap();
+        assert_eq!(back.len(), 8);
+        // Compact + flush migrates everything to v4.
+        let mut migrated = back.clone();
+        migrated.compact();
+        migrated.flush().unwrap();
+        for shard in &migrated.shards {
+            let bytes = std::fs::read(dir.join(shard_file_name(shard.id))).unwrap();
+            assert_eq!(
+                u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+                STORE_VERSION
+            );
+        }
+        ShardedDatabase::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&v4_dir).ok();
+    }
+
+    #[test]
+    fn corrupt_quantized_tier_is_rejected() {
+        // Flip bits inside the v4 quantized-tier section specifically:
+        // the shard checksum must catch every one.
+        let dir = temp_dir("corrupt_tier");
+        let db = sample_db(4);
+        let mut store = ShardedDatabase::from_database(&db, &dir, 4).unwrap();
+        store.flush().unwrap();
+        let shard_path = dir.join(shard_file_name(0));
+        let clean = std::fs::read(&shard_path).unwrap();
+        let shard = &store.shards[0];
+        // The tier section spans from the flag to the end of the codes,
+        // just before the trailing 8-byte checksum.
+        let tier_len = 8 + shard.bags.quant_params().len() * 16 + shard.bags.quant_codes().len();
+        let tier_start = clean.len() - 8 - tier_len;
+        for offset in (tier_start..clean.len() - 8).step_by(3) {
+            let mut bytes = clean.clone();
+            bytes[offset] ^= 0x40;
+            std::fs::write(&shard_path, &bytes).unwrap();
+            assert!(
+                ShardedDatabase::open(&dir).is_err(),
+                "tier corruption at byte {offset} loaded silently"
+            );
+        }
+        std::fs::write(&shard_path, &clean).unwrap();
+        ShardedDatabase::open(&dir).expect("restored store opens again");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

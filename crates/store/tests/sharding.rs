@@ -78,6 +78,13 @@ proptest! {
 
         let top = store.rank(&concept, &RankRequest::all().top(k)).unwrap();
         prop_assert_eq!(&top[..], &full[..k.min(full.len())]);
+
+        // The exact (unscreened) path must agree with the screened one
+        // on every request shape.
+        let exact_full = store.rank_exact(&concept, &RankRequest::all()).unwrap();
+        prop_assert_eq!(&exact_full, &full);
+        let exact_top = store.rank_exact(&concept, &RankRequest::all().top(k)).unwrap();
+        prop_assert_eq!(&exact_top[..], &top[..]);
     }
 
     /// Tombstoning any subset leaves the sharded ranking identical to
@@ -103,7 +110,69 @@ proptest! {
         }
         let sharded = store.rank(&concept, &RankRequest::all()).unwrap();
         let monolithic = db.rank(&concept, &RankRequest::over(live)).unwrap();
-        prop_assert_eq!(sharded, monolithic);
+        prop_assert_eq!(&sharded, &monolithic);
+        let exact = store.rank_exact(&concept, &RankRequest::all()).unwrap();
+        prop_assert_eq!(&exact, &monolithic);
+    }
+
+    /// The quantized-screened scatter ranking is bit-identical to a
+    /// naive serial scan — min instance distance per bag, sorted by
+    /// `(distance, index)` — across random shard layouts, tombstones,
+    /// every k, and a flush/reopen of the persisted quantized tier.
+    #[test]
+    fn screened_rank_is_bit_identical_to_naive_scan(
+        db in db_strategy(),
+        concept in concept_strategy(),
+        shards in 1usize..9,
+        k in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        let dir = scratch_dir("naive");
+        let capacity = db.len().div_ceil(shards);
+        let mut store = ShardedDatabase::from_database(&db, &dir, capacity).unwrap();
+        let mut live = Vec::new();
+        for i in 0..db.len() {
+            if (i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 4 == 0
+                && live.len() + 1 < db.len()
+            {
+                store.delete(i).unwrap();
+            } else {
+                live.push(i);
+            }
+        }
+
+        // The reference nobody can argue with: a serial fold over the
+        // canonical instance kernel, then a lexicographic sort.
+        let mut naive: Vec<(usize, f64)> = live
+            .iter()
+            .map(|&i| {
+                let bag = db.bag(i).unwrap();
+                let d = bag
+                    .instances()
+                    .map(|inst| concept.instance_distance_sq(inst))
+                    .fold(f64::INFINITY, f64::min)
+;
+                (i, d)
+            })
+            .collect();
+        naive.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+        for request in [RankRequest::all(), RankRequest::all().top(k)] {
+            let want = &naive[..request.top_k.map_or(naive.len(), |k| k.min(naive.len()))];
+            let got = store.rank(&concept, &request).unwrap();
+            prop_assert_eq!(&got[..], want);
+            for (a, b) in got.iter().zip(want) {
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+
+        // Round-trip: the persisted quantized tier must screen the same.
+        store.flush().unwrap();
+        let reopened = ShardedDatabase::open(&dir).unwrap();
+        let got = reopened.rank(&concept, &RankRequest::all().top(k)).unwrap();
+        prop_assert_eq!(&got[..], &naive[..k.min(naive.len())]);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -175,3 +175,78 @@ fn fault_seam_actually_intercepts_io() {
         "refused read",
     );
 }
+
+/// Builds a sharded v4 store (manifest + shard files, each carrying a
+/// persisted quantized tier) and returns its directory plus the length
+/// of its largest file, so the sweeps below can cover every byte of
+/// every file — header, bag payload, quantized-tier section, and
+/// trailing checksum alike.
+fn saved_sharded_store(tag: &str) -> (PathBuf, usize) {
+    let dir = scratch(&format!("sharded_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = synthetic_database(10, 4, 33);
+    let mut store = milr_store::ShardedDatabase::from_database(&db, &dir, 3).expect("build store");
+    store.flush().expect("clean flush");
+    assert!(store.shard_count() >= 3, "fixture must span several shards");
+    let max_len = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("entry").metadata().expect("metadata").len() as usize)
+        .max()
+        .expect("store files");
+    (dir, max_len)
+}
+
+#[test]
+fn flipped_sharded_store_bits_never_load() {
+    let (dir, max_len) = saved_sharded_store("flip");
+    // Every file is read through the same seam, so one sweep position
+    // corrupts whichever of the manifest / shard files reaches that
+    // offset — including the v4 quantized-tier section at the tail of
+    // each shard file. Each must be caught by a trailing checksum.
+    for offset in (0..max_len).step_by(11) {
+        for mask in [0x01, 0x80] {
+            assert_storage_error(
+                milr_store::ShardedDatabase::open_with(&BitFlipFs { offset, mask }, &dir),
+                &format!("sharded bit flip at byte {offset} mask {mask:#04x}"),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn short_sharded_store_reads_never_load() {
+    let (dir, max_len) = saved_sharded_store("short");
+    for limit in (0..max_len).step_by(13).chain([max_len - 1]) {
+        assert_storage_error(
+            milr_store::ShardedDatabase::open_with(&ShortReadFs { limit }, &dir),
+            &format!("sharded short read at {limit} bytes"),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_sharded_flush_never_loads() {
+    // Tear the flush itself: every file the store writes is truncated
+    // at `keep` bytes. Any torn point must leave a store that refuses
+    // to open — the manifest digests cross-check the shard files.
+    let (clean_dir, max_len) = saved_sharded_store("torn_ref");
+    std::fs::remove_dir_all(&clean_dir).ok();
+    let db = synthetic_database(10, 4, 33);
+    for keep in (0..max_len).step_by(17).chain([0, max_len - 1]) {
+        let dir = scratch(&format!("sharded_torn_{keep}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store =
+            milr_store::ShardedDatabase::from_database(&db, &dir, 3).expect("build store");
+        match store.flush_with(&TornWriteFs { keep }) {
+            // A flush that already noticed the tear is an immediate pass.
+            Err(_) => {}
+            Ok(()) => assert_storage_error(
+                milr_store::ShardedDatabase::open(&dir),
+                &format!("torn sharded flush at byte {keep}"),
+            ),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

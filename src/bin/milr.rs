@@ -279,7 +279,11 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
 
 /// Compacts a sharded snapshot in place (dropping tombstones and
 /// renumbering shards), or — given a monolithic `--in` plus `--out` —
-/// migrates it to v3 via the same repack.
+/// migrates it to the sharded format via the same repack. Either way
+/// the rewritten shards are format v4: each carries its quantized
+/// screening tier, rebuilt deterministically from the live bags, so a
+/// compacted (or migrated) store opens with the two-tier ranking path
+/// ready — no lazy re-quantization on first load.
 fn cmd_compact(args: &[String]) -> Result<(), String> {
     let input = flag(args, "--in").ok_or("--in is required")?;
     let in_path = Path::new(&input);

@@ -322,18 +322,22 @@ proptest! {
         use milr::mil::Concept;
         let inst = &raw_inst[..k];
         let concept = Concept::new(raw_point[..k].to_vec(), raw_w[..k].to_vec());
-        // The naive reference: strictly sequential accumulation in
-        // dimension order, exactly as `instance_distance_sq` specifies.
-        let naive: f64 = concept
-            .point()
-            .iter()
-            .zip(inst)
-            .zip(concept.weights())
-            .map(|((&t, &b), &w)| {
-                let d = t - f64::from(b);
-                w * d * d
-            })
-            .sum();
+        // The naive reference spells out the canonical accumulation
+        // order `instance_distance_sq` specifies: four strided lanes
+        // (dimension i feeds lane i % 4 within full blocks, remainder
+        // dimensions feed lanes 0.. in order) combined as
+        // (a0 + a1) + (a2 + a3), each term built as (w·d)·d.
+        let mut acc = [0.0f64; 4];
+        let blocks = k / 4;
+        for i in 0..blocks * 4 {
+            let d = raw_point[i] - f64::from(raw_inst[i]);
+            acc[i % 4] += raw_w[i] * d * d;
+        }
+        for (l, i) in (blocks * 4..k).enumerate() {
+            let d = raw_point[i] - f64::from(raw_inst[i]);
+            acc[l] += raw_w[i] * d * d;
+        }
+        let naive = (acc[0] + acc[1]) + (acc[2] + acc[3]);
         prop_assert_eq!(concept.instance_distance_sq(inst).to_bits(), naive.to_bits());
         let bound = naive * bound_frac;
         match concept.instance_distance_sq_below(inst, bound) {

@@ -10,6 +10,10 @@
 //! warm-up sizes the per-sample iteration count, then `sample_size`
 //! samples are timed and the median/min/max per-iteration times are
 //! printed as plain text (no HTML reports, no statistical regression).
+//!
+//! Upstream's `--test` flag is honoured: `cargo bench -- --test` runs
+//! every benchmark routine exactly once without measurement, as a CI
+//! smoke test that the benches still execute.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -149,12 +153,17 @@ pub struct Bencher {
     iters_per_sample: u64,
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Measures `routine`, keeping its return value alive via
     /// [`black_box`] so the work is not optimised away.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up doubles the batch size until one batch takes ≥ 5 ms
         // (or the batch is already large); this sizes batches so timer
         // resolution is irrelevant without spending seconds warming up.
@@ -183,12 +192,18 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let test_mode = std::env::args().any(|a| a == "--test");
     let mut bencher = Bencher {
         iters_per_sample: 0,
         samples: Vec::new(),
         sample_size,
+        test_mode,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("{label:<48} --test: ran once, ok");
+        return;
+    }
     if bencher.samples.is_empty() {
         println!("{label:<48} (no measurement: Bencher::iter never called)");
         return;
