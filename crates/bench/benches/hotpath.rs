@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milr_mil::{
-    Bag, BagLabel, Concept, DdObjective, FlatBags, LegacyDdObjective, MilDataset,
-    Parameterization, ScreenScratch, ScreenStats,
+    Bag, BagLabel, Concept, DdObjective, FlatBags, LegacyDdObjective, MilDataset, Parameterization,
+    ScreenScratch, ScreenStats,
 };
 use milr_optim::Objective;
 
@@ -198,7 +198,12 @@ fn bench_quantized_vs_exact(c: &mut Criterion) {
         flat.push_bag(&Bag::new(instances).unwrap());
     }
     let concept = Concept::new(
-        flat.instances(0).next().unwrap().iter().map(|&v| f64::from(v)).collect(),
+        flat.instances(0)
+            .next()
+            .unwrap()
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect(),
         (0..dim).map(|i| 0.5 + (i % 7) as f64 * 0.2).collect(),
     );
     let query = flat.quant_query(&concept);
@@ -228,7 +233,12 @@ fn bench_quantized_vs_exact(c: &mut Criterion) {
             for bag in 0..flat.bag_count() {
                 if flat
                     .min_distance_sq_below_screened(
-                        &concept, &query, bag, bound, &mut stats, &mut scratch,
+                        &concept,
+                        &query,
+                        bag,
+                        bound,
+                        &mut stats,
+                        &mut scratch,
                     )
                     .is_some()
                 {

@@ -5,7 +5,12 @@ fn main() {
     let dim = 100usize;
     let n = 4000usize;
     let mut state = 12345u64;
-    let mut next = || { state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5 };
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+    };
     let point: Vec<f64> = (0..dim).map(|_| next() * 20.0).collect();
     let weights: Vec<f64> = (0..dim).map(|_| next().abs() * 3.0 + 0.01).collect();
     let data: Vec<f32> = (0..n * dim).map(|_| (next() * 20.0) as f32).collect();
@@ -49,7 +54,9 @@ fn main() {
     println!("screen full-scan: {:.1} us", best * 1e6);
 
     // Bounded: exact with tight bound vs screen_skips with tight threshold.
-    let exact: Vec<f64> = (0..n).map(|i| weighted_distance_sq(&point, &weights, &data[i * dim..(i + 1) * dim])).collect();
+    let exact: Vec<f64> = (0..n)
+        .map(|i| weighted_distance_sq(&point, &weights, &data[i * dim..(i + 1) * dim]))
+        .collect();
     let mut sorted = exact.clone();
     sorted.sort_by(f64::total_cmp);
     let bound = sorted[16]; // like a filled top-k heap
@@ -58,7 +65,11 @@ fn main() {
         let t = Instant::now();
         let mut kept = 0u32;
         for i in 0..n {
-            if weighted_distance_sq_below(&point, &weights, &data[i * dim..(i + 1) * dim], bound).is_some() { kept += 1; }
+            if weighted_distance_sq_below(&point, &weights, &data[i * dim..(i + 1) * dim], bound)
+                .is_some()
+            {
+                kept += 1;
+            }
         }
         std::hint::black_box(kept);
         best = best.min(t.elapsed().as_secs_f64());
@@ -73,7 +84,9 @@ fn main() {
         for i in 0..n {
             let p = params[i];
             let th = query.threshold_with(sq, p.radius);
-            if screen_skips(&query, &codes[i * dim..(i + 1) * dim], p.bias, p.scale, th) { skipped += 1; }
+            if screen_skips(&query, &codes[i * dim..(i + 1) * dim], p.bias, p.scale, th) {
+                skipped += 1;
+            }
         }
         std::hint::black_box(skipped);
         best = best.min(t.elapsed().as_secs_f64());

@@ -12,15 +12,18 @@ fn stats(name: &str, mut samples: Vec<f64>) -> f64 {
     samples.sort_by(f64::total_cmp);
     let min = samples[0];
     let med = samples[samples.len() / 2];
-    println!("{name:<22} min {:>8.1} us   median {:>8.1} us", min * 1e6, med * 1e6);
+    println!(
+        "{name:<22} min {:>8.1} us   median {:>8.1} us",
+        min * 1e6,
+        med * 1e6
+    );
     med
 }
 
 fn main() {
     let db_src = scene_database(Scale::Quick, 0);
     let config = RetrievalConfig::default();
-    let db =
-        RetrievalDatabase::from_labelled_images(db_src.gray_images(), &config).unwrap();
+    let db = RetrievalDatabase::from_labelled_images(db_src.gray_images(), &config).unwrap();
     let dim = db.feature_dim();
     // A concept like the trained one: an instance of bag 0 as the ideal
     // point, mild non-uniform weights.
@@ -128,7 +131,14 @@ fn main() {
             let mut scratch = milr_mil::ScreenScratch::default();
             for b in 0..flat.bag_count() {
                 if flat
-                    .min_distance_sq_below_screened(&concept, &query, b, bound, &mut s, &mut scratch)
+                    .min_distance_sq_below_screened(
+                        &concept,
+                        &query,
+                        b,
+                        bound,
+                        &mut s,
+                        &mut scratch,
+                    )
                     .is_some()
                 {
                     kept += 1;
@@ -140,9 +150,14 @@ fn main() {
     let mut s = milr_mil::ScreenStats::default();
     let mut scratch = milr_mil::ScreenScratch::default();
     for b in 0..flat.bag_count() {
-        std::hint::black_box(
-            flat.min_distance_sq_below_screened(&concept, &query, b, bound, &mut s, &mut scratch),
-        );
+        std::hint::black_box(flat.min_distance_sq_below_screened(
+            &concept,
+            &query,
+            b,
+            bound,
+            &mut s,
+            &mut scratch,
+        ));
     }
     println!(
         "flat screened/exact: {:.2}x   screen stats per scan: {s:?}",
@@ -161,8 +176,7 @@ fn main() {
         for j in 0..span.len {
             let p = flat.quant_params()[span.offset + j];
             let th = query2.threshold_with(sq, p.radius);
-            let codes = &flat.quant_codes()
-                [(span.offset + j) * dim..(span.offset + j + 1) * dim];
+            let codes = &flat.quant_codes()[(span.offset + j) * dim..(span.offset + j + 1) * dim];
             let mut cum = 0.0f64;
             let mut crossed = None;
             for (i, &q) in codes.iter().enumerate() {

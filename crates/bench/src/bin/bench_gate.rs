@@ -160,6 +160,32 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
         format!("loadgen completed {completed} >= clients {clients}"),
     );
 
+    // 2b. Distributed phase health: a healthy 2-worker cluster must
+    // serve with zero hard errors AND zero degraded (`partial`) pages,
+    // and every keep-alive client must make progress.
+    let dist_errors = number(loadgen, &["distributed", "errors"]).unwrap_or(f64::INFINITY);
+    check(
+        &mut lines,
+        &mut passed,
+        dist_errors == 0.0,
+        format!("distributed errors = {dist_errors}"),
+    );
+    let dist_partial = number(loadgen, &["distributed", "partial"]).unwrap_or(f64::INFINITY);
+    check(
+        &mut lines,
+        &mut passed,
+        dist_partial == 0.0,
+        format!("distributed partial pages = {dist_partial}"),
+    );
+    let dist_completed = number(loadgen, &["distributed", "completed"]).unwrap_or(0.0);
+    let dist_clients = number(loadgen, &["distributed", "clients"]).unwrap_or(1.0);
+    check(
+        &mut lines,
+        &mut passed,
+        dist_completed >= dist_clients,
+        format!("distributed completed {dist_completed} >= clients {dist_clients}"),
+    );
+
     // 3. Machine-normalised end-to-end speedup vs baseline.
     let fresh_speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
     let base_speedup = number(baseline, &["perf", "end_to_end_speedup"]).unwrap_or(0.0);
@@ -245,12 +271,16 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
         .to_owned();
     let throughput = number(loadgen, &["throughput_rps"]).unwrap_or(0.0);
     let p99 = number(loadgen, &["latency_us", "p99"]).unwrap_or(0.0);
+    let dist_throughput = number(loadgen, &["distributed", "throughput_rps"]).unwrap_or(0.0);
+    let dist_workers = number(loadgen, &["distributed", "workers"]).unwrap_or(0.0);
     format!(
         "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \
          \"sharded_rank_speedup\": {sharded:.3}, \
          \"quantized_rank_speedup\": {quantized:.3}, \"shard_count\": {shards}, \
          \"cores\": {cores}, \"scale\": \"{scale}\" }},\n  \
-         \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99} }}\n}}\n"
+         \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99}, \
+         \"distributed_throughput_rps\": {dist_throughput:.1}, \
+         \"distributed_workers\": {dist_workers} }}\n}}\n"
     )
 }
 
@@ -307,10 +337,23 @@ mod tests {
         ))
         .unwrap();
         let loadgen = Json::parse(&format!(
-            "{{ \"errors\": {errors}, \"completed\": 640, \"clients\": 32 }}"
+            "{{ \"errors\": {errors}, \"completed\": 640, \"clients\": 32, \
+               \"distributed\": {{ \"errors\": 0, \"partial\": 0, \
+                 \"completed\": 80, \"clients\": 8 }} }}"
         ))
         .unwrap();
         (baseline, perf, loadgen)
+    }
+
+    /// A loadgen artifact whose distributed phase reports the given
+    /// error/partial/completed counts.
+    fn loadgen_with_distributed(errors: u64, partial: u64, completed: u64) -> Json {
+        Json::parse(&format!(
+            "{{ \"errors\": 0, \"completed\": 640, \"clients\": 32, \
+               \"distributed\": {{ \"errors\": {errors}, \"partial\": {partial}, \
+                 \"completed\": {completed}, \"clients\": 8 }} }}"
+        ))
+        .unwrap()
     }
 
     #[test]
@@ -344,6 +387,41 @@ mod tests {
     #[test]
     fn fails_on_loadgen_errors() {
         let (b, p, l) = fixture(3.0, 8, true, 3);
+        assert!(!gate(&b, &p, &l, 0.15).passed);
+    }
+
+    #[test]
+    fn fails_on_distributed_errors() {
+        let (b, p, _) = fixture(3.0, 8, true, 0);
+        let report = gate(&b, &p, &loadgen_with_distributed(2, 0, 80), 0.15);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL distributed errors"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn fails_on_distributed_partial_pages() {
+        // Degraded pages from a healthy cluster mean a worker silently
+        // dropped out of scatters: a hard failure even with zero errors.
+        let (b, p, _) = fixture(3.0, 8, true, 0);
+        let report = gate(&b, &p, &loadgen_with_distributed(0, 1, 80), 0.15);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL distributed partial"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn fails_when_distributed_section_is_missing() {
+        // An artifact from a loadgen run that skipped the distributed
+        // phase must not slip through the gate.
+        let (b, p, _) = fixture(3.0, 8, true, 0);
+        let l = Json::parse("{ \"errors\": 0, \"completed\": 640, \"clients\": 32 }").unwrap();
         assert!(!gate(&b, &p, &l, 0.15).passed);
     }
 
@@ -383,7 +461,11 @@ mod tests {
         let (b, _, l) = fixture(3.0, 8, true, 0);
         let report = gate(&b, &perf_with_topk(0.9, 1.7), &l, 0.15);
         assert!(!report.passed);
-        assert!(report.text.contains("FAIL rank_sharded_top_k"), "{}", report.text);
+        assert!(
+            report.text.contains("FAIL rank_sharded_top_k"),
+            "{}",
+            report.text
+        );
     }
 
     #[test]
@@ -391,7 +473,11 @@ mod tests {
         let (b, _, l) = fixture(3.0, 8, true, 0);
         let report = gate(&b, &perf_with_topk(1.4, 1.2), &l, 0.15);
         assert!(!report.passed);
-        assert!(report.text.contains("FAIL rank_quantized_top_k"), "{}", report.text);
+        assert!(
+            report.text.contains("FAIL rank_quantized_top_k"),
+            "{}",
+            report.text
+        );
     }
 
     #[test]
@@ -405,7 +491,10 @@ mod tests {
         let text = extract_baseline(&p, &l);
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(number(&parsed, &["perf", "end_to_end_speedup"]), Some(3.0));
-        assert_eq!(number(&parsed, &["perf", "quantized_rank_speedup"]), Some(1.7));
+        assert_eq!(
+            number(&parsed, &["perf", "quantized_rank_speedup"]),
+            Some(1.7)
+        );
         assert_eq!(number(&parsed, &["loadgen", "throughput_rps"]), Some(512.5));
     }
 }

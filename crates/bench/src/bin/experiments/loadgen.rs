@@ -8,14 +8,22 @@
 //! distinct example combinations, so the run exercises both the training
 //! path (first occurrence of each combination) and the concept-cache hot
 //! path (every repeat).
+//!
+//! A second, distributed phase then shards the same database and
+//! serves it through a 1-coordinator / 2-worker cluster (real sockets
+//! between all three nodes), with keep-alive clients driving
+//! `/cluster/rank`. Its health numbers — zero errors, zero degraded
+//! (`partial`) pages — are hard-gated by `bench_gate`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use milr_bench::{scene_database, Scale};
+use milr_cluster::{Coordinator, CoordinatorOptions, NodeOptions, Worker, WorkerOptions};
 use milr_core::{RetrievalConfig, RetrievalDatabase};
 use milr_serve::{client, ServeOptions, Server};
+use milr_store::ShardedDatabase;
 
 /// Concurrent client threads (the acceptance bar: ≥ 32 in flight).
 const CLIENTS: usize = 32;
@@ -25,6 +33,12 @@ const PAGE: usize = 16;
 
 /// Distinct example combinations rotated through by the clients.
 const COMBOS: usize = 8;
+
+/// Keep-alive client threads in the distributed phase.
+const DIST_CLIENTS: usize = 8;
+
+/// Workers in the distributed phase's cluster.
+const DIST_WORKERS: usize = 2;
 
 pub fn loadgen(scale: Scale, seed: u64) {
     let duration = match scale {
@@ -60,6 +74,21 @@ pub fn loadgen(scale: Scale, seed: u64) {
             )
         })
         .collect();
+
+    // Shard the same corpus to disk now, before the daemon consumes
+    // `db`: the distributed phase serves this snapshot once the
+    // single-node phase has drained.
+    let cluster_dir =
+        std::env::temp_dir().join(format!("milr_loadgen_cluster_{}", std::process::id()));
+    std::fs::remove_dir_all(&cluster_dir).ok();
+    std::fs::create_dir_all(&cluster_dir).expect("cluster scratch dir");
+    let snapshot = cluster_dir.join("db.shards");
+    let shards = {
+        let mut store = ShardedDatabase::from_database(&db, &snapshot, db.len().div_ceil(4).max(1))
+            .expect("shard the snapshot");
+        store.flush().expect("flush the snapshot");
+        store.shard_count()
+    };
 
     let server = Server::start(
         db,
@@ -204,6 +233,9 @@ pub fn loadgen(scale: Scale, seed: u64) {
         println!("WARNING: {errors} hard errors under load (timeouts or malformed responses)");
     }
 
+    let distributed = distributed_phase(&snapshot, shards, &combos, scale);
+    std::fs::remove_dir_all(&cluster_dir).ok();
+
     let json = format!(
         "{{\n  \"experiment\": \"loadgen\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \
          \"database_images\": {images},\n  \"clients\": {CLIENTS},\n  \"page\": {PAGE},\n  \
@@ -215,7 +247,8 @@ pub fn loadgen(scale: Scale, seed: u64) {
          \"registry_latency_us\": {{ \"count\": {reg_count}, \"mean\": {reg_mean:.1}, \
          \"p50\": {reg_p50}, \"p90\": {reg_p90}, \"p99\": {reg_p99}, \"max\": {reg_max} }},\n  \
          \"concept_cache\": {{ \"hits\": {cache_hits}, \"misses\": {cache_misses}, \
-         \"hit_rate\": {hit_rate:.4} }}\n}}\n",
+         \"hit_rate\": {hit_rate:.4} }},\n  \
+         \"distributed\": {distributed}\n}}\n",
         reg_count = reg.count(),
         reg_mean = reg.mean(),
         reg_max = reg.max(),
@@ -223,6 +256,160 @@ pub fn loadgen(scale: Scale, seed: u64) {
     let path = "BENCH_serve.json";
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!("\nwrote {path}");
+}
+
+/// Phase 2: serves the sharded `snapshot` through an in-process
+/// 1-coordinator / `DIST_WORKERS`-worker cluster (real sockets between
+/// all nodes) and drives `/cluster/rank` from keep-alive clients.
+/// Returns the `"distributed"` JSON object for `BENCH_serve.json`;
+/// `bench_gate` hard-fails on any error or degraded (`partial`) page.
+fn distributed_phase(
+    snapshot: &std::path::Path,
+    shards: usize,
+    combos: &[String],
+    scale: Scale,
+) -> String {
+    let duration = match scale {
+        Scale::Full => Duration::from_secs(5),
+        Scale::Quick => Duration::from_secs(2),
+    };
+    let workers: Vec<Worker> = (0..DIST_WORKERS)
+        .map(|index| {
+            Worker::start(WorkerOptions {
+                node: NodeOptions {
+                    // Keep pooled coordinator sockets alive across
+                    // client think-time and training pauses.
+                    read_timeout: Duration::from_secs(30),
+                    ..NodeOptions::default()
+                },
+                snapshot_dir: snapshot.to_path_buf(),
+                worker_index: index,
+                worker_count: DIST_WORKERS,
+                ..WorkerOptions::default()
+            })
+            .expect("worker start failed")
+        })
+        .collect();
+    let coordinator = Coordinator::start(CoordinatorOptions {
+        node: NodeOptions {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            ..NodeOptions::default()
+        },
+        snapshot_dir: snapshot.to_path_buf(),
+        workers: workers.iter().map(Worker::addr).collect(),
+        retrieval: RetrievalConfig {
+            threads: 1,
+            ..RetrievalConfig::default()
+        },
+        worker_deadline: Duration::from_secs(30),
+        ..CoordinatorOptions::default()
+    })
+    .expect("coordinator start failed");
+    let addr = coordinator.addr();
+    let targets: Vec<String> = combos
+        .iter()
+        .map(|combo| combo.replacen("/rank", "/cluster/rank", 1))
+        .collect();
+    eprintln!(
+        "cluster on {addr} ({DIST_WORKERS} workers, {shards} shards), \
+         {DIST_CLIENTS} keep-alive clients, {}s ...",
+        duration.as_secs()
+    );
+
+    // Warm-up: train each combination once on the coordinator.
+    for target in &targets {
+        let response =
+            client::get(addr, target, Duration::from_secs(120)).expect("cluster warm-up query");
+        assert_eq!(response.status, 200, "cluster warm-up failed: {response:?}");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..DIST_CLIENTS)
+        .map(|id| {
+            let targets = targets.to_vec();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conn = client::Connection::new(addr, Duration::from_secs(30));
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let (mut errors, mut partial) = (0u64, 0u64);
+                let mut turn = id; // de-phase the clients
+                while !stop.load(Ordering::Relaxed) {
+                    let target = &targets[turn % targets.len()];
+                    turn += 1;
+                    let begin = Instant::now();
+                    match conn.get(target) {
+                        Ok(response) if response.status == 200 => {
+                            // A degraded page is not an error but it is
+                            // a gate violation: every worker is healthy
+                            // here, so every page must be complete.
+                            match response.json() {
+                                Ok(page)
+                                    if page.get("partial").and_then(|p| p.as_bool())
+                                        == Some(false) =>
+                                {
+                                    latencies_us.push(begin.elapsed().as_micros() as u64);
+                                }
+                                _ => partial += 1,
+                            }
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (latencies_us, errors, partial)
+            })
+        })
+        .collect();
+
+    let begin = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let (mut errors, mut partial) = (0u64, 0u64);
+    for handle in clients {
+        let (l, e, p) = handle.join().expect("cluster client thread");
+        latencies_us.extend(l);
+        errors += e;
+        partial += p;
+    }
+    let elapsed = begin.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+
+    // Coordinator first: its pooled keep-alive sockets must close
+    // before the workers drain their connection books.
+    coordinator.request_shutdown();
+    coordinator.wait();
+    for worker in workers {
+        worker.request_shutdown();
+        worker.wait();
+    }
+
+    let completed = latencies_us.len() as u64;
+    let throughput = completed as f64 / elapsed;
+    let pct = |q: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies_us.len() as f64).ceil() as usize).clamp(1, latencies_us.len());
+        latencies_us[rank - 1]
+    };
+    let (p50, p90, p99, max) = (pct(0.50), pct(0.90), pct(0.99), pct(1.0));
+    let mean = if latencies_us.is_empty() {
+        0.0
+    } else {
+        latencies_us.iter().sum::<u64>() as f64 / latencies_us.len() as f64
+    };
+    println!(
+        "distributed: {completed} requests in {elapsed:.1}s  ->  {throughput:.0} req/s  \
+         (errors {errors}, partial {partial})\n\
+         distributed latency µs  mean {mean:.0}  p50 {p50}  p90 {p90}  p99 {p99}  max {max}"
+    );
+    format!(
+        "{{ \"workers\": {DIST_WORKERS}, \"shards\": {shards}, \"clients\": {DIST_CLIENTS}, \
+         \"duration_s\": {elapsed:.3}, \"completed\": {completed}, \"errors\": {errors}, \
+         \"partial\": {partial}, \"throughput_rps\": {throughput:.3}, \
+         \"latency_us\": {{ \"mean\": {mean:.1}, \"p50\": {p50}, \"p90\": {p90}, \
+         \"p99\": {p99}, \"max\": {max} }} }}"
+    )
 }
 
 fn join(indices: &[usize]) -> String {

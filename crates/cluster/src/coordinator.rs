@@ -1,0 +1,1017 @@
+//! The coordinator milrd: trains concepts locally on the full snapshot,
+//! scatters `POST /worker/rank` calls over the worker fleet (each
+//! worker owning the shard subset [`assign_shards`] gives it), and
+//! k-way-merges the per-worker top-k pages with the same
+//! [`merge_rankings`](milr_store::merge_rankings) the single-node
+//! scatter uses — so a healthy
+//! cluster's ranking is **bit-identical** to single-node ranking by
+//! construction.
+//!
+//! Robustness model:
+//!
+//! * every worker call carries a deadline; a transport failure is
+//!   retried once on a fresh dial, a `409` generation rejection is
+//!   answered by resyncing the worker (`POST /snapshot/reload`) and
+//!   retrying once — cross-generation results never merge silently;
+//! * a worker whose failures reach `eviction_threshold` consecutively
+//!   is evicted: skipped by the scatter (its shards are reported
+//!   missing instantly) until a health probe succeeds and it rejoins;
+//! * a crashed worker can also rejoin at a **new** address with
+//!   `POST /cluster/workers` — re-registration clears the slot's
+//!   connection pool and failure count;
+//! * when any worker drops out of a scatter the client still gets a
+//!   well-formed page: the exact top-k over the surviving shards,
+//!   flagged `"partial": true` with the missing shard ids and bag-index
+//!   ranges attached.
+//!
+//! The conservation law tying it together (asserted by the chaos
+//! suite): every rank accounts for every shard, ranked or missing —
+//! `shards_ranked_total + shards_missing_total ==
+//! rank_total × total_shards`.
+//!
+//! Bound forwarding: the scatter carries the coordinator's running
+//! k-th-best distance into each worker request, seeding the worker's
+//! [`SharedBound`] so its shard scans prune against results gathered
+//! elsewhere in the cluster. Soundness: a forwarded bound is always
+//! backed by `k` real candidates from an already-gathered response,
+//! and that response is always part of the final merge.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use milr_core::database::Ranking;
+use milr_core::error::CoreError;
+use milr_core::storage::storage_err;
+use milr_core::{QuerySession, RetrievalConfig, RetrievalDatabase};
+use milr_mil::Concept;
+use milr_serve::cache::{CachedConcept, ConceptCache, ConceptKey};
+use milr_serve::client;
+use milr_serve::http::Request;
+use milr_serve::metrics::Metrics;
+use milr_serve::{parse_policy, Json};
+use milr_store::{
+    read_manifest, shard_file_name, ManifestSummary, ShardedDatabase, SharedBound, MANIFEST_FILE,
+};
+
+use crate::node::{Action, Node, NodeOptions, Reply};
+use crate::protocol::{
+    assign_shards, gather, missing_ranges, GatherInput, WorkerRankRequest, WorkerRankResponse,
+};
+
+/// Everything tunable about a coordinator daemon.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Server-loop options (bind address, pool sizes, timeouts).
+    pub node: NodeOptions,
+    /// The sharded snapshot directory (for local training and for
+    /// streaming shards to joining workers).
+    pub snapshot_dir: PathBuf,
+    /// Worker addresses; list position is the worker's index in the
+    /// shard assignment.
+    pub workers: Vec<SocketAddr>,
+    /// Training/ranking configuration.
+    pub retrieval: RetrievalConfig,
+    /// Concept-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Ranking page size when a request names no `k`.
+    pub default_page: usize,
+    /// Deadline per worker exchange (connect + write + read).
+    pub worker_deadline: Duration,
+    /// Interval between health probes of the fleet.
+    pub health_interval: Duration,
+    /// Consecutive failures after which a worker is evicted.
+    pub eviction_threshold: u64,
+    /// Scatter workers one at a time in index order instead of in
+    /// parallel — slower, but makes bound forwarding deterministic
+    /// (worker `i+1` always sees worker `i`'s k-th best). The bound
+    /// propagation tests rely on this.
+    pub sequential_fanout: bool,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        Self {
+            node: NodeOptions::default(),
+            snapshot_dir: PathBuf::new(),
+            workers: Vec::new(),
+            retrieval: RetrievalConfig::default(),
+            cache_capacity: 128,
+            default_page: 10,
+            worker_deadline: Duration::from_secs(2),
+            health_interval: Duration::from_millis(500),
+            eviction_threshold: 2,
+            sequential_fanout: false,
+        }
+    }
+}
+
+/// One worker's slot in the fleet: address (re-registration may move
+/// it), health state, and the keep-alive connection pool.
+struct WorkerSlot {
+    index: usize,
+    addr: Mutex<SocketAddr>,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU64,
+    /// Generation last reported by a health probe (0 before the first).
+    seen_generation: AtomicU64,
+    /// Idle keep-alive connections to this worker. A checkout pops,
+    /// a clean exchange pushes back — so sequential traffic reuses one
+    /// socket and concurrent traffic grows the pool organically.
+    pool: Mutex<Vec<client::Connection>>,
+    latency_us: Arc<milr_obs::Histogram>,
+}
+
+impl WorkerSlot {
+    fn checkout(&self, deadline: Duration) -> client::Connection {
+        let pooled = self.pool.lock().expect("worker pool mutex").pop();
+        pooled
+            .unwrap_or_else(|| client::Connection::new(*self.addr.lock().expect("addr"), deadline))
+    }
+
+    fn checkin(&self, conn: client::Connection) {
+        // An address change (re-registration) while this connection was
+        // out invalidates it; drop instead of pooling.
+        if conn.addr() == *self.addr.lock().expect("addr") {
+            self.pool.lock().expect("worker pool mutex").push(conn);
+        }
+    }
+}
+
+/// One loaded snapshot epoch. In-flight requests pin it via `Arc`, so a
+/// reload never tears ranking out from under a scatter.
+struct CoordinatorEpoch {
+    /// Live (tombstone-compacted) view for local concept training.
+    db: Arc<RetrievalDatabase>,
+    summary: ManifestSummary,
+    /// Manifest generation **verbatim** (not bumped like the single-node
+    /// daemon's reload counter) so coordinator and workers reading the
+    /// same directory converge on the same number.
+    generation: u64,
+    /// `assignment[i]` = shard ids owned by worker `i`.
+    assignment: Vec<Vec<u64>>,
+}
+
+struct ClusterCounters {
+    rank_total: Arc<milr_obs::Counter>,
+    partial_responses_total: Arc<milr_obs::Counter>,
+    shards_ranked_total: Arc<milr_obs::Counter>,
+    shards_missing_total: Arc<milr_obs::Counter>,
+    bound_forwarded_total: Arc<milr_obs::Counter>,
+    bound_tightenings_total: Arc<milr_obs::Counter>,
+    worker_retries_total: Arc<milr_obs::Counter>,
+    worker_evictions_total: Arc<milr_obs::Counter>,
+    worker_rejoins_total: Arc<milr_obs::Counter>,
+    generation_mismatch_total: Arc<milr_obs::Counter>,
+    worker_resyncs_total: Arc<milr_obs::Counter>,
+}
+
+struct CoordinatorDaemon {
+    options: CoordinatorOptions,
+    config: Arc<RetrievalConfig>,
+    epoch: Mutex<Arc<CoordinatorEpoch>>,
+    cache: Mutex<ConceptCache>,
+    slots: Vec<WorkerSlot>,
+    counters: ClusterCounters,
+    metrics: Arc<Metrics>,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+impl CoordinatorDaemon {
+    fn epoch(&self) -> Arc<CoordinatorEpoch> {
+        Arc::clone(&self.epoch.lock().expect("coordinator epoch mutex"))
+    }
+
+    fn load_epoch(options: &CoordinatorOptions) -> Result<CoordinatorEpoch, CoreError> {
+        let summary = read_manifest(&options.snapshot_dir)?;
+        let store = ShardedDatabase::open(&options.snapshot_dir)?;
+        let db = Arc::new(store.to_database()?);
+        let assignment = assign_shards(
+            &summary.shards.iter().map(|s| s.id).collect::<Vec<_>>(),
+            options.workers.len(),
+        );
+        let generation = summary.generation;
+        Ok(CoordinatorEpoch {
+            db,
+            summary,
+            generation,
+            assignment,
+        })
+    }
+
+    fn reload(&self) -> Result<(u64, usize), CoreError> {
+        match Self::load_epoch(&self.options) {
+            Ok(epoch) => {
+                let generation = epoch.generation;
+                let shards = epoch.summary.shards.len();
+                *self.epoch.lock().expect("coordinator epoch mutex") = Arc::new(epoch);
+                self.metrics.snapshot_reloads_total.inc();
+                self.metrics.snapshot_generation.set(generation as f64);
+                self.metrics.snapshot_shards.set(shards as f64);
+                Ok((generation, shards))
+            }
+            Err(err) => {
+                self.metrics.snapshot_reload_failures_total.inc();
+                Err(err)
+            }
+        }
+    }
+
+    fn note_success(&self, slot: &WorkerSlot) {
+        slot.consecutive_failures.store(0, Ordering::Relaxed);
+        if !slot.healthy.swap(true, Ordering::Relaxed) {
+            self.counters.worker_rejoins_total.inc();
+        }
+    }
+
+    fn note_failure(&self, slot: &WorkerSlot) {
+        let failures = slot.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= self.options.eviction_threshold
+            && slot.healthy.swap(false, Ordering::Relaxed)
+        {
+            self.counters.worker_evictions_total.inc();
+        }
+    }
+
+    /// Asks `slot`'s worker to reload its subset from the snapshot
+    /// directory (or from us, if it joined with `--join`).
+    fn resync_worker(&self, slot: &WorkerSlot) -> Result<(), String> {
+        self.counters.worker_resyncs_total.inc();
+        let mut conn = slot.checkout(self.options.worker_deadline);
+        let result = conn.post_json("/snapshot/reload", &Json::Obj(Vec::new()));
+        match result {
+            Ok(response) if response.status == 200 => {
+                slot.checkin(conn);
+                Ok(())
+            }
+            Ok(response) => Err(format!("worker resync answered {}", response.status)),
+            Err(e) => Err(format!("worker resync failed: {e}")),
+        }
+    }
+
+    /// One worker exchange of the scatter: send, and on failure retry
+    /// once — resync-then-retry for a `409` generation rejection, a
+    /// fresh dial for a transport error. Returns the worker's subset
+    /// top-k, or [`None`] when the worker is degraded out of this rank.
+    fn query_worker(
+        &self,
+        slot: &WorkerSlot,
+        epoch: &CoordinatorEpoch,
+        concept: &Concept,
+        k: usize,
+        shared: &SharedBound,
+    ) -> Option<Ranking> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let bound = shared.get();
+            if bound.is_finite() {
+                self.counters.bound_forwarded_total.inc();
+            }
+            let request = WorkerRankRequest {
+                generation: epoch.generation,
+                k,
+                bound,
+                concept: concept.clone(),
+            };
+            let mut conn = slot.checkout(self.options.worker_deadline);
+            let start = Instant::now();
+            let outcome = conn.post_json("/worker/rank", &request.to_json());
+            match outcome {
+                Ok(response) if response.status == 200 => {
+                    let parsed = response
+                        .json()
+                        .and_then(|json| WorkerRankResponse::from_json(&json));
+                    match parsed {
+                        Ok(reply) if reply.generation == epoch.generation => {
+                            slot.latency_us.record(
+                                start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                            );
+                            slot.checkin(conn);
+                            self.note_success(slot);
+                            if k > 0 && reply.ranking.len() >= k {
+                                let kth = reply.ranking[k - 1].1;
+                                if shared.tighten(kth) {
+                                    self.counters.bound_tightenings_total.inc();
+                                }
+                            }
+                            return Some(reply.ranking);
+                        }
+                        // A malformed body or a generation that changed
+                        // between gate and reply: treat as a failed
+                        // attempt like any other.
+                        _ => {}
+                    }
+                }
+                Ok(response) if response.status == 409 => {
+                    self.counters.generation_mismatch_total.inc();
+                    if attempt == 1 && self.resync_worker(slot).is_ok() {
+                        continue;
+                    }
+                }
+                Ok(_) | Err(_) => {}
+            }
+            if attempt == 1 {
+                self.counters.worker_retries_total.inc();
+                continue;
+            }
+            self.note_failure(slot);
+            return None;
+        }
+    }
+
+    /// Fans the concept out over the fleet and returns the per-worker
+    /// gather inputs in slot order. Unhealthy workers and workers that
+    /// fail both attempts surface as `ranking: None`.
+    fn scatter(&self, epoch: &CoordinatorEpoch, concept: &Concept, k: usize) -> Vec<GatherInput> {
+        let shared = SharedBound::new();
+        let jobs: Vec<&WorkerSlot> = self
+            .slots
+            .iter()
+            .filter(|slot| !epoch.assignment[slot.index].is_empty())
+            .collect();
+        let mut results: Vec<Option<Ranking>> = Vec::with_capacity(jobs.len());
+        if self.options.sequential_fanout {
+            for slot in &jobs {
+                results.push(if slot.healthy.load(Ordering::Relaxed) {
+                    self.query_worker(slot, epoch, concept, k, &shared)
+                } else {
+                    None
+                });
+            }
+        } else {
+            results = std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|slot| {
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            if slot.healthy.load(Ordering::Relaxed) {
+                                self.query_worker(slot, epoch, concept, k, shared)
+                            } else {
+                                None
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter thread"))
+                    .collect()
+            });
+        }
+        let mut by_index: Vec<Option<Ranking>> = vec![Some(Vec::new()); self.slots.len()];
+        for (slot, ranking) in jobs.iter().zip(results) {
+            by_index[slot.index] = ranking;
+        }
+        // Shards assigned past the worker list (no slot to serve them —
+        // possible only when the worker list is empty) are missing.
+        epoch
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(index, shard_ids)| GatherInput {
+                shard_ids: shard_ids.clone(),
+                ranking: if shard_ids.is_empty() {
+                    Some(Vec::new())
+                } else if index < by_index.len() {
+                    by_index[index].take()
+                } else {
+                    None
+                },
+            })
+            .collect()
+    }
+
+    fn handle_cluster_rank(&self, req: &Request) -> Reply {
+        let _span = milr_obs::span::enter("cluster.rank");
+        let positives = match parse_index_list(req.query_param("positives").unwrap_or("")) {
+            Ok(list) => list,
+            Err(msg) => return Reply::error(400, msg),
+        };
+        let negatives = match parse_index_list(req.query_param("negatives").unwrap_or("")) {
+            Ok(list) => list,
+            Err(msg) => return Reply::error(400, msg),
+        };
+        if positives.is_empty() {
+            return Reply::error(400, "at least one positive example index is required");
+        }
+        let k = match req.query_param("k") {
+            None => self.options.default_page,
+            Some(v) => match v.parse::<usize>() {
+                Ok(k) => k,
+                Err(_) => return Reply::error(400, format!("invalid k {v:?}")),
+            },
+        };
+        let (config, policy_label) = match req.query_param("policy") {
+            None => (Arc::clone(&self.config), self.config.policy.label()),
+            Some(spec) => {
+                let policy = match parse_policy(spec).and_then(|p| p.validate().map(|()| p)) {
+                    Ok(policy) => policy,
+                    Err(msg) => return Reply::error(400, msg),
+                };
+                let label = policy.label();
+                let mut config = (*self.config).clone();
+                config.policy = policy;
+                (Arc::new(config), label)
+            }
+        };
+        let epoch = self.epoch();
+        let key = ConceptKey::new(&positives, &negatives, &policy_label, epoch.generation);
+        let cached = self.cache.lock().expect("concept cache mutex").get(&key);
+        let (cached, cache_hit) = match cached {
+            Some(hit) => (hit, true),
+            None => {
+                // Train outside the cache lock; identical concurrent
+                // misses converge on the same deterministic concept.
+                let trained = (|| -> Result<CachedConcept, CoreError> {
+                    let mut session = QuerySession::builder(Arc::clone(&epoch.db))
+                        .config(config)
+                        .positives(positives.clone())
+                        .negatives(negatives.clone())
+                        .pool(Vec::new())
+                        .build()?;
+                    session.train_round()?;
+                    Ok(CachedConcept {
+                        concept: session.shared_concept().expect("just trained"),
+                        nldd: session.nldd(),
+                    })
+                })();
+                match trained {
+                    Ok(fresh) => {
+                        self.cache
+                            .lock()
+                            .expect("concept cache mutex")
+                            .insert(key, fresh.clone());
+                        (fresh, false)
+                    }
+                    Err(err) => return Reply::error(core_error_status(&err), err.to_string()),
+                }
+            }
+        };
+        let inputs = self.scatter(&epoch, &cached.concept, k);
+        for input in &inputs {
+            let owned = input.shard_ids.len() as u64;
+            if input.ranking.is_some() {
+                self.counters.shards_ranked_total.add(owned);
+            } else {
+                self.counters.shards_missing_total.add(owned);
+            }
+        }
+        let gathered = gather(inputs, k);
+        self.counters.rank_total.inc();
+        if gathered.partial {
+            self.counters.partial_responses_total.inc();
+        }
+        // Workers rank in the global (tombstone-including) index space;
+        // clients address the live view, exactly like single-node
+        // `/rank`.
+        let mut live_ranking = Vec::with_capacity(gathered.ranking.len());
+        for &(global, distance) in &gathered.ranking {
+            match epoch.summary.live_rank(global) {
+                Some(live) => live_ranking.push((live, distance)),
+                None => {
+                    return Reply::error(
+                        502,
+                        format!("worker returned tombstoned or out-of-range bag index {global}"),
+                    )
+                }
+            }
+        }
+        let ranges = missing_ranges(&epoch.summary, &gathered.missing_shards);
+        Reply::json(
+            200,
+            Json::Obj(vec![
+                ("ranking".into(), ranking_json(&live_ranking)),
+                ("cache_hit".into(), Json::Bool(cache_hit)),
+                ("nldd".into(), Json::Num(cached.nldd)),
+                ("partial".into(), Json::Bool(gathered.partial)),
+                ("generation".into(), Json::num(epoch.generation as f64)),
+                (
+                    "missing_shards".into(),
+                    Json::Arr(
+                        gathered
+                            .missing_shards
+                            .iter()
+                            .map(|&id| Json::num(id as f64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "missing_ranges".into(),
+                    Json::Arr(
+                        ranges
+                            .iter()
+                            .map(|&(start, end)| {
+                                Json::Obj(vec![
+                                    ("start".into(), Json::num(start as f64)),
+                                    ("end".into(), Json::num(end as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )
+    }
+
+    fn handle_status(&self) -> Reply {
+        let epoch = self.epoch();
+        let workers = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let latency = slot.latency_us.snapshot();
+                Json::Obj(vec![
+                    ("index".into(), Json::num(slot.index as f64)),
+                    (
+                        "addr".into(),
+                        Json::str(slot.addr.lock().expect("addr").to_string()),
+                    ),
+                    (
+                        "healthy".into(),
+                        Json::Bool(slot.healthy.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "consecutive_failures".into(),
+                        Json::num(slot.consecutive_failures.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "generation".into(),
+                        Json::num(slot.seen_generation.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "shards".into(),
+                        Json::Arr(
+                            epoch.assignment[slot.index]
+                                .iter()
+                                .map(|&id| Json::num(id as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "latency_us".into(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::num(latency.count() as f64)),
+                            ("mean".into(), Json::num(latency.mean())),
+                            (
+                                "p99".into(),
+                                Json::num(latency.quantile_upper_bound(0.99) as f64),
+                            ),
+                            ("max".into(), Json::num(latency.max() as f64)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Reply::json(
+            200,
+            Json::Obj(vec![
+                ("role".into(), Json::str("coordinator")),
+                ("generation".into(), Json::num(epoch.generation as f64)),
+                (
+                    "total_shards".into(),
+                    Json::num(epoch.summary.shards.len() as f64),
+                ),
+                (
+                    "live_bags".into(),
+                    Json::num(epoch.summary.live_len() as f64),
+                ),
+                ("workers".into(), Json::Arr(workers)),
+                ("cluster".into(), self.cluster_counters_json()),
+            ]),
+        )
+    }
+
+    fn cluster_counters_json(&self) -> Json {
+        let c = &self.counters;
+        Json::Obj(vec![
+            ("rank_total".into(), Json::num(c.rank_total.get() as f64)),
+            (
+                "partial_responses_total".into(),
+                Json::num(c.partial_responses_total.get() as f64),
+            ),
+            (
+                "shards_ranked_total".into(),
+                Json::num(c.shards_ranked_total.get() as f64),
+            ),
+            (
+                "shards_missing_total".into(),
+                Json::num(c.shards_missing_total.get() as f64),
+            ),
+            (
+                "bound_forwarded_total".into(),
+                Json::num(c.bound_forwarded_total.get() as f64),
+            ),
+            (
+                "bound_tightenings_total".into(),
+                Json::num(c.bound_tightenings_total.get() as f64),
+            ),
+            (
+                "worker_retries_total".into(),
+                Json::num(c.worker_retries_total.get() as f64),
+            ),
+            (
+                "worker_evictions_total".into(),
+                Json::num(c.worker_evictions_total.get() as f64),
+            ),
+            (
+                "worker_rejoins_total".into(),
+                Json::num(c.worker_rejoins_total.get() as f64),
+            ),
+            (
+                "generation_mismatch_total".into(),
+                Json::num(c.generation_mismatch_total.get() as f64),
+            ),
+            (
+                "worker_resyncs_total".into(),
+                Json::num(c.worker_resyncs_total.get() as f64),
+            ),
+        ])
+    }
+
+    fn handle_register_worker(&self, req: &Request) -> Reply {
+        let body = match std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(Json::parse)
+        {
+            Ok(json) => json,
+            Err(msg) => return Reply::error(400, msg),
+        };
+        let Some(index) = body.get("index").and_then(Json::as_u64) else {
+            return Reply::error(400, "missing worker index");
+        };
+        let index = index as usize;
+        let Some(slot) = self.slots.get(index) else {
+            return Reply::error(
+                400,
+                format!(
+                    "worker index {index} out of range for {} slots",
+                    self.slots.len()
+                ),
+            );
+        };
+        let Some(addr) = body
+            .get("addr")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<SocketAddr>().ok())
+        else {
+            return Reply::error(400, "missing or invalid worker addr");
+        };
+        *slot.addr.lock().expect("addr") = addr;
+        slot.pool.lock().expect("worker pool mutex").clear();
+        slot.consecutive_failures.store(0, Ordering::Relaxed);
+        if !slot.healthy.swap(true, Ordering::Relaxed) {
+            self.counters.worker_rejoins_total.inc();
+        }
+        Reply::json(
+            200,
+            Json::Obj(vec![
+                ("status".into(), Json::str("registered")),
+                ("index".into(), Json::num(index as f64)),
+                ("addr".into(), Json::str(addr.to_string())),
+            ]),
+        )
+    }
+
+    fn handle_manifest(&self) -> Reply {
+        match std::fs::read(self.options.snapshot_dir.join(MANIFEST_FILE)) {
+            Ok(bytes) => Reply::bytes(200, "application/octet-stream", bytes),
+            Err(e) => Reply::error(500, format!("read manifest: {e}")),
+        }
+    }
+
+    fn handle_shard(&self, path: &str) -> Reply {
+        let Some(id) = path
+            .strip_prefix("/cluster/shard/")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            return Reply::error(400, "invalid shard id");
+        };
+        let epoch = self.epoch();
+        if !epoch.summary.shards.iter().any(|s| s.id == id) {
+            return Reply::error(404, format!("no shard {id} in the current manifest"));
+        }
+        match std::fs::read(self.options.snapshot_dir.join(shard_file_name(id))) {
+            Ok(bytes) => Reply::bytes(200, "application/octet-stream", bytes),
+            Err(e) => Reply::error(500, format!("read shard {id}: {e}")),
+        }
+    }
+
+    fn healthz(&self) -> Json {
+        let epoch = self.epoch();
+        let healthy = self
+            .slots
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .count();
+        Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("role".into(), Json::str("coordinator")),
+            ("generation".into(), Json::num(epoch.generation as f64)),
+            (
+                "total_shards".into(),
+                Json::num(epoch.summary.shards.len() as f64),
+            ),
+            (
+                "live_bags".into(),
+                Json::num(epoch.summary.live_len() as f64),
+            ),
+            ("workers".into(), Json::num(self.slots.len() as f64)),
+            ("healthy_workers".into(), Json::num(healthy as f64)),
+            (
+                "uptime_s".into(),
+                Json::num(self.started.elapsed().as_secs_f64()),
+            ),
+        ])
+    }
+
+    fn metrics_json(&self) -> Json {
+        Json::Obj(vec![
+            ("role".into(), Json::str("coordinator")),
+            (
+                "accepted_total".into(),
+                Json::num(self.metrics.accepted_total.get() as f64),
+            ),
+            (
+                "completed_total".into(),
+                Json::num(self.metrics.completed_total.get() as f64),
+            ),
+            (
+                "read_error_total".into(),
+                Json::num(self.metrics.read_error_total.get() as f64),
+            ),
+            (
+                "closed_total".into(),
+                Json::num(self.metrics.closed_total.get() as f64),
+            ),
+            (
+                "shed_total".into(),
+                Json::num(self.metrics.shed_total.get() as f64),
+            ),
+            (
+                "deadline_shed_total".into(),
+                Json::num(self.metrics.deadline_shed_total.get() as f64),
+            ),
+            ("cluster".into(), self.cluster_counters_json()),
+            ("endpoints".into(), self.metrics.endpoints_json()),
+        ])
+    }
+
+    fn route(&self, req: &Request) -> (&'static str, Action) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/cluster/rank") => (
+                "/cluster/rank",
+                Action::Reply(self.handle_cluster_rank(req)),
+            ),
+            ("GET", "/cluster/status") => ("/cluster/status", Action::Reply(self.handle_status())),
+            ("GET", "/cluster/manifest") => {
+                ("/cluster/manifest", Action::Reply(self.handle_manifest()))
+            }
+            ("GET", path) if path.starts_with("/cluster/shard/") => {
+                ("/cluster/shard", Action::Reply(self.handle_shard(path)))
+            }
+            ("POST", "/cluster/workers") => (
+                "/cluster/workers",
+                Action::Reply(self.handle_register_worker(req)),
+            ),
+            ("GET", "/healthz") => ("/healthz", Action::Reply(Reply::json(200, self.healthz()))),
+            ("GET", "/metrics") => {
+                let reply = if req.query_param("format") == Some("prometheus") {
+                    let mut out = self.metrics.registry().render_prometheus();
+                    out.push_str(&milr_obs::global().render_prometheus());
+                    Reply::bytes(200, "text/plain; version=0.0.4", out.into_bytes())
+                } else {
+                    Reply::json(200, self.metrics_json())
+                };
+                ("/metrics", Action::Reply(reply))
+            }
+            ("POST", "/snapshot/reload") => {
+                let reply = match self.reload() {
+                    Ok((generation, shards)) => Reply::json(
+                        200,
+                        Json::Obj(vec![
+                            ("generation".into(), Json::num(generation as f64)),
+                            ("shards".into(), Json::num(shards as f64)),
+                        ]),
+                    ),
+                    Err(err) => Reply::error(500, err.to_string()),
+                };
+                ("/snapshot/reload", Action::Reply(reply))
+            }
+            ("POST", "/admin/shutdown") => (
+                "/admin/shutdown",
+                Action::Shutdown(Reply::json(
+                    200,
+                    Json::Obj(vec![("status".into(), Json::str("draining"))]),
+                )),
+            ),
+            _ => ("other", Action::Reply(Reply::error(404, "no such route"))),
+        }
+    }
+
+    /// One probe round over the fleet.
+    fn probe_workers(&self) {
+        let epoch = self.epoch();
+        for slot in &self.slots {
+            let mut conn = slot.checkout(self.options.worker_deadline);
+            let outcome = conn.get("/healthz");
+            match outcome {
+                Ok(response) if response.status == 200 => {
+                    slot.checkin(conn);
+                    self.note_success(slot);
+                    let generation = response
+                        .json()
+                        .ok()
+                        .and_then(|json| json.get("generation").and_then(Json::as_u64))
+                        .unwrap_or(0);
+                    slot.seen_generation.store(generation, Ordering::Relaxed);
+                    if generation != epoch.generation {
+                        // Idle skew (no rank traffic to trip the 409
+                        // path): push the worker back in sync.
+                        let _ = self.resync_worker(slot);
+                    }
+                }
+                _ => self.note_failure(slot),
+            }
+        }
+    }
+}
+
+fn health_loop(daemon: &Arc<CoordinatorDaemon>) {
+    let tick = Duration::from_millis(25);
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < daemon.options.health_interval {
+            if daemon.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = tick.min(daemon.options.health_interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        if daemon.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        daemon.probe_workers();
+    }
+}
+
+/// A running coordinator daemon.
+pub struct Coordinator {
+    node: Node,
+    daemon: Arc<CoordinatorDaemon>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Opens the snapshot, builds the worker slots, and starts serving
+    /// plus the health-probe loop.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on snapshot problems, or the bind failure
+    /// mapped through the same type.
+    pub fn start(options: CoordinatorOptions) -> Result<Self, CoreError> {
+        let epoch = CoordinatorDaemon::load_epoch(&options)?;
+        let metrics = Arc::new(Metrics::default());
+        metrics.snapshot_generation.set(epoch.generation as f64);
+        metrics
+            .snapshot_shards
+            .set(epoch.summary.shards.len() as f64);
+        let registry = metrics.registry();
+        let counters = ClusterCounters {
+            rank_total: registry.counter("milrd_cluster_rank_total"),
+            partial_responses_total: registry.counter("milrd_cluster_partial_responses_total"),
+            shards_ranked_total: registry.counter("milrd_cluster_shards_ranked_total"),
+            shards_missing_total: registry.counter("milrd_cluster_shards_missing_total"),
+            bound_forwarded_total: registry.counter("milrd_cluster_bound_forwarded_total"),
+            bound_tightenings_total: registry.counter("milrd_cluster_bound_tightenings_total"),
+            worker_retries_total: registry.counter("milrd_cluster_worker_retries_total"),
+            worker_evictions_total: registry.counter("milrd_cluster_worker_evictions_total"),
+            worker_rejoins_total: registry.counter("milrd_cluster_worker_rejoins_total"),
+            generation_mismatch_total: registry.counter("milrd_cluster_generation_mismatch_total"),
+            worker_resyncs_total: registry.counter("milrd_cluster_worker_resyncs_total"),
+        };
+        let slots = options
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(index, &addr)| WorkerSlot {
+                index,
+                addr: Mutex::new(addr),
+                healthy: AtomicBool::new(true),
+                consecutive_failures: AtomicU64::new(0),
+                seen_generation: AtomicU64::new(0),
+                pool: Mutex::new(Vec::new()),
+                latency_us: registry.histogram(&milr_obs::labelled(
+                    "milrd_cluster_worker_latency_us",
+                    &[("worker", &index.to_string())],
+                )),
+            })
+            .collect();
+        let daemon = Arc::new(CoordinatorDaemon {
+            config: Arc::new(options.retrieval.clone()),
+            epoch: Mutex::new(Arc::new(epoch)),
+            cache: Mutex::new(ConceptCache::new(options.cache_capacity)),
+            slots,
+            counters,
+            metrics: Arc::clone(&metrics),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            options: options.clone(),
+        });
+        let router = {
+            let daemon = Arc::clone(&daemon);
+            Box::new(move |req: &Request| daemon.route(req))
+        };
+        let node = Node::start(options.node.clone(), metrics, router)
+            .map_err(|e| storage_err(&options.snapshot_dir, format!("bind: {e}")))?;
+        let health = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::Builder::new()
+                .name("milrd-health".into())
+                .spawn(move || health_loop(&daemon))
+                .expect("spawn health thread")
+        };
+        Ok(Self {
+            node,
+            daemon,
+            health: Some(health),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.node.addr()
+    }
+
+    /// The node's connection/endpoint metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.daemon.metrics
+    }
+
+    /// The generation of the currently-loaded snapshot.
+    pub fn generation(&self) -> u64 {
+        self.daemon.epoch().generation
+    }
+
+    /// Flips the shutdown flag and unblocks the acceptor.
+    pub fn request_shutdown(&self) {
+        self.daemon.stop.store(true, Ordering::Relaxed);
+        self.node.request_shutdown();
+    }
+
+    /// Blocks until the node has drained, then stops the health loop.
+    pub fn wait(mut self) {
+        self.node.wait();
+        self.daemon.stop.store(true, Ordering::Relaxed);
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+fn core_error_status(err: &CoreError) -> u16 {
+    match err {
+        CoreError::IndexOutOfBounds { .. }
+        | CoreError::NoExamples
+        | CoreError::NotTrained
+        | CoreError::UnknownCategory { .. }
+        | CoreError::NoTargetCategory => 400,
+        CoreError::Mil(milr_mil::MilError::DimensionMismatch { .. }) => 400,
+        _ => 500,
+    }
+}
+
+fn ranking_json(ranking: &[(usize, f64)]) -> Json {
+    Json::Arr(
+        ranking
+            .iter()
+            .map(|&(index, distance)| {
+                Json::Obj(vec![
+                    ("index".into(), Json::num(index as f64)),
+                    ("distance".into(), Json::Num(distance)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses a comma-separated index list (`"3,1,4"`), mirroring the
+/// single-node daemon's query grammar.
+fn parse_index_list(text: &str) -> Result<Vec<usize>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid index {part:?}"))
+        })
+        .collect()
+}

@@ -1,0 +1,486 @@
+//! The cluster node server loop: the same bounded-queue concurrency
+//! model as the single-node daemon (one acceptor, `workers` handler
+//! threads, `503` shedding past `queue_depth`), but speaking
+//! **HTTP/1.1 keep-alive** — a handler thread serves requests off one
+//! connection in a loop until the peer closes, asks to close, idles
+//! past the read timeout, or the node drains. That is what makes the
+//! coordinator's pooled worker connections worth pooling.
+//!
+//! Connection accounting keeps the single-node conservation law, with
+//! outcomes adjusted for connection reuse — every admitted connection
+//! resolves exactly once:
+//!
+//! * `completed` — served at least one request and ended cleanly
+//!   (peer EOF/idle expiry after a response, `Connection: close`,
+//!   shutdown, or a write failure after routing);
+//! * `closed` — peer closed (or idled out) before ever sending a
+//!   request;
+//! * `read_error` — a request failed to parse mid-connection;
+//! * `deadline_shed` — overstayed the queue and was answered `503`.
+//!
+//! So at quiescence `accepted == completed + closed + read_error +
+//! deadline_shed`, exactly the identity the chaos suite asserts
+//! per node when it extends the law across the cluster.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use milr_serve::http::{self, ReadError, Request};
+use milr_serve::metrics::Metrics;
+use milr_serve::Json;
+
+/// Everything tunable about a cluster node's server loop.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// Bind address (port `0` picks an ephemeral one).
+    pub addr: String,
+    /// Handler threads.
+    pub workers: usize,
+    /// Accepted connections allowed to wait; beyond this the acceptor
+    /// sheds with `503`.
+    pub queue_depth: usize,
+    /// Socket read **and** write deadline — doubling as the keep-alive
+    /// idle timeout between requests on one connection.
+    pub read_timeout: Duration,
+    /// Longest a connection may wait in the queue and still be served.
+    pub handle_deadline: Duration,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(2),
+            handle_deadline: Duration::from_secs(10),
+            max_body: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// A response body: JSON for the protocol proper, raw bytes for the
+/// shard-streaming endpoints.
+#[derive(Debug)]
+pub enum Body {
+    /// A JSON payload (`application/json`).
+    Json(Json),
+    /// A binary payload with an explicit content type.
+    Bytes(&'static str, Vec<u8>),
+}
+
+/// One routed reply.
+#[derive(Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Body,
+}
+
+impl Reply {
+    /// A JSON reply.
+    pub fn json(status: u16, body: Json) -> Self {
+        Self {
+            status,
+            body: Body::Json(body),
+        }
+    }
+
+    /// A raw-bytes reply.
+    pub fn bytes(status: u16, content_type: &'static str, data: Vec<u8>) -> Self {
+        Self {
+            status,
+            body: Body::Bytes(content_type, data),
+        }
+    }
+
+    /// The uniform `{"error": …}` reply.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Self::json(status, http::error_body(message))
+    }
+}
+
+/// What the router wants done after a reply: keep serving, or drain the
+/// node (the `/admin/shutdown` path — the reply is still delivered,
+/// with `Connection: close`).
+#[derive(Debug)]
+pub enum Action {
+    /// Send the reply and keep the node serving.
+    Reply(Reply),
+    /// Send the reply, then drain and stop the node.
+    Shutdown(Reply),
+}
+
+/// The routing callback: label (for the per-endpoint metrics — dynamic
+/// path segments must collapse into placeholders) plus the action.
+pub type Router = dyn Fn(&Request) -> (&'static str, Action) + Send + Sync;
+
+struct Inner {
+    options: NodeOptions,
+    metrics: Arc<Metrics>,
+    router: Box<Router>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running cluster node server.
+pub struct Node {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Node {
+    /// Binds and starts the accept loop plus the handler pool.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start(
+        options: NodeOptions,
+        metrics: Arc<Metrics>,
+        router: Box<Router>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            options,
+            metrics,
+            router,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let workers = (0..inner.options.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        Ok(Self {
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The node's connection/endpoint metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag and unblocks the acceptor.
+    pub fn request_shutdown(&self) {
+        request_shutdown(&self.inner);
+    }
+
+    /// Blocks until the acceptor and every handler thread has drained.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            handle.join().ok();
+        }
+        for handle in self.workers.drain(..) {
+            handle.join().ok();
+        }
+    }
+}
+
+fn request_shutdown(inner: &Inner) {
+    if inner.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the acceptor with a throwaway self-connection.
+    TcpStream::connect(inner.addr).ok();
+    inner.available.notify_all();
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        stream
+            .set_read_timeout(Some(inner.options.read_timeout))
+            .ok();
+        stream
+            .set_write_timeout(Some(inner.options.read_timeout))
+            .ok();
+        // Responses go out in one write; never let Nagle hold the tail
+        // of one exchange hostage to the next request's ACK.
+        stream.set_nodelay(true).ok();
+        let mut queue = inner.queue.lock().expect("node queue mutex");
+        if queue.len() >= inner.options.queue_depth {
+            drop(queue);
+            inner.metrics.shed_total.inc();
+            // Refuse on a throwaway thread so a slow peer cannot stall
+            // the acceptor.
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                http::respond_json(&mut stream, 503, &http::error_body("node overloaded")).ok();
+                drain_before_close(&mut stream);
+            });
+            continue;
+        }
+        inner.metrics.accepted_total.inc();
+        queue.push_back((stream, Instant::now()));
+        inner.metrics.set_queue_depth(queue.len());
+        drop(queue);
+        inner.available.notify_one();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let popped = {
+            let mut queue = inner.queue.lock().expect("node queue mutex");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    inner.metrics.set_queue_depth(queue.len());
+                    break Some(item);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = inner
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("node queue mutex");
+                queue = guard;
+            }
+        };
+        let Some((stream, enqueued)) = popped else {
+            return;
+        };
+        handle_connection(inner, stream, enqueued);
+    }
+}
+
+/// Serves one connection to completion, counting exactly one outcome.
+fn handle_connection(inner: &Inner, mut stream: TcpStream, enqueued: Instant) {
+    if enqueued.elapsed() > inner.options.handle_deadline {
+        inner.metrics.deadline_shed_total.inc();
+        http::respond_json(
+            &mut stream,
+            503,
+            &http::error_body("queue deadline exceeded"),
+        )
+        .ok();
+        drain_before_close(&mut stream);
+        return;
+    }
+    let mut served_any = false;
+    loop {
+        match http::read_request(&mut stream, inner.options.max_body) {
+            Ok(req) => {
+                let started = Instant::now();
+                let (endpoint, action) = (inner.router)(&req);
+                let (reply, wants_drain) = match action {
+                    Action::Reply(reply) => (reply, false),
+                    Action::Shutdown(reply) => (reply, true),
+                };
+                let keep = !wants_drain
+                    && !client_wants_close(&req)
+                    && !inner.shutdown.load(Ordering::SeqCst);
+                inner
+                    .metrics
+                    .record(endpoint, reply.status, started.elapsed().as_micros() as u64);
+                served_any = true;
+                let io = match &reply.body {
+                    Body::Json(json) => {
+                        http::respond_json_conn(&mut stream, reply.status, json, keep)
+                    }
+                    Body::Bytes(content_type, data) => {
+                        http::respond_bytes(&mut stream, reply.status, content_type, data, keep)
+                    }
+                };
+                if wants_drain {
+                    request_shutdown(inner);
+                }
+                if io.is_err() || !keep {
+                    inner.metrics.completed_total.inc();
+                    drain_before_close(&mut stream);
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => {
+                // Peer EOF at a request boundary: a completed keep-alive
+                // exchange if anything was served, a prober otherwise.
+                if served_any {
+                    inner.metrics.completed_total.inc();
+                } else {
+                    inner.metrics.closed_total.inc();
+                }
+                return;
+            }
+            Err(ReadError::Timeout) if served_any => {
+                // Keep-alive idle expiry between requests.
+                inner.metrics.completed_total.inc();
+                drain_before_close(&mut stream);
+                return;
+            }
+            Err(err) => {
+                let (status, message) = match err {
+                    ReadError::Timeout => (408, "request timed out".to_string()),
+                    ReadError::HeadTooLarge => (431, "request head too large".to_string()),
+                    ReadError::BodyTooLarge => (413, "request body too large".to_string()),
+                    ReadError::Malformed(msg) => (400, msg),
+                    ReadError::Closed => unreachable!("handled above"),
+                };
+                inner.metrics.read_error_total.inc();
+                http::respond_json(&mut stream, status, &http::error_body(message)).ok();
+                drain_before_close(&mut stream);
+                return;
+            }
+        }
+    }
+}
+
+fn client_wants_close(req: &Request) -> bool {
+    req.header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+}
+
+/// Half-closes the write side and swallows whatever the peer still has
+/// in flight, so its final ACK round-trip never turns into an RST that
+/// races our response out of the peer's receive buffer.
+fn drain_before_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..16 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_serve::client;
+
+    fn start_echo_node() -> Node {
+        let metrics = Arc::new(Metrics::default());
+        Node::start(
+            NodeOptions {
+                read_timeout: Duration::from_millis(400),
+                ..NodeOptions::default()
+            },
+            metrics,
+            Box::new(|req: &Request| match req.path.as_str() {
+                "/echo" => (
+                    "/echo",
+                    Action::Reply(Reply::json(
+                        200,
+                        Json::Obj(vec![("len".into(), Json::num(req.body.len() as f64))]),
+                    )),
+                ),
+                "/admin/shutdown" => (
+                    "/admin/shutdown",
+                    Action::Shutdown(Reply::json(200, Json::Obj(vec![]))),
+                ),
+                _ => ("other", Action::Reply(Reply::error(404, "no such route"))),
+            }),
+        )
+        .expect("node starts")
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_socket() {
+        let node = start_echo_node();
+        let mut conn = client::Connection::new(node.addr(), Duration::from_secs(2));
+        for i in 0..16 {
+            let response = conn
+                .post_json("/echo", &Json::Obj(vec![("i".into(), Json::num(i as f64))]))
+                .expect("keep-alive request");
+            assert_eq!(response.status, 200);
+        }
+        assert_eq!(conn.dials(), 1, "all 16 requests reuse one socket");
+        assert_eq!(node.metrics().accepted_total.get(), 1);
+        // Idle past the read timeout: the node counts the connection
+        // completed and the law balances at quiescence.
+        std::thread::sleep(Duration::from_millis(600));
+        assert!(node.metrics().connections_balanced());
+        assert_eq!(node.metrics().completed_total.get(), 1);
+        node.request_shutdown();
+        node.wait();
+    }
+
+    #[test]
+    fn connection_close_and_probes_resolve_distinctly() {
+        let node = start_echo_node();
+        // One-shot client sends Connection: close → completed.
+        let response = client::get(node.addr(), "/echo", Duration::from_secs(2)).expect("one-shot");
+        assert_eq!(response.status, 200);
+        // A probe that connects and closes without a byte → closed.
+        drop(TcpStream::connect(node.addr()).expect("probe connects"));
+        // Garbage → read_error (and a 400).
+        let mut garbage = TcpStream::connect(node.addr()).expect("garbage connects");
+        use std::io::Write;
+        garbage.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        garbage.read_to_end(&mut raw).ok();
+        assert!(String::from_utf8_lossy(&raw).contains("400"), "{raw:?}");
+        drop(garbage);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !(node.metrics().connections_balanced() && node.metrics().accepted_total.get() == 3) {
+            assert!(Instant::now() < deadline, "node never quiesced");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(node.metrics().completed_total.get(), 1);
+        assert_eq!(node.metrics().closed_total.get(), 1);
+        assert_eq!(node.metrics().read_error_total.get(), 1);
+        node.request_shutdown();
+        node.wait();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_the_node() {
+        let node = start_echo_node();
+        let addr = node.addr();
+        let response = client::post_json(
+            addr,
+            "/admin/shutdown",
+            &Json::Obj(vec![]),
+            Duration::from_secs(2),
+        )
+        .expect("shutdown accepted");
+        assert_eq!(response.status, 200);
+        node.wait();
+        assert!(
+            client::get(addr, "/echo", Duration::from_millis(300)).is_err(),
+            "drained node no longer serves"
+        );
+    }
+}

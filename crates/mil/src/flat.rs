@@ -223,7 +223,11 @@ impl QuantTier {
                 let p = if l < lanes {
                     self.params[first + l]
                 } else {
-                    QuantParams { scale: 0.0, bias: 0.0, radius: 0.0 }
+                    QuantParams {
+                        scale: 0.0,
+                        bias: 0.0,
+                        radius: 0.0,
+                    }
                 };
                 self.gbias.push(p.bias);
                 self.gscale.push(p.scale);
@@ -815,10 +819,21 @@ mod tests {
         // itself and bounds tight enough that the screen fires.
         for b in 0..flat.bag_count() {
             let exact = flat.min_distance_sq(&concept, b);
-            for bound in [exact * 0.5, exact, exact * 1.001, exact + 10.0, f64::INFINITY] {
+            for bound in [
+                exact * 0.5,
+                exact,
+                exact * 1.001,
+                exact + 10.0,
+                f64::INFINITY,
+            ] {
                 assert_eq!(
                     flat.min_distance_sq_below_screened(
-                        &concept, &query, b, bound, &mut stats, &mut scratch
+                        &concept,
+                        &query,
+                        b,
+                        bound,
+                        &mut stats,
+                        &mut scratch
                     ),
                     flat.min_distance_sq_below(&concept, b, bound),
                     "bag {b}, bound {bound}"
@@ -837,7 +852,11 @@ mod tests {
         let mut flat = FlatBags::new(k);
         for n in 0..5 {
             let instances: Vec<Vec<f32>> = (0..=(n % 3))
-                .map(|m| (0..k).map(|i| ((n * 13 + m * 5 + i) % 11) as f32 - 5.0).collect())
+                .map(|m| {
+                    (0..k)
+                        .map(|i| ((n * 13 + m * 5 + i) % 11) as f32 - 5.0)
+                        .collect()
+                })
                 .collect();
             flat.push_bag(&Bag::new(instances).unwrap());
         }
@@ -867,8 +886,9 @@ mod tests {
         let codes = flat.quant_codes().to_vec();
         let params = flat.quant_params().to_vec();
         // Ragged data.
-        assert!(FlatBags::from_persisted(k, vec![1.0; 4], &[1], codes.clone(), params.clone())
-            .is_err());
+        assert!(
+            FlatBags::from_persisted(k, vec![1.0; 4], &[1], codes.clone(), params.clone()).is_err()
+        );
         // Span/instance mismatch.
         assert!(
             FlatBags::from_persisted(k, data.clone(), &[1], codes.clone(), params.clone()).is_err()

@@ -119,7 +119,7 @@ mod x86 {
     const SCREEN_PRUNE_BLOCKS: usize = 2;
     use std::arch::x86_64::{
         __m128i, __m256, __m256d, _mm256_add_pd, _mm256_add_ps, _mm256_castpd256_pd128,
-        _mm256_castps256_ps128, _mm256_cmp_ps, _mm256_cvtepi8_epi32, _mm256_cvtepi32_ps,
+        _mm256_castps256_ps128, _mm256_cmp_ps, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi32,
         _mm256_cvtps_pd, _mm256_extractf128_pd, _mm256_extractf128_ps, _mm256_hadd_pd,
         _mm256_hadd_ps, _mm256_loadu_pd, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_mul_pd,
         _mm256_mul_ps, _mm256_or_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_pd,
@@ -260,7 +260,9 @@ mod x86 {
     ) -> std::arch::x86_64::__m256 {
         let p = _mm256_loadu_ps(point);
         let w = _mm256_loadu_ps(weights);
-        let q = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(codes as *const __m128i)));
+        let q = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(
+            codes as *const __m128i,
+        )));
         let d = _mm256_sub_ps(_mm256_sub_ps(p, bias), _mm256_mul_ps(scale, q));
         _mm256_add_ps(a, _mm256_mul_ps(_mm256_mul_ps(w, d), d))
     }
@@ -370,7 +372,14 @@ mod x86 {
         let k = point.len();
         for (i, (p, &t)) in params.iter().zip(thresholds).enumerate() {
             if t == f64::INFINITY
-                || !screen_skips(point, weights, &codes[i * k..(i + 1) * k], p.bias, p.scale, t)
+                || !screen_skips(
+                    point,
+                    weights,
+                    &codes[i * k..(i + 1) * k],
+                    p.bias,
+                    p.scale,
+                    t,
+                )
             {
                 survivors.push(i as u32);
             }
@@ -425,10 +434,7 @@ mod x86 {
                     }
                     j += SCREEN_CHAINS;
                 }
-                let s = _mm256_add_ps(
-                    _mm256_add_ps(acc[0], acc[1]),
-                    _mm256_add_ps(acc[2], acc[3]),
-                );
+                let s = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
                 crossed = _mm256_or_ps(crossed, _mm256_cmp_ps::<_CMP_GE_OQ>(s, th));
                 if _mm256_movemask_ps(crossed) == 0xFF {
                     done = true;
@@ -445,10 +451,7 @@ mod x86 {
                     let d = _mm256_sub_ps(_mm256_sub_ps(p, bias), _mm256_mul_ps(scale, q));
                     acc[u] = _mm256_add_ps(acc[u], _mm256_mul_ps(_mm256_mul_ps(w, d), d));
                 }
-                let s = _mm256_add_ps(
-                    _mm256_add_ps(acc[0], acc[1]),
-                    _mm256_add_ps(acc[2], acc[3]),
-                );
+                let s = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
                 crossed = _mm256_or_ps(crossed, _mm256_cmp_ps::<_CMP_GE_OQ>(s, th));
             }
             let mask = _mm256_movemask_ps(crossed);
@@ -645,7 +648,11 @@ pub fn quantize_instance(instance: &[f32], codes: &mut Vec<i8>) -> QuantParams {
         hi = hi.max(v);
     }
     let bias = ((lo + hi) * 0.5) as f32;
-    let scale = if hi > lo { ((hi - lo) / 254.0) as f32 } else { 0.0 };
+    let scale = if hi > lo {
+        ((hi - lo) / 254.0) as f32
+    } else {
+        0.0
+    };
     let b64 = f64::from(bias);
     let s64 = f64::from(scale);
     let mut radius = 0.0f64;
@@ -810,8 +817,9 @@ impl QuantQuery {
         if !self.usable || !screen_sum.is_finite() {
             return 0.0;
         }
-        let norm =
-            (screen_sum / (self.inflate * (1.0 + 1e-9))).sqrt() - self.f32_slack - radius * self.sqrt_w_ub;
+        let norm = (screen_sum / (self.inflate * (1.0 + 1e-9))).sqrt()
+            - self.f32_slack
+            - radius * self.sqrt_w_ub;
         let lb = norm.max(0.0);
         lb * lb / (1.0 + 1e-9)
     }
@@ -886,7 +894,13 @@ fn portable_screen_sum(point: &[f32], weights: &[f32], codes: &[i8], bias: f32, 
 /// *provably* at or above the bound behind the threshold and the exact
 /// kernel can be skipped entirely. Abandons early (the partial sums are
 /// monotone) once the threshold is reached mid-scan.
-pub fn screen_skips(query: &QuantQuery, codes: &[i8], bias: f32, scale: f32, threshold: f64) -> bool {
+pub fn screen_skips(
+    query: &QuantQuery,
+    codes: &[i8],
+    bias: f32,
+    scale: f32,
+    threshold: f64,
+) -> bool {
     if threshold == f64::INFINITY {
         return false;
     }
@@ -1157,7 +1171,9 @@ mod tests {
     fn fixture(k: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f32>) {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
         };
         let point: Vec<f64> = (0..k).map(|_| next() * 5.0).collect();
@@ -1217,7 +1233,10 @@ mod tests {
         let unrolled = weighted_distance_sq(&point, &weights, &instance);
         let sequential = weighted_distance_sq_sequential(&point, &weights, &instance);
         let rel = (unrolled - sequential).abs() / sequential.max(1e-300);
-        assert!(rel < 1e-12, "unrolled {unrolled} vs sequential {sequential}");
+        assert!(
+            rel < 1e-12,
+            "unrolled {unrolled} vs sequential {sequential}"
+        );
     }
 
     /// The throughput contract of the tentpole: the unrolled kernel must
@@ -1394,8 +1413,7 @@ mod tests {
                 assert_eq!(
                     weighted_distance_sq_below(&point, &weights, &instance, bound)
                         .map(f64::to_bits),
-                    portable_distance_below(&point, &weights, &instance, bound)
-                        .map(f64::to_bits),
+                    portable_distance_below(&point, &weights, &instance, bound).map(f64::to_bits),
                     "k = {k}, factor {factor}"
                 );
                 let thr = query.screen_threshold(bound, p.radius);
@@ -1450,7 +1468,14 @@ mod tests {
                     })
                     .collect();
                 let mut dispatched = Vec::new();
-                screen_groups(&query, &gcodes, &gbias, &gscale, &thresholds, &mut dispatched);
+                screen_groups(
+                    &query,
+                    &gcodes,
+                    &gbias,
+                    &gscale,
+                    &thresholds,
+                    &mut dispatched,
+                );
                 let mut portable = Vec::new();
                 portable_screen_groups(
                     query.point32(),

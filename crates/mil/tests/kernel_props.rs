@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use milr_mil::kernel::{
-    quantize_instance, screen_skips, screen_sum, weighted_distance_sq,
-    weighted_distance_sq_below, QuantQuery, LANES,
+    quantize_instance, screen_skips, screen_sum, weighted_distance_sq, weighted_distance_sq_below,
+    QuantQuery, LANES,
 };
 use milr_mil::{Bag, Concept, FlatBags, ScreenStats};
 

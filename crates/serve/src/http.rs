@@ -5,6 +5,9 @@
 //! every response), strict head and body size limits, and socket
 //! read/write deadlines so a stalled peer can never pin a worker.
 //! Anything malformed maps to a 4xx — never a panic, never a hang.
+//! The cluster node loop reuses the same codec but answers
+//! `Connection: keep-alive` (see [`respond_json_conn`]) so the
+//! coordinator's pooled connections survive across requests.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -219,15 +222,13 @@ pub fn reason(status: u16) -> &'static str {
 /// # Errors
 /// Propagates socket write failures (the peer may already be gone).
 pub fn respond_json(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
-    let payload = body.dump();
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        reason(status),
-        payload.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(payload.as_bytes())?;
-    stream.flush()
+    respond_bytes(
+        stream,
+        status,
+        "application/json",
+        body.dump().as_bytes(),
+        false,
+    )
 }
 
 /// Writes one complete plain-text response (used for the Prometheus
@@ -242,13 +243,58 @@ pub fn respond_text(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    respond_bytes(stream, status, content_type, body.as_bytes(), false)
+}
+
+/// [`respond_json`] with an explicit connection disposition: the
+/// keep-alive-capable cluster node loop answers `Connection:
+/// keep-alive` so a coordinator's pooled connection survives the
+/// response. The single-node daemon keeps its one-request-per-connection
+/// contract by always passing `false` (via [`respond_json`]).
+///
+/// # Errors
+/// Propagates socket write failures (the peer may already be gone).
+pub fn respond_json_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    respond_bytes(
+        stream,
+        status,
+        "application/json",
+        body.dump().as_bytes(),
+        keep_alive,
+    )
+}
+
+/// Writes one complete response with an arbitrary (possibly binary)
+/// body — the shard-streaming endpoints serve raw `.milr` files as
+/// `application/octet-stream` — and flushes. `keep_alive` selects the
+/// `Connection` disposition.
+///
+/// # Errors
+/// Propagates socket write failures (the peer may already be gone).
+pub fn respond_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One buffer, one write: on a keep-alive socket a small head write
+    // followed by a small body write stalls ~40ms on the Nagle +
+    // delayed-ACK interaction before the client sees the body.
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    )
+    .into_bytes();
+    response.extend_from_slice(body);
+    stream.write_all(&response)?;
     stream.flush()
 }
 

@@ -88,8 +88,12 @@ pub const MANIFEST_FILE: &str = "manifest.milr";
 /// Default number of bags per shard before the tail seals.
 pub const DEFAULT_SHARD_CAPACITY: usize = 512;
 
-/// The file name of one shard.
-fn shard_file_name(id: u64) -> String {
+/// The file name of one shard inside a sharded snapshot directory.
+///
+/// Public so out-of-crate consumers (the cluster's shard-streaming
+/// endpoints, tooling) can map a manifest shard id to its file without
+/// re-deriving the naming scheme.
+pub fn shard_file_name(id: u64) -> String {
     format!("shard-{id:06}.milr")
 }
 
@@ -150,20 +154,43 @@ pub struct ShardedDatabase {
 /// it could never appear in the merged top-k, which is why the shared
 /// threshold cannot change any ranking no matter how shard scans
 /// interleave.
-struct SharedBound(AtomicU64);
+///
+/// Public because the same argument distributes: a cluster coordinator
+/// may seed a worker's scan with the k-th-best distance gathered from
+/// *other* workers (see [`ShardSubset::rank_top_k`]) — as long as the
+/// seed is backed by `k` real candidates that are themselves part of
+/// the final merge, pruning against it stays ranking-neutral.
+#[derive(Debug)]
+pub struct SharedBound(AtomicU64);
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl SharedBound {
-    fn new() -> Self {
+    /// An unseeded bound: nothing prunes until a scan publishes.
+    pub fn new() -> Self {
         Self(AtomicU64::new(f64::INFINITY.to_bits()))
     }
 
-    fn get(&self) -> f64 {
+    /// A bound pre-seeded with an externally-derived threshold (use
+    /// [`f64::INFINITY`] for "no seed"). The seed must be backed by `k`
+    /// real candidates that will be part of the final merge, or pruning
+    /// against it is not ranking-neutral.
+    pub fn with_initial(bound: f64) -> Self {
+        Self(AtomicU64::new(bound.max(0.0).to_bits()))
+    }
+
+    /// The current threshold.
+    pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     /// Publishes a candidate threshold; returns whether it tightened
     /// the shared bound.
-    fn tighten(&self, candidate: f64) -> bool {
+    pub fn tighten(&self, candidate: f64) -> bool {
         let bits = candidate.to_bits();
         self.0.fetch_min(bits, Ordering::Relaxed) > bits
     }
@@ -264,112 +291,28 @@ impl ShardedDatabase {
     /// Same as [`Self::open`].
     pub fn open_with(fs: &dyn StorageIo, dir: impl Into<PathBuf>) -> Result<Self, CoreError> {
         let dir = dir.into();
-        let manifest_path = dir.join(MANIFEST_FILE);
-        let file = fs
-            .reader(&manifest_path)
-            .map_err(|e| storage_err(&manifest_path, e.to_string()))?;
-        let mut r = Stream::new(BufReader::new(file), &manifest_path);
-        // v3 and v4 manifests carry an identical payload; only the shard
-        // files differ (v4 appends the quantized tier).
-        r.read_header_any(MANIFEST_KIND, &[MIN_STORE_VERSION, STORE_VERSION])?;
-        let feature_dim = r.read_u64()? as usize;
-        if feature_dim == 0 || feature_dim > 100_000_000 {
-            return Err(r.fail("implausible feature dimension"));
-        }
-        let generation = r.read_u64()?;
-        let shard_capacity = r.read_u64()? as usize;
-        if shard_capacity == 0 {
-            return Err(r.fail("zero shard capacity"));
-        }
-        let shard_count = r.read_u64()? as usize;
-        if shard_count > 1_000_000 {
-            return Err(r.fail("implausible shard count"));
-        }
-        struct ManifestEntry {
-            id: u64,
-            bag_count: usize,
-            instance_count: usize,
-            digest: u64,
-        }
-        let mut entries = Vec::with_capacity(shard_count);
-        for _ in 0..shard_count {
-            let id = r.read_u64()?;
-            let bag_count = r.read_u64()? as usize;
-            let instance_count = r.read_u64()? as usize;
-            let digest = r.read_u64()?;
-            if bag_count == 0 || bag_count > 100_000_000 {
-                return Err(r.fail(format!("implausible shard bag count {bag_count}")));
-            }
-            entries.push(ManifestEntry {
-                id,
-                bag_count,
-                instance_count,
-                digest,
-            });
-        }
-        let total: usize = entries.iter().map(|e| e.bag_count).sum();
-        let tombstone_count = r.read_u64()? as usize;
-        if tombstone_count > total {
-            return Err(r.fail("more tombstones than bags"));
-        }
-        let mut tombstones = BTreeSet::new();
-        let mut previous: Option<usize> = None;
-        for _ in 0..tombstone_count {
-            let index = r.read_u64()? as usize;
-            if index >= total {
-                return Err(r.fail(format!("tombstone {index} out of range ({total} bags)")));
-            }
-            if previous.is_some_and(|p| p >= index) {
-                return Err(r.fail("tombstones must be strictly ascending"));
-            }
-            previous = Some(index);
-            tombstones.insert(index);
-        }
-        r.verify_checksum()?;
-
-        let mut shards = Vec::with_capacity(entries.len());
-        let mut base = 0usize;
+        let summary = read_manifest_with(fs, &dir)?;
+        let mut shards = Vec::with_capacity(summary.shards.len());
         let mut next_shard_id = 0u64;
-        for entry in &entries {
-            let shard = read_shard(fs, &dir, entry.id, feature_dim)?;
-            if shard.digest != entry.digest {
-                let path = dir.join(shard_file_name(entry.id));
-                return Err(storage_err(
-                    &path,
-                    format!(
-                        "shard digest {:#018x} disagrees with the manifest ({:#018x}) — stale or swapped shard",
-                        shard.digest, entry.digest
-                    ),
-                ));
-            }
-            if shard.labels.len() != entry.bag_count
-                || shard.bags.instance_count() != entry.instance_count
-            {
-                let path = dir.join(shard_file_name(entry.id));
-                return Err(storage_err(
-                    &path,
-                    "shard bag/instance counts disagree with the manifest",
-                ));
-            }
+        for entry in &summary.shards {
+            let shard = load_manifest_shard(fs, &dir, entry, summary.feature_dim)?;
             next_shard_id = next_shard_id.max(entry.id + 1);
             shards.push(Shard {
-                base,
                 // A reopened shard at capacity is sealed; a short tail
                 // stays open for appends.
-                sealed: entry.bag_count >= shard_capacity,
+                sealed: entry.bag_count >= summary.shard_capacity,
                 ..shard
             });
-            base += entry.bag_count;
         }
         // All shards but the last must be sealed-size or the global
         // indexing the manifest implies could shift on append.
         let store = Self {
             dir,
-            feature_dim,
-            generation,
-            shard_capacity,
+            feature_dim: summary.feature_dim,
+            generation: summary.generation,
+            shard_capacity: summary.shard_capacity,
             shards,
-            tombstones,
+            tombstones: summary.tombstones,
             next_shard_id,
         };
         store.update_gauges();
@@ -833,9 +776,11 @@ fn rank_one_shard(
     // scratch lives for the whole shard scan so its buffers allocate
     // once.
     let mut scan = |local: usize, bound: f64, stats: &mut ScreenStats| match &query {
-        Some(q) => shard
-            .bags
-            .min_distance_sq_below_screened(concept, q, local, bound, stats, &mut scratch),
+        Some(q) => {
+            shard
+                .bags
+                .min_distance_sq_below_screened(concept, q, local, bound, stats, &mut scratch)
+        }
         None => shard.bags.min_distance_sq_below(concept, local, bound),
     };
     let ranking = match top_k {
@@ -925,7 +870,12 @@ fn rank_one_shard(
 /// Index-ordered k-way merge of sorted rankings: repeatedly takes the
 /// head with the smallest `(distance, global index)`, stopping at
 /// `limit` entries when one is set.
-fn merge_rankings(lists: Vec<Ranking>, limit: Option<usize>) -> Ranking {
+///
+/// Public because it is the gather half of every scatter in the system:
+/// the single-node scatter merges per-shard rankings with it, and the
+/// cluster coordinator merges per-worker [`SubsetRanking`]s with the
+/// same call — which is why the two are bit-identical by construction.
+pub fn merge_rankings(lists: Vec<Ranking>, limit: Option<usize>) -> Ranking {
     let total: usize = lists.iter().map(Vec::len).sum();
     let cap = limit.map_or(total, |k| k.min(total));
     let mut heads = vec![0usize; lists.len()];
@@ -1103,6 +1053,379 @@ fn read_shard(
         persisted: true,
         digest,
     })
+}
+
+/// One shard's manifest entry, as read by [`read_manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestShard {
+    /// The shard id (maps to its file via [`shard_file_name`]).
+    pub id: u64,
+    /// Global index of the shard's first bag.
+    pub base: usize,
+    /// Number of bags in the shard.
+    pub bag_count: usize,
+    /// Total instances across the shard's bags.
+    pub instance_count: usize,
+    /// The shard file's trailing FNV-1a digest, recorded so a stale or
+    /// swapped shard is detected without a second read.
+    pub digest: u64,
+}
+
+/// The decoded, checksum-verified manifest of a sharded snapshot —
+/// everything needed to plan a shard-subset open or a cluster shard
+/// assignment without touching any shard file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestSummary {
+    /// Feature dimension of the stored bags.
+    pub feature_dim: usize,
+    /// The manifest generation, bumped by every flush.
+    pub generation: u64,
+    /// Bags per shard before the tail seals.
+    pub shard_capacity: usize,
+    /// Per-shard entries in global-index order (bases ascending).
+    pub shards: Vec<ManifestShard>,
+    /// Tombstoned global indices.
+    pub tombstones: BTreeSet<usize>,
+}
+
+impl ManifestSummary {
+    /// Total bag count, tombstoned included.
+    pub fn total_bags(&self) -> usize {
+        self.shards.last().map_or(0, |s| s.base + s.bag_count)
+    }
+
+    /// Number of live (non-tombstoned) bags.
+    pub fn live_len(&self) -> usize {
+        self.total_bags() - self.tombstones.len()
+    }
+
+    /// Maps a global index to its rank among live indices — the index
+    /// the same bag carries in the compacted [`Snapshot::database`]
+    /// view. Returns `None` for tombstoned indices.
+    pub fn live_rank(&self, index: usize) -> Option<usize> {
+        if self.tombstones.contains(&index) {
+            return None;
+        }
+        Some(index - self.tombstones.range(..index).count())
+    }
+}
+
+/// Reads and verifies `manifest.milr` under `dir` via the real
+/// filesystem — the planning half of [`ShardedDatabase::open`], split
+/// out so cluster nodes can compute shard assignments (and stream shard
+/// files) without loading any bag payload.
+///
+/// # Errors
+/// [`CoreError::Storage`] on a missing/corrupt manifest or any format
+/// violation.
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<ManifestSummary, CoreError> {
+    read_manifest_with(&OsFs, dir.as_ref())
+}
+
+/// [`read_manifest`] over an explicit [`StorageIo`] seam.
+///
+/// # Errors
+/// Same as [`read_manifest`].
+pub fn read_manifest_with(fs: &dyn StorageIo, dir: &Path) -> Result<ManifestSummary, CoreError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let file = fs
+        .reader(&manifest_path)
+        .map_err(|e| storage_err(&manifest_path, e.to_string()))?;
+    let mut r = Stream::new(BufReader::new(file), &manifest_path);
+    // v3 and v4 manifests carry an identical payload; only the shard
+    // files differ (v4 appends the quantized tier).
+    r.read_header_any(MANIFEST_KIND, &[MIN_STORE_VERSION, STORE_VERSION])?;
+    let feature_dim = r.read_u64()? as usize;
+    if feature_dim == 0 || feature_dim > 100_000_000 {
+        return Err(r.fail("implausible feature dimension"));
+    }
+    let generation = r.read_u64()?;
+    let shard_capacity = r.read_u64()? as usize;
+    if shard_capacity == 0 {
+        return Err(r.fail("zero shard capacity"));
+    }
+    let shard_count = r.read_u64()? as usize;
+    if shard_count > 1_000_000 {
+        return Err(r.fail("implausible shard count"));
+    }
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut base = 0usize;
+    for _ in 0..shard_count {
+        let id = r.read_u64()?;
+        let bag_count = r.read_u64()? as usize;
+        let instance_count = r.read_u64()? as usize;
+        let digest = r.read_u64()?;
+        if bag_count == 0 || bag_count > 100_000_000 {
+            return Err(r.fail(format!("implausible shard bag count {bag_count}")));
+        }
+        shards.push(ManifestShard {
+            id,
+            base,
+            bag_count,
+            instance_count,
+            digest,
+        });
+        base += bag_count;
+    }
+    let total = base;
+    let tombstone_count = r.read_u64()? as usize;
+    if tombstone_count > total {
+        return Err(r.fail("more tombstones than bags"));
+    }
+    let mut tombstones = BTreeSet::new();
+    let mut previous: Option<usize> = None;
+    for _ in 0..tombstone_count {
+        let index = r.read_u64()? as usize;
+        if index >= total {
+            return Err(r.fail(format!("tombstone {index} out of range ({total} bags)")));
+        }
+        if previous.is_some_and(|p| p >= index) {
+            return Err(r.fail("tombstones must be strictly ascending"));
+        }
+        previous = Some(index);
+        tombstones.insert(index);
+    }
+    r.verify_checksum()?;
+    Ok(ManifestSummary {
+        feature_dim,
+        generation,
+        shard_capacity,
+        shards,
+        tombstones,
+    })
+}
+
+/// Loads one manifest-listed shard and cross-checks it against its
+/// entry: digest, bag count, instance count. The returned shard carries
+/// the entry's global base.
+fn load_manifest_shard(
+    fs: &dyn StorageIo,
+    dir: &Path,
+    entry: &ManifestShard,
+    feature_dim: usize,
+) -> Result<Shard, CoreError> {
+    let shard = read_shard(fs, dir, entry.id, feature_dim)?;
+    if shard.digest != entry.digest {
+        let path = dir.join(shard_file_name(entry.id));
+        return Err(storage_err(
+            &path,
+            format!(
+                "shard digest {:#018x} disagrees with the manifest ({:#018x}) — stale or swapped shard",
+                shard.digest, entry.digest
+            ),
+        ));
+    }
+    if shard.labels.len() != entry.bag_count || shard.bags.instance_count() != entry.instance_count
+    {
+        let path = dir.join(shard_file_name(entry.id));
+        return Err(storage_err(
+            &path,
+            "shard bag/instance counts disagree with the manifest",
+        ));
+    }
+    Ok(Shard {
+        base: entry.base,
+        ..shard
+    })
+}
+
+/// A top-k ranking produced by [`ShardSubset::rank_top_k`], plus the
+/// counters the caller folds into its own accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetRanking {
+    /// The subset's top-k by ascending `(distance, global index)`,
+    /// indexed in the *global* (tombstone-inclusive) index space.
+    pub ranking: Ranking,
+    /// How often a shard scan tightened the shared threshold (including
+    /// tightenings of an externally-seeded initial bound).
+    pub tightenings: u64,
+}
+
+/// A read-only view over a *subset* of a sharded snapshot's shards —
+/// the worker half of distributed scatter-gather. The subset opens only
+/// its assigned shard files (digest-verified against the manifest) but
+/// keeps the manifest's *global* index space: rankings it produces
+/// merge with other subsets' rankings by `(distance, global index)`
+/// exactly as the single-node scatter merges its per-shard scans.
+#[derive(Debug)]
+pub struct ShardSubset {
+    feature_dim: usize,
+    generation: u64,
+    total_bags: usize,
+    total_shards: usize,
+    shards: Vec<Shard>,
+    /// Live (non-tombstoned) local indices per loaded shard.
+    locals: Vec<Vec<usize>>,
+}
+
+impl ShardSubset {
+    /// Opens the shards named by `ids` from the snapshot under `dir`.
+    /// Every id must appear in the manifest; each loaded shard is
+    /// digest-verified against its manifest entry. `ids` may be empty
+    /// (a worker with no assignment ranks nothing).
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] on a missing/corrupt manifest, an id the
+    /// manifest does not list, a duplicate id, or any shard-file
+    /// verification failure.
+    pub fn open(dir: impl AsRef<Path>, ids: &[u64]) -> Result<Self, CoreError> {
+        Self::open_with(&OsFs, dir.as_ref(), ids)
+    }
+
+    /// [`Self::open`] over an explicit [`StorageIo`] seam.
+    ///
+    /// # Errors
+    /// Same as [`Self::open`].
+    pub fn open_with(fs: &dyn StorageIo, dir: &Path, ids: &[u64]) -> Result<Self, CoreError> {
+        let summary = read_manifest_with(fs, dir)?;
+        Self::from_manifest_with(fs, dir, &summary, ids)
+    }
+
+    /// [`Self::open_with`] against an already-read manifest (callers
+    /// that just fetched or planned over the summary skip re-reading
+    /// it).
+    ///
+    /// # Errors
+    /// Same as [`Self::open`].
+    pub fn from_manifest_with(
+        fs: &dyn StorageIo,
+        dir: &Path,
+        summary: &ManifestSummary,
+        ids: &[u64],
+    ) -> Result<Self, CoreError> {
+        let mut shards = Vec::with_capacity(ids.len());
+        let mut locals = Vec::with_capacity(ids.len());
+        let mut seen = BTreeSet::new();
+        for &id in ids {
+            if !seen.insert(id) {
+                return Err(storage_err(
+                    dir,
+                    format!("shard {id} assigned to the subset twice"),
+                ));
+            }
+            let Some(entry) = summary.shards.iter().find(|e| e.id == id) else {
+                return Err(storage_err(
+                    dir,
+                    format!("shard {id} is not listed in the manifest"),
+                ));
+            };
+            let shard = load_manifest_shard(fs, dir, entry, summary.feature_dim)?;
+            locals.push(
+                (0..entry.bag_count)
+                    .filter(|local| !summary.tombstones.contains(&(entry.base + local)))
+                    .collect(),
+            );
+            shards.push(shard);
+        }
+        Ok(Self {
+            feature_dim: summary.feature_dim,
+            generation: summary.generation,
+            total_bags: summary.total_bags(),
+            total_shards: summary.shards.len(),
+            shards,
+            locals,
+        })
+    }
+
+    /// Feature dimension of the snapshot the subset was opened from.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The manifest generation the subset was opened at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Ids of the loaded shards, in open order.
+    pub fn shard_ids(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.id).collect()
+    }
+
+    /// Total bag count of the *whole* snapshot (the global index
+    /// space), tombstoned included.
+    pub fn total_bags(&self) -> usize {
+        self.total_bags
+    }
+
+    /// Shard count of the whole snapshot (not just this subset).
+    pub fn total_shards(&self) -> usize {
+        self.total_shards
+    }
+
+    /// Number of live bags held by this subset.
+    pub fn live_len(&self) -> usize {
+        self.locals.iter().map(Vec::len).sum()
+    }
+
+    /// Ranks the subset's live bags and returns its top-k by ascending
+    /// `(distance, global index)` — the same pruned, quantized-screened
+    /// scan as [`ShardedDatabase::rank`], fanned over the loaded shards
+    /// on the pooled executor.
+    ///
+    /// `initial_bound` seeds the shared scatter threshold (pass
+    /// [`f64::INFINITY`] for none): a cluster coordinator forwards its
+    /// current k-th-best distance so workers prune against results
+    /// gathered elsewhere. Soundness is inherited from [`SharedBound`]:
+    /// as long as the seed is backed by `k` real candidates that are
+    /// part of the final merge, every pruned bag is provably outside
+    /// the merged top-k.
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] on a concept dimension mismatch.
+    pub fn rank_top_k(
+        &self,
+        concept: &Concept,
+        k: usize,
+        initial_bound: f64,
+        threads: usize,
+    ) -> Result<SubsetRanking, CoreError> {
+        if concept.dim() != self.feature_dim {
+            return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
+                expected: self.feature_dim,
+                actual: concept.dim(),
+            }));
+        }
+        let _span = milr_obs::span!("store.rank_subset");
+        let started = std::time::Instant::now();
+        let occupied: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !self.locals[s].is_empty())
+            .collect();
+        let shared = SharedBound::with_initial(initial_bound);
+        let scans = pool::run_indexed(occupied.len(), threads, |i| {
+            let shard_index = occupied[i];
+            let _span = milr_obs::span!("store.rank_shard");
+            rank_one_shard(
+                &self.shards[shard_index],
+                concept,
+                &self.locals[shard_index],
+                Some(k),
+                &shared,
+                true,
+            )
+        });
+        milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
+        let mut stats = ScreenStats::default();
+        let mut tightenings = 0u64;
+        let per_shard: Vec<Ranking> = scans
+            .into_iter()
+            .map(|scan| {
+                stats.merge(scan.stats);
+                tightenings += scan.tightenings;
+                scan.ranking
+            })
+            .collect();
+        milr_obs::counter!("milr_rank_quant_screened_total").add(stats.screened);
+        milr_obs::counter!("milr_rank_quant_rescored_total").add(stats.rescored);
+        milr_obs::counter!("milr_rank_threshold_tightenings_total").add(tightenings);
+        let ranking = merge_rankings(per_shard, Some(k));
+        milr_obs::histogram!("milr_store_rank_latency_us")
+            .record(started.elapsed().as_micros() as u64);
+        Ok(SubsetRanking {
+            ranking,
+            tightenings,
+        })
+    }
 }
 
 /// A loaded snapshot of either format, ready to serve.

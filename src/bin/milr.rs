@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         Some("shard") => cmd_shard(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("golden") => cmd_golden(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
@@ -67,6 +68,13 @@ fn print_usage() {
          [--read-timeout-ms N] [--handle-deadline-ms N] [--max-body N]\n                \
          [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n                \
          [--watch-snapshot] [--watch-interval-ms N]\n  \
+         milr serve    --role coordinator --snapshot DIR --worker-addrs H:P[,H:P...]\n                \
+         [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--page K]\n                \
+         [--policy POLICY] [--worker-deadline-ms N] [--health-interval-ms N]\n                \
+         [--eviction-threshold N] [--sequential-fanout]\n  \
+         milr serve    --role worker --snapshot DIR --worker-index I --worker-count N\n                \
+         [--addr HOST:PORT] [--workers N] [--threads N] [--join HOST:PORT]\n  \
+         milr cluster  status --addr HOST:PORT [--json]\n  \
          milr trace    --addr HOST:PORT [--n N] [--json]\n  \
          milr golden   [--bless] [--dir DIR]   (default DIR: tests/golden)\n  \
          milr query    --kind scenes|objects --category NAME [--policy POLICY]\n                \
@@ -328,8 +336,19 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
 }
 
 /// Runs the retrieval daemon over a snapshot (the in-CLI equivalent of
-/// the standalone `milrd` binary).
+/// the standalone `milrd` binary). `--role coordinator|worker` starts a
+/// cluster node instead of the single-node daemon.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    match flag(args, "--role").as_deref() {
+        None | Some("single") => {}
+        Some("coordinator") => return cmd_serve_coordinator(args),
+        Some("worker") => return cmd_serve_worker(args),
+        Some(other) => {
+            return Err(format!(
+                "unknown --role {other:?} (single|coordinator|worker)"
+            ))
+        }
+    }
     let snapshot = flag(args, "--snapshot").ok_or("--snapshot is required")?;
     let mut options = milr::serve::ServeOptions::default();
     if let Some(addr) = flag(args, "--addr") {
@@ -426,6 +445,257 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.wait();
     println!("milrd drained");
+    Ok(())
+}
+
+/// Shared `--addr/--workers/--queue-depth/...` parsing for the two
+/// cluster roles.
+fn cluster_node_options(args: &[String]) -> Result<milr::cluster::NodeOptions, String> {
+    let mut node = milr::cluster::NodeOptions::default();
+    if let Some(addr) = flag(args, "--addr") {
+        node.addr = addr;
+    }
+    if let Some(text) = flag(args, "--workers") {
+        node.workers = text
+            .parse()
+            .map_err(|_| format!("invalid --workers {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--queue-depth") {
+        node.queue_depth = text
+            .parse()
+            .map_err(|_| format!("invalid --queue-depth {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--read-timeout-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --read-timeout-ms {text:?}"))?;
+        node.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--handle-deadline-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --handle-deadline-ms {text:?}"))?;
+        node.handle_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--max-body") {
+        node.max_body = text
+            .parse()
+            .map_err(|_| format!("invalid --max-body {text:?}"))?;
+    }
+    Ok(node)
+}
+
+/// `milr serve --role coordinator`: scatter-gather front of a cluster.
+fn cmd_serve_coordinator(args: &[String]) -> Result<(), String> {
+    let snapshot = flag(args, "--snapshot").ok_or("--snapshot is required")?;
+    let worker_addrs = flag(args, "--worker-addrs").ok_or("--worker-addrs is required")?;
+    let mut options = milr::cluster::CoordinatorOptions {
+        node: cluster_node_options(args)?,
+        snapshot_dir: PathBuf::from(&snapshot),
+        ..milr::cluster::CoordinatorOptions::default()
+    };
+    for part in worker_addrs.split(',').filter(|s| !s.is_empty()) {
+        options.workers.push(
+            part.trim()
+                .parse()
+                .map_err(|_| format!("invalid worker address {part:?}"))?,
+        );
+    }
+    if options.workers.is_empty() {
+        return Err("--worker-addrs names no workers".into());
+    }
+    if let Some(text) = flag(args, "--cache-capacity") {
+        options.cache_capacity = text
+            .parse()
+            .map_err(|_| format!("invalid --cache-capacity {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--page") {
+        options.default_page = text
+            .parse()
+            .map_err(|_| format!("invalid --page {text:?}"))?;
+    }
+    if let Some(spec) = flag(args, "--policy") {
+        options.retrieval.policy = parse_policy(&spec)?;
+    }
+    if let Some(text) = flag(args, "--worker-deadline-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --worker-deadline-ms {text:?}"))?;
+        options.worker_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--health-interval-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --health-interval-ms {text:?}"))?;
+        options.health_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--eviction-threshold") {
+        options.eviction_threshold = text
+            .parse()
+            .map_err(|_| format!("invalid --eviction-threshold {text:?}"))?;
+    }
+    if args.iter().any(|a| a == "--sequential-fanout") {
+        options.sequential_fanout = true;
+    }
+    // Training parallelism stays within the coordinator; ranking
+    // parallelism is across workers.
+    options.retrieval.threads = 1;
+    let workers = options.workers.len();
+    let coordinator = milr::cluster::Coordinator::start(options).map_err(|e| e.to_string())?;
+    println!(
+        "milrd listening on {} (coordinator, {workers} worker{}, generation {})",
+        coordinator.addr(),
+        if workers == 1 { "" } else { "s" },
+        coordinator.generation(),
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    coordinator.wait();
+    println!("milrd drained");
+    Ok(())
+}
+
+/// `milr serve --role worker`: owns a shard subset and answers the
+/// coordinator's scatter.
+fn cmd_serve_worker(args: &[String]) -> Result<(), String> {
+    let snapshot = flag(args, "--snapshot").ok_or("--snapshot is required")?;
+    let worker_index: usize = {
+        let text = flag(args, "--worker-index").ok_or("--worker-index is required")?;
+        text.parse()
+            .map_err(|_| format!("invalid --worker-index {text:?}"))?
+    };
+    let worker_count: usize = {
+        let text = flag(args, "--worker-count").ok_or("--worker-count is required")?;
+        text.parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("invalid --worker-count {text:?}"))?
+    };
+    let mut options = milr::cluster::WorkerOptions {
+        node: cluster_node_options(args)?,
+        snapshot_dir: PathBuf::from(&snapshot),
+        worker_index,
+        worker_count,
+        ..milr::cluster::WorkerOptions::default()
+    };
+    if let Some(text) = flag(args, "--threads") {
+        options.threads = text
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("invalid --threads {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--join") {
+        options.join = Some(
+            text.parse()
+                .map_err(|_| format!("invalid --join {text:?}"))?,
+        );
+    }
+    let worker = milr::cluster::Worker::start(options).map_err(|e| e.to_string())?;
+    println!(
+        "milrd listening on {} (worker {}/{worker_count}, generation {}, {} shard{})",
+        worker.addr(),
+        worker_index,
+        worker.generation(),
+        worker.shard_ids().len(),
+        if worker.shard_ids().len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    worker.wait();
+    println!("milrd drained");
+    Ok(())
+}
+
+/// `milr cluster status --addr HOST:PORT`: fleet membership, health,
+/// and the cluster counters from a running coordinator.
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("status") => {}
+        other => {
+            return Err(format!(
+                "unknown cluster subcommand {other:?} (expected: status)"
+            ))
+        }
+    }
+    let args = &args[1..];
+    let addr_text = flag(args, "--addr").ok_or("--addr is required")?;
+    let addr: std::net::SocketAddr = addr_text
+        .parse()
+        .map_err(|_| format!("invalid --addr {addr_text:?}"))?;
+    let response =
+        milr::serve::client::get(addr, "/cluster/status", std::time::Duration::from_secs(10))
+            .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("coordinator returned HTTP {}", response.status));
+    }
+    let body = String::from_utf8_lossy(&response.body).into_owned();
+    if args.iter().any(|a| a == "--json") {
+        println!("{body}");
+        return Ok(());
+    }
+    let json =
+        milr::serve::Json::parse(&body).map_err(|e| format!("bad /cluster/status body: {e}"))?;
+    let num = |v: &milr::serve::Json, key: &str| -> u64 {
+        v.get(key).and_then(milr::serve::Json::as_u64).unwrap_or(0)
+    };
+    println!(
+        "coordinator {addr}: generation {}, {} shards, {} live bags",
+        num(&json, "generation"),
+        num(&json, "total_shards"),
+        num(&json, "live_bags"),
+    );
+    println!(
+        "{:<6} {:<22} {:<9} {:>9} {:>11} {:>7} {:>11}",
+        "worker", "addr", "healthy", "failures", "generation", "shards", "p99_us"
+    );
+    if let Some(workers) = json.get("workers").and_then(milr::serve::Json::as_array) {
+        for worker in workers {
+            let shards = worker
+                .get("shards")
+                .and_then(milr::serve::Json::as_array)
+                .map(<[milr::serve::Json]>::len)
+                .unwrap_or(0);
+            let latency = worker.get("latency_us");
+            println!(
+                "{:<6} {:<22} {:<9} {:>9} {:>11} {:>7} {:>11}",
+                num(worker, "index"),
+                worker
+                    .get("addr")
+                    .and_then(milr::serve::Json::as_str)
+                    .unwrap_or("?"),
+                worker
+                    .get("healthy")
+                    .and_then(milr::serve::Json::as_bool)
+                    .map(|b| if b { "yes" } else { "NO" })
+                    .unwrap_or("?"),
+                num(worker, "consecutive_failures"),
+                num(worker, "generation"),
+                shards,
+                latency.map(|l| num(l, "p99")).unwrap_or(0),
+            );
+        }
+    }
+    if let Some(cluster) = json.get("cluster") {
+        println!(
+            "ranks {} (partial {}), shards ranked {} / missing {}, bound forwarded {} \
+             (tightened {}), retries {}, evictions {}, rejoins {}, resyncs {}",
+            num(cluster, "rank_total"),
+            num(cluster, "partial_responses_total"),
+            num(cluster, "shards_ranked_total"),
+            num(cluster, "shards_missing_total"),
+            num(cluster, "bound_forwarded_total"),
+            num(cluster, "bound_tightenings_total"),
+            num(cluster, "worker_retries_total"),
+            num(cluster, "worker_evictions_total"),
+            num(cluster, "worker_rejoins_total"),
+            num(cluster, "worker_resyncs_total"),
+        );
+    }
     Ok(())
 }
 

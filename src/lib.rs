@@ -48,6 +48,7 @@
 //! figure of the paper.
 
 pub use milr_baseline as baseline;
+pub use milr_cluster as cluster;
 pub use milr_core as core;
 pub use milr_imgproc as imgproc;
 pub use milr_mil as mil;

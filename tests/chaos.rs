@@ -423,6 +423,129 @@ fn reload_under_chaos_swaps_snapshots_without_breaking_the_contract() {
 }
 
 #[test]
+fn cluster_scatter_survives_chaos_between_coordinator_and_workers() {
+    // Distributed serving under fire: a coordinator fans out to two
+    // workers *through* fault proxies, so every scatter leg can be
+    // truncated, trickled, or reset. The contract is seed-agnostic
+    // (the chaos sweep replays this scenario across random seeds):
+    //
+    // * clients talking directly to the coordinator never see an
+    //   error — worst case is a well-formed `"partial": true` page;
+    // * the coordinator's shard conservation law balances exactly:
+    //   `shards_ranked + shards_missing == rank_total * total_shards`;
+    // * bound accounting never invents arrivals: the workers' seeded
+    //   count is bounded by the coordinator's forwarded count;
+    // * once the coordinator drains, each worker's own connection
+    //   books balance at quiescence.
+    let seed = chaos_seed().wrapping_add(4);
+    let dir = std::env::temp_dir().join(format!("milr_chaos_cluster_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let snapshot = dir.join("db.shards");
+    let db = synthetic_database(24, 8, 3);
+    let mut store =
+        milr::store::ShardedDatabase::from_database(&db, &snapshot, 6).expect("shard the snapshot");
+    store.flush().expect("flush the snapshot");
+    let total_shards = store.shard_count() as u64;
+
+    let worker_args = |index: &'static str| {
+        [
+            "--role",
+            "worker",
+            "--worker-index",
+            index,
+            "--worker-count",
+            "2",
+            "--read-timeout-ms",
+            "30000",
+        ]
+    };
+    let worker_a = DaemonUnderTest::start_over(dir.clone(), &snapshot, &worker_args("0"));
+    let worker_b = DaemonUnderTest::start_over(dir.clone(), &snapshot, &worker_args("1"));
+    let proxy_a = ChaosProxy::start(worker_a.addr, seed).expect("proxy a starts");
+    let proxy_b = ChaosProxy::start(worker_b.addr, seed.wrapping_add(1)).expect("proxy b starts");
+    // A short per-worker deadline bounds trickle faults; the huge
+    // health interval keeps probe traffic out of the fault schedule.
+    let worker_addrs = format!("{},{}", proxy_a.addr(), proxy_b.addr());
+    let coordinator = DaemonUnderTest::start_over(
+        dir,
+        &snapshot,
+        &[
+            "--role",
+            "coordinator",
+            "--worker-addrs",
+            &worker_addrs,
+            "--worker-deadline-ms",
+            "500",
+            "--health-interval-ms",
+            "600000",
+        ],
+    );
+
+    let requests = 8u64;
+    for index in 0..requests {
+        let query = if index % 2 == 0 {
+            "positives=0,4&negatives=1&k=12"
+        } else {
+            "positives=2,9&negatives=5&k=24"
+        };
+        let response = get(coordinator.addr, &format!("/cluster/rank?{query}"));
+        assert_eq!(
+            status_of(&response),
+            Some(200),
+            "request {index} (seed {seed}): chaos between nodes must never reach the client"
+        );
+        let json = Json::parse(&body_of(&response)).expect("rank response is JSON");
+        assert!(
+            json.get("partial").and_then(Json::as_bool).is_some(),
+            "request {index} (seed {seed}) page is malformed: {}",
+            json.dump()
+        );
+    }
+
+    // The coordinator accounted for every shard of every rank.
+    let status = Json::parse(&body_of(&get(coordinator.addr, "/cluster/status")))
+        .expect("cluster status is JSON");
+    let cluster = status.get("cluster").expect("cluster counters");
+    assert_eq!(metric(cluster, "rank_total"), requests);
+    assert_eq!(
+        metric(cluster, "shards_ranked_total") + metric(cluster, "shards_missing_total"),
+        requests * total_shards,
+        "shard conservation must balance (seed {seed}): {}",
+        status.dump()
+    );
+    let forwarded = metric(cluster, "bound_forwarded_total");
+
+    // Drain the coordinator BEFORE polling the workers: its pooled
+    // keep-alive sockets count as accepted-but-unresolved on a worker
+    // until the exiting process closes them.
+    let response = raw_roundtrip(
+        coordinator.addr,
+        b"POST /admin/shutdown HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n",
+    )
+    .expect("shutdown request");
+    assert_eq!(status_of(&response), Some(200));
+    let (success, stdout) = coordinator.wait_for_drain();
+    assert!(success, "coordinator drain must exit 0; stdout: {stdout:?}");
+    proxy_a.stop();
+    proxy_b.stop();
+
+    let mut seeded = 0;
+    for worker in [&worker_a, &worker_b] {
+        let metrics = assert_metrics_balanced(worker.addr);
+        seeded += metric(
+            metrics.get("worker").expect("worker section"),
+            "bound_seeded_total",
+        );
+    }
+    assert!(
+        seeded <= forwarded,
+        "workers saw {seeded} seeded bounds but the coordinator only forwarded {forwarded} \
+         (seed {seed})"
+    );
+}
+
+#[test]
 fn drain_finishes_cleanly_with_chaos_in_flight() {
     let seed = chaos_seed().wrapping_add(2);
     let daemon = DaemonUnderTest::start("drain", &["--workers", "2", "--read-timeout-ms", "1500"]);
