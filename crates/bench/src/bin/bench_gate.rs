@@ -19,6 +19,10 @@
 //!   top-k slower than the naive reference) and `rank_quantized_top_k`
 //!   speedup at least 1.5 over the exact sharded top-k path. Always
 //!   enforced.
+//! * The coarse instance index must pay for itself at the 100k-instance
+//!   scale: `rank_indexed_top_k` speedup must be at least 2.0 over the
+//!   exact sharded scan of the same corpus, and `indexed_identical` must
+//!   be `true`. Always enforced.
 //! * The end-to-end **speedup** (reference time / optimized time, both
 //!   measured on the *same* machine in the *same* run) must not fall more
 //!   than `--max-slowdown` (default 0.15) below the baseline's speedup.
@@ -251,6 +255,31 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
         format!("rank_quantized_top_k speedup {quant_topk:.3}x >= 1.5x"),
     );
 
+    // 6. The coarse per-shard index must pay for itself at 100k
+    // instances — same absolute-floor rationale as section 5 — and it
+    // must stay bit-identical to the exact scan it replaces.
+    let indexed_identical = perf
+        .get("indexed_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    check(
+        &mut lines,
+        &mut passed,
+        indexed_identical,
+        format!("indexed_identical = {indexed_identical}"),
+    );
+    let indexed_topk = number(perf, &["phases", "rank_indexed_top_k", "speedup"]).unwrap_or(0.0);
+    let indexed_instances = number(perf, &["indexed_instances"]).unwrap_or(0.0);
+    check(
+        &mut lines,
+        &mut passed,
+        indexed_topk >= 2.0,
+        format!(
+            "rank_indexed_top_k speedup {indexed_topk:.3}x >= 2.0x \
+             (over {indexed_instances} instances)"
+        ),
+    );
+
     Report {
         passed,
         text: lines.join("\n"),
@@ -262,6 +291,7 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
     let sharded = number(perf, &["phases", "rank_sharded_full", "speedup"]).unwrap_or(0.0);
     let quantized = number(perf, &["phases", "rank_quantized_top_k", "speedup"]).unwrap_or(0.0);
+    let indexed = number(perf, &["phases", "rank_indexed_top_k", "speedup"]).unwrap_or(0.0);
     let shards = number(perf, &["shard_count"]).unwrap_or(0.0);
     let cores = number(perf, &["cores"]).unwrap_or(0.0);
     let scale = perf
@@ -276,7 +306,8 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     format!(
         "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \
          \"sharded_rank_speedup\": {sharded:.3}, \
-         \"quantized_rank_speedup\": {quantized:.3}, \"shard_count\": {shards}, \
+         \"quantized_rank_speedup\": {quantized:.3}, \
+         \"indexed_rank_speedup\": {indexed:.3}, \"shard_count\": {shards}, \
          \"cores\": {cores}, \"scale\": \"{scale}\" }},\n  \
          \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99}, \
          \"distributed_throughput_rps\": {dist_throughput:.1}, \
@@ -329,11 +360,13 @@ mod tests {
         .unwrap();
         let perf = Json::parse(&format!(
             "{{ \"ranking_identical\": {identical}, \"sharded_identical\": {identical}, \
-               \"shard_count\": 4, \"cores\": {cores}, \
+               \"indexed_identical\": {identical}, \
+               \"shard_count\": 4, \"cores\": {cores}, \"indexed_instances\": 100000, \
                \"end_to_end\": {{ \"speedup\": {speedup} }}, \
                \"phases\": {{ \"rank_sharded_full\": {{ \"speedup\": {speedup} }}, \
                  \"rank_sharded_top_k\": {{ \"speedup\": 1.4 }}, \
-                 \"rank_quantized_top_k\": {{ \"speedup\": 1.7 }} }} }}"
+                 \"rank_quantized_top_k\": {{ \"speedup\": 1.7 }}, \
+                 \"rank_indexed_top_k\": {{ \"speedup\": 2.5 }} }} }}"
         ))
         .unwrap();
         let loadgen = Json::parse(&format!(
@@ -444,14 +477,16 @@ mod tests {
     }
 
     /// A healthy perf artifact with explicit top-k phase speedups.
-    fn perf_with_topk(sharded_topk: f64, quant_topk: f64) -> Json {
+    fn perf_with_topk(sharded_topk: f64, quant_topk: f64, indexed_topk: f64) -> Json {
         Json::parse(&format!(
             "{{ \"ranking_identical\": true, \"sharded_identical\": true, \
-               \"shard_count\": 4, \"cores\": 8, \
+               \"indexed_identical\": true, \
+               \"shard_count\": 4, \"cores\": 8, \"indexed_instances\": 100000, \
                \"end_to_end\": {{ \"speedup\": 3.0 }}, \
                \"phases\": {{ \"rank_sharded_full\": {{ \"speedup\": 3.0 }}, \
                  \"rank_sharded_top_k\": {{ \"speedup\": {sharded_topk} }}, \
-                 \"rank_quantized_top_k\": {{ \"speedup\": {quant_topk} }} }} }}"
+                 \"rank_quantized_top_k\": {{ \"speedup\": {quant_topk} }}, \
+                 \"rank_indexed_top_k\": {{ \"speedup\": {indexed_topk} }} }} }}"
         ))
         .unwrap()
     }
@@ -459,7 +494,7 @@ mod tests {
     #[test]
     fn fails_when_shared_threshold_loses_to_naive() {
         let (b, _, l) = fixture(3.0, 8, true, 0);
-        let report = gate(&b, &perf_with_topk(0.9, 1.7), &l, 0.15);
+        let report = gate(&b, &perf_with_topk(0.9, 1.7, 2.5), &l, 0.15);
         assert!(!report.passed);
         assert!(
             report.text.contains("FAIL rank_sharded_top_k"),
@@ -471,10 +506,53 @@ mod tests {
     #[test]
     fn fails_when_quantized_tier_underperforms() {
         let (b, _, l) = fixture(3.0, 8, true, 0);
-        let report = gate(&b, &perf_with_topk(1.4, 1.2), &l, 0.15);
+        let report = gate(&b, &perf_with_topk(1.4, 1.2, 2.5), &l, 0.15);
         assert!(!report.passed);
         assert!(
             report.text.contains("FAIL rank_quantized_top_k"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn fails_when_indexed_tier_underperforms() {
+        // The coarse index must clear an absolute 2.0x floor over the
+        // exact scan; 1.9x is a gate failure even when everything else
+        // is healthy.
+        let (b, _, l) = fixture(3.0, 8, true, 0);
+        let report = gate(&b, &perf_with_topk(1.4, 1.7, 1.9), &l, 0.15);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL rank_indexed_top_k"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn fails_when_indexed_phase_is_missing() {
+        // An artifact from a perf run predating the indexed phase (or
+        // one that skipped it) must not slip through the gate.
+        let (b, _, l) = fixture(3.0, 8, true, 0);
+        let perf = Json::parse(
+            "{ \"ranking_identical\": true, \"sharded_identical\": true, \
+               \"shard_count\": 4, \"cores\": 8, \
+               \"end_to_end\": { \"speedup\": 3.0 }, \
+               \"phases\": { \"rank_sharded_full\": { \"speedup\": 3.0 }, \
+                 \"rank_sharded_top_k\": { \"speedup\": 1.4 }, \
+                 \"rank_quantized_top_k\": { \"speedup\": 1.7 } } }",
+        )
+        .unwrap();
+        let report = gate(&b, &perf, &l, 0.15);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL indexed_identical"),
+            "{}",
+            report.text
+        );
+        assert!(
+            report.text.contains("FAIL rank_indexed_top_k"),
             "{}",
             report.text
         );
@@ -494,6 +572,10 @@ mod tests {
         assert_eq!(
             number(&parsed, &["perf", "quantized_rank_speedup"]),
             Some(1.7)
+        );
+        assert_eq!(
+            number(&parsed, &["perf", "indexed_rank_speedup"]),
+            Some(2.5)
         );
         assert_eq!(number(&parsed, &["loadgen", "throughput_rps"]), Some(512.5));
     }

@@ -338,13 +338,18 @@ pub fn perf(scale: Scale, seed: u64) {
             .unwrap();
         std::hint::black_box(&r);
     });
+    // The timed quant paths disable the coarse index (phase 5 measures
+    // it at its own scale) so the ratio stays a clean screen-vs-exact
+    // comparison on this small, unclustered corpus.
     let quant_full = best_of_batch(reps, batch, || {
-        let r = store.rank(&concept, &RankRequest::all()).unwrap();
+        let r = store
+            .rank(&concept, &RankRequest::all().index(false))
+            .unwrap();
         std::hint::black_box(&r);
     });
     let topk_quant = best_of_batch(reps, batch, || {
         let r = store
-            .rank(&concept, &RankRequest::all().top(TOP_K))
+            .rank(&concept, &RankRequest::all().top(TOP_K).index(false))
             .unwrap();
         std::hint::black_box(&r);
     });
@@ -365,6 +370,124 @@ pub fn perf(scale: Scale, seed: u64) {
     );
     std::fs::remove_dir_all(&shard_dir).ok();
 
+    // ---- Phase 5: coarse-indexed ranking at 100k instances -----------
+    // The scene database is too small for cell skipping to matter, so
+    // this phase builds a clustered synthetic database at the scale the
+    // index is for: 12,500 bags x 8 instances x dim 16 = 100k instances
+    // in 64 tight clusters (deterministic arithmetic, no RNG), sharded
+    // 8 ways. The coarse index must stay bit-identical to the exact
+    // scan while skipping almost every off-cluster cell.
+    const IDX_BAGS: usize = 12_500;
+    const IDX_INSTANCES: usize = 8;
+    const IDX_DIM: usize = 16;
+    const IDX_CLUSTERS: usize = 64;
+    let cluster_center = |cluster: usize, d: usize| ((cluster * 37 + d * 11) % 97) as f32 * 4.0;
+    let idx_bags: Vec<milr_mil::Bag> = (0..IDX_BAGS)
+        .map(|b| {
+            let cluster = b % IDX_CLUSTERS;
+            let instances: Vec<Vec<f32>> = (0..IDX_INSTANCES)
+                .map(|m| {
+                    (0..IDX_DIM)
+                        .map(|d| {
+                            let jitter = ((b * 13 + m * 7 + d * 3) % 17) as f32 / 17.0 - 0.5;
+                            cluster_center(cluster, d) + jitter
+                        })
+                        .collect()
+                })
+                .collect();
+            milr_mil::Bag::new(instances).unwrap()
+        })
+        .collect();
+    let idx_labels: Vec<usize> = (0..IDX_BAGS).map(|b| b % IDX_CLUSTERS).collect();
+    let idx_db = RetrievalDatabase::from_bags(idx_bags, idx_labels).unwrap();
+    let idx_concept = Concept::new(
+        (0..IDX_DIM)
+            .map(|d| f64::from(cluster_center(0, d)))
+            .collect(),
+        vec![1.0; IDX_DIM],
+    );
+    let idx_dir = std::env::temp_dir()
+        .join("milr_perf_bench")
+        .join(format!("indexed_{}", std::process::id()));
+    std::fs::remove_dir_all(&idx_dir).ok();
+    let mut idx_store =
+        milr_store::ShardedDatabase::from_database(&idx_db, &idx_dir, IDX_BAGS.div_ceil(8))
+            .expect("shard the synthetic database");
+    // Flush seals the tail so every shard carries a coarse index.
+    idx_store.flush().expect("flush the synthetic store");
+    let idx_shards = idx_store.shard_count();
+
+    // Exactness across all three paths before any timing.
+    let idx_request = RankRequest::all().top(TOP_K);
+    let (cells_scanned0, cells_skipped0, index_fallbacks0) = (
+        counter("milr_rank_cells_scanned_total"),
+        counter("milr_rank_cells_skipped_total"),
+        counter("milr_rank_index_fallbacks_total"),
+    );
+    let idx_top = idx_store.rank(&idx_concept, &idx_request).unwrap();
+    let (cells_scanned, cells_skipped, index_fallbacks) = (
+        counter("milr_rank_cells_scanned_total") - cells_scanned0,
+        counter("milr_rank_cells_skipped_total") - cells_skipped0,
+        counter("milr_rank_index_fallbacks_total") - index_fallbacks0,
+    );
+    assert_eq!(
+        index_fallbacks, 0,
+        "every flushed shard must carry a coarse index"
+    );
+    assert!(
+        cells_skipped > cells_scanned,
+        "clustered data must skip more cell runs than it scans \
+         ({cells_skipped} skipped vs {cells_scanned} scanned)"
+    );
+    let idx_reference = idx_db.rank(&idx_concept, &idx_request).unwrap();
+    assert_eq!(
+        idx_top, idx_reference,
+        "indexed top-k must be bit-identical to the monolithic ranking"
+    );
+    assert_eq!(
+        idx_store
+            .rank(&idx_concept, &idx_request.clone().index(false))
+            .unwrap(),
+        idx_reference,
+        "quantized-only top-k must be bit-identical"
+    );
+    assert_eq!(
+        idx_store.rank_exact(&idx_concept, &idx_request).unwrap(),
+        idx_reference,
+        "exact sharded top-k must be bit-identical"
+    );
+    let indexed_identical = true;
+
+    let (idx_reps, idx_batch) = match scale {
+        Scale::Full => (5, 3),
+        Scale::Quick => (10, 8),
+    };
+    let idx_exact = best_of_batch(idx_reps, idx_batch, || {
+        let r = idx_store.rank_exact(&idx_concept, &idx_request).unwrap();
+        std::hint::black_box(&r);
+    });
+    let idx_quant = best_of_batch(idx_reps, idx_batch, || {
+        let r = idx_store
+            .rank(&idx_concept, &idx_request.clone().index(false))
+            .unwrap();
+        std::hint::black_box(&r);
+    });
+    let idx_indexed = best_of_batch(idx_reps, idx_batch, || {
+        let r = idx_store.rank(&idx_concept, &idx_request).unwrap();
+        std::hint::black_box(&r);
+    });
+    // The headline phase references the exact scan (what ranking cost
+    // before any screen); the second line isolates what cell skipping
+    // buys over the i8 screen alone on the same layout.
+    phase_line("rank (indexed)", idx_exact, idx_indexed);
+    phase_line("  vs quant-only", idx_quant, idx_indexed);
+    println!(
+        "               {IDX_BAGS} bags x {IDX_INSTANCES} instances x dim {IDX_DIM} \
+         over {idx_shards} shards: {cells_skipped} cell runs skipped / \
+         {cells_scanned} scanned per query"
+    );
+    std::fs::remove_dir_all(&idx_dir).ok();
+
     // ---- End-to-end and the JSON artifact ----------------------------
     let total_ref = pre_ref + train_ref + rank_ref;
     let total_opt = pre_opt + train_opt + topk_opt;
@@ -382,18 +505,24 @@ pub fn perf(scale: Scale, seed: u64) {
          \"training_starts\": {starts_len},\n  \"top_k\": {TOP_K},\n  \
          \"ranking_identical\": {ranking_identical},\n  \
          \"sharded_identical\": {sharded_identical},\n  \
-         \"shard_count\": {shard_count},\n  \"phases\": {{\n{phases}\n  }},\n  \
+         \"indexed_identical\": {indexed_identical},\n  \
+         \"shard_count\": {shard_count},\n  \
+         \"indexed_instances\": {indexed_instances},\n  \"phases\": {{\n{phases}\n  }},\n  \
          \"observability\": {{ \"multistart_starts\": {ms_starts}, \
          \"multistart_evaluations\": {ms_evals}, \"dd_memo_hits\": {memo_hits}, \
          \"dd_memo_misses\": {memo_misses}, \"rank_topk_candidates\": {topk_cands}, \
          \"rank_topk_pruned\": {topk_pruned}, \"rank_topk_prune_rate\": {prune_rate:.4}, \
          \"rank_quant_screened\": {quant_screened}, \
          \"rank_quant_rescored\": {quant_rescored}, \
-         \"rank_threshold_tightenings\": {tightenings} }},\n  \
+         \"rank_threshold_tightenings\": {tightenings}, \
+         \"rank_cells_scanned\": {cells_scanned}, \
+         \"rank_cells_skipped\": {cells_skipped}, \
+         \"rank_index_fallbacks\": {index_fallbacks} }},\n  \
          \"end_to_end\": {{ \"reference_s\": {total_ref:.6}, \"optimized_s\": {total_opt:.6}, \
          \"speedup\": {speedup:.3} }}\n}}\n",
         db_len = db.len(),
         starts_len = starts.len(),
+        indexed_instances = IDX_BAGS * IDX_INSTANCES,
         phases = [
             ("preprocess", pre_ref, pre_opt),
             ("train", train_ref, train_opt),
@@ -403,6 +532,10 @@ pub fn perf(scale: Scale, seed: u64) {
             ("rank_sharded_top_k", rank_ref, topk_sharded),
             ("rank_quantized_full", rank_sharded, quant_full),
             ("rank_quantized_top_k", topk_sharded, topk_quant),
+            // Referenced against the exact scan on the same 100k-
+            // instance layout: what the coarse index (plus the screen
+            // it composes with) buys end to end.
+            ("rank_indexed_top_k", idx_exact, idx_indexed),
         ]
         .iter()
         .map(|(name, r, o)| format!(

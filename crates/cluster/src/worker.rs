@@ -279,6 +279,7 @@ impl WorkerDaemon {
                     ),
                 ]),
             ),
+            ("rank".into(), milr_serve::metrics::rank_counters_json()),
             ("endpoints".into(), self.metrics.endpoints_json()),
         ])
     }

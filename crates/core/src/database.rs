@@ -77,6 +77,14 @@ pub struct RankRequest {
     /// parallelism). A pure throughput knob: results are identical for
     /// any value.
     pub threads: usize,
+    /// Whether sharded stores may consult their coarse cell index to
+    /// skip instance ranges whose provable lower bound already exceeds
+    /// the running top-k threshold (`milr-store`'s indexed scan). Like
+    /// pruning and screening, cell skipping is exact — results are
+    /// bit-identical either way — so this is a throughput knob that
+    /// exists for measurement and regression baselines. Defaults to
+    /// `true`; the monolithic ranking path ignores it.
+    pub use_index: bool,
 }
 
 impl Default for RankRequest {
@@ -85,6 +93,7 @@ impl Default for RankRequest {
             scope: RankScope::All,
             top_k: None,
             threads: 0,
+            use_index: true,
         }
     }
 }
@@ -131,6 +140,14 @@ impl RankRequest {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables coarse cell skipping in sharded stores (see
+    /// [`Self::use_index`]). Rankings are bit-identical either way.
+    #[must_use]
+    pub fn index(mut self, use_index: bool) -> Self {
+        self.use_index = use_index;
         self
     }
 }

@@ -482,6 +482,7 @@ impl<'a> QuerySession<'a> {
             scope,
             top_k: None,
             threads: self.config.threads,
+            ..RankRequest::default()
         }
     }
 

@@ -17,6 +17,7 @@
 
 use crate::bag::{Bag, MilDataset};
 use crate::concept::Concept;
+use crate::index::CoarseIndex;
 use crate::kernel::{self, QuantParams, QuantQuery};
 
 /// Location of one bag inside a [`FlatDataset`] buffer.
@@ -271,6 +272,11 @@ pub struct FlatBags {
     spans: Vec<BagSpan>,
     dim: usize,
     quant: QuantTier,
+    /// Coarse cell index over the instances (see [`CoarseIndex`]):
+    /// built at shard-seal time, attached from a v5 shard file, or
+    /// rebuilt lazily — and invalidated by any push, since its
+    /// assignments describe a frozen instance stream.
+    index: Option<CoarseIndex>,
 }
 
 impl FlatBags {
@@ -285,6 +291,7 @@ impl FlatBags {
             spans: Vec::new(),
             dim,
             quant: QuantTier::default(),
+            index: None,
         }
     }
 
@@ -295,6 +302,7 @@ impl FlatBags {
     /// Panics on a feature-dimension mismatch.
     pub fn push_bag(&mut self, bag: &Bag) -> usize {
         assert_eq!(bag.dim(), self.dim, "bag has wrong dimension");
+        self.index = None;
         let offset = self.data.len() / self.dim;
         for instance in bag.instances() {
             self.data.extend_from_slice(instance);
@@ -324,6 +332,7 @@ impl FlatBags {
             !instances.is_empty() && instances.len().is_multiple_of(self.dim),
             "flat bag data must be a non-empty multiple of the dimension"
         );
+        self.index = None;
         let offset = self.data.len() / self.dim;
         let span = BagSpan {
             offset,
@@ -409,6 +418,7 @@ impl FlatBags {
             spans,
             dim,
             quant,
+            index: None,
         })
     }
 
@@ -647,6 +657,59 @@ impl FlatBags {
             scratch.bad_streak = 0;
         }
         (best < bound).then_some(best)
+    }
+
+    /// The coarse cell index, if one has been built or attached. `None`
+    /// means the instance stream is still growing (an unsealed tail
+    /// shard) and ranking falls back to the plain screened scan.
+    #[inline]
+    pub fn index(&self) -> Option<&CoarseIndex> {
+        self.index.as_ref()
+    }
+
+    /// Builds (or rebuilds) the coarse index with an explicit cell
+    /// count — the tuning/testing entry point; production code uses
+    /// [`Self::ensure_index`]. The count is clamped to the instance
+    /// count.
+    pub fn build_index(&mut self, cells: usize) -> &CoarseIndex {
+        self.index = Some(CoarseIndex::build(&self.data, self.dim, cells));
+        self.index.as_ref().expect("just built")
+    }
+
+    /// Builds the coarse index with the default `⌈√n⌉` cell count if
+    /// none is present. Idempotent; the build is deterministic, so a
+    /// lazily built index is identical to a persisted one built from
+    /// the same instance stream.
+    pub fn ensure_index(&mut self) -> &CoarseIndex {
+        if self.index.is_none() {
+            let cells = CoarseIndex::default_cell_count(self.instance_count());
+            self.index = Some(CoarseIndex::build(&self.data, self.dim, cells));
+        }
+        self.index.as_ref().expect("ensured above")
+    }
+
+    /// Attaches a persisted index after validating it describes this
+    /// exact instance stream (dimension and instance count).
+    ///
+    /// # Errors
+    /// A description of the mismatch.
+    pub fn attach_index(&mut self, index: CoarseIndex) -> Result<(), String> {
+        if index.dim() != self.dim {
+            return Err(format!(
+                "index dimension {} does not match store dimension {}",
+                index.dim(),
+                self.dim
+            ));
+        }
+        if index.assignments().len() != self.instance_count() {
+            return Err(format!(
+                "index covers {} instances but the store holds {}",
+                index.assignments().len(),
+                self.instance_count()
+            ));
+        }
+        self.index = Some(index);
+        Ok(())
     }
 
     /// The quantized tier's codes, instance-major — what a v4 shard file
@@ -921,6 +984,56 @@ mod tests {
         via_flat.push_flat(via_bag.data());
         assert_eq!(via_bag.quant_codes(), via_flat.quant_codes());
         assert_eq!(via_bag.quant_params(), via_flat.quant_params());
+    }
+
+    #[test]
+    fn pushes_invalidate_the_coarse_index() {
+        let mut flat = FlatBags::new(2);
+        flat.push_flat(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(flat.index().is_none());
+        flat.ensure_index();
+        assert!(flat.index().is_some());
+        flat.push_flat(&[5.0, 6.0]);
+        assert!(flat.index().is_none(), "push must invalidate the index");
+        flat.ensure_index();
+        flat.push_bag(&bag(&[&[7.0, 8.0]]));
+        assert!(flat.index().is_none(), "push_bag must invalidate too");
+    }
+
+    #[test]
+    fn lazy_index_matches_a_persisted_rebuild() {
+        let mut a = FlatBags::new(3);
+        let mut b = FlatBags::new(3);
+        for n in 0..7 {
+            let row: Vec<f32> = (0..6).map(|i| ((n * 11 + i * 5) % 13) as f32).collect();
+            a.push_flat(&row);
+            b.push_flat(&row);
+        }
+        let built = a.ensure_index().clone();
+        // Round-tripping through persisted parts and attaching lands on
+        // the identical index — the v4→v5 lazy-rebuild contract.
+        let reloaded = CoarseIndex::from_persisted(
+            3,
+            built.centroids().to_vec(),
+            built.radii().to_vec(),
+            built.assignments().to_vec(),
+        )
+        .unwrap();
+        b.attach_index(reloaded).unwrap();
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn mismatched_index_attachment_rejected() {
+        let mut flat = FlatBags::new(2);
+        flat.push_flat(&[1.0, 2.0, 3.0, 4.0]);
+        let wrong_dim = CoarseIndex::build(&[1.0, 2.0, 3.0], 3, 1);
+        assert!(flat.attach_index(wrong_dim).is_err());
+        let wrong_count = CoarseIndex::build(&[1.0, 2.0], 2, 1);
+        assert!(flat.attach_index(wrong_count).is_err());
+        let right = CoarseIndex::build(flat.data(), 2, 2);
+        assert!(flat.attach_index(right).is_ok());
+        assert_eq!(flat.index().unwrap().assignments().len(), 2);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`flat`] — contiguous structure-of-arrays instance storage: all
 //!   bags packed into one `f64` buffer with per-bag `(offset, len)`
 //!   spans, converted once per training run.
+//! * [`index`] — the coarse per-shard instance index: deterministic
+//!   k-means cells whose triangle-inequality bounds let the ranking
+//!   scan skip whole instance ranges without changing any ranking.
 //! * [`kernel`] — the fused weighted-distance kernels behind every
 //!   ranking path: the canonical 4-lane unrolled exact kernel and the
 //!   `i8` scalar-quantized screen whose provable lower bound rejects
@@ -31,6 +34,7 @@ pub mod bag;
 pub mod concept;
 pub mod dd;
 pub mod flat;
+pub mod index;
 pub mod kernel;
 pub mod policy;
 pub mod predict;
@@ -40,6 +44,7 @@ pub use bag::{Bag, BagLabel, MilDataset, MilError};
 pub use concept::Concept;
 pub use dd::{DdObjective, LegacyDdObjective, Parameterization};
 pub use flat::{BagSpan, FlatBags, FlatDataset, ScreenScratch, ScreenStats};
+pub use index::CoarseIndex;
 pub use kernel::{QuantParams, QuantQuery};
 pub use policy::WeightPolicy;
 pub use predict::{BagClassifier, ClassificationReport};

@@ -38,6 +38,41 @@ fn latency_json(snap: &HistogramSnapshot) -> Json {
     ])
 }
 
+/// JSON view of the process-global ranking counters the scatter paths
+/// maintain — the quantized screen and the coarse cell index — shared
+/// by the single-node daemon and the cluster workers so both expose
+/// the same shape under `/metrics`.
+#[must_use]
+pub fn rank_counters_json() -> Json {
+    let get = |name: &str| Json::num(obs::global().counter(name).get() as f64);
+    Json::Obj(vec![
+        (
+            "quant_screened_total".into(),
+            get("milr_rank_quant_screened_total"),
+        ),
+        (
+            "quant_rescored_total".into(),
+            get("milr_rank_quant_rescored_total"),
+        ),
+        (
+            "threshold_tightenings_total".into(),
+            get("milr_rank_threshold_tightenings_total"),
+        ),
+        (
+            "cells_scanned_total".into(),
+            get("milr_rank_cells_scanned_total"),
+        ),
+        (
+            "cells_skipped_total".into(),
+            get("milr_rank_cells_skipped_total"),
+        ),
+        (
+            "index_fallbacks_total".into(),
+            get("milr_rank_index_fallbacks_total"),
+        ),
+    ])
+}
+
 /// Registry handles for one endpoint.
 #[derive(Debug, Clone)]
 struct EndpointStats {

@@ -759,6 +759,7 @@ fn metrics_json(daemon: &Daemon) -> Json {
         ),
         ("concept_cache".into(), cache_json),
         ("sessions".into(), sessions_json),
+        ("rank".into(), crate::metrics::rank_counters_json()),
         ("endpoints".into(), daemon.metrics.endpoints_json()),
     ])
 }

@@ -2,11 +2,11 @@
 
 //! # milr-store
 //!
-//! The sharded, incrementally-updatable snapshot store — format v4.
+//! The sharded, incrementally-updatable snapshot store — format v5.
 //!
 //! The monolithic format v2 (one `MILR` file, see `milr_core::storage`)
 //! rewrites the whole database on every change and reloads it whole: a
-//! dead end for growing corpora. Formats v3/v4 are a *directory*:
+//! dead end for growing corpora. Formats v3/v4/v5 are a *directory*:
 //!
 //! * `manifest.milr` — kind 3: feature dimension, generation counter,
 //!   shard capacity, then per-shard `{id, bag count, instance count,
@@ -21,14 +21,19 @@
 //!   re-normalisation. Format v4 appends the shard's quantized tier
 //!   (per-instance `i8` codes plus affine `{bias, scale, radius}`
 //!   parameters — see `milr_mil::kernel`) after the bag payload, so the
-//!   screen is ready without re-quantizing at load.
+//!   screen is ready without re-quantizing at load. Format v5 appends
+//!   the shard's coarse cell index (k-means centroids, conservative
+//!   radii, per-instance assignments — see `milr_mil::index`) after the
+//!   tier, so cell skipping is ready without re-clustering at load.
 //!
-//! Writers emit v4; readers accept v3 and v4 side by side (a directory
-//! may mix them after an incremental flush — sealed v3 shards are never
-//! rewritten). A v3 shard rebuilds its quantized tier at load; the
-//! rebuild is deterministic, so it matches a persisted tier byte for
-//! byte. [`ShardedDatabase::compact`] repacks through the same path and
-//! therefore refreshes every tier.
+//! Writers emit v5; readers accept v3, v4 and v5 side by side (a
+//! directory may mix them after an incremental flush — sealed old-format
+//! shards are never rewritten). A v3 shard rebuilds its quantized tier
+//! at load, and v3/v4 shards rebuild their coarse index at load; both
+//! rebuilds are deterministic, so they match a persisted section byte
+//! for byte. [`ShardedDatabase::compact`] repacks through the same path
+//! and therefore refreshes every tier and index, migrating old shards
+//! to v5 at the next flush.
 //!
 //! [`ShardedDatabase::push_bag`]/[`ShardedDatabase::push_image`] append
 //! to the open tail shard and seal it at the capacity threshold;
@@ -52,6 +57,14 @@
 //!   kernel entirely. [`ShardedDatabase::rank_exact`] bypasses the
 //!   screen — it exists so tests and benchmarks can compare the two
 //!   paths, which are bit-identical by construction.
+//! * **Coarse cell skipping.** Each sealed shard carries a coarse
+//!   k-means index (`milr_mil::index`); before a top-k scan enters a
+//!   bag, the triangle-inequality bound of its instances' cells is
+//!   checked against the running threshold, and a bag whose minimum
+//!   cell bound already meets it is skipped whole — the exact scan
+//!   would provably have rejected every instance. Disable per request
+//!   with `RankRequest::index(false)`; rankings are bit-identical
+//!   either way.
 //!
 //! An index-ordered k-way merge combines the per-shard rankings.
 //! Because every surfaced distance flows through the identical kernel
@@ -69,14 +82,18 @@ use milr_core::error::CoreError;
 use milr_core::storage::{storage_err, OsFs, StorageIo, Store, Stream};
 use milr_core::{RetrievalConfig, RetrievalDatabase};
 use milr_imgproc::GrayImage;
-use milr_mil::{Bag, Concept, FlatBags, QuantParams, ScreenStats};
+use milr_mil::{Bag, CoarseIndex, Concept, FlatBags, QuantParams, ScreenStats};
 use milr_optim::pool;
 
 /// Format version of sharded manifests and shard files written by this
-/// crate: v4 = v3 plus the persisted per-shard quantized tier.
-pub const STORE_VERSION: u32 = 4;
+/// crate: v4 = v3 plus the persisted per-shard quantized tier; v5 = v4
+/// plus the persisted per-shard coarse cell index.
+pub const STORE_VERSION: u32 = 5;
+/// First format version whose shard files carry the quantized tier.
+const QUANT_TIER_VERSION: u32 = 4;
 /// Oldest sharded format version still readable. v3 shards carry no
-/// quantized tier; it is rebuilt (deterministically) at load.
+/// quantized tier, v3/v4 shards no coarse index; the missing sections
+/// are rebuilt (deterministically) at load.
 pub const MIN_STORE_VERSION: u32 = 3;
 /// Payload kind of a sharded-store manifest file.
 pub const MANIFEST_KIND: u8 = 3;
@@ -202,6 +219,17 @@ struct ShardScan {
     ranking: Ranking,
     stats: ScreenStats,
     tightenings: u64,
+    /// Cell runs whose bags the scan actually entered (an indexed top-k
+    /// scan only; run = maximal stretch of consecutive same-cell
+    /// instances within one bag).
+    cells_scanned: u64,
+    /// Cell runs skipped outright because their provable lower bound
+    /// already met the scan's rejection threshold.
+    cells_skipped: u64,
+    /// Whether an indexed scan was requested but the shard carried no
+    /// index (an unsealed in-memory tail) and fell back to the plain
+    /// screened scan.
+    index_fallback: bool,
 }
 
 /// Max-heap entry for the per-shard bounded scan: lexicographically
@@ -350,6 +378,16 @@ impl ShardedDatabase {
         self.shards.len()
     }
 
+    /// The coarse instance index of shard `shard`, if one is built.
+    ///
+    /// Sealed and flushed shards always carry one; an open in-memory
+    /// tail has none until it seals (ranking falls back to the plain
+    /// scan there). Out-of-range shard ids return `None`.
+    #[must_use]
+    pub fn shard_index(&self, shard: usize) -> Option<&CoarseIndex> {
+        self.shards.get(shard).and_then(|s| s.bags.index())
+    }
+
     /// Number of tombstoned bags awaiting [`Self::compact`].
     pub fn tombstone_count(&self) -> usize {
         self.tombstones.len()
@@ -438,6 +476,10 @@ impl ShardedDatabase {
         tail.persisted = false;
         if tail.len() >= capacity {
             tail.sealed = true;
+            // Sealing freezes the instance stream — the moment the
+            // coarse index becomes valid, so build it here and every
+            // sealed shard ranks indexed without any lazy work.
+            tail.bags.ensure_index();
         }
         Ok(self.len() - 1)
     }
@@ -512,11 +554,24 @@ impl ShardedDatabase {
                 tail.labels.push(shard.labels[local]);
                 if tail.len() >= capacity {
                     tail.sealed = true;
+                    tail.bags.ensure_index();
                 }
             }
         }
         self.update_gauges();
         dropped
+    }
+
+    /// Rebuilds every shard's coarse cell index with an explicit cell
+    /// count — the tuning and testing hook behind the indexed-vs-exact
+    /// property suite (cell geometry must never change a ranking).
+    /// Ranking correctness is independent of the partition, so this
+    /// never dirties persistence: already-persisted files keep their
+    /// own (equally valid) index section.
+    pub fn rebuild_indexes(&mut self, cells: usize) {
+        for shard in &mut self.shards {
+            shard.bags.build_index(cells);
+        }
     }
 
     /// Persists the store via the real filesystem: writes every
@@ -542,6 +597,11 @@ impl ShardedDatabase {
             if shard.persisted {
                 continue;
             }
+            // Every persisted v5 file carries an index — even an
+            // unsealed tail's (its index is rebuilt on the next append
+            // anyway, and persisting it makes reopened tails rank
+            // indexed immediately).
+            shard.bags.ensure_index();
             shard.digest = write_shard(fs, &self.dir, shard)?;
             shard.persisted = true;
         }
@@ -719,22 +779,11 @@ impl ShardedDatabase {
                 request.top_k,
                 &shared,
                 screen,
+                screen && request.use_index,
             )
         });
         milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
-        let mut stats = ScreenStats::default();
-        let mut tightenings = 0u64;
-        let per_shard: Vec<Ranking> = scans
-            .into_iter()
-            .map(|scan| {
-                stats.merge(scan.stats);
-                tightenings += scan.tightenings;
-                scan.ranking
-            })
-            .collect();
-        milr_obs::counter!("milr_rank_quant_screened_total").add(stats.screened);
-        milr_obs::counter!("milr_rank_quant_rescored_total").add(stats.rescored);
-        milr_obs::counter!("milr_rank_threshold_tightenings_total").add(tightenings);
+        let (per_shard, _tightenings) = fold_scan_counters(scans);
 
         // Gather: k-way merge of the sorted per-shard rankings by
         // (distance, global index), truncated to k — exactly the global
@@ -750,6 +799,36 @@ impl ShardedDatabase {
     }
 }
 
+/// Folds every per-shard scan's counters into the observability
+/// registry — screen, threshold, and coarse-index accounting alike —
+/// and hands back the rankings plus the total tightenings (which
+/// [`ShardSubset::rank_top_k`] also reports to its caller).
+fn fold_scan_counters(scans: Vec<ShardScan>) -> (Vec<Ranking>, u64) {
+    let mut stats = ScreenStats::default();
+    let mut tightenings = 0u64;
+    let mut cells_scanned = 0u64;
+    let mut cells_skipped = 0u64;
+    let mut fallbacks = 0u64;
+    let rankings: Vec<Ranking> = scans
+        .into_iter()
+        .map(|scan| {
+            stats.merge(scan.stats);
+            tightenings += scan.tightenings;
+            cells_scanned += scan.cells_scanned;
+            cells_skipped += scan.cells_skipped;
+            fallbacks += u64::from(scan.index_fallback);
+            scan.ranking
+        })
+        .collect();
+    milr_obs::counter!("milr_rank_quant_screened_total").add(stats.screened);
+    milr_obs::counter!("milr_rank_quant_rescored_total").add(stats.rescored);
+    milr_obs::counter!("milr_rank_threshold_tightenings_total").add(tightenings);
+    milr_obs::counter!("milr_rank_cells_scanned_total").add(cells_scanned);
+    milr_obs::counter!("milr_rank_cells_skipped_total").add(cells_skipped);
+    milr_obs::counter!("milr_rank_index_fallbacks_total").add(fallbacks);
+    (rankings, tightenings)
+}
+
 /// Ranks one shard's candidate list (local indices): the same algorithm
 /// as the monolithic `RetrievalDatabase` paths — a full scored sort, or
 /// the pruned bounded scan with a `(distance, global index)` max-heap —
@@ -759,6 +838,16 @@ impl ShardedDatabase {
 /// the shared global bound, publish every tightening of the local worst
 /// back into the shared bound, and (when `screen` is set) gate each
 /// instance behind the shard's quantized tier before the exact kernel.
+///
+/// When `use_index` is set, top-k scans additionally consult the
+/// shard's coarse cell index before entering each bag: if the minimum
+/// provable cell bound over the bag's instances is already at or above
+/// the scan's rejection threshold, the bag is skipped whole — the exact
+/// scan would have returned `None` for it anyway (every instance
+/// distance is at least its cell's bound), so the heap, the published
+/// thresholds, and therefore the merged ranking are unchanged by
+/// construction. Full (unbounded) rankings never skip: they need every
+/// distance.
 fn rank_one_shard(
     shard: &Shard,
     concept: &Concept,
@@ -766,11 +855,27 @@ fn rank_one_shard(
     top_k: Option<usize>,
     shared: &SharedBound,
     screen: bool,
+    use_index: bool,
 ) -> ShardScan {
     let mut stats = ScreenStats::default();
     let mut scratch = milr_mil::ScreenScratch::default();
     let mut tightenings = 0u64;
+    let mut cells_scanned = 0u64;
+    let mut cells_skipped = 0u64;
+    let mut index_fallback = false;
     let query = screen.then(|| shard.bags.quant_query(concept));
+    // The index only matters where a rejection threshold exists — the
+    // bounded arm. An unsealed tail has none; note the fallback so the
+    // counters expose how much of the corpus ranks unindexed.
+    let coarse = match top_k {
+        Some(k) if k > 0 && use_index => {
+            let coarse = shard.bags.index();
+            index_fallback = coarse.is_none();
+            coarse
+        }
+        _ => None,
+    };
+    let cell_bounds = coarse.map(|ix| ix.query_bounds(concept));
     // One scan bound, two kernels: the screened scan and the exact scan
     // return bit-identical values for every (bag, bound) pair. The
     // scratch lives for the whole shard scan so its buffers allocate
@@ -826,7 +931,21 @@ fn rank_one_shard(
                 let bound = local_worst
                     .map_or(f64::INFINITY, |(d, _)| d)
                     .min(shared.get());
-                let Some(d) = scan(local, bound.next_up(), &mut stats) else {
+                let scan_bound = bound.next_up();
+                // Cell skipping: the minimum provable cell bound over
+                // the bag's instances is a lower bound on every one of
+                // its exact distances; at or above the scan bound, the
+                // exact scan below would reject them all — skip it.
+                if let (Some(ix), Some(bounds)) = (coarse, &cell_bounds) {
+                    let span = shard.bags.span(local);
+                    let (lb, runs) = ix.range_lower_bound(bounds, span.offset, span.len);
+                    if lb >= scan_bound {
+                        cells_skipped += runs;
+                        continue;
+                    }
+                    cells_scanned += runs;
+                }
+                let Some(d) = scan(local, scan_bound, &mut stats) else {
                     continue;
                 };
                 match local_worst {
@@ -864,6 +983,9 @@ fn rank_one_shard(
         ranking,
         stats,
         tightenings,
+        cells_scanned,
+        cells_skipped,
+        index_fallback,
     }
 }
 
@@ -906,8 +1028,9 @@ pub fn merge_rankings(lists: Vec<Ranking>, limit: Option<usize>) -> Ranking {
     out
 }
 
-/// Writes one shard file (format v4: bag payload, then the quantized
-/// tier); returns its trailing digest for the manifest.
+/// Writes one shard file (format v5: bag payload, then the quantized
+/// tier, then the coarse index); returns its trailing digest for the
+/// manifest.
 fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, CoreError> {
     let path = dir.join(shard_file_name(shard.id));
     let file = fs
@@ -937,6 +1060,27 @@ fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, Cor
     }
     let codes: Vec<u8> = shard.bags.quant_codes().iter().map(|&c| c as u8).collect();
     w.write_all(&codes)?;
+    // The v5 coarse-index section: a presence flag, the cell count, the
+    // row-major f32 centroid block, per-cell f64 radii, then per-instance
+    // u32 assignments — all little-endian, all under the same trailing
+    // checksum. Callers ensure the index before writing, so the flag is
+    // 0 only for a shard that has no instances to index.
+    match shard.bags.index() {
+        Some(index) => {
+            w.write_u64(1)?;
+            w.write_u64(index.cell_count() as u64)?;
+            for &c in index.centroids() {
+                w.write_all(&c.to_le_bytes())?;
+            }
+            for &r in index.radii() {
+                w.write_all(&r.to_le_bytes())?;
+            }
+            for &a in index.assignments() {
+                w.write_all(&a.to_le_bytes())?;
+            }
+        }
+        None => w.write_u64(0)?,
+    }
     // The digest covers header + payload — exactly what `finish` writes
     // as the trailing checksum, so the manifest can cross-check the
     // shard without re-reading it.
@@ -945,11 +1089,12 @@ fn write_shard(fs: &dyn StorageIo, dir: &Path, shard: &Shard) -> Result<u64, Cor
     Ok(digest)
 }
 
-/// Reads one shard file, v3 or v4 (digest cross-check against the
-/// manifest happens in the caller). A v3 shard — or a v4 shard whose
+/// Reads one shard file, v3, v4 or v5 (digest cross-check against the
+/// manifest happens in the caller). A v3 shard — or a newer shard whose
 /// tier flag says "absent" — rebuilds its quantized tier from the bag
-/// payload; the rebuild is deterministic, so both paths end in the same
-/// in-memory state.
+/// payload, and a pre-v5 shard (or a v5 shard with an absent index
+/// flag) rebuilds its coarse index; both rebuilds are deterministic, so
+/// every path ends in the same in-memory state.
 fn read_shard(
     fs: &dyn StorageIo,
     dir: &Path,
@@ -961,7 +1106,10 @@ fn read_shard(
         .reader(&path)
         .map_err(|e| storage_err(&path, e.to_string()))?;
     let mut r = Stream::new(BufReader::new(file), &path);
-    let version = r.read_header_any(SHARD_KIND, &[MIN_STORE_VERSION, STORE_VERSION])?;
+    let version = r.read_header_any(
+        SHARD_KIND,
+        &[MIN_STORE_VERSION, QUANT_TIER_VERSION, STORE_VERSION],
+    )?;
     let stored_id = r.read_u64()?;
     if stored_id != id {
         return Err(r.fail(format!(
@@ -996,7 +1144,7 @@ fn read_shard(
         bag_lens.push(n_instances);
         labels.push(label);
     }
-    let persisted_tier = if version >= STORE_VERSION {
+    let persisted_tier = if version >= QUANT_TIER_VERSION {
         let flag = r.read_u64()?;
         if flag > 1 {
             return Err(r.fail(format!("implausible quantized-tier flag {flag}")));
@@ -1029,9 +1177,50 @@ fn read_shard(
     } else {
         None
     };
+    // The v5 coarse-index section. Length plausibility is checked
+    // before any allocation; structural invariants are re-validated by
+    // `CoarseIndex::from_persisted` after the checksum clears.
+    let persisted_index = if version >= STORE_VERSION {
+        let flag = r.read_u64()?;
+        if flag > 1 {
+            return Err(r.fail(format!("implausible coarse-index flag {flag}")));
+        }
+        if flag == 1 {
+            let instance_count = data.len() / dim;
+            let cells = r.read_u64()? as usize;
+            if cells == 0 || cells > instance_count {
+                return Err(r.fail(format!(
+                    "implausible coarse-index cell count {cells} ({instance_count} instances)"
+                )));
+            }
+            let mut centroid_bytes = vec![0u8; cells * dim * 4];
+            r.read_exact(&mut centroid_bytes)?;
+            let centroids: Vec<f32> = centroid_bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let mut radii = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                let mut b8 = [0u8; 8];
+                r.read_exact(&mut b8)?;
+                radii.push(f64::from_le_bytes(b8));
+            }
+            let mut assignment_bytes = vec![0u8; instance_count * 4];
+            r.read_exact(&mut assignment_bytes)?;
+            let assignments: Vec<u32> = assignment_bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Some((centroids, radii, assignments))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
     let digest = r.digest();
     r.verify_checksum()?;
-    let bags = match persisted_tier {
+    let mut bags = match persisted_tier {
         Some((codes, params)) => FlatBags::from_persisted(dim, data, &bag_lens, codes, params)
             .map_err(|e| storage_err(&path, format!("inconsistent quantized tier: {e}")))?,
         None => {
@@ -1044,6 +1233,21 @@ fn read_shard(
             bags
         }
     };
+    match persisted_index {
+        Some((centroids, radii, assignments)) => {
+            let index = CoarseIndex::from_persisted(dim, centroids, radii, assignments)
+                .map_err(|e| storage_err(&path, format!("inconsistent coarse index: {e}")))?;
+            bags.attach_index(index)
+                .map_err(|e| storage_err(&path, format!("inconsistent coarse index: {e}")))?;
+        }
+        None => {
+            // Pre-v5 file (or an index-less v5 one): rebuild at load.
+            // The build is deterministic, so the rebuilt index is
+            // byte-identical to what a v5 rewrite would persist.
+            bags.ensure_index();
+            milr_obs::counter!("milr_store_index_rebuilds_total").inc();
+        }
+    }
     Ok(Shard {
         id,
         base: 0,
@@ -1132,9 +1336,13 @@ pub fn read_manifest_with(fs: &dyn StorageIo, dir: &Path) -> Result<ManifestSumm
         .reader(&manifest_path)
         .map_err(|e| storage_err(&manifest_path, e.to_string()))?;
     let mut r = Stream::new(BufReader::new(file), &manifest_path);
-    // v3 and v4 manifests carry an identical payload; only the shard
-    // files differ (v4 appends the quantized tier).
-    r.read_header_any(MANIFEST_KIND, &[MIN_STORE_VERSION, STORE_VERSION])?;
+    // v3, v4 and v5 manifests carry an identical payload; only the
+    // shard files differ (v4 appends the quantized tier, v5 the coarse
+    // index).
+    r.read_header_any(
+        MANIFEST_KIND,
+        &[MIN_STORE_VERSION, QUANT_TIER_VERSION, STORE_VERSION],
+    )?;
     let feature_dim = r.read_u64()? as usize;
     if feature_dim == 0 || feature_dim > 100_000_000 {
         return Err(r.fail("implausible feature dimension"));
@@ -1402,22 +1610,11 @@ impl ShardSubset {
                 Some(k),
                 &shared,
                 true,
+                true,
             )
         });
         milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
-        let mut stats = ScreenStats::default();
-        let mut tightenings = 0u64;
-        let per_shard: Vec<Ranking> = scans
-            .into_iter()
-            .map(|scan| {
-                stats.merge(scan.stats);
-                tightenings += scan.tightenings;
-                scan.ranking
-            })
-            .collect();
-        milr_obs::counter!("milr_rank_quant_screened_total").add(stats.screened);
-        milr_obs::counter!("milr_rank_quant_rescored_total").add(stats.rescored);
-        milr_obs::counter!("milr_rank_threshold_tightenings_total").add(tightenings);
+        let (per_shard, tightenings) = fold_scan_counters(scans);
         let ranking = merge_rankings(per_shard, Some(k));
         milr_obs::histogram!("milr_store_rank_latency_us")
             .record(started.elapsed().as_micros() as u64);
@@ -1473,24 +1670,15 @@ mod tests {
     }
 
     /// A deterministic little database: 4-dimensional bags with 1..=3
-    /// instances, labels cycling over three categories.
+    /// instances, labels cycling over three categories. The raw data
+    /// comes from the shared corpus helper so the sharding and indexing
+    /// integration tests exercise byte-identical inputs.
     fn sample_db(count: usize) -> RetrievalDatabase {
-        let bags: Vec<Bag> = (0..count)
-            .map(|n| {
-                Bag::new(
-                    (0..=(n % 3))
-                        .map(|m| {
-                            (0..4)
-                                .map(|i| ((n * 31 + m * 17 + i * 7) % 19) as f32 / 3.0)
-                                .collect()
-                        })
-                        .collect(),
-                )
-                .unwrap()
-            })
+        let bags: Vec<Bag> = milr_synth::corpus::lattice_bags(count, 4)
+            .into_iter()
+            .map(|instances| Bag::new(instances).unwrap())
             .collect();
-        let labels: Vec<usize> = (0..count).map(|n| n % 3).collect();
-        RetrievalDatabase::from_bags(bags, labels).unwrap()
+        RetrievalDatabase::from_bags(bags, milr_synth::corpus::lattice_labels(count)).unwrap()
     }
 
     fn sample_concept() -> Concept {
@@ -1943,14 +2131,39 @@ mod tests {
 
         let v3_dir = temp_dir("v3compat_v3");
         write_v3_store(&v3_dir, &v4);
+        let rebuilds_before = milr_obs::global()
+            .counter("milr_store_index_rebuilds_total")
+            .get();
         let opened = ShardedDatabase::open(&v3_dir).unwrap();
         assert_eq!(opened.len(), v4.len());
         assert_eq!(opened.tombstone_count(), 1);
+        // Every pre-v5 shard rebuilds its coarse index at load and says
+        // so (`>=` because the counter is process-global and other
+        // tests may open pre-v5 stores concurrently).
+        let rebuilds = milr_obs::global()
+            .counter("milr_store_index_rebuilds_total")
+            .get()
+            - rebuilds_before;
+        assert!(
+            rebuilds >= opened.shard_count() as u64,
+            "expected >= {} index rebuilds, saw {rebuilds}",
+            opened.shard_count()
+        );
         // The lazily rebuilt tier matches the persisted one byte for
         // byte (quantization is deterministic)…
         for (a, b) in opened.shards.iter().zip(&v4.shards) {
             assert_eq!(a.bags.quant_codes(), b.bags.quant_codes());
             assert_eq!(a.bags.quant_params(), b.bags.quant_params());
+            // …and so does the lazily rebuilt coarse index (k-means
+            // seeding and iteration order are fully deterministic).
+            assert_eq!(
+                a.bags.index().unwrap().centroids(),
+                b.bags.index().unwrap().centroids()
+            );
+            assert_eq!(
+                a.bags.index().unwrap().assignments(),
+                b.bags.index().unwrap().assignments()
+            );
         }
         // …so screened rankings agree across formats, bit for bit.
         for k in [1, 4, 13] {
@@ -2009,6 +2222,16 @@ mod tests {
         std::fs::remove_dir_all(&v4_dir).ok();
     }
 
+    /// On-disk length of a shard's v5 coarse-index section (flag + cell
+    /// count + centroids + radii + assignments).
+    fn index_section_len(shard: &Shard) -> usize {
+        let index = shard.bags.index().expect("persisted shards carry an index");
+        8 + 8
+            + index.centroids().len() * 4
+            + index.radii().len() * 8
+            + index.assignments().len() * 4
+    }
+
     #[test]
     fn corrupt_quantized_tier_is_rejected() {
         // Flip bits inside the v4 quantized-tier section specifically:
@@ -2021,10 +2244,11 @@ mod tests {
         let clean = std::fs::read(&shard_path).unwrap();
         let shard = &store.shards[0];
         // The tier section spans from the flag to the end of the codes,
-        // just before the trailing 8-byte checksum.
+        // followed by the coarse-index section and the trailing 8-byte
+        // checksum.
         let tier_len = 8 + shard.bags.quant_params().len() * 16 + shard.bags.quant_codes().len();
-        let tier_start = clean.len() - 8 - tier_len;
-        for offset in (tier_start..clean.len() - 8).step_by(3) {
+        let tier_start = clean.len() - 8 - index_section_len(shard) - tier_len;
+        for offset in (tier_start..tier_start + tier_len).step_by(3) {
             let mut bytes = clean.clone();
             bytes[offset] ^= 0x40;
             std::fs::write(&shard_path, &bytes).unwrap();
@@ -2036,6 +2260,81 @@ mod tests {
         std::fs::write(&shard_path, &clean).unwrap();
         ShardedDatabase::open(&dir).expect("restored store opens again");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_index_section_is_rejected() {
+        // Same sweep over the v5 coarse-index section: every flipped
+        // byte must surface as a storage error (the trailing checksum
+        // covers the section), never a panic or a silent load.
+        let dir = temp_dir("corrupt_index");
+        let db = sample_db(4);
+        let mut store = ShardedDatabase::from_database(&db, &dir, 4).unwrap();
+        store.flush().unwrap();
+        let shard_path = dir.join(shard_file_name(0));
+        let clean = std::fs::read(&shard_path).unwrap();
+        let index_len = index_section_len(&store.shards[0]);
+        let index_start = clean.len() - 8 - index_len;
+        for offset in index_start..clean.len() - 8 {
+            let mut bytes = clean.clone();
+            bytes[offset] ^= 0x40;
+            std::fs::write(&shard_path, &bytes).unwrap();
+            let err = ShardedDatabase::open(&dir).unwrap_err();
+            assert!(
+                matches!(err, CoreError::Storage { .. }),
+                "index corruption at byte {offset}: expected Storage, got {err:?}"
+            );
+        }
+        std::fs::write(&shard_path, &clean).unwrap();
+        ShardedDatabase::open(&dir).expect("restored store opens again");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn indexed_rank_is_bit_identical_to_unindexed_rank() {
+        let db = sample_db(30);
+        let concept = sample_concept();
+        let mut store = ShardedDatabase::from_database(&db, temp_dir("indexed"), 5).unwrap();
+        store.delete(3).unwrap();
+        store.delete(17).unwrap();
+        store.flush().unwrap(); // every shard carries an index now
+        for cells in [1, 2, 4, 16] {
+            store.rebuild_indexes(cells);
+            for k in [0, 1, 2, 5, 13, 30, 50] {
+                let request = RankRequest::all().top(k);
+                let indexed = store.rank(&concept, &request).unwrap();
+                let unindexed = store.rank(&concept, &request.clone().index(false)).unwrap();
+                let exact = store.rank_exact(&concept, &request).unwrap();
+                assert_eq!(indexed, unindexed, "cells {cells}, k {k}");
+                assert_eq!(indexed, exact, "cells {cells}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sealing_builds_the_index_and_pushes_invalidate_it() {
+        let db = sample_db(7);
+        let mut store = ShardedDatabase::create(temp_dir("seal_index"), 4, 3).unwrap();
+        for i in 0..db.len() {
+            store
+                .push_bag(db.bag(i).unwrap().clone(), db.label(i).unwrap())
+                .unwrap();
+        }
+        // 7 bags at capacity 3: two sealed shards (indexed at seal) and
+        // an open tail (unindexed until flush or seal).
+        assert!(store.shards[0].bags.index().is_some());
+        assert!(store.shards[1].bags.index().is_some());
+        assert!(store.shards[2].bags.index().is_none());
+        store.flush().unwrap();
+        assert!(
+            store.shards[2].bags.index().is_some(),
+            "flush ensures an index on the persisted tail"
+        );
+        store.push_bag(db.bag(0).unwrap().clone(), 0).unwrap();
+        assert!(
+            store.shards[2].bags.index().is_none(),
+            "appending to the tail invalidates its index"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use milr_core::storage::Store;
 use milr_core::{RankRequest, RetrievalDatabase};
 use milr_mil::{Bag, Concept};
 use milr_store::{load_snapshot, ShardedDatabase};
+use milr_synth::corpus;
 
 const DIM: usize = 5;
 
@@ -102,7 +103,7 @@ proptest! {
         // Deterministic pseudo-random subset, never everything.
         let mut live = Vec::new();
         for i in 0..db.len() {
-            if (i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 3 == 0 && live.len() + 1 < db.len() {
+            if corpus::tombstone_pattern(i, seed, 3) && live.len() + 1 < db.len() {
                 store.delete(i).unwrap();
             } else {
                 live.push(i);
@@ -132,9 +133,7 @@ proptest! {
         let mut store = ShardedDatabase::from_database(&db, &dir, capacity).unwrap();
         let mut live = Vec::new();
         for i in 0..db.len() {
-            if (i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 4 == 0
-                && live.len() + 1 < db.len()
-            {
+            if corpus::tombstone_pattern(i, seed, 4) && live.len() + 1 < db.len() {
                 store.delete(i).unwrap();
             } else {
                 live.push(i);
@@ -242,4 +241,49 @@ fn v2_to_v3_migration_preserves_rankings() {
 
     std::fs::remove_file(&v2_path).ok();
     std::fs::remove_dir_all(&v3_dir).ok();
+}
+
+#[test]
+fn k_beyond_live_count_returns_exactly_the_live_set() {
+    // Edge case: `k` far larger than the post-tombstone bag count must
+    // return every live bag — once in ranked order, no padding, no
+    // tombstoned stragglers — through the indexed, quantized-only, and
+    // exact paths alike.
+    let bags: Vec<Bag> = corpus::lattice_bags(23, DIM)
+        .into_iter()
+        .map(|instances| Bag::new(instances).unwrap())
+        .collect();
+    let db = RetrievalDatabase::from_bags(bags, corpus::lattice_labels(23)).unwrap();
+    let concept = Concept::new(vec![2.0; DIM], vec![0.5, 1.0, 1.5, 0.75, 0.25]);
+
+    let dir = scratch_dir("k_beyond");
+    let mut store = ShardedDatabase::from_database(&db, &dir, 4).unwrap();
+    let mut live = Vec::new();
+    for i in 0..db.len() {
+        if corpus::tombstone_pattern(i, 11, 3) && live.len() + 1 < db.len() {
+            store.delete(i).unwrap();
+        } else {
+            live.push(i);
+        }
+    }
+    assert!(
+        live.len() < db.len(),
+        "the pattern must tombstone something"
+    );
+    // Seal every shard so the coarse index is actually in play.
+    store.flush().unwrap();
+
+    let expected = db.rank(&concept, &RankRequest::over(live.clone())).unwrap();
+    for k in [live.len(), live.len() + 1, db.len(), 10 * db.len()] {
+        let request = RankRequest::all().top(k);
+        let indexed = store.rank(&concept, &request).unwrap();
+        assert_eq!(indexed.len(), live.len(), "k = {k}");
+        assert_eq!(indexed, expected, "k = {k}");
+        let unindexed = store.rank(&concept, &request.clone().index(false)).unwrap();
+        assert_eq!(unindexed, expected, "k = {k}");
+        let exact = store.rank_exact(&concept, &request).unwrap();
+        assert_eq!(exact, expected, "k = {k}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -21,6 +21,7 @@
 //! training-set selection: "a random seed allows the experiments to be
 //! repeatable").
 
+pub mod corpus;
 pub mod database;
 pub mod draw;
 pub mod montage;

@@ -32,5 +32,8 @@ pub mod rng;
 pub use chaos::{ChaosProxy, Fault};
 pub use corpus::synthetic_database;
 pub use faultfs::{BitFlipFs, ShortReadFs, TornWriteFs};
-pub use golden::{compare_traces, record_trace, standard_cases, GoldenCase};
+pub use golden::{
+    compare_traces, index_trace_file_name, record_index_trace, record_trace, standard_cases,
+    GoldenCase, INDEX_TRACE_NAME,
+};
 pub use rng::TestkitRng;

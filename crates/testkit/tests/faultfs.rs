@@ -226,6 +226,57 @@ fn short_sharded_store_reads_never_load() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The byte range of shard 0's v5 coarse-index section: it sits
+/// between the quantized tier and the trailing 8-byte checksum, and
+/// its length follows from the index geometry the clean open reports.
+fn index_section_range(dir: &Path) -> std::ops::Range<usize> {
+    let clean = milr_store::ShardedDatabase::open(dir).expect("clean open");
+    let index = clean.shard_index(0).expect("sealed shards carry an index");
+    let index_len = 16 // flag + cell count
+        + index.centroids().len() * 4
+        + index.radii().len() * 8
+        + index.assignments().len() * 4;
+    let shard_len = std::fs::metadata(dir.join(milr_store::shard_file_name(0)))
+        .expect("shard file")
+        .len() as usize;
+    shard_len - 8 - index_len..shard_len - 8
+}
+
+#[test]
+fn flipped_index_section_bits_never_load() {
+    // Target the coarse-index section specifically, every byte, both
+    // masks: centroid block, radii, and assignments are all covered by
+    // the shard's trailing checksum, so each flip must surface as
+    // `CoreError::Storage` — never a panic, and never a silent load
+    // whose skip decisions could differ from the persisted geometry.
+    // (Lazy rebuild is reserved for pre-v5 files that have no section
+    // at all; a *corrupt* section always refuses to open.)
+    let (dir, _) = saved_sharded_store("flip_index");
+    for offset in index_section_range(&dir) {
+        for mask in [0x01, 0x80] {
+            assert_storage_error(
+                milr_store::ShardedDatabase::open_with(&BitFlipFs { offset, mask }, &dir),
+                &format!("index-section bit flip at byte {offset} mask {mask:#04x}"),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn short_index_section_reads_never_load() {
+    // Truncation anywhere inside the index section must be caught too
+    // (the reader would otherwise run off the end mid-centroid).
+    let (dir, _) = saved_sharded_store("short_index");
+    for limit in index_section_range(&dir) {
+        assert_storage_error(
+            milr_store::ShardedDatabase::open_with(&ShortReadFs { limit }, &dir),
+            &format!("index-section short read at {limit} bytes"),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn torn_sharded_flush_never_loads() {
     // Tear the flush itself: every file the store writes is truncated

@@ -774,16 +774,32 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 /// one path-qualified line per differing leaf so the kernel change that
 /// caused it can be reviewed, then exits non-zero.
 fn cmd_golden(args: &[String]) -> Result<(), String> {
-    use milr::testkit::{compare_traces, record_trace, standard_cases};
+    use milr::testkit::{
+        compare_traces, index_trace_file_name, record_index_trace, record_trace, standard_cases,
+        INDEX_TRACE_NAME,
+    };
     let dir = PathBuf::from(flag(args, "--dir").unwrap_or_else(|| "tests/golden".into()));
     let bless = args.iter().any(|a| a == "--bless");
     if bless {
         std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
     }
     let mut failures = 0usize;
+    // The training traces, plus the coarse-index geometry trace.
+    let mut traces: Vec<(String, String, milr::serve::Json)> = Vec::new();
     for case in standard_cases() {
-        let path = dir.join(case.file_name());
-        let actual = record_trace(&case)?;
+        traces.push((
+            case.name.to_string(),
+            case.file_name(),
+            record_trace(&case)?,
+        ));
+    }
+    traces.push((
+        INDEX_TRACE_NAME.to_string(),
+        index_trace_file_name(),
+        record_index_trace()?,
+    ));
+    for (name, file_name, actual) in traces {
+        let path = dir.join(file_name);
         if bless {
             std::fs::write(&path, actual.dump() + "\n")
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -800,10 +816,10 @@ fn cmd_golden(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("corrupt golden trace {}: {e}", path.display()))?;
         let diffs = compare_traces(&golden, &actual);
         if diffs.is_empty() {
-            println!("ok {}", case.name);
+            println!("ok {name}");
         } else {
             failures += 1;
-            eprintln!("FAIL {} ({} difference(s)):", case.name, diffs.len());
+            eprintln!("FAIL {name} ({} difference(s)):", diffs.len());
             for diff in diffs.iter().take(12) {
                 eprintln!("  {diff}");
             }

@@ -13,7 +13,10 @@
 //! generated inputs verbatim), and filters retry generation inline
 //! instead of counting global rejections. Case generation is
 //! deterministic per test (seeded from the test's module path), so
-//! failures reproduce across runs.
+//! failures reproduce across runs. Setting the `PROPTEST_SEED`
+//! environment variable salts every test's stream with its value —
+//! nightly sweeps use this to explore fresh cases, and a failure
+//! replays with the same `PROPTEST_SEED=<seed>`.
 
 use std::fmt::Debug;
 use std::ops::Range;
@@ -54,11 +57,21 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// A generator seeded from a stable string key.
+    /// A generator seeded from a stable string key, salted with the
+    /// `PROPTEST_SEED` environment variable when set (empty or unset
+    /// means the unsalted, run-to-run-stable stream).
     pub fn for_test(key: &str) -> Self {
-        // FNV-1a over the key: stable across runs and platforms.
+        let salt = std::env::var("PROPTEST_SEED").unwrap_or_default();
+        Self::for_test_with_salt(key, &salt)
+    }
+
+    /// A generator seeded from a stable string key plus an explicit
+    /// salt. Same key + same salt → the same stream, always.
+    pub fn for_test_with_salt(key: &str, salt: &str) -> Self {
+        // FNV-1a over the key (then the salt): stable across runs and
+        // platforms.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in key.bytes() {
+        for b in key.bytes().chain(salt.bytes()) {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
@@ -431,6 +444,23 @@ mod tests {
         assert_ne!(
             crate::TestRng::for_test("self::same").next_u64(),
             c.next_u64()
+        );
+    }
+
+    #[test]
+    fn salt_perturbs_but_stays_deterministic() {
+        // `for_test_with_salt` is the testable core of the PROPTEST_SEED
+        // hook (the env read itself would race parallel tests).
+        let mut unsalted = crate::TestRng::for_test_with_salt("self::salted", "");
+        let mut salted = crate::TestRng::for_test_with_salt("self::salted", "12345");
+        let mut salted_again = crate::TestRng::for_test_with_salt("self::salted", "12345");
+        let replay = salted_again.next_u64();
+        assert_eq!(salted.next_u64(), replay);
+        assert_ne!(unsalted.next_u64(), replay);
+        assert_eq!(
+            crate::TestRng::for_test_with_salt("self::salted", "").next_u64(),
+            crate::TestRng::for_test("self::salted").next_u64(),
+            "unset/empty PROPTEST_SEED must match the unsalted stream"
         );
     }
 
