@@ -31,11 +31,32 @@
 //!   as the baseline; on a differently-sized machine the tolerance widens
 //!   to `LOOSE_SLOWDOWN` and the report says so.
 //!
+//! With `--mix NAME` the gate switches to **per-mix mode**: it reads
+//! only the loadgen artifact (produced by `experiments -- loadgen
+//! --mix NAME`), finds that mix's block under `"mixes"`, and enforces
+//! the mix's own invariants — all machine-independent, so no baseline
+//! is read:
+//!
+//! * every mix: zero hard errors and at least one completed request per
+//!   client;
+//! * `cached`: concept-cache hit rate ≥ 0.5 and at least one keep-alive
+//!   socket reuse (the burst scheduler must be amortising dials);
+//! * `cold`: hit rate < 0.1 (every concept unique — a higher rate means
+//!   the workload generator repeated itself) and zero shed requests;
+//! * `feedback`: warm-start speedup ≥ 1.0 and at least one warm-seeded
+//!   retrain;
+//! * `zipf`: hit rate strictly above 0 (the hot head must hit);
+//! * the distributed phase (every mode): zero errors, zero partial
+//!   pages, progress per client, and max latency below 1 s — service
+//!   time excludes connection establishment, so a multi-second max is a
+//!   head-of-line scheduling bug, not a slow dial.
+//!
 //! ```text
 //! bench_gate --baseline ci/bench_baseline.json \
 //!            --perf BENCH_hotpath.json --loadgen BENCH_serve.json
 //! bench_gate --write-baseline ci/bench_baseline.json \
 //!            --perf BENCH_hotpath.json --loadgen BENCH_serve.json
+//! bench_gate --mix cold --loadgen BENCH_serve.json
 //! ```
 
 use std::process::ExitCode;
@@ -56,6 +77,7 @@ fn main() -> ExitCode {
     let mut loadgen_path = String::from("BENCH_serve.json");
     let mut max_slowdown = DEFAULT_MAX_SLOWDOWN;
     let mut write_baseline = false;
+    let mut mix: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +93,7 @@ fn main() -> ExitCode {
             }
             "--perf" => perf_path = value("--perf"),
             "--loadgen" => loadgen_path = value("--loadgen"),
+            "--mix" => mix = Some(value("--mix")),
             "--max-slowdown" => {
                 max_slowdown = value("--max-slowdown")
                     .parse()
@@ -79,6 +102,18 @@ fn main() -> ExitCode {
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if let Some(name) = mix {
+        let loadgen = load(&loadgen_path);
+        let report = gate_mix(&name, &loadgen);
+        println!("{}", report.text);
+        if report.passed {
+            println!("bench gate ({name}): PASS");
+            return ExitCode::SUCCESS;
+        }
+        println!("bench gate ({name}): FAIL");
+        return ExitCode::FAILURE;
     }
 
     let perf = load(&perf_path);
@@ -113,10 +148,6 @@ struct Report {
 fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Report {
     let mut lines: Vec<String> = Vec::new();
     let mut passed = true;
-    fn check(lines: &mut Vec<String>, passed: &mut bool, ok: bool, line: String) {
-        lines.push(format!("{} {line}", if ok { "ok  " } else { "FAIL" }));
-        *passed &= ok;
-    }
 
     // 1. Exactness: the optimised rankers must agree with the reference.
     let identical = perf
@@ -167,28 +198,7 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
     // 2b. Distributed phase health: a healthy 2-worker cluster must
     // serve with zero hard errors AND zero degraded (`partial`) pages,
     // and every keep-alive client must make progress.
-    let dist_errors = number(loadgen, &["distributed", "errors"]).unwrap_or(f64::INFINITY);
-    check(
-        &mut lines,
-        &mut passed,
-        dist_errors == 0.0,
-        format!("distributed errors = {dist_errors}"),
-    );
-    let dist_partial = number(loadgen, &["distributed", "partial"]).unwrap_or(f64::INFINITY);
-    check(
-        &mut lines,
-        &mut passed,
-        dist_partial == 0.0,
-        format!("distributed partial pages = {dist_partial}"),
-    );
-    let dist_completed = number(loadgen, &["distributed", "completed"]).unwrap_or(0.0);
-    let dist_clients = number(loadgen, &["distributed", "clients"]).unwrap_or(1.0);
-    check(
-        &mut lines,
-        &mut passed,
-        dist_completed >= dist_clients,
-        format!("distributed completed {dist_completed} >= clients {dist_clients}"),
-    );
+    check_distributed(&mut lines, &mut passed, loadgen);
 
     // 3. Machine-normalised end-to-end speedup vs baseline.
     let fresh_speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
@@ -286,6 +296,155 @@ fn gate(baseline: &Json, perf: &Json, loadgen: &Json, max_slowdown: f64) -> Repo
     }
 }
 
+fn check(lines: &mut Vec<String>, passed: &mut bool, ok: bool, line: String) {
+    lines.push(format!("{} {line}", if ok { "ok  " } else { "FAIL" }));
+    *passed &= ok;
+}
+
+/// Distributed-phase invariants, shared by the full gate and every
+/// per-mix job (each per-mix loadgen run serves the cluster phase too).
+fn check_distributed(lines: &mut Vec<String>, passed: &mut bool, loadgen: &Json) {
+    let dist_errors = number(loadgen, &["distributed", "errors"]).unwrap_or(f64::INFINITY);
+    check(
+        lines,
+        passed,
+        dist_errors == 0.0,
+        format!("distributed errors = {dist_errors}"),
+    );
+    let dist_partial = number(loadgen, &["distributed", "partial"]).unwrap_or(f64::INFINITY);
+    check(
+        lines,
+        passed,
+        dist_partial == 0.0,
+        format!("distributed partial pages = {dist_partial}"),
+    );
+    let dist_completed = number(loadgen, &["distributed", "completed"]).unwrap_or(0.0);
+    let dist_clients = number(loadgen, &["distributed", "clients"]).unwrap_or(1.0);
+    check(
+        lines,
+        passed,
+        dist_completed >= dist_clients,
+        format!("distributed completed {dist_completed} >= clients {dist_clients}"),
+    );
+    // Service latency excludes connection establishment, so a max in
+    // the seconds means a connection starved behind a pinned worker —
+    // the head-of-line bug the burst scheduler exists to prevent.
+    let dist_max = number(loadgen, &["distributed", "latency_us", "max"]).unwrap_or(f64::INFINITY);
+    check(
+        lines,
+        passed,
+        dist_max < 1_000_000.0,
+        format!("distributed max latency {dist_max} us < 1000000 us"),
+    );
+}
+
+/// Per-mix mode: enforces one workload mix's machine-independent
+/// invariants from its block under `"mixes"` in the loadgen artifact.
+fn gate_mix(name: &str, loadgen: &Json) -> Report {
+    let mut lines: Vec<String> = Vec::new();
+    let mut passed = true;
+
+    let Some(mix) = loadgen.get("mixes").and_then(|m| m.get(name)) else {
+        return Report {
+            passed: false,
+            text: format!(
+                "FAIL artifact has no mixes.{name} block — was loadgen run with --mix {name}?"
+            ),
+        };
+    };
+
+    let errors = number(mix, &["errors"]).unwrap_or(f64::INFINITY);
+    check(
+        &mut lines,
+        &mut passed,
+        errors == 0.0,
+        format!("mix {name} errors = {errors}"),
+    );
+    let completed = number(mix, &["completed"]).unwrap_or(0.0);
+    let clients = number(mix, &["clients"]).unwrap_or(1.0);
+    check(
+        &mut lines,
+        &mut passed,
+        completed >= clients,
+        format!("mix {name} completed {completed} >= clients {clients}"),
+    );
+
+    let hit_rate = number(mix, &["concept_cache", "hit_rate"]).unwrap_or(-1.0);
+    match name {
+        "cached" => {
+            check(
+                &mut lines,
+                &mut passed,
+                hit_rate >= 0.5,
+                format!("mix cached hit rate {hit_rate:.4} >= 0.5"),
+            );
+            let reused = number(mix, &["keepalive_reused"]).unwrap_or(0.0);
+            check(
+                &mut lines,
+                &mut passed,
+                reused >= 1.0,
+                format!("mix cached keepalive_reused {reused} >= 1"),
+            );
+        }
+        "cold" => {
+            // Every request trains a never-seen concept; any hits mean
+            // the generator repeated a combination.
+            check(
+                &mut lines,
+                &mut passed,
+                (0.0..0.1).contains(&hit_rate),
+                format!("mix cold hit rate {hit_rate:.4} < 0.1"),
+            );
+            let shed = number(mix, &["shed_503"]).unwrap_or(f64::INFINITY);
+            check(
+                &mut lines,
+                &mut passed,
+                shed == 0.0,
+                format!("mix cold shed_503 = {shed}"),
+            );
+        }
+        "feedback" => {
+            let speedup = number(mix, &["warm_start_speedup"]).unwrap_or(0.0);
+            check(
+                &mut lines,
+                &mut passed,
+                speedup >= 1.0,
+                format!("mix feedback warm_start_speedup {speedup:.3}x >= 1.0x"),
+            );
+            let warm_trained = number(mix, &["warm_trained"]).unwrap_or(0.0);
+            check(
+                &mut lines,
+                &mut passed,
+                warm_trained >= 1.0,
+                format!("mix feedback warm_trained {warm_trained} >= 1"),
+            );
+        }
+        "zipf" => {
+            check(
+                &mut lines,
+                &mut passed,
+                hit_rate > 0.0,
+                format!("mix zipf hit rate {hit_rate:.4} > 0"),
+            );
+        }
+        other => {
+            check(
+                &mut lines,
+                &mut passed,
+                false,
+                format!("unknown mix {other:?} (expected cached | cold | feedback | zipf)"),
+            );
+        }
+    }
+
+    check_distributed(&mut lines, &mut passed, loadgen);
+
+    Report {
+        passed,
+        text: lines.join("\n"),
+    }
+}
+
 /// Distils the two fresh artifacts into the small checked-in baseline.
 fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let speedup = number(perf, &["end_to_end", "speedup"]).unwrap_or(0.0);
@@ -303,6 +462,17 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
     let p99 = number(loadgen, &["latency_us", "p99"]).unwrap_or(0.0);
     let dist_throughput = number(loadgen, &["distributed", "throughput_rps"]).unwrap_or(0.0);
     let dist_workers = number(loadgen, &["distributed", "workers"]).unwrap_or(0.0);
+    // Per-mix throughputs are recorded for trend-watching but not hard-
+    // gated: absolute req/s is machine-dependent, and the per-mix gates
+    // enforce the machine-independent invariants instead.
+    let mix_throughputs = ["cached", "cold", "feedback", "zipf"]
+        .iter()
+        .filter_map(|name| {
+            number(loadgen, &["mixes", name, "throughput_rps"])
+                .map(|rps| format!("\"{name}_rps\": {rps:.1}"))
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\n  \"perf\": {{ \"end_to_end_speedup\": {speedup:.3}, \
          \"sharded_rank_speedup\": {sharded:.3}, \
@@ -311,7 +481,8 @@ fn extract_baseline(perf: &Json, loadgen: &Json) -> String {
          \"cores\": {cores}, \"scale\": \"{scale}\" }},\n  \
          \"loadgen\": {{ \"throughput_rps\": {throughput:.1}, \"p99_us\": {p99}, \
          \"distributed_throughput_rps\": {dist_throughput:.1}, \
-         \"distributed_workers\": {dist_workers} }}\n}}\n"
+         \"distributed_workers\": {dist_workers} }},\n  \
+         \"mixes\": {{ {mix_throughputs} }}\n}}\n"
     )
 }
 
@@ -342,7 +513,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: bench_gate [--baseline FILE] [--perf FILE] [--loadgen FILE] \
          [--max-slowdown F]\n       \
-         bench_gate --write-baseline FILE [--perf FILE] [--loadgen FILE]"
+         bench_gate --write-baseline FILE [--perf FILE] [--loadgen FILE]\n       \
+         bench_gate --mix cached|cold|feedback|zipf [--loadgen FILE]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -372,7 +544,8 @@ mod tests {
         let loadgen = Json::parse(&format!(
             "{{ \"errors\": {errors}, \"completed\": 640, \"clients\": 32, \
                \"distributed\": {{ \"errors\": 0, \"partial\": 0, \
-                 \"completed\": 80, \"clients\": 8 }} }}"
+                 \"completed\": 80, \"clients\": 8, \
+                 \"latency_us\": {{ \"max\": 900 }} }} }}"
         ))
         .unwrap();
         (baseline, perf, loadgen)
@@ -384,7 +557,8 @@ mod tests {
         Json::parse(&format!(
             "{{ \"errors\": 0, \"completed\": 640, \"clients\": 32, \
                \"distributed\": {{ \"errors\": {errors}, \"partial\": {partial}, \
-                 \"completed\": {completed}, \"clients\": 8 }} }}"
+                 \"completed\": {completed}, \"clients\": 8, \
+                 \"latency_us\": {{ \"max\": 900 }} }} }}"
         ))
         .unwrap()
     }
@@ -556,6 +730,216 @@ mod tests {
             "{}",
             report.text
         );
+    }
+
+    /// A loadgen artifact carrying healthy blocks for all four mixes,
+    /// with one mix's fields overridable via a raw JSON fragment.
+    fn loadgen_with_mixes(overridden: Option<(&str, &str)>) -> Json {
+        let block = |name: &str| -> String {
+            if let Some((victim, json)) = overridden {
+                if victim == name {
+                    return json.to_owned();
+                }
+            }
+            let body = match name {
+                "cached" => "\"concept_cache\": { \"hit_rate\": 0.99 }, \"keepalive_reused\": 9000",
+                "cold" => {
+                    "\"concept_cache\": { \"hit_rate\": 0.0 }, \"shed_503\": 0, \
+                     \"keepalive_reused\": 0"
+                }
+                "feedback" => {
+                    "\"concept_cache\": { \"hit_rate\": 0.0 }, \
+                     \"warm_start_speedup\": 2.3, \"warm_trained\": 24"
+                }
+                "zipf" => "\"concept_cache\": { \"hit_rate\": 0.46 }",
+                other => unreachable!("unknown mix {other}"),
+            };
+            format!("{{ \"clients\": 32, \"completed\": 640, \"errors\": 0, {body} }}")
+        };
+        Json::parse(&format!(
+            "{{ \"errors\": 0, \"completed\": 640, \"clients\": 32, \
+               \"mixes\": {{ \"cached\": {}, \"cold\": {}, \"feedback\": {}, \"zipf\": {} }}, \
+               \"distributed\": {{ \"errors\": 0, \"partial\": 0, \
+                 \"completed\": 80, \"clients\": 8, \
+                 \"latency_us\": {{ \"max\": 900 }} }} }}",
+            block("cached"),
+            block("cold"),
+            block("feedback"),
+            block("zipf"),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn mix_mode_passes_every_healthy_mix() {
+        let l = loadgen_with_mixes(None);
+        for name in ["cached", "cold", "feedback", "zipf"] {
+            let report = gate_mix(name, &l);
+            assert!(report.passed, "mix {name}:\n{}", report.text);
+        }
+    }
+
+    #[test]
+    fn mix_mode_fails_on_missing_block() {
+        let l = Json::parse("{ \"errors\": 0 }").unwrap();
+        let report = gate_mix("cold", &l);
+        assert!(!report.passed);
+        assert!(report.text.contains("no mixes.cold"), "{}", report.text);
+    }
+
+    #[test]
+    fn mix_mode_fails_on_mix_errors() {
+        let l = loadgen_with_mixes(Some((
+            "zipf",
+            "{ \"clients\": 32, \"completed\": 640, \"errors\": 2, \
+               \"concept_cache\": { \"hit_rate\": 0.46 } }",
+        )));
+        let report = gate_mix("zipf", &l);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL mix zipf errors"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn cached_mix_fails_without_keepalive_reuse() {
+        // Zero socket reuse under the cached mix means the burst
+        // scheduler degenerated to close-per-request.
+        let l = loadgen_with_mixes(Some((
+            "cached",
+            "{ \"clients\": 32, \"completed\": 640, \"errors\": 0, \
+               \"concept_cache\": { \"hit_rate\": 0.99 }, \"keepalive_reused\": 0 }",
+        )));
+        let report = gate_mix("cached", &l);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL mix cached keepalive_reused"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn cold_mix_fails_when_concepts_repeat() {
+        // A 20% hit rate on the cold mix means the workload generator
+        // handed out duplicate concepts: the mix no longer measures
+        // cache-miss serving.
+        let l = loadgen_with_mixes(Some((
+            "cold",
+            "{ \"clients\": 32, \"completed\": 640, \"errors\": 0, \
+               \"concept_cache\": { \"hit_rate\": 0.2 }, \"shed_503\": 0 }",
+        )));
+        let report = gate_mix("cold", &l);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL mix cold hit rate"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn cold_mix_fails_on_shed_requests() {
+        let l = loadgen_with_mixes(Some((
+            "cold",
+            "{ \"clients\": 32, \"completed\": 640, \"errors\": 0, \
+               \"concept_cache\": { \"hit_rate\": 0.0 }, \"shed_503\": 3 }",
+        )));
+        let report = gate_mix("cold", &l);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL mix cold shed_503"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn feedback_mix_fails_when_warm_start_slows_training() {
+        let l = loadgen_with_mixes(Some((
+            "feedback",
+            "{ \"clients\": 32, \"completed\": 640, \"errors\": 0, \
+               \"concept_cache\": { \"hit_rate\": 0.0 }, \
+               \"warm_start_speedup\": 0.8, \"warm_trained\": 24 }",
+        )));
+        let report = gate_mix("feedback", &l);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL mix feedback warm_start_speedup"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn mix_mode_fails_on_distributed_head_of_line_outlier() {
+        // The regression this pins: a 2 s distributed max with sub-ms
+        // p99 was a connection starving behind a pinned worker.
+        let mut l = loadgen_with_mixes(None);
+        if let Json::Obj(ref mut fields) = l {
+            let dist = fields
+                .iter_mut()
+                .find(|(k, _)| k == "distributed")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Obj(ref mut dist) = dist {
+                let latency = dist
+                    .iter_mut()
+                    .find(|(k, _)| k == "latency_us")
+                    .map(|(_, v)| v)
+                    .unwrap();
+                if let Json::Obj(ref mut latency) = latency {
+                    latency[0].1 = Json::num(2_006_595.0);
+                }
+            }
+        }
+        let report = gate_mix("cached", &l);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL distributed max latency"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn full_gate_fails_on_distributed_latency_outlier_too() {
+        let (b, p, _) = fixture(3.0, 8, true, 0);
+        let l = Json::parse(
+            "{ \"errors\": 0, \"completed\": 640, \"clients\": 32, \
+               \"distributed\": { \"errors\": 0, \"partial\": 0, \
+                 \"completed\": 80, \"clients\": 8, \
+                 \"latency_us\": { \"max\": 2006595 } } }",
+        )
+        .unwrap();
+        let report = gate(&b, &p, &l, 0.15);
+        assert!(!report.passed);
+        assert!(
+            report.text.contains("FAIL distributed max latency"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn baseline_extraction_includes_per_mix_throughputs() {
+        let (_, p, _) = fixture(3.0, 8, true, 0);
+        let l = Json::parse(
+            "{ \"throughput_rps\": 512.5, \"latency_us\": { \"p99\": 900 }, \
+               \"errors\": 0, \"completed\": 640, \"clients\": 32, \
+               \"mixes\": { \"cached\": { \"throughput_rps\": 5000.5 }, \
+                 \"cold\": { \"throughput_rps\": 4.2 }, \
+                 \"feedback\": { \"throughput_rps\": 2.1 }, \
+                 \"zipf\": { \"throughput_rps\": 8.9 } } }",
+        )
+        .unwrap();
+        let parsed = Json::parse(&extract_baseline(&p, &l)).unwrap();
+        assert_eq!(number(&parsed, &["mixes", "cached_rps"]), Some(5000.5));
+        assert_eq!(number(&parsed, &["mixes", "cold_rps"]), Some(4.2));
+        assert_eq!(number(&parsed, &["mixes", "feedback_rps"]), Some(2.1));
+        assert_eq!(number(&parsed, &["mixes", "zipf_rps"]), Some(8.9));
     }
 
     #[test]

@@ -89,6 +89,7 @@ const STANDALONE: &[&str] = &["ext-beta", "perf", "loadgen"];
 fn main() {
     let mut scale = Scale::Full;
     let mut seed = 0u64;
+    let mut mix: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,6 +100,12 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--mix" => {
+                mix = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--mix needs a workload name")),
+                );
             }
             "--help" | "-h" => usage(""),
             id => ids.push(id.to_owned()),
@@ -147,7 +154,7 @@ fn main() {
             "ext-alpha" => ch4::ext_alpha(scale, seed),
             "ext-beta" => ch4::ext_beta(scale, seed),
             "perf" => perf::perf(scale, seed),
-            "loadgen" => loadgen::loadgen(scale, seed),
+            "loadgen" => loadgen::loadgen(scale, seed, mix.as_deref()),
             other => usage(&format!("unknown experiment id {other:?}")),
         }
         println!("\n[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());
@@ -159,8 +166,10 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments [--quick] [--seed N] <id>... | all\n\nids: {}\n\
-         standalone (not part of `all`): {}",
+        "usage: experiments [--quick] [--seed N] [--mix NAME] <id>... | all\n\nids: {}\n\
+         standalone (not part of `all`): {}\n\
+         --mix restricts `loadgen` to one workload mix \
+         (cached | cold | feedback | zipf)",
         ALL.join(", "),
         STANDALONE.join(", ")
     );

@@ -49,6 +49,17 @@ pub struct NodeOptions {
     pub read_timeout: Duration,
     /// Longest a connection may wait in the queue and still be served.
     pub handle_deadline: Duration,
+    /// Requests served per scheduling turn before a keep-alive worker
+    /// checks the accept queue and yields (`Connection: close`) if
+    /// other connections wait — without it one chatty peer pins a
+    /// handler thread forever and every other connection starves for
+    /// the whole phase. `0` checks after every request.
+    pub keepalive_burst: usize,
+    /// Worker time a connection may consume before every further
+    /// response also checks the queue — request counts don't bound
+    /// latency when one coordinator train costs seconds while a shard
+    /// rank costs microseconds.
+    pub keepalive_turn: Duration,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
 }
@@ -61,6 +72,8 @@ impl Default for NodeOptions {
             queue_depth: 64,
             read_timeout: Duration::from_secs(2),
             handle_deadline: Duration::from_secs(10),
+            keepalive_burst: 32,
+            keepalive_turn: Duration::from_millis(50),
             max_body: 8 * 1024 * 1024,
         }
     }
@@ -298,7 +311,8 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, enqueued: Instant) {
         drain_before_close(&mut stream);
         return;
     }
-    let mut served_any = false;
+    let mut served = 0usize;
+    let turn_started = Instant::now();
     loop {
         match http::read_request(&mut stream, inner.options.max_body) {
             Ok(req) => {
@@ -308,13 +322,22 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, enqueued: Instant) {
                     Action::Reply(reply) => (reply, false),
                     Action::Shutdown(reply) => (reply, true),
                 };
+                served += 1;
+                // Burst-boundary yield: a keep-alive peer that never
+                // pauses would otherwise pin this handler thread while
+                // queued connections starve to their deadline. Both a
+                // request-count and a worker-time boundary, because
+                // request costs span microseconds to seconds.
+                let at_burst_boundary = served.is_multiple_of(inner.options.keepalive_burst.max(1))
+                    || turn_started.elapsed() >= inner.options.keepalive_turn;
                 let keep = !wants_drain
                     && !client_wants_close(&req)
-                    && !inner.shutdown.load(Ordering::SeqCst);
+                    && !inner.shutdown.load(Ordering::SeqCst)
+                    && (!at_burst_boundary
+                        || inner.queue.lock().expect("node queue mutex").is_empty());
                 inner
                     .metrics
                     .record(endpoint, reply.status, started.elapsed().as_micros() as u64);
-                served_any = true;
                 let io = match &reply.body {
                     Body::Json(json) => {
                         http::respond_json_conn(&mut stream, reply.status, json, keep)
@@ -335,14 +358,14 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, enqueued: Instant) {
             Err(ReadError::Closed) => {
                 // Peer EOF at a request boundary: a completed keep-alive
                 // exchange if anything was served, a prober otherwise.
-                if served_any {
+                if served > 0 {
                     inner.metrics.completed_total.inc();
                 } else {
                     inner.metrics.closed_total.inc();
                 }
                 return;
             }
-            Err(ReadError::Timeout) if served_any => {
+            Err(ReadError::Timeout) if served > 0 => {
                 // Keep-alive idle expiry between requests.
                 inner.metrics.completed_total.inc();
                 drain_before_close(&mut stream);

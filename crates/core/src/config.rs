@@ -115,6 +115,7 @@ impl RetrievalConfig {
             max_iterations: self.max_iterations,
             gradient_tolerance: self.gradient_tolerance,
             constrained_solver: self.constrained_solver,
+            warm_start: None,
         }
     }
 

@@ -34,7 +34,7 @@ pub mod tuning;
 pub mod visualize;
 
 pub use config::RetrievalConfig;
-pub use database::{RankRequest, RankScope, RetrievalDatabase};
+pub use database::{BatchQuery, RankRequest, RankScope, RetrievalDatabase};
 pub use error::CoreError;
 pub use query::{query_with_examples, QueryBuilder, QuerySession, Ranking, Shared};
 pub use storage::{Persist, Store};

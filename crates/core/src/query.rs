@@ -119,6 +119,7 @@ pub struct QueryBuilder<'a> {
     positives: Option<Vec<usize>>,
     negatives: Option<Vec<usize>>,
     concept: Option<(Arc<Concept>, f64)>,
+    warm_start: bool,
 }
 
 impl<'a> QueryBuilder<'a> {
@@ -177,6 +178,19 @@ impl<'a> QueryBuilder<'a> {
     #[must_use]
     pub fn concept(mut self, concept: Arc<Concept>, nldd: f64) -> Self {
         self.concept = Some((concept, nldd));
+        self
+    }
+
+    /// Enables warm-started training: after the first trained round,
+    /// each retrain seeds the multi-start from the previous round's
+    /// winning solver vector and only adds fresh ascent starts for
+    /// positive bags the previous round never saw. Rankings for
+    /// *unchanged* example sets are identical; a warm retrain after new
+    /// feedback explores fewer starts than a cold one (that trade is why
+    /// it is opt-in). See [`QuerySession::set_warm_start`].
+    #[must_use]
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
         self
     }
 
@@ -256,6 +270,8 @@ impl<'a> QueryBuilder<'a> {
             concept: None,
             nldd: f64::INFINITY,
             rounds_run: 0,
+            warm_start: self.warm_start,
+            warm: None,
         };
         if let Some((concept, nldd)) = self.concept {
             session.adopt_concept(concept, nldd)?;
@@ -284,6 +300,22 @@ pub struct QuerySession<'a> {
     concept: Option<Arc<Concept>>,
     nldd: f64,
     rounds_run: usize,
+    /// Whether follow-up training rounds seed the multi-start from the
+    /// previous round's winner (off by default: warm rounds explore
+    /// fewer starts, so callers opt in per session).
+    warm_start: bool,
+    /// What the last in-session training round learned, for warm
+    /// seeding: the winning solver vector plus the example snapshot it
+    /// was trained on (to tell *new* positive bags from seen ones).
+    warm: Option<WarmState>,
+}
+
+/// Carry-over from the previous trained round for warm-started training.
+#[derive(Debug)]
+struct WarmState {
+    best_x: Vec<f64>,
+    positives: Vec<usize>,
+    external_positive_count: usize,
 }
 
 impl<'a> QuerySession<'a> {
@@ -298,6 +330,7 @@ impl<'a> QuerySession<'a> {
             positives: None,
             negatives: None,
             concept: None,
+            warm_start: false,
         }
     }
 
@@ -421,6 +454,27 @@ impl<'a> QuerySession<'a> {
         self.rounds_run
     }
 
+    /// Toggles warm-started training at runtime — see
+    /// [`QueryBuilder::warm_start`]. Enabling it mid-session takes
+    /// effect from the next retrain after an in-session trained round
+    /// (an adopted cache-hit concept carries no solver vector to warm
+    /// from).
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_start = enabled;
+    }
+
+    /// Whether warm-started training is enabled for this session.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm_start
+    }
+
+    /// Whether the *next* training round would actually run warm: warm
+    /// start is enabled and a previous in-session round left a solver
+    /// vector to seed from.
+    pub fn warm_ready(&self) -> bool {
+        self.warm_start && self.warm.is_some()
+    }
+
     /// Trains on the current examples and ranks the pool.
     ///
     /// # Errors
@@ -467,7 +521,32 @@ impl<'a> QuerySession<'a> {
         for bag in &self.external_negatives {
             dataset.push(bag.clone(), BagLabel::Negative)?;
         }
-        let result = train(&dataset, &self.config.train_options())?;
+        let mut options = self.config.train_options();
+        if let Some(warm) = self.warm.as_ref().filter(|_| self.warm_start) {
+            // Warm round: ascend from the previous winner, plus fresh
+            // starts only for positive bags the last round never saw —
+            // new evidence pays, old evidence doesn't.
+            let mut new_bags: Vec<usize> = self
+                .positives
+                .iter()
+                .enumerate()
+                .filter(|(_, index)| !warm.positives.contains(index))
+                .map(|(slot, _)| slot)
+                .collect();
+            let first_external_slot = self.positives.len();
+            new_bags.extend(
+                (warm.external_positive_count..self.external_positives.len())
+                    .map(|j| first_external_slot + j),
+            );
+            options.warm_start = Some(warm.best_x.clone());
+            options.start_bags = milr_mil::StartBags::Indices(new_bags);
+        }
+        let result = train(&dataset, &options)?;
+        self.warm = Some(WarmState {
+            best_x: result.best_x.clone(),
+            positives: self.positives.clone(),
+            external_positive_count: self.external_positives.len(),
+        });
         self.nldd = result.nldd;
         self.concept = Some(Arc::new(result.concept.clone()));
         self.rounds_run += 1;
@@ -1389,6 +1468,105 @@ mod tests {
         assert_eq!(session.nldd(), result.nldd);
         assert_eq!(session.concept(), Some(&result.concept));
         assert_eq!(session.rounds_run(), 1);
+    }
+
+    #[test]
+    fn warm_retrain_spends_fewer_evaluations_than_cold() {
+        let db = database();
+        let cfg = config();
+        let pool = vec![0, 1, 2, 6, 7, 8];
+        let build = |warm: bool| {
+            QuerySession::builder(&db)
+                .config(&cfg)
+                .positives(vec![0, 1])
+                .negatives(vec![6, 7])
+                .pool(pool.clone())
+                .warm_start(warm)
+                .build()
+                .unwrap()
+        };
+        let mut cold = build(false);
+        let mut warm = build(true);
+        assert!(!cold.warm_start_enabled());
+        assert!(warm.warm_start_enabled() && !warm.warm_ready());
+
+        // Round 1 is cold either way (nothing to warm from) and must be
+        // bit-identical across the two sessions.
+        let first_cold = cold.train_round_traced().unwrap();
+        let first_warm = warm.train_round_traced().unwrap();
+        assert_eq!(first_cold.concept, first_warm.concept);
+        assert_eq!(first_cold.starts, first_warm.starts);
+        assert!(warm.warm_ready());
+
+        // Same feedback lands in both sessions; round 2 diverges in
+        // cost, not in sanity.
+        for session in [&mut cold, &mut warm] {
+            session.add_positives(&[2]).unwrap();
+            session.add_negatives(&[8]).unwrap();
+        }
+        let second_cold = cold.train_round_traced().unwrap();
+        let second_warm = warm.train_round_traced().unwrap();
+        // Cold restarts from all 3 positive bags; warm restarts from the
+        // 1 new bag plus the carried winner.
+        assert!(second_warm.starts < second_cold.starts);
+        let cold_evals: usize = second_cold.start_evaluations.iter().sum();
+        let warm_evals: usize = second_warm.start_evaluations.iter().sum();
+        assert!(
+            warm_evals < cold_evals,
+            "warm retrain ({warm_evals} evals) must beat cold ({cold_evals} evals)"
+        );
+        // The warm concept still does its job on this easy split.
+        let ranking = warm.rank(&RankRequest::pool()).unwrap();
+        let top3: Vec<usize> = ranking.iter().take(3).map(|&(i, _)| i).collect();
+        for i in top3 {
+            assert_eq!(db.labels()[i], 0, "warm concept must rank category 0 first");
+        }
+    }
+
+    #[test]
+    fn warm_retrain_without_new_positives_is_a_single_start() {
+        let db = database();
+        let cfg = config();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6])
+            .pool((0..12).collect::<Vec<_>>())
+            .warm_start(true)
+            .build()
+            .unwrap();
+        let first = session.train_round_traced().unwrap();
+        // Only negative feedback: no new positive bags, so the warm
+        // round ascends from the carried winner alone.
+        session.add_negatives(&[7]).unwrap();
+        let second = session.train_round_traced().unwrap();
+        assert_eq!(second.starts, 1);
+        assert!(second.nldd.is_finite());
+        assert!(first.starts > 1);
+    }
+
+    #[test]
+    fn warm_start_toggle_takes_effect_at_runtime() {
+        let db = database();
+        let cfg = config();
+        let mut session = QuerySession::builder(&db)
+            .config(&cfg)
+            .positives(vec![0, 1])
+            .negatives(vec![6, 7])
+            .pool((0..12).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let first = session.train_round_traced().unwrap();
+        session.set_warm_start(true);
+        assert!(session.warm_ready(), "previous round left a solver vector");
+        let second = session.train_round_traced().unwrap();
+        // No example changes: the warm retrain is one ascent from the
+        // winner and lands on the same optimum.
+        assert_eq!(second.starts, 1);
+        assert!((second.nldd - first.nldd).abs() < 1e-6);
+        session.set_warm_start(false);
+        let third = session.train_round_traced().unwrap();
+        assert_eq!(third.starts, first.starts, "cold again once disabled");
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub struct TrainOptions {
     /// Constrained-solver choice for [`WeightPolicy::SumConstraint`];
     /// ignored by the other policies.
     pub constrained_solver: ConstrainedSolver,
+    /// Warm start: the winning solver vector (`TrainResult::best_x`) of
+    /// a previous round on a superset-compatible dataset. When set, it
+    /// is appended as one extra multi-start point — typically paired
+    /// with a [`StartBags`] selection reduced to the *newly added*
+    /// positive bags, so a feedback round pays for new evidence only
+    /// instead of re-running ascent from every instance of every bag.
+    /// Uniquely, a warm round may select an *empty* start-bag set
+    /// (`StartBags::Indices(vec![])`): the warm point alone carries it.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for TrainOptions {
@@ -92,6 +101,7 @@ impl Default for TrainOptions {
             max_iterations: 200,
             gradient_tolerance: 1e-5,
             constrained_solver: ConstrainedSolver::ProjectedGradient,
+            warm_start: None,
         }
     }
 }
@@ -113,6 +123,10 @@ pub struct TrainResult {
     pub best_start: usize,
     /// Objective evaluations spent per start, in start order.
     pub start_evaluations: Vec<usize>,
+    /// The winning start's final solver vector, in the policy's
+    /// parameterization — feed it back as [`TrainOptions::warm_start`]
+    /// to seed the next feedback round.
+    pub best_x: Vec<f64>,
 }
 
 /// Trains a Diverse Density concept on `dataset`.
@@ -146,7 +160,12 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
     options.policy.validate().map_err(MilError::InvalidPolicy)?;
     let _span = milr_obs::span!("train.dd");
 
-    let selected = select_bags(dataset, &options.start_bags)?;
+    // A warm round may legitimately select zero start bags (no new
+    // positive evidence this round): the warm point is the only start.
+    let selected = match (&options.warm_start, &options.start_bags) {
+        (Some(_), StartBags::Indices(indices)) if indices.is_empty() => Vec::new(),
+        _ => select_bags(dataset, &options.start_bags)?,
+    };
     // Exact reduction: at β = 1 the feasible set `0 ≤ w ≤ 1, Σw ≥ k` is
     // the single point w = 1, so the constrained problem IS identical
     // weights — solve it on that cheaper unconstrained path (and get the
@@ -163,6 +182,28 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
         for instance in dataset.positives()[bag_index].instances() {
             starts.push(param.start_from(instance));
         }
+    }
+    if let Some(warm) = &options.warm_start {
+        let expected = param.variable_count(k);
+        if warm.len() != expected {
+            return Err(MilError::InvalidPolicy(format!(
+                "warm start has {} variables, this policy/dimension needs {expected}",
+                warm.len()
+            )));
+        }
+        // Appended last so bag-instance start indices stay stable.
+        starts.push(warm.clone());
+        milr_obs::counter!("milr_train_warm_starts_total").inc();
+        // A cold round would ascend from every instance of every
+        // positive bag; the warm round runs `starts.len()` ascents
+        // (the warm point included).
+        let cold: usize = dataset
+            .positives()
+            .iter()
+            .map(|b| b.instances().count())
+            .sum();
+        milr_obs::counter!("milr_train_warm_rounds_saved_total")
+            .add(cold.saturating_sub(starts.len()) as u64);
     }
     debug_assert!(!starts.is_empty(), "positive bags are never empty");
 
@@ -235,6 +276,7 @@ pub fn train(dataset: &MilDataset, options: &TrainOptions) -> Result<TrainResult
         start_values: report.values,
         best_start: report.best_start,
         start_evaluations: report.evaluations,
+        best_x: x,
     })
 }
 
@@ -647,6 +689,90 @@ mod tests {
             .map(|seed| format!("{:?}", starts_of(seed)))
             .collect();
         assert!(variants.len() > 1, "all seeds picked the same bag");
+    }
+
+    #[test]
+    fn warm_start_from_previous_best_converges_cheaper() {
+        let ds = dataset();
+        let opts = TrainOptions {
+            policy: WeightPolicy::OriginalDd,
+            ..Default::default()
+        };
+        let cold = train(&ds, &opts).unwrap();
+        // Re-train warm from the cold winner, with no new start bags:
+        // one ascent from an already-converged point.
+        let warm = train(
+            &ds,
+            &TrainOptions {
+                warm_start: Some(cold.best_x.clone()),
+                start_bags: StartBags::Indices(vec![]),
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.starts, 1);
+        assert!(
+            (warm.nldd - cold.nldd).abs() < 1e-6,
+            "warm must keep the optimum"
+        );
+        let cold_evals: usize = cold.start_evaluations.iter().sum();
+        let warm_evals: usize = warm.start_evaluations.iter().sum();
+        assert!(
+            warm_evals < cold_evals,
+            "warm ({warm_evals} evals) must beat cold ({cold_evals} evals)"
+        );
+    }
+
+    #[test]
+    fn warm_start_rides_along_reduced_start_bags() {
+        let ds = dataset();
+        let opts = TrainOptions {
+            policy: WeightPolicy::Identical,
+            ..Default::default()
+        };
+        let cold = train(&ds, &opts).unwrap();
+        let warm = train(
+            &ds,
+            &TrainOptions {
+                warm_start: Some(cold.best_x.clone()),
+                start_bags: StartBags::Indices(vec![2]),
+                ..opts
+            },
+        )
+        .unwrap();
+        // Bag 2 contributes 2 instance starts + 1 warm point.
+        assert_eq!(warm.starts, 3);
+        assert!(
+            warm.nldd <= cold.nldd + 1e-9,
+            "warm keeps at least the cold optimum"
+        );
+    }
+
+    #[test]
+    fn warm_start_dimension_mismatch_rejected() {
+        let ds = dataset();
+        let err = train(
+            &ds,
+            &TrainOptions {
+                policy: WeightPolicy::Identical, // needs k = 2 variables
+                warm_start: Some(vec![0.0, 0.0, 1.0, 1.0]),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(err, Err(MilError::InvalidPolicy(_))));
+    }
+
+    #[test]
+    fn empty_start_bags_without_warm_start_still_rejected() {
+        let ds = dataset();
+        let err = train(
+            &ds,
+            &TrainOptions {
+                start_bags: StartBags::Indices(vec![]),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(err, Err(MilError::InvalidPolicy(_))));
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Cross-request rank batching: a flat-combining dispatcher.
+//!
+//! Concurrent `/rank` requests against the same snapshot epoch coalesce
+//! into one [`RetrievalDatabase::rank_batch`] traversal. The shape is
+//! flat combining rather than a timed window, so a solo request pays
+//! **zero** added latency:
+//!
+//! * every arrival enqueues its query, then takes (or waits for) the
+//!   `executing` lock;
+//! * the first thread through the lock drains *everything* queued behind
+//!   it — including queries that piled up while a previous combiner was
+//!   scanning — groups them by epoch generation (a reload mid-batch must
+//!   not mix databases), and runs one `rank_batch` per group;
+//! * threads that find their slot already filled when they acquire the
+//!   lock were combined by someone else and return immediately.
+//!
+//! Batching is a pure traversal amortisation: each query keeps its own
+//! top-k bound inside `rank_batch`, so every page is bit-identical to an
+//! unbatched `rank` call by construction (proven again by proptest and
+//! the over-the-wire e2e suite).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use milr_core::{BatchQuery, CoreError, RankRequest, Ranking, RetrievalDatabase};
+
+use crate::metrics::Metrics;
+
+/// The rendezvous slot one waiting request parks on.
+struct Slot {
+    result: Mutex<Option<Result<Ranking, CoreError>>>,
+    filled: Condvar,
+}
+
+/// One queued rank query: what to rank, where, and who is waiting.
+struct PendingRank {
+    db: Arc<RetrievalDatabase>,
+    generation: u64,
+    query: BatchQuery,
+    threads: usize,
+    slot: Arc<Slot>,
+}
+
+/// The daemon-wide rank combiner. See the module docs for the protocol.
+#[derive(Default)]
+pub struct RankBatcher {
+    pending: Mutex<Vec<PendingRank>>,
+    executing: Mutex<()>,
+}
+
+impl RankBatcher {
+    /// Creates an empty batcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ranks `query` over `db` (scope: all images), combining with any
+    /// concurrent callers on the same epoch `generation`. Blocks until
+    /// the result is available; bit-identical to
+    /// `db.rank(&query.concept, &RankRequest::all().top(k))`.
+    ///
+    /// # Errors
+    /// Whatever the underlying ranking call reports.
+    pub fn rank(
+        &self,
+        db: Arc<RetrievalDatabase>,
+        generation: u64,
+        query: BatchQuery,
+        threads: usize,
+        metrics: &Metrics,
+    ) -> Result<Ranking, CoreError> {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            filled: Condvar::new(),
+        });
+        self.pending
+            .lock()
+            .expect("batch pending mutex")
+            .push(PendingRank {
+                db,
+                generation,
+                query,
+                threads,
+                slot: Arc::clone(&slot),
+            });
+        {
+            // Whoever holds this lock is the combiner; everyone else
+            // queues behind it, and their queries are drained by it.
+            let _combine = self.executing.lock().expect("batch executing mutex");
+            let mut result = slot.result.lock().expect("batch slot mutex");
+            if result.is_none() {
+                // Not combined by a predecessor — this thread combines.
+                drop(result);
+                let drained =
+                    std::mem::take(&mut *self.pending.lock().expect("batch pending mutex"));
+                execute(drained, metrics);
+                result = slot.result.lock().expect("batch slot mutex");
+            }
+            if let Some(outcome) = result.take() {
+                return outcome;
+            }
+        }
+        // Extremely defensive: the combiner that drained our entry fills
+        // the slot before releasing `executing`, so reaching here means
+        // a spurious wake pattern — wait on the condvar until filled.
+        let mut result = slot.result.lock().expect("batch slot mutex");
+        loop {
+            if let Some(outcome) = result.take() {
+                return outcome;
+            }
+            result = slot.filled.wait(result).expect("batch slot mutex");
+        }
+    }
+}
+
+/// Runs the drained queries: one `rank_batch` per epoch generation (in
+/// ascending generation order for determinism), then fills every slot.
+fn execute(drained: Vec<PendingRank>, metrics: &Metrics) {
+    if drained.is_empty() {
+        return;
+    }
+    let mut groups: HashMap<u64, Vec<PendingRank>> = HashMap::new();
+    for item in drained {
+        groups.entry(item.generation).or_default().push(item);
+    }
+    let mut generations: Vec<u64> = groups.keys().copied().collect();
+    generations.sort_unstable();
+    for generation in generations {
+        let group = groups.remove(&generation).expect("grouped");
+        metrics.batch_formed_total.inc();
+        metrics.batch_size.record(group.len() as u64);
+        let db = Arc::clone(&group[0].db);
+        let threads = group[0].threads;
+        let queries: Vec<BatchQuery> = group.iter().map(|item| item.query.clone()).collect();
+        let request = RankRequest::all().threads(threads);
+        match db.rank_batch(&queries, &request) {
+            Ok(rankings) => {
+                for (item, ranking) in group.into_iter().zip(rankings) {
+                    fill(&item.slot, Ok(ranking));
+                }
+            }
+            // A batch-level failure (cannot happen for the daemon's
+            // all-images scope, but the API allows it) falls back to
+            // per-query ranking so every waiter gets its own error.
+            Err(_) => {
+                for item in group {
+                    let mut single = RankRequest::all().threads(item.threads);
+                    single.top_k = item.query.top_k;
+                    let outcome = item.db.rank(&item.query.concept, &single);
+                    fill(&item.slot, outcome);
+                }
+            }
+        }
+    }
+}
+
+fn fill(slot: &Slot, outcome: Result<Ranking, CoreError>) {
+    *slot.result.lock().expect("batch slot mutex") = Some(outcome);
+    slot.filled.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milr_mil::{Bag, Concept};
+
+    fn test_db() -> Arc<RetrievalDatabase> {
+        let bags: Vec<Bag> = (0..12)
+            .map(|i| {
+                Bag::new(vec![
+                    vec![i as f32, (i * 3 % 7) as f32],
+                    vec![(i % 5) as f32, (11 - i) as f32],
+                ])
+                .unwrap()
+            })
+            .collect();
+        let labels = (0..12).map(|i| i % 3).collect();
+        Arc::new(RetrievalDatabase::from_bags(bags, labels).unwrap())
+    }
+
+    fn query_on(db: &RetrievalDatabase, point: Vec<f64>, k: usize) -> BatchQuery {
+        let _ = db;
+        BatchQuery {
+            concept: Arc::new(Concept::new(point, vec![1.0, 1.0])),
+            top_k: Some(k),
+        }
+    }
+
+    #[test]
+    fn solo_rank_is_a_singleton_batch_with_exact_counters() {
+        let db = test_db();
+        let batcher = RankBatcher::new();
+        let metrics = Metrics::default();
+        let query = query_on(&db, vec![2.0, 3.0], 4);
+        let expected = db
+            .rank(&query.concept, &RankRequest::all().top(4).threads(1))
+            .unwrap();
+        let got = batcher
+            .rank(Arc::clone(&db), 7, query, 1, &metrics)
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(metrics.batch_formed_total.get(), 1);
+        let sizes = metrics.batch_size.snapshot();
+        assert_eq!(sizes.count(), 1);
+        assert_eq!(sizes.max(), 1);
+    }
+
+    #[test]
+    fn concurrent_ranks_match_sequential_and_batch_counters_balance() {
+        let db = test_db();
+        let batcher = Arc::new(RankBatcher::new());
+        let metrics = Arc::new(Metrics::default());
+        let clients = 8usize;
+        let barrier = Arc::new(std::sync::Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let db = Arc::clone(&db);
+                let batcher = Arc::clone(&batcher);
+                let metrics = Arc::clone(&metrics);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let query = BatchQuery {
+                        concept: Arc::new(Concept::new(
+                            vec![c as f64, (c * 2) as f64],
+                            vec![1.0, 1.0],
+                        )),
+                        top_k: Some(1 + c % 4),
+                    };
+                    let expected = db
+                        .rank(
+                            &query.concept,
+                            &RankRequest::all().top(1 + c % 4).threads(1),
+                        )
+                        .unwrap();
+                    let got = batcher.rank(db, 3, query, 1, &metrics).unwrap();
+                    assert_eq!(got, expected, "client {c}");
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // However the threads interleaved, every query was ranked in
+        // exactly one batch: the recorded sizes sum to the client count.
+        let sizes = metrics.batch_size.snapshot();
+        assert_eq!(sizes.count(), metrics.batch_formed_total.get());
+        assert!(metrics.batch_formed_total.get() >= 1);
+        assert!(metrics.batch_formed_total.get() <= clients as u64);
+    }
+
+    #[test]
+    fn distinct_generations_never_share_a_batch() {
+        let db_a = test_db();
+        let db_b = test_db();
+        let batcher = RankBatcher::new();
+        let metrics = Metrics::default();
+        // Enqueue two pending entries by hand (different generations),
+        // then combine via a third call: the third call drains all
+        // three, forming one batch per generation.
+        for (db, generation) in [(Arc::clone(&db_a), 1u64), (Arc::clone(&db_b), 2)] {
+            let query = query_on(&db, vec![1.0, 1.0], 2);
+            let slot = Arc::new(Slot {
+                result: Mutex::new(None),
+                filled: Condvar::new(),
+            });
+            batcher.pending.lock().unwrap().push(PendingRank {
+                db,
+                generation,
+                query,
+                threads: 1,
+                slot,
+            });
+        }
+        let query = query_on(&db_a, vec![0.0, 5.0], 3);
+        let got = batcher
+            .rank(Arc::clone(&db_a), 1, query.clone(), 1, &metrics)
+            .unwrap();
+        let expected = db_a
+            .rank(&query.concept, &RankRequest::all().top(3).threads(1))
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(
+            metrics.batch_formed_total.get(),
+            2,
+            "generation 1 (two queries) and generation 2 (one query)"
+        );
+        let sizes = metrics.batch_size.snapshot();
+        assert_eq!(sizes.count(), 2);
+        assert_eq!(sizes.max(), 2);
+    }
+}

@@ -45,6 +45,9 @@ fn print_usage() {
         "usage:\n  \
          milrd --snapshot DB.milr|SHARD_DIR [--addr HOST:PORT] [--workers N]\n        \
          [--queue-depth N] [--read-timeout-ms N] [--handle-deadline-ms N]\n        \
+         [--keepalive-requests N] [--keepalive-burst N] [--keepalive-turn-ms N]\n        \
+         [--idle-timeout-ms N] [--priority-shed-fill F]\n        \
+         [--warm-train true|false]\n        \
          [--max-body BYTES] [--cache-capacity N] [--session-ttl-s N]\n        \
          [--session-capacity N] [--page K] [--policy POLICY]\n        \
          [--watch-snapshot] [--watch-interval-ms N]\n        \
@@ -92,6 +95,24 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if let Some(ms) = parse_flag(args, "--handle-deadline-ms")? {
         options.handle_deadline = Duration::from_millis(ms);
+    }
+    if let Some(n) = parse_flag(args, "--keepalive-requests")? {
+        options.keepalive_requests = n;
+    }
+    if let Some(n) = parse_flag(args, "--keepalive-burst")? {
+        options.keepalive_burst = n;
+    }
+    if let Some(ms) = parse_flag(args, "--keepalive-turn-ms")? {
+        options.keepalive_turn = Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_flag(args, "--idle-timeout-ms")? {
+        options.idle_timeout = Duration::from_millis(ms);
+    }
+    if let Some(fill) = parse_flag(args, "--priority-shed-fill")? {
+        options.priority_shed_fill = fill;
+    }
+    if let Some(warm) = parse_flag(args, "--warm-train")? {
+        options.warm_train = warm;
     }
     if let Some(bytes) = parse_flag(args, "--max-body")? {
         options.max_body = bytes;

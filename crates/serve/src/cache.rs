@@ -102,6 +102,14 @@ impl ConceptCache {
         }
     }
 
+    /// Whether a key is present, without refreshing recency or counting
+    /// a hit/miss — the priority-shed check peeks at cache membership to
+    /// classify a request as cheap or train-heavy, and a peek must not
+    /// distort the hit-rate statistics or the LRU order.
+    pub fn contains(&self, key: &ConceptKey) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Inserts a trained concept, evicting the least-recently-used entry
     /// when full.
     pub fn insert(&mut self, key: ConceptKey, value: CachedConcept) {

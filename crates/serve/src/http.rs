@@ -1,13 +1,14 @@
 //! A minimal HTTP/1.1 server-side codec over blocking sockets.
 //!
 //! The daemon speaks just enough HTTP for `curl`, browsers, and the
-//! `loadgen` harness: one request per connection (`Connection: close` on
-//! every response), strict head and body size limits, and socket
-//! read/write deadlines so a stalled peer can never pin a worker.
+//! `loadgen` harness: strict head and body size limits, socket
+//! read/write deadlines so a stalled peer can never pin a worker, and
+//! keep-alive connection loops (both milrd and the cluster node) that
+//! answer `Connection: keep-alive` unless the client asked to close.
 //! Anything malformed maps to a 4xx — never a panic, never a hang.
-//! The cluster node loop reuses the same codec but answers
-//! `Connection: keep-alive` (see [`respond_json_conn`]) so the
-//! coordinator's pooled connections survive across requests.
+//! [`read_request_buffered`] supports pipelining: bytes received past
+//! the current request's `Content-Length` are parked in the caller's
+//! `pending` buffer and parsed as the start of the next request.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -49,6 +50,14 @@ impl Request {
             (k == name).then_some(v)
         })
     }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`). HTTP/1.1 defaults to keep-alive,
+    /// so the absence of the header means the connection may persist.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// Why a request could not be read.
@@ -69,15 +78,47 @@ pub enum ReadError {
 }
 
 /// Reads one complete request from `stream` (generic over [`Read`] so
-/// tests can inject fault schedules without a socket).
+/// tests can inject fault schedules without a socket). One-shot strict
+/// variant of [`read_request_buffered`]: any bytes received past the
+/// request's `Content-Length` are a protocol error, because a caller
+/// without a `pending` buffer has nowhere to park them.
 ///
 /// # Errors
 /// [`ReadError`] for anything other than a complete well-formed request.
 pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request, ReadError> {
-    let mut head = Vec::with_capacity(512);
+    let mut pending = Vec::new();
+    let request = read_request_buffered(stream, &mut pending, max_body)?;
+    if !pending.is_empty() {
+        return Err(ReadError::Malformed(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    Ok(request)
+}
+
+/// Reads one complete request, consuming any bytes parked in `pending`
+/// before touching the socket and leaving everything received past the
+/// current request's body in `pending` for the next call. This is what
+/// makes HTTP/1.1 pipelining work on the keep-alive connection loops: a
+/// client may write several requests back-to-back, and each call parses
+/// exactly one, in order, without dropping or double-reading a byte.
+///
+/// Error paths discard `pending` — every [`ReadError`] tears the
+/// connection down, so there is no next request to preserve bytes for.
+///
+/// # Errors
+/// [`ReadError`] for anything other than a complete well-formed request.
+pub fn read_request_buffered<S: Read>(
+    stream: &mut S,
+    pending: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let mut head = std::mem::take(pending);
     let mut chunk = [0u8; 1024];
     let head_end;
-    // Accumulate until the blank line ends the head.
+    // Accumulate until the blank line ends the head (leftover pipelined
+    // bytes may already contain one or more complete requests, in which
+    // case the socket is never read).
     loop {
         if let Some(end) = find_head_end(&head) {
             head_end = end;
@@ -151,21 +192,22 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
     if content_length > max_body {
         return Err(ReadError::BodyTooLarge);
     }
+    // Bytes past the body belong to the next pipelined request.
     if request.body.len() > content_length {
-        return Err(ReadError::Malformed(
-            "body longer than Content-Length".into(),
-        ));
+        let leftover = request.body.split_off(content_length);
+        *pending = leftover;
+        return Ok(request);
     }
     while request.body.len() < content_length {
         let n = read_retrying(stream, &mut chunk)?;
         if n == 0 {
             return Err(ReadError::Malformed("truncated request body".into()));
         }
-        request.body.extend_from_slice(&chunk[..n]);
-        if request.body.len() > content_length {
-            return Err(ReadError::Malformed(
-                "body longer than Content-Length".into(),
-            ));
+        let need = content_length - request.body.len();
+        let take = n.min(need);
+        request.body.extend_from_slice(&chunk[..take]);
+        if take < n {
+            *pending = chunk[take..n].to_vec();
         }
     }
     Ok(request)
@@ -440,6 +482,76 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/sessions");
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_from_one_buffer() {
+        // Two full requests written back-to-back: the first parse must
+        // leave the second intact in `pending`, and the second parse
+        // must complete without touching the (now-EOF) socket.
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b?k=2 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(raw).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let mut pending = Vec::new();
+        let first = read_request_buffered(&mut server_side, &mut pending, 1024).unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"abc");
+        assert!(!pending.is_empty(), "second request must be parked");
+        let second = read_request_buffered(&mut server_side, &mut pending, 1024).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.query_param("k"), Some("2"));
+        assert!(second.body.is_empty());
+        assert!(pending.is_empty());
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_body_split_across_reads_lands_in_pending() {
+        // The boundary between request body and the next request may
+        // fall anywhere inside a read chunk; the excess must be parked.
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2000\r\n\r\n";
+        let mut full = raw.to_vec();
+        full.extend(vec![b'z'; 2000]);
+        full.extend_from_slice(b"GET /next HTTP/1.1\r\n\r\n");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(&full).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let mut pending = Vec::new();
+        let first = read_request_buffered(&mut server_side, &mut pending, 4096).unwrap();
+        assert_eq!(first.body.len(), 2000);
+        assert!(first.body.iter().all(|&b| b == b'z'));
+        let second = read_request_buffered(&mut server_side, &mut pending, 4096).unwrap();
+        assert_eq!(second.path, "/next");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn one_shot_read_request_still_rejects_excess_bytes() {
+        // The strict wrapper keeps the old contract: trailing bytes on
+        // a one-request read are a protocol error, not a pipeline.
+        let err = parse(b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcdef", 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn wants_close_matches_connection_header() {
+        let close = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n", 1024).unwrap();
+        assert!(close.wants_close());
+        let keep = parse(b"GET /x HTTP/1.1\r\nConnection: keep-alive\r\n\r\n", 1024).unwrap();
+        assert!(!keep.wants_close());
+        let none = parse(b"GET /x HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert!(!none.wants_close());
     }
 
     #[test]

@@ -70,6 +70,33 @@ pub fn rank_counters_json() -> Json {
             "index_fallbacks_total".into(),
             get("milr_rank_index_fallbacks_total"),
         ),
+        (
+            "batch_dispatch_total".into(),
+            get("milr_rank_batch_dispatch_total"),
+        ),
+        (
+            "batch_queries_total".into(),
+            get("milr_rank_batch_queries_total"),
+        ),
+    ])
+}
+
+/// JSON view of the process-global training counters, including the
+/// warm-start economics: how many retrains were warm-seeded and how
+/// many multi-start ascents that skipped relative to cold rounds.
+#[must_use]
+pub fn train_counters_json() -> Json {
+    let get = |name: &str| Json::num(obs::global().counter(name).get() as f64);
+    Json::Obj(vec![
+        ("runs_total".into(), get("milr_train_runs_total")),
+        (
+            "warm_starts_total".into(),
+            get("milr_train_warm_starts_total"),
+        ),
+        (
+            "warm_rounds_saved_total".into(),
+            get("milr_train_warm_rounds_saved_total"),
+        ),
     ])
 }
 
@@ -138,6 +165,21 @@ pub struct Metrics {
     /// Requests refused with `503` because they overstayed the handle
     /// deadline while queued.
     pub deadline_shed_total: Arc<obs::Counter>,
+    /// Requests served on an already-used keep-alive connection (the
+    /// second and every later request on one socket). Sits outside the
+    /// conservation identity: reuse is per *request*, the identity per
+    /// *connection*.
+    pub keepalive_reused_total: Arc<obs::Counter>,
+    /// Train-heavy requests (uncached rank/feedback) answered `503`
+    /// under overload so cheap cached ranks keep flowing. The connection
+    /// still resolves normally (the request got a response), so this
+    /// also sits outside the conservation identity.
+    pub priority_shed_total: Arc<obs::Counter>,
+    /// Rank batches dispatched (every batch counts, including singletons
+    /// — `batch_size` tells them apart).
+    pub batch_formed_total: Arc<obs::Counter>,
+    /// Distribution of rank batch sizes (queries per dispatch).
+    pub batch_size: Arc<obs::Histogram>,
     /// Current accept-queue depth (gauge).
     pub queue_depth: Arc<obs::Gauge>,
     /// High-water mark of the accept queue.
@@ -164,6 +206,10 @@ impl Default for Metrics {
             closed_total: outcome("closed"),
             shed_total: outcome("shed"),
             deadline_shed_total: outcome("deadline_shed"),
+            keepalive_reused_total: registry.counter("milrd_keepalive_reused_total"),
+            priority_shed_total: registry.counter("milrd_priority_shed_total"),
+            batch_formed_total: registry.counter("milrd_batch_formed_total"),
+            batch_size: registry.histogram("milrd_batch_size"),
             queue_depth: registry.gauge("milrd_queue_depth"),
             queue_peak: registry.gauge("milrd_queue_peak"),
             snapshot_reloads_total: registry.counter("milrd_snapshot_reloads_total"),

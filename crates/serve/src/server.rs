@@ -9,6 +9,13 @@
 //! * workers pop, and first check how long the connection waited — one
 //!   that overstayed `handle_deadline` is answered `503` without paying
 //!   for training (the client has likely timed out already);
+//! * a worker then serves the connection's whole keep-alive life
+//!   (pipelined requests included), but answers `Connection: close` the
+//!   moment other connections are queued — a pinned worker must never
+//!   starve waiting clients — or once `keepalive_requests` are served;
+//! * under overload (queue past `priority_shed_fill`), uncached
+//!   train-heavy rank/feedback requests are shed with `503` first;
+//!   cached ranks are cheap and keep flowing;
 //! * every socket carries read/write deadlines, so a stalled peer costs
 //!   a worker at most the timeout, never forever;
 //! * shutdown is graceful: the flag flips, the acceptor is unblocked by
@@ -31,11 +38,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use milr_core::features::image_to_bag;
-use milr_core::{CoreError, QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase};
+use milr_core::{
+    BatchQuery, CoreError, QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase,
+};
 use milr_imgproc::pnm;
 use milr_mil::{Bag, WeightPolicy};
 
 use crate::base64;
+use crate::batch::RankBatcher;
 use crate::cache::{CachedConcept, ConceptCache, ConceptKey};
 use crate::http::{self, ReadError, Request};
 use crate::json::Json;
@@ -57,6 +67,39 @@ pub struct ServeOptions {
     /// Longest a connection may wait in the queue and still be served;
     /// older ones are answered `503` instead of trained for.
     pub handle_deadline: Duration,
+    /// Most requests served on one keep-alive connection before the
+    /// daemon answers `Connection: close` (a per-connection cap so no
+    /// client monopolises a worker forever); 0 disables keep-alive and
+    /// restores the one-request-per-connection contract.
+    pub keepalive_requests: usize,
+    /// Read deadline while waiting for the *next* request on an
+    /// already-served keep-alive connection.
+    pub idle_timeout: Duration,
+    /// Requests served per scheduling turn before a keep-alive worker
+    /// checks the accept queue and yields (answers `Connection: close`)
+    /// if other connections are waiting. Bounds head-of-line latency
+    /// under saturation while still amortising connection setup
+    /// `burst:1`; `0` checks after every request (maximally fair, one
+    /// dial per request whenever the queue is non-empty).
+    pub keepalive_burst: usize,
+    /// Worker time a connection may consume before every further
+    /// response also checks the queue. Requests are not uniform cost —
+    /// a burst of 32 cached ranks is milliseconds, a single cold train
+    /// is seconds — so the turn quantum, not the request count, is what
+    /// actually bounds head-of-line latency for waiting connections.
+    pub keepalive_turn: Duration,
+    /// Accept-queue fill ratio at which priority shedding starts:
+    /// uncached (train-heavy) rank/feedback requests are answered `503`
+    /// while cached ranks and cheap endpoints keep flowing. Values
+    /// above 1.0 can never trip (the queue sheds at the acceptor
+    /// first), which disables the policy.
+    pub priority_shed_fill: f64,
+    /// Warm-started feedback training: retrains of a live session seed
+    /// the DD multi-start from the session's previous winning solver
+    /// vector, ascending fresh only from newly-marked positive bags.
+    /// Warm concepts are session-history-dependent, so they never enter
+    /// the shared concept cache (cold first rounds still do).
+    pub warm_train: bool,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
     /// Concept-cache capacity (0 disables caching).
@@ -91,6 +134,12 @@ impl Default for ServeOptions {
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
             handle_deadline: Duration::from_secs(10),
+            keepalive_requests: 128,
+            idle_timeout: Duration::from_secs(5),
+            keepalive_burst: 32,
+            keepalive_turn: Duration::from_millis(50),
+            priority_shed_fill: 0.75,
+            warm_train: true,
             max_body: 8 * 1024 * 1024,
             cache_capacity: 128,
             session_ttl: Duration::from_secs(15 * 60),
@@ -162,6 +211,7 @@ struct Daemon {
     queue_cv: Condvar,
     shutdown: AtomicBool,
     metrics: Metrics,
+    batcher: RankBatcher,
     cache: Mutex<ConceptCache>,
     sessions: SessionStore,
     local_addr: SocketAddr,
@@ -263,6 +313,7 @@ impl Server {
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics,
+            batcher: RankBatcher::new(),
             local_addr,
             started: Instant::now(),
             options,
@@ -342,6 +393,10 @@ fn accept_loop(daemon: &Daemon, listener: &TcpListener) {
         }
         let _ = stream.set_read_timeout(Some(daemon.options.read_timeout));
         let _ = stream.set_write_timeout(Some(daemon.options.read_timeout));
+        // Keep-alive turns this into a request/response ping-pong socket;
+        // without NODELAY, Nagle + delayed ACK stalls every small
+        // response ~40ms.
+        let _ = stream.set_nodelay(true);
         let mut queue = daemon.queue.lock().expect("accept queue mutex");
         if queue.len() >= daemon.options.queue_depth {
             drop(queue);
@@ -434,6 +489,22 @@ fn watch_loop(daemon: &Daemon) {
     }
 }
 
+/// Serves one connection for its whole life: a keep-alive loop reading
+/// pipelined requests until the client closes, asks to close, idles
+/// past `idle_timeout`, hits the per-connection request cap, or other
+/// connections are waiting in the accept queue (a pinned worker would
+/// starve them, so the daemon answers `Connection: close` and frees
+/// itself).
+///
+/// Connection accounting resolves each admitted connection **exactly
+/// once** so the chaos conservation law keeps balancing:
+/// * `completed` — served at least one request and ended cleanly (peer
+///   EOF or idle expiry after a response, `Connection: close`, cap,
+///   shutdown, or a failed response write);
+/// * `closed` — the peer vanished before sending any request;
+/// * `read_error` — a malformed/oversized/timed-out *first* read, or a
+///   parse failure mid-connection before any request succeeded;
+/// * `deadline_shed` — overstayed the queue.
 fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) {
     if enqueued.elapsed() > daemon.options.handle_deadline {
         daemon.metrics.deadline_shed_total.inc();
@@ -445,45 +516,89 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, enqueued: Instant) 
         drain_before_close(&mut stream);
         return;
     }
-    let started = Instant::now();
-    let request = match http::read_request(&mut stream, daemon.options.max_body) {
-        Ok(request) => request,
-        Err(ReadError::Closed) => {
-            daemon.metrics.closed_total.inc();
-            return;
-        }
-        Err(err) => {
-            let (status, message) = match err {
-                ReadError::Timeout => (408, "timed out reading the request".to_string()),
-                ReadError::HeadTooLarge => (431, "request head too large".to_string()),
-                ReadError::BodyTooLarge => (413, "request body too large".to_string()),
-                ReadError::Malformed(m) => (400, m),
-                ReadError::Closed => unreachable!("handled above"),
+    let mut pending = Vec::new();
+    let mut served = 0usize;
+    let turn_started = Instant::now();
+    loop {
+        let started = Instant::now();
+        let request =
+            match http::read_request_buffered(&mut stream, &mut pending, daemon.options.max_body) {
+                Ok(request) => request,
+                Err(ReadError::Closed) => {
+                    if served > 0 {
+                        daemon.metrics.completed_total.inc();
+                    } else {
+                        daemon.metrics.closed_total.inc();
+                    }
+                    return;
+                }
+                Err(ReadError::Timeout) if served > 0 => {
+                    // Idle expiry after at least one response is the
+                    // normal end of a keep-alive connection, not an
+                    // error.
+                    daemon.metrics.completed_total.inc();
+                    drain_before_close(&mut stream);
+                    return;
+                }
+                Err(err) => {
+                    let (status, message) = match err {
+                        ReadError::Timeout => (408, "timed out reading the request".to_string()),
+                        ReadError::HeadTooLarge => (431, "request head too large".to_string()),
+                        ReadError::BodyTooLarge => (413, "request body too large".to_string()),
+                        ReadError::Malformed(m) => (400, m),
+                        ReadError::Closed => unreachable!("handled above"),
+                    };
+                    let us = started.elapsed().as_micros() as u64;
+                    daemon.metrics.record("(unreadable)", status, us);
+                    daemon.metrics.read_error_total.inc();
+                    let _ = http::respond_json(&mut stream, status, &http::error_body(message));
+                    drain_before_close(&mut stream);
+                    return;
+                }
             };
-            let us = started.elapsed().as_micros() as u64;
-            daemon.metrics.record("(unreadable)", status, us);
-            daemon.metrics.read_error_total.inc();
-            let _ = http::respond_json(&mut stream, status, &http::error_body(message));
+        if served > 0 {
+            daemon.metrics.keepalive_reused_total.inc();
+        }
+        let (endpoint, status, body) = {
+            let _span = milr_obs::span::enter("serve.request");
+            route(daemon, &request)
+        };
+        served += 1;
+        // Yield policy: pipelined bytes are always finished first; at
+        // each burst boundary — every `keepalive_burst` requests, or
+        // any response once the connection has consumed a turn quantum
+        // of worker time (one cold train blows the quantum on its own)
+        // — the worker closes if other connections wait in the accept
+        // queue, so a busy client amortises dials without ever starving
+        // the queue.
+        let at_burst_boundary = served.is_multiple_of(daemon.options.keepalive_burst.max(1))
+            || turn_started.elapsed() >= daemon.options.keepalive_turn;
+        let keep = daemon.options.keepalive_requests > 0
+            && served < daemon.options.keepalive_requests
+            && !request.wants_close()
+            && !daemon.shutdown.load(Ordering::SeqCst)
+            && (!pending.is_empty()
+                || !at_burst_boundary
+                || daemon.queue.lock().expect("accept queue mutex").is_empty());
+        let us = started.elapsed().as_micros() as u64;
+        daemon.metrics.record(endpoint, status, us);
+        let io = match &body {
+            Payload::Json(json) => http::respond_json_conn(&mut stream, status, json, keep),
+            Payload::Text(text) => http::respond_bytes(
+                &mut stream,
+                status,
+                "text/plain; version=0.0.4; charset=utf-8",
+                text.as_bytes(),
+                keep,
+            ),
+        };
+        if io.is_err() || !keep {
+            daemon.metrics.completed_total.inc();
             drain_before_close(&mut stream);
             return;
         }
-    };
-    let (endpoint, status, body) = {
-        let _span = milr_obs::span::enter("serve.request");
-        route(daemon, &request)
-    };
-    let us = started.elapsed().as_micros() as u64;
-    daemon.metrics.record(endpoint, status, us);
-    daemon.metrics.completed_total.inc();
-    let _ = match &body {
-        Payload::Json(json) => http::respond_json(&mut stream, status, json),
-        Payload::Text(text) => http::respond_text(
-            &mut stream,
-            status,
-            "text/plain; version=0.0.4; charset=utf-8",
-            text,
-        ),
-    };
+        let _ = stream.set_read_timeout(Some(daemon.options.idle_timeout));
+    }
 }
 
 /// Consumes (bounded) whatever the peer already sent before the socket
@@ -750,6 +865,31 @@ fn metrics_json(daemon: &Daemon) -> Json {
             Json::num(daemon.metrics.deadline_shed_total.get() as f64),
         ),
         (
+            "keepalive_reused_total".into(),
+            Json::num(daemon.metrics.keepalive_reused_total.get() as f64),
+        ),
+        (
+            "priority_shed_total".into(),
+            Json::num(daemon.metrics.priority_shed_total.get() as f64),
+        ),
+        (
+            "batch".into(),
+            Json::Obj(vec![
+                (
+                    "formed_total".into(),
+                    Json::num(daemon.metrics.batch_formed_total.get() as f64),
+                ),
+                (
+                    "size_max".into(),
+                    Json::num(daemon.metrics.batch_size.snapshot().max() as f64),
+                ),
+                (
+                    "size_mean".into(),
+                    Json::num(daemon.metrics.batch_size.snapshot().mean()),
+                ),
+            ]),
+        ),
+        (
             "queue_depth".into(),
             Json::num(daemon.metrics.queue_depth.get()),
         ),
@@ -760,6 +900,7 @@ fn metrics_json(daemon: &Daemon) -> Json {
         ("concept_cache".into(), cache_json),
         ("sessions".into(), sessions_json),
         ("rank".into(), crate::metrics::rank_counters_json()),
+        ("train".into(), crate::metrics::train_counters_json()),
         ("endpoints".into(), daemon.metrics.endpoints_json()),
     ])
 }
@@ -897,6 +1038,25 @@ fn config_for_policy(
     }
 }
 
+/// Whether the accept queue is deep enough that train-heavy work should
+/// be shed. The threshold is a fill ratio of `queue_depth`; anything
+/// above 1.0 can never trip because the acceptor sheds at full depth.
+fn priority_overloaded(daemon: &Daemon) -> bool {
+    let threshold =
+        (daemon.options.priority_shed_fill * daemon.options.queue_depth as f64).ceil() as usize;
+    let depth = daemon.queue.lock().expect("accept queue mutex").len();
+    depth >= threshold.max(1)
+}
+
+/// The uniform `503` for a train-heavy request shed under overload.
+fn priority_shed_response(daemon: &Daemon) -> (u16, Json) {
+    daemon.metrics.priority_shed_total.inc();
+    (
+        503,
+        http::error_body("overloaded; uncached training request shed — retry later"),
+    )
+}
+
 /// Fetches a concept for an example configuration through the cache:
 /// either a hit, or a fresh training run whose result is inserted.
 fn concept_via_cache(
@@ -951,6 +1111,18 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
     };
     let epoch = daemon.epoch();
     let key = ConceptKey::new(&positives, &negatives, &policy_label, epoch.generation);
+    // Priority shedding: under overload a cached rank is cheap (one
+    // bounded scan), an uncached one buys a whole DD training run — shed
+    // the expensive kind first so the cheap kind keeps flowing.
+    if priority_overloaded(daemon)
+        && !daemon
+            .cache
+            .lock()
+            .expect("concept cache mutex")
+            .contains(&key)
+    {
+        return priority_shed_response(daemon);
+    }
     let trained = concept_via_cache(daemon, key, || {
         let mut session = QuerySession::builder(Arc::clone(&epoch.db))
             .config(config)
@@ -968,8 +1140,20 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
         Ok(pair) => pair,
         Err(err) => return core_error_response(&err),
     };
-    let request = RankRequest::all().top(k).threads(daemon.config.threads);
-    let ranking = match epoch.db.rank(&cached.concept, &request) {
+    // Rank through the flat-combining batcher: concurrent /rank requests
+    // against the same epoch coalesce into one traversal, bit-identical
+    // to the direct `epoch.db.rank(...)` call by construction.
+    let query = BatchQuery {
+        concept: Arc::clone(&cached.concept),
+        top_k: Some(k),
+    };
+    let ranking = match daemon.batcher.rank(
+        Arc::clone(&epoch.db),
+        epoch.generation,
+        query,
+        daemon.config.threads,
+        &daemon.metrics,
+    ) {
         Ok(ranking) => ranking,
         Err(err) => return core_error_response(&err),
     };
@@ -1077,6 +1261,7 @@ fn handle_create_session(daemon: &Daemon, req: &Request) -> (u16, Json) {
         .positives(positives)
         .negatives(negatives)
         .pool(epoch.all_indices.clone())
+        .warm_start(daemon.options.warm_train)
         .build()
     {
         Ok(session) => session,
@@ -1167,6 +1352,26 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
         return (404, http::error_body("no such session"));
     };
     let mut session = handle.lock().expect("session mutex");
+    // Priority shedding, checked *before* the marks mutate the session
+    // so a shed request can be retried verbatim. Feedback is cheap only
+    // when the prospective example set already has a cached concept.
+    if priority_overloaded(daemon) {
+        let would_hit = session.query.external_example_counts() == (0, 0) && {
+            let mut pos = session.query.positives().to_vec();
+            pos.extend_from_slice(&positives);
+            let mut neg = session.query.negatives().to_vec();
+            neg.extend_from_slice(&negatives);
+            let key = ConceptKey::new(&pos, &neg, &session.policy_label, session.generation);
+            daemon
+                .cache
+                .lock()
+                .expect("concept cache mutex")
+                .contains(&key)
+        };
+        if !would_hit {
+            return priority_shed_response(daemon);
+        }
+    }
     if let Err(err) = session.query.add_positives(&positives) {
         return core_error_response(&err);
     }
@@ -1178,6 +1383,7 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
     // holding external bags always train for themselves.
     let cacheable = session.query.external_example_counts() == (0, 0);
     let mut cache_hit = false;
+    let mut warm = false;
     if cacheable {
         let key = ConceptKey::new(
             session.query.positives(),
@@ -1194,20 +1400,31 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
                 cache_hit = true;
             }
             None => {
+                warm = session.query.warm_ready();
                 if let Err(err) = session.query.train_round() {
                     return core_error_response(&err);
                 }
-                daemon.cache.lock().expect("concept cache mutex").insert(
-                    key,
-                    CachedConcept {
-                        concept: session.query.shared_concept().expect("just trained"),
-                        nldd: session.query.nldd(),
-                    },
-                );
+                // A warm concept depends on this session's training
+                // history, not just the example sets — caching it would
+                // let one session's trajectory leak into every other
+                // request with the same marks. Only cold (history-free)
+                // rounds feed the shared cache.
+                if !warm {
+                    daemon.cache.lock().expect("concept cache mutex").insert(
+                        key,
+                        CachedConcept {
+                            concept: session.query.shared_concept().expect("just trained"),
+                            nldd: session.query.nldd(),
+                        },
+                    );
+                }
             }
         }
-    } else if let Err(err) = session.query.train_round() {
-        return core_error_response(&err);
+    } else {
+        warm = session.query.warm_ready();
+        if let Err(err) = session.query.train_round() {
+            return core_error_response(&err);
+        }
     }
     let ranking = match session.query.rank(&RankRequest::pool().top(k)) {
         Ok(ranking) => ranking,
@@ -1220,6 +1437,7 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
             ("round".into(), Json::num(session.query.rounds_run() as f64)),
             ("nldd".into(), Json::Num(session.query.nldd())),
             ("cache_hit".into(), Json::Bool(cache_hit)),
+            ("warm".into(), Json::Bool(warm)),
             ("ranking".into(), ranking_json(&ranking)),
         ]),
     )

@@ -323,6 +323,85 @@ fn overload_sheds_with_503_not_timeouts() {
 }
 
 #[test]
+fn overload_sheds_uncached_rank_but_serves_the_cached_one() {
+    let snapshot = snapshot_path("priority_shed", 24);
+    // Threshold = ceil(0.25 * 8) = 2 queued connections; the accept
+    // queue itself (8) never fills, so plain shed_total stays 0 and any
+    // 503 here is the priority path.
+    let daemon = Daemon::spawn(
+        &snapshot,
+        &[
+            "--workers",
+            "1",
+            "--queue-depth",
+            "8",
+            "--priority-shed-fill",
+            "0.25",
+            "--debug-endpoints",
+        ],
+    );
+    let addr = daemon.addr;
+
+    // Train the cacheable concept while the daemon is idle.
+    let warm = daemon.get("/rank?positives=0,4&negatives=1&k=8");
+    assert_eq!(warm.status, 200);
+    let unloaded_page = ranking_of(&warm.json().unwrap());
+
+    // Pin the lone worker, then park a queue: the two ranks go in first,
+    // with filler requests behind them so the queue is still past the
+    // threshold when the worker gets to each rank.
+    let sleeper =
+        std::thread::spawn(move || client::get(addr, "/debug/sleep?ms=2000", TIMEOUT).unwrap());
+    std::thread::sleep(Duration::from_millis(300));
+    let uncached =
+        std::thread::spawn(move || client::get(addr, "/rank?positives=1,5&negatives=0", TIMEOUT));
+    std::thread::sleep(Duration::from_millis(150));
+    let cached = std::thread::spawn(move || {
+        client::get(addr, "/rank?positives=0,4&negatives=1&k=8", TIMEOUT)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let fillers: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || client::get(addr, "/healthz", TIMEOUT).unwrap()))
+        .collect();
+
+    // The uncached rank would buy a DD training run — shed with 503.
+    let response = uncached.join().expect("uncached thread").expect("response");
+    assert_eq!(response.status, 503, "uncached rank must be shed first");
+    assert!(
+        String::from_utf8_lossy(&response.body).contains("shed"),
+        "priority shed response must say so"
+    );
+    // The cached rank is one bounded scan — served, and bit-identical to
+    // the unloaded page.
+    let response = cached.join().expect("cached thread").expect("response");
+    assert_eq!(response.status, 200, "cached rank must survive overload");
+    let json = response.json().unwrap();
+    assert_eq!(json.get("cache_hit").unwrap().as_bool(), Some(true));
+    assert_eq!(ranking_of(&json), unloaded_page);
+    for filler in fillers {
+        assert_eq!(filler.join().expect("filler").status, 200);
+    }
+    assert_eq!(sleeper.join().expect("sleeper").status, 200);
+
+    let metrics = daemon.get("/metrics").json().unwrap();
+    assert!(
+        metrics
+            .get("priority_shed_total")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "priority shed must be counted"
+    );
+    assert_eq!(
+        metrics.get("shed_total").unwrap().as_u64(),
+        Some(0),
+        "the accept queue never filled — every 503 is the priority path"
+    );
+    daemon.drain();
+}
+
+#[test]
 fn protocol_violations_get_4xx_never_a_hang() {
     let snapshot = snapshot_path("protocol", 24);
     let daemon = Daemon::spawn(&snapshot, &["--max-body", "512"]);
@@ -663,5 +742,137 @@ fn snapshot_watcher_reloads_automatically() {
         );
         std::thread::sleep(Duration::from_millis(50));
     }
+    daemon.drain();
+}
+
+#[test]
+fn keepalive_connection_is_bit_identical_to_fresh_connections_across_reload() {
+    // One keep-alive connection interleaving cache misses (train) and
+    // cache hits must see exactly the pages a fresh connection sees —
+    // before, during, and after a live snapshot reload — without ever
+    // redialling.
+    let snapshot = snapshot_path("keepalive_identity", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+    let t0 = "/rank?positives=0,4&negatives=1&k=12";
+    let t1 = "/rank?positives=1,5&negatives=2&k=12";
+    let t2 = "/rank?positives=2,6&negatives=3&k=12";
+
+    let mut conn = client::Connection::new(daemon.addr, TIMEOUT);
+    // Misses first on the keep-alive socket: t0/t1 train here, then the
+    // fresh one-shot connections must reproduce them from the cache.
+    let ka_t0 = {
+        let (response, _) = conn.get_with_info(t0).expect("keep-alive rank");
+        assert_eq!(response.status, 200);
+        ranking_of(&response.json().unwrap())
+    };
+    let ka_t1 = {
+        let (response, _) = conn.get_with_info(t1).expect("keep-alive rank");
+        assert_eq!(response.status, 200);
+        ranking_of(&response.json().unwrap())
+    };
+    assert_eq!(
+        ranking_of(&daemon.get(t0).json().unwrap()),
+        ka_t0,
+        "fresh connection must reproduce the keep-alive-trained page"
+    );
+    assert_eq!(
+        ranking_of(&daemon.get(t1).json().unwrap()),
+        ka_t1,
+        "fresh connection must reproduce the keep-alive-trained page"
+    );
+    // Miss on a fresh connection, hit on the keep-alive socket: the
+    // other direction of the same identity.
+    let fresh_t2 = ranking_of(&daemon.get(t2).json().unwrap());
+    let (response, _) = conn.get_with_info(t2).expect("keep-alive rank");
+    assert_eq!(response.status, 200);
+    let body = response.json().unwrap();
+    assert_eq!(body.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(ranking_of(&body), fresh_t2);
+    assert_eq!(conn.dials(), 1, "an idle daemon must keep the socket open");
+
+    // Live reload through the same keep-alive socket; the connection
+    // survives and serves the new epoch bit-identically to a fresh one.
+    Store::default()
+        .save(&test_database(32, 16), &snapshot)
+        .expect("rewrite snapshot");
+    let (reload, _) = conn
+        .request_with_info("POST", "/snapshot/reload", None)
+        .expect("reload over keep-alive");
+    assert_eq!(reload.status, 200, "{:?}", reload.body);
+    assert_eq!(
+        reload.json().unwrap().get("images").and_then(Json::as_u64),
+        Some(32)
+    );
+    let (after, _) = conn.get_with_info(t0).expect("rank on the new epoch");
+    assert_eq!(after.status, 200);
+    let ka_after = ranking_of(&after.json().unwrap());
+    assert_eq!(
+        ranking_of(&daemon.get(t0).json().unwrap()),
+        ka_after,
+        "new-epoch pages must match across connection styles"
+    );
+    assert_ne!(
+        ka_after, ka_t0,
+        "the reload must actually have swapped epochs"
+    );
+    assert_eq!(
+        conn.dials(),
+        1,
+        "cached and uncached ranks, a reload, and an epoch swap must all \
+         ride one TCP connection"
+    );
+
+    let metrics = daemon.get("/metrics").json().unwrap();
+    let reused = metrics
+        .get("keepalive_reused_total")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        reused >= 4,
+        "reuse counter must reflect the shared socket: {reused}"
+    );
+    daemon.drain();
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses_on_one_socket() {
+    // Three requests written in one burst before reading anything:
+    // HTTP/1.1 pipelining. The daemon must answer all three, in order,
+    // on the same socket.
+    let snapshot = snapshot_path("pipeline", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+    let request =
+        |target: &str| format!("GET {target} HTTP/1.1\r\nHost: milrd\r\nContent-Length: 0\r\n\r\n");
+    let burst = format!(
+        "{}{}{}",
+        request("/healthz"),
+        request("/rank?positives=0,4&negatives=1&k=6"),
+        request("/healthz"),
+    );
+
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("read timeout");
+    stream.write_all(burst.as_bytes()).expect("write burst");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .expect("read all responses");
+    let text = String::from_utf8_lossy(&response);
+
+    assert_eq!(
+        text.matches("HTTP/1.1 200").count(),
+        3,
+        "all three pipelined requests must be answered: {text}"
+    );
+    let first_health = text.find("\"images\"").expect("first healthz body");
+    let ranking = text.find("\"ranking\"").expect("rank body");
+    let last_health = text.rfind("\"images\"").expect("second healthz body");
+    assert!(
+        first_health < ranking && ranking < last_health,
+        "responses must come back in request order"
+    );
     daemon.drain();
 }

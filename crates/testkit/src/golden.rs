@@ -228,6 +228,123 @@ pub fn record_index_trace() -> Result<Json, String> {
     ]))
 }
 
+/// File stem of the warm-start golden trace under `tests/golden/`.
+pub const WARM_TRACE_NAME: &str = "warm_seed7";
+
+/// The golden file name of the warm-start trace.
+#[must_use]
+pub fn warm_trace_file_name() -> String {
+    format!("{WARM_TRACE_NAME}.json")
+}
+
+/// Records warm-start convergence against a cold control: two sessions
+/// on the same seeded corpus receive an identical scripted feedback
+/// protocol, one training cold every round, the other re-seeding each
+/// round's multistart from the previous best solver vector. Per round
+/// the trace pins both trajectories (starts, per-start evaluations,
+/// objective) and the warm concept; the summary pins the total
+/// evaluation counts and their ratio — the convergence saving the
+/// warm-start path claims. Any change to warm seeding, start-bag
+/// reduction, or the solver shows up as a reviewed diff.
+///
+/// # Errors
+/// A description of a session build or training failure.
+pub fn record_warm_trace() -> Result<Json, String> {
+    let (images, dim, seed, rounds) = (24usize, 8usize, 7u64, 3usize);
+    // One scripted mark pair per inter-round gap: a fresh category-0
+    // positive and a fresh off-category negative, all pool members.
+    let marks: [(usize, usize); 2] = [(12, 6), (16, 7)];
+    let db = synthetic_database(images, dim, seed);
+    let config = RetrievalConfig {
+        threads: 1, // single-threaded: evaluation order is part of the trace
+        policy: parse_policy("identical")?,
+        feedback_rounds: rounds,
+        initial_positives: 2,
+        initial_negatives: 2,
+        max_iterations: 40,
+        ..RetrievalConfig::default()
+    };
+    let pool: Vec<usize> = (0..db.len()).filter(|i| i % 3 != 2).collect();
+    let test: Vec<usize> = (0..db.len()).filter(|i| i % 3 == 2).collect();
+    let build = |warm: bool| {
+        QuerySession::builder(&db)
+            .config(&config)
+            .target(0)
+            .pool(pool.clone())
+            .test(test.clone())
+            .warm_start(warm)
+            .build()
+            .map_err(|e| e.to_string())
+    };
+    let mut cold = build(false)?;
+    let mut warm = build(true)?;
+    let mut round_objects = Vec::with_capacity(rounds);
+    let (mut cold_total, mut warm_total) = (0usize, 0usize);
+    for round in 1..=rounds {
+        let cold_result = cold.train_round_traced().map_err(|e| e.to_string())?;
+        let warm_result = warm.train_round_traced().map_err(|e| e.to_string())?;
+        cold_total += cold_result.start_evaluations.iter().sum::<usize>();
+        warm_total += warm_result.start_evaluations.iter().sum::<usize>();
+        let leg = |result: &milr_mil::TrainResult| {
+            Json::Obj(vec![
+                ("starts".into(), Json::num(result.starts as f64)),
+                (
+                    "evaluations".into(),
+                    counts(result.start_evaluations.clone()),
+                ),
+                ("nldd".into(), Json::Num(result.nldd)),
+            ])
+        };
+        round_objects.push(Json::Obj(vec![
+            ("round".into(), Json::num(round as f64)),
+            ("positives".into(), Json::indices(cold.positives())),
+            ("negatives".into(), Json::indices(cold.negatives())),
+            ("cold".into(), leg(&cold_result)),
+            ("warm".into(), leg(&warm_result)),
+            (
+                "warm_point".into(),
+                nums(warm_result.concept.point().to_vec()),
+            ),
+            (
+                "warm_weights".into(),
+                nums(warm_result.concept.weights().to_vec()),
+            ),
+        ]));
+        if round < rounds {
+            // Identical marks on both sessions: concept divergence must
+            // never contaminate the cold-vs-warm comparison.
+            let (positive, negative) = marks[round - 1];
+            for session in [&mut cold, &mut warm] {
+                session
+                    .add_positives(&[positive])
+                    .map_err(|e| e.to_string())?;
+                session
+                    .add_negatives(&[negative])
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(Json::Obj(vec![
+        ("case".into(), Json::str(WARM_TRACE_NAME)),
+        ("seed".into(), Json::num(seed as f64)),
+        ("images".into(), Json::num(images as f64)),
+        ("dim".into(), Json::num(dim as f64)),
+        ("policy".into(), Json::str("identical")),
+        ("rounds".into(), Json::Arr(round_objects)),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                ("cold_evaluations".into(), Json::num(cold_total as f64)),
+                ("warm_evaluations".into(), Json::num(warm_total as f64)),
+                (
+                    "speedup".into(),
+                    Json::Num(cold_total as f64 / warm_total as f64),
+                ),
+            ]),
+        ),
+    ]))
+}
+
 /// Structural diff of two traces. Returns one readable, path-qualified
 /// line per difference (`rounds[1].nldd: golden 3.2 != actual 3.4`);
 /// empty means the traces agree byte-for-byte.
@@ -296,6 +413,48 @@ mod tests {
         let b = record_index_trace().unwrap();
         assert_eq!(a.dump(), b.dump(), "index geometry must trace identically");
         assert!(compare_traces(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn warm_trace_is_byte_stable_and_shows_a_saving() {
+        let a = record_warm_trace().unwrap();
+        let b = record_warm_trace().unwrap();
+        assert_eq!(a.dump(), b.dump(), "warm trace must record identically");
+        assert!(compare_traces(&a, &b).is_empty());
+        // The trace's own claim must hold: warm rounds spend strictly
+        // fewer objective evaluations than the cold control.
+        let Json::Obj(fields) = &a else {
+            panic!("trace is an object")
+        };
+        let summary = fields
+            .iter()
+            .find(|(k, _)| k == "summary")
+            .map(|(_, v)| v)
+            .expect("trace has summary");
+        let Json::Obj(summary) = summary else {
+            panic!("summary is an object")
+        };
+        let num = |key: &str| {
+            summary
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| match v {
+                    Json::Num(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("summary has numeric {key}"))
+        };
+        assert!(
+            num("warm_evaluations") < num("cold_evaluations"),
+            "warm must spend fewer evaluations: warm {} vs cold {}",
+            num("warm_evaluations"),
+            num("cold_evaluations")
+        );
+        assert!(
+            num("speedup") > 1.0,
+            "speedup {} must exceed 1",
+            num("speedup")
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ fn print_usage() {
          milr serve    --snapshot DB.milr|DIR [--addr HOST:PORT] [--workers N]\n                \
          [--queue-depth N] [--cache-capacity N] [--page K] [--policy POLICY]\n                \
          [--read-timeout-ms N] [--handle-deadline-ms N] [--max-body N]\n                \
-         [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n                \
+         [--keepalive-requests N] [--keepalive-burst N] [--keepalive-turn-ms N]\n                \
+         [--idle-timeout-ms N] [--priority-shed-fill F]\n                \
+         [--warm-train true|false] [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n                \
          [--watch-snapshot] [--watch-interval-ms N]\n  \
          milr serve    --role coordinator --snapshot DIR --worker-addrs H:P[,H:P...]\n                \
          [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--page K]\n                \
@@ -388,6 +390,38 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("invalid --handle-deadline-ms {text:?}"))?;
         options.handle_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--keepalive-requests") {
+        options.keepalive_requests = text
+            .parse()
+            .map_err(|_| format!("invalid --keepalive-requests {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--keepalive-burst") {
+        options.keepalive_burst = text
+            .parse()
+            .map_err(|_| format!("invalid --keepalive-burst {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--keepalive-turn-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --keepalive-turn-ms {text:?}"))?;
+        options.keepalive_turn = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--idle-timeout-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("invalid --idle-timeout-ms {text:?}"))?;
+        options.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(text) = flag(args, "--priority-shed-fill") {
+        options.priority_shed_fill = text
+            .parse()
+            .map_err(|_| format!("invalid --priority-shed-fill {text:?}"))?;
+    }
+    if let Some(text) = flag(args, "--warm-train") {
+        options.warm_train = text
+            .parse()
+            .map_err(|_| format!("invalid --warm-train {text:?}"))?;
     }
     if let Some(text) = flag(args, "--max-body") {
         options.max_body = text
@@ -775,8 +809,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 /// caused it can be reviewed, then exits non-zero.
 fn cmd_golden(args: &[String]) -> Result<(), String> {
     use milr::testkit::{
-        compare_traces, index_trace_file_name, record_index_trace, record_trace, standard_cases,
-        INDEX_TRACE_NAME,
+        compare_traces, index_trace_file_name, record_index_trace, record_trace, record_warm_trace,
+        standard_cases, warm_trace_file_name, INDEX_TRACE_NAME, WARM_TRACE_NAME,
     };
     let dir = PathBuf::from(flag(args, "--dir").unwrap_or_else(|| "tests/golden".into()));
     let bless = args.iter().any(|a| a == "--bless");
@@ -784,7 +818,8 @@ fn cmd_golden(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
     }
     let mut failures = 0usize;
-    // The training traces, plus the coarse-index geometry trace.
+    // The training traces, plus the coarse-index geometry trace and the
+    // warm-vs-cold convergence trace.
     let mut traces: Vec<(String, String, milr::serve::Json)> = Vec::new();
     for case in standard_cases() {
         traces.push((
@@ -797,6 +832,11 @@ fn cmd_golden(args: &[String]) -> Result<(), String> {
         INDEX_TRACE_NAME.to_string(),
         index_trace_file_name(),
         record_index_trace()?,
+    ));
+    traces.push((
+        WARM_TRACE_NAME.to_string(),
+        warm_trace_file_name(),
+        record_warm_trace()?,
     ));
     for (name, file_name, actual) in traces {
         let path = dir.join(file_name);

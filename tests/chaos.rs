@@ -15,6 +15,12 @@
 //!   at quiescence;
 //! * a drain requested while chaos connections are in flight finishes
 //!   cleanly (`milrd drained`, exit 0).
+//!
+//! Setting `CHAOS_KEEPALIVE=1` re-runs the whole suite with aggressive
+//! keep-alive serving (high per-connection request cap, tiny yield
+//! burst, short idle timeout) so every contract above — including the
+//! conservation law — is also proven over long-lived, mid-connection-
+//! faulted sockets rather than only one-shot exchanges.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -36,6 +42,14 @@ fn chaos_seed() -> u64 {
             .unwrap_or_else(|_| panic!("CHAOS_SEED must be an integer, got {text:?}")),
         Err(_) => DEFAULT_SEED,
     }
+}
+
+/// `CHAOS_KEEPALIVE=1` flips the daemon under test into an aggressive
+/// keep-alive configuration; anything else (or unset) keeps the
+/// defaults. The faults and assertions are identical either way — only
+/// the connection lifetimes change.
+fn keepalive_variant() -> bool {
+    std::env::var("CHAOS_KEEPALIVE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// A `milr serve` child process bound to an ephemeral port, killed on
@@ -68,11 +82,26 @@ impl DaemonUnderTest {
         snapshot: &std::path::Path,
         extra_args: &[&str],
     ) -> DaemonUnderTest {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_milr"))
+        let mut command = Command::new(env!("CARGO_BIN_EXE_milr"));
+        command
             .arg("serve")
             .args(["--snapshot", snapshot.to_str().unwrap()])
             .args(["--addr", "127.0.0.1:0"])
-            .args(extra_args)
+            .args(extra_args);
+        if keepalive_variant() {
+            // Appended after `extra_args`, whose first occurrence of a
+            // flag wins — a test pinning its own keep-alive knobs keeps
+            // them even under the variant.
+            command.args([
+                "--keepalive-requests",
+                "64",
+                "--keepalive-burst",
+                "4",
+                "--idle-timeout-ms",
+                "400",
+            ]);
+        }
+        let mut child = command
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()

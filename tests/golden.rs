@@ -9,7 +9,9 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use milr::serve::Json;
-use milr::testkit::{compare_traces, record_trace, standard_cases};
+use milr::testkit::{
+    compare_traces, record_trace, record_warm_trace, standard_cases, warm_trace_file_name,
+};
 
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -36,6 +38,26 @@ fn committed_traces_match_live_training() {
             diffs.join("\n  ")
         );
     }
+}
+
+#[test]
+fn committed_warm_trace_matches_live_convergence() {
+    let path = golden_dir().join(warm_trace_file_name());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing warm golden trace {} ({e}); regenerate with `milr golden --bless`",
+            path.display()
+        )
+    });
+    let golden = Json::parse(text.trim()).expect("committed warm trace parses");
+    let actual = record_warm_trace().expect("warm trace records");
+    let diffs = compare_traces(&golden, &actual);
+    assert!(
+        diffs.is_empty(),
+        "warm golden trace diverged — warm seeding, start-bag reduction, or \
+         the solver changed. Review, then `milr golden --bless` if intended:\n  {}",
+        diffs.join("\n  ")
+    );
 }
 
 #[test]
