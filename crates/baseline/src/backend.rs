@@ -1,0 +1,119 @@
+//! The baseline's SBN colour extractor as a [`FeatureBackend`], plus
+//! the backend name registry.
+//!
+//! `milr-core` defines the trait and the default gray-block backend; the
+//! baseline crate contributes the second implementation and the lookup
+//! table (`milr-core` cannot depend on this crate), which is what the
+//! CLI's `--backend` flag and the scenario benchmark resolve through.
+
+use std::sync::Arc;
+
+use milr_core::{CoreError, FeatureBackend, GrayBlockBackend, RetrievalConfig};
+use milr_imgproc::{GrayImage, RgbImage};
+use milr_mil::Bag;
+
+use crate::sbn::{sbn_bag, BLOB, GRID, SBN_DIM};
+
+/// Wire/CLI id of the SBN colour backend.
+pub const SBN_ID: &str = "sbn";
+
+/// Maron & Lakshmi Ratan's "single blob with neighbours" colour
+/// extractor ([`sbn_bag`]) behind the [`FeatureBackend`] trait: 15-dim
+/// instances (blob RGB + four neighbour differences) on an 8×8
+/// mean-colour grid. Gray input replicates the luminance into all three
+/// channels, so gray corpora remain usable — the colour differences then
+/// measure pure intensity structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SbnBackend;
+
+impl FeatureBackend for SbnBackend {
+    fn id(&self) -> &'static str {
+        SBN_ID
+    }
+
+    fn params(&self, _config: &RetrievalConfig) -> Vec<(String, f64)> {
+        vec![
+            ("grid".to_string(), GRID as f64),
+            ("blob".to_string(), BLOB as f64),
+        ]
+    }
+
+    fn feature_dim(&self, _config: &RetrievalConfig) -> usize {
+        SBN_DIM
+    }
+
+    fn gray_bag(&self, image: &GrayImage, _config: &RetrievalConfig) -> Result<Bag, CoreError> {
+        let rgb = RgbImage::from_fn(image.width(), image.height(), |x, y| [image.get(x, y); 3])
+            .map_err(CoreError::Image)?;
+        sbn_bag(&rgb).map_err(CoreError::Mil)
+    }
+
+    fn color_bag(&self, image: &RgbImage, _config: &RetrievalConfig) -> Result<Bag, CoreError> {
+        sbn_bag(image).map_err(CoreError::Mil)
+    }
+}
+
+/// Resolves a backend id to its implementation — `gray-block` and `sbn`
+/// today. `None` for unknown ids; callers turn that into their own
+/// clean reject (CLI usage error, daemon 400).
+pub fn feature_backend(id: &str) -> Option<Arc<dyn FeatureBackend>> {
+    match id {
+        milr_core::backend::GRAY_BLOCK_ID => Some(Arc::new(GrayBlockBackend)),
+        SBN_ID => Some(Arc::new(SbnBackend)),
+        _ => None,
+    }
+}
+
+/// Every registered backend id, in registry order (the scenario
+/// benchmark's column order).
+pub const BACKEND_IDS: [&str; 2] = [milr_core::backend::GRAY_BLOCK_ID, SBN_ID];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_listed_backend() {
+        for id in BACKEND_IDS {
+            let backend = feature_backend(id).unwrap_or_else(|| panic!("{id} must resolve"));
+            assert_eq!(backend.id(), id);
+        }
+        assert!(feature_backend("histogram").is_none());
+        assert!(feature_backend("").is_none());
+    }
+
+    #[test]
+    fn sbn_backend_matches_the_direct_extractor() {
+        let config = RetrievalConfig::default();
+        let rgb = RgbImage::from_fn(32, 32, |x, y| {
+            [(x * 8) as f32, (y * 8) as f32, ((x + y) * 4) as f32]
+        })
+        .unwrap();
+        let via_backend = SbnBackend.color_bag(&rgb, &config).unwrap();
+        assert_eq!(via_backend, sbn_bag(&rgb).unwrap());
+        assert_eq!(via_backend.dim(), SBN_DIM);
+        assert_eq!(SbnBackend.feature_dim(&config), SBN_DIM);
+    }
+
+    #[test]
+    fn sbn_gray_input_replicates_luminance() {
+        let config = RetrievalConfig::default();
+        let gray = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 3) % 200) as f32).unwrap();
+        let bag = SbnBackend.gray_bag(&gray, &config).unwrap();
+        assert_eq!(bag.dim(), SBN_DIM);
+        // Replicated channels ⇒ R = G = B in every instance's blob mean.
+        for inst in bag.instances() {
+            assert_eq!(inst[0], inst[1]);
+            assert_eq!(inst[1], inst[2]);
+        }
+    }
+
+    #[test]
+    fn backend_tags_distinguish_the_two_pipelines() {
+        let config = RetrievalConfig::default();
+        let gray_tag = GrayBlockBackend.tag(&config);
+        let sbn_tag = SbnBackend.tag(&config);
+        assert_ne!(gray_tag.id, sbn_tag.id);
+        assert_eq!(sbn_tag.params[0], ("grid".to_string(), 8.0));
+    }
+}

@@ -28,10 +28,12 @@
 //! own on colour-coded natural scenes but collapses on the object
 //! database — the paper's headline comparison (Figs. 4-20/4-21).
 
+pub mod backend;
 pub mod histogram;
 pub mod retrieval;
 pub mod rows;
 pub mod sbn;
 
+pub use backend::{feature_backend, SbnBackend, BACKEND_IDS, SBN_ID};
 pub use histogram::HistogramDatabase;
 pub use retrieval::{color_retrieval_database, ColorBagGenerator};

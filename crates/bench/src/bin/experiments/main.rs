@@ -40,11 +40,13 @@
 //! | ext-beta  | §5 future work: automatic β selection on the pool     |
 //! | perf      | hot-path timings → BENCH_hotpath.json                 |
 //! | loadgen   | daemon load test over sockets → BENCH_serve.json      |
+//! | scenarios | sub-image feedback grid → BENCH_scenarios.json        |
 
 mod ch3;
 mod ch4;
 mod loadgen;
 mod perf;
+mod scenarios;
 
 use std::time::Instant;
 
@@ -82,9 +84,11 @@ const ALL: &[&str] = &[
 ];
 
 /// Ids runnable on request but excluded from `all`: the β-selection
-/// sweep is far slower than any figure, and the perf/loadgen harnesses
-/// want a quiet machine, not one warmed by hours of other experiments.
-const STANDALONE: &[&str] = &["ext-beta", "perf", "loadgen"];
+/// sweep is far slower than any figure, the perf/loadgen harnesses want
+/// a quiet machine, not one warmed by hours of other experiments, and
+/// the scenario grid pins its own corpus (it ignores `--quick`/`--seed`
+/// so its artifact can be gated for exact reproducibility).
+const STANDALONE: &[&str] = &["ext-beta", "perf", "loadgen", "scenarios"];
 
 fn main() {
     let mut scale = Scale::Full;
@@ -155,6 +159,7 @@ fn main() {
             "ext-beta" => ch4::ext_beta(scale, seed),
             "perf" => perf::perf(scale, seed),
             "loadgen" => loadgen::loadgen(scale, seed, mix.as_deref()),
+            "scenarios" => scenarios::scenarios(),
             other => usage(&format!("unknown experiment id {other:?}")),
         }
         println!("\n[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());

@@ -47,7 +47,7 @@ use milr_core::database::Ranking;
 use milr_core::error::CoreError;
 use milr_core::storage::storage_err;
 use milr_core::{QuerySession, RetrievalConfig, RetrievalDatabase};
-use milr_mil::Concept;
+use milr_mil::{BagAggregator, Concept};
 use milr_serve::cache::{CachedConcept, ConceptCache, ConceptKey};
 use milr_serve::client;
 use milr_serve::http::Request;
@@ -257,6 +257,7 @@ impl CoordinatorDaemon {
     /// once — resync-then-retry for a `409` generation rejection, a
     /// fresh dial for a transport error. Returns the worker's subset
     /// top-k, or [`None`] when the worker is degraded out of this rank.
+    #[allow(clippy::too_many_arguments)]
     fn query_worker(
         &self,
         slot: &WorkerSlot,
@@ -264,11 +265,20 @@ impl CoordinatorDaemon {
         concept: &Concept,
         k: usize,
         shared: &SharedBound,
+        aggregator: BagAggregator,
     ) -> Option<Ranking> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let bound = shared.get();
+            // The shared k-th-best bound is a *min-distance* pruning
+            // aid; non-min keys are exact folds that never prune, so
+            // the coordinator neither forwards nor collects bounds for
+            // them (the bound_* counters stay pinned at zero).
+            let bound = if aggregator.is_min() {
+                shared.get()
+            } else {
+                f64::INFINITY
+            };
             if bound.is_finite() {
                 self.counters.bound_forwarded_total.inc();
             }
@@ -277,6 +287,7 @@ impl CoordinatorDaemon {
                 k,
                 bound,
                 concept: concept.clone(),
+                aggregator,
             };
             let mut conn = slot.checkout(self.options.worker_deadline);
             let start = Instant::now();
@@ -293,7 +304,7 @@ impl CoordinatorDaemon {
                             );
                             slot.checkin(conn);
                             self.note_success(slot);
-                            if k > 0 && reply.ranking.len() >= k {
+                            if aggregator.is_min() && k > 0 && reply.ranking.len() >= k {
                                 let kth = reply.ranking[k - 1].1;
                                 if shared.tighten(kth) {
                                     self.counters.bound_tightenings_total.inc();
@@ -327,7 +338,13 @@ impl CoordinatorDaemon {
     /// Fans the concept out over the fleet and returns the per-worker
     /// gather inputs in slot order. Unhealthy workers and workers that
     /// fail both attempts surface as `ranking: None`.
-    fn scatter(&self, epoch: &CoordinatorEpoch, concept: &Concept, k: usize) -> Vec<GatherInput> {
+    fn scatter(
+        &self,
+        epoch: &CoordinatorEpoch,
+        concept: &Concept,
+        k: usize,
+        aggregator: BagAggregator,
+    ) -> Vec<GatherInput> {
         let shared = SharedBound::new();
         let jobs: Vec<&WorkerSlot> = self
             .slots
@@ -338,7 +355,7 @@ impl CoordinatorDaemon {
         if self.options.sequential_fanout {
             for slot in &jobs {
                 results.push(if slot.healthy.load(Ordering::Relaxed) {
-                    self.query_worker(slot, epoch, concept, k, &shared)
+                    self.query_worker(slot, epoch, concept, k, &shared, aggregator)
                 } else {
                     None
                 });
@@ -351,7 +368,7 @@ impl CoordinatorDaemon {
                         let shared = &shared;
                         scope.spawn(move || {
                             if slot.healthy.load(Ordering::Relaxed) {
-                                self.query_worker(slot, epoch, concept, k, shared)
+                                self.query_worker(slot, epoch, concept, k, shared, aggregator)
                             } else {
                                 None
                             }
@@ -407,6 +424,13 @@ impl CoordinatorDaemon {
                 Err(_) => return Reply::error(400, format!("invalid k {v:?}")),
             },
         };
+        let aggregator = match req.query_param("aggregator") {
+            None => BagAggregator::MinDistance,
+            Some(label) => match BagAggregator::parse(label) {
+                Some(agg) => agg,
+                None => return Reply::error(400, format!("unknown aggregator {label:?}")),
+            },
+        };
         let (config, policy_label) = match req.query_param("policy") {
             None => (Arc::clone(&self.config), self.config.policy.label()),
             Some(spec) => {
@@ -453,7 +477,7 @@ impl CoordinatorDaemon {
                 }
             }
         };
-        let inputs = self.scatter(&epoch, &cached.concept, k);
+        let inputs = self.scatter(&epoch, &cached.concept, k, aggregator);
         for input in &inputs {
             let owned = input.shard_ids.len() as u64;
             if input.ranking.is_some() {
@@ -487,6 +511,7 @@ impl CoordinatorDaemon {
             200,
             Json::Obj(vec![
                 ("ranking".into(), ranking_json(&live_ranking)),
+                ("aggregator".into(), Json::str(aggregator.label())),
                 ("cache_hit".into(), Json::Bool(cache_hit)),
                 ("nldd".into(), Json::Num(cached.nldd)),
                 ("partial".into(), Json::Bool(gathered.partial)),

@@ -13,7 +13,7 @@
 //! directly by proptests against the single-node scatter.
 
 use milr_core::database::Ranking;
-use milr_mil::Concept;
+use milr_mil::{BagAggregator, Concept};
 use milr_serve::Json;
 use milr_store::{merge_rankings, ManifestSummary};
 
@@ -45,6 +45,11 @@ pub struct WorkerRankRequest {
     pub bound: f64,
     /// The trained concept to rank against.
     pub concept: Concept,
+    /// How each bag's instance distances reduce to its ranking key.
+    /// Emitted on the wire only when non-default, so scatter requests
+    /// to workers predating the field are byte-identical to before;
+    /// a missing field parses as min-distance.
+    pub aggregator: BagAggregator,
 }
 
 impl WorkerRankRequest {
@@ -56,6 +61,9 @@ impl WorkerRankRequest {
         ];
         if self.bound.is_finite() {
             fields.push(("bound".into(), Json::Num(self.bound)));
+        }
+        if !self.aggregator.is_min() {
+            fields.push(("aggregator".into(), Json::str(self.aggregator.label())));
         }
         fields.push((
             "point".into(),
@@ -113,11 +121,20 @@ impl WorkerRankRequest {
         if point.iter().any(|v| !v.is_finite()) {
             return Err("point must hold finite numbers".into());
         }
+        let aggregator = match json.get("aggregator") {
+            None => BagAggregator::MinDistance,
+            Some(v) => {
+                let label = v.as_str().ok_or("aggregator must be a string")?;
+                BagAggregator::parse(label)
+                    .ok_or_else(|| format!("unknown aggregator '{label}'"))?
+            }
+        };
         Ok(Self {
             generation,
             k,
             bound,
             concept: Concept::new(point, weights),
+            aggregator,
         })
     }
 }
@@ -319,19 +336,24 @@ mod tests {
             k: 5,
             bound: 0.1 + 0.2, // a value with no short decimal form
             concept: Concept::new(vec![1.5, -2.25, 1e-300], vec![0.1, 2.0, 3.5]),
+            aggregator: BagAggregator::MinDistance,
         };
         let json = Json::parse(&request.to_json().dump()).unwrap();
+        // The default aggregator is omitted on the wire: the scatter
+        // request is byte-compatible with workers predating the field.
+        assert!(json.get("aggregator").is_none());
         let back = WorkerRankRequest::from_json(&json).unwrap();
         assert_eq!(back.generation, 7);
         assert_eq!(back.k, 5);
         assert_eq!(back.bound.to_bits(), request.bound.to_bits());
+        assert_eq!(back.aggregator, BagAggregator::MinDistance);
         for (a, b) in back.concept.point().iter().zip(request.concept.point()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         // An infinite bound is simply omitted on the wire.
         let unbounded = WorkerRankRequest {
             bound: f64::INFINITY,
-            ..request
+            ..request.clone()
         };
         let json = Json::parse(&unbounded.to_json().dump()).unwrap();
         assert!(json.get("bound").is_none());
@@ -339,6 +361,29 @@ mod tests {
             WorkerRankRequest::from_json(&json).unwrap().bound,
             f64::INFINITY
         );
+        // Non-default aggregators ride the wire by label and round-trip.
+        for aggregator in BagAggregator::ALL {
+            let tagged = WorkerRankRequest {
+                aggregator,
+                ..request.clone()
+            };
+            let json = Json::parse(&tagged.to_json().dump()).unwrap();
+            assert_eq!(
+                WorkerRankRequest::from_json(&json).unwrap().aggregator,
+                aggregator
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_aggregators_are_rejected() {
+        for raw in [
+            r#"{"generation": 0, "k": 1, "aggregator": "softmax", "point": [1], "weights": [1]}"#,
+            r#"{"generation": 0, "k": 1, "aggregator": 3, "point": [1], "weights": [1]}"#,
+        ] {
+            let json = Json::parse(raw).unwrap();
+            assert!(WorkerRankRequest::from_json(&json).is_err(), "{raw}");
+        }
     }
 
     #[test]
@@ -443,6 +488,7 @@ mod tests {
                 },
             ],
             tombstones: Default::default(),
+            backend: Default::default(),
         };
         assert_eq!(missing_ranges(&summary, &[0, 1]), vec![(0, 20)]);
         assert_eq!(missing_ranges(&summary, &[0, 2]), vec![(0, 10), (20, 24)]);

@@ -80,6 +80,7 @@ struct WorkerDaemon {
     ranks_total: Arc<milr_obs::Counter>,
     bound_seeded_total: Arc<milr_obs::Counter>,
     generation_rejects_total: Arc<milr_obs::Counter>,
+    aggregator_rejects_total: Arc<milr_obs::Counter>,
     started: Instant,
 }
 
@@ -139,11 +140,31 @@ impl WorkerDaemon {
     }
 
     fn handle_rank(&self, req: &Request) -> Reply {
-        let body = match std::str::from_utf8(&req.body)
+        let json = match std::str::from_utf8(&req.body)
             .map_err(|_| "body is not UTF-8".to_string())
             .and_then(Json::parse)
-            .and_then(|json| WorkerRankRequest::from_json(&json))
         {
+            Ok(json) => json,
+            Err(msg) => return Reply::error(400, msg),
+        };
+        // An aggregator label this worker does not recognise is protocol
+        // skew (a newer coordinator), not a malformed request: reject it
+        // 409-style like a generation mismatch, so the coordinator
+        // degrades to a clean partial page instead of merging a page
+        // this worker would have scored under a different key.
+        if let Some(label) = json.get("aggregator").and_then(Json::as_str) {
+            if milr_mil::BagAggregator::parse(label).is_none() {
+                self.aggregator_rejects_total.inc();
+                return Reply::json(
+                    409,
+                    Json::Obj(vec![(
+                        "error".into(),
+                        Json::str(format!("unknown aggregator '{label}'")),
+                    )]),
+                );
+            }
+        }
+        let body = match WorkerRankRequest::from_json(&json) {
             Ok(parsed) => parsed,
             Err(msg) => return Reply::error(400, msg),
         };
@@ -166,14 +187,16 @@ impl WorkerDaemon {
             );
         }
         let bound_seeded = body.bound.is_finite();
-        let scan =
-            match epoch
-                .subset
-                .rank_top_k(&body.concept, body.k, body.bound, self.options.threads)
-            {
-                Ok(scan) => scan,
-                Err(err) => return Reply::error(400, err.to_string()),
-            };
+        let scan = match epoch.subset.rank_top_k_with(
+            &body.concept,
+            body.k,
+            body.bound,
+            self.options.threads,
+            body.aggregator,
+        ) {
+            Ok(scan) => scan,
+            Err(err) => return Reply::error(400, err.to_string()),
+        };
         self.ranks_total.inc();
         if bound_seeded {
             self.bound_seeded_total.inc();
@@ -277,6 +300,10 @@ impl WorkerDaemon {
                         "generation_rejects_total".into(),
                         Json::num(self.generation_rejects_total.get() as f64),
                     ),
+                    (
+                        "aggregator_rejects_total".into(),
+                        Json::num(self.aggregator_rejects_total.get() as f64),
+                    ),
                 ]),
             ),
             ("rank".into(), milr_serve::metrics::rank_counters_json()),
@@ -359,6 +386,7 @@ impl Worker {
             ranks_total: registry.counter("milrd_worker_ranks_total"),
             bound_seeded_total: registry.counter("milrd_worker_bound_seeded_total"),
             generation_rejects_total: registry.counter("milrd_worker_generation_rejects_total"),
+            aggregator_rejects_total: registry.counter("milrd_worker_aggregator_rejects_total"),
             epoch: Mutex::new(Arc::new(epoch)),
             metrics: Arc::clone(&metrics),
             options: options.clone(),

@@ -82,7 +82,9 @@ fn scatter_inputs(
         .iter()
         .map(|ids| {
             let subset = ShardSubset::open(dir, ids).unwrap();
-            let scan = subset.rank_top_k(concept, k, bound, 1).unwrap();
+            let scan = subset
+                .rank_top_k_with(concept, k, bound, 1, milr_mil::BagAggregator::MinDistance)
+                .unwrap();
             GatherInput {
                 shard_ids: ids.clone(),
                 ranking: Some(scan.ranking),

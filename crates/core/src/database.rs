@@ -22,7 +22,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use milr_imgproc::GrayImage;
-use milr_mil::{Bag, Concept};
+use milr_mil::{Bag, BagAggregator, Concept};
 use milr_optim::pool;
 
 use crate::config::RetrievalConfig;
@@ -85,6 +85,14 @@ pub struct RankRequest {
     /// exists for measurement and regression baselines. Defaults to
     /// `true`; the monolithic ranking path ignores it.
     pub use_index: bool,
+    /// How each bag's instance distances reduce to its ranking key
+    /// (DESIGN.md §14). The default [`BagAggregator::MinDistance`] is
+    /// the paper's key and routes through the pruned/screened/indexed
+    /// kernels bit-identically to before this field existed; any other
+    /// aggregator takes the exact path — every instance scored, no
+    /// partial-distance abandon, no i8 screen, no cell skip — because
+    /// those tiers' proofs only bound the *minimum*.
+    pub aggregator: BagAggregator,
 }
 
 impl Default for RankRequest {
@@ -94,6 +102,7 @@ impl Default for RankRequest {
             top_k: None,
             threads: 0,
             use_index: true,
+            aggregator: BagAggregator::MinDistance,
         }
     }
 }
@@ -148,6 +157,13 @@ impl RankRequest {
     #[must_use]
     pub fn index(mut self, use_index: bool) -> Self {
         self.use_index = use_index;
+        self
+    }
+
+    /// Sets the bag aggregation policy (see [`Self::aggregator`]).
+    #[must_use]
+    pub fn aggregator(mut self, aggregator: BagAggregator) -> Self {
+        self.aggregator = aggregator;
         self
     }
 }
@@ -366,7 +382,13 @@ impl RetrievalDatabase {
             RankScope::Pool => return Err(CoreError::InvalidScope { scope: "pool" }),
             RankScope::Test => return Err(CoreError::InvalidScope { scope: "test" }),
         };
-        self.rank_candidates(concept, candidates, request.top_k, request.threads)
+        self.rank_candidates(
+            concept,
+            candidates,
+            request.top_k,
+            request.threads,
+            request.aggregator,
+        )
     }
 
     /// The shared ranking engine behind [`Self::rank`] and the session
@@ -377,29 +399,45 @@ impl RetrievalDatabase {
         candidates: &[usize],
         top_k: Option<usize>,
         threads: usize,
+        aggregator: BagAggregator,
     ) -> Result<Ranking, CoreError> {
         for &index in candidates {
             self.bag(index)?;
         }
         match top_k {
-            Some(k) => self.rank_bounded(concept, candidates, k),
-            None => self.rank_full(concept, candidates, threads),
+            Some(k) => self.rank_bounded(concept, candidates, k, aggregator),
+            None => self.rank_full(concept, candidates, threads, aggregator),
         }
     }
 
-    /// Full parallel ranking: score, index-ordered merge, sort.
+    /// Full parallel ranking: score, index-ordered merge, sort. The
+    /// min-distance arm is byte-for-byte the pre-aggregator fan-out;
+    /// non-min aggregators swap only the per-bag scorer for the exact
+    /// fold ([`Concept::bag_aggregate`]).
     fn rank_full(
         &self,
         concept: &Concept,
         candidates: &[usize],
         threads: usize,
+        aggregator: BagAggregator,
     ) -> Result<Ranking, CoreError> {
         let _span = milr_obs::span!("rank.full");
         let started = std::time::Instant::now();
-        let mut scored = pool::run_indexed(candidates.len(), threads, |i| {
-            let index = candidates[i];
-            (index, concept.bag_distance_sq(&self.bags[index]))
-        });
+        let mut scored = if aggregator.is_min() {
+            pool::run_indexed(candidates.len(), threads, |i| {
+                let index = candidates[i];
+                (index, concept.bag_distance_sq(&self.bags[index]))
+            })
+        } else {
+            pool::run_indexed(candidates.len(), threads, |i| {
+                let index = candidates[i];
+                let mut scratch = Vec::new();
+                (
+                    index,
+                    concept.bag_aggregate(&self.bags[index], aggregator, &mut scratch),
+                )
+            })
+        };
         sort_ranking(&mut scored);
         milr_obs::counter!("milr_rank_candidates_total").add(candidates.len() as u64);
         milr_obs::histogram!("milr_rank_latency_us").record(started.elapsed().as_micros() as u64);
@@ -411,11 +449,18 @@ impl RetrievalDatabase {
     /// pair, so its instances are abandoned (partial-distance pruning) as
     /// soon as they cannot enter the top `k`. The bound only skips work,
     /// never changes the result.
+    ///
+    /// Partial-distance pruning bounds the bag *minimum*, so a non-min
+    /// aggregator scores every candidate exactly instead (the heap and
+    /// tie-break are unchanged, and the result still equals the full
+    /// ranking truncated to `k`); `milr_rank_topk_pruned_total` then
+    /// stays at zero by construction — a pinned invariant.
     fn rank_bounded(
         &self,
         concept: &Concept,
         candidates: &[usize],
         k: usize,
+        aggregator: BagAggregator,
     ) -> Result<Ranking, CoreError> {
         if k == 0 {
             return Ok(Vec::new());
@@ -423,11 +468,17 @@ impl RetrievalDatabase {
         let _span = milr_obs::span!("rank.topk");
         let started = std::time::Instant::now();
         let mut pruned = 0u64;
+        let mut scratch = Vec::new();
         let mut heap: BinaryHeap<WorstCandidate> = BinaryHeap::with_capacity(k + 1);
         for &index in candidates {
             let bag = &self.bags[index];
             if heap.len() < k {
-                heap.push(WorstCandidate(concept.bag_distance_sq(bag), index));
+                let d = if aggregator.is_min() {
+                    concept.bag_distance_sq(bag)
+                } else {
+                    concept.bag_aggregate(bag, aggregator, &mut scratch)
+                };
+                heap.push(WorstCandidate(d, index));
                 continue;
             }
             let (worst_d, worst_i) = {
@@ -437,7 +488,12 @@ impl RetrievalDatabase {
             // `next_up` admits exact ties on distance so the index
             // tie-break below sees them; the pruned scorer then rejects
             // anything strictly worse after only a few dimensions.
-            if let Some(d) = concept.bag_distance_sq_below(bag, worst_d.next_up()) {
+            let scored = if aggregator.is_min() {
+                concept.bag_distance_sq_below(bag, worst_d.next_up())
+            } else {
+                Some(concept.bag_aggregate(bag, aggregator, &mut scratch))
+            };
+            if let Some(d) = scored {
                 if d < worst_d || (d == worst_d && index < worst_i) {
                     heap.pop();
                     heap.push(WorstCandidate(d, index));
@@ -503,12 +559,22 @@ impl RetrievalDatabase {
             .filter(|&qi| queries[qi].top_k.is_none())
             .collect();
         if !unbounded.is_empty() {
+            let aggregator = request.aggregator;
             let scored = pool::run_indexed(candidates.len(), request.threads, |ci| {
                 let index = candidates[ci];
                 let bag = &self.bags[index];
+                let mut scratch = Vec::new();
                 unbounded
                     .iter()
-                    .map(|&qi| (index, queries[qi].concept.bag_distance_sq(bag)))
+                    .map(|&qi| {
+                        let concept = &queries[qi].concept;
+                        let d = if aggregator.is_min() {
+                            concept.bag_distance_sq(bag)
+                        } else {
+                            concept.bag_aggregate(bag, aggregator, &mut scratch)
+                        };
+                        (index, d)
+                    })
                     .collect::<Vec<_>>()
             });
             for (slot, &qi) in unbounded.iter().enumerate() {
@@ -525,6 +591,8 @@ impl RetrievalDatabase {
             .collect();
         if !bounded.is_empty() {
             let started = std::time::Instant::now();
+            let aggregator = request.aggregator;
+            let mut scratch = Vec::new();
             let mut heaps: Vec<BinaryHeap<WorstCandidate>> = bounded
                 .iter()
                 .map(|&qi| BinaryHeap::with_capacity(queries[qi].top_k.expect("bounded") + 1))
@@ -539,14 +607,24 @@ impl RetrievalDatabase {
                     let concept = &queries[qi].concept;
                     let heap = &mut heaps[slot];
                     if heap.len() < k {
-                        heap.push(WorstCandidate(concept.bag_distance_sq(bag), index));
+                        let d = if aggregator.is_min() {
+                            concept.bag_distance_sq(bag)
+                        } else {
+                            concept.bag_aggregate(bag, aggregator, &mut scratch)
+                        };
+                        heap.push(WorstCandidate(d, index));
                         continue;
                     }
                     let (worst_d, worst_i) = {
                         let worst = heap.peek().expect("heap is non-empty");
                         (worst.0, worst.1)
                     };
-                    if let Some(d) = concept.bag_distance_sq_below(bag, worst_d.next_up()) {
+                    let scored = if aggregator.is_min() {
+                        concept.bag_distance_sq_below(bag, worst_d.next_up())
+                    } else {
+                        Some(concept.bag_aggregate(bag, aggregator, &mut scratch))
+                    };
+                    if let Some(d) = scored {
                         if d < worst_d || (d == worst_d && index < worst_i) {
                             heap.pop();
                             heap.push(WorstCandidate(d, index));
@@ -589,7 +667,7 @@ impl RetrievalDatabase {
         candidates: &[usize],
         k: usize,
     ) -> Result<Ranking, CoreError> {
-        self.rank_candidates(concept, candidates, Some(k), 0)
+        self.rank_candidates(concept, candidates, Some(k), 0, BagAggregator::MinDistance)
     }
 
     /// Indices of all images carrying `category`, in index order.
@@ -989,6 +1067,67 @@ mod tests {
             Err(CoreError::InvalidScope { scope: "pool" })
         ));
         assert!(d.rank_batch(&[], &RankRequest::all()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_min_aggregators_match_a_naive_fold_on_every_arm() {
+        use std::sync::Arc;
+        let d = db();
+        let target: Vec<f64> = d
+            .bag(4)
+            .unwrap()
+            .instance(1)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let concept = Concept::new(target, vec![1.0; d.feature_dim()]);
+        for aggregator in BagAggregator::ALL {
+            // Naive per-bag reference: exact instance distances, folded,
+            // sorted with the one comparator.
+            let mut reference: Ranking = (0..d.len())
+                .map(|i| {
+                    let dists: Vec<f64> = d.bags[i]
+                        .instances()
+                        .map(|inst| concept.instance_distance_sq(inst))
+                        .collect();
+                    (i, aggregator.fold(&dists))
+                })
+                .collect();
+            sort_ranking(&mut reference);
+            let request = RankRequest::all().aggregator(aggregator);
+            let full = d.rank(&concept, &request).unwrap();
+            assert_eq!(full, reference, "{aggregator} full");
+            for k in [1, 3, d.len()] {
+                let top = d.rank(&concept, &request.clone().top(k)).unwrap();
+                assert_eq!(top, reference[..k], "{aggregator} top-{k}");
+            }
+            // The batched path under the same aggregator agrees too.
+            let queries = vec![
+                BatchQuery {
+                    concept: Arc::new(concept.clone()),
+                    top_k: None,
+                },
+                BatchQuery {
+                    concept: Arc::new(concept.clone()),
+                    top_k: Some(2),
+                },
+            ];
+            let batched = d.rank_batch(&queries, &request).unwrap();
+            assert_eq!(batched[0], reference, "{aggregator} batch full");
+            assert_eq!(batched[1], reference[..2], "{aggregator} batch top-2");
+        }
+        // Different aggregators genuinely reorder: generalized-mean is a
+        // whole-bag key, so it need not agree with min-distance. (Only
+        // sanity-check the keys differ — ordering may coincide on tiny
+        // corpora.)
+        let min = d.rank(&concept, &RankRequest::all()).unwrap();
+        let gm = d
+            .rank(
+                &concept,
+                &RankRequest::all().aggregator(BagAggregator::GeneralizedMean),
+            )
+            .unwrap();
+        assert_ne!(min, gm, "keys must differ even if order coincides");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!    in a small versioned binary format, so the expensive §3.5
 //!    preprocessing runs once per collection.
 
+pub mod backend;
 pub mod config;
 pub mod database;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod storage;
 pub mod tuning;
 pub mod visualize;
 
+pub use backend::{BackendTag, FeatureBackend, GrayBlockBackend};
 pub use config::RetrievalConfig;
 pub use database::{BatchQuery, RankRequest, RankScope, RetrievalDatabase};
 pub use error::CoreError;

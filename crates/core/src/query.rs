@@ -584,8 +584,13 @@ impl<'a> QuerySession<'a> {
             RankScope::Test => &self.test,
             RankScope::Indices(indices) => indices,
         };
-        self.db
-            .rank_candidates(concept, candidates, request.top_k, request.threads)
+        self.db.rank_candidates(
+            concept,
+            candidates,
+            request.top_k,
+            request.threads,
+            request.aggregator,
+        )
     }
 
     /// Ranks the pool with the current concept.

@@ -9,6 +9,7 @@
 
 use crate::error::ImageError;
 use crate::gray::{checked_len, GrayImage};
+use crate::region::Rect;
 
 /// Rec. 601 luma weights used for RGB → gray conversion.
 pub const LUMA_WEIGHTS: [f32; 3] = [0.299, 0.587, 0.114];
@@ -161,6 +162,29 @@ impl RgbImage {
             .expect("channel buffer length derived from valid RGB image")
     }
 
+    /// Extracts a copy of the pixels inside `rect` — the colour
+    /// counterpart of [`GrayImage::crop`], used when a region-of-interest
+    /// query must be featurised by a colour backend.
+    ///
+    /// # Errors
+    /// Returns [`ImageError::RegionOutOfBounds`] if the rectangle does not
+    /// fit inside the image.
+    pub fn crop(&self, rect: Rect) -> Result<RgbImage, ImageError> {
+        if !rect.fits_within(self.width, self.height) {
+            return Err(ImageError::RegionOutOfBounds {
+                region: (rect.x, rect.y, rect.width, rect.height),
+                width: self.width,
+                height: self.height,
+            });
+        }
+        let mut data = Vec::with_capacity(rect.width * rect.height * 3);
+        for y in rect.y..rect.y + rect.height {
+            let start = (y * self.width + rect.x) * 3;
+            data.extend_from_slice(&self.data[start..start + rect.width * 3]);
+        }
+        RgbImage::from_vec(rect.width, rect.height, data)
+    }
+
     /// Clamps every channel into `[lo, hi]` in place.
     pub fn clamp_in_place(&mut self, lo: f32, hi: f32) {
         for v in &mut self.data {
@@ -194,6 +218,21 @@ mod tests {
         let img = RgbImage::filled(2, 2, [1.0, 2.0, 3.0]).unwrap();
         assert_eq!(img.get(1, 1), [1.0, 2.0, 3.0]);
         assert_eq!(img.channels().len(), 12);
+    }
+
+    #[test]
+    fn crop_matches_gray_crop_through_luminance() {
+        let img = RgbImage::from_fn(8, 6, |x, y| [x as f32, y as f32, (x + y) as f32]).unwrap();
+        let rect = Rect::new(2, 1, 4, 3);
+        let cropped = img.crop(rect).unwrap();
+        assert_eq!(cropped.width(), 4);
+        assert_eq!(cropped.height(), 3);
+        assert_eq!(cropped.get(0, 0), img.get(2, 1));
+        assert_eq!(cropped.get(3, 2), img.get(5, 3));
+        // Crop-then-gray must agree with gray-then-crop: the scenario
+        // layer relies on either order producing the same region.
+        assert_eq!(cropped.to_gray(), img.to_gray().crop(rect).unwrap());
+        assert!(img.crop(Rect::new(6, 0, 4, 3)).is_err());
     }
 
     #[test]

@@ -141,6 +141,35 @@ impl Concept {
         best
     }
 
+    /// The bag's ranking key under an arbitrary
+    /// [`BagAggregator`](crate::aggregate::BagAggregator).
+    ///
+    /// Min-distance routes through the pruned [`Self::bag_distance_sq`]
+    /// untouched. Every other aggregator needs all instance distances,
+    /// so it runs the exact unpruned kernel per instance and reduces
+    /// with [`BagAggregator::fold`](crate::aggregate::BagAggregator::fold)
+    /// — the same fold the flat/sharded scorers run, which keeps their
+    /// keys bit-identical. `scratch` is a reusable distance buffer so
+    /// scan loops stop allocating after the largest bag.
+    ///
+    /// # Panics
+    /// Panics if the bag's dimension differs from the concept's.
+    pub fn bag_aggregate(
+        &self,
+        bag: &Bag,
+        aggregator: crate::aggregate::BagAggregator,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
+        if aggregator.is_min() {
+            return self.bag_distance_sq(bag);
+        }
+        scratch.clear();
+        for inst in bag.instances() {
+            scratch.push(self.instance_distance_sq(inst));
+        }
+        aggregator.fold(scratch)
+    }
+
     /// Noisy-or probability that the bag is positive:
     /// `1 − Π_j (1 − exp(−d_j))`.
     pub fn bag_probability(&self, bag: &Bag) -> f64 {

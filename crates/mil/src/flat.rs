@@ -540,6 +540,37 @@ impl FlatBags {
         (best < bound).then_some(best)
     }
 
+    /// The bag's ranking key under an arbitrary
+    /// [`BagAggregator`](crate::aggregate::BagAggregator) — the flat
+    /// mirror of [`Concept::bag_aggregate`], instance for instance, so
+    /// the two are bit-identical for every bag (same kernel, same fold,
+    /// same order).
+    ///
+    /// Min-distance routes through the pruned [`Self::min_distance_sq`]
+    /// untouched; everything else runs the exact unpruned kernel over
+    /// every instance (no screen, no cell skip — their proofs only
+    /// bound the minimum). `scratch` is a reusable distance buffer.
+    ///
+    /// # Panics
+    /// Panics if `bag >= self.bag_count()` or the concept's dimension
+    /// differs.
+    pub fn aggregate_distance(
+        &self,
+        concept: &Concept,
+        bag: usize,
+        aggregator: crate::aggregate::BagAggregator,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
+        if aggregator.is_min() {
+            return self.min_distance_sq(concept, bag);
+        }
+        scratch.clear();
+        for inst in self.instances(bag) {
+            scratch.push(concept.instance_distance_sq(inst));
+        }
+        aggregator.fold(scratch)
+    }
+
     /// Prepares the concept for screening against this store's
     /// quantized tier — compute once per (concept, store) pair, then
     /// pass to every [`Self::min_distance_sq_below_screened`] call.
@@ -1034,6 +1065,57 @@ mod tests {
         let right = CoarseIndex::build(flat.data(), 2, 2);
         assert!(flat.attach_index(right).is_ok());
         assert_eq!(flat.index().unwrap().assignments().len(), 2);
+    }
+
+    #[test]
+    fn aggregate_scoring_matches_concept_fold_bit_for_bit() {
+        use crate::aggregate::BagAggregator;
+        let k = 9;
+        let concept = Concept::new(
+            (0..k).map(|i| (i as f64 * 0.29).cos()).collect(),
+            (0..k).map(|i| 0.2 + (i % 3) as f64 * 0.5).collect(),
+        );
+        let bags: Vec<Bag> = (0..6)
+            .map(|n| {
+                Bag::new(
+                    (0..=(n % 4))
+                        .map(|m| {
+                            (0..k)
+                                .map(|i| ((n * 19 + m * 7 + i * 5) % 17) as f32 / 4.0 - 2.0)
+                                .collect()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut flat = FlatBags::new(k);
+        for b in &bags {
+            flat.push_bag(b);
+        }
+        let mut scratch = Vec::new();
+        let mut concept_scratch = Vec::new();
+        for agg in BagAggregator::ALL {
+            for (i, b) in bags.iter().enumerate() {
+                let via_flat = flat.aggregate_distance(&concept, i, agg, &mut scratch);
+                let via_bag = concept.bag_aggregate(b, agg, &mut concept_scratch);
+                assert_eq!(via_flat, via_bag, "{agg}, bag {i}");
+                // Naive reference: exact instance distances, folded.
+                let dists: Vec<f64> = b
+                    .instances()
+                    .map(|inst| concept.instance_distance_sq(inst))
+                    .collect();
+                assert_eq!(via_flat, agg.fold(&dists), "{agg}, bag {i} vs naive");
+                assert!(via_flat.is_finite() && via_flat >= 0.0);
+            }
+        }
+        // The min arm really is the pruned kernel's key.
+        for i in 0..bags.len() {
+            assert_eq!(
+                flat.aggregate_distance(&concept, i, BagAggregator::MinDistance, &mut scratch),
+                flat.min_distance_sq(&concept, i)
+            );
+        }
     }
 
     #[test]

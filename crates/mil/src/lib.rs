@@ -6,6 +6,10 @@
 //! (Maron & Lozano-Pérez), as adapted by Yang & Lozano-Pérez for image
 //! retrieval.
 //!
+//! * [`aggregate`] — pluggable bag aggregation policies: the paper's
+//!   min-distance plus the torchmil menu (logsumexp, generalized-mean,
+//!   noisy-or), each reducing instance distances to one ascending
+//!   ranking key.
 //! * [`bag`] — instances, bags, and labelled datasets (§2.1.2).
 //! * [`dd`] — the `−log DD` objective with analytic gradients under the
 //!   noisy-or model `Pr(B_ij = t) = exp(−‖B_ij − t‖²_w)` (§2.2.1),
@@ -30,6 +34,7 @@
 //! * [`predict`] — the §2.1.2 classification view: thresholded TRUE/FALSE
 //!   decisions on new bags, with confusion-matrix reporting.
 
+pub mod aggregate;
 pub mod bag;
 pub mod concept;
 pub mod dd;
@@ -40,6 +45,7 @@ pub mod policy;
 pub mod predict;
 pub mod trainer;
 
+pub use aggregate::BagAggregator;
 pub use bag::{Bag, BagLabel, MilDataset, MilError};
 pub use concept::Concept;
 pub use dd::{DdObjective, LegacyDdObjective, Parameterization};

@@ -9,8 +9,10 @@
 //!   `executing` lock;
 //! * the first thread through the lock drains *everything* queued behind
 //!   it — including queries that piled up while a previous combiner was
-//!   scanning — groups them by epoch generation (a reload mid-batch must
-//!   not mix databases), and runs one `rank_batch` per group;
+//!   scanning — groups them by `(epoch generation, aggregator)` (a
+//!   reload mid-batch must not mix databases, and a min-distance page
+//!   must never be scored by a neighbour's logsumexp fold), and runs
+//!   one `rank_batch` per group;
 //! * threads that find their slot already filled when they acquire the
 //!   lock were combined by someone else and return immediately.
 //!
@@ -23,6 +25,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
 use milr_core::{BatchQuery, CoreError, RankRequest, Ranking, RetrievalDatabase};
+use milr_mil::BagAggregator;
 
 use crate::metrics::Metrics;
 
@@ -32,10 +35,12 @@ struct Slot {
     filled: Condvar,
 }
 
-/// One queued rank query: what to rank, where, and who is waiting.
+/// One queued rank query: what to rank, where, how to fold bags, and
+/// who is waiting.
 struct PendingRank {
     db: Arc<RetrievalDatabase>,
     generation: u64,
+    aggregator: BagAggregator,
     query: BatchQuery,
     threads: usize,
     slot: Arc<Slot>,
@@ -54,10 +59,12 @@ impl RankBatcher {
         Self::default()
     }
 
-    /// Ranks `query` over `db` (scope: all images), combining with any
-    /// concurrent callers on the same epoch `generation`. Blocks until
-    /// the result is available; bit-identical to
-    /// `db.rank(&query.concept, &RankRequest::all().top(k))`.
+    /// Ranks `query` over `db` (scope: all images) under `aggregator`,
+    /// combining with any concurrent callers on the same epoch
+    /// `generation` *and* the same aggregator — two requests that fold
+    /// bags differently must never share a `rank_batch` traversal.
+    /// Blocks until the result is available; bit-identical to
+    /// `db.rank(&query.concept, &RankRequest::all().top(k).aggregator(a))`.
     ///
     /// # Errors
     /// Whatever the underlying ranking call reports.
@@ -65,6 +72,7 @@ impl RankBatcher {
         &self,
         db: Arc<RetrievalDatabase>,
         generation: u64,
+        aggregator: BagAggregator,
         query: BatchQuery,
         threads: usize,
         metrics: &Metrics,
@@ -79,6 +87,7 @@ impl RankBatcher {
             .push(PendingRank {
                 db,
                 generation,
+                aggregator,
                 query,
                 threads,
                 slot: Arc::clone(&slot),
@@ -113,26 +122,37 @@ impl RankBatcher {
     }
 }
 
-/// Runs the drained queries: one `rank_batch` per epoch generation (in
-/// ascending generation order for determinism), then fills every slot.
+/// Runs the drained queries: one `rank_batch` per `(epoch generation,
+/// aggregator)` pair (ascending generation, then aggregator declaration
+/// order, for determinism), then fills every slot.
 fn execute(drained: Vec<PendingRank>, metrics: &Metrics) {
     if drained.is_empty() {
         return;
     }
-    let mut groups: HashMap<u64, Vec<PendingRank>> = HashMap::new();
+    let mut groups: HashMap<(u64, BagAggregator), Vec<PendingRank>> = HashMap::new();
     for item in drained {
-        groups.entry(item.generation).or_default().push(item);
+        groups
+            .entry((item.generation, item.aggregator))
+            .or_default()
+            .push(item);
     }
-    let mut generations: Vec<u64> = groups.keys().copied().collect();
-    generations.sort_unstable();
-    for generation in generations {
-        let group = groups.remove(&generation).expect("grouped");
+    let agg_order = |a: BagAggregator| {
+        BagAggregator::ALL
+            .iter()
+            .position(|&x| x == a)
+            .expect("every aggregator is listed in ALL")
+    };
+    let mut keys: Vec<(u64, BagAggregator)> = groups.keys().copied().collect();
+    keys.sort_unstable_by_key(|&(generation, aggregator)| (generation, agg_order(aggregator)));
+    for key in keys {
+        let group = groups.remove(&key).expect("grouped");
+        let (_, aggregator) = key;
         metrics.batch_formed_total.inc();
         metrics.batch_size.record(group.len() as u64);
         let db = Arc::clone(&group[0].db);
         let threads = group[0].threads;
         let queries: Vec<BatchQuery> = group.iter().map(|item| item.query.clone()).collect();
-        let request = RankRequest::all().threads(threads);
+        let request = RankRequest::all().threads(threads).aggregator(aggregator);
         match db.rank_batch(&queries, &request) {
             Ok(rankings) => {
                 for (item, ranking) in group.into_iter().zip(rankings) {
@@ -144,7 +164,9 @@ fn execute(drained: Vec<PendingRank>, metrics: &Metrics) {
             // per-query ranking so every waiter gets its own error.
             Err(_) => {
                 for item in group {
-                    let mut single = RankRequest::all().threads(item.threads);
+                    let mut single = RankRequest::all()
+                        .threads(item.threads)
+                        .aggregator(item.aggregator);
                     single.top_k = item.query.top_k;
                     let outcome = item.db.rank(&item.query.concept, &single);
                     fill(&item.slot, outcome);
@@ -196,7 +218,14 @@ mod tests {
             .rank(&query.concept, &RankRequest::all().top(4).threads(1))
             .unwrap();
         let got = batcher
-            .rank(Arc::clone(&db), 7, query, 1, &metrics)
+            .rank(
+                Arc::clone(&db),
+                7,
+                BagAggregator::MinDistance,
+                query,
+                1,
+                &metrics,
+            )
             .unwrap();
         assert_eq!(got, expected);
         assert_eq!(metrics.batch_formed_total.get(), 1);
@@ -233,7 +262,9 @@ mod tests {
                             &RankRequest::all().top(1 + c % 4).threads(1),
                         )
                         .unwrap();
-                    let got = batcher.rank(db, 3, query, 1, &metrics).unwrap();
+                    let got = batcher
+                        .rank(db, 3, BagAggregator::MinDistance, query, 1, &metrics)
+                        .unwrap();
                     assert_eq!(got, expected, "client {c}");
                 })
             })
@@ -267,6 +298,7 @@ mod tests {
             batcher.pending.lock().unwrap().push(PendingRank {
                 db,
                 generation,
+                aggregator: BagAggregator::MinDistance,
                 query,
                 threads: 1,
                 slot,
@@ -274,7 +306,14 @@ mod tests {
         }
         let query = query_on(&db_a, vec![0.0, 5.0], 3);
         let got = batcher
-            .rank(Arc::clone(&db_a), 1, query.clone(), 1, &metrics)
+            .rank(
+                Arc::clone(&db_a),
+                1,
+                BagAggregator::MinDistance,
+                query.clone(),
+                1,
+                &metrics,
+            )
             .unwrap();
         let expected = db_a
             .rank(&query.concept, &RankRequest::all().top(3).threads(1))
@@ -288,5 +327,89 @@ mod tests {
         let sizes = metrics.batch_size.snapshot();
         assert_eq!(sizes.count(), 2);
         assert_eq!(sizes.max(), 2);
+    }
+
+    #[test]
+    fn distinct_aggregators_never_share_a_batch() {
+        // The cross-contamination guard: a min-distance query and a
+        // logsumexp query on the *same* generation must form separate
+        // batches, and each must come back exactly as its own direct
+        // rank call would have scored it.
+        let db = test_db();
+        let batcher = RankBatcher::new();
+        let metrics = Metrics::default();
+        let concept = Arc::new(Concept::new(vec![2.0, 3.0], vec![1.0, 1.0]));
+        let mut parked = Vec::new();
+        for aggregator in [BagAggregator::LogSumExp, BagAggregator::NoisyOr] {
+            let query = BatchQuery {
+                concept: Arc::clone(&concept),
+                top_k: Some(5),
+            };
+            let slot = Arc::new(Slot {
+                result: Mutex::new(None),
+                filled: Condvar::new(),
+            });
+            batcher.pending.lock().unwrap().push(PendingRank {
+                db: Arc::clone(&db),
+                generation: 9,
+                aggregator,
+                query,
+                threads: 1,
+                slot: Arc::clone(&slot),
+            });
+            parked.push((aggregator, slot));
+        }
+        let min_query = BatchQuery {
+            concept: Arc::clone(&concept),
+            top_k: Some(5),
+        };
+        let got = batcher
+            .rank(
+                Arc::clone(&db),
+                9,
+                BagAggregator::MinDistance,
+                min_query,
+                1,
+                &metrics,
+            )
+            .unwrap();
+        let expected = db
+            .rank(&concept, &RankRequest::all().top(5).threads(1))
+            .unwrap();
+        assert_eq!(got, expected, "the min page must stay a min page");
+        assert_eq!(
+            metrics.batch_formed_total.get(),
+            3,
+            "one batch per aggregator, even on one generation"
+        );
+        // And each parked non-min query came back scored by its own
+        // fold, bit-identical to the direct aggregated rank call.
+        for (aggregator, slot) in parked {
+            let direct = db
+                .rank(
+                    &concept,
+                    &RankRequest::all().top(5).threads(1).aggregator(aggregator),
+                )
+                .unwrap();
+            let combined = slot
+                .result
+                .lock()
+                .unwrap()
+                .take()
+                .expect("the combiner filled every drained slot")
+                .unwrap();
+            assert_eq!(combined, direct, "{aggregator} page");
+            assert_ne!(
+                combined
+                    .iter()
+                    .map(|&(_, d)| d.to_bits())
+                    .collect::<Vec<_>>(),
+                expected
+                    .iter()
+                    .map(|&(_, d)| d.to_bits())
+                    .collect::<Vec<_>>(),
+                "folds must actually differ for the isolation to mean anything"
+            );
+        }
     }
 }

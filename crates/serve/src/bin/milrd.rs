@@ -50,9 +50,10 @@ fn print_usage() {
          [--warm-train true|false]\n        \
          [--max-body BYTES] [--cache-capacity N] [--session-ttl-s N]\n        \
          [--session-capacity N] [--page K] [--policy POLICY]\n        \
-         [--watch-snapshot] [--watch-interval-ms N]\n        \
+         [--backend gray-block|sbn] [--watch-snapshot] [--watch-interval-ms N]\n        \
          [--debug-endpoints] [--drain-on-stdin-eof]\n\n\
-         POLICY: original | identical | alpha:A | constraint:B"
+         POLICY: original | identical | alpha:A | constraint:B\n\
+         --backend: refuse a snapshot preprocessed with any other feature backend"
     );
 }
 
@@ -132,6 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(spec) = flag(args, "--policy") {
         options.retrieval.policy = parse_policy(&spec)?;
     }
+    options.backend = flag(args, "--backend");
     options.debug_endpoints = switch(args, "--debug-endpoints");
     options.watch_snapshot = switch(args, "--watch-snapshot");
     if let Some(ms) = parse_flag(args, "--watch-interval-ms")? {
@@ -143,18 +145,26 @@ fn run(args: &[String]) -> Result<(), String> {
     // way — a PR 1 invariant).
     options.retrieval.threads = 1;
 
-    let loaded = milr_store::load_snapshot(&snapshot).map_err(|e| e.to_string())?;
+    let loaded = match options.backend.as_deref() {
+        Some(expected) => {
+            milr_store::load_snapshot_expecting(&snapshot, expected).map_err(|e| e.to_string())?
+        }
+        None => milr_store::load_snapshot(&snapshot).map_err(|e| e.to_string())?,
+    };
     options.snapshot_path = Some(snapshot.clone().into());
-    let db = loaded.database;
-    let (images, categories, dim) = (db.len(), db.category_count(), db.feature_dim());
+    let (images, categories, dim) = (
+        loaded.database.len(),
+        loaded.database.category_count(),
+        loaded.database.feature_dim(),
+    );
+    let (generation, shards, backend_id) =
+        (loaded.generation, loaded.shards, loaded.backend.id.clone());
 
-    let server = Server::start_with_generation(db, loaded.generation, loaded.shards, options)?;
+    let server = Server::start_with_snapshot(loaded, options)?;
     println!(
-        "milrd listening on {} ({images} images, {categories} categories, dim {dim}, generation {}, {} shard{})",
+        "milrd listening on {} ({images} images, {categories} categories, dim {dim}, generation {generation}, {shards} shard{}, backend {backend_id})",
         server.local_addr(),
-        loaded.generation,
-        loaded.shards,
-        if loaded.shards == 1 { "" } else { "s" }
+        if shards == 1 { "" } else { "s" }
     );
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 

@@ -27,8 +27,9 @@
 //! | `GET /metrics` | counters, histograms, cache and session stats |
 //! | `GET /metrics?format=prometheus` | the same registry in Prometheus text exposition format |
 //! | `GET /trace?n=256` | the most recent spans across all threads, as JSON |
-//! | `GET /rank?positives=1,2&negatives=7&k=10` | stateless one-shot ranking |
-//! | `POST /sessions` | create a feedback session (indices and/or base64 PGM uploads) |
+//! | `GET /rank?positives=1,2&negatives=7&k=10` | stateless one-shot ranking (`&aggregator=LABEL` picks the bag fold) |
+//! | `POST /rank` | stateless sub-image query: base64 PGM + region of interest, cropped and featurised server-side |
+//! | `POST /sessions` | create a feedback session (indices, base64 PGM uploads, and/or region uploads) |
 //! | `GET /sessions/{id}` | session state |
 //! | `POST /sessions/{id}/feedback` | add marks, retrain, return next page |
 //! | `DELETE /sessions/{id}` | drop a session |

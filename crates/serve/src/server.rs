@@ -37,12 +37,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use milr_core::features::image_to_bag;
+use milr_baseline::feature_backend;
 use milr_core::{
-    BatchQuery, CoreError, QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase,
+    BackendTag, BatchQuery, CoreError, FeatureBackend, QuerySession, RankRequest, RetrievalConfig,
+    RetrievalDatabase,
 };
-use milr_imgproc::pnm;
-use milr_mil::{Bag, WeightPolicy};
+use milr_imgproc::{pnm, Rect};
+use milr_mil::{Bag, BagAggregator, WeightPolicy};
 
 use crate::base64;
 use crate::batch::RankBatcher;
@@ -119,6 +120,13 @@ pub struct ServeOptions {
     /// sharded v3 directory. Required for `POST /snapshot/reload` and
     /// the snapshot watcher; [`None`] disables both.
     pub snapshot_path: Option<PathBuf>,
+    /// Feature backend id the served snapshot must have been
+    /// preprocessed with (`gray-block`, `sbn`, …). [`None`] accepts
+    /// whatever backend the snapshot's manifest records. Either way,
+    /// region/image uploads are featurised with the *snapshot's*
+    /// backend, and a hot reload that would change the feature space is
+    /// refused.
+    pub backend: Option<String>,
     /// Polls `snapshot_path` for modification and hot-reloads
     /// automatically when it changes.
     pub watch_snapshot: bool,
@@ -148,6 +156,7 @@ impl Default for ServeOptions {
             retrieval: RetrievalConfig::default(),
             debug_endpoints: false,
             snapshot_path: None,
+            backend: None,
             watch_snapshot: false,
             watch_interval: Duration::from_secs(2),
         }
@@ -189,16 +198,34 @@ struct Epoch {
     generation: u64,
     /// Shards behind this epoch's snapshot (1 for monolithic files).
     shards: usize,
+    /// Feature backend the snapshot was preprocessed with; region and
+    /// image uploads are featurised through the same backend so every
+    /// query bag lives in the snapshot's feature space.
+    backend: BackendTag,
 }
 
 impl Epoch {
-    fn new(db: RetrievalDatabase, generation: u64, shards: usize) -> Self {
+    fn new(db: RetrievalDatabase, generation: u64, shards: usize, backend: BackendTag) -> Self {
         Self {
             all_indices: (0..db.len()).collect(),
             db: Arc::new(db),
             generation,
             shards,
+            backend,
         }
+    }
+
+    /// The upload featuriser for this epoch's backend. Pre-tag
+    /// snapshots carry the default gray-block tag, so this only fails
+    /// for a manifest naming a backend this build does not know —
+    /// which `open`-time checks normally reject first.
+    fn feature_backend(&self) -> Result<std::sync::Arc<dyn FeatureBackend>, String> {
+        feature_backend(&self.backend.id).ok_or_else(|| {
+            format!(
+                "snapshot names unknown feature backend {:?}",
+                self.backend.id
+            )
+        })
     }
 }
 
@@ -249,9 +276,34 @@ impl Daemon {
             self.metrics.snapshot_reload_failures_total.inc();
             e.to_string()
         })?;
+        if let Some(expected) = &self.options.backend {
+            if &snapshot.backend.id != expected {
+                self.metrics.snapshot_reload_failures_total.inc();
+                return Err(format!(
+                    "snapshot was preprocessed with feature backend {:?} but the daemon requires {expected:?}",
+                    snapshot.backend.id
+                ));
+            }
+        }
         let mut current = self.epoch.lock().expect("epoch mutex");
+        // A reload must never change the feature space underneath live
+        // concepts and sessions: same-backend snapshots only.
+        if snapshot.backend.id != current.backend.id {
+            let msg = format!(
+                "reload refused: snapshot backend {:?} differs from the serving backend {:?}",
+                snapshot.backend.id, current.backend.id
+            );
+            drop(current);
+            self.metrics.snapshot_reload_failures_total.inc();
+            return Err(msg);
+        }
         let generation = snapshot.generation.max(current.generation + 1);
-        let fresh = Arc::new(Epoch::new(snapshot.database, generation, snapshot.shards));
+        let fresh = Arc::new(Epoch::new(
+            snapshot.database,
+            generation,
+            snapshot.shards,
+            snapshot.backend,
+        ));
         *current = Arc::clone(&fresh);
         drop(current);
         self.metrics.snapshot_reloads_total.inc();
@@ -282,7 +334,9 @@ impl Server {
     /// [`Self::start`] for a database loaded from a known snapshot
     /// epoch: `generation` and `shards` seed `/healthz` and the
     /// concept-cache keys (a sharded v3 manifest carries both; plain
-    /// databases start at generation 0).
+    /// databases start at generation 0). The backend defaults to the
+    /// gray-block tag; use [`Self::start_with_snapshot`] to carry the
+    /// manifest's recorded backend through.
     ///
     /// # Errors
     /// A description of a bind failure or invalid configuration.
@@ -290,6 +344,46 @@ impl Server {
         db: RetrievalDatabase,
         generation: u64,
         shards: usize,
+        options: ServeOptions,
+    ) -> Result<Server, String> {
+        Self::start_with_backend(db, generation, shards, BackendTag::default(), options)
+    }
+
+    /// [`Self::start`] for a loaded [`milr_store::Snapshot`]: carries
+    /// the snapshot's generation, shard count, and feature-backend tag
+    /// into the serving epoch, and — when `options.backend` names a
+    /// required backend — refuses a snapshot preprocessed with any
+    /// other one.
+    ///
+    /// # Errors
+    /// A description of a bind failure, invalid configuration, or
+    /// backend mismatch.
+    pub fn start_with_snapshot(
+        snapshot: milr_store::Snapshot,
+        options: ServeOptions,
+    ) -> Result<Server, String> {
+        if let Some(expected) = &options.backend {
+            if &snapshot.backend.id != expected {
+                return Err(format!(
+                    "snapshot was preprocessed with feature backend {:?} but the daemon requires {expected:?}",
+                    snapshot.backend.id
+                ));
+            }
+        }
+        Self::start_with_backend(
+            snapshot.database,
+            snapshot.generation,
+            snapshot.shards,
+            snapshot.backend,
+            options,
+        )
+    }
+
+    fn start_with_backend(
+        db: RetrievalDatabase,
+        generation: u64,
+        shards: usize,
+        backend: BackendTag,
         options: ServeOptions,
     ) -> Result<Server, String> {
         if options.workers == 0 {
@@ -305,7 +399,7 @@ impl Server {
         metrics.snapshot_generation.set(generation as f64);
         metrics.snapshot_shards.set(shards as f64);
         let daemon = Arc::new(Daemon {
-            epoch: Mutex::new(Arc::new(Epoch::new(db, generation, shards))),
+            epoch: Mutex::new(Arc::new(Epoch::new(db, generation, shards, backend))),
             config: Arc::new(options.retrieval.clone()),
             cache: Mutex::new(ConceptCache::new(options.cache_capacity)),
             sessions: SessionStore::new(options.session_ttl, options.session_capacity),
@@ -654,6 +748,10 @@ fn route_json(daemon: &Daemon, req: &Request) -> (&'static str, u16, Json) {
             let (status, body) = handle_rank(daemon, req);
             ("/rank", status, body)
         }
+        ("POST", "/rank") => {
+            let (status, body) = handle_rank_region(daemon, req);
+            ("/rank (region)", status, body)
+        }
         ("POST", "/sessions") => {
             let (status, body) = handle_create_session(daemon, req);
             ("/sessions", status, body)
@@ -775,11 +873,31 @@ fn healthz(daemon: &Daemon) -> Json {
         ),
         ("generation".into(), Json::num(epoch.generation as f64)),
         ("shards".into(), Json::num(epoch.shards as f64)),
+        ("backend".into(), Json::str(epoch.backend.id.clone())),
         (
             "uptime_s".into(),
             Json::num(daemon.started.elapsed().as_secs_f64()),
         ),
     ])
+}
+
+/// Parses an optional aggregator label: absent means the paper's
+/// min-distance fold, anything unrecognised is the caller's mistake.
+fn parse_aggregator(label: Option<&str>) -> Result<BagAggregator, String> {
+    match label {
+        None => Ok(BagAggregator::MinDistance),
+        Some(label) => {
+            BagAggregator::parse(label).ok_or_else(|| format!("unknown aggregator {label:?}"))
+        }
+    }
+}
+
+/// Extracts the optional `"aggregator"` string field of a JSON body.
+fn body_aggregator(body: &Json) -> Result<BagAggregator, String> {
+    match body.get("aggregator") {
+        None => Ok(BagAggregator::MinDistance),
+        Some(value) => parse_aggregator(Some(value.as_str().ok_or("aggregator must be a string")?)),
+    }
 }
 
 /// `POST /snapshot/reload` — loads the configured snapshot path and
@@ -1109,7 +1227,13 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
         Ok(pair) => pair,
         Err(msg) => return (400, http::error_body(msg)),
     };
+    let aggregator = match parse_aggregator(req.query_param("aggregator")) {
+        Ok(aggregator) => aggregator,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
     let epoch = daemon.epoch();
+    // The aggregator is deliberately absent from the cache key: it
+    // shapes ranking, not training, so every fold shares one concept.
     let key = ConceptKey::new(&positives, &negatives, &policy_label, epoch.generation);
     // Priority shedding: under overload a cached rank is cheap (one
     // bounded scan), an uncached one buys a whole DD training run — shed
@@ -1150,6 +1274,7 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
     let ranking = match daemon.batcher.rank(
         Arc::clone(&epoch.db),
         epoch.generation,
+        aggregator,
         query,
         daemon.config.threads,
         &daemon.metrics,
@@ -1163,13 +1288,164 @@ fn handle_rank(daemon: &Daemon, req: &Request) -> (u16, Json) {
             ("ranking".into(), ranking_json(&ranking)),
             ("cache_hit".into(), Json::Bool(cache_hit)),
             ("nldd".into(), Json::Num(cached.nldd)),
+            ("aggregator".into(), Json::str(aggregator.label())),
         ]),
     )
 }
 
+/// `POST /rank` — the stateless sub-image query of the Luo & Nascimento
+/// relevance-feedback scenario: the client uploads a picture (base64
+/// PGM) plus an optional region of interest, the daemon crops to the
+/// ROI, featurises it with the snapshot's backend, trains one Diverse
+/// Density concept against the optional negatives (database indices,
+/// whole-image uploads, or further regions), and returns the top-k page
+/// under the requested aggregator.
+///
+/// Body:
+/// ```json
+/// {
+///   "image_pgm": "<base64 PGM>",
+///   "roi": {"x": 8, "y": 8, "width": 48, "height": 48},
+///   "negatives": [7, 12],
+///   "negative_pgm": ["<base64 PGM>"],
+///   "negative_regions": [{"image_pgm": "...", "roi": {...}}],
+///   "k": 10,
+///   "policy": "original",
+///   "aggregator": "logsumexp"
+/// }
+/// ```
+/// Everything but `image_pgm` is optional. For feedback rounds over the
+/// wire, create a session with `positive_regions` instead — this
+/// endpoint trains fresh every call (region queries have no index
+/// identity, so there is nothing to cache).
+fn handle_rank_region(daemon: &Daemon, req: &Request) -> (u16, Json) {
+    let _span = milr_obs::span::enter("serve.rank_region");
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => return (400, http::error_body("body is not UTF-8")),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(msg) => return (400, http::error_body(format!("invalid JSON: {msg}"))),
+    };
+    if body.get("image_pgm").is_none() {
+        return (400, http::error_body("image_pgm is required"));
+    }
+    let k = match body.get("k") {
+        None => daemon.options.default_page,
+        Some(value) => match value.as_u64() {
+            Some(k) => k as usize,
+            None => return (400, http::error_body("k must be a non-negative integer")),
+        },
+    };
+    let aggregator = match body_aggregator(&body) {
+        Ok(aggregator) => aggregator,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let policy_spec = match body.get("policy") {
+        None => None,
+        Some(value) => match value.as_str() {
+            Some(spec) => Some(spec),
+            None => return (400, http::error_body("policy must be a string")),
+        },
+    };
+    let (config, _policy_label) = match config_for_policy(daemon, policy_spec) {
+        Ok(pair) => pair,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let negatives = match body_indices(&body, "negatives") {
+        Ok(list) => list,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    // A region query always trains (no cacheable index identity), so
+    // under overload it is shed unconditionally.
+    if priority_overloaded(daemon) {
+        return priority_shed_response(daemon);
+    }
+    let epoch = daemon.epoch();
+    let backend = match epoch.feature_backend() {
+        Ok(backend) => backend,
+        Err(msg) => return (500, http::error_body(msg)),
+    };
+    let query_bag = match region_bag(&body, &*backend, &config) {
+        Ok(bag) => bag,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let mut negative_bags = match decode_uploads(&body, "negative_pgm", &*backend, &config) {
+        Ok(bags) => bags,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    match decode_region_uploads(&body, "negative_regions", &*backend, &config) {
+        Ok(bags) => negative_bags.extend(bags),
+        Err(msg) => return (400, http::error_body(msg)),
+    }
+    let mut session = match QuerySession::builder(Arc::clone(&epoch.db))
+        .config(config)
+        .positives(Vec::new())
+        .negatives(negatives)
+        .pool(epoch.all_indices.clone())
+        .build()
+    {
+        Ok(session) => session,
+        Err(err) => return core_error_response(&err),
+    };
+    if let Err(err) = session.add_positive_bag(query_bag) {
+        return core_error_response(&err);
+    }
+    for bag in negative_bags {
+        if let Err(err) = session.add_negative_bag(bag) {
+            return core_error_response(&err);
+        }
+    }
+    if let Err(err) = session.train_round() {
+        return core_error_response(&err);
+    }
+    let ranking = match session.rank(&RankRequest::pool().top(k).aggregator(aggregator)) {
+        Ok(ranking) => ranking,
+        Err(err) => return core_error_response(&err),
+    };
+    (
+        200,
+        Json::Obj(vec![
+            ("ranking".into(), ranking_json(&ranking)),
+            ("nldd".into(), Json::Num(session.nldd())),
+            ("aggregator".into(), Json::str(aggregator.label())),
+            ("backend".into(), Json::str(epoch.backend.id.clone())),
+        ]),
+    )
+}
+
+/// Decodes one base64 PGM payload into a gray image.
+fn decode_pgm(text: &str) -> Result<milr_imgproc::GrayImage, String> {
+    let bytes = base64::decode(text)?;
+    pnm::read_pgm(&bytes[..]).map_err(|e| e.to_string())
+}
+
+/// Parses a `{"x":..,"y":..,"width":..,"height":..}` region object.
+fn parse_roi(value: &Json) -> Result<Rect, String> {
+    let field = |name: &str| -> Result<usize, String> {
+        value
+            .get(name)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("roi.{name} must be a non-negative integer"))
+    };
+    Ok(Rect::new(
+        field("x")?,
+        field("y")?,
+        field("width")?,
+        field("height")?,
+    ))
+}
+
 /// Decodes the `*_pgm` upload arrays of a session body into feature
-/// bags.
-fn decode_uploads(body: &Json, field: &str, config: &RetrievalConfig) -> Result<Vec<Bag>, String> {
+/// bags through the serving epoch's feature backend.
+fn decode_uploads(
+    body: &Json,
+    field: &str,
+    backend: &dyn FeatureBackend,
+    config: &RetrievalConfig,
+) -> Result<Vec<Bag>, String> {
     let Some(value) = body.get(field) else {
         return Ok(Vec::new());
     };
@@ -1183,11 +1459,61 @@ fn decode_uploads(body: &Json, field: &str, config: &RetrievalConfig) -> Result<
             let text = item
                 .as_str()
                 .ok_or_else(|| format!("{field}[{i}] must be a base64 string"))?;
-            let bytes = base64::decode(text).map_err(|e| format!("{field}[{i}]: {e}"))?;
-            let image = pnm::read_pgm(&bytes[..]).map_err(|e| format!("{field}[{i}]: {e}"))?;
-            image_to_bag(&image, config).map_err(|e| format!("{field}[{i}]: {e}"))
+            let image = decode_pgm(text).map_err(|e| format!("{field}[{i}]: {e}"))?;
+            backend
+                .gray_bag(&image, config)
+                .map_err(|e| format!("{field}[{i}]: {e}"))
         })
         .collect()
+}
+
+/// Decodes the `*_regions` arrays of a body — objects of the form
+/// `{"image_pgm": "<base64>", "roi": {"x":..,"y":..,"width":..,
+/// "height":..}}`, `roi` optional (whole image) — into feature bags:
+/// the sub-image query of Luo & Nascimento's relevance-feedback
+/// scenario, where the user marks a region of a picture rather than a
+/// whole picture.
+fn decode_region_uploads(
+    body: &Json,
+    field: &str,
+    backend: &dyn FeatureBackend,
+    config: &RetrievalConfig,
+) -> Result<Vec<Bag>, String> {
+    let Some(value) = body.get(field) else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("{field} must be an array of region objects"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            region_bag(item, backend, config).map_err(|e| format!("{field}[{i}]: {e}"))
+        })
+        .collect()
+}
+
+/// Featurises one region object: decode, crop to the ROI when present,
+/// run the backend.
+fn region_bag(
+    item: &Json,
+    backend: &dyn FeatureBackend,
+    config: &RetrievalConfig,
+) -> Result<Bag, String> {
+    let text = item
+        .get("image_pgm")
+        .and_then(Json::as_str)
+        .ok_or("image_pgm must be a base64 string")?;
+    let image = decode_pgm(text)?;
+    let image = match item.get("roi") {
+        None => image,
+        Some(value) => {
+            let roi = parse_roi(value)?;
+            image.crop(roi).map_err(|e| e.to_string())?
+        }
+    };
+    backend.gray_bag(&image, config).map_err(|e| e.to_string())
 }
 
 /// Extracts an index array field (`"positives": [3, 1]`) from a JSON
@@ -1241,21 +1567,35 @@ fn handle_create_session(daemon: &Daemon, req: &Request) -> (u16, Json) {
         Ok(pair) => pair,
         Err(msg) => return (400, http::error_body(msg)),
     };
-    let positive_bags = match decode_uploads(&body, "positive_pgm", &config) {
+    let epoch = daemon.epoch();
+    let backend = match epoch.feature_backend() {
+        Ok(backend) => backend,
+        Err(msg) => return (500, http::error_body(msg)),
+    };
+    let mut positive_bags = match decode_uploads(&body, "positive_pgm", &*backend, &config) {
         Ok(bags) => bags,
         Err(msg) => return (400, http::error_body(msg)),
     };
-    let negative_bags = match decode_uploads(&body, "negative_pgm", &config) {
+    let mut negative_bags = match decode_uploads(&body, "negative_pgm", &*backend, &config) {
         Ok(bags) => bags,
         Err(msg) => return (400, http::error_body(msg)),
     };
+    match decode_region_uploads(&body, "positive_regions", &*backend, &config) {
+        Ok(bags) => positive_bags.extend(bags),
+        Err(msg) => return (400, http::error_body(msg)),
+    }
+    match decode_region_uploads(&body, "negative_regions", &*backend, &config) {
+        Ok(bags) => negative_bags.extend(bags),
+        Err(msg) => return (400, http::error_body(msg)),
+    }
     if positives.is_empty() && positive_bags.is_empty() {
         return (
             400,
-            http::error_body("at least one positive example (index or upload) is required"),
+            http::error_body(
+                "at least one positive example (index, upload, or region) is required",
+            ),
         );
     }
-    let epoch = daemon.epoch();
     let mut session = match QuerySession::builder(Arc::clone(&epoch.db))
         .config(config)
         .positives(positives)
@@ -1348,15 +1688,38 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
             None => return (400, http::error_body("k must be a non-negative integer")),
         },
     };
+    let aggregator = match body_aggregator(&body) {
+        Ok(aggregator) => aggregator,
+        Err(msg) => return (400, http::error_body(msg)),
+    };
+    let epoch = daemon.epoch();
+    let backend = match epoch.feature_backend() {
+        Ok(backend) => backend,
+        Err(msg) => return (500, http::error_body(msg)),
+    };
+    // Featurise region marks before touching the session: a 400 here
+    // must leave the session exactly as it was.
+    let positive_region_bags =
+        match decode_region_uploads(&body, "positive_regions", &*backend, &daemon.config) {
+            Ok(bags) => bags,
+            Err(msg) => return (400, http::error_body(msg)),
+        };
+    let negative_region_bags =
+        match decode_region_uploads(&body, "negative_regions", &*backend, &daemon.config) {
+            Ok(bags) => bags,
+            Err(msg) => return (400, http::error_body(msg)),
+        };
+    let uploads_regions = !positive_region_bags.is_empty() || !negative_region_bags.is_empty();
     let Some(handle) = daemon.sessions.get(id) else {
         return (404, http::error_body("no such session"));
     };
     let mut session = handle.lock().expect("session mutex");
     // Priority shedding, checked *before* the marks mutate the session
     // so a shed request can be retried verbatim. Feedback is cheap only
-    // when the prospective example set already has a cached concept.
+    // when the prospective example set already has a cached concept —
+    // region marks have no index identity, so they always retrain.
     if priority_overloaded(daemon) {
-        let would_hit = session.query.external_example_counts() == (0, 0) && {
+        let would_hit = !uploads_regions && session.query.external_example_counts() == (0, 0) && {
             let mut pos = session.query.positives().to_vec();
             pos.extend_from_slice(&positives);
             let mut neg = session.query.negatives().to_vec();
@@ -1377,6 +1740,16 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
     }
     if let Err(err) = session.query.add_negatives(&negatives) {
         return core_error_response(&err);
+    }
+    for bag in positive_region_bags {
+        if let Err(err) = session.query.add_positive_bag(bag) {
+            return core_error_response(&err);
+        }
+    }
+    for bag in negative_region_bags {
+        if let Err(err) = session.query.add_negative_bag(bag) {
+            return core_error_response(&err);
+        }
     }
     // Sessions whose examples are all database indices share concepts
     // through the cache; uploads have no index identity, so sessions
@@ -1426,7 +1799,10 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
             return core_error_response(&err);
         }
     }
-    let ranking = match session.query.rank(&RankRequest::pool().top(k)) {
+    let ranking = match session
+        .query
+        .rank(&RankRequest::pool().top(k).aggregator(aggregator))
+    {
         Ok(ranking) => ranking,
         Err(err) => return core_error_response(&err),
     };
@@ -1438,6 +1814,7 @@ fn handle_feedback(daemon: &Daemon, req: &Request, id: u64) -> (u16, Json) {
             ("nldd".into(), Json::Num(session.query.nldd())),
             ("cache_hit".into(), Json::Bool(cache_hit)),
             ("warm".into(), Json::Bool(warm)),
+            ("aggregator".into(), Json::str(aggregator.label())),
             ("ranking".into(), ranking_json(&ranking)),
         ]),
     )

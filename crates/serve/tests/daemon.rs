@@ -15,10 +15,12 @@ use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use milr_baseline::feature_backend;
 use milr_core::storage::Store;
 use milr_core::{QuerySession, RankRequest, RetrievalConfig, RetrievalDatabase};
-use milr_mil::Bag;
-use milr_serve::{client, Json};
+use milr_imgproc::{pnm, GrayImage, Rect};
+use milr_mil::{Bag, BagAggregator};
+use milr_serve::{base64, client, Json};
 
 const TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -830,6 +832,296 @@ fn keepalive_connection_is_bit_identical_to_fresh_connections_across_reload() {
     assert!(
         reused >= 4,
         "reuse counter must reflect the shared socket: {reused}"
+    );
+    daemon.drain();
+}
+
+#[test]
+fn mixed_aggregators_on_one_keepalive_socket_never_cross_contaminate() {
+    // The batcher keys pending ranks on (generation, aggregator): a
+    // keep-alive socket interleaving min-distance and logsumexp
+    // requests — and a concurrent wave racing both folds — must always
+    // get each aggregator's own page, bit for bit.
+    const MIN: &str = "/rank?positives=0,4&negatives=1&k=12";
+    const LSE: &str = "/rank?positives=0,4&negatives=1&k=12&aggregator=logsumexp";
+    let snapshot = snapshot_path("mixed_agg", 24);
+    let daemon = Daemon::spawn(&snapshot, &[]);
+
+    // Fresh-connection references, one per aggregator.
+    let min_page = ranking_of(&daemon.get(MIN).json().unwrap());
+    let lse_body = daemon.get(LSE).json().unwrap();
+    assert_eq!(
+        lse_body.get("aggregator").and_then(Json::as_str),
+        Some("logsumexp"),
+        "{}",
+        lse_body.dump()
+    );
+    let lse_page = ranking_of(&lse_body);
+    assert_ne!(
+        min_page, lse_page,
+        "multi-instance bags must fold to different distances"
+    );
+
+    // Interleave the folds on one keep-alive socket, never redialling.
+    let mut conn = client::Connection::new(daemon.addr, TIMEOUT);
+    for turn in 0..6 {
+        let (target, expected, label) = if turn % 2 == 0 {
+            (MIN, &min_page, "min-distance")
+        } else {
+            (LSE, &lse_page, "logsumexp")
+        };
+        let (response, _) = conn.get_with_info(target).expect("keep-alive rank");
+        assert_eq!(response.status, 200, "turn {turn}");
+        let json = response.json().unwrap();
+        assert_eq!(
+            json.get("aggregator").and_then(Json::as_str),
+            Some(label),
+            "turn {turn} echoed the wrong aggregator: {}",
+            json.dump()
+        );
+        assert_eq!(
+            &ranking_of(&json),
+            expected,
+            "turn {turn}: the {label} page was contaminated by the other fold"
+        );
+    }
+    assert_eq!(conn.dials(), 1, "the interleaving must ride one socket");
+
+    // A concurrent wave racing both folds through the shared cache and
+    // rank batcher: every response matches its own reference exactly.
+    let addr = daemon.addr;
+    let wave: Vec<_> = (0..16)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let target = if i % 2 == 0 { MIN } else { LSE };
+                (i, client::get(addr, target, TIMEOUT).expect("wave GET"))
+            })
+        })
+        .collect();
+    for handle in wave {
+        let (i, response) = handle.join().expect("wave thread");
+        assert_eq!(response.status, 200, "request {i}");
+        let expected = if i % 2 == 0 { &min_page } else { &lse_page };
+        assert_eq!(
+            &ranking_of(&response.json().unwrap()),
+            expected,
+            "concurrent request {i} mixed folds"
+        );
+    }
+    daemon.drain();
+}
+
+/// Deterministic striped gray image for the region e2e: category
+/// `index % 4` picks the stripe direction and pitch. Pixels are
+/// integer-valued so the 8-bit PGM upload round-trips bit-exactly —
+/// the daemon featurises exactly the image the test featurises.
+fn test_image(index: usize) -> GrayImage {
+    let category = index % 4;
+    GrayImage::from_fn(24, 18, |x, y| {
+        ((x * (3 + 2 * category) + y * (11 - 2 * category) + 17 * index) * 13 % 256) as f32
+    })
+    .expect("valid dimensions")
+}
+
+/// Encodes a gray image as the wire's base64 binary PGM.
+fn pgm_b64(image: &GrayImage) -> String {
+    let mut bytes = Vec::new();
+    pnm::write_pgm(image, &mut bytes).expect("encode PGM");
+    base64::encode(&bytes)
+}
+
+#[test]
+fn region_rank_and_feedback_rounds_are_bit_identical_over_the_wire() {
+    // The Luo & Nascimento sub-image scenario end to end: a region of
+    // interest uploaded as base64 PGM, featurised by the snapshot's
+    // backend, trained, ranked under a non-default aggregator — then
+    // refined over feedback rounds carrying further region uploads.
+    // Every page must equal an in-process session on the same snapshot
+    // bit for bit.
+    let config = RetrievalConfig {
+        threads: 1,
+        ..RetrievalConfig::default()
+    };
+    let backend = feature_backend("gray-block").expect("registry lists gray-block");
+    let images: Vec<GrayImage> = (0..16).map(test_image).collect();
+    let bags: Vec<Bag> = images
+        .iter()
+        .map(|image| backend.gray_bag(image, &config).expect("featurise"))
+        .collect();
+    let labels: Vec<usize> = (0..images.len()).map(|i| i % 4).collect();
+    let dir = std::env::temp_dir().join("milrd_daemon_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let snapshot = dir.join(format!("region_{}.milr", std::process::id()));
+    Store::default()
+        .save(
+            &RetrievalDatabase::from_bags(bags, labels).expect("valid corpus"),
+            &snapshot,
+        )
+        .expect("save region snapshot");
+    let daemon = Daemon::spawn(&snapshot, &[]);
+
+    let db = Arc::new(
+        Store::default()
+            .open::<RetrievalDatabase>(&snapshot)
+            .unwrap(),
+    );
+    let config = Arc::new(config);
+    let pool: Vec<usize> = (0..db.len()).collect();
+
+    // The query region: a centred crop of image 0, cropped *before*
+    // featurisation on both sides of the wire.
+    let roi = Rect::new(4, 3, 16, 12);
+    let roi_json = r#"{"x": 4, "y": 3, "width": 16, "height": 12}"#;
+    let query_pgm = pgm_b64(&images[0]);
+    let query_bag = backend
+        .gray_bag(&images[0].crop(roi).expect("roi fits"), &config)
+        .expect("featurise region");
+
+    // Stateless POST /rank under logsumexp, vs the in-process session.
+    let (expected_page, expected_nldd) = {
+        let mut session = QuerySession::builder(Arc::clone(&db))
+            .config(Arc::clone(&config))
+            .positives(Vec::new())
+            .negatives(vec![1, 2, 3])
+            .pool(pool.clone())
+            .build()
+            .unwrap();
+        session.add_positive_bag(query_bag.clone()).unwrap();
+        session.train_round().unwrap();
+        let page = session
+            .rank(
+                &RankRequest::pool()
+                    .top(10)
+                    .aggregator(BagAggregator::LogSumExp),
+            )
+            .unwrap();
+        (page, session.nldd())
+    };
+    let body = format!(
+        r#"{{"image_pgm": "{query_pgm}", "roi": {roi_json}, "negatives": [1, 2, 3], "k": 10, "aggregator": "logsumexp"}}"#
+    );
+    let response = daemon.post("/rank", &body);
+    assert_eq!(
+        response.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    let json = response.json().unwrap();
+    assert_eq!(
+        json.get("aggregator").and_then(Json::as_str),
+        Some("logsumexp")
+    );
+    assert_eq!(
+        json.get("backend").and_then(Json::as_str),
+        Some("gray-block"),
+        "the response must name the snapshot's backend: {}",
+        json.dump()
+    );
+    assert_eq!(
+        ranking_of(&json),
+        expected_page,
+        "the region page must be bit-identical over the wire"
+    );
+    assert_eq!(
+        json.get("nldd").and_then(Json::as_f64).unwrap().to_bits(),
+        expected_nldd.to_bits(),
+        "the trained concept must be bit-identical over the wire"
+    );
+
+    // Malformed region queries are client errors, not daemon faults.
+    assert_eq!(daemon.post("/rank", r#"{"k": 5}"#).status, 400);
+    let bad_roi = format!(
+        r#"{{"image_pgm": "{query_pgm}", "roi": {{"x": 16, "y": 12, "width": 16, "height": 12}}}}"#
+    );
+    assert_eq!(daemon.post("/rank", &bad_roi).status, 400);
+    let bad_agg = format!(r#"{{"image_pgm": "{query_pgm}", "aggregator": "softmax"}}"#);
+    assert_eq!(daemon.post("/rank", &bad_agg).status, 400);
+
+    // Feedback rounds over the wire: a session created from the same
+    // region. The daemon warm-starts sessions by default, so the
+    // reference session must too.
+    let created = daemon.post(
+        "/sessions",
+        &format!(
+            r#"{{"positive_regions": [{{"image_pgm": "{query_pgm}", "roi": {roi_json}}}], "negatives": [1, 2, 3]}}"#
+        ),
+    );
+    assert_eq!(
+        created.status,
+        201,
+        "{}",
+        String::from_utf8_lossy(&created.body)
+    );
+    let id = created.json().unwrap().get("id").unwrap().as_u64().unwrap();
+
+    let mut reference = QuerySession::builder(Arc::clone(&db))
+        .config(Arc::clone(&config))
+        .positives(Vec::new())
+        .negatives(vec![1, 2, 3])
+        .pool(pool)
+        .warm_start(true)
+        .build()
+        .unwrap();
+    reference.add_positive_bag(query_bag).unwrap();
+
+    // Round 1: cold — a session holding an external bag has no index
+    // identity, so it trains for itself.
+    let page1 = daemon.post(&format!("/sessions/{id}/feedback"), r#"{"k": 10}"#);
+    assert_eq!(
+        page1.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&page1.body)
+    );
+    reference.train_round().unwrap();
+    let expected1 = reference.rank(&RankRequest::pool().top(10)).unwrap();
+    let json1 = page1.json().unwrap();
+    assert_eq!(json1.get("warm").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        ranking_of(&json1),
+        expected1,
+        "feedback round 1 must be bit-identical over the wire"
+    );
+
+    // Round 2: an index mark plus another region upload (whole image 5
+    // as a negative), page requested under logsumexp — warm retrain.
+    let extra_pgm = pgm_b64(&images[5]);
+    let page2 = daemon.post(
+        &format!("/sessions/{id}/feedback"),
+        &format!(
+            r#"{{"negatives": [7], "negative_regions": [{{"image_pgm": "{extra_pgm}"}}], "k": 10, "aggregator": "logsumexp"}}"#
+        ),
+    );
+    assert_eq!(
+        page2.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&page2.body)
+    );
+    reference.add_negatives(&[7]).unwrap();
+    reference
+        .add_negative_bag(backend.gray_bag(&images[5], &config).unwrap())
+        .unwrap();
+    reference.train_round().unwrap();
+    let expected2 = reference
+        .rank(
+            &RankRequest::pool()
+                .top(10)
+                .aggregator(BagAggregator::LogSumExp),
+        )
+        .unwrap();
+    let json2 = page2.json().unwrap();
+    assert_eq!(json2.get("round").and_then(Json::as_u64), Some(2));
+    assert_eq!(json2.get("warm").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        json2.get("aggregator").and_then(Json::as_str),
+        Some("logsumexp")
+    );
+    assert_eq!(
+        ranking_of(&json2),
+        expected2,
+        "feedback round 2 must be bit-identical over the wire"
     );
     daemon.drain();
 }

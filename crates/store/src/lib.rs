@@ -80,21 +80,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use milr_core::database::{RankRequest, RankScope, Ranking};
 use milr_core::error::CoreError;
 use milr_core::storage::{storage_err, OsFs, StorageIo, Store, Stream};
-use milr_core::{RetrievalConfig, RetrievalDatabase};
+use milr_core::{BackendTag, RetrievalConfig, RetrievalDatabase};
 use milr_imgproc::GrayImage;
-use milr_mil::{Bag, CoarseIndex, Concept, FlatBags, QuantParams, ScreenStats};
+use milr_mil::{Bag, BagAggregator, CoarseIndex, Concept, FlatBags, QuantParams, ScreenStats};
 use milr_optim::pool;
 
 /// Format version of sharded manifests and shard files written by this
 /// crate: v4 = v3 plus the persisted per-shard quantized tier; v5 = v4
-/// plus the persisted per-shard coarse cell index.
-pub const STORE_VERSION: u32 = 5;
+/// plus the persisted per-shard coarse cell index; v6 = v5 plus the
+/// feature-backend tag in the manifest (shard files are unchanged from
+/// v5).
+pub const STORE_VERSION: u32 = 6;
 /// First format version whose shard files carry the quantized tier.
 const QUANT_TIER_VERSION: u32 = 4;
+/// First format version whose shard files carry the coarse cell index.
+const COARSE_INDEX_VERSION: u32 = 5;
+/// First format version whose manifest carries the feature-backend tag.
+const BACKEND_TAG_VERSION: u32 = 6;
 /// Oldest sharded format version still readable. v3 shards carry no
 /// quantized tier, v3/v4 shards no coarse index; the missing sections
-/// are rebuilt (deterministically) at load.
+/// are rebuilt (deterministically) at load. Pre-v6 manifests carry no
+/// backend tag and open as the default gray-block backend.
 pub const MIN_STORE_VERSION: u32 = 3;
+
+/// Every sharded format version this crate still reads.
+const READABLE_VERSIONS: [u32; 4] = [
+    MIN_STORE_VERSION,
+    QUANT_TIER_VERSION,
+    COARSE_INDEX_VERSION,
+    STORE_VERSION,
+];
 /// Payload kind of a sharded-store manifest file.
 pub const MANIFEST_KIND: u8 = 3;
 /// Payload kind of a sharded-store shard file.
@@ -152,6 +167,9 @@ pub struct ShardedDatabase {
     shards: Vec<Shard>,
     tombstones: BTreeSet<usize>,
     next_shard_id: u64,
+    /// The feature backend that produced the stored bags, stamped into
+    /// the manifest on every flush.
+    backend: BackendTag,
 }
 
 /// The running global top-k distance threshold shared across the
@@ -281,7 +299,23 @@ impl ShardedDatabase {
             shards: Vec::new(),
             tombstones: BTreeSet::new(),
             next_shard_id: 0,
+            backend: BackendTag::default(),
         })
+    }
+
+    /// The feature backend recorded for the stored bags (the default
+    /// gray-block tag for stores created without an explicit one, and
+    /// for snapshots written before manifests carried tags).
+    pub fn backend(&self) -> &BackendTag {
+        &self.backend
+    }
+
+    /// Records the feature backend that produced the stored bags; the
+    /// tag lands in the manifest on the next [`Self::flush`]. The
+    /// preprocessing pipeline stamps this once at build time — changing
+    /// it on a populated store does not (cannot) reinterpret the bags.
+    pub fn set_backend(&mut self, backend: BackendTag) {
+        self.backend = backend;
     }
 
     /// Shards an existing monolithic database into a new store rooted at
@@ -342,8 +376,34 @@ impl ShardedDatabase {
             shards,
             tombstones: summary.tombstones,
             next_shard_id,
+            backend: summary.backend,
         };
         store.update_gauges();
+        Ok(store)
+    }
+
+    /// [`Self::open`], additionally requiring the snapshot's recorded
+    /// feature backend to be `expected_backend`. A mismatch is a format
+    /// error at open — a snapshot preprocessed in one feature space must
+    /// never be silently ranked against concepts trained in another.
+    ///
+    /// # Errors
+    /// [`CoreError::Storage`] naming both backend ids on a mismatch, or
+    /// any [`Self::open`] failure.
+    pub fn open_expecting_backend(
+        dir: impl Into<PathBuf>,
+        expected_backend: &str,
+    ) -> Result<Self, CoreError> {
+        let store = Self::open(dir)?;
+        if store.backend.id != expected_backend {
+            return Err(storage_err(
+                &store.dir,
+                format!(
+                    "snapshot was preprocessed with feature backend '{}' but '{expected_backend}' was expected",
+                    store.backend.id
+                ),
+            ));
+        }
         Ok(store)
     }
 
@@ -635,6 +695,17 @@ impl ShardedDatabase {
         for &index in &self.tombstones {
             w.write_u64(index as u64)?;
         }
+        // The v6 backend tag: id and parameters, length-prefixed. All
+        // bytes land before `finish`, so the trailing FNV checksum
+        // covers them — a bit flip anywhere in the tag fails the open.
+        w.write_u64(self.backend.id.len() as u64)?;
+        w.write_all(self.backend.id.as_bytes())?;
+        w.write_u64(self.backend.params.len() as u64)?;
+        for (name, value) in &self.backend.params {
+            w.write_u64(name.len() as u64)?;
+            w.write_all(name.as_bytes())?;
+            w.write_u64(value.to_bits())?;
+        }
         w.finish()
     }
 
@@ -780,6 +851,7 @@ impl ShardedDatabase {
                 &shared,
                 screen,
                 screen && request.use_index,
+                request.aggregator,
             )
         });
         milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
@@ -848,6 +920,16 @@ fn fold_scan_counters(scans: Vec<ShardScan>) -> (Vec<Ranking>, u64) {
 /// thresholds, and therefore the merged ranking are unchanged by
 /// construction. Full (unbounded) rankings never skip: they need every
 /// distance.
+///
+/// A non-min `aggregator` disables all three accelerations for the
+/// whole scan: the quantized screen, the coarse index, and the partial
+/// abandon all bound the bag's *minimum* instance distance, which says
+/// nothing about a logsumexp/mean/noisy-or key — every bag takes the
+/// exact [`FlatBags::aggregate_distance`] fold instead, and a requested
+/// indexed scan is counted as a fallback (the pinned-counter contract:
+/// non-min ⇒ `quant_screened == 0` and one `index_fallback` per bounded
+/// shard scan).
+#[allow(clippy::too_many_arguments)]
 fn rank_one_shard(
     shard: &Shard,
     concept: &Concept,
@@ -856,22 +938,32 @@ fn rank_one_shard(
     shared: &SharedBound,
     screen: bool,
     use_index: bool,
+    aggregator: BagAggregator,
 ) -> ShardScan {
     let mut stats = ScreenStats::default();
     let mut scratch = milr_mil::ScreenScratch::default();
+    let mut agg_scratch: Vec<f64> = Vec::new();
     let mut tightenings = 0u64;
     let mut cells_scanned = 0u64;
     let mut cells_skipped = 0u64;
     let mut index_fallback = false;
-    let query = screen.then(|| shard.bags.quant_query(concept));
+    let exact_fold = !aggregator.is_min();
+    let query = (screen && !exact_fold).then(|| shard.bags.quant_query(concept));
     // The index only matters where a rejection threshold exists — the
     // bounded arm. An unsealed tail has none; note the fallback so the
-    // counters expose how much of the corpus ranks unindexed.
+    // counters expose how much of the corpus ranks unindexed. The exact
+    // fold can never use the index, so a requested indexed scan counts
+    // as a fallback there too.
     let coarse = match top_k {
         Some(k) if k > 0 && use_index => {
-            let coarse = shard.bags.index();
-            index_fallback = coarse.is_none();
-            coarse
+            if exact_fold {
+                index_fallback = true;
+                None
+            } else {
+                let coarse = shard.bags.index();
+                index_fallback = coarse.is_none();
+                coarse
+            }
         }
         _ => None,
     };
@@ -879,14 +971,28 @@ fn rank_one_shard(
     // One scan bound, two kernels: the screened scan and the exact scan
     // return bit-identical values for every (bag, bound) pair. The
     // scratch lives for the whole shard scan so its buffers allocate
-    // once.
-    let mut scan = |local: usize, bound: f64, stats: &mut ScreenStats| match &query {
-        Some(q) => {
-            shard
-                .bags
-                .min_distance_sq_below_screened(concept, q, local, bound, stats, &mut scratch)
+    // once. The exact-fold arm ignores the bound entirely — non-min
+    // keys cannot be partially abandoned — and always returns `Some`.
+    let mut scan = |local: usize, bound: f64, stats: &mut ScreenStats| {
+        if exact_fold {
+            return Some(shard.bags.aggregate_distance(
+                concept,
+                local,
+                aggregator,
+                &mut agg_scratch,
+            ));
         }
-        None => shard.bags.min_distance_sq_below(concept, local, bound),
+        match &query {
+            Some(q) => shard.bags.min_distance_sq_below_screened(
+                concept,
+                q,
+                local,
+                bound,
+                stats,
+                &mut scratch,
+            ),
+            None => shard.bags.min_distance_sq_below(concept, local, bound),
+        }
     };
     let ranking = match top_k {
         None => {
@@ -959,8 +1065,10 @@ fn rank_one_shard(
                 }
                 // Publish the local k-th-worst whenever the heap is
                 // full — the shared bound only ever sees thresholds
-                // backed by k real candidates.
-                if heap.len() >= k {
+                // backed by k real candidates. The exact fold never
+                // prunes against the bound, so it never publishes
+                // either (tightenings stay pinned at zero for non-min).
+                if !exact_fold && heap.len() >= k {
                     let worst = heap.peek().expect("heap is non-empty");
                     if shared.tighten(worst.0) {
                         tightenings += 1;
@@ -1106,10 +1214,7 @@ fn read_shard(
         .reader(&path)
         .map_err(|e| storage_err(&path, e.to_string()))?;
     let mut r = Stream::new(BufReader::new(file), &path);
-    let version = r.read_header_any(
-        SHARD_KIND,
-        &[MIN_STORE_VERSION, QUANT_TIER_VERSION, STORE_VERSION],
-    )?;
+    let version = r.read_header_any(SHARD_KIND, &READABLE_VERSIONS)?;
     let stored_id = r.read_u64()?;
     if stored_id != id {
         return Err(r.fail(format!(
@@ -1180,7 +1285,7 @@ fn read_shard(
     // The v5 coarse-index section. Length plausibility is checked
     // before any allocation; structural invariants are re-validated by
     // `CoarseIndex::from_persisted` after the checksum clears.
-    let persisted_index = if version >= STORE_VERSION {
+    let persisted_index = if version >= COARSE_INDEX_VERSION {
         let flag = r.read_u64()?;
         if flag > 1 {
             return Err(r.fail(format!("implausible coarse-index flag {flag}")));
@@ -1278,7 +1383,7 @@ pub struct ManifestShard {
 /// The decoded, checksum-verified manifest of a sharded snapshot —
 /// everything needed to plan a shard-subset open or a cluster shard
 /// assignment without touching any shard file.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ManifestSummary {
     /// Feature dimension of the stored bags.
     pub feature_dim: usize,
@@ -1290,6 +1395,9 @@ pub struct ManifestSummary {
     pub shards: Vec<ManifestShard>,
     /// Tombstoned global indices.
     pub tombstones: BTreeSet<usize>,
+    /// The feature backend that preprocessed the stored bags. Pre-v6
+    /// manifests carry no tag and decode as the default gray-block tag.
+    pub backend: BackendTag,
 }
 
 impl ManifestSummary {
@@ -1338,11 +1446,8 @@ pub fn read_manifest_with(fs: &dyn StorageIo, dir: &Path) -> Result<ManifestSumm
     let mut r = Stream::new(BufReader::new(file), &manifest_path);
     // v3, v4 and v5 manifests carry an identical payload; only the
     // shard files differ (v4 appends the quantized tier, v5 the coarse
-    // index).
-    r.read_header_any(
-        MANIFEST_KIND,
-        &[MIN_STORE_VERSION, QUANT_TIER_VERSION, STORE_VERSION],
-    )?;
+    // index). v6 appends the feature-backend tag to the manifest.
+    let version = r.read_header_any(MANIFEST_KIND, &READABLE_VERSIONS)?;
     let feature_dim = r.read_u64()? as usize;
     if feature_dim == 0 || feature_dim > 100_000_000 {
         return Err(r.fail("implausible feature dimension"));
@@ -1393,6 +1498,26 @@ pub fn read_manifest_with(fs: &dyn StorageIo, dir: &Path) -> Result<ManifestSumm
         previous = Some(index);
         tombstones.insert(index);
     }
+    // The v6 backend tag. Older manifests predate the tag: those
+    // snapshots were all produced by the paper's gray-block pipeline,
+    // so they decode as the default gray-block tag (byte-identically —
+    // no payload bytes are consumed).
+    let backend = if version >= BACKEND_TAG_VERSION {
+        let id = read_tag_string(&mut r, "backend id")?;
+        let param_count = r.read_u64()? as usize;
+        if param_count > 64 {
+            return Err(r.fail(format!("implausible backend parameter count {param_count}")));
+        }
+        let mut params = Vec::with_capacity(param_count);
+        for _ in 0..param_count {
+            let name = read_tag_string(&mut r, "backend parameter name")?;
+            let value = f64::from_bits(r.read_u64()?);
+            params.push((name, value));
+        }
+        BackendTag { id, params }
+    } else {
+        BackendTag::default()
+    };
     r.verify_checksum()?;
     Ok(ManifestSummary {
         feature_dim,
@@ -1400,7 +1525,24 @@ pub fn read_manifest_with(fs: &dyn StorageIo, dir: &Path) -> Result<ManifestSumm
         shard_capacity,
         shards,
         tombstones,
+        backend,
     })
+}
+
+/// Reads one length-prefixed UTF-8 string of the manifest's backend-tag
+/// section (backend ids and parameter names are short ASCII labels, so
+/// anything past 256 bytes is corruption, not a long name).
+fn read_tag_string<R: std::io::Read>(
+    r: &mut Stream<'_, R>,
+    what: &str,
+) -> Result<String, CoreError> {
+    let len = r.read_u64()? as usize;
+    if len == 0 || len > 256 {
+        return Err(r.fail(format!("implausible {what} length {len}")));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| r.fail(format!("{what} is not UTF-8")))
 }
 
 /// Loads one manifest-listed shard and cross-checks it against its
@@ -1581,12 +1723,39 @@ impl ShardSubset {
     ///
     /// # Errors
     /// [`CoreError::Mil`] on a concept dimension mismatch.
+    #[deprecated(note = "use `rank_top_k_with` with an explicit `BagAggregator`")]
     pub fn rank_top_k(
         &self,
         concept: &Concept,
         k: usize,
         initial_bound: f64,
         threads: usize,
+    ) -> Result<SubsetRanking, CoreError> {
+        self.rank_top_k_with(
+            concept,
+            k,
+            initial_bound,
+            threads,
+            BagAggregator::MinDistance,
+        )
+    }
+
+    /// [`Self::rank_top_k`] under an explicit [`BagAggregator`]. The
+    /// default min-distance aggregator runs the pruned, screened,
+    /// indexed scan; any other aggregator takes the exact per-bag fold
+    /// (no screen, no index, no shared-bound pruning — see
+    /// [`BagAggregator::fold`]), so a coordinator-seeded `initial_bound`
+    /// is simply ignored there.
+    ///
+    /// # Errors
+    /// [`CoreError::Mil`] on a concept dimension mismatch.
+    pub fn rank_top_k_with(
+        &self,
+        concept: &Concept,
+        k: usize,
+        initial_bound: f64,
+        threads: usize,
+        aggregator: BagAggregator,
     ) -> Result<SubsetRanking, CoreError> {
         if concept.dim() != self.feature_dim {
             return Err(CoreError::Mil(milr_mil::MilError::DimensionMismatch {
@@ -1611,6 +1780,7 @@ impl ShardSubset {
                 &shared,
                 true,
                 true,
+                aggregator,
             )
         });
         milr_obs::counter!("milr_store_rank_shards_total").add(occupied.len() as u64);
@@ -1634,6 +1804,10 @@ pub struct Snapshot {
     pub generation: u64,
     /// How many shards backed the snapshot (1 for v2 files).
     pub shards: usize,
+    /// The feature backend recorded for the snapshot's bags (the
+    /// default gray-block tag for monolithic v2 files and pre-v6
+    /// sharded snapshots).
+    pub backend: BackendTag,
 }
 
 /// Loads a snapshot, auto-detecting the format: a directory (or a path
@@ -1645,20 +1819,51 @@ pub struct Snapshot {
 pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, CoreError> {
     let path = path.as_ref();
     if path.is_dir() || path.join(MANIFEST_FILE).is_file() {
-        let store = ShardedDatabase::open(path)?;
+        let mut store = ShardedDatabase::open(path)?;
+        let backend = std::mem::take(&mut store.backend);
         Ok(Snapshot {
             database: store.to_database()?,
             generation: store.generation(),
             shards: store.shard_count(),
+            backend,
         })
     } else {
+        // Monolithic v2 files predate backend tags; they were all
+        // produced by the gray-block pipeline.
         let database: RetrievalDatabase = Store::default().open(path)?;
         Ok(Snapshot {
             database,
             generation: 0,
             shards: 1,
+            backend: BackendTag::default(),
         })
     }
+}
+
+/// [`load_snapshot`], additionally requiring the snapshot's recorded
+/// feature backend id to be `expected_backend` — the serving-side guard
+/// that keeps a daemon configured for one feature space from answering
+/// queries out of a snapshot preprocessed in another.
+///
+/// # Errors
+/// [`CoreError::Storage`] naming both backend ids on a mismatch, or any
+/// [`load_snapshot`] failure.
+pub fn load_snapshot_expecting(
+    path: impl AsRef<Path>,
+    expected_backend: &str,
+) -> Result<Snapshot, CoreError> {
+    let path = path.as_ref();
+    let snapshot = load_snapshot(path)?;
+    if snapshot.backend.id != expected_backend {
+        return Err(storage_err(
+            path,
+            format!(
+                "snapshot was preprocessed with feature backend '{}' but '{expected_backend}' was expected",
+                snapshot.backend.id
+            ),
+        ));
+    }
+    Ok(snapshot)
 }
 
 #[cfg(test)]
@@ -1756,6 +1961,194 @@ mod tests {
                 "capacity {capacity}"
             );
         }
+    }
+
+    #[test]
+    fn non_min_aggregators_rank_identically_to_monolithic() {
+        // Every non-min aggregator takes the exact per-bag fold on both
+        // sides, so sharded (screened or not, indexed or not, with
+        // tombstones) must match the monolithic ranking bit for bit.
+        let db = sample_db(23);
+        let concept = sample_concept();
+        for aggregator in BagAggregator::ALL {
+            let request = RankRequest::all().aggregator(aggregator);
+            let monolithic = db.rank(&concept, &request).unwrap();
+            for capacity in [1, 4, 23] {
+                let store =
+                    ShardedDatabase::from_database(&db, temp_dir("agg_rank"), capacity).unwrap();
+                assert_eq!(
+                    store.rank(&concept, &request).unwrap(),
+                    monolithic,
+                    "{aggregator} capacity {capacity}"
+                );
+                assert_eq!(
+                    store.rank_exact(&concept, &request).unwrap(),
+                    monolithic,
+                    "{aggregator} capacity {capacity} (exact)"
+                );
+                for k in [1, 3, 23] {
+                    assert_eq!(
+                        store
+                            .rank(&concept, &RankRequest::all().top(k).aggregator(aggregator))
+                            .unwrap(),
+                        monolithic[..k.min(monolithic.len())],
+                        "{aggregator} capacity {capacity} k {k}"
+                    );
+                }
+            }
+        }
+        // Tombstones restrict non-min rankings exactly like min ones.
+        let mut store = ShardedDatabase::from_database(&db, temp_dir("agg_tomb"), 5).unwrap();
+        store.delete(3).unwrap();
+        store.delete(19).unwrap();
+        let live: Vec<usize> = (0..23).filter(|&i| i != 3 && i != 19).collect();
+        for aggregator in BagAggregator::ALL {
+            let request = RankRequest::all().aggregator(aggregator);
+            assert_eq!(
+                store.rank(&concept, &request).unwrap(),
+                db.rank(
+                    &concept,
+                    &RankRequest::over(live.clone()).aggregator(aggregator)
+                )
+                .unwrap(),
+                "{aggregator} under tombstones"
+            );
+        }
+    }
+
+    #[test]
+    fn subset_non_min_ranking_matches_sharded_store() {
+        let db = sample_db(19);
+        let concept = sample_concept();
+        let dir = temp_dir("agg_subset");
+        let mut store = ShardedDatabase::from_database(&db, &dir, 4).unwrap();
+        store.flush().unwrap();
+        let ids: Vec<u64> = read_manifest(&dir)
+            .unwrap()
+            .shards
+            .iter()
+            .map(|s| s.id)
+            .collect();
+        let subset = ShardSubset::open(&dir, &ids).unwrap();
+        for aggregator in BagAggregator::ALL {
+            for k in [1, 5, 19] {
+                let scan = subset
+                    .rank_top_k_with(&concept, k, f64::INFINITY, 1, aggregator)
+                    .unwrap();
+                let expected = store
+                    .rank(&concept, &RankRequest::all().top(k).aggregator(aggregator))
+                    .unwrap();
+                assert_eq!(scan.ranking, expected, "{aggregator} k {k}");
+                if !aggregator.is_min() {
+                    assert_eq!(scan.tightenings, 0, "{aggregator} never publishes bounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_backend_tag_round_trips() {
+        let dir = temp_dir("backend_tag");
+        let mut store = ShardedDatabase::from_database(&sample_db(7), &dir, 3).unwrap();
+        let tag = BackendTag {
+            id: "sbn".to_string(),
+            params: vec![("grid".to_string(), 8.0), ("blob".to_string(), 2.0)],
+        };
+        store.set_backend(tag.clone());
+        store.flush().unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().backend, tag);
+        let reopened = ShardedDatabase::open(&dir).unwrap();
+        assert_eq!(reopened.backend(), &tag);
+        // The snapshot front door surfaces the tag and the expecting
+        // variant enforces it.
+        let snapshot = load_snapshot(&dir).unwrap();
+        assert_eq!(snapshot.backend, tag);
+        assert!(load_snapshot_expecting(&dir, "sbn").is_ok());
+        assert!(matches!(
+            load_snapshot_expecting(&dir, "gray-block"),
+            Err(CoreError::Storage { .. })
+        ));
+        assert!(ShardedDatabase::open_expecting_backend(&dir, "sbn").is_ok());
+        assert!(matches!(
+            ShardedDatabase::open_expecting_backend(&dir, "gray-block"),
+            Err(CoreError::Storage { .. })
+        ));
+    }
+
+    #[test]
+    fn pre_v6_manifests_open_as_gray_block() {
+        // Rewrite a freshly-flushed manifest as v5 — the exact payload a
+        // pre-tag writer produced — and check the store opens with the
+        // default gray-block tag and byte-identical content.
+        let dir = temp_dir("backend_v5");
+        let mut store = ShardedDatabase::from_database(&sample_db(9), &dir, 4).unwrap();
+        store.set_backend(BackendTag {
+            id: "sbn".to_string(),
+            params: Vec::new(),
+        });
+        store.flush().unwrap();
+        let summary = read_manifest(&dir).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut w = Stream::new(BufWriter::new(file), &path);
+            w.write_header(MANIFEST_KIND, COARSE_INDEX_VERSION).unwrap();
+            w.write_u64(summary.feature_dim as u64).unwrap();
+            w.write_u64(summary.generation).unwrap();
+            w.write_u64(summary.shard_capacity as u64).unwrap();
+            w.write_u64(summary.shards.len() as u64).unwrap();
+            for shard in &summary.shards {
+                w.write_u64(shard.id).unwrap();
+                w.write_u64(shard.bag_count as u64).unwrap();
+                w.write_u64(shard.instance_count as u64).unwrap();
+                w.write_u64(shard.digest).unwrap();
+            }
+            w.write_u64(0).unwrap(); // no tombstones
+            w.finish().unwrap();
+        }
+        let reopened = ShardedDatabase::open(&dir).unwrap();
+        assert_eq!(reopened.backend(), &BackendTag::default());
+        assert_eq!(reopened.backend().id, "gray-block");
+        let concept = sample_concept();
+        assert_eq!(
+            reopened.rank(&concept, &RankRequest::all()).unwrap(),
+            store.rank(&concept, &RankRequest::all()).unwrap(),
+            "pre-v6 manifests must open byte-identically"
+        );
+    }
+
+    #[test]
+    fn corrupt_backend_tags_fail_the_open() {
+        let dir = temp_dir("backend_corrupt");
+        let mut store = ShardedDatabase::from_database(&sample_db(5), &dir, 3).unwrap();
+        store.set_backend(BackendTag {
+            id: "gray-block".to_string(),
+            params: vec![("resolution".to_string(), 10.0)],
+        });
+        store.flush().unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        // Sweep a bit flip across every byte of the v6 tag section and
+        // the trailing checksum. Walking back from the end: checksum
+        // (8), param value (8), param name (10), param name length (8),
+        // param count (8), id ("gray-block", 10), id length (8). Length
+        // fields are guarded by plausibility caps, so even a flipped
+        // high length byte surfaces as a storage error, never a huge
+        // allocation or a panic.
+        let tag_len = 8 + "gray-block".len() + 8 + 8 + "resolution".len() + 8;
+        let tag_start = clean.len() - 8 - tag_len;
+        for offset in tag_start..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[offset] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = ShardedDatabase::open(&dir).unwrap_err();
+            assert!(
+                matches!(err, CoreError::Storage { .. }),
+                "tag corruption at byte {offset}: expected Storage, got {err:?}"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        ShardedDatabase::open(&dir).expect("restored store opens again");
     }
 
     #[test]

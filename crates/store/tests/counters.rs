@@ -8,7 +8,7 @@
 //! stay exact.
 
 use milr_core::{RankRequest, RetrievalDatabase};
-use milr_mil::{Bag, Concept};
+use milr_mil::{Bag, BagAggregator, Concept};
 use milr_store::ShardedDatabase;
 use milr_synth::corpus;
 
@@ -64,6 +64,67 @@ fn unindexed_tail_scans_are_counted_as_fallbacks() {
     assert!(store.shard_index(2).is_some());
     store.rank(&concept, &RankRequest::all().top(2)).unwrap();
     assert_eq!(counter("milr_rank_index_fallbacks_total") - before, 3);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_min_aggregators_pin_the_fallback_counters() {
+    // The pinned-counter contract (see `rank_one_shard`): a non-min
+    // aggregator takes the exact fold, so the i8 screen never fires
+    // (`quant_screened == 0`), no shard ever publishes a tightened
+    // bound, and a *bounded* scan that asked for the index counts one
+    // fallback per sealed-or-not shard — the counters are how operators
+    // see that a workload opted out of the provable pruning tiers.
+    let bags: Vec<Bag> = corpus::lattice_bags(12, 4)
+        .into_iter()
+        .map(|instances| Bag::new(instances).unwrap())
+        .collect();
+    let db = RetrievalDatabase::from_bags(bags, corpus::lattice_labels(12)).unwrap();
+    let dir = scratch("non_min_pins");
+    let mut store = ShardedDatabase::from_database(&db, &dir, 4).unwrap();
+    store.flush().unwrap();
+    let shards = 3; // 12 bags at capacity 4, all sealed and indexed.
+    assert!(store.shard_index(shards - 1).is_some());
+    let concept = Concept::new(vec![1.0, 2.5, 0.5, 3.0], vec![1.0, 0.5, 2.0, 0.25]);
+
+    for aggregator in BagAggregator::ALL.into_iter().filter(|a| !a.is_min()) {
+        let screened_before = counter("milr_rank_quant_screened_total");
+        let tightened_before = counter("milr_rank_threshold_tightenings_total");
+        let fallbacks_before = counter("milr_rank_index_fallbacks_total");
+
+        let bounded = RankRequest::all().top(2).aggregator(aggregator);
+        let paged = store.rank(&concept, &bounded).unwrap();
+        assert_eq!(
+            counter("milr_rank_index_fallbacks_total") - fallbacks_before,
+            shards as u64,
+            "{aggregator}: one fallback per shard on a bounded indexed scan"
+        );
+
+        // Unbounded scans and explicit index opt-outs are not fallbacks
+        // even under the exact fold — same rule as min-distance.
+        let full = store
+            .rank(&concept, &RankRequest::all().aggregator(aggregator))
+            .unwrap();
+        store.rank(&concept, &bounded.clone().index(false)).unwrap();
+        assert_eq!(
+            counter("milr_rank_index_fallbacks_total") - fallbacks_before,
+            shards as u64,
+            "{aggregator}: only the bounded indexed scan falls back"
+        );
+
+        assert_eq!(
+            counter("milr_rank_quant_screened_total") - screened_before,
+            0,
+            "{aggregator}: the i8 screen must never fire on the exact fold"
+        );
+        assert_eq!(
+            counter("milr_rank_threshold_tightenings_total") - tightened_before,
+            0,
+            "{aggregator}: the exact fold never publishes bounds"
+        );
+        assert_eq!(paged[..], full[..2], "{aggregator}: page is a prefix");
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -57,9 +57,9 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage:\n  \
-         milr generate --kind scenes|objects --out DIR [--per-category N] [--seed N]\n  \
-         milr preprocess --kind scenes|objects --out DB.milr [--per-category N]\n                \
-         [--seed N] [--fast]\n  \
+         milr generate --kind scenes|objects --out DIR [--per-category N] [--seed N] [--gray]\n  \
+         milr preprocess --kind scenes|objects --out DB.milr|DIR [--per-category N]\n                \
+         [--seed N] [--fast] [--backend gray-block|sbn] [--sharded [--shard-bags N]]\n  \
          milr snapshot --in DB.milr|DIR\n  \
          milr shard    --in DB.milr --out DIR [--shard-bags N]\n  \
          milr compact  --in DIR | --in DB.milr --out DIR  [--shard-bags N]\n  \
@@ -69,7 +69,7 @@ fn print_usage() {
          [--keepalive-requests N] [--keepalive-burst N] [--keepalive-turn-ms N]\n                \
          [--idle-timeout-ms N] [--priority-shed-fill F]\n                \
          [--warm-train true|false] [--session-ttl-s N] [--session-capacity N] [--debug-endpoints]\n                \
-         [--watch-snapshot] [--watch-interval-ms N]\n  \
+         [--backend gray-block|sbn] [--watch-snapshot] [--watch-interval-ms N]\n  \
          milr serve    --role coordinator --snapshot DIR --worker-addrs H:P[,H:P...]\n                \
          [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--page K]\n                \
          [--policy POLICY] [--worker-deadline-ms N] [--health-interval-ms N]\n                \
@@ -158,6 +158,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
 
+    // `--gray` writes luminance PGMs instead of colour PPMs — the
+    // format `POST /rank` region uploads and `query-files` consume.
+    let gray = args.iter().any(|a| a == "--gray");
+
     let db = Db::build(&kind, per_category, seed)?;
     let images = db.images();
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
@@ -165,14 +169,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let mut index = String::from("file,label,category\n");
     for (i, image) in images.images().iter().enumerate() {
         let label = images.labels()[i];
-        let name = format!("{kind}_{i:04}_{}.ppm", images.categories()[label]);
-        pnm::save_ppm(image, out.join(&name)).map_err(|e| e.to_string())?;
+        let ext = if gray { "pgm" } else { "ppm" };
+        let name = format!("{kind}_{i:04}_{}.{ext}", images.categories()[label]);
+        if gray {
+            pnm::save_pgm(&image.to_gray(), out.join(&name)).map_err(|e| e.to_string())?;
+        } else {
+            pnm::save_ppm(image, out.join(&name)).map_err(|e| e.to_string())?;
+        }
         index.push_str(&format!("{name},{label},{}\n", images.categories()[label]));
     }
     std::fs::write(out.join("index.csv"), index).map_err(|e| e.to_string())?;
     println!(
-        "wrote {} PPM images and index.csv to {}",
+        "wrote {} {} images and index.csv to {}",
         images.len(),
+        if gray { "PGM" } else { "PPM" },
         out.display()
     );
     Ok(())
@@ -190,9 +200,16 @@ fn apply_fast(config: &mut RetrievalConfig) {
     config.initial_negatives = 3;
 }
 
-/// Preprocesses a synthetic database into bags (§3.5 steps 1-5) and
-/// saves the result as a `.milr` snapshot — the input format of
-/// `milr serve` / `milrd`, and a shortcut for repeated `query` runs.
+/// Preprocesses a synthetic database into bags and saves the result as
+/// a snapshot — the input format of `milr serve` / `milrd`, and a
+/// shortcut for repeated `query` runs.
+///
+/// `--backend` picks the feature extractor (`gray-block`, the paper's
+/// §3.5 steps 1-5 pipeline and the default, or `sbn`, the Maron &
+/// Lakshmi Ratan colour baseline). A non-default backend requires
+/// `--sharded`: only the sharded manifest records the backend tag, and
+/// an untagged monolithic file would silently open as gray-block — the
+/// exact mixup the tag exists to refuse.
 fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     let kind = flag(args, "--kind").ok_or("--kind is required")?;
     let out = flag(args, "--out").ok_or("--out is required")?;
@@ -204,20 +221,72 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--fast") {
         apply_fast(&mut config);
     }
+    let backend_id = flag(args, "--backend").unwrap_or_else(|| "gray-block".to_string());
+    let backend = milr::baseline::feature_backend(&backend_id).ok_or_else(|| {
+        format!(
+            "unknown backend {backend_id:?} (expected one of: {})",
+            milr::baseline::BACKEND_IDS.join(", ")
+        )
+    })?;
+    let sharded = args.iter().any(|a| a == "--sharded");
+    if backend_id != milr::core::backend::GRAY_BLOCK_ID && !sharded {
+        return Err(format!(
+            "--backend {backend_id} requires --sharded: only the sharded manifest \
+             records the backend tag, and an untagged snapshot would open as gray-block"
+        ));
+    }
     let db = Db::build(&kind, per_category.or(Some(20)), seed)?;
     let images = db.images();
-    eprintln!("preprocessing {} images ...", images.len());
-    let retrieval = RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
-        .map_err(|e| e.to_string())?;
-    Store::default()
-        .save(&retrieval, &out)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "wrote snapshot {out} ({} images, {} categories, dim {})",
-        retrieval.len(),
-        retrieval.category_count(),
-        retrieval.feature_dim()
+    eprintln!(
+        "preprocessing {} images with the {backend_id} backend ...",
+        images.len()
     );
+    let retrieval = if backend_id == milr::core::backend::GRAY_BLOCK_ID {
+        // The classic path, byte-identical to every earlier release.
+        RetrievalDatabase::from_labelled_images(images.gray_images(), &config)
+            .map_err(|e| e.to_string())?
+    } else {
+        let bags = images
+            .images()
+            .iter()
+            .map(|image| backend.color_bag(image, &config))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        RetrievalDatabase::from_bags(bags, images.labels().to_vec()).map_err(|e| e.to_string())?
+    };
+    if sharded {
+        let capacity: usize = match flag(args, "--shard-bags") {
+            Some(text) => text
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(format!("invalid --shard-bags {text:?}"))?,
+            None => milr::store::DEFAULT_SHARD_CAPACITY,
+        };
+        let mut store =
+            milr::store::ShardedDatabase::from_database(&retrieval, Path::new(&out), capacity)
+                .map_err(|e| e.to_string())?;
+        store.set_backend(backend.tag(&config));
+        store.flush().map_err(|e| e.to_string())?;
+        println!(
+            "wrote sharded snapshot {out} ({} images, {} categories, dim {}, {} shard{}, backend {backend_id})",
+            retrieval.len(),
+            retrieval.category_count(),
+            retrieval.feature_dim(),
+            store.shard_count(),
+            if store.shard_count() == 1 { "" } else { "s" },
+        );
+    } else {
+        Store::default()
+            .save(&retrieval, &out)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote snapshot {out} ({} images, {} categories, dim {})",
+            retrieval.len(),
+            retrieval.category_count(),
+            retrieval.feature_dim()
+        );
+    }
     Ok(())
 }
 
@@ -233,13 +302,14 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
         .sum();
     println!(
         "{path}: {} images, {} categories, dim {}, {instances} instances, {bytes} bytes, \
-         generation {}, {} shard{}",
+         generation {}, {} shard{}, backend {}",
         retrieval.len(),
         retrieval.category_count(),
         retrieval.feature_dim(),
         loaded.generation,
         loaded.shards,
         if loaded.shards == 1 { "" } else { "s" },
+        loaded.backend,
     );
     Ok(())
 }
@@ -274,6 +344,8 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
     let loaded = milr::store::load_snapshot(&input).map_err(|e| e.to_string())?;
     let mut store = milr::store::ShardedDatabase::from_database(&loaded.database, &out, capacity)
         .map_err(|e| e.to_string())?;
+    // Migration preserves the source snapshot's backend identity.
+    store.set_backend(loaded.backend);
     store.flush().map_err(|e| e.to_string())?;
     println!(
         "wrote sharded snapshot {} ({} images over {} shard{}, {} bags/shard, generation {})",
@@ -319,8 +391,11 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
             None => milr::store::DEFAULT_SHARD_CAPACITY,
         };
         let loaded = milr::store::load_snapshot(in_path).map_err(|e| e.to_string())?;
-        milr::store::ShardedDatabase::from_database(&loaded.database, &out, capacity)
-            .map_err(|e| e.to_string())?
+        let mut migrated =
+            milr::store::ShardedDatabase::from_database(&loaded.database, &out, capacity)
+                .map_err(|e| e.to_string())?;
+        migrated.set_backend(loaded.backend);
+        migrated
     };
     let dropped = store.compact();
     store.flush().map_err(|e| e.to_string())?;
@@ -451,29 +526,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("invalid --watch-interval-ms {text:?}"))?;
         options.watch_interval = std::time::Duration::from_millis(ms);
     }
+    options.backend = flag(args, "--backend");
     // Parallelism is across requests, not within them.
     options.retrieval.threads = 1;
-    let loaded = milr::store::load_snapshot(&snapshot).map_err(|e| e.to_string())?;
+    let loaded = match options.backend.as_deref() {
+        Some(expected) => {
+            milr::store::load_snapshot_expecting(&snapshot, expected).map_err(|e| e.to_string())?
+        }
+        None => milr::store::load_snapshot(&snapshot).map_err(|e| e.to_string())?,
+    };
     options.snapshot_path = Some(PathBuf::from(&snapshot));
-    let retrieval = loaded.database;
     let (images, categories, dim) = (
-        retrieval.len(),
-        retrieval.category_count(),
-        retrieval.feature_dim(),
+        loaded.database.len(),
+        loaded.database.category_count(),
+        loaded.database.feature_dim(),
     );
-    let server = milr::serve::Server::start_with_generation(
-        retrieval,
-        loaded.generation,
-        loaded.shards,
-        options,
-    )?;
+    let (generation, shards, backend_id) =
+        (loaded.generation, loaded.shards, loaded.backend.id.clone());
+    let server = milr::serve::Server::start_with_snapshot(loaded, options)?;
     println!(
         "milrd listening on {} ({images} images, {categories} categories, dim {dim}, \
-         generation {}, {} shard{})",
+         generation {generation}, {shards} shard{}, backend {backend_id})",
         server.local_addr(),
-        loaded.generation,
-        loaded.shards,
-        if loaded.shards == 1 { "" } else { "s" },
+        if shards == 1 { "" } else { "s" },
     );
     use std::io::Write as _;
     std::io::stdout().flush().map_err(|e| e.to_string())?;

@@ -292,6 +292,99 @@ fn healthy_cluster_pages_are_bit_identical_to_single_node_over_the_wire() {
 }
 
 #[test]
+fn non_default_aggregators_scatter_gather_bit_identically_to_single_node() {
+    let scratch = sharded_scratch("aggregators");
+    let snapshot = scratch.snapshot();
+    let worker_a = Daemon::worker(&snapshot, 0, 2);
+    let worker_b = Daemon::worker(&snapshot, 1, 2);
+    let coordinator = Daemon::coordinator(
+        &snapshot,
+        &[&worker_a, &worker_b],
+        &[
+            "--worker-deadline-ms",
+            "10000",
+            "--health-interval-ms",
+            "60000",
+        ],
+    );
+    let single = Daemon::spawn(&[
+        "serve",
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+
+    // Every non-default aggregator must survive the scatter-gather —
+    // the workers take the exact fold, the coordinator merges without
+    // the min-only bound forwarding — and still page bit-identically
+    // to the single node. The same concept is reused across
+    // aggregators (cache hit on the repeats), so any divergence is
+    // the fold itself, not training.
+    let base = "positives=0,4&negatives=1&k=8";
+    for aggregator in ["logsumexp", "generalized-mean", "noisy-or", "min-distance"] {
+        let query = format!("{base}&aggregator={aggregator}");
+        let response = get(coordinator.addr, &format!("/cluster/rank?{query}"));
+        assert_eq!(
+            status_of(&response),
+            Some(200),
+            "aggregator {aggregator} must serve"
+        );
+        let cluster = json_of(&response);
+        assert_eq!(
+            cluster.get("partial").and_then(Json::as_bool),
+            Some(false),
+            "healthy cluster must never degrade: {}",
+            cluster.dump()
+        );
+        assert_eq!(
+            cluster.get("aggregator").and_then(Json::as_str),
+            Some(aggregator),
+            "response must echo the aggregator: {}",
+            cluster.dump()
+        );
+        let reference = json_of(&get(single.addr, &format!("/rank?{query}")));
+        assert_eq!(
+            ranking_pairs(&cluster),
+            ranking_pairs(&reference),
+            "cluster page diverged from single-node under {aggregator}"
+        );
+        assert_eq!(
+            nldd_bits(&cluster),
+            nldd_bits(&reference),
+            "trained concept diverged under {aggregator}"
+        );
+    }
+
+    // An explicit min-distance page is bit-identical to the implicit
+    // default — the wire contract for requests that never name one.
+    let implicit = json_of(&get(coordinator.addr, &format!("/cluster/rank?{base}")));
+    let explicit = json_of(&get(
+        coordinator.addr,
+        &format!("/cluster/rank?{base}&aggregator=min-distance"),
+    ));
+    assert_eq!(
+        implicit.get("aggregator").and_then(Json::as_str),
+        Some("min-distance"),
+        "the default must be echoed as min-distance: {}",
+        implicit.dump()
+    );
+    assert_eq!(ranking_pairs(&implicit), ranking_pairs(&explicit));
+
+    // An unknown label is a client error on both surfaces, not a
+    // silent fallback to the default fold.
+    for (addr, route) in [(coordinator.addr, "/cluster/rank"), (single.addr, "/rank")] {
+        let response = get(addr, &format!("{route}?{base}&aggregator=softmax"));
+        assert_eq!(
+            status_of(&response),
+            Some(400),
+            "unknown aggregator must be rejected on {route}: {}",
+            String::from_utf8_lossy(&response)
+        );
+    }
+}
+
+#[test]
 fn worker_loss_degrades_gracefully_and_rejoin_restores_full_pages() {
     let scratch = sharded_scratch("degrade");
     let snapshot = scratch.snapshot();

@@ -559,3 +559,121 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// Aggregator cross-path identity also writes a sharded store per case,
+// so it runs few, large cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every [`BagAggregator`]'s ranking key is the naive per-bag
+    /// reference fold, bit for bit, on **every** path: the monolithic
+    /// rank, the sharded scatter (any shard layout, with tombstones,
+    /// indexed or not, bounded or not), and the batch API. A request
+    /// that never names an aggregator is bit-identical to explicit
+    /// min-distance, and every top-k page is an exact prefix of the
+    /// full ranking — the wire contract the daemon and cluster rely on.
+    #[test]
+    fn aggregated_rankings_match_the_naive_fold_on_every_path(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, 5), 1..5),
+            2..24,
+        ),
+        point in proptest::collection::vec(-10.0f64..10.0, 5),
+        w in weights(5),
+        shards in 1usize..6,
+        seed in 0u64..1000,
+        k in 1usize..10,
+        threads in 0usize..4,
+    ) {
+        use milr::core::{BatchQuery, RetrievalDatabase};
+        use milr::mil::{Bag, BagAggregator, Concept};
+        use milr::store::ShardedDatabase;
+        use milr::synth::corpus;
+        use std::sync::Arc;
+
+        let labels: Vec<usize> = (0..raw.len()).map(|n| n % 3).collect();
+        let bags: Vec<Bag> = raw.into_iter().map(|b| Bag::new(b).unwrap()).collect();
+        let db = RetrievalDatabase::from_bags(bags, labels).unwrap();
+        let concept = Arc::new(Concept::new(point, w));
+
+        let dir = std::env::temp_dir()
+            .join("milr_facade_proptests")
+            .join(format!("aggregated_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let capacity = db.len().div_ceil(shards);
+        let mut store = ShardedDatabase::from_database(&db, &dir, capacity).unwrap();
+        let mut live = Vec::new();
+        for i in 0..db.len() {
+            if corpus::tombstone_pattern(i, seed, 4) && live.len() + 1 < db.len() {
+                store.delete(i).unwrap();
+            } else {
+                live.push(i);
+            }
+        }
+        store.flush().unwrap();
+
+        for aggregator in BagAggregator::ALL {
+            let request = RankRequest::over(live.clone())
+                .threads(threads)
+                .aggregator(aggregator);
+            let full = db.rank(&concept, &request).unwrap();
+
+            // 1. Every returned key is the reference fold of that bag's
+            // exact instance distances, bit for bit, and the ranking is
+            // a sorted permutation of the live set.
+            prop_assert_eq!(full.len(), live.len());
+            for &(index, key) in &full {
+                let distances: Vec<f64> = db
+                    .bag(index)
+                    .unwrap()
+                    .instances()
+                    .map(|inst| concept.instance_distance_sq(inst))
+                    .collect();
+                prop_assert!(
+                    key.to_bits() == aggregator.fold(&distances).to_bits(),
+                    "{aggregator} key for bag {index} is not the reference fold"
+                );
+                prop_assert!(key >= 0.0 && key.is_finite(), "{aggregator} key invalid");
+            }
+            for pair in full.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].1, "{aggregator} ranking unsorted");
+            }
+
+            // 2. The sharded scatter agrees bit for bit, indexed or not,
+            // bounded or not, and pages are exact prefixes.
+            for request in [
+                RankRequest::all().aggregator(aggregator),
+                RankRequest::all().top(k).aggregator(aggregator),
+                RankRequest::all().top(k).aggregator(aggregator).index(false),
+            ] {
+                let want = &full[..request.top_k.map_or(full.len(), |k| k.min(full.len()))];
+                let scattered = store.rank(&concept, &request).unwrap();
+                prop_assert_eq!(&scattered[..], want);
+                for (a, b) in scattered.iter().zip(want) {
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+
+            // 3. The batch path carries the aggregator too.
+            let batched = db
+                .rank_batch(
+                    &[BatchQuery { concept: Arc::clone(&concept), top_k: Some(k) }],
+                    &RankRequest::over(live.clone()).threads(threads).aggregator(aggregator),
+                )
+                .unwrap();
+            prop_assert_eq!(&batched[0][..], &full[..k.min(full.len())]);
+
+            // 4. Never naming an aggregator is exactly min-distance.
+            if aggregator.is_min() {
+                let implicit = db
+                    .rank(&concept, &RankRequest::over(live.clone()).threads(threads))
+                    .unwrap();
+                prop_assert_eq!(&implicit, &full);
+                for (a, b) in implicit.iter().zip(&full) {
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
